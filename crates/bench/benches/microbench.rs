@@ -1,0 +1,163 @@
+//! Criterion micro-benchmarks for NeST's hot paths: wire codecs, the
+//! scheduler and cache-model operations, ClassAd matchmaking, and the
+//! simulation engine itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use nest_classad::{parse_ad, ClassAd, Matchmaker};
+use nest_proto::chirp::{format_response, parse_command};
+use nest_proto::gridftp::modee::{read_block, write_block};
+use nest_proto::request::NestResponse;
+use nest_simenv::server::{SimModel, SimPolicy};
+use nest_simenv::{ClientSpec, PlatformProfile, SimServer};
+use nest_sunrpc::rpc::RpcMessage;
+use nest_sunrpc::xdr::{XdrDecoder, XdrEncoder};
+use nest_transfer::cache::CacheModel;
+use nest_transfer::flow::{FlowId, FlowMeta};
+use nest_transfer::sched::{Scheduler, StrideScheduler};
+use nest_transfer::ModelKind;
+
+fn bench_classad(c: &mut Criterion) {
+    let src = r#"[ Type = "Storage"; Name = "turkey"; FreeSpace = 40 * 1024 * 1024;
+        Protocols = { "chirp", "gridftp", "http", "nfs" };
+        Requirements = other.Type == "StorageRequest" && other.NeedSpace <= my.FreeSpace;
+        Rank = other.Priority ]"#;
+    c.bench_function("classad/parse_storage_ad", |b| {
+        b.iter(|| parse_ad(black_box(src)).unwrap())
+    });
+
+    let server: ClassAd = src.parse().unwrap();
+    let request: ClassAd = r#"[ Type = "StorageRequest"; NeedSpace = 1000000;
+        Priority = 5; Requirements = other.Type == "Storage" ]"#
+        .parse()
+        .unwrap();
+    c.bench_function("classad/bilateral_match", |b| {
+        b.iter(|| nest_classad::matches(black_box(&server), black_box(&request)))
+    });
+
+    let mut mm = Matchmaker::new();
+    for i in 0..100 {
+        let mut ad = server.clone();
+        ad.insert_value("Name", nest_classad::Value::str(format!("site{}", i)));
+        ad.insert_value("FreeSpace", nest_classad::Value::Int(i * 1_000_000));
+        mm.publish(format!("site{}", i), ad);
+    }
+    c.bench_function("classad/best_match_of_100", |b| {
+        b.iter(|| mm.best_match(black_box(&request)))
+    });
+}
+
+fn bench_xdr_rpc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sunrpc");
+    let payload = vec![7u8; 8192];
+    group.throughput(Throughput::Bytes(8192));
+    group.bench_function("xdr_encode_8k_opaque", |b| {
+        b.iter(|| {
+            let mut e = XdrEncoder::with_capacity(8200);
+            e.put_opaque(black_box(&payload));
+            e.into_bytes()
+        })
+    });
+    let mut e = XdrEncoder::new();
+    e.put_opaque(&payload);
+    let encoded = e.into_bytes();
+    group.bench_function("xdr_decode_8k_opaque", |b| {
+        b.iter(|| {
+            let mut d = XdrDecoder::new(black_box(&encoded));
+            d.get_opaque().unwrap().len()
+        })
+    });
+    let call = RpcMessage::call(7, 100003, 2, 6, encoded.clone());
+    let wire = call.encode();
+    group.bench_function("rpc_decode_nfs_read_call", |b| {
+        b.iter(|| RpcMessage::decode(black_box(&wire)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_chirp_codec(c: &mut Criterion) {
+    c.bench_function("chirp/parse_put", |b| {
+        b.iter(|| parse_command(black_box("put /data/input.dat 10485760")))
+    });
+    c.bench_function("chirp/format_listing", |b| {
+        let resp = NestResponse::OkText((0..32).map(|i| format!("file{}", i)).collect());
+        b.iter(|| format_response(black_box(&resp)))
+    });
+}
+
+fn bench_modee(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gridftp");
+    let data = vec![3u8; 64 * 1024];
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("modee_frame_64k_block", |b| {
+        b.iter(|| {
+            let mut wire = Vec::with_capacity(data.len() + 17);
+            write_block(&mut wire, 0, 1 << 20, black_box(&data)).unwrap();
+            wire
+        })
+    });
+    let mut wire = Vec::new();
+    write_block(&mut wire, 0, 1 << 20, &data).unwrap();
+    group.bench_function("modee_parse_64k_block", |b| {
+        b.iter(|| {
+            let mut cur = std::io::Cursor::new(black_box(&wire));
+            read_block(&mut cur).unwrap().unwrap().data.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("sched/stride_pick_account_16_classes", |b| {
+        let mut s = StrideScheduler::new();
+        for i in 0..16u32 {
+            let class = format!("class{}", i);
+            s.set_tickets(&class, 100 + i);
+            s.admit(&FlowMeta::new(FlowId(i as u64), class, Some(1 << 20)));
+        }
+        b.iter(|| {
+            let id = s.next().unwrap();
+            s.account(id, 64 * 1024);
+            id
+        })
+    });
+}
+
+fn bench_cache_model(c: &mut Criterion) {
+    c.bench_function("cache/observe_and_predict", |b| {
+        let cache = CacheModel::new(256 << 20);
+        let mut i = 0u64;
+        b.iter(|| {
+            let name = format!("file{}", i % 512);
+            cache.observe_access(&name, 1 << 20);
+            i += 1;
+            cache.predict_resident(&name, 1 << 20)
+        })
+    });
+}
+
+fn bench_sim_engine(c: &mut Criterion) {
+    c.bench_function("simenv/mixed_workload_1s", |b| {
+        b.iter(|| {
+            let clients = ClientSpec::paper_mixed_workload();
+            let mut server = SimServer::nest(
+                PlatformProfile::linux_gige(),
+                SimPolicy::Fcfs,
+                SimModel::Fixed(ModelKind::Events),
+            );
+            server.warm_cache(&clients);
+            server.run(&clients, 1.0).total_bandwidth()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_classad,
+    bench_xdr_rpc,
+    bench_chirp_codec,
+    bench_modee,
+    bench_scheduler,
+    bench_cache_model,
+    bench_sim_engine,
+);
+criterion_main!(benches);

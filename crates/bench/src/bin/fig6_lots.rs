@@ -1,0 +1,70 @@
+//! Figure 6 — Overhead of Lots (paper §7.4).
+//!
+//! "This graph shows the overhead imposed by implementing lots using the
+//! kernel quota system. Notice that for small files, the cost is
+//! negligible but increases quickly with file size." The worst case is a
+//! single sequential write stream losing ~50% of its bandwidth.
+//!
+//! The model: writes land in the buffer cache at wire speed; once the
+//! stream outgrows the cache, the disk is the bottleneck and synchronous
+//! quota bookkeeping roughly halves effective disk bandwidth. Reads are
+//! unaffected.
+
+use nest_bench::Table;
+use nest_simenv::writepath::{write_bandwidth, WritePathModel};
+
+fn main() {
+    println!("Figure 6: Performance Overhead of Lots (quota-based enforcement)");
+    println!("(single sequential write stream; Linux 2002 write-path model)\n");
+
+    let model = WritePathModel::linux_2002();
+    let mut table = Table::new(&[
+        "write size (MB)",
+        "quotas disabled (MB/s)",
+        "quotas enabled (MB/s)",
+        "enabled/disabled",
+    ]);
+    let mut sizes: Vec<f64> = Vec::new();
+    let mut size = 20.0;
+    while size <= 200.0 {
+        sizes.push(size);
+        size += 20.0;
+    }
+    for s in &sizes {
+        let off = write_bandwidth(&model, *s, false);
+        let on = write_bandwidth(&model, *s, true);
+        table.row(vec![
+            format!("{:.0}", s),
+            format!("{:.1}", off),
+            format!("{:.1}", on),
+            format!("{:.2}", on / off),
+        ]);
+    }
+    table.print();
+
+    println!("\nReads (unaffected by quotas, as the paper notes):");
+    let mut reads = Table::new(&["read", "bandwidth (MB/s)"]);
+    reads.row(vec![
+        "cached".into(),
+        format!("{:.1}", model.read_bandwidth(100e6, true) / 1e6),
+    ]);
+    reads.row(vec![
+        "cold".into(),
+        format!("{:.1}", model.read_bandwidth(100e6, false) / 1e6),
+    ]);
+    reads.print();
+
+    println!();
+    println!("Paper checkpoints:");
+    println!("  * Both curves start together near the wire rate at 20 MB;");
+    println!("  * the quota-enabled curve falls away as the write outgrows the");
+    println!("    buffer cache, approaching ~50% in the worst (disk-bound) case;");
+    println!("  * read bandwidth is unaffected.");
+    println!();
+    println!("NeST-managed alternative (paper 7.4 'currently investigating'):");
+    println!("  user-level lot accounting (nest-storage) charges lots in memory on");
+    println!("  the write path: its bookkeeping is O(1) per write and never forces");
+    println!("  a synchronous disk update, trading kernel-quota compatibility for");
+    println!("  the ability to distinguish lots correctly. See the `ablations`");
+    println!("  binary for its measured cost.");
+}

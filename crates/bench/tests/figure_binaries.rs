@@ -1,0 +1,37 @@
+//! The figure binaries themselves must be deterministic: EXPERIMENTS.md
+//! quotes their output verbatim, so two runs must be byte-identical.
+
+use std::process::Command;
+
+fn run_twice(bin: &str) {
+    let out = |()| {
+        Command::new(bin)
+            .output()
+            .unwrap_or_else(|e| panic!("{} failed to run: {}", bin, e))
+    };
+    let a = out(());
+    let b = out(());
+    assert!(a.status.success(), "{} exited with {:?}", bin, a.status);
+    assert_eq!(a.stdout, b.stdout, "{} output differs between runs", bin);
+    assert!(!a.stdout.is_empty());
+}
+
+#[test]
+fn fig3_binary_is_deterministic() {
+    run_twice(env!("CARGO_BIN_EXE_fig3_protocols"));
+}
+
+#[test]
+fn fig4_binary_is_deterministic() {
+    run_twice(env!("CARGO_BIN_EXE_fig4_proportional"));
+}
+
+#[test]
+fn fig5_binary_is_deterministic() {
+    run_twice(env!("CARGO_BIN_EXE_fig5_adaptive"));
+}
+
+#[test]
+fn fig6_binary_is_deterministic() {
+    run_twice(env!("CARGO_BIN_EXE_fig6_lots"));
+}

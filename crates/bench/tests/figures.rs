@@ -1,0 +1,237 @@
+//! Figure-shape regression tests: the qualitative claims recorded in
+//! EXPERIMENTS.md, locked in so a refactor cannot silently break the
+//! reproduction. Each test states the paper's claim it guards.
+
+use nest_simenv::server::{SimModel, SimPolicy};
+use nest_simenv::writepath::{write_bandwidth, WritePathModel};
+use nest_simenv::{ClientSpec, PlatformProfile, SimJbos, SimServer};
+use nest_transfer::fairness::jain_fairness_weighted;
+use nest_transfer::ModelKind;
+
+const CLASSES: [&str; 4] = ["chirp", "gridftp", "http", "nfs"];
+
+fn nest_fcfs() -> SimServer {
+    SimServer::nest(
+        PlatformProfile::linux_gige(),
+        SimPolicy::Fcfs,
+        SimModel::Fixed(ModelKind::Events),
+    )
+}
+
+fn run_single(proto: &str) -> f64 {
+    let clients = ClientSpec::paper_single_protocol(proto);
+    let mut s = nest_fcfs();
+    s.warm_cache(&clients);
+    s.run(&clients, 5.0).bandwidth(proto)
+}
+
+#[test]
+fn fig3_cheap_protocols_at_peak_expensive_at_half() {
+    // Paper: Chirp/HTTP ≈ 35 MB/s (peak), GridFTP/NFS ≈ half.
+    let chirp = run_single("chirp");
+    let http = run_single("http");
+    let gftp = run_single("gridftp");
+    let nfs = run_single("nfs");
+    assert!(
+        (chirp / http - 1.0).abs() < 0.05,
+        "chirp {} http {}",
+        chirp,
+        http
+    );
+    let g_ratio = gftp / chirp;
+    let n_ratio = nfs / chirp;
+    assert!(g_ratio > 0.35 && g_ratio < 0.65, "gridftp/peak {}", g_ratio);
+    assert!(n_ratio > 0.30 && n_ratio < 0.65, "nfs/peak {}", n_ratio);
+    // Absolute peak in the paper's ballpark (30–40 MB/s axis).
+    assert!(
+        chirp / 1e6 > 30.0 && chirp / 1e6 < 42.0,
+        "peak {}",
+        chirp / 1e6
+    );
+}
+
+#[test]
+fn fig3_nest_close_to_jbos_single_protocol() {
+    // Paper: "the performance of NeST across all protocols is very
+    // similar to that of the native server."
+    for proto in CLASSES {
+        let clients = ClientSpec::paper_single_protocol(proto);
+        let mut nest = nest_fcfs();
+        nest.warm_cache(&clients);
+        let n = nest.run(&clients, 5.0).bandwidth(proto);
+        let mut jbos = SimJbos::new(PlatformProfile::linux_gige());
+        jbos.warm_cache(&clients);
+        let j = jbos.run(&clients, 5.0).bandwidth(proto);
+        let ratio = n / j;
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "{}: nest/jbos ratio {}",
+            proto,
+            ratio
+        );
+    }
+}
+
+#[test]
+fn fig3_mixed_fifo_nest_starves_nfs_jbos_does_not() {
+    let clients = ClientSpec::paper_mixed_workload();
+    let mut nest = nest_fcfs();
+    nest.warm_cache(&clients);
+    let ns = nest.run(&clients, 5.0);
+    let mut jbos = SimJbos::new(PlatformProfile::linux_gige());
+    jbos.warm_cache(&clients);
+    let js = jbos.run(&clients, 5.0);
+    assert!(js.bandwidth("nfs") > 4.0 * ns.bandwidth("nfs").max(1.0));
+    // Totals comparable (paper: 33–35 for both).
+    let ratio = ns.total_bandwidth() / js.total_bandwidth();
+    assert!((0.75..1.35).contains(&ratio), "total ratio {}", ratio);
+}
+
+fn run_stride(ratios: [u32; 4], wc: bool) -> nest_simenv::SimStats {
+    let clients = ClientSpec::paper_mixed_workload();
+    let mut s = SimServer::nest(
+        PlatformProfile::linux_gige(),
+        SimPolicy::Stride {
+            tickets: CLASSES
+                .iter()
+                .zip(ratios)
+                .map(|(c, r)| ((*c).to_owned(), r * 100))
+                .collect(),
+            work_conserving: wc,
+        },
+        SimModel::Fixed(ModelKind::Events),
+    );
+    s.warm_cache(&clients);
+    s.run(&clients, 5.0)
+}
+
+fn fairness_of(stats: &nest_simenv::SimStats, ratios: [u32; 4]) -> f64 {
+    let delivered: Vec<f64> = CLASSES.iter().map(|c| stats.bandwidth(c)).collect();
+    let desired: Vec<f64> = ratios.iter().map(|r| *r as f64).collect();
+    jain_fairness_weighted(&delivered, &desired)
+}
+
+#[test]
+fn fig4_feasible_ratios_reach_high_fairness() {
+    // Paper: Jain fairness > 0.98 for 1:1:1:1, 1:2:1:1 and 3:1:2:1.
+    for ratios in [[1u32, 1, 1, 1], [1, 2, 1, 1], [3, 1, 2, 1]] {
+        let stats = run_stride(ratios, true);
+        let f = fairness_of(&stats, ratios);
+        assert!(f > 0.98, "ratios {:?} fairness {}", ratios, f);
+    }
+}
+
+#[test]
+fn fig4_nfs_heavy_ratio_degrades() {
+    // Paper: 1:1:1:4 only reaches ≈ 0.87 — not enough NFS requests.
+    let stats = run_stride([1, 1, 1, 4], true);
+    let f = fairness_of(&stats, [1, 1, 1, 4]);
+    assert!(f < 0.96, "nfs-heavy fairness unexpectedly high: {}", f);
+    assert!(f > 0.75, "nfs-heavy fairness unexpectedly low: {}", f);
+}
+
+#[test]
+fn fig4_proportional_costs_total_bandwidth_vs_fifo() {
+    // Paper: 24–28 MB/s proportional vs ≈ 33 MB/s FIFO.
+    let clients = ClientSpec::paper_mixed_workload();
+    let mut fifo = nest_fcfs();
+    fifo.warm_cache(&clients);
+    let fifo_total = fifo.run(&clients, 5.0).total_bandwidth();
+    let stride_total = run_stride([1, 1, 1, 1], true).total_bandwidth();
+    assert!(
+        stride_total < fifo_total,
+        "stride {} should cost bandwidth vs fifo {}",
+        stride_total,
+        fifo_total
+    );
+    assert!(
+        stride_total > 0.6 * fifo_total,
+        "stride {} too far below fifo {}",
+        stride_total,
+        fifo_total
+    );
+}
+
+#[test]
+fn fig4_extension_nwc_improves_allocation_control() {
+    // Paper §7.2: a non-work-conserving policy "might pay a slight penalty
+    // in average response time for improved allocation control."
+    let wc = run_stride([1, 1, 1, 4], true);
+    let nwc = run_stride([1, 1, 1, 4], false);
+    assert!(fairness_of(&nwc, [1, 1, 1, 4]) > fairness_of(&wc, [1, 1, 1, 4]));
+    assert!(nwc.total_bandwidth() < wc.total_bandwidth());
+}
+
+fn fig5_latency(model: SimModel) -> f64 {
+    let clients: Vec<ClientSpec> = (0..4)
+        .map(|_| ClientSpec::file_client("http", 1 << 10))
+        .collect();
+    let mut s = SimServer::nest(PlatformProfile::solaris_100mbit(), SimPolicy::Fcfs, model);
+    s.warm_cache(&clients);
+    s.run(&clients, 10.0).mean_latency("http")
+}
+
+fn fig5_bandwidth(model: SimModel) -> f64 {
+    let clients: Vec<ClientSpec> = (0..4)
+        .map(|_| ClientSpec::file_client("http", 10 << 20).with_working_set(40))
+        .collect();
+    let mut s = SimServer::nest(PlatformProfile::linux_gige(), SimPolicy::Fcfs, model);
+    s.run(&clients, 10.0).bandwidth("http")
+}
+
+#[test]
+fn fig5_left_solaris_events_beat_threads_adaptive_between() {
+    let ev = fig5_latency(SimModel::Fixed(ModelKind::Events));
+    let th = fig5_latency(SimModel::Fixed(ModelKind::Threads));
+    let ad = fig5_latency(SimModel::Adaptive(vec![
+        ModelKind::Events,
+        ModelKind::Threads,
+    ]));
+    assert!(ev < th, "events {} threads {}", ev, th);
+    assert!(
+        ad > ev && ad < th,
+        "adaptive {} not between {} and {}",
+        ad,
+        ev,
+        th
+    );
+}
+
+#[test]
+fn fig5_right_linux_threads_beat_events_adaptive_between() {
+    let ev = fig5_bandwidth(SimModel::Fixed(ModelKind::Events));
+    let th = fig5_bandwidth(SimModel::Fixed(ModelKind::Threads));
+    let ad = fig5_bandwidth(SimModel::Adaptive(vec![
+        ModelKind::Events,
+        ModelKind::Threads,
+    ]));
+    assert!(th > ev, "threads {} events {}", th, ev);
+    assert!(
+        ad < th && ad > ev,
+        "adaptive {} not between {} and {}",
+        ad,
+        ev,
+        th
+    );
+}
+
+#[test]
+fn fig6_quota_overhead_negligible_small_heavy_large() {
+    let m = WritePathModel::linux_2002();
+    let small = write_bandwidth(&m, 20.0, true) / write_bandwidth(&m, 20.0, false);
+    let large = write_bandwidth(&m, 200.0, true) / write_bandwidth(&m, 200.0, false);
+    assert!(small > 0.95, "small-write ratio {}", small);
+    assert!(large < 0.62 && large > 0.40, "large-write ratio {}", large);
+}
+
+#[test]
+fn figures_are_deterministic_across_runs() {
+    // Every figure number must be bit-identical between runs, or
+    // EXPERIMENTS.md would drift.
+    let a = run_stride([3, 1, 2, 1], true);
+    let b = run_stride([3, 1, 2, 1], true);
+    for c in CLASSES {
+        assert_eq!(a.bandwidth(c).to_bits(), b.bandwidth(c).to_bits(), "{}", c);
+    }
+    assert_eq!(a.elapsed.to_bits(), b.elapsed.to_bits());
+}

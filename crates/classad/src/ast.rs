@@ -1,0 +1,264 @@
+//! Abstract syntax for ClassAd expressions.
+
+use crate::value::{escape_str, Value};
+use crate::ClassAd;
+use std::fmt;
+
+/// Binary operators, in ClassAd semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Logical or (non-strict).
+    Or,
+    /// Logical and (non-strict).
+    And,
+    /// Equality (strict, case-insensitive for strings).
+    Eq,
+    /// Inequality (strict).
+    Ne,
+    /// The `is` identity operator (non-strict, case-sensitive).
+    Is,
+    /// The `isnt` identity operator (non-strict).
+    Isnt,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl BinOp {
+    /// The precedence level (higher binds tighter).
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne | BinOp::Is | BinOp::Isnt => 3,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 4,
+            BinOp::Add | BinOp::Sub => 5,
+            BinOp::Mul | BinOp::Div | BinOp::Mod => 6,
+        }
+    }
+
+    /// The concrete-syntax spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Or => "||",
+            BinOp::And => "&&",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Is => "is",
+            BinOp::Isnt => "isnt",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Logical negation `!`.
+    Not,
+    /// Arithmetic negation `-`.
+    Neg,
+}
+
+/// Attribute-reference scope prefixes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scope {
+    /// Unscoped: resolved in the current ad first.
+    Local,
+    /// `my.attr` / `self.attr` — the ad being evaluated.
+    My,
+    /// `other.attr` / `target.attr` — the counterpart ad in a match.
+    Other,
+}
+
+/// A ClassAd expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal constant.
+    Literal(Value),
+    /// An attribute reference, possibly scoped: `other.FreeSpace`.
+    Attr(Scope, String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Conditional `cond ? then : else`.
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Function call `name(args...)`.
+    Call(String, Vec<Expr>),
+    /// List construction `{ e1, e2, ... }`.
+    List(Vec<Expr>),
+    /// Nested ClassAd literal `[ a = 1; ... ]`.
+    Ad(Box<ClassAd>),
+    /// Subscript `list[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Attribute selection on an arbitrary expression: `expr.attr`.
+    Select(Box<Expr>, String),
+}
+
+impl Expr {
+    /// Convenience constructor for an unscoped attribute reference.
+    pub fn attr(name: impl Into<String>) -> Expr {
+        Expr::Attr(Scope::Local, name.into())
+    }
+
+    /// Convenience constructor for a literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Convenience constructor for a binary op.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent_prec: u8) -> fmt::Result {
+        match self {
+            Expr::Literal(Value::Str(s)) => {
+                let mut buf = String::new();
+                escape_str(s, &mut buf);
+                write!(f, "\"{}\"", buf)
+            }
+            Expr::Literal(v) => write!(f, "{}", v),
+            Expr::Attr(Scope::Local, name) => write!(f, "{}", name),
+            Expr::Attr(Scope::My, name) => write!(f, "my.{}", name),
+            Expr::Attr(Scope::Other, name) => write!(f, "other.{}", name),
+            Expr::Unary(op, inner) => {
+                let sym = match op {
+                    UnOp::Not => "!",
+                    UnOp::Neg => "-",
+                };
+                write!(f, "{}", sym)?;
+                inner.fmt_prec(f, 7)
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                let prec = op.precedence();
+                let need_parens = prec < parent_prec;
+                if need_parens {
+                    write!(f, "(")?;
+                }
+                lhs.fmt_prec(f, prec)?;
+                write!(f, " {} ", op.symbol())?;
+                // Right operand gets prec+1 so left-associativity reparses
+                // identically.
+                rhs.fmt_prec(f, prec + 1)?;
+                if need_parens {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Expr::Cond(c, t, e) => {
+                let need_parens = parent_prec > 0;
+                if need_parens {
+                    write!(f, "(")?;
+                }
+                c.fmt_prec(f, 1)?;
+                write!(f, " ? ")?;
+                t.fmt_prec(f, 0)?;
+                write!(f, " : ")?;
+                e.fmt_prec(f, 0)?;
+                if need_parens {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Expr::Call(name, args) => {
+                write!(f, "{}(", name)?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    a.fmt_prec(f, 0)?;
+                }
+                write!(f, ")")
+            }
+            Expr::List(items) => {
+                write!(f, "{{ ")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    item.fmt_prec(f, 0)?;
+                }
+                write!(f, " }}")
+            }
+            Expr::Ad(ad) => write!(f, "{}", ad),
+            Expr::Index(base, idx) => {
+                base.fmt_prec(f, 8)?;
+                write!(f, "[")?;
+                idx.fmt_prec(f, 0)?;
+                write!(f, "]")
+            }
+            Expr::Select(base, name) => {
+                base.fmt_prec(f, 8)?;
+                write!(f, ".{}", name)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_respects_precedence() {
+        // (1 + 2) * 3 must keep its parentheses.
+        let e = Expr::bin(
+            BinOp::Mul,
+            Expr::bin(BinOp::Add, Expr::lit(1i64), Expr::lit(2i64)),
+            Expr::lit(3i64),
+        );
+        assert_eq!(e.to_string(), "(1 + 2) * 3");
+        // 1 + 2 * 3 needs none.
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::lit(1i64),
+            Expr::bin(BinOp::Mul, Expr::lit(2i64), Expr::lit(3i64)),
+        );
+        assert_eq!(e.to_string(), "1 + 2 * 3");
+    }
+
+    #[test]
+    fn display_left_assoc_subtraction() {
+        // (1 - 2) - 3 prints without parens; 1 - (2 - 3) keeps them.
+        let left = Expr::bin(
+            BinOp::Sub,
+            Expr::bin(BinOp::Sub, Expr::lit(1i64), Expr::lit(2i64)),
+            Expr::lit(3i64),
+        );
+        assert_eq!(left.to_string(), "1 - 2 - 3");
+        let right = Expr::bin(
+            BinOp::Sub,
+            Expr::lit(1i64),
+            Expr::bin(BinOp::Sub, Expr::lit(2i64), Expr::lit(3i64)),
+        );
+        assert_eq!(right.to_string(), "1 - (2 - 3)");
+    }
+
+    #[test]
+    fn display_scoped_attr() {
+        let e = Expr::Attr(Scope::Other, "FreeSpace".into());
+        assert_eq!(e.to_string(), "other.FreeSpace");
+    }
+}

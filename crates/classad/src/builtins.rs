@@ -1,0 +1,363 @@
+//! Built-in functions callable from ClassAd expressions.
+//!
+//! The set implemented here covers the functions NeST's ads and ACLs use
+//! plus the common core of the ClassAd library: string manipulation, type
+//! conversion and inspection, numeric helpers, and list membership.
+
+use crate::value::Value;
+
+/// Dispatches a built-in function call. Unknown functions evaluate to
+/// `error`, as in the ClassAd library.
+pub fn call(name: &str, args: &[Value]) -> Value {
+    match name.to_ascii_lowercase().as_str() {
+        "strcat" => strcat(args),
+        "substr" => substr(args),
+        "size" => size(args),
+        "tolower" => map_str(args, |s| s.to_ascii_lowercase()),
+        "toupper" => map_str(args, |s| s.to_ascii_uppercase()),
+        "int" => to_int(args),
+        "real" => to_real(args),
+        "string" => to_string_fn(args),
+        "floor" => round_fn(args, f64::floor),
+        "ceiling" => round_fn(args, f64::ceil),
+        "round" => round_fn(args, f64::round),
+        "abs" => abs(args),
+        "min" => fold_cmp(args, false),
+        "max" => fold_cmp(args, true),
+        "member" => member(args, false),
+        "stringlistmember" => string_list_member(args),
+        "anycompare" => member(args, false),
+        "isundefined" => type_check(args, |v| v.is_undefined()),
+        "iserror" => type_check(args, |v| v.is_error()),
+        "isstring" => type_check(args, |v| matches!(v, Value::Str(_))),
+        "isinteger" => type_check(args, |v| matches!(v, Value::Int(_))),
+        "isreal" => type_check(args, |v| matches!(v, Value::Real(_))),
+        "isboolean" => type_check(args, |v| matches!(v, Value::Bool(_))),
+        "islist" => type_check(args, |v| matches!(v, Value::List(_))),
+        "isclassad" => type_check(args, |v| matches!(v, Value::Ad(_))),
+        _ => Value::Error,
+    }
+}
+
+fn strcat(args: &[Value]) -> Value {
+    let mut out = String::new();
+    for a in args {
+        match a {
+            Value::Str(s) => out.push_str(s),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Real(r) => out.push_str(&r.to_string()),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Undefined => return Value::Undefined,
+            _ => return Value::Error,
+        }
+    }
+    Value::Str(out)
+}
+
+/// `substr(s, offset [, length])`. Negative offsets count from the end, as in
+/// the ClassAd library. Out-of-range regions clamp.
+fn substr(args: &[Value]) -> Value {
+    let (s, off) = match args {
+        [Value::Str(s), Value::Int(off)] | [Value::Str(s), Value::Int(off), _] => (s, *off),
+        [a, b] | [a, b, _] if a.is_exceptional() || b.is_exceptional() => {
+            return if a.is_undefined() || b.is_undefined() {
+                Value::Undefined
+            } else {
+                Value::Error
+            }
+        }
+        _ => return Value::Error,
+    };
+    let chars: Vec<char> = s.chars().collect();
+    let n = chars.len() as i64;
+    let start = if off < 0 {
+        (n + off).max(0)
+    } else {
+        off.min(n)
+    } as usize;
+    let len = match args.get(2) {
+        None => n as usize,
+        Some(Value::Int(l)) if *l >= 0 => *l as usize,
+        Some(Value::Int(l)) => {
+            // Negative length: leave that many chars off the end.
+            let end = (n + l).max(start as i64) as usize;
+            return Value::Str(chars[start..end.min(chars.len())].iter().collect());
+        }
+        Some(Value::Undefined) => return Value::Undefined,
+        Some(_) => return Value::Error,
+    };
+    let end = (start + len).min(chars.len());
+    Value::Str(chars[start..end].iter().collect())
+}
+
+fn size(args: &[Value]) -> Value {
+    match args {
+        [Value::Str(s)] => Value::Int(s.chars().count() as i64),
+        [Value::List(l)] => Value::Int(l.len() as i64),
+        [Value::Ad(ad)] => Value::Int(ad.len() as i64),
+        [Value::Undefined] => Value::Undefined,
+        _ => Value::Error,
+    }
+}
+
+fn map_str(args: &[Value], f: impl Fn(&str) -> String) -> Value {
+    match args {
+        [Value::Str(s)] => Value::Str(f(s)),
+        [Value::Undefined] => Value::Undefined,
+        _ => Value::Error,
+    }
+}
+
+fn to_int(args: &[Value]) -> Value {
+    match args {
+        [Value::Int(i)] => Value::Int(*i),
+        [Value::Real(r)] => Value::Int(*r as i64),
+        [Value::Bool(b)] => Value::Int(*b as i64),
+        [Value::Str(s)] => s
+            .trim()
+            .parse::<i64>()
+            .map(Value::Int)
+            .unwrap_or(Value::Error),
+        [Value::Undefined] => Value::Undefined,
+        _ => Value::Error,
+    }
+}
+
+fn to_real(args: &[Value]) -> Value {
+    match args {
+        [Value::Int(i)] => Value::Real(*i as f64),
+        [Value::Real(r)] => Value::Real(*r),
+        [Value::Bool(b)] => Value::Real(*b as i64 as f64),
+        [Value::Str(s)] => s
+            .trim()
+            .parse::<f64>()
+            .map(Value::Real)
+            .unwrap_or(Value::Error),
+        [Value::Undefined] => Value::Undefined,
+        _ => Value::Error,
+    }
+}
+
+fn to_string_fn(args: &[Value]) -> Value {
+    match args {
+        [Value::Str(s)] => Value::Str(s.clone()),
+        [Value::Int(i)] => Value::Str(i.to_string()),
+        [Value::Real(r)] => Value::Str(r.to_string()),
+        [Value::Bool(b)] => Value::Str(b.to_string()),
+        [Value::Undefined] => Value::Undefined,
+        _ => Value::Error,
+    }
+}
+
+fn round_fn(args: &[Value], f: impl Fn(f64) -> f64) -> Value {
+    match args {
+        [Value::Int(i)] => Value::Int(*i),
+        [Value::Real(r)] => {
+            let rounded = f(*r);
+            if rounded.is_finite() && rounded.abs() < i64::MAX as f64 {
+                Value::Int(rounded as i64)
+            } else {
+                Value::Error
+            }
+        }
+        [Value::Undefined] => Value::Undefined,
+        _ => Value::Error,
+    }
+}
+
+fn abs(args: &[Value]) -> Value {
+    match args {
+        [Value::Int(i)] => i.checked_abs().map_or(Value::Error, Value::Int),
+        [Value::Real(r)] => Value::Real(r.abs()),
+        [Value::Undefined] => Value::Undefined,
+        _ => Value::Error,
+    }
+}
+
+fn fold_cmp(args: &[Value], want_max: bool) -> Value {
+    // min/max over either a single list argument or the argument vector.
+    let items: &[Value] = match args {
+        [Value::List(l)] => l,
+        other => other,
+    };
+    if items.is_empty() {
+        return Value::Undefined;
+    }
+    let mut best: Option<Value> = None;
+    for item in items {
+        if item.is_undefined() {
+            return Value::Undefined;
+        }
+        if item.as_number().is_none() {
+            return Value::Error;
+        }
+        best = Some(match best {
+            None => item.clone(),
+            Some(b) => {
+                let bn = b.as_number().unwrap();
+                let inum = item.as_number().unwrap();
+                if (want_max && inum > bn) || (!want_max && inum < bn) {
+                    item.clone()
+                } else {
+                    b
+                }
+            }
+        });
+    }
+    best.unwrap()
+}
+
+/// `member(x, list)` — true if `x` compares equal (`==` semantics, so strings
+/// are case-insensitive) to any list element.
+fn member(args: &[Value], _any: bool) -> Value {
+    match args {
+        [x, Value::List(items)] => {
+            if x.is_undefined() {
+                return Value::Undefined;
+            }
+            for item in items {
+                if let Some(std::cmp::Ordering::Equal) = x.partial_cmp_classad(item) {
+                    return Value::Bool(true);
+                }
+            }
+            Value::Bool(false)
+        }
+        [Value::Undefined, _] | [_, Value::Undefined] => Value::Undefined,
+        _ => Value::Error,
+    }
+}
+
+/// `stringListMember(x, "a,b,c")` — membership in a comma-separated string
+/// list, case-insensitively. Used heavily in Condor-style ACL ads.
+fn string_list_member(args: &[Value]) -> Value {
+    match args {
+        [Value::Str(x), Value::Str(list)] => Value::Bool(
+            list.split(',')
+                .map(str::trim)
+                .any(|item| item.eq_ignore_ascii_case(x)),
+        ),
+        [Value::Undefined, _] | [_, Value::Undefined] => Value::Undefined,
+        _ => Value::Error,
+    }
+}
+
+fn type_check(args: &[Value], pred: impl Fn(&Value) -> bool) -> Value {
+    match args {
+        [v] => Value::Bool(pred(v)),
+        _ => Value::Error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: &str) -> Value {
+        Value::str(x)
+    }
+
+    #[test]
+    fn strcat_mixes_types() {
+        assert_eq!(
+            call("strcat", &[s("nest://"), s("host:"), Value::Int(5893)]),
+            s("nest://host:5893")
+        );
+    }
+
+    #[test]
+    fn substr_clamps_and_counts_from_end() {
+        assert_eq!(call("substr", &[s("hello"), Value::Int(1)]), s("ello"));
+        assert_eq!(
+            call("substr", &[s("hello"), Value::Int(1), Value::Int(3)]),
+            s("ell")
+        );
+        assert_eq!(call("substr", &[s("hello"), Value::Int(-3)]), s("llo"));
+        assert_eq!(call("substr", &[s("hello"), Value::Int(99)]), s(""));
+        assert_eq!(
+            call("substr", &[s("hello"), Value::Int(1), Value::Int(-1)]),
+            s("ell")
+        );
+    }
+
+    #[test]
+    fn size_of_string_list_ad() {
+        assert_eq!(call("size", &[s("abc")]), Value::Int(3));
+        assert_eq!(
+            call("size", &[Value::List(vec![Value::Int(1), Value::Int(2)])]),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn case_mapping() {
+        assert_eq!(call("toLower", &[s("NeST")]), s("nest"));
+        assert_eq!(call("toUpper", &[s("NeST")]), s("NEST"));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(call("int", &[s("42")]), Value::Int(42));
+        assert_eq!(call("int", &[Value::Real(2.9)]), Value::Int(2));
+        assert_eq!(call("real", &[Value::Int(2)]), Value::Real(2.0));
+        assert_eq!(call("string", &[Value::Int(7)]), s("7"));
+        assert_eq!(call("int", &[s("nope")]), Value::Error);
+    }
+
+    #[test]
+    fn rounding() {
+        assert_eq!(call("floor", &[Value::Real(2.9)]), Value::Int(2));
+        assert_eq!(call("ceiling", &[Value::Real(2.1)]), Value::Int(3));
+        assert_eq!(call("round", &[Value::Real(2.5)]), Value::Int(3));
+    }
+
+    #[test]
+    fn min_max_over_args_and_lists() {
+        assert_eq!(
+            call("min", &[Value::Int(3), Value::Int(1), Value::Int(2)]),
+            Value::Int(1)
+        );
+        assert_eq!(
+            call("max", &[Value::List(vec![Value::Int(3), Value::Real(4.5)])]),
+            Value::Real(4.5)
+        );
+        assert_eq!(call("min", &[]), Value::Undefined);
+    }
+
+    #[test]
+    fn member_uses_equality_semantics() {
+        let list = Value::List(vec![s("chirp"), s("NFS")]);
+        assert_eq!(call("member", &[s("nfs"), list.clone()]), Value::Bool(true));
+        assert_eq!(call("member", &[s("ftp"), list]), Value::Bool(false));
+    }
+
+    #[test]
+    fn string_list_member_splits_and_trims() {
+        assert_eq!(
+            call("stringListMember", &[s("nfs"), s("chirp, NFS ,http")]),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            call("stringListMember", &[s("gridftp"), s("chirp,nfs")]),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn type_predicates() {
+        assert_eq!(call("isUndefined", &[Value::Undefined]), Value::Bool(true));
+        assert_eq!(call("isError", &[Value::Error]), Value::Bool(true));
+        assert_eq!(call("isString", &[s("x")]), Value::Bool(true));
+        assert_eq!(call("isInteger", &[Value::Real(1.0)]), Value::Bool(false));
+    }
+
+    #[test]
+    fn unknown_function_is_error() {
+        assert_eq!(call("no_such_fn", &[]), Value::Error);
+    }
+
+    #[test]
+    fn undefined_propagates() {
+        assert_eq!(call("strcat", &[Value::Undefined]), Value::Undefined);
+        assert_eq!(call("toLower", &[Value::Undefined]), Value::Undefined);
+    }
+}

@@ -1,0 +1,410 @@
+//! Expression evaluation with ClassAd three-valued semantics.
+
+use crate::ast::{BinOp, Expr, Scope, UnOp};
+use crate::builtins;
+use crate::value::Value;
+use crate::ClassAd;
+use std::cmp::Ordering;
+
+/// Maximum attribute-resolution depth, guarding against cyclic references
+/// like `[ a = b; b = a ]`, which evaluate to `error` rather than looping.
+const MAX_DEPTH: usize = 64;
+
+/// An evaluation context binding the ad under evaluation (`my`) and,
+/// optionally, a counterpart ad (`other`) as during matchmaking.
+pub struct EvalContext<'a> {
+    my: &'a ClassAd,
+    other: Option<&'a ClassAd>,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Context for evaluating an ad by itself.
+    pub fn new(my: &'a ClassAd) -> Self {
+        Self { my, other: None }
+    }
+
+    /// Context for bilateral matchmaking: `other.x` resolves in `other`.
+    pub fn with_target(my: &'a ClassAd, other: &'a ClassAd) -> Self {
+        Self {
+            my,
+            other: Some(other),
+        }
+    }
+
+    /// Evaluates the named attribute of `my`.
+    pub fn eval_attr(&self, name: &str) -> Value {
+        match self.my.get(name) {
+            Some(expr) => self.eval_depth(expr, 0),
+            None => Value::Undefined,
+        }
+    }
+
+    /// Evaluates an arbitrary expression.
+    pub fn eval(&self, expr: &Expr) -> Value {
+        self.eval_depth(expr, 0)
+    }
+
+    fn eval_depth(&self, expr: &Expr, depth: usize) -> Value {
+        if depth > MAX_DEPTH {
+            return Value::Error;
+        }
+        match expr {
+            Expr::Literal(v) => v.clone(),
+            Expr::Attr(scope, name) => self.resolve(scope, name, depth),
+            Expr::Unary(op, inner) => {
+                let v = self.eval_depth(inner, depth + 1);
+                eval_unary(*op, v)
+            }
+            Expr::Binary(op, lhs, rhs) => self.eval_binary(*op, lhs, rhs, depth),
+            Expr::Cond(c, t, e) => match self.eval_depth(c, depth + 1) {
+                Value::Bool(true) => self.eval_depth(t, depth + 1),
+                Value::Bool(false) => self.eval_depth(e, depth + 1),
+                Value::Undefined => Value::Undefined,
+                _ => Value::Error,
+            },
+            Expr::Call(name, args) => {
+                let vals: Vec<Value> = args.iter().map(|a| self.eval_depth(a, depth + 1)).collect();
+                builtins::call(name, &vals)
+            }
+            Expr::List(items) => Value::List(
+                items
+                    .iter()
+                    .map(|i| self.eval_depth(i, depth + 1))
+                    .collect(),
+            ),
+            Expr::Ad(ad) => Value::Ad(ad.clone()),
+            Expr::Index(base, idx) => {
+                let b = self.eval_depth(base, depth + 1);
+                let i = self.eval_depth(idx, depth + 1);
+                match (b, i) {
+                    (Value::Undefined, _) | (_, Value::Undefined) => Value::Undefined,
+                    (Value::List(items), Value::Int(n)) => {
+                        if n >= 0 && (n as usize) < items.len() {
+                            items[n as usize].clone()
+                        } else {
+                            Value::Error
+                        }
+                    }
+                    _ => Value::Error,
+                }
+            }
+            Expr::Select(base, name) => {
+                let b = self.eval_depth(base, depth + 1);
+                match b {
+                    Value::Undefined => Value::Undefined,
+                    Value::Ad(ad) => match ad.get(name) {
+                        // Inner-ad attributes evaluate in the inner ad's own
+                        // context (scoping rule for nested ads).
+                        Some(e) => EvalContext::new(&ad).eval_depth(e, depth + 1),
+                        None => Value::Undefined,
+                    },
+                    _ => Value::Error,
+                }
+            }
+        }
+    }
+
+    fn resolve(&self, scope: &Scope, name: &str, depth: usize) -> Value {
+        match scope {
+            Scope::My => match self.my.get(name) {
+                Some(e) => self.eval_depth(e, depth + 1),
+                None => Value::Undefined,
+            },
+            Scope::Other => match self.other {
+                Some(other) => match other.get(name) {
+                    // Attributes of `other` evaluate in other's context, with
+                    // the roles swapped so its own `other.` references come
+                    // back to us.
+                    Some(e) => EvalContext {
+                        my: other,
+                        other: Some(self.my),
+                    }
+                    .eval_depth(e, depth + 1),
+                    None => Value::Undefined,
+                },
+                None => Value::Undefined,
+            },
+            Scope::Local => {
+                // Unscoped: current ad first, then the target (per the
+                // original ClassAd matchmaking semantics).
+                if let Some(e) = self.my.get(name) {
+                    return self.eval_depth(e, depth + 1);
+                }
+                if let Some(other) = self.other {
+                    if let Some(e) = other.get(name) {
+                        return EvalContext {
+                            my: other,
+                            other: Some(self.my),
+                        }
+                        .eval_depth(e, depth + 1);
+                    }
+                }
+                Value::Undefined
+            }
+        }
+    }
+
+    fn eval_binary(&self, op: BinOp, lhs: &Expr, rhs: &Expr, depth: usize) -> Value {
+        // Non-strict operators first.
+        match op {
+            BinOp::And => {
+                let l = self.eval_depth(lhs, depth + 1);
+                return match l {
+                    Value::Bool(false) => Value::Bool(false),
+                    Value::Bool(true) => coerce_logical(self.eval_depth(rhs, depth + 1)),
+                    Value::Undefined => match coerce_logical(self.eval_depth(rhs, depth + 1)) {
+                        Value::Bool(false) => Value::Bool(false),
+                        Value::Error => Value::Error,
+                        _ => Value::Undefined,
+                    },
+                    _ => Value::Error,
+                };
+            }
+            BinOp::Or => {
+                let l = self.eval_depth(lhs, depth + 1);
+                return match l {
+                    Value::Bool(true) => Value::Bool(true),
+                    Value::Bool(false) => coerce_logical(self.eval_depth(rhs, depth + 1)),
+                    Value::Undefined => match coerce_logical(self.eval_depth(rhs, depth + 1)) {
+                        Value::Bool(true) => Value::Bool(true),
+                        Value::Error => Value::Error,
+                        _ => Value::Undefined,
+                    },
+                    _ => Value::Error,
+                };
+            }
+            BinOp::Is => {
+                let l = self.eval_depth(lhs, depth + 1);
+                let r = self.eval_depth(rhs, depth + 1);
+                return Value::Bool(l.is_identical(&r));
+            }
+            BinOp::Isnt => {
+                let l = self.eval_depth(lhs, depth + 1);
+                let r = self.eval_depth(rhs, depth + 1);
+                return Value::Bool(!l.is_identical(&r));
+            }
+            _ => {}
+        }
+
+        // Strict operators propagate undefined/error.
+        let l = self.eval_depth(lhs, depth + 1);
+        let r = self.eval_depth(rhs, depth + 1);
+        if l.is_undefined() || r.is_undefined() {
+            return Value::Undefined;
+        }
+        if l.is_error() || r.is_error() {
+            return Value::Error;
+        }
+        match op {
+            BinOp::Eq => match l.partial_cmp_classad(&r) {
+                Some(ord) => Value::Bool(ord == Ordering::Equal),
+                None => Value::Error,
+            },
+            BinOp::Ne => match l.partial_cmp_classad(&r) {
+                Some(ord) => Value::Bool(ord != Ordering::Equal),
+                None => Value::Error,
+            },
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => match l.partial_cmp_classad(&r) {
+                Some(ord) => Value::Bool(match op {
+                    BinOp::Lt => ord == Ordering::Less,
+                    BinOp::Le => ord != Ordering::Greater,
+                    BinOp::Gt => ord == Ordering::Greater,
+                    BinOp::Ge => ord != Ordering::Less,
+                    _ => unreachable!(),
+                }),
+                None => Value::Error,
+            },
+            BinOp::Add => arith(l, r, |a, b| a.checked_add(b), |a, b| a + b),
+            BinOp::Sub => arith(l, r, |a, b| a.checked_sub(b), |a, b| a - b),
+            BinOp::Mul => arith(l, r, |a, b| a.checked_mul(b), |a, b| a * b),
+            BinOp::Div => match (&l, &r) {
+                (Value::Int(_), Value::Int(0)) => Value::Error,
+                _ => arith(l, r, |a, b| a.checked_div(b), |a, b| a / b),
+            },
+            BinOp::Mod => match (&l, &r) {
+                (Value::Int(_), Value::Int(0)) => Value::Error,
+                _ => arith(l, r, |a, b| a.checked_rem(b), |a, b| a % b),
+            },
+            BinOp::And | BinOp::Or | BinOp::Is | BinOp::Isnt => unreachable!(),
+        }
+    }
+}
+
+/// Coerces a logical operand: booleans pass through, undefined passes
+/// through, everything else is an error.
+fn coerce_logical(v: Value) -> Value {
+    match v {
+        Value::Bool(_) | Value::Undefined => v,
+        _ => Value::Error,
+    }
+}
+
+/// Arithmetic with int→real promotion. String `+` concatenates, matching the
+/// common ClassAd extension used in ad templates.
+fn arith(
+    l: Value,
+    r: Value,
+    int_op: impl Fn(i64, i64) -> Option<i64>,
+    real_op: impl Fn(f64, f64) -> f64,
+) -> Value {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => match int_op(a, b) {
+            Some(v) => Value::Int(v),
+            None => Value::Error,
+        },
+        (Value::Int(a), Value::Real(b)) => Value::Real(real_op(a as f64, b)),
+        (Value::Real(a), Value::Int(b)) => Value::Real(real_op(a, b as f64)),
+        (Value::Real(a), Value::Real(b)) => Value::Real(real_op(a, b)),
+        _ => Value::Error,
+    }
+}
+
+fn eval_unary(op: UnOp, v: Value) -> Value {
+    match op {
+        UnOp::Not => match v {
+            Value::Bool(b) => Value::Bool(!b),
+            Value::Undefined => Value::Undefined,
+            _ => Value::Error,
+        },
+        UnOp::Neg => match v {
+            Value::Int(i) => i.checked_neg().map_or(Value::Error, Value::Int),
+            Value::Real(r) => Value::Real(-r),
+            Value::Undefined => Value::Undefined,
+            _ => Value::Error,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_ad, parse_expr};
+
+    fn ev(src: &str) -> Value {
+        let ad = ClassAd::new();
+        EvalContext::new(&ad).eval(&parse_expr(src).unwrap())
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(ev("2 + 3 * 4"), Value::Int(14));
+        assert_eq!(ev("10 / 4"), Value::Int(2));
+        assert_eq!(ev("10.0 / 4"), Value::Real(2.5));
+        assert_eq!(ev("7 % 3"), Value::Int(1));
+        assert_eq!(ev("-5 + 2"), Value::Int(-3));
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        assert_eq!(ev("1 / 0"), Value::Error);
+        assert_eq!(ev("1 % 0"), Value::Error);
+    }
+
+    #[test]
+    fn integer_overflow_is_error() {
+        assert_eq!(ev("9223372036854775807 + 1"), Value::Error);
+    }
+
+    #[test]
+    fn undefined_propagates_through_strict_ops() {
+        assert_eq!(ev("missing + 1"), Value::Undefined);
+        assert_eq!(ev("missing == 1"), Value::Undefined);
+        assert_eq!(ev("missing < 1"), Value::Undefined);
+    }
+
+    #[test]
+    fn and_or_are_non_strict() {
+        assert_eq!(ev("false && missing"), Value::Bool(false));
+        assert_eq!(ev("true || missing"), Value::Bool(true));
+        assert_eq!(ev("missing && false"), Value::Bool(false));
+        assert_eq!(ev("missing || true"), Value::Bool(true));
+        assert_eq!(ev("missing && true"), Value::Undefined);
+        assert_eq!(ev("missing || false"), Value::Undefined);
+    }
+
+    #[test]
+    fn is_isnt_identity() {
+        assert_eq!(ev("undefined is undefined"), Value::Bool(true));
+        assert_eq!(ev("missing is undefined"), Value::Bool(true));
+        assert_eq!(ev("1 is 1.0"), Value::Bool(false));
+        assert_eq!(ev("\"A\" is \"a\""), Value::Bool(false));
+        assert_eq!(ev("\"A\" == \"a\""), Value::Bool(true));
+        assert_eq!(ev("1 isnt 2"), Value::Bool(true));
+    }
+
+    #[test]
+    fn conditional_semantics() {
+        assert_eq!(ev("true ? 1 : 2"), Value::Int(1));
+        assert_eq!(ev("false ? 1 : 2"), Value::Int(2));
+        assert_eq!(ev("missing ? 1 : 2"), Value::Undefined);
+        assert_eq!(ev("3 ? 1 : 2"), Value::Error);
+    }
+
+    #[test]
+    fn attribute_chains_resolve() {
+        let ad = parse_ad("[ a = b + 1; b = c * 2; c = 10 ]").unwrap();
+        assert_eq!(ad.eval("a"), Value::Int(21));
+    }
+
+    #[test]
+    fn cyclic_attributes_are_error() {
+        let ad = parse_ad("[ a = b; b = a ]").unwrap();
+        assert_eq!(ad.eval("a"), Value::Error);
+    }
+
+    #[test]
+    fn scoped_resolution_between_two_ads() {
+        let server = parse_ad("[ FreeMb = 512; ok = other.NeedMb <= my.FreeMb ]").unwrap();
+        let job = parse_ad("[ NeedMb = 100 ]").unwrap();
+        assert_eq!(server.eval_against("ok", &job), Value::Bool(true));
+        let greedy = parse_ad("[ NeedMb = 1000 ]").unwrap();
+        assert_eq!(server.eval_against("ok", &greedy), Value::Bool(false));
+    }
+
+    #[test]
+    fn unscoped_falls_through_to_target() {
+        // `NeedMb` is not in the server ad; unscoped lookup falls through to
+        // the job ad.
+        let server = parse_ad("[ ok = NeedMb == 7 ]").unwrap();
+        let job = parse_ad("[ NeedMb = 7 ]").unwrap();
+        assert_eq!(server.eval_against("ok", &job), Value::Bool(true));
+    }
+
+    #[test]
+    fn cross_ad_reference_cycles_terminate() {
+        let a = parse_ad("[ r = other.r ]").unwrap();
+        let b = parse_ad("[ r = other.r ]").unwrap();
+        assert_eq!(a.eval_against("r", &b), Value::Error);
+    }
+
+    #[test]
+    fn list_indexing() {
+        assert_eq!(ev("{10, 20, 30}[1]"), Value::Int(20));
+        assert_eq!(ev("{10}[5]"), Value::Error);
+        assert_eq!(ev("{10}[-1]"), Value::Error);
+    }
+
+    #[test]
+    fn nested_ad_selection() {
+        let ad = parse_ad("[ inner = [ x = 2 + 2 ]; y = inner.x * 10 ]").unwrap();
+        assert_eq!(ad.eval("y"), Value::Int(40));
+    }
+
+    #[test]
+    fn string_equality_case_insensitive_ordering_lexicographic() {
+        assert_eq!(ev("\"abc\" < \"abd\""), Value::Bool(true));
+        assert_eq!(ev("\"ABC\" == \"abc\""), Value::Bool(true));
+    }
+
+    #[test]
+    fn logical_ops_on_non_booleans_error() {
+        assert_eq!(ev("1 && true"), Value::Error);
+        assert_eq!(ev("true && 1"), Value::Error);
+        assert_eq!(ev("!3"), Value::Error);
+    }
+
+    #[test]
+    fn negation_of_min_int_is_error() {
+        assert_eq!(ev("-(-9223372036854775807 - 1)"), Value::Error);
+    }
+}

@@ -1,0 +1,455 @@
+//! Tokenizer for the ClassAd concrete syntax.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    // Literals
+    Int(i64),
+    Real(f64),
+    Str(String),
+    /// Identifier or keyword (keywords are resolved by the parser because
+    /// ClassAd reserved words are case-insensitive).
+    Ident(String),
+
+    // Punctuation
+    LBracket, // [
+    RBracket, // ]
+    LBrace,   // {
+    RBrace,   // }
+    LParen,   // (
+    RParen,   // )
+    Semi,     // ;
+    Comma,    // ,
+    Dot,      // .
+    Assign,   // =
+    Question, // ?
+    Colon,    // :
+
+    // Operators
+    OrOr,    // ||
+    AndAnd,  // &&
+    Not,     // !
+    Eq,      // ==
+    Ne,      // !=
+    Lt,      // <
+    Le,      // <=
+    Gt,      // >
+    Ge,      // >=
+    Plus,    // +
+    Minus,   // -
+    Star,    // *
+    Slash,   // /
+    Percent, // %
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Int(i) => write!(f, "{}", i),
+            Token::Real(r) => write!(f, "{}", r),
+            Token::Str(s) => write!(f, "\"{}\"", s),
+            Token::Ident(s) => write!(f, "{}", s),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Semi => write!(f, ";"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Assign => write!(f, "="),
+            Token::Question => write!(f, "?"),
+            Token::Colon => write!(f, ":"),
+            Token::OrOr => write!(f, "||"),
+            Token::AndAnd => write!(f, "&&"),
+            Token::Not => write!(f, "!"),
+            Token::Eq => write!(f, "=="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+        }
+    }
+}
+
+/// A lexical error with byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset into the source.
+    pub pos: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a ClassAd source string.
+///
+/// Comments: `//` to end of line and `/* ... */` (non-nesting) are skipped.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            pos: start,
+                            msg: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            b']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            b'{' => {
+                out.push(Token::LBrace);
+                i += 1;
+            }
+            b'}' => {
+                out.push(Token::RBrace);
+                i += 1;
+            }
+            b'(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            b';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            b',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            b'?' => {
+                out.push(Token::Question);
+                i += 1;
+            }
+            b':' => {
+                out.push(Token::Colon);
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            b'/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            b'%' => {
+                out.push(Token::Percent);
+                i += 1;
+            }
+            b'|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    out.push(Token::OrOr);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        pos: i,
+                        msg: "expected '||'".into(),
+                    });
+                }
+            }
+            b'&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    out.push(Token::AndAnd);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        pos: i,
+                        msg: "expected '&&'".into(),
+                    });
+                }
+            }
+            b'=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Eq);
+                    i += 2;
+                } else {
+                    out.push(Token::Assign);
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Not);
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'"' => {
+                let (s, next) = lex_string(src, i)?;
+                out.push(Token::Str(s));
+                i = next;
+            }
+            b'.' if bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) => {
+                let (tok, next) = lex_number(src, i)?;
+                out.push(tok);
+                i = next;
+            }
+            b'.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            b'0'..=b'9' => {
+                let (tok, next) = lex_number(src, i)?;
+                out.push(tok);
+                i = next;
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(src[start..i].to_owned()));
+            }
+            _ => {
+                return Err(LexError {
+                    pos: i,
+                    msg: format!("unexpected character {:?}", src[i..].chars().next()),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_string(src: &str, start: usize) -> Result<(String, usize), LexError> {
+    let bytes = src.as_bytes();
+    debug_assert_eq!(bytes[start], b'"');
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Ok((out, i + 1)),
+            b'\\' => {
+                let esc = bytes.get(i + 1).ok_or(LexError {
+                    pos: i,
+                    msg: "dangling escape".into(),
+                })?;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    _ => {
+                        return Err(LexError {
+                            pos: i,
+                            msg: format!("unknown escape '\\{}'", *esc as char),
+                        })
+                    }
+                }
+                i += 2;
+            }
+            _ => {
+                // Copy one UTF-8 char.
+                let c = src[i..].chars().next().unwrap();
+                out.push(c);
+                i += c.len_utf8();
+            }
+        }
+    }
+    Err(LexError {
+        pos: start,
+        msg: "unterminated string literal".into(),
+    })
+}
+
+fn lex_number(src: &str, start: usize) -> Result<(Token, usize), LexError> {
+    let bytes = src.as_bytes();
+    let mut i = start;
+    let mut is_real = false;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+        is_real = true;
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    } else if i < bytes.len() && bytes[i] == b'.' && start < i {
+        // Trailing dot as in "2." — treat as real.
+        is_real = true;
+        i += 1;
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            is_real = true;
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let text = &src[start..i];
+    if is_real {
+        text.parse::<f64>()
+            .map(|r| (Token::Real(r), i))
+            .map_err(|e| LexError {
+                pos: start,
+                msg: format!("bad real literal {:?}: {}", text, e),
+            })
+    } else {
+        text.parse::<i64>()
+            .map(|n| (Token::Int(n), i))
+            .map_err(|e| LexError {
+                pos: start,
+                msg: format!("bad integer literal {:?}: {}", text, e),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_basic_tokens() {
+        let toks = tokenize("[ a = 1; b = 2.5 ]").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::LBracket,
+                Token::Ident("a".into()),
+                Token::Assign,
+                Token::Int(1),
+                Token::Semi,
+                Token::Ident("b".into()),
+                Token::Assign,
+                Token::Real(2.5),
+                Token::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        let toks = tokenize("a && b || !c == d != e <= f >= g").unwrap();
+        assert!(toks.contains(&Token::AndAnd));
+        assert!(toks.contains(&Token::OrOr));
+        assert!(toks.contains(&Token::Not));
+        assert!(toks.contains(&Token::Eq));
+        assert!(toks.contains(&Token::Ne));
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Ge));
+    }
+
+    #[test]
+    fn lex_string_with_escapes() {
+        let toks = tokenize(r#""a\"b\n""#).unwrap();
+        assert_eq!(toks, vec![Token::Str("a\"b\n".into())]);
+    }
+
+    #[test]
+    fn lex_comments() {
+        let toks = tokenize("1 // comment\n + /* block */ 2").unwrap();
+        assert_eq!(toks, vec![Token::Int(1), Token::Plus, Token::Int(2)]);
+    }
+
+    #[test]
+    fn lex_scientific_notation() {
+        let toks = tokenize("1e3 2.5E-2").unwrap();
+        assert_eq!(toks, vec![Token::Real(1000.0), Token::Real(0.025)]);
+    }
+
+    #[test]
+    fn lex_unterminated_string_is_error() {
+        assert!(tokenize("\"abc").is_err());
+    }
+
+    #[test]
+    fn lex_single_ampersand_is_error() {
+        assert!(tokenize("a & b").is_err());
+    }
+
+    #[test]
+    fn lex_dot_between_idents() {
+        let toks = tokenize("other.FreeSpace").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("other".into()),
+                Token::Dot,
+                Token::Ident("FreeSpace".into()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! # nest-classad
+//!
+//! An implementation of the ClassAd (Classified Advertisement) language used
+//! by the Condor high-throughput computing system, as required by NeST for
+//! three purposes:
+//!
+//! 1. **Resource discovery** — a NeST periodically publishes an ad describing
+//!    its available storage, protocols, and load into a matchmaker.
+//! 2. **Access control** — NeST ACLs are built on collections of ClassAds.
+//! 3. **Matchmaking** — the global execution manager matches job ads against
+//!    storage ads bilaterally (both `requirements` expressions must be
+//!    satisfied), then ranks candidates with `rank`.
+//!
+//! The dialect implemented here follows the "new ClassAds" concrete syntax:
+//!
+//! ```text
+//! [
+//!   Type = "Storage";
+//!   FreeSpace = 40 * 1024 * 1024;
+//!   Protocols = { "chirp", "http", "nfs" };
+//!   Requirements = other.Type == "Job" && other.NeedSpace <= my.FreeSpace;
+//!   Rank = other.Priority
+//! ]
+//! ```
+//!
+//! Expressions follow ClassAd three-valued logic: every strict operator
+//! propagates `undefined` and `error`, while `&&`, `||` and the `is`/`isnt`
+//! operators are non-strict, exactly as in the ClassAd specification.
+//!
+//! ## Example
+//!
+//! ```
+//! use nest_classad::{ClassAd, Value};
+//!
+//! let server: ClassAd = "[ Type = \"Storage\"; FreeMb = 512; \
+//!     Requirements = other.NeedMb <= my.FreeMb ]".parse().unwrap();
+//! let job: ClassAd = "[ Type = \"Job\"; NeedMb = 100; \
+//!     Requirements = other.Type == \"Storage\" ]".parse().unwrap();
+//! assert!(nest_classad::matches(&server, &job));
+//! ```
+
+pub mod ast;
+pub mod builtins;
+pub mod eval;
+pub mod lexer;
+pub mod matchmaker;
+pub mod parser;
+pub mod value;
+
+pub use ast::Expr;
+pub use eval::EvalContext;
+pub use matchmaker::{matches, rank, Matchmaker};
+pub use parser::{parse_ad, parse_expr, ParseError};
+pub use value::Value;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// A ClassAd: an ordered mapping from case-insensitive attribute names to
+/// expressions.
+///
+/// Attribute names preserve their original spelling for display but compare
+/// case-insensitively, per the ClassAd specification.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClassAd {
+    /// Map from lower-cased attribute name to (original spelling, expression).
+    attrs: BTreeMap<String, (String, Expr)>,
+}
+
+impl ClassAd {
+    /// Creates an empty ad.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts an attribute, replacing any previous binding with the same
+    /// (case-insensitive) name.
+    pub fn insert(&mut self, name: impl Into<String>, expr: Expr) {
+        let name = name.into();
+        self.attrs.insert(name.to_ascii_lowercase(), (name, expr));
+    }
+
+    /// Convenience: inserts a literal value.
+    pub fn insert_value(&mut self, name: impl Into<String>, value: Value) {
+        self.insert(name, Expr::Literal(value));
+    }
+
+    /// Looks up an attribute expression by case-insensitive name.
+    pub fn get(&self, name: &str) -> Option<&Expr> {
+        self.attrs.get(&name.to_ascii_lowercase()).map(|(_, e)| e)
+    }
+
+    /// Removes an attribute; returns the removed expression if present.
+    pub fn remove(&mut self, name: &str) -> Option<Expr> {
+        self.attrs
+            .remove(&name.to_ascii_lowercase())
+            .map(|(_, e)| e)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True if the ad has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Iterates over `(original_name, expr)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Expr)> {
+        self.attrs.values().map(|(n, e)| (n.as_str(), e))
+    }
+
+    /// Evaluates the named attribute in the context of this ad alone.
+    pub fn eval(&self, name: &str) -> Value {
+        let ctx = EvalContext::new(self);
+        ctx.eval_attr(name)
+    }
+
+    /// Evaluates an arbitrary expression in the context of this ad alone.
+    pub fn eval_expr(&self, expr: &Expr) -> Value {
+        EvalContext::new(self).eval(expr)
+    }
+
+    /// Evaluates the named attribute with `other`/`target` bound to another
+    /// ad, as during matchmaking.
+    pub fn eval_against(&self, name: &str, other: &ClassAd) -> Value {
+        EvalContext::with_target(self, other).eval_attr(name)
+    }
+}
+
+impl fmt::Display for ClassAd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[ ")?;
+        let mut first = true;
+        for (name, expr) in self.iter() {
+            if !first {
+                write!(f, "; ")?;
+            }
+            first = false;
+            write!(f, "{} = {}", name, expr)?;
+        }
+        write!(f, " ]")
+    }
+}
+
+impl FromStr for ClassAd {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_ad(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get_case_insensitive() {
+        let mut ad = ClassAd::new();
+        ad.insert_value("FreeSpace", Value::Int(42));
+        assert_eq!(ad.get("freespace"), Some(&Expr::Literal(Value::Int(42))));
+        assert_eq!(ad.get("FREESPACE"), Some(&Expr::Literal(Value::Int(42))));
+        assert!(ad.get("missing").is_none());
+    }
+
+    #[test]
+    fn insert_replaces_previous_binding() {
+        let mut ad = ClassAd::new();
+        ad.insert_value("X", Value::Int(1));
+        ad.insert_value("x", Value::Int(2));
+        assert_eq!(ad.len(), 1);
+        assert_eq!(ad.eval("X"), Value::Int(2));
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let src = r#"[ A = 1; B = "two"; C = A + 1 ]"#;
+        let ad: ClassAd = src.parse().unwrap();
+        let printed = ad.to_string();
+        let reparsed: ClassAd = printed.parse().unwrap();
+        assert_eq!(ad, reparsed);
+    }
+
+    #[test]
+    fn remove_attribute() {
+        let mut ad = ClassAd::new();
+        ad.insert_value("A", Value::Int(1));
+        assert!(ad.remove("a").is_some());
+        assert!(ad.is_empty());
+        assert!(ad.remove("a").is_none());
+    }
+
+    #[test]
+    fn eval_simple_arithmetic_attr() {
+        let ad: ClassAd = "[ A = 2 * 3 + 4 ]".parse().unwrap();
+        assert_eq!(ad.eval("A"), Value::Int(10));
+    }
+}

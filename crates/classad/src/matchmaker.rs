@@ -1,0 +1,205 @@
+//! Bilateral matchmaking over collections of ClassAds.
+//!
+//! This is the discovery half of NeST's grid-awareness: a NeST publishes a
+//! storage ad (`Type = "Storage"`) into a matchmaker; execution managers
+//! submit request ads and receive the best-ranked matching storage ad, just
+//! as the paper's Section 6 scenario describes.
+
+use crate::value::Value;
+use crate::ClassAd;
+
+/// True when the two ads match bilaterally: each ad's `Requirements`
+/// expression must evaluate to `true` in a context where `other` refers to
+/// the counterpart ad. A missing `Requirements` counts as satisfied, matching
+/// the Condor matchmaker convention.
+pub fn matches(a: &ClassAd, b: &ClassAd) -> bool {
+    half_matches(a, b) && half_matches(b, a)
+}
+
+fn half_matches(me: &ClassAd, other: &ClassAd) -> bool {
+    match me.get("requirements") {
+        None => true,
+        Some(_) => me.eval_against("requirements", other) == Value::Bool(true),
+    }
+}
+
+/// Evaluates `a.Rank` against `b`, as a real number. Missing or non-numeric
+/// ranks are 0.0, matching the Condor convention.
+pub fn rank(a: &ClassAd, b: &ClassAd) -> f64 {
+    a.eval_against("rank", b).as_number().unwrap_or(0.0)
+}
+
+/// An in-memory ad collection supporting publish/expire/query, modelled on
+/// the Condor collector that NeST advertises into.
+#[derive(Debug, Default)]
+pub struct Matchmaker {
+    ads: Vec<PublishedAd>,
+}
+
+#[derive(Debug)]
+struct PublishedAd {
+    /// Publisher-chosen unique key; re-publishing under the same key
+    /// replaces the previous ad (NeST republishes periodically).
+    key: String,
+    ad: ClassAd,
+}
+
+impl Matchmaker {
+    /// Creates an empty matchmaker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes (or refreshes) an ad under a unique key.
+    pub fn publish(&mut self, key: impl Into<String>, ad: ClassAd) {
+        let key = key.into();
+        if let Some(existing) = self.ads.iter_mut().find(|p| p.key == key) {
+            existing.ad = ad;
+        } else {
+            self.ads.push(PublishedAd { key, ad });
+        }
+    }
+
+    /// Removes an ad by key. Returns true if one was present.
+    pub fn withdraw(&mut self, key: &str) -> bool {
+        let before = self.ads.len();
+        self.ads.retain(|p| p.key != key);
+        self.ads.len() != before
+    }
+
+    /// Number of published ads.
+    pub fn len(&self) -> usize {
+        self.ads.len()
+    }
+
+    /// True if no ads are published.
+    pub fn is_empty(&self) -> bool {
+        self.ads.is_empty()
+    }
+
+    /// Returns the published ad for a key, if any.
+    pub fn lookup(&self, key: &str) -> Option<&ClassAd> {
+        self.ads.iter().find(|p| p.key == key).map(|p| &p.ad)
+    }
+
+    /// Returns every published ad that bilaterally matches the request.
+    pub fn query(&self, request: &ClassAd) -> Vec<(&str, &ClassAd)> {
+        self.ads
+            .iter()
+            .filter(|p| matches(&p.ad, request))
+            .map(|p| (p.key.as_str(), &p.ad))
+            .collect()
+    }
+
+    /// Returns the matching ad the *request* ranks highest; ties break by
+    /// the published ad's own rank of the request, then publish order.
+    pub fn best_match(&self, request: &ClassAd) -> Option<(&str, &ClassAd)> {
+        let mut best: Option<(&PublishedAd, f64, f64)> = None;
+        for p in &self.ads {
+            if !matches(&p.ad, request) {
+                continue;
+            }
+            let req_rank = rank(request, &p.ad);
+            let ad_rank = rank(&p.ad, request);
+            let better = match &best {
+                None => true,
+                Some((_, br, bar)) => req_rank > *br || (req_rank == *br && ad_rank > *bar),
+            };
+            if better {
+                best = Some((p, req_rank, ad_rank));
+            }
+        }
+        best.map(|(p, _, _)| (p.key.as_str(), &p.ad))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_ad;
+
+    fn storage(name: &str, free_mb: i64) -> ClassAd {
+        parse_ad(&format!(
+            r#"[ Type = "Storage"; Name = "{}"; FreeMb = {};
+                 Requirements = other.Type == "StorageRequest" && other.NeedMb <= my.FreeMb;
+                 Rank = 0 ]"#,
+            name, free_mb
+        ))
+        .unwrap()
+    }
+
+    fn request(need_mb: i64) -> ClassAd {
+        parse_ad(&format!(
+            r#"[ Type = "StorageRequest"; NeedMb = {};
+                 Requirements = other.Type == "Storage";
+                 Rank = other.FreeMb ]"#,
+            need_mb
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn bilateral_match_requires_both_sides() {
+        let s = storage("a", 100);
+        let r = request(50);
+        assert!(matches(&s, &r));
+        let too_big = request(500);
+        assert!(!matches(&s, &too_big));
+        // One-sided failure: request requires Type == "Storage".
+        let not_storage = parse_ad(r#"[ Type = "Compute" ]"#).unwrap();
+        assert!(!matches(&not_storage, &r));
+    }
+
+    #[test]
+    fn missing_requirements_matches_anything_compatible() {
+        let a = parse_ad("[ x = 1 ]").unwrap();
+        let b = parse_ad("[ y = 2 ]").unwrap();
+        assert!(matches(&a, &b));
+    }
+
+    #[test]
+    fn undefined_requirements_do_not_match() {
+        let a = parse_ad("[ Requirements = other.nothing == 1 ]").unwrap();
+        let b = parse_ad("[ x = 1 ]").unwrap();
+        assert!(!matches(&a, &b));
+    }
+
+    #[test]
+    fn best_match_prefers_highest_request_rank() {
+        let mut mm = Matchmaker::new();
+        mm.publish("small", storage("small", 100));
+        mm.publish("big", storage("big", 10_000));
+        let (key, ad) = mm.best_match(&request(50)).unwrap();
+        assert_eq!(key, "big");
+        assert_eq!(ad.eval("FreeMb"), Value::Int(10_000));
+    }
+
+    #[test]
+    fn query_returns_all_matches() {
+        let mut mm = Matchmaker::new();
+        mm.publish("a", storage("a", 100));
+        mm.publish("b", storage("b", 200));
+        mm.publish("c", storage("c", 10));
+        assert_eq!(mm.query(&request(50)).len(), 2);
+        assert_eq!(mm.query(&request(5)).len(), 3);
+        assert_eq!(mm.query(&request(50_000)).len(), 0);
+    }
+
+    #[test]
+    fn republish_replaces_and_withdraw_removes() {
+        let mut mm = Matchmaker::new();
+        mm.publish("a", storage("a", 100));
+        mm.publish("a", storage("a", 999));
+        assert_eq!(mm.len(), 1);
+        assert_eq!(mm.lookup("a").unwrap().eval("FreeMb"), Value::Int(999));
+        assert!(mm.withdraw("a"));
+        assert!(!mm.withdraw("a"));
+        assert!(mm.is_empty());
+    }
+
+    #[test]
+    fn no_match_returns_none() {
+        let mm = Matchmaker::new();
+        assert!(mm.best_match(&request(1)).is_none());
+    }
+}

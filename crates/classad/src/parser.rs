@@ -1,0 +1,483 @@
+//! Recursive-descent parser for ClassAd expressions and ads.
+
+use crate::ast::{BinOp, Expr, Scope, UnOp};
+use crate::lexer::{tokenize, LexError, Token};
+use crate::value::Value;
+use crate::ClassAd;
+use std::fmt;
+
+/// Errors produced while parsing ClassAd text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// A syntax error with a description and token index.
+    Syntax { at: usize, msg: String },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{}", e),
+            ParseError::Syntax { at, msg } => write!(f, "syntax error at token {}: {}", at, msg),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+/// Parses a complete ClassAd: `[ name = expr ; ... ]`.
+pub fn parse_ad(src: &str) -> Result<ClassAd, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let ad = p.ad()?;
+    p.expect_eof()?;
+    Ok(ad)
+}
+
+/// Parses a single expression.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::Syntax {
+            at: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == tok => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.err(format!("expected '{}', found '{}'", tok, t))),
+            None => Err(self.err(format!("expected '{}', found end of input", tok))),
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(self.err(format!("trailing input starting at '{}'", t))),
+        }
+    }
+
+    fn ad(&mut self) -> Result<ClassAd, ParseError> {
+        self.expect(&Token::LBracket)?;
+        let mut ad = ClassAd::new();
+        loop {
+            match self.peek() {
+                Some(Token::RBracket) => {
+                    self.pos += 1;
+                    return Ok(ad);
+                }
+                Some(Token::Semi) => {
+                    // Tolerate stray/trailing semicolons.
+                    self.pos += 1;
+                }
+                Some(Token::Ident(_)) => {
+                    let name = match self.bump() {
+                        Some(Token::Ident(n)) => n,
+                        _ => unreachable!(),
+                    };
+                    self.expect(&Token::Assign)?;
+                    let expr = self.expr()?;
+                    ad.insert(name, expr);
+                    match self.peek() {
+                        Some(Token::Semi) => {
+                            self.pos += 1;
+                        }
+                        Some(Token::RBracket) => {}
+                        Some(t) => {
+                            return Err(self.err(format!(
+                                "expected ';' or ']' after attribute, found '{}'",
+                                t
+                            )))
+                        }
+                        None => return Err(self.err("unterminated classad")),
+                    }
+                }
+                Some(t) => return Err(self.err(format!("expected attribute name, found '{}'", t))),
+                None => return Err(self.err("unterminated classad")),
+            }
+        }
+    }
+
+    /// expr := or_expr [ '?' expr ':' expr ]
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.binary(1)?;
+        if self.peek() == Some(&Token::Question) {
+            self.pos += 1;
+            let then = self.expr()?;
+            self.expect(&Token::Colon)?;
+            let els = self.expr()?;
+            Ok(Expr::Cond(Box::new(cond), Box::new(then), Box::new(els)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    /// Precedence-climbing binary expression parser.
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek_binop() {
+                Some(op) if op.precedence() >= min_prec => op,
+                _ => return Ok(lhs),
+            };
+            self.consume_binop(op);
+            let rhs = self.binary(op.precedence() + 1)?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn peek_binop(&self) -> Option<BinOp> {
+        match self.peek()? {
+            Token::OrOr => Some(BinOp::Or),
+            Token::AndAnd => Some(BinOp::And),
+            Token::Eq => Some(BinOp::Eq),
+            Token::Ne => Some(BinOp::Ne),
+            Token::Lt => Some(BinOp::Lt),
+            Token::Le => Some(BinOp::Le),
+            Token::Gt => Some(BinOp::Gt),
+            Token::Ge => Some(BinOp::Ge),
+            Token::Plus => Some(BinOp::Add),
+            Token::Minus => Some(BinOp::Sub),
+            Token::Star => Some(BinOp::Mul),
+            Token::Slash => Some(BinOp::Div),
+            Token::Percent => Some(BinOp::Mod),
+            Token::Ident(s) if s.eq_ignore_ascii_case("is") => Some(BinOp::Is),
+            Token::Ident(s) if s.eq_ignore_ascii_case("isnt") => Some(BinOp::Isnt),
+            _ => None,
+        }
+    }
+
+    fn consume_binop(&mut self, _op: BinOp) {
+        self.pos += 1;
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Token::Not) => {
+                self.pos += 1;
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)))
+            }
+            Some(Token::Minus) => {
+                self.pos += 1;
+                let inner = self.unary()?;
+                // Fold negation of numeric literals so `-1` parses as the
+                // literal -1, making Display/parse a fixpoint.
+                Ok(match inner {
+                    Expr::Literal(Value::Int(i)) => match i.checked_neg() {
+                        Some(n) => Expr::Literal(Value::Int(n)),
+                        None => Expr::Unary(UnOp::Neg, Box::new(Expr::Literal(Value::Int(i)))),
+                    },
+                    Expr::Literal(Value::Real(r)) => Expr::Literal(Value::Real(-r)),
+                    other => Expr::Unary(UnOp::Neg, Box::new(other)),
+                })
+            }
+            Some(Token::Plus) => {
+                // Unary plus is a no-op.
+                self.pos += 1;
+                self.unary()
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    /// Handles subscripting and selection suffixes: `a[0].b[1]`.
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                Some(Token::LBracket) => {
+                    // Only a subscript when the base is not an ad literal
+                    // start: primary() already consumed ads, so this is a
+                    // subscript.
+                    self.pos += 1;
+                    let idx = self.expr()?;
+                    self.expect(&Token::RBracket)?;
+                    e = Expr::Index(Box::new(e), Box::new(idx));
+                }
+                Some(Token::Dot) => {
+                    self.pos += 1;
+                    match self.bump() {
+                        Some(Token::Ident(name)) => {
+                            e = Expr::Select(Box::new(e), name);
+                        }
+                        other => {
+                            return Err(self.err(format!(
+                                "expected attribute name after '.', found {:?}",
+                                other
+                            )))
+                        }
+                    }
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Int(i)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Int(i)))
+            }
+            Some(Token::Real(r)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Real(r)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::LBrace) => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(&Token::RBrace) {
+                    self.pos += 1;
+                    return Ok(Expr::List(items));
+                }
+                loop {
+                    items.push(self.expr()?);
+                    match self.bump() {
+                        Some(Token::Comma) => continue,
+                        Some(Token::RBrace) => return Ok(Expr::List(items)),
+                        other => {
+                            return Err(self
+                                .err(format!("expected ',' or '}}' in list, found {:?}", other)))
+                        }
+                    }
+                }
+            }
+            Some(Token::LBracket) => {
+                let ad = self.ad()?;
+                Ok(Expr::Ad(Box::new(ad)))
+            }
+            Some(Token::Ident(name)) => {
+                self.pos += 1;
+                // Keywords.
+                let lower = name.to_ascii_lowercase();
+                match lower.as_str() {
+                    "true" => return Ok(Expr::Literal(Value::Bool(true))),
+                    "false" => return Ok(Expr::Literal(Value::Bool(false))),
+                    "undefined" => return Ok(Expr::Literal(Value::Undefined)),
+                    "error" => return Ok(Expr::Literal(Value::Error)),
+                    _ => {}
+                }
+                // Scope prefixes: my.x, self.x, other.x, target.x.
+                if matches!(lower.as_str(), "my" | "self" | "other" | "target")
+                    && self.peek() == Some(&Token::Dot)
+                {
+                    self.pos += 1; // consume '.'
+                    match self.bump() {
+                        Some(Token::Ident(attr)) => {
+                            let scope = if lower == "my" || lower == "self" {
+                                Scope::My
+                            } else {
+                                Scope::Other
+                            };
+                            return Ok(Expr::Attr(scope, attr));
+                        }
+                        other => {
+                            return Err(self.err(format!(
+                                "expected attribute after scope '{}', found {:?}",
+                                name, other
+                            )))
+                        }
+                    }
+                }
+                // Function call.
+                if self.peek() == Some(&Token::LParen) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if self.peek() == Some(&Token::RParen) {
+                        self.pos += 1;
+                        return Ok(Expr::Call(name, args));
+                    }
+                    loop {
+                        args.push(self.expr()?);
+                        match self.bump() {
+                            Some(Token::Comma) => continue,
+                            Some(Token::RParen) => return Ok(Expr::Call(name, args)),
+                            other => {
+                                return Err(self.err(format!(
+                                    "expected ',' or ')' in call, found {:?}",
+                                    other
+                                )))
+                            }
+                        }
+                    }
+                }
+                Ok(Expr::Attr(Scope::Local, name))
+            }
+            Some(t) => Err(self.err(format!("unexpected token '{}'", t))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(
+            e,
+            Expr::bin(
+                BinOp::Add,
+                Expr::lit(1i64),
+                Expr::bin(BinOp::Mul, Expr::lit(2i64), Expr::lit(3i64))
+            )
+        );
+    }
+
+    #[test]
+    fn parse_left_associativity() {
+        let e = parse_expr("10 - 4 - 3").unwrap();
+        assert_eq!(
+            e,
+            Expr::bin(
+                BinOp::Sub,
+                Expr::bin(BinOp::Sub, Expr::lit(10i64), Expr::lit(4i64)),
+                Expr::lit(3i64)
+            )
+        );
+    }
+
+    #[test]
+    fn parse_conditional() {
+        let e = parse_expr("a > 1 ? \"big\" : \"small\"").unwrap();
+        match e {
+            Expr::Cond(..) => {}
+            other => panic!("expected conditional, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn parse_scoped_attrs() {
+        assert_eq!(
+            parse_expr("other.FreeSpace").unwrap(),
+            Expr::Attr(Scope::Other, "FreeSpace".into())
+        );
+        assert_eq!(
+            parse_expr("MY.load").unwrap(),
+            Expr::Attr(Scope::My, "load".into())
+        );
+        assert_eq!(
+            parse_expr("target.x").unwrap(),
+            Expr::Attr(Scope::Other, "x".into())
+        );
+    }
+
+    #[test]
+    fn parse_call_and_list() {
+        let e = parse_expr("member(\"nfs\", { \"chirp\", \"nfs\" })").unwrap();
+        match e {
+            Expr::Call(name, args) => {
+                assert_eq!(name, "member");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("expected call, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn parse_nested_ad() {
+        let ad = parse_ad("[ inner = [ x = 1 ]; y = inner.x ]").unwrap();
+        assert!(ad.get("inner").is_some());
+        assert!(matches!(ad.get("y"), Some(Expr::Select(_, _))));
+    }
+
+    #[test]
+    fn parse_is_isnt_keywords() {
+        let e = parse_expr("x is undefined").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::Is, _, _)));
+        let e = parse_expr("x ISNT error").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::Isnt, _, _)));
+    }
+
+    #[test]
+    fn parse_boolean_keywords_case_insensitive() {
+        assert_eq!(parse_expr("TRUE").unwrap(), Expr::lit(true));
+        assert_eq!(parse_expr("False").unwrap(), Expr::lit(false));
+    }
+
+    #[test]
+    fn parse_subscript() {
+        let e = parse_expr("protocols[0]").unwrap();
+        assert!(matches!(e, Expr::Index(_, _)));
+    }
+
+    #[test]
+    fn parse_empty_ad_and_empty_list() {
+        assert!(parse_ad("[ ]").unwrap().is_empty());
+        assert_eq!(parse_expr("{}").unwrap(), Expr::List(vec![]));
+    }
+
+    #[test]
+    fn parse_trailing_semicolon_tolerated() {
+        let ad = parse_ad("[ a = 1; ]").unwrap();
+        assert_eq!(ad.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_reported() {
+        assert!(parse_ad("[ a = ]").is_err());
+        assert!(parse_expr("1 +").is_err());
+        assert!(parse_expr("(1").is_err());
+        assert!(parse_ad("[ a = 1").is_err());
+    }
+
+    #[test]
+    fn parse_unary_chain() {
+        let e = parse_expr("!!true").unwrap();
+        assert!(matches!(e, Expr::Unary(UnOp::Not, _)));
+        // Negation folds into numeric literals.
+        assert_eq!(parse_expr("-3").unwrap(), Expr::lit(-3i64));
+        assert_eq!(parse_expr("--3").unwrap(), Expr::lit(3i64));
+        // ...but not into non-literals.
+        let e = parse_expr("-x").unwrap();
+        assert!(matches!(e, Expr::Unary(UnOp::Neg, _)));
+    }
+}

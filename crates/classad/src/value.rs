@@ -1,0 +1,276 @@
+//! Runtime values produced by ClassAd expression evaluation.
+
+use crate::ClassAd;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The result of evaluating a ClassAd expression.
+///
+/// ClassAds are dynamically typed with two distinguished non-values:
+/// `Undefined` (an attribute reference did not resolve) and `Error` (a type
+/// error or other fault occurred). Strict operators propagate both.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The distinguished "undefined" value.
+    Undefined,
+    /// The distinguished "error" value.
+    Error,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A double-precision real.
+    Real(f64),
+    /// A string.
+    Str(String),
+    /// A list of values.
+    List(Vec<Value>),
+    /// A nested ClassAd.
+    Ad(Box<ClassAd>),
+}
+
+impl Value {
+    /// Constructs a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// True for `Undefined`.
+    pub fn is_undefined(&self) -> bool {
+        matches!(self, Value::Undefined)
+    }
+
+    /// True for `Error`.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Value::Error)
+    }
+
+    /// True for `Undefined` or `Error` (values that strict operators
+    /// propagate).
+    pub fn is_exceptional(&self) -> bool {
+        self.is_undefined() || self.is_error()
+    }
+
+    /// Extracts a boolean, if this value is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extracts an integer, if this value is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Extracts a numeric value as f64 (ints promote).
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Real(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Extracts a string slice, if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The ClassAd type name of this value, used in diagnostics and by the
+    /// `is`/`isnt` identity operators.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Undefined => "undefined",
+            Value::Error => "error",
+            Value::Bool(_) => "boolean",
+            Value::Int(_) => "integer",
+            Value::Real(_) => "real",
+            Value::Str(_) => "string",
+            Value::List(_) => "list",
+            Value::Ad(_) => "classad",
+        }
+    }
+
+    /// Numeric comparison helper implementing ClassAd ordering semantics:
+    /// numbers compare numerically with int→real promotion; strings compare
+    /// case-insensitively (per the ClassAd spec for `==` etc.); booleans
+    /// compare as false < true. Returns `None` when the two values are not
+    /// comparable (which evaluates to `Error` for ordering operators).
+    pub fn partial_cmp_classad(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Int(a), Value::Real(b)) => (*a as f64).partial_cmp(b),
+            (Value::Real(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Real(a), Value::Real(b)) => a.partial_cmp(b),
+            (Value::Str(a), Value::Str(b)) => {
+                Some(a.to_ascii_lowercase().cmp(&b.to_ascii_lowercase()))
+            }
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// The `is` operator: exact identity including type, with
+    /// `undefined is undefined` true. Strings compare case-sensitively here,
+    /// unlike `==`.
+    pub fn is_identical(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Undefined, Value::Undefined) => true,
+            (Value::Error, Value::Error) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Real(a), Value::Real(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::List(a), Value::List(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.is_identical(y))
+            }
+            (Value::Ad(a), Value::Ad(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(r: f64) -> Self {
+        Value::Real(r)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+/// Escapes a string for ClassAd string-literal syntax.
+pub(crate) fn escape_str(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Undefined => write!(f, "undefined"),
+            Value::Error => write!(f, "error"),
+            Value::Bool(b) => write!(f, "{}", b),
+            Value::Int(i) => write!(f, "{}", i),
+            Value::Real(r) => {
+                // Always print a decimal point or exponent so the literal
+                // reparses as a real, not an integer.
+                if r.fract() == 0.0 && r.is_finite() && r.abs() < 1e15 {
+                    write!(f, "{:.1}", r)
+                } else {
+                    write!(f, "{}", r)
+                }
+            }
+            Value::Str(s) => {
+                let mut buf = String::with_capacity(s.len() + 2);
+                escape_str(s, &mut buf);
+                write!(f, "\"{}\"", buf)
+            }
+            Value::List(items) => {
+                write!(f, "{{ ")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", item)?;
+                }
+                write!(f, " }}")
+            }
+            Value::Ad(ad) => write!(f, "{}", ad),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Undefined.type_name(), "undefined");
+        assert_eq!(Value::Int(1).type_name(), "integer");
+        assert_eq!(Value::Real(1.0).type_name(), "real");
+        assert_eq!(Value::str("x").type_name(), "string");
+    }
+
+    #[test]
+    fn mixed_numeric_comparison_promotes() {
+        assert_eq!(
+            Value::Int(2).partial_cmp_classad(&Value::Real(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Real(3.0).partial_cmp_classad(&Value::Int(3)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn string_comparison_is_case_insensitive() {
+        assert_eq!(
+            Value::str("ABC").partial_cmp_classad(&Value::str("abc")),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn incomparable_types_return_none() {
+        assert_eq!(Value::Int(1).partial_cmp_classad(&Value::str("1")), None);
+        assert_eq!(Value::Bool(true).partial_cmp_classad(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn is_identical_distinguishes_case_and_type() {
+        assert!(Value::Undefined.is_identical(&Value::Undefined));
+        assert!(!Value::str("A").is_identical(&Value::str("a")));
+        assert!(!Value::Int(1).is_identical(&Value::Real(1.0)));
+    }
+
+    #[test]
+    fn display_real_keeps_decimal_point() {
+        assert_eq!(Value::Real(2.0).to_string(), "2.0");
+        assert_eq!(Value::Real(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn display_string_escapes() {
+        assert_eq!(Value::str("a\"b\\c\n").to_string(), r#""a\"b\\c\n""#);
+    }
+}

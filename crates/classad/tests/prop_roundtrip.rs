@@ -1,0 +1,148 @@
+//! Property-based tests: any expression tree we can generate prints to
+//! concrete syntax that reparses to the identical tree, and evaluation is a
+//! pure function of the tree.
+
+use nest_classad::ast::{BinOp, Expr, Scope, UnOp};
+use nest_classad::{parse_ad, parse_expr, ClassAd, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Undefined),
+        Just(Value::Error),
+        any::<bool>().prop_map(Value::Bool),
+        // i64::MIN is excluded: its magnitude has no positive literal form,
+        // so `-9223372036854775808` cannot be tokenized (documented edge).
+        ((i64::MIN + 1)..=i64::MAX).prop_map(Value::Int),
+        // Finite reals only: NaN/inf have no literal syntax.
+        (-1.0e12..1.0e12f64).prop_map(Value::Real),
+        "[a-zA-Z0-9 _.-]{0,12}".prop_map(Value::Str),
+    ]
+}
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // Avoid reserved words (true/false/undefined/error/is/isnt and scope
+    // prefixes) by prefixing.
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| format!("attr_{}", s))
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Or),
+        Just(BinOp::And),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Is),
+        Just(BinOp::Isnt),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Mod),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_value().prop_map(Expr::Literal),
+        arb_ident().prop_map(|n| Expr::Attr(Scope::Local, n)),
+        arb_ident().prop_map(|n| Expr::Attr(Scope::My, n)),
+        arb_ident().prop_map(|n| Expr::Attr(Scope::Other, n)),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::bin(op, l, r)),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::Cond(
+                Box::new(c),
+                Box::new(t),
+                Box::new(e)
+            )),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Expr::List),
+            (arb_ident(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(n, a)| Expr::Call(n, a)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn expr_display_parse_is_a_fixpoint(e in arb_expr()) {
+        // print → parse → print must be a fixpoint. (Direct tree equality
+        // does not hold because the parser folds `-<literal>`, e.g.
+        // Unary(Neg, 1) and Literal(-1) both print as "-1".)
+        let p1 = e.to_string();
+        let r1 = parse_expr(&p1)
+            .unwrap_or_else(|err| panic!("failed to reparse {:?}: {}", p1, err));
+        // r1 is parser-normalized; from here print/parse must be stable.
+        let p2 = r1.to_string();
+        let r2 = parse_expr(&p2)
+            .unwrap_or_else(|err| panic!("failed to reparse {:?}: {}", p2, err));
+        prop_assert_eq!(&r1, &r2);
+        prop_assert_eq!(p2, r2.to_string());
+    }
+
+    #[test]
+    fn ad_display_parse_is_a_fixpoint(
+        attrs in prop::collection::vec((arb_ident(), arb_expr()), 0..6)
+    ) {
+        let mut ad = ClassAd::new();
+        for (name, expr) in attrs {
+            ad.insert(name, expr);
+        }
+        let p1 = ad.to_string();
+        let r1: ClassAd = p1.parse()
+            .unwrap_or_else(|err| panic!("failed to reparse {:?}: {}", p1, err));
+        let p2 = r1.to_string();
+        let r2: ClassAd = p2.parse()
+            .unwrap_or_else(|err| panic!("failed to reparse {:?}: {}", p2, err));
+        prop_assert_eq!(&r1, &r2);
+        prop_assert_eq!(p2, r2.to_string());
+    }
+
+    #[test]
+    fn evaluation_is_deterministic(e in arb_expr()) {
+        let ad = ClassAd::new();
+        prop_assert_eq!(ad.eval_expr(&e), ad.eval_expr(&e));
+    }
+
+    #[test]
+    fn evaluation_never_panics_with_attrs(
+        e in arb_expr(),
+        vals in prop::collection::vec((arb_ident(), arb_value()), 0..4)
+    ) {
+        let mut ad = ClassAd::new();
+        for (name, v) in vals {
+            ad.insert_value(name, v);
+        }
+        // Must not panic; the value itself is unconstrained.
+        let _ = ad.eval_expr(&e);
+    }
+
+    #[test]
+    fn matches_is_symmetric(
+        a_free in 0i64..1000,
+        b_need in 0i64..1000,
+    ) {
+        let a = parse_ad(&format!(
+            "[ FreeMb = {}; Requirements = other.NeedMb <= my.FreeMb ]", a_free)).unwrap();
+        let b = parse_ad(&format!(
+            "[ NeedMb = {}; Requirements = other.FreeMb >= my.NeedMb ]", b_need)).unwrap();
+        prop_assert_eq!(
+            nest_classad::matches(&a, &b),
+            nest_classad::matches(&b, &a)
+        );
+        prop_assert_eq!(nest_classad::matches(&a, &b), b_need <= a_free);
+    }
+}

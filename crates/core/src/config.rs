@@ -1,0 +1,158 @@
+//! Appliance configuration.
+
+use nest_proto::gsi::{GridMap, GsiAuthenticator, SimCa};
+use nest_transfer::manager::{ModelSelection, SchedPolicy};
+use nest_transfer::ModelKind;
+use std::path::PathBuf;
+
+/// What a transfer's scheduling class is keyed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedClass {
+    /// Class = protocol name ("chirp", "nfs", ...), as in the paper.
+    Protocol,
+    /// Class = authenticated local user name (anonymous included), the
+    /// paper's per-user extension. Ticket tables then name users.
+    User,
+}
+
+/// Which physical storage backs the appliance.
+#[derive(Debug, Clone)]
+pub enum BackendKind {
+    /// Main memory (tests, benchmarks, the paper's in-cache workloads).
+    Memory,
+    /// A host directory.
+    LocalFs(PathBuf),
+}
+
+/// Configuration for one NeST instance.
+pub struct NestConfig {
+    /// Appliance name (appears in its published ClassAd).
+    pub name: String,
+    /// Physical storage.
+    pub backend: BackendKind,
+    /// Total bytes under lot management.
+    pub capacity: u64,
+    /// Whether lots are enforced (disable to reproduce the Figure 6
+    /// quota-off baseline or to run an open server).
+    pub enforce_lots: bool,
+    /// Best-effort lot reclamation policy.
+    pub reclaim: nest_storage::ReclaimPolicy,
+    /// Transfer scheduling policy.
+    pub sched: SchedPolicy,
+    /// How flows are grouped into scheduling classes: by protocol (the
+    /// 2002 behavior) or by authenticated user (the paper's announced
+    /// extension: "in the future, we plan to extend this to provide
+    /// preferences on a per-user basis").
+    pub sched_class: SchedClass,
+    /// Concurrency model selection.
+    pub model: ModelSelection,
+    /// Simulated-GSI authenticator (None disables GSI; only anonymous
+    /// access is then possible on every protocol).
+    pub gsi: Option<GsiAuthenticator>,
+    /// Listening ports, 0 for ephemeral. Protocols set to None are not
+    /// served.
+    pub ports: Ports,
+    /// Size of the modelled kernel buffer cache (gray-box cache model).
+    pub cache_bytes: u64,
+}
+
+/// Per-protocol listening ports; `None` disables the protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct Ports {
+    /// Chirp control port.
+    pub chirp: Option<u16>,
+    /// HTTP port.
+    pub http: Option<u16>,
+    /// FTP control port.
+    pub ftp: Option<u16>,
+    /// GridFTP control port.
+    pub gridftp: Option<u16>,
+    /// NFS RPC port (UDP and TCP).
+    pub nfs: Option<u16>,
+    /// IBP depot port (None by default: it is the paper's announced
+    /// extension, opt-in via [`NestConfig::with_ibp`]).
+    pub ibp: Option<u16>,
+}
+
+impl Default for Ports {
+    fn default() -> Self {
+        // Ephemeral everywhere: ideal for tests and co-located instances.
+        Self {
+            chirp: Some(0),
+            http: Some(0),
+            ftp: Some(0),
+            gridftp: Some(0),
+            nfs: Some(0),
+            ibp: None,
+        }
+    }
+}
+
+impl Default for NestConfig {
+    fn default() -> Self {
+        Self {
+            name: "nest".into(),
+            backend: BackendKind::Memory,
+            capacity: 1 << 30,
+            enforce_lots: true,
+            reclaim: nest_storage::ReclaimPolicy::ExpiredFirst,
+            sched: SchedPolicy::Fcfs,
+            sched_class: SchedClass::Protocol,
+            model: ModelSelection::Adaptive(vec![
+                ModelKind::Threads,
+                ModelKind::Processes,
+                ModelKind::Events,
+            ]),
+            gsi: None,
+            ports: Ports::default(),
+            cache_bytes: 256 << 20,
+        }
+    }
+}
+
+impl NestConfig {
+    /// A named in-memory appliance with all protocols on ephemeral ports —
+    /// the configuration tests and examples use.
+    pub fn ephemeral(name: &str) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Attaches a simulated GSI authenticator built from a CA and mapfile.
+    pub fn with_gsi(mut self, ca: SimCa, gridmap: GridMap) -> Self {
+        self.gsi = Some(GsiAuthenticator::new(ca, gridmap));
+        self
+    }
+
+    /// Disables lot enforcement.
+    pub fn without_lots(mut self) -> Self {
+        self.enforce_lots = false;
+        self
+    }
+
+    /// Uses a fixed concurrency model instead of adaptation.
+    pub fn with_fixed_model(mut self, model: ModelKind) -> Self {
+        self.model = ModelSelection::Fixed(model);
+        self
+    }
+
+    /// Uses a scheduling policy.
+    pub fn with_sched(mut self, sched: SchedPolicy) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// Schedules per authenticated user instead of per protocol.
+    pub fn with_per_user_scheduling(mut self) -> Self {
+        self.sched_class = SchedClass::User;
+        self
+    }
+
+    /// Enables the IBP depot listener (ephemeral port).
+    pub fn with_ibp(mut self) -> Self {
+        self.ports.ibp = Some(0);
+        self
+    }
+}

@@ -1,0 +1,879 @@
+//! The dispatcher (paper §2.1): "the main scheduler and macro-request
+//! router in the system ... It examines each client request received by the
+//! protocol layer and routes each appropriately to either the storage or
+//! the transfer manager. Data movement requests are sent to the transfer
+//! manager; all other requests such as resource management and directory
+//! operation requests are handled by the storage manager."
+//!
+//! The dispatcher also "periodically consolidates information about
+//! resource and data availability in the NeST and can publish this
+//! information as a ClassAd into a global scheduling system" —
+//! [`Dispatcher::storage_ad`] builds that ad.
+
+use crate::config::{BackendKind, NestConfig, SchedClass};
+use crate::procpool::SubprocessLauncher;
+use nest_classad::ClassAd;
+use nest_proto::gridftp::{third_party, GridFtpClient};
+use nest_proto::gsi::{AuthError, Credential, GsiAuthenticator};
+use nest_proto::request::{NestError, NestRequest, NestResponse, TransferUrl};
+use nest_storage::acl::{AclEntry, Who};
+use nest_storage::lot::LotError;
+use nest_storage::{
+    AclTable, LocalFsBackend, LotId, MemBackend, Principal, StorageBackend, StorageError,
+    StorageManager, VPath,
+};
+use nest_transfer::cache::CacheModel;
+use nest_transfer::flow::{DataSink, DataSource, FlowMeta};
+use nest_transfer::manager::{TransferConfig, TransferManager, TransferStats};
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+/// Maps storage-layer failures to the protocol-independent error classes.
+pub fn map_storage_error(e: &StorageError) -> NestError {
+    match e {
+        StorageError::Denied => NestError::Denied,
+        StorageError::Path(_) => NestError::BadRequest,
+        StorageError::Lot(LotError::InsufficientSpace { .. }) => NestError::NoSpace,
+        StorageError::Lot(LotError::NoLot(_)) => NestError::NoSpace,
+        StorageError::Lot(LotError::Expired(_)) => NestError::NoSpace,
+        StorageError::Lot(LotError::NotOwner) => NestError::Denied,
+        StorageError::Lot(LotError::NoSuchLot(_)) => NestError::NotFound,
+        StorageError::Io(e) => match e.kind() {
+            io::ErrorKind::NotFound => NestError::NotFound,
+            io::ErrorKind::AlreadyExists => NestError::Exists,
+            io::ErrorKind::DirectoryNotEmpty | io::ErrorKind::InvalidInput => NestError::Invalid,
+            _ => NestError::Internal,
+        },
+    }
+}
+
+/// The dispatcher: one per appliance, shared by every protocol handler.
+pub struct Dispatcher {
+    /// Appliance name (for ads and logs).
+    pub name: String,
+    storage: Arc<StorageManager>,
+    transfers: TransferManager,
+    cache: Arc<CacheModel>,
+    gsi: Option<GsiAuthenticator>,
+    /// Credential used for *outbound* connections during third-party
+    /// transfers (simulated delegation).
+    service_cred: Option<Credential>,
+    /// How flows map to scheduling classes.
+    sched_class: SchedClass,
+    /// Where ACLs persist across restarts (disk-backed appliances only):
+    /// a sibling file of the storage root, outside the served namespace.
+    acl_store: Option<std::path::PathBuf>,
+    /// Where lots persist across restarts (disk-backed appliances only).
+    lot_store: Option<std::path::PathBuf>,
+}
+
+impl Dispatcher {
+    /// Builds the appliance internals from a configuration.
+    pub fn new(config: &NestConfig) -> io::Result<Self> {
+        let mut acl_store = None;
+        let mut lot_store = None;
+        let backend: Arc<dyn StorageBackend> = match &config.backend {
+            BackendKind::Memory => Arc::new(MemBackend::new()),
+            BackendKind::LocalFs(root) => {
+                // ACLs and lots persist in sibling files, outside the
+                // namespace clients can reach.
+                let mut store = root.clone().into_os_string();
+                store.push(".acls");
+                acl_store = Some(std::path::PathBuf::from(store));
+                let mut store = root.clone().into_os_string();
+                store.push(".lots");
+                lot_store = Some(std::path::PathBuf::from(store));
+                Arc::new(LocalFsBackend::new(root)?)
+            }
+        };
+        let acl = match &acl_store {
+            Some(path) if path.exists() => {
+                let text = std::fs::read_to_string(path)?;
+                load_acls(&text)
+            }
+            _ => AclTable::open_by_default(),
+        };
+        let mut storage = StorageManager::new(backend, acl, config.capacity, config.reclaim);
+        if !config.enforce_lots {
+            storage = storage.with_lots_disabled();
+        }
+        if let Some(path) = &lot_store {
+            if path.exists() {
+                let text = std::fs::read_to_string(path)?;
+                storage = storage.with_lot_state(&text);
+            }
+        }
+        let transfers = TransferManager::new(TransferConfig {
+            policy: config.sched.clone(),
+            model: config.model.clone(),
+            chunk_size: 64 * 1024,
+            process_launcher: Arc::new(SubprocessLauncher::new()),
+        });
+        Ok(Self {
+            name: config.name.clone(),
+            storage: Arc::new(storage),
+            transfers,
+            cache: Arc::new(CacheModel::new(config.cache_bytes)),
+            gsi: config.gsi.clone(),
+            service_cred: None,
+            sched_class: config.sched_class,
+            acl_store,
+            lot_store,
+        })
+    }
+
+    /// The scheduling class for a flow: protocol or user, per config.
+    fn class_for(&self, who: &Principal, protocol: &str) -> String {
+        match self.sched_class {
+            SchedClass::Protocol => protocol.to_owned(),
+            SchedClass::User => who.user.clone(),
+        }
+    }
+
+    /// Sets the credential used for outbound third-party legs.
+    pub fn set_service_credential(&mut self, cred: Credential) {
+        self.service_cred = Some(cred);
+    }
+
+    /// The storage manager (tests and the grid example inspect it).
+    pub fn storage(&self) -> &Arc<StorageManager> {
+        &self.storage
+    }
+
+    /// Transfer statistics (per class / per model).
+    pub fn transfer_stats(&self) -> TransferStats {
+        self.transfers.stats()
+    }
+
+    /// The gray-box cache model.
+    pub fn cache(&self) -> &Arc<CacheModel> {
+        &self.cache
+    }
+
+    /// Authenticates a GSI credential, returning the mapped principal.
+    pub fn authenticate(&self, cred: &Credential) -> Result<Principal, AuthError> {
+        match &self.gsi {
+            None => Err(AuthError::BadCredential),
+            Some(auth) => {
+                let user = auth.authenticate(cred)?;
+                Ok(self.storage.acl().resolve(&user))
+            }
+        }
+    }
+
+    // -- synchronous (storage manager) requests ----------------------------
+
+    /// Executes a non-transfer request synchronously against the storage
+    /// manager, per the paper's control flow. Transfer requests return
+    /// `BadRequest` here — handlers must use the transfer entry points.
+    pub fn execute_sync(&self, who: &Principal, protocol: &str, req: &NestRequest) -> NestResponse {
+        let sm = &self.storage;
+        let result: Result<NestResponse, StorageError> = (|| {
+            Ok(match req {
+                NestRequest::Mkdir { path } => {
+                    sm.mkdir(who, protocol, &VPath::parse(path)?)?;
+                    NestResponse::Ok
+                }
+                NestRequest::Rmdir { path } => {
+                    sm.rmdir(who, protocol, &VPath::parse(path)?)?;
+                    NestResponse::Ok
+                }
+                NestRequest::ListDir { path } => {
+                    NestResponse::OkText(sm.list(who, protocol, &VPath::parse(path)?)?)
+                }
+                NestRequest::Stat { path } => {
+                    let st = sm.stat(who, protocol, &VPath::parse(path)?)?;
+                    NestResponse::OkSize(st.size)
+                }
+                NestRequest::Delete { path } => {
+                    let vpath = VPath::parse(path)?;
+                    sm.remove(who, protocol, &vpath)?;
+                    self.cache.invalidate(&vpath.to_string());
+                    NestResponse::Ok
+                }
+                NestRequest::Rename { from, to } => {
+                    let from = VPath::parse(from)?;
+                    let to = VPath::parse(to)?;
+                    sm.rename(who, protocol, &from, &to)?;
+                    self.cache.invalidate(&from.to_string());
+                    NestResponse::Ok
+                }
+                NestRequest::LotCreate { capacity, duration } => {
+                    let id = sm.lot_create(who, *capacity, *duration)?;
+                    NestResponse::OkLot(id.0)
+                }
+                NestRequest::LotCreateGroup {
+                    group,
+                    capacity,
+                    duration,
+                } => {
+                    let id = sm.lot_create_group(who, group, *capacity, *duration)?;
+                    NestResponse::OkLot(id.0)
+                }
+                NestRequest::LotRenew { id, extra } => {
+                    sm.lot_renew(who, LotId(*id), *extra)?;
+                    NestResponse::Ok
+                }
+                NestRequest::LotTerminate { id } => {
+                    sm.lot_terminate(who, LotId(*id))?;
+                    NestResponse::Ok
+                }
+                NestRequest::LotStat { id } => {
+                    let lot = sm.lot_stat(who, LotId(*id))?;
+                    NestResponse::OkText(vec![render_lot(&lot)])
+                }
+                NestRequest::LotList => {
+                    NestResponse::OkText(sm.lot_list(who).iter().map(render_lot).collect())
+                }
+                NestRequest::SetAcl {
+                    path,
+                    principal,
+                    rights,
+                } => {
+                    let dir = VPath::parse(path)?;
+                    let who_spec = parse_who(principal)?;
+                    let mut entries = sm.get_acl(who, protocol, &dir)?;
+                    entries.retain(|e| e.who != who_spec);
+                    if !rights.is_empty() && rights != "none" {
+                        entries.push(AclEntry::new(who_spec, rights));
+                    }
+                    sm.set_acl(who, protocol, &dir, entries)?;
+                    self.persist_acls();
+                    NestResponse::Ok
+                }
+                NestRequest::GetAcl { path } => {
+                    let entries = sm.get_acl(who, protocol, &VPath::parse(path)?)?;
+                    NestResponse::OkText(
+                        entries
+                            .iter()
+                            .map(|e| format!("{} {}", e.who, e.rights_string()))
+                            .collect(),
+                    )
+                }
+                NestRequest::Get { .. }
+                | NestRequest::Put { .. }
+                | NestRequest::ThirdParty { .. }
+                | NestRequest::Quit => NestResponse::Error(NestError::BadRequest),
+            })
+        })();
+        let resp = match result {
+            Ok(resp) => resp,
+            Err(e) => NestResponse::Error(map_storage_error(&e)),
+        };
+        // Lot state changes on lot requests and on deletes/renames (which
+        // move or release charges); persist after any of them succeeds.
+        if !matches!(resp, NestResponse::Error(_))
+            && matches!(
+                req,
+                NestRequest::LotCreate { .. }
+                    | NestRequest::LotCreateGroup { .. }
+                    | NestRequest::LotRenew { .. }
+                    | NestRequest::LotTerminate { .. }
+                    | NestRequest::Delete { .. }
+                    | NestRequest::Rename { .. }
+            )
+        {
+            self.persist_lots();
+        }
+        resp
+    }
+
+    // -- transfer admission + execution (transfer manager) -----------------
+
+    /// Admits a GET: checks access, returns (path, size, predicted-cached).
+    pub fn admit_get(
+        &self,
+        who: &Principal,
+        protocol: &str,
+        path: &str,
+    ) -> Result<(VPath, u64, bool), NestError> {
+        let vpath = VPath::parse(path).map_err(|_| NestError::BadRequest)?;
+        let size = self
+            .storage
+            .begin_get(who, protocol, &vpath)
+            .map_err(|e| map_storage_error(&e))?;
+        let cached = self.cache.predict_resident(&vpath.to_string(), size);
+        Ok((vpath, size, cached))
+    }
+
+    /// Admits a PUT: checks access, charges lots, creates the file.
+    pub fn admit_put(
+        &self,
+        who: &Principal,
+        protocol: &str,
+        path: &str,
+        size: Option<u64>,
+    ) -> Result<VPath, NestError> {
+        let vpath = VPath::parse(path).map_err(|_| NestError::BadRequest)?;
+        self.storage
+            .begin_put(who, protocol, &vpath, size.unwrap_or(0))
+            .map_err(|e| map_storage_error(&e))?;
+        Ok(vpath)
+    }
+
+    /// Runs an admitted GET through the transfer manager into `sink`.
+    /// Blocks until the transfer completes; returns bytes moved.
+    pub fn transfer_get(
+        &self,
+        who: &Principal,
+        protocol: &str,
+        vpath: &VPath,
+        size: u64,
+        cached: bool,
+        sink: Box<dyn DataSink>,
+    ) -> io::Result<u64> {
+        let class = self.class_for(who, protocol);
+        let mut meta = FlowMeta::new(self.transfers.next_flow_id(), class, Some(size));
+        meta.predicted_cached = cached;
+        let source = Box::new(BackendSource {
+            storage: Arc::clone(&self.storage),
+            path: vpath.clone(),
+            offset: 0,
+            remaining: size,
+        });
+        let handle = self.transfers.submit(meta, source, sink);
+        let moved = handle.wait()?;
+        self.cache.observe_access(&vpath.to_string(), size);
+        Ok(moved)
+    }
+
+    /// Runs an admitted PUT: pumps `source` into the file through the
+    /// transfer manager. Returns bytes stored.
+    pub fn transfer_put(
+        &self,
+        who: &Principal,
+        protocol: &str,
+        vpath: &VPath,
+        source: Box<dyn DataSource>,
+        size: Option<u64>,
+    ) -> io::Result<u64> {
+        let class = self.class_for(who, protocol);
+        let meta = FlowMeta::new(self.transfers.next_flow_id(), class, size);
+        let sink = Box::new(BackendSink {
+            storage: Arc::clone(&self.storage),
+            who: who.clone(),
+            path: vpath.clone(),
+            offset: 0,
+        });
+        let handle = self.transfers.submit(meta, source, sink);
+        let moved = handle.wait()?;
+        self.cache.observe_access(&vpath.to_string(), moved);
+        self.persist_lots();
+        Ok(moved)
+    }
+
+    /// NFS block read: a single block request is itself a scheduled flow,
+    /// which is how cross-protocol policies see NFS traffic.
+    pub fn read_block(
+        &self,
+        who: &Principal,
+        protocol: &str,
+        vpath: &VPath,
+        offset: u64,
+        count: usize,
+    ) -> Result<Vec<u8>, NestError> {
+        // Access check (cheap; also feeds lot LRU).
+        self.storage
+            .begin_get(who, protocol, vpath)
+            .map_err(|e| map_storage_error(&e))?;
+        let meta = FlowMeta::new(
+            self.transfers.next_flow_id(),
+            self.class_for(who, protocol),
+            Some(count as u64),
+        );
+        let source = Box::new(BackendSource {
+            storage: Arc::clone(&self.storage),
+            path: vpath.clone(),
+            offset,
+            remaining: count as u64,
+        });
+        let (sink, rx) = ChannelSink::new();
+        let handle = self.transfers.submit(meta, source, Box::new(sink));
+        handle.wait().map_err(|_| NestError::Internal)?;
+        rx.recv().map_err(|_| NestError::Internal)
+    }
+
+    /// NFS block write, scheduled as a flow like every other transfer.
+    pub fn write_block(
+        &self,
+        who: &Principal,
+        protocol: &str,
+        vpath: &VPath,
+        offset: u64,
+        data: Vec<u8>,
+    ) -> Result<(), NestError> {
+        let meta = FlowMeta::new(
+            self.transfers.next_flow_id(),
+            self.class_for(who, protocol),
+            Some(data.len() as u64),
+        );
+        let source = Box::new(io::Cursor::new(data));
+        let sink = Box::new(BackendSink {
+            storage: Arc::clone(&self.storage),
+            who: who.clone(),
+            path: vpath.clone(),
+            offset,
+        });
+        let handle = self.transfers.submit(meta, source, sink);
+        match handle.wait() {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::StorageFull => Err(NestError::NoSpace),
+            Err(_) => Err(NestError::Internal),
+        }
+    }
+
+    // -- third-party transfers ---------------------------------------------
+
+    /// Orchestrates a GridFTP third-party transfer between two remote
+    /// servers (paper §2.1: "transparent three- and four-party
+    /// transfers"; §6 step 3).
+    pub fn third_party(&self, src: &TransferUrl, dst: &TransferUrl) -> Result<(), NestError> {
+        let mut src_client =
+            GridFtpClient::connect(src.authority()).map_err(|_| NestError::Internal)?;
+        let mut dst_client =
+            GridFtpClient::connect(dst.authority()).map_err(|_| NestError::Internal)?;
+        if let Some(cred) = &self.service_cred {
+            // Best-effort delegation: servers that require auth get it.
+            let _ = src_client.authenticate(cred);
+            let _ = dst_client.authenticate(cred);
+        }
+        third_party(&mut src_client, &src.path, &mut dst_client, &dst.path)
+            .map_err(|_| NestError::Internal)
+    }
+
+    /// Writes the lot table to its persistence file, if disk-backed.
+    /// Public so the server can checkpoint after transfers and admin
+    /// grants.
+    pub fn persist_lots(&self) {
+        let Some(path) = &self.lot_store else {
+            return;
+        };
+        let _ = std::fs::write(path, self.storage.lot_manager().snapshot());
+    }
+
+    /// Writes the ACL table to the persistence file (one ClassAd per
+    /// line), if this appliance is disk-backed.
+    fn persist_acls(&self) {
+        let Some(path) = &self.acl_store else {
+            return;
+        };
+        let mut out = String::new();
+        for ad in self.storage.acl().to_classads() {
+            out.push_str(&ad.to_string());
+            out.push('\n');
+        }
+        // Persistence failures must not fail the client's request; the
+        // in-memory table is still authoritative for this run.
+        let _ = std::fs::write(path, out);
+    }
+
+    // -- resource publication -----------------------------------------------
+
+    /// Builds the storage ad this NeST publishes into a discovery system.
+    pub fn storage_ad(&self, protocols: &[&str]) -> ClassAd {
+        self.storage.storage_ad(&self.name, protocols)
+    }
+
+    /// Shuts the transfer engine down after in-flight work completes.
+    pub fn shutdown(self) {
+        self.transfers.shutdown();
+    }
+}
+
+/// Rebuilds an ACL table from the persistence format (one ClassAd per
+/// line; unparseable lines are skipped so a corrupt line cannot brick the
+/// appliance).
+fn load_acls(text: &str) -> AclTable {
+    let ads: Vec<nest_classad::ClassAd> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| l.parse().ok())
+        .collect();
+    AclTable::from_classads(&ads)
+}
+
+fn render_lot(lot: &nest_storage::Lot) -> String {
+    format!(
+        "{} {} {} {} {}",
+        lot.id.0, lot.owner, lot.capacity, lot.used, lot.expires_at
+    )
+}
+
+fn parse_who(spec: &str) -> Result<Who, StorageError> {
+    if spec == "*" {
+        return Ok(Who::Everyone);
+    }
+    if spec.eq_ignore_ascii_case("anonymous") {
+        return Ok(Who::Anonymous);
+    }
+    if let Some(g) = spec.strip_prefix("group:") {
+        return Ok(Who::Group(g.to_owned()));
+    }
+    Ok(Who::User(
+        spec.strip_prefix("user:").unwrap_or(spec).to_owned(),
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Flow adapters between the storage backend, sockets and the engine
+// ---------------------------------------------------------------------------
+
+/// Reads a byte range of a stored file chunk by chunk.
+pub struct BackendSource {
+    storage: Arc<StorageManager>,
+    path: VPath,
+    offset: u64,
+    remaining: u64,
+}
+
+impl DataSource for BackendSource {
+    fn read_chunk(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.remaining == 0 {
+            return Ok(0);
+        }
+        let want = (buf.len() as u64).min(self.remaining) as usize;
+        let n = self
+            .storage
+            .read_chunk(&self.path, self.offset, &mut buf[..want])
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        self.offset += n as u64;
+        self.remaining -= n as u64;
+        Ok(n)
+    }
+}
+
+/// Writes chunks into a stored file (charging lots as it grows).
+pub struct BackendSink {
+    storage: Arc<StorageManager>,
+    who: Principal,
+    path: VPath,
+    offset: u64,
+}
+
+impl DataSink for BackendSink {
+    fn write_chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        self.storage
+            .write_chunk(&self.who, &self.path, self.offset, data)
+            .map_err(|e| match e {
+                StorageError::Lot(_) => io::Error::new(io::ErrorKind::StorageFull, e.to_string()),
+                other => io::Error::other(other.to_string()),
+            })?;
+        self.offset += data.len() as u64;
+        Ok(())
+    }
+}
+
+/// Reads exactly `remaining` bytes from a stream (socket PUT bodies).
+pub struct LimitedStreamSource<R: Read + Send> {
+    inner: R,
+    remaining: u64,
+}
+
+impl<R: Read + Send> LimitedStreamSource<R> {
+    /// Wraps a reader, limited to `limit` bytes.
+    pub fn new(inner: R, limit: u64) -> Self {
+        Self {
+            inner,
+            remaining: limit,
+        }
+    }
+}
+
+impl<R: Read + Send> DataSource for LimitedStreamSource<R> {
+    fn read_chunk(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.remaining == 0 {
+            return Ok(0);
+        }
+        let want = (buf.len() as u64).min(self.remaining) as usize;
+        let n = self.inner.read(&mut buf[..want])?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "client closed mid-upload",
+            ));
+        }
+        self.remaining -= n as u64;
+        Ok(n)
+    }
+}
+
+/// Reads a stream until EOF (FTP stream-mode STOR).
+pub struct StreamSource<R: Read + Send> {
+    inner: R,
+}
+
+impl<R: Read + Send> StreamSource<R> {
+    /// Wraps a reader.
+    pub fn new(inner: R) -> Self {
+        Self { inner }
+    }
+}
+
+impl<R: Read + Send> DataSource for StreamSource<R> {
+    fn read_chunk(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+/// Writes chunks to a stream (socket GET bodies).
+pub struct StreamSink<W: Write + Send> {
+    inner: W,
+}
+
+impl<W: Write + Send> StreamSink<W> {
+    /// Wraps a writer.
+    pub fn new(inner: W) -> Self {
+        Self { inner }
+    }
+}
+
+impl<W: Write + Send> DataSink for StreamSink<W> {
+    fn write_chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        self.inner.write_all(data)
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Accumulates a flow's bytes and hands them back over a channel when the
+/// flow finishes (used for NFS block reads).
+pub struct ChannelSink {
+    buf: Vec<u8>,
+    tx: Option<crossbeam::channel::Sender<Vec<u8>>>,
+}
+
+impl ChannelSink {
+    /// Creates the sink and its receiving end.
+    pub fn new() -> (Self, crossbeam::channel::Receiver<Vec<u8>>) {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        (
+            Self {
+                buf: Vec::new(),
+                tx: Some(tx),
+            },
+            rx,
+        )
+    }
+}
+
+impl DataSink for ChannelSink {
+    fn write_chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        self.buf.extend_from_slice(data);
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(std::mem::take(&mut self.buf));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dispatcher() -> Dispatcher {
+        Dispatcher::new(&NestConfig::ephemeral("test")).unwrap()
+    }
+
+    fn alice() -> Principal {
+        Principal::user("alice")
+    }
+
+    #[test]
+    fn sync_requests_roundtrip() {
+        let d = dispatcher();
+        let who = alice();
+        assert_eq!(
+            d.execute_sync(&who, "chirp", &NestRequest::Mkdir { path: "/d".into() }),
+            NestResponse::Ok
+        );
+        assert_eq!(
+            d.execute_sync(&who, "chirp", &NestRequest::ListDir { path: "/".into() }),
+            NestResponse::OkText(vec!["d".into()])
+        );
+        assert_eq!(
+            d.execute_sync(&who, "chirp", &NestRequest::Rmdir { path: "/d".into() }),
+            NestResponse::Ok
+        );
+        // Errors map to protocol-independent classes.
+        assert_eq!(
+            d.execute_sync(
+                &who,
+                "chirp",
+                &NestRequest::Stat {
+                    path: "/gone".into()
+                }
+            ),
+            NestResponse::Error(NestError::NotFound)
+        );
+        d.shutdown();
+    }
+
+    #[test]
+    fn lot_lifecycle_through_dispatcher() {
+        let d = dispatcher();
+        let who = alice();
+        let resp = d.execute_sync(
+            &who,
+            "chirp",
+            &NestRequest::LotCreate {
+                capacity: 1000,
+                duration: 3600,
+            },
+        );
+        let id = match resp {
+            NestResponse::OkLot(id) => id,
+            other => panic!("{:?}", other),
+        };
+        assert_eq!(
+            d.execute_sync(&who, "chirp", &NestRequest::LotRenew { id, extra: 60 }),
+            NestResponse::Ok
+        );
+        match d.execute_sync(&who, "chirp", &NestRequest::LotList) {
+            NestResponse::OkText(lines) => assert_eq!(lines.len(), 1),
+            other => panic!("{:?}", other),
+        }
+        assert_eq!(
+            d.execute_sync(&who, "chirp", &NestRequest::LotTerminate { id }),
+            NestResponse::Ok
+        );
+        d.shutdown();
+    }
+
+    #[test]
+    fn put_then_get_via_transfer_manager() {
+        let d = dispatcher();
+        let who = alice();
+        d.execute_sync(
+            &who,
+            "chirp",
+            &NestRequest::LotCreate {
+                capacity: 1 << 20,
+                duration: 3600,
+            },
+        );
+        let payload = vec![42u8; 100_000];
+        let vpath = d
+            .admit_put(&who, "chirp", "/data", Some(payload.len() as u64))
+            .unwrap();
+        let moved = d
+            .transfer_put(
+                &who,
+                "chirp",
+                &vpath,
+                Box::new(io::Cursor::new(payload.clone())),
+                Some(payload.len() as u64),
+            )
+            .unwrap();
+        assert_eq!(moved, payload.len() as u64);
+
+        let (vpath, size, _cached) = d.admit_get(&who, "chirp", "/data").unwrap();
+        assert_eq!(size, payload.len() as u64);
+        let (sink, rx) = ChannelSink::new();
+        d.transfer_get(&who, "chirp", &vpath, size, false, Box::new(sink))
+            .unwrap();
+        assert_eq!(rx.recv().unwrap(), payload);
+        d.shutdown();
+    }
+
+    #[test]
+    fn cache_model_predicts_second_read_resident() {
+        let d = dispatcher();
+        let who = alice();
+        d.execute_sync(
+            &who,
+            "chirp",
+            &NestRequest::LotCreate {
+                capacity: 1 << 20,
+                duration: 3600,
+            },
+        );
+        let vpath = d.admit_put(&who, "chirp", "/hot", Some(1000)).unwrap();
+        d.transfer_put(
+            &who,
+            "chirp",
+            &vpath,
+            Box::new(io::Cursor::new(vec![1u8; 1000])),
+            Some(1000),
+        )
+        .unwrap();
+        // After the put, the cache model holds the file.
+        let (_, _, cached) = d.admit_get(&who, "chirp", "/hot").unwrap();
+        assert!(cached);
+        d.shutdown();
+    }
+
+    #[test]
+    fn nfs_block_read_write_through_flows() {
+        let d = dispatcher();
+        let who = alice();
+        d.execute_sync(
+            &who,
+            "chirp",
+            &NestRequest::LotCreate {
+                capacity: 1 << 20,
+                duration: 3600,
+            },
+        );
+        let vpath = d.admit_put(&who, "nfs", "/blocks", Some(0)).unwrap();
+        d.write_block(&who, "nfs", &vpath, 0, vec![7u8; 8192])
+            .unwrap();
+        d.write_block(&who, "nfs", &vpath, 8192, vec![8u8; 100])
+            .unwrap();
+        let block = d.read_block(&who, "nfs", &vpath, 0, 8192).unwrap();
+        assert_eq!(block, vec![7u8; 8192]);
+        let tail = d.read_block(&who, "nfs", &vpath, 8192, 8192).unwrap();
+        assert_eq!(tail, vec![8u8; 100]);
+        d.shutdown();
+    }
+
+    #[test]
+    fn setacl_getacl_via_common_requests() {
+        let d = dispatcher();
+        let who = alice();
+        assert_eq!(
+            d.execute_sync(
+                &who,
+                "chirp",
+                &NestRequest::SetAcl {
+                    path: "/".into(),
+                    principal: "user:bob".into(),
+                    rights: "rl".into(),
+                }
+            ),
+            NestResponse::Ok
+        );
+        match d.execute_sync(&who, "chirp", &NestRequest::GetAcl { path: "/".into() }) {
+            NestResponse::OkText(lines) => {
+                assert!(lines
+                    .iter()
+                    .any(|l| l.contains("user:bob") && l.contains("rl")));
+            }
+            other => panic!("{:?}", other),
+        }
+        d.shutdown();
+    }
+
+    #[test]
+    fn storage_ad_lists_protocols() {
+        let d = dispatcher();
+        let ad = d.storage_ad(&["chirp", "nfs"]);
+        assert_eq!(ad.eval("Name"), nest_classad::Value::str("test"));
+        d.shutdown();
+    }
+
+    #[test]
+    fn put_without_lot_is_no_space() {
+        let d = dispatcher();
+        match d.admit_put(&alice(), "chirp", "/f", Some(10)) {
+            Err(NestError::NoSpace) => {}
+            other => panic!("{:?}", other),
+        }
+        d.shutdown();
+    }
+}

@@ -1,0 +1,150 @@
+//! NFS file-handle table: opaque 32-byte handles ↔ virtual paths.
+//!
+//! Handles carry a 64-bit id and a generation tag. When a path is removed
+//! and its id later reused, the generation differs and stale handles are
+//! answered with `NFSERR_STALE`, as a correct NFS server must.
+
+use nest_proto::nfs::FileHandle;
+use nest_storage::VPath;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// The handle table.
+#[derive(Debug, Default)]
+pub struct FhTable {
+    inner: Mutex<FhState>,
+}
+
+#[derive(Debug, Default)]
+struct FhState {
+    next_id: u64,
+    generation: u64,
+    by_path: HashMap<VPath, u64>,
+    by_id: HashMap<u64, (VPath, u64)>,
+}
+
+impl FhTable {
+    /// Creates a table whose id 1 is the root directory.
+    pub fn new() -> Self {
+        let table = Self::default();
+        {
+            let mut st = table.inner.lock();
+            st.next_id = 2;
+            st.generation = 1;
+            st.by_path.insert(VPath::root(), 1);
+            st.by_id.insert(1, (VPath::root(), 1));
+        }
+        table
+    }
+
+    /// The root handle (what MOUNT returns).
+    pub fn root(&self) -> FileHandle {
+        FileHandle::from_id(1, 1)
+    }
+
+    /// Returns (allocating if needed) the handle for a path.
+    pub fn handle_for(&self, path: &VPath) -> FileHandle {
+        let mut st = self.inner.lock();
+        if let Some(&id) = st.by_path.get(path) {
+            let generation = st.by_id[&id].1;
+            return FileHandle::from_id(id, generation);
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        let generation = st.generation;
+        st.by_path.insert(path.clone(), id);
+        st.by_id.insert(id, (path.clone(), generation));
+        FileHandle::from_id(id, generation)
+    }
+
+    /// Resolves a handle to its path; `None` for unknown or stale handles.
+    pub fn resolve(&self, fh: &FileHandle) -> Option<VPath> {
+        let st = self.inner.lock();
+        let (path, generation) = st.by_id.get(&fh.id())?;
+        if *generation != fh.generation() {
+            return None;
+        }
+        Some(path.clone())
+    }
+
+    /// Forgets a path (on remove/rmdir); its handles become stale.
+    pub fn forget(&self, path: &VPath) {
+        let mut st = self.inner.lock();
+        if let Some(id) = st.by_path.remove(path) {
+            st.by_id.remove(&id);
+        }
+        // Bump the generation so a recreated file at the same path gets a
+        // distinguishable handle even if ids were ever reused.
+        st.generation += 1;
+    }
+
+    /// Re-keys a path (on rename), keeping the same handle valid.
+    pub fn rename(&self, from: &VPath, to: &VPath) {
+        let mut st = self.inner.lock();
+        if let Some(id) = st.by_path.remove(from) {
+            st.by_path.insert(to.clone(), id);
+            if let Some(entry) = st.by_id.get_mut(&id) {
+                entry.0 = to.clone();
+            }
+        }
+    }
+
+    /// The 32-bit file id NFS attributes report for a path.
+    pub fn fileid(&self, path: &VPath) -> u32 {
+        (self.handle_for(path).id() & 0xFFFF_FFFF) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vp(s: &str) -> VPath {
+        VPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn root_is_stable() {
+        let t = FhTable::new();
+        assert_eq!(t.root(), t.handle_for(&VPath::root()));
+        assert_eq!(t.resolve(&t.root()), Some(VPath::root()));
+    }
+
+    #[test]
+    fn same_path_same_handle() {
+        let t = FhTable::new();
+        let a = t.handle_for(&vp("/f"));
+        let b = t.handle_for(&vp("/f"));
+        assert_eq!(a, b);
+        let c = t.handle_for(&vp("/g"));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn forget_makes_handles_stale() {
+        let t = FhTable::new();
+        let fh = t.handle_for(&vp("/f"));
+        t.forget(&vp("/f"));
+        assert_eq!(t.resolve(&fh), None);
+        // A recreated file gets a fresh handle that resolves.
+        let fh2 = t.handle_for(&vp("/f"));
+        assert_ne!(fh, fh2);
+        assert_eq!(t.resolve(&fh2), Some(vp("/f")));
+    }
+
+    #[test]
+    fn rename_keeps_handle_valid() {
+        let t = FhTable::new();
+        let fh = t.handle_for(&vp("/old"));
+        t.rename(&vp("/old"), &vp("/new"));
+        assert_eq!(t.resolve(&fh), Some(vp("/new")));
+        assert_eq!(t.handle_for(&vp("/new")), fh);
+    }
+
+    #[test]
+    fn fileid_is_stable() {
+        let t = FhTable::new();
+        assert_eq!(t.fileid(&vp("/x")), t.fileid(&vp("/x")));
+        assert_ne!(t.fileid(&vp("/x")), t.fileid(&vp("/y")));
+    }
+}

@@ -1,0 +1,123 @@
+//! The Chirp protocol handler.
+
+use crate::dispatcher::{Dispatcher, LimitedStreamSource, StreamSink};
+use nest_proto::chirp::{format_response, parse_command, status_line, ChirpCommand};
+use nest_proto::request::{NestError, NestRequest, NestResponse};
+use nest_proto::wire::{read_line, write_line};
+use nest_storage::Principal;
+use std::io;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+const PROTOCOL: &str = "chirp";
+
+/// Serves one Chirp connection until QUIT or EOF.
+pub fn handle_conn(dispatcher: &Arc<Dispatcher>, mut stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut who = Principal::anonymous();
+    loop {
+        let Some(line) = read_line(&mut stream)? else {
+            return Ok(());
+        };
+        if line.is_empty() {
+            continue;
+        }
+        match parse_command(&line) {
+            None => {
+                write_line(
+                    &mut stream,
+                    &status_line(&NestResponse::Error(NestError::BadRequest)),
+                )?;
+            }
+            Some(ChirpCommand::Version) => {
+                write_line(&mut stream, "0 nest-chirp/0.9")?;
+            }
+            Some(ChirpCommand::Auth(cred)) => match dispatcher.authenticate(&cred) {
+                Ok(principal) => {
+                    let user = principal.user.clone();
+                    who = principal;
+                    write_line(&mut stream, &format!("0 {}", user))?;
+                }
+                Err(_) => {
+                    write_line(
+                        &mut stream,
+                        &status_line(&NestResponse::Error(NestError::Denied)),
+                    )?;
+                }
+            },
+            Some(ChirpCommand::Request(NestRequest::Quit)) => {
+                write_line(&mut stream, "0 bye")?;
+                return Ok(());
+            }
+            Some(ChirpCommand::Request(NestRequest::Get { path })) => {
+                handle_get(dispatcher, &who, &mut stream, &path)?;
+            }
+            Some(ChirpCommand::Request(NestRequest::Put { path, size })) => {
+                handle_put(dispatcher, &who, &mut stream, &path, size.unwrap_or(0))?;
+            }
+            Some(ChirpCommand::Request(NestRequest::ThirdParty { src, dst })) => {
+                let resp = match dispatcher.third_party(&src, &dst) {
+                    Ok(()) => NestResponse::Ok,
+                    Err(e) => NestResponse::Error(e),
+                };
+                write_line(&mut stream, &status_line(&resp))?;
+            }
+            Some(ChirpCommand::Request(req)) => {
+                let resp = dispatcher.execute_sync(&who, PROTOCOL, &req);
+                for out in format_response(&resp) {
+                    write_line(&mut stream, &out)?;
+                }
+            }
+        }
+    }
+}
+
+fn handle_get(
+    dispatcher: &Arc<Dispatcher>,
+    who: &Principal,
+    stream: &mut TcpStream,
+    path: &str,
+) -> io::Result<()> {
+    match dispatcher.admit_get(who, PROTOCOL, path) {
+        Err(e) => write_line(stream, &status_line(&NestResponse::Error(e))),
+        Ok((vpath, size, cached)) => {
+            write_line(stream, &format!("0 {}", size))?;
+            // The transfer manager moves the bytes; the handler "stops
+            // listening on the client channel" until it finishes.
+            let sink = Box::new(StreamSink::new(stream.try_clone()?));
+            match dispatcher.transfer_get(who, PROTOCOL, &vpath, size, cached, sink) {
+                Ok(_) => Ok(()),
+                // Mid-stream failure: the byte count promise is broken, so
+                // the only safe option is closing the connection.
+                Err(e) => Err(e),
+            }
+        }
+    }
+}
+
+fn handle_put(
+    dispatcher: &Arc<Dispatcher>,
+    who: &Principal,
+    stream: &mut TcpStream,
+    path: &str,
+    size: u64,
+) -> io::Result<()> {
+    match dispatcher.admit_put(who, PROTOCOL, path, Some(size)) {
+        Err(e) => write_line(stream, &status_line(&NestResponse::Error(e))),
+        Ok(vpath) => {
+            write_line(stream, "0 ready")?;
+            let source = Box::new(LimitedStreamSource::new(stream.try_clone()?, size));
+            match dispatcher.transfer_put(who, PROTOCOL, &vpath, source, Some(size)) {
+                Ok(_) => write_line(stream, &status_line(&NestResponse::Ok)),
+                Err(e) if e.kind() == io::ErrorKind::StorageFull => write_line(
+                    stream,
+                    &status_line(&NestResponse::Error(NestError::NoSpace)),
+                ),
+                Err(_) => write_line(
+                    stream,
+                    &status_line(&NestResponse::Error(NestError::Internal)),
+                ),
+            }
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Protocol handlers: the server side of the virtual protocol layer.
+//!
+//! Each handler owns one client connection, performs protocol-specific
+//! authentication ("since the authentication mechanism is protocol
+//! specific, each protocol handler performs its own authentication of
+//! clients"), parses the wire format into the common request interface,
+//! and routes through the shared [`crate::dispatcher::Dispatcher`].
+
+pub mod chirp;
+pub mod ftp;
+pub mod http;
+pub mod ibp;
+pub mod nfs;

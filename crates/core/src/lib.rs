@@ -1,0 +1,33 @@
+//! # nest-core
+//!
+//! The NeST appliance itself (paper §2): the **dispatcher** that routes
+//! macro-requests, the protocol **handlers** that speak Chirp, HTTP, FTP,
+//! GridFTP and NFS over real sockets, and the **server** that binds them
+//! all into one user-level process — "an open-source, user-level,
+//! software-only storage appliance."
+//!
+//! * [`config`] — appliance configuration (storage, scheduling, models,
+//!   authentication, ports).
+//! * [`dispatcher`] — "the main scheduler and macro-request router in the
+//!   system": synchronous storage-manager execution, asynchronous transfer
+//!   hand-off, ClassAd publication, third-party transfer orchestration.
+//! * [`handlers`] — one handler per protocol, each translating its wire
+//!   format to the common request interface and back.
+//! * [`server`] — [`server::NestServer`]: binds every protocol's listener
+//!   (one process, many ports), spawns accept loops, and exposes the bound
+//!   addresses for clients.
+//! * [`fhtable`] — the NFS file-handle table (handle ↔ virtual path, with
+//!   generation tags so deleted files yield `NFSERR_STALE`).
+//! * [`procpool`] — the real child-process launcher behind the process
+//!   concurrency model: flow bytes are piped through a worker process.
+
+pub mod config;
+pub mod dispatcher;
+pub mod fhtable;
+pub mod handlers;
+pub mod procpool;
+pub mod server;
+
+pub use config::NestConfig;
+pub use dispatcher::Dispatcher;
+pub use server::NestServer;

@@ -1,0 +1,180 @@
+//! The real process-model launcher (paper §4.1).
+//!
+//! Rust's standard library cannot pass sockets between processes (no
+//! `SCM_RIGHTS`), so the process model stages each transfer's bytes
+//! *through* a child worker process: a pump thread feeds the flow's source
+//! into the child's stdin while the parent drains the child's stdout into
+//! the flow's sink. The data genuinely crosses a process boundary, so the
+//! model pays real process-dispatch and pipe-copy costs — the properties
+//! the adaptive selector measures. (See the substitution table in
+//! `DESIGN.md`.)
+//!
+//! The worker is any stdin→stdout copier; we use the system `cat`, with a
+//! thread-based fallback when spawning fails (e.g. a stripped container).
+
+use nest_transfer::concurrency::{run_flow, Completion, ModelKind, ProcessLauncher};
+use nest_transfer::flow::Flow;
+use std::io::{Read, Write};
+use std::process::{Command, Stdio};
+use std::time::Instant;
+
+/// Launches flows through child worker processes.
+#[derive(Debug, Default)]
+pub struct SubprocessLauncher {
+    _private: (),
+}
+
+impl SubprocessLauncher {
+    /// Creates a launcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ProcessLauncher for SubprocessLauncher {
+    fn launch(&self, mut flow: Flow, on_done: Box<dyn FnOnce(Completion) + Send>) {
+        std::thread::spawn(move || {
+            let start = Instant::now();
+            let child = Command::new("cat")
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::null())
+                .spawn();
+            let mut child = match child {
+                Ok(c) => c,
+                Err(_) => {
+                    // No worker binary available: degrade to in-process
+                    // execution so the transfer still completes.
+                    let completion = run_flow(flow, ModelKind::Processes, start);
+                    on_done(completion);
+                    return;
+                }
+            };
+            let mut stdin = child.stdin.take().expect("piped stdin");
+            let mut stdout = child.stdout.take().expect("piped stdout");
+
+            // Pump thread: source → child stdin. We split the flow by
+            // stealing its step loop: read chunks from the source here and
+            // write the child's output into the sink below.
+            let (feed_result, drain_result) = {
+                // The Flow owns both ends; temporarily drive them manually.
+                let mut total_in = 0u64;
+                let feeder = std::thread::spawn(move || -> std::io::Result<(Flow, u64)> {
+                    let mut buf = vec![0u8; 64 * 1024];
+                    loop {
+                        let n = flow.source_read(&mut buf)?;
+                        if n == 0 {
+                            break;
+                        }
+                        stdin.write_all(&buf[..n])?;
+                        total_in += n as u64;
+                    }
+                    drop(stdin); // EOF to the child
+                    Ok((flow, total_in))
+                });
+                // Drain child stdout into a buffer on this thread.
+                let mut staged = Vec::new();
+                let drain = stdout.read_to_end(&mut staged);
+                (feeder.join(), drain.map(|_| staged))
+            };
+            let _ = child.wait();
+
+            match (feed_result, drain_result) {
+                (Ok(Ok((mut flow, total_in))), Ok(staged)) => {
+                    // Deliver the staged bytes to the sink in chunks.
+                    let result = (|| -> std::io::Result<()> {
+                        for chunk in staged.chunks(64 * 1024) {
+                            flow.sink_write(chunk)?;
+                        }
+                        flow.sink_finish()
+                    })();
+                    debug_assert_eq!(total_in, staged.len() as u64);
+                    on_done(Completion {
+                        bytes: staged.len() as u64,
+                        meta: flow.meta.clone(),
+                        elapsed: start.elapsed(),
+                        model: ModelKind::Processes,
+                        result,
+                    });
+                }
+                (Ok(Ok((flow, _))), Err(e)) => {
+                    on_done(Completion {
+                        bytes: 0,
+                        meta: flow.meta.clone(),
+                        elapsed: start.elapsed(),
+                        model: ModelKind::Processes,
+                        result: Err(e),
+                    });
+                }
+                (Ok(Err(e)), _) | (Err(_), Err(e)) => {
+                    // We lost the flow inside the feeder; report the error
+                    // with whatever metadata we can reconstruct.
+                    on_done(Completion {
+                        bytes: 0,
+                        meta: nest_transfer::flow::FlowMeta::new(
+                            nest_transfer::flow::FlowId(0),
+                            "unknown",
+                            None,
+                        ),
+                        elapsed: start.elapsed(),
+                        model: ModelKind::Processes,
+                        result: Err(e),
+                    });
+                }
+                (Err(_), Ok(_)) => {
+                    on_done(Completion {
+                        bytes: 0,
+                        meta: nest_transfer::flow::FlowMeta::new(
+                            nest_transfer::flow::FlowId(0),
+                            "unknown",
+                            None,
+                        ),
+                        elapsed: start.elapsed(),
+                        model: ModelKind::Processes,
+                        result: Err(std::io::Error::other("feeder thread panicked")),
+                    });
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nest_transfer::flow::{FlowId, FlowMeta, PatternSource};
+    use std::sync::mpsc;
+
+    #[test]
+    fn data_traverses_worker_process() {
+        let launcher = SubprocessLauncher::new();
+        let flow = Flow::new(
+            FlowMeta::new(FlowId(1), "test", Some(200_000)),
+            Box::new(PatternSource::new(200_000)),
+            Box::new(Vec::new()),
+            8192,
+        );
+        let (tx, rx) = mpsc::channel();
+        launcher.launch(flow, Box::new(move |c| tx.send(c).unwrap()));
+        let c = rx.recv().unwrap();
+        assert_eq!(c.model, ModelKind::Processes);
+        assert!(c.result.is_ok(), "{:?}", c.result);
+        assert_eq!(c.bytes, 200_000);
+    }
+
+    #[test]
+    fn empty_flow_through_process() {
+        let launcher = SubprocessLauncher::new();
+        let flow = Flow::new(
+            FlowMeta::new(FlowId(2), "test", Some(0)),
+            Box::new(PatternSource::new(0)),
+            Box::new(Vec::new()),
+            8192,
+        );
+        let (tx, rx) = mpsc::channel();
+        launcher.launch(flow, Box::new(move |c| tx.send(c).unwrap()));
+        let c = rx.recv().unwrap();
+        assert!(c.result.is_ok());
+        assert_eq!(c.bytes, 0);
+    }
+}

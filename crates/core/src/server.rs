@@ -1,0 +1,229 @@
+//! The NeST server: one user-level process, one listener per protocol.
+
+use crate::config::NestConfig;
+use crate::dispatcher::Dispatcher;
+use crate::fhtable::FhTable;
+use crate::handlers;
+use crate::handlers::ibp::IbpDepot;
+use crate::handlers::nfs::{MountHandler, NfsHandler};
+use nest_proto::nfs::wire::{MOUNT_PROGRAM, MOUNT_VERSION, NFS_PROGRAM, NFS_VERSION};
+use nest_sunrpc::server::{RpcServer, SpawnedRpcServer};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running NeST appliance.
+pub struct NestServer {
+    dispatcher: Arc<Dispatcher>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    rpc: Option<SpawnedRpcServer>,
+    /// Bound Chirp address, if serving.
+    pub chirp_addr: Option<SocketAddr>,
+    /// Bound HTTP address.
+    pub http_addr: Option<SocketAddr>,
+    /// Bound FTP control address.
+    pub ftp_addr: Option<SocketAddr>,
+    /// Bound GridFTP control address.
+    pub gridftp_addr: Option<SocketAddr>,
+    /// Bound NFS RPC address (UDP; TCP serves the same programs).
+    pub nfs_addr: Option<SocketAddr>,
+    /// Bound IBP depot address, when enabled.
+    pub ibp_addr: Option<SocketAddr>,
+}
+
+impl NestServer {
+    /// Starts the appliance: builds the dispatcher and binds every enabled
+    /// protocol listener.
+    pub fn start(config: NestConfig) -> io::Result<Self> {
+        let dispatcher = Arc::new(Dispatcher::new(&config)?);
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+
+        let mut chirp_addr = None;
+        let mut http_addr = None;
+        let mut ftp_addr = None;
+        let mut gridftp_addr = None;
+
+        if let Some(port) = config.ports.chirp {
+            let listener = TcpListener::bind(("127.0.0.1", port))?;
+            chirp_addr = Some(listener.local_addr()?);
+            threads.push(spawn_acceptor(
+                "nest-chirp",
+                listener,
+                Arc::clone(&stop),
+                Arc::clone(&dispatcher),
+                |d, s| {
+                    let _ = handlers::chirp::handle_conn(&d, s);
+                },
+            )?);
+        }
+        if let Some(port) = config.ports.http {
+            let listener = TcpListener::bind(("127.0.0.1", port))?;
+            http_addr = Some(listener.local_addr()?);
+            threads.push(spawn_acceptor(
+                "nest-http",
+                listener,
+                Arc::clone(&stop),
+                Arc::clone(&dispatcher),
+                |d, s| {
+                    let _ = handlers::http::handle_conn(&d, s);
+                },
+            )?);
+        }
+        if let Some(port) = config.ports.ftp {
+            let listener = TcpListener::bind(("127.0.0.1", port))?;
+            ftp_addr = Some(listener.local_addr()?);
+            threads.push(spawn_acceptor(
+                "nest-ftp",
+                listener,
+                Arc::clone(&stop),
+                Arc::clone(&dispatcher),
+                |d, s| {
+                    let _ = handlers::ftp::handle_conn(&d, s, false);
+                },
+            )?);
+        }
+        if let Some(port) = config.ports.gridftp {
+            let listener = TcpListener::bind(("127.0.0.1", port))?;
+            gridftp_addr = Some(listener.local_addr()?);
+            threads.push(spawn_acceptor(
+                "nest-gridftp",
+                listener,
+                Arc::clone(&stop),
+                Arc::clone(&dispatcher),
+                |d, s| {
+                    let _ = handlers::ftp::handle_conn(&d, s, true);
+                },
+            )?);
+        }
+
+        let mut ibp_addr = None;
+        if let Some(port) = config.ports.ibp {
+            let listener = TcpListener::bind(("127.0.0.1", port))?;
+            ibp_addr = Some(listener.local_addr()?);
+            let depot = Arc::new(IbpDepot::new(config.capacity));
+            listener.set_nonblocking(true)?;
+            let stop2 = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("nest-ibp".into())
+                    .spawn(move || {
+                        let mut workers: Vec<JoinHandle<()>> = Vec::new();
+                        while !stop2.load(Ordering::Relaxed) {
+                            match listener.accept() {
+                                Ok((stream, _)) => {
+                                    let _ = stream.set_nonblocking(false);
+                                    let d = Arc::clone(&depot);
+                                    workers.push(std::thread::spawn(move || {
+                                        let _ = handlers::ibp::handle_conn(&d, stream);
+                                    }));
+                                }
+                                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                    std::thread::sleep(Duration::from_millis(5));
+                                }
+                                Err(_) => break,
+                            }
+                            workers.retain(|w| !w.is_finished());
+                        }
+                    })?,
+            );
+        }
+
+        let (rpc, nfs_addr) = if config.ports.nfs.is_some() {
+            let fhs = Arc::new(FhTable::new());
+            let mut rpc_server = RpcServer::new();
+            rpc_server.register(
+                NFS_PROGRAM,
+                NFS_VERSION,
+                NfsHandler::new(Arc::clone(&dispatcher), Arc::clone(&fhs)),
+            );
+            rpc_server.register(MOUNT_PROGRAM, MOUNT_VERSION, MountHandler::new(fhs));
+            let spawned = SpawnedRpcServer::spawn(rpc_server)?;
+            let addr = spawned.udp_addr;
+            (Some(spawned), Some(addr))
+        } else {
+            (None, None)
+        };
+
+        Ok(Self {
+            dispatcher,
+            stop,
+            threads,
+            rpc,
+            chirp_addr,
+            http_addr,
+            ftp_addr,
+            gridftp_addr,
+            nfs_addr,
+            ibp_addr,
+        })
+    }
+
+    /// The appliance's dispatcher (for administration and inspection).
+    pub fn dispatcher(&self) -> &Arc<Dispatcher> {
+        &self.dispatcher
+    }
+
+    /// Administrative helper: grants a default lot to a user without a
+    /// Chirp round trip — "when system administrators grant access to a
+    /// NeST, they can simultaneously make a set of default lots for users."
+    pub fn grant_default_lot(&self, user: &str, capacity: u64, duration: u64) -> io::Result<u64> {
+        self.dispatcher
+            .storage()
+            .admin_grant_lot(
+                nest_storage::lot::LotOwner::User(user.to_owned()),
+                capacity,
+                duration,
+            )
+            .map(|id| {
+                self.dispatcher.persist_lots();
+                id.0
+            })
+            .map_err(|e| io::Error::other(e.to_string()))
+    }
+
+    /// Stops accept loops (established connections finish their current
+    /// request streams and exit on client close).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(rpc) = self.rpc.take() {
+            rpc.shutdown();
+        }
+    }
+}
+
+fn spawn_acceptor(
+    name: &str,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    dispatcher: Arc<Dispatcher>,
+    handler: fn(Arc<Dispatcher>, TcpStream),
+) -> io::Result<JoinHandle<()>> {
+    listener.set_nonblocking(true)?;
+    std::thread::Builder::new()
+        .name(name.to_owned())
+        .spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let _ = stream.set_nonblocking(false);
+                        let d = Arc::clone(&dispatcher);
+                        workers.push(std::thread::spawn(move || handler(d, stream)));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+                workers.retain(|w| !w.is_finished());
+            }
+        })
+}

@@ -1,0 +1,178 @@
+//! Robustness tests: a production appliance must survive hostile input,
+//! abrupt disconnects and concurrent load without wedging or panicking.
+
+use nest_core::config::NestConfig;
+use nest_core::server::NestServer;
+use nest_proto::chirp::ChirpClient;
+use nest_proto::http::HttpClient;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn start() -> NestServer {
+    let server = NestServer::start(NestConfig::ephemeral("robust")).unwrap();
+    server
+        .grant_default_lot("anonymous", 8 << 20, 3600)
+        .unwrap();
+    server
+}
+
+/// Sends raw bytes at a port and ensures the server stays usable after.
+fn throw_garbage(addr: std::net::SocketAddr, garbage: &[u8]) {
+    if let Ok(mut s) = TcpStream::connect(addr) {
+        let _ = s.set_write_timeout(Some(Duration::from_millis(500)));
+        let _ = s.write_all(garbage);
+        // Half of the probes disconnect abruptly, half read first.
+        let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+        let mut buf = [0u8; 256];
+        let _ = s.read(&mut buf);
+    }
+}
+
+#[test]
+fn garbage_bytes_do_not_wedge_any_listener() {
+    let server = start();
+    let garbage_samples: &[&[u8]] = &[
+        b"",
+        b"\0\0\0\0\0\0\0\0",
+        b"\xFF\xFE\xFD\xFC",
+        b"GET / HTTP/9.9\r\n\r\n",
+        b"PUT /x HTTP/1.1\r\nContent-Length: 999999999\r\n\r\nshort",
+        b"lot_create not numbers\n",
+        b"PORT 1,2,3\r\n",
+        b"%%%%%%%%\n\n\n",
+    ];
+    for addr in [
+        server.chirp_addr.unwrap(),
+        server.http_addr.unwrap(),
+        server.ftp_addr.unwrap(),
+        server.gridftp_addr.unwrap(),
+    ] {
+        for g in garbage_samples {
+            throw_garbage(addr, g);
+        }
+    }
+
+    // The server still serves real clients afterwards.
+    let mut http = HttpClient::connect(server.http_addr.unwrap()).unwrap();
+    assert_eq!(http.put_bytes("/alive.txt", b"still here").unwrap(), 201);
+    assert_eq!(http.get_bytes("/alive.txt").unwrap(), b"still here");
+    let mut chirp = ChirpClient::connect(server.chirp_addr.unwrap()).unwrap();
+    assert!(chirp.version().unwrap().contains("nest"));
+    server.shutdown();
+}
+
+#[test]
+fn oversized_line_is_rejected_not_buffered() {
+    let server = start();
+    let mut s = TcpStream::connect(server.chirp_addr.unwrap()).unwrap();
+    // 64 KB without a newline: MAX_LINE is 8 KB, the server must cut us
+    // off rather than buffer forever.
+    let big = vec![b'a'; 64 * 1024];
+    let _ = s.write_all(&big);
+    let _ = s.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut buf = [0u8; 16];
+    // Either an error reply or a closed connection is acceptable;
+    // blocking forever is not (the read timeout converts that to Err,
+    // which the next assertion distinguishes via a live check).
+    let _ = s.read(&mut buf);
+    drop(s);
+
+    let mut chirp = ChirpClient::connect(server.chirp_addr.unwrap()).unwrap();
+    assert!(chirp.version().is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn client_disconnect_mid_upload_leaves_server_healthy() {
+    let server = start();
+    // Promise a 1 MB chirp PUT, send 10 KB, vanish.
+    {
+        let mut s = TcpStream::connect(server.chirp_addr.unwrap()).unwrap();
+        s.write_all(b"put /partial.bin 1048576\r\n").unwrap();
+        let mut line = [0u8; 64];
+        let _ = s.read(&mut line); // "0 ready"
+        s.write_all(&[9u8; 10 * 1024]).unwrap();
+        // Abrupt close.
+    }
+    // Give the transfer engine a moment to observe the EOF.
+    std::thread::sleep(Duration::from_millis(200));
+
+    // The server keeps serving; the half-written file may exist but the
+    // appliance is not stuck and new uploads work.
+    let mut chirp = ChirpClient::connect(server.chirp_addr.unwrap()).unwrap();
+    chirp.put_bytes("/complete.bin", &[1u8; 50_000]).unwrap();
+    assert_eq!(chirp.get_bytes("/complete.bin").unwrap().len(), 50_000);
+    server.shutdown();
+}
+
+#[test]
+fn many_concurrent_clients_across_protocols() {
+    let server = start();
+    let chirp_addr = server.chirp_addr.unwrap();
+    let http_addr = server.http_addr.unwrap();
+
+    let mut handles = Vec::new();
+    for i in 0..6 {
+        handles.push(std::thread::spawn(move || {
+            let mut c = ChirpClient::connect(chirp_addr).unwrap();
+            let name = format!("/c{}.bin", i);
+            let body = vec![i as u8; 30_000];
+            for _ in 0..5 {
+                c.put_bytes(&name, &body).unwrap();
+                assert_eq!(c.get_bytes(&name).unwrap(), body);
+            }
+        }));
+        handles.push(std::thread::spawn(move || {
+            let mut c = HttpClient::connect(http_addr).unwrap();
+            let name = format!("/h{}.bin", i);
+            let body = vec![i as u8; 30_000];
+            for _ in 0..5 {
+                assert_eq!(c.put_bytes(&name, &body).unwrap(), 201);
+                assert_eq!(c.get_bytes(&name).unwrap(), body);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = server.dispatcher().transfer_stats();
+    assert_eq!(stats.failures, 0);
+    assert!(stats.total_bytes() >= 2 * 6 * 5 * 30_000);
+    server.shutdown();
+}
+
+#[test]
+fn path_escape_attempts_rejected_on_the_wire() {
+    let server = start();
+    let mut chirp = ChirpClient::connect(server.chirp_addr.unwrap()).unwrap();
+    for path in ["/../etc/passwd", "/a/../../x", "/.."] {
+        assert!(
+            chirp.stat(path).is_err(),
+            "path {:?} should be rejected",
+            path
+        );
+        assert!(chirp.put_bytes(path, b"x").is_err());
+    }
+    let mut http = HttpClient::connect(server.http_addr.unwrap()).unwrap();
+    assert_ne!(http.put_bytes("/../../etc/cron.d/evil", b"x").unwrap(), 201);
+    server.shutdown();
+}
+
+#[test]
+fn zero_byte_and_exact_boundary_files() {
+    let server = start();
+    let mut chirp = ChirpClient::connect(server.chirp_addr.unwrap()).unwrap();
+    // Empty file.
+    chirp.put_bytes("/empty", b"").unwrap();
+    assert_eq!(chirp.get_bytes("/empty").unwrap(), b"");
+    assert_eq!(chirp.stat("/empty").unwrap(), 0);
+    // Exactly one engine chunk (64 KB) and one byte either side.
+    for size in [64 * 1024 - 1, 64 * 1024, 64 * 1024 + 1] {
+        let body = vec![3u8; size];
+        let name = format!("/b{}", size);
+        chirp.put_bytes(&name, &body).unwrap();
+        assert_eq!(chirp.get_bytes(&name).unwrap(), body, "size {}", size);
+    }
+    server.shutdown();
+}

@@ -1,0 +1,346 @@
+//! A miniature DAG request manager in the spirit of Condor DAGMan.
+//!
+//! The paper (§6): "many of the steps of guaranteeing space, moving input
+//! data, executing jobs, moving output data, and terminating reservations,
+//! can be encapsulated within a request execution manager such as the
+//! Condor Directed-Acyclic-Graph Manager (DAGMan)."
+//!
+//! Nodes are closures; edges are dependencies; ready nodes run in parallel
+//! on scoped threads. A node failure cancels everything downstream of it
+//! (but independent branches still complete), matching DAGMan semantics.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Mutex;
+
+/// Errors from DAG construction or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// An edge names an unknown node.
+    UnknownNode(String),
+    /// The graph has a cycle (detected before execution).
+    Cycle,
+    /// One or more nodes failed; the map holds each failure message, and
+    /// the set holds downstream nodes that were never run.
+    Failed {
+        /// Node name → its error message.
+        errors: Vec<(String, String)>,
+        /// Nodes skipped because an ancestor failed.
+        skipped: Vec<String>,
+    },
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::UnknownNode(n) => write!(f, "unknown DAG node {:?}", n),
+            DagError::Cycle => write!(f, "DAG contains a cycle"),
+            DagError::Failed { errors, skipped } => write!(
+                f,
+                "{} node(s) failed ({:?}), {} skipped",
+                errors.len(),
+                errors.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+                skipped.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+type Job<'a> = Box<dyn FnOnce() -> Result<(), String> + Send + 'a>;
+
+/// A DAG of named jobs.
+///
+/// ```
+/// use nest_grid::Dag;
+///
+/// let mut dag = Dag::new();
+/// dag.job("stage-in", || Ok(()));
+/// dag.job("run", || Ok(()));
+/// dag.job("stage-out", || Ok(()));
+/// dag.depends("run", "stage-in").unwrap();
+/// dag.depends("stage-out", "run").unwrap();
+/// let order = dag.run().unwrap();
+/// assert_eq!(order, vec!["stage-in", "run", "stage-out"]);
+/// ```
+pub struct Dag<'a> {
+    jobs: HashMap<String, Job<'a>>,
+    /// child → parents.
+    deps: HashMap<String, HashSet<String>>,
+    order: Vec<String>,
+}
+
+impl<'a> Default for Dag<'a> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a> Dag<'a> {
+    /// Creates an empty DAG.
+    pub fn new() -> Self {
+        Self {
+            jobs: HashMap::new(),
+            deps: HashMap::new(),
+            order: Vec::new(),
+        }
+    }
+
+    /// Adds a named job.
+    pub fn job(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce() -> Result<(), String> + Send + 'a,
+    ) -> &mut Self {
+        let name = name.into();
+        if !self.jobs.contains_key(&name) {
+            self.order.push(name.clone());
+        }
+        self.jobs.insert(name.clone(), Box::new(f));
+        self.deps.entry(name).or_default();
+        self
+    }
+
+    /// Declares that `child` runs only after `parent` succeeds.
+    pub fn depends(&mut self, child: &str, parent: &str) -> Result<&mut Self, DagError> {
+        if !self.jobs.contains_key(child) {
+            return Err(DagError::UnknownNode(child.to_owned()));
+        }
+        if !self.jobs.contains_key(parent) {
+            return Err(DagError::UnknownNode(parent.to_owned()));
+        }
+        self.deps
+            .entry(child.to_owned())
+            .or_default()
+            .insert(parent.to_owned());
+        Ok(self)
+    }
+
+    /// Runs the DAG: ready nodes execute concurrently; a failure skips its
+    /// descendants. Returns the order in which nodes completed.
+    pub fn run(mut self) -> Result<Vec<String>, DagError> {
+        // Cycle check via Kahn's algorithm on a copy.
+        let mut indegree: HashMap<&str, usize> = self
+            .order
+            .iter()
+            .map(|n| (n.as_str(), self.deps[n].len()))
+            .collect();
+        let mut ready: Vec<&str> = indegree
+            .iter()
+            .filter(|(_, d)| **d == 0)
+            .map(|(n, _)| *n)
+            .collect();
+        let mut seen = 0;
+        let mut queue = ready.clone();
+        while let Some(n) = queue.pop() {
+            seen += 1;
+            for (child, parents) in &self.deps {
+                if parents.contains(n) {
+                    let d = indegree.get_mut(child.as_str()).unwrap();
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push(child);
+                    }
+                }
+            }
+        }
+        if seen != self.order.len() {
+            return Err(DagError::Cycle);
+        }
+        drop(ready.drain(..));
+
+        // Execute level by level (each level's nodes in parallel).
+        let mut done: HashSet<String> = HashSet::new();
+        let mut failed: HashSet<String> = HashSet::new();
+        let mut errors: Vec<(String, String)> = Vec::new();
+        let mut completed_order: Vec<String> = Vec::new();
+
+        while done.len() + failed_closure(&self.deps, &failed).len() < self.order.len() {
+            let blocked = failed_closure(&self.deps, &failed);
+            let runnable: Vec<String> = self
+                .order
+                .iter()
+                .filter(|n| {
+                    !done.contains(*n)
+                        && !blocked.contains(*n)
+                        && self.jobs.contains_key(*n)
+                        && self.deps[*n].iter().all(|p| done.contains(p))
+                })
+                .cloned()
+                .collect();
+            if runnable.is_empty() {
+                break;
+            }
+            let results: Mutex<Vec<(String, Result<(), String>)>> = Mutex::new(Vec::new());
+            let mut batch: Vec<(String, Job<'a>)> = Vec::new();
+            for name in &runnable {
+                let job = self.jobs.remove(name).expect("job present");
+                batch.push((name.clone(), job));
+            }
+            std::thread::scope(|scope| {
+                for (name, job) in batch {
+                    let results = &results;
+                    scope.spawn(move || {
+                        let outcome = job();
+                        results.lock().unwrap().push((name, outcome));
+                    });
+                }
+            });
+            for (name, outcome) in results.into_inner().unwrap() {
+                match outcome {
+                    Ok(()) => {
+                        done.insert(name.clone());
+                        completed_order.push(name);
+                    }
+                    Err(msg) => {
+                        failed.insert(name.clone());
+                        errors.push((name, msg));
+                    }
+                }
+            }
+        }
+
+        if errors.is_empty() {
+            Ok(completed_order)
+        } else {
+            let blocked = failed_closure(&self.deps, &failed);
+            let mut skipped: Vec<String> = blocked
+                .into_iter()
+                .filter(|n| !failed.contains(n))
+                .collect();
+            skipped.sort();
+            errors.sort();
+            Err(DagError::Failed { errors, skipped })
+        }
+    }
+}
+
+/// All nodes that transitively depend on a failed node (including the
+/// failed nodes themselves).
+fn failed_closure(
+    deps: &HashMap<String, HashSet<String>>,
+    failed: &HashSet<String>,
+) -> HashSet<String> {
+    let mut blocked: HashSet<String> = failed.clone();
+    loop {
+        let mut grew = false;
+        for (child, parents) in deps {
+            if !blocked.contains(child) && parents.iter().any(|p| blocked.contains(p)) {
+                blocked.insert(child.clone());
+                grew = true;
+            }
+        }
+        if !grew {
+            return blocked;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn linear_chain_runs_in_order() {
+        let log = Mutex::new(Vec::new());
+        let mut dag = Dag::new();
+        for name in ["a", "b", "c"] {
+            let log = &log;
+            dag.job(name, move || {
+                log.lock().unwrap().push(name);
+                Ok(())
+            });
+        }
+        dag.depends("b", "a").unwrap();
+        dag.depends("c", "b").unwrap();
+        let order = dag.run().unwrap();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(*log.lock().unwrap(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn independent_nodes_run_in_parallel_level() {
+        let counter = AtomicU32::new(0);
+        let mut dag = Dag::new();
+        for name in ["x", "y", "z"] {
+            let counter = &counter;
+            dag.job(name, move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            });
+        }
+        let order = dag.run().unwrap();
+        assert_eq!(order.len(), 3);
+        assert_eq!(counter.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn failure_skips_descendants_only() {
+        let ran_d = AtomicU32::new(0);
+        let mut dag = Dag::new();
+        dag.job("a", || Ok(()));
+        dag.job("bad", || Err("boom".into()));
+        dag.job("c", || Ok(())); // child of bad: skipped
+        let ran_d_ref = &ran_d;
+        dag.job("d", move || {
+            ran_d_ref.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }); // child of a: runs
+        dag.depends("c", "bad").unwrap();
+        dag.depends("d", "a").unwrap();
+        match dag.run() {
+            Err(DagError::Failed { errors, skipped }) => {
+                assert_eq!(errors, vec![("bad".to_owned(), "boom".to_owned())]);
+                assert_eq!(skipped, vec!["c"]);
+            }
+            other => panic!("{:?}", other.map(|_| ())),
+        }
+        assert_eq!(ran_d.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut dag = Dag::new();
+        dag.job("a", || Ok(()));
+        dag.job("b", || Ok(()));
+        dag.depends("a", "b").unwrap();
+        dag.depends("b", "a").unwrap();
+        assert_eq!(dag.run().err(), Some(DagError::Cycle));
+    }
+
+    #[test]
+    fn unknown_node_in_edge() {
+        let mut dag = Dag::new();
+        dag.job("a", || Ok(()));
+        assert_eq!(
+            dag.depends("a", "ghost").err(),
+            Some(DagError::UnknownNode("ghost".into()))
+        );
+        assert_eq!(
+            dag.depends("ghost", "a").err(),
+            Some(DagError::UnknownNode("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn diamond_dependency() {
+        let log = Mutex::new(Vec::new());
+        let mut dag = Dag::new();
+        for name in ["top", "l", "r", "bottom"] {
+            let log = &log;
+            dag.job(name, move || {
+                log.lock().unwrap().push(name);
+                Ok(())
+            });
+        }
+        dag.depends("l", "top").unwrap();
+        dag.depends("r", "top").unwrap();
+        dag.depends("bottom", "l").unwrap();
+        dag.depends("bottom", "r").unwrap();
+        let order = dag.run().unwrap();
+        assert_eq!(order.first().map(String::as_str), Some("top"));
+        assert_eq!(order.last().map(String::as_str), Some("bottom"));
+    }
+}

@@ -1,0 +1,242 @@
+//! The discovery service: a thread-safe ClassAd collector.
+//!
+//! "The NeST 'gateway' appliance in Argonne has previously published both
+//! its resource and data availability into a global Grid discovery system"
+//! — this is that system, an in-process stand-in for the Condor collector
+//! (see the substitution table in `DESIGN.md`).
+
+use nest_classad::{ClassAd, Matchmaker};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A shared, thread-safe ad collection with bilateral matchmaking.
+#[derive(Clone, Default)]
+pub struct Discovery {
+    inner: Arc<Mutex<Matchmaker>>,
+}
+
+impl Discovery {
+    /// Creates an empty discovery service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes (or refreshes) an ad under a unique key — what a NeST's
+    /// dispatcher does periodically.
+    pub fn publish(&self, key: &str, ad: ClassAd) {
+        self.inner.lock().publish(key, ad);
+    }
+
+    /// Withdraws an ad.
+    pub fn withdraw(&self, key: &str) -> bool {
+        self.inner.lock().withdraw(key)
+    }
+
+    /// Number of published ads.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Finds the best bilateral match for a request ad, returning the
+    /// publisher key and a copy of the matched ad.
+    pub fn best_match(&self, request: &ClassAd) -> Option<(String, ClassAd)> {
+        let mm = self.inner.lock();
+        mm.best_match(request)
+            .map(|(key, ad)| (key.to_owned(), ad.clone()))
+    }
+
+    /// All matches for a request.
+    pub fn query(&self, request: &ClassAd) -> Vec<(String, ClassAd)> {
+        let mm = self.inner.lock();
+        mm.query(request)
+            .into_iter()
+            .map(|(k, ad)| (k.to_owned(), ad.clone()))
+            .collect()
+    }
+
+    /// Fetches one ad by key.
+    pub fn lookup(&self, key: &str) -> Option<ClassAd> {
+        self.inner.lock().lookup(key).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nest_classad::{parse_ad, Value};
+
+    fn storage_ad(name: &str, free: i64) -> ClassAd {
+        parse_ad(&format!(
+            r#"[ Type = "Storage"; Name = "{}"; FreeSpace = {};
+                 Requirements = other.Type == "StorageRequest" &&
+                                other.NeedSpace <= my.FreeSpace ]"#,
+            name, free
+        ))
+        .unwrap()
+    }
+
+    fn request(need: i64) -> ClassAd {
+        parse_ad(&format!(
+            r#"[ Type = "StorageRequest"; NeedSpace = {};
+                 Requirements = other.Type == "Storage";
+                 Rank = other.FreeSpace ]"#,
+            need
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn publish_and_match() {
+        let d = Discovery::new();
+        d.publish("madison", storage_ad("madison", 1000));
+        d.publish("argonne", storage_ad("argonne", 50_000));
+        let (key, ad) = d.best_match(&request(500)).unwrap();
+        assert_eq!(key, "argonne");
+        assert_eq!(ad.eval("Name"), Value::str("argonne"));
+        assert_eq!(d.query(&request(500)).len(), 2);
+        assert_eq!(d.query(&request(5_000)).len(), 1);
+    }
+
+    #[test]
+    fn refresh_replaces() {
+        let d = Discovery::new();
+        d.publish("x", storage_ad("x", 10));
+        d.publish("x", storage_ad("x", 99));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.lookup("x").unwrap().eval("FreeSpace"), Value::Int(99));
+        assert!(d.withdraw("x"));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let d = Discovery::new();
+        let d2 = d.clone();
+        d.publish("a", storage_ad("a", 1));
+        assert_eq!(d2.len(), 1);
+    }
+}
+
+/// Periodically republished ads: the paper's dispatcher "periodically
+/// consolidates information about resource and data availability in the
+/// NeST and can publish this information as a ClassAd into a global
+/// scheduling system." The publisher owns a background thread that calls
+/// a snapshot closure on an interval and republishes under a fixed key;
+/// dropping it (or calling [`AdPublisher::stop`]) ends publication and
+/// withdraws the ad.
+pub struct AdPublisher {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    discovery: Discovery,
+    key: String,
+}
+
+impl AdPublisher {
+    /// Starts republishing `snapshot()` under `key` every `interval`.
+    /// The first publication happens immediately.
+    pub fn start(
+        discovery: Discovery,
+        key: impl Into<String>,
+        interval: std::time::Duration,
+        snapshot: impl Fn() -> ClassAd + Send + 'static,
+    ) -> Self {
+        let key = key.into();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        discovery.publish(&key, snapshot());
+        let handle = {
+            let discovery = discovery.clone();
+            let key = key.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("nest-ad-publisher".into())
+                .spawn(move || {
+                    // Sleep in short slices so stop() is prompt even with
+                    // long publication intervals.
+                    let slice = std::time::Duration::from_millis(50).min(interval);
+                    let mut next = std::time::Instant::now() + interval;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        std::thread::sleep(slice);
+                        if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            break;
+                        }
+                        if std::time::Instant::now() >= next {
+                            discovery.publish(&key, snapshot());
+                            next = std::time::Instant::now() + interval;
+                        }
+                    }
+                })
+                .expect("spawn ad publisher")
+        };
+        Self {
+            stop,
+            handle: Some(handle),
+            discovery,
+            key,
+        }
+    }
+
+    /// Stops publication and withdraws the ad.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        self.discovery.withdraw(&self.key);
+    }
+}
+
+impl Drop for AdPublisher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod publisher_tests {
+    use super::*;
+    use nest_classad::Value;
+    use std::sync::atomic::{AtomicI64, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn publisher_refreshes_and_withdraws() {
+        let discovery = Discovery::new();
+        let counter = Arc::new(AtomicI64::new(0));
+        let c2 = Arc::clone(&counter);
+        let publisher = AdPublisher::start(
+            discovery.clone(),
+            "site",
+            Duration::from_millis(10),
+            move || {
+                let n = c2.fetch_add(1, Ordering::Relaxed);
+                let mut ad = ClassAd::new();
+                ad.insert_value("Type", Value::str("Storage"));
+                ad.insert_value("Version", Value::Int(n));
+                ad
+            },
+        );
+        // First publication is immediate.
+        assert_eq!(discovery.len(), 1);
+        // Wait for at least one refresh.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            let v = discovery.lookup("site").unwrap().eval("Version");
+            if v != Value::Int(0) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "no refresh seen");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        publisher.stop();
+        assert!(discovery.is_empty(), "ad not withdrawn");
+    }
+}

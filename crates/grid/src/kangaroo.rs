@@ -1,0 +1,216 @@
+//! Kangaroo-style staged data movement (paper §6: "Other data movement
+//! protocols such as Kangaroo could also be utilized to move data from
+//! site to site", citing Thain et al., "The Kangaroo Approach to Data
+//! Movement on the Grid").
+//!
+//! Kangaroo's idea: an application should never block on the wide area.
+//! It hands output to a nearby spool and keeps computing; a background
+//! mover "hops" the data toward its destination, retrying over failures
+//! until delivery. This module implements a single-hop mover whose spool
+//! feeds a NeST over Chirp.
+
+use nest_proto::chirp::ChirpClient;
+use nest_proto::gsi::Credential;
+use nest_proto::request::TransferUrl;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One spooled write awaiting delivery.
+struct Hop {
+    dest: TransferUrl,
+    path: String,
+    data: Vec<u8>,
+    attempts: u32,
+}
+
+#[derive(Default)]
+struct Spool {
+    queue: VecDeque<Hop>,
+    /// Number of hops handed to the mover but not yet delivered.
+    in_flight: usize,
+}
+
+/// Delivery statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KangarooStats {
+    /// Hops delivered to their destination.
+    pub delivered: u64,
+    /// Delivery attempts that failed (and were retried).
+    pub retries: u64,
+}
+
+/// The background mover.
+pub struct Kangaroo {
+    spool: Arc<(Mutex<Spool>, Condvar)>,
+    stop: Arc<AtomicBool>,
+    delivered: Arc<AtomicU64>,
+    retries: Arc<AtomicU64>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Kangaroo {
+    /// Starts a mover that retries failed deliveries every
+    /// `retry_interval`. `credential` authenticates to destinations that
+    /// require GSI.
+    pub fn start(retry_interval: Duration, credential: Option<Credential>) -> Self {
+        let spool: Arc<(Mutex<Spool>, Condvar)> =
+            Arc::new((Mutex::new(Spool::default()), Condvar::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let delivered = Arc::new(AtomicU64::new(0));
+        let retries = Arc::new(AtomicU64::new(0));
+
+        let worker = {
+            let spool = Arc::clone(&spool);
+            let stop = Arc::clone(&stop);
+            let delivered = Arc::clone(&delivered);
+            let retries = Arc::clone(&retries);
+            std::thread::Builder::new()
+                .name("kangaroo-mover".into())
+                .spawn(move || {
+                    let (lock, cv) = &*spool;
+                    loop {
+                        let hop = {
+                            let mut st = lock.lock();
+                            loop {
+                                if stop.load(Ordering::Relaxed) {
+                                    return;
+                                }
+                                if let Some(hop) = st.queue.pop_front() {
+                                    st.in_flight += 1;
+                                    break hop;
+                                }
+                                cv.wait_for(&mut st, Duration::from_millis(50));
+                            }
+                        };
+                        let ok = deliver(&hop, credential.as_ref());
+                        let mut st = lock.lock();
+                        st.in_flight -= 1;
+                        if ok {
+                            delivered.fetch_add(1, Ordering::Relaxed);
+                            cv.notify_all();
+                        } else {
+                            retries.fetch_add(1, Ordering::Relaxed);
+                            let mut hop = hop;
+                            hop.attempts += 1;
+                            st.queue.push_back(hop);
+                            drop(st);
+                            // Back off before the next round of attempts.
+                            std::thread::sleep(retry_interval);
+                        }
+                    }
+                })
+                .expect("spawn kangaroo mover")
+        };
+        Self {
+            spool,
+            stop,
+            delivered,
+            retries,
+            worker: Some(worker),
+        }
+    }
+
+    /// Spools a write toward `dest` (a `chirp://host:port/path` URL) and
+    /// returns immediately — the Kangaroo property: the caller never waits
+    /// on the wide area.
+    pub fn spool(&self, dest: &TransferUrl, data: Vec<u8>) {
+        let (lock, cv) = &*self.spool;
+        lock.lock().queue.push_back(Hop {
+            dest: dest.clone(),
+            path: dest.path.clone(),
+            data,
+            attempts: 0,
+        });
+        cv.notify_all();
+    }
+
+    /// Hops not yet delivered (queued + in flight).
+    pub fn pending(&self) -> usize {
+        let st = self.spool.0.lock();
+        st.queue.len() + st.in_flight
+    }
+
+    /// Blocks until every spooled hop has been delivered, or the timeout
+    /// elapses. Returns true when the spool drained.
+    pub fn flush(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let (lock, cv) = &*self.spool;
+        let mut st = lock.lock();
+        while st.queue.len() + st.in_flight > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            cv.wait_for(&mut st, (deadline - now).min(Duration::from_millis(50)));
+        }
+        true
+    }
+
+    /// Delivery statistics so far.
+    pub fn stats(&self) -> KangarooStats {
+        KangarooStats {
+            delivered: self.delivered.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the mover; undelivered hops are dropped.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.spool.1.notify_all();
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Kangaroo {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One delivery attempt: connect, (optionally) authenticate, put.
+fn deliver(hop: &Hop, credential: Option<&Credential>) -> bool {
+    let Ok(mut client) = ChirpClient::connect(hop.dest.authority()) else {
+        return false;
+    };
+    if let Some(cred) = credential {
+        if client.authenticate(cred).is_err() {
+            return false;
+        }
+    }
+    client.put_bytes(&hop.path, &hop.data).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spool_is_nonblocking_and_pending_counts() {
+        // Destination does not exist: hops accumulate, spool() returns
+        // instantly anyway.
+        let k = Kangaroo::start(Duration::from_millis(20), None);
+        let dest = TransferUrl::new("chirp", "127.0.0.1", 1, "/never.bin");
+        let start = Instant::now();
+        for _ in 0..5 {
+            k.spool(&dest, vec![0u8; 1 << 20]);
+        }
+        assert!(
+            start.elapsed() < Duration::from_millis(200),
+            "spool blocked"
+        );
+        assert_eq!(k.pending(), 5);
+        assert!(!k.flush(Duration::from_millis(150)));
+        assert!(k.stats().retries > 0);
+        k.stop();
+    }
+}

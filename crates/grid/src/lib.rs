@@ -1,0 +1,20 @@
+//! # nest-grid
+//!
+//! The Grid middleware around NeST (paper §6, Figure 2): a **discovery
+//! service** NeSTs publish their storage ads into, a **global execution
+//! manager** that matches jobs to storage and orchestrates staging, and a
+//! small **DAG manager** in the spirit of Condor DAGMan ("many of the
+//! steps ... can be encapsulated within a request execution manager such
+//! as the Condor Directed-Acyclic-Graph Manager"), and a **Kangaroo-style
+//! background data mover** ("other data movement protocols such as
+//! Kangaroo could also be utilized").
+
+pub mod dag;
+pub mod discovery;
+pub mod kangaroo;
+pub mod manager;
+
+pub use dag::{Dag, DagError};
+pub use discovery::{AdPublisher, Discovery};
+pub use kangaroo::Kangaroo;
+pub use manager::{ExecutionManager, JobSpec, JobSummary};

@@ -1,0 +1,207 @@
+//! The global execution manager (paper §6, Figure 2).
+//!
+//! Executes the paper's six-step scenario: (1) accept a job whose input
+//! lives on the home NeST; (2) match the job's storage request against the
+//! discovery system; (3) create a lot at the chosen site over Chirp and
+//! stage input there with a GridFTP third-party transfer; (4) run the job
+//! at the remote site, accessing data over NFS; (5) stage output back
+//! home; (6) terminate the lot.
+
+use crate::discovery::Discovery;
+use nest_classad::{ClassAd, Expr, Value};
+use nest_proto::chirp::ChirpClient;
+use nest_proto::gridftp::{third_party, GridFtpClient};
+use nest_proto::gsi::Credential;
+use nest_proto::nfs::{FileHandle, MountClient, NfsClient};
+use std::fmt;
+
+/// The body of a job: runs with an NFS client bound to the execution site.
+pub type JobBody<'a> =
+    Box<dyn FnOnce(&mut NfsClient, FileHandle) -> Result<(), String> + Send + 'a>;
+
+/// A site's protocol endpoints, carried inside its storage ad.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteInfo {
+    /// Site name.
+    pub name: String,
+    /// Chirp `host:port`.
+    pub chirp: String,
+    /// GridFTP `host:port`.
+    pub gridftp: String,
+    /// NFS `host:port`.
+    pub nfs: String,
+}
+
+impl SiteInfo {
+    /// Adds the endpoint attributes to a storage ad before publication.
+    pub fn annotate(&self, ad: &mut ClassAd) {
+        ad.insert("ChirpAddr", Expr::Literal(Value::str(self.chirp.clone())));
+        ad.insert(
+            "GridFtpAddr",
+            Expr::Literal(Value::str(self.gridftp.clone())),
+        );
+        ad.insert("NfsAddr", Expr::Literal(Value::str(self.nfs.clone())));
+    }
+
+    /// Recovers endpoints from a matched ad.
+    pub fn from_ad(ad: &ClassAd) -> Option<SiteInfo> {
+        Some(SiteInfo {
+            name: ad.eval("Name").as_str()?.to_owned(),
+            chirp: ad.eval("ChirpAddr").as_str()?.to_owned(),
+            gridftp: ad.eval("GridFtpAddr").as_str()?.to_owned(),
+            nfs: ad.eval("NfsAddr").as_str()?.to_owned(),
+        })
+    }
+}
+
+/// A job submission.
+pub struct JobSpec<'a> {
+    /// Job name (used for lot-size accounting and logs).
+    pub name: String,
+    /// Guaranteed space to reserve at the execution site.
+    pub need_space: u64,
+    /// Lot duration in seconds.
+    pub lot_duration: u64,
+    /// Files to stage in: `(path on home NeST, path at execution site)`.
+    pub stage_in: Vec<(String, String)>,
+    /// Files to stage out afterwards: `(path at site, path on home NeST)`.
+    pub stage_out: Vec<(String, String)>,
+    /// The job body: runs with an NFS client bound to the execution site
+    /// (paper: "those jobs access the user's input files on the NeST via a
+    /// local file system protocol, in this case NFS").
+    pub run: JobBody<'a>,
+}
+
+/// What happened during a job's execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSummary {
+    /// The chosen execution site.
+    pub site: String,
+    /// Lot id created (and later terminated) at the site.
+    pub lot_id: u64,
+    /// Files staged in.
+    pub staged_in: usize,
+    /// Files staged out.
+    pub staged_out: usize,
+}
+
+/// Errors from scenario execution.
+#[derive(Debug)]
+pub enum ManagerError {
+    /// No storage ad matched the request.
+    NoMatch,
+    /// A matched ad lacked endpoint attributes.
+    BadAd,
+    /// A step failed.
+    Step(&'static str, String),
+}
+
+impl fmt::Display for ManagerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManagerError::NoMatch => write!(f, "no storage site matched the request"),
+            ManagerError::BadAd => write!(f, "matched ad lacks endpoint attributes"),
+            ManagerError::Step(step, msg) => write!(f, "step {:?} failed: {}", step, msg),
+        }
+    }
+}
+
+impl std::error::Error for ManagerError {}
+
+fn step<T, E: fmt::Display>(name: &'static str, r: Result<T, E>) -> Result<T, ManagerError> {
+    r.map_err(|e| ManagerError::Step(name, e.to_string()))
+}
+
+/// The global execution manager.
+pub struct ExecutionManager {
+    discovery: Discovery,
+    home: SiteInfo,
+    credential: Credential,
+}
+
+impl ExecutionManager {
+    /// Creates a manager for a user whose data lives at `home`.
+    pub fn new(discovery: Discovery, home: SiteInfo, credential: Credential) -> Self {
+        Self {
+            discovery,
+            home,
+            credential,
+        }
+    }
+
+    /// Builds the storage-request ad for a job.
+    pub fn request_ad(&self, need_space: u64) -> ClassAd {
+        let mut ad = ClassAd::new();
+        ad.insert_value("Type", Value::str("StorageRequest"));
+        ad.insert_value("NeedSpace", Value::Int(need_space as i64));
+        ad.insert(
+            "Requirements",
+            nest_classad::parse_expr(&format!(
+                "other.Type == \"Storage\" && other.Name != \"{}\"",
+                self.home.name
+            ))
+            .expect("static expression parses"),
+        );
+        ad.insert(
+            "Rank",
+            nest_classad::parse_expr("other.FreeSpace").expect("static expression parses"),
+        );
+        ad
+    }
+
+    /// Runs the full Figure 2 scenario for one job.
+    pub fn run_job(&self, spec: JobSpec<'_>) -> Result<JobSummary, ManagerError> {
+        // Step 1–2: discovery and matchmaking.
+        let request = self.request_ad(spec.need_space);
+        let (_, ad) = self
+            .discovery
+            .best_match(&request)
+            .ok_or(ManagerError::NoMatch)?;
+        let site = SiteInfo::from_ad(&ad).ok_or(ManagerError::BadAd)?;
+
+        // Step 2: guarantee space with a Chirp lot.
+        let mut chirp = step("chirp-connect", ChirpClient::connect(&*site.chirp))?;
+        step("chirp-auth", chirp.authenticate(&self.credential))?;
+        let lot_id = step(
+            "lot-create",
+            chirp.lot_create(spec.need_space, spec.lot_duration),
+        )?;
+
+        // Step 3: stage input via GridFTP third-party transfers.
+        let mut src = step("gftp-home", GridFtpClient::connect(&*self.home.gridftp))?;
+        let mut dst = step("gftp-site", GridFtpClient::connect(&*site.gridftp))?;
+        step("gftp-auth-home", src.authenticate(&self.credential))?;
+        step("gftp-auth-site", dst.authenticate(&self.credential))?;
+        for (home_path, site_path) in &spec.stage_in {
+            step(
+                "stage-in",
+                third_party(&mut src, home_path, &mut dst, site_path),
+            )?;
+        }
+
+        // Step 4: execute the job against the site over NFS.
+        let mut mount = step("nfs-mount", MountClient::connect(&*site.nfs))?;
+        let root = step("nfs-root", mount.mount("/"))?;
+        let mut nfs = step("nfs-connect", NfsClient::connect(&*site.nfs))?;
+        step("job", (spec.run)(&mut nfs, root))?;
+
+        // Step 5: stage output home (direction reversed).
+        for (site_path, home_path) in &spec.stage_out {
+            step(
+                "stage-out",
+                third_party(&mut dst, site_path, &mut src, home_path),
+            )?;
+        }
+
+        // Step 6: terminate the reservation.
+        step("lot-terminate", chirp.lot_terminate(lot_id))?;
+        let _ = chirp.quit();
+
+        Ok(JobSummary {
+            site: site.name,
+            lot_id,
+            staged_in: spec.stage_in.len(),
+            staged_out: spec.stage_out.len(),
+        })
+    }
+}

@@ -1,0 +1,166 @@
+//! A standalone Chirp server — the native Chirp stand-in. Speaks the same
+//! wire protocol as NeST's handler but has no lots, ACLs or transfer
+//! manager (lot requests are answered with `invalid`).
+
+use crate::common::{MiniServer, SharedRoot};
+use nest_proto::chirp::{parse_command, status_line, ChirpCommand};
+use nest_proto::request::{NestError, NestRequest, NestResponse};
+use nest_proto::wire::{copy_exact, read_line, write_line};
+use std::io::{self, Cursor};
+use std::net::{SocketAddr, TcpStream};
+
+/// The mini Chirp daemon.
+pub struct MiniChirpd {
+    server: MiniServer,
+}
+
+impl MiniChirpd {
+    /// Starts the server over the shared root.
+    pub fn start(root: SharedRoot) -> io::Result<Self> {
+        let server = MiniServer::spawn("jbos-chirpd", move |stream| {
+            let _ = serve(&root, stream);
+        })?;
+        Ok(Self { server })
+    }
+
+    /// Bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr
+    }
+
+    /// Stops the server.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
+}
+
+fn err_for(e: &io::Error) -> NestError {
+    match e.kind() {
+        io::ErrorKind::NotFound => NestError::NotFound,
+        io::ErrorKind::AlreadyExists => NestError::Exists,
+        io::ErrorKind::InvalidInput => NestError::BadRequest,
+        io::ErrorKind::DirectoryNotEmpty => NestError::Invalid,
+        _ => NestError::Internal,
+    }
+}
+
+fn serve(root: &SharedRoot, mut stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    loop {
+        let Some(line) = read_line(&mut stream)? else {
+            return Ok(());
+        };
+        if line.is_empty() {
+            continue;
+        }
+        match parse_command(&line) {
+            Some(ChirpCommand::Version) => write_line(&mut stream, "0 jbos-chirpd/0.9")?,
+            Some(ChirpCommand::Auth(_)) => {
+                // The standalone server trusts everyone (compare: NeST
+                // verifies against a CA and grid-mapfile).
+                write_line(&mut stream, "0 anonymous")?;
+            }
+            Some(ChirpCommand::Request(NestRequest::Quit)) => {
+                write_line(&mut stream, "0 bye")?;
+                return Ok(());
+            }
+            Some(ChirpCommand::Request(req)) => handle(root, &mut stream, req)?,
+            None => write_line(
+                &mut stream,
+                &status_line(&NestResponse::Error(NestError::BadRequest)),
+            )?,
+        }
+    }
+}
+
+fn handle(root: &SharedRoot, stream: &mut TcpStream, req: NestRequest) -> io::Result<()> {
+    let result: Result<(), NestError> = (|| {
+        match req {
+            NestRequest::Mkdir { path } => {
+                let p = root.parse(&path).map_err(|e| err_for(&e))?;
+                root.backend().mkdir(&p).map_err(|e| err_for(&e))?;
+                write_line(stream, &status_line(&NestResponse::Ok)).ok();
+            }
+            NestRequest::Rmdir { path } => {
+                let p = root.parse(&path).map_err(|e| err_for(&e))?;
+                root.backend().rmdir(&p).map_err(|e| err_for(&e))?;
+                write_line(stream, &status_line(&NestResponse::Ok)).ok();
+            }
+            NestRequest::ListDir { path } => {
+                let p = root.parse(&path).map_err(|e| err_for(&e))?;
+                let mut names = root.backend().list(&p).map_err(|e| err_for(&e))?;
+                names.sort();
+                write_line(stream, &format!("0 {}", names.len())).ok();
+                for n in names {
+                    write_line(stream, &n).ok();
+                }
+            }
+            NestRequest::Stat { path } => {
+                let p = root.parse(&path).map_err(|e| err_for(&e))?;
+                let st = root.backend().stat(&p).map_err(|e| err_for(&e))?;
+                write_line(stream, &format!("0 {}", st.size)).ok();
+            }
+            NestRequest::Delete { path } => {
+                let p = root.parse(&path).map_err(|e| err_for(&e))?;
+                root.backend().remove(&p).map_err(|e| err_for(&e))?;
+                write_line(stream, &status_line(&NestResponse::Ok)).ok();
+            }
+            NestRequest::Rename { from, to } => {
+                let f = root.parse(&from).map_err(|e| err_for(&e))?;
+                let t = root.parse(&to).map_err(|e| err_for(&e))?;
+                root.backend().rename(&f, &t).map_err(|e| err_for(&e))?;
+                write_line(stream, &status_line(&NestResponse::Ok)).ok();
+            }
+            NestRequest::Get { path } => {
+                let p = root.parse(&path).map_err(|e| err_for(&e))?;
+                let data = root.read_all(&p).map_err(|e| err_for(&e))?;
+                write_line(stream, &format!("0 {}", data.len())).ok();
+                copy_exact(
+                    &mut Cursor::new(data.as_slice()),
+                    stream,
+                    data.len() as u64,
+                    64 * 1024,
+                )
+                .map_err(|_| NestError::Internal)?;
+            }
+            NestRequest::Put { path, size } => {
+                let p = root.parse(&path).map_err(|e| err_for(&e))?;
+                let size = size.unwrap_or(0);
+                write_line(stream, "0 ready").ok();
+                let data = nest_proto::wire::read_exact_vec(stream, size)
+                    .map_err(|_| NestError::Internal)?;
+                root.write_all(&p, &data).map_err(|e| err_for(&e))?;
+                write_line(stream, &status_line(&NestResponse::Ok)).ok();
+            }
+            // No lot / ACL / third-party support in the standalone server.
+            _ => return Err(NestError::Invalid),
+        }
+        Ok(())
+    })();
+    if let Err(e) = result {
+        write_line(stream, &status_line(&NestResponse::Error(e)))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nest_proto::chirp::ChirpClient;
+
+    #[test]
+    fn chirpd_roundtrip() {
+        let root = SharedRoot::in_memory();
+        let server = MiniChirpd::start(root).unwrap();
+        let mut client = ChirpClient::connect(server.addr()).unwrap();
+        assert!(client.version().unwrap().contains("jbos"));
+        client.mkdir("/d").unwrap();
+        client.put_bytes("/d/f", b"data").unwrap();
+        assert_eq!(client.get_bytes("/d/f").unwrap(), b"data");
+        assert_eq!(client.ls("/d").unwrap(), vec!["f"]);
+        // Lot management is NeST-only.
+        assert!(client.lot_create(100, 10).is_err());
+        client.quit().unwrap();
+        server.shutdown();
+    }
+}

@@ -1,0 +1,159 @@
+//! Shared plumbing for the JBOS mini-servers.
+
+use nest_storage::{MemBackend, StorageBackend, VPath};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The directory tree every JBOS server exports — the analogue of pointing
+/// Apache, wu-ftpd and nfsd at one filesystem directory. Backed by the
+/// same [`StorageBackend`] abstraction NeST uses so benchmarks compare the
+/// protocol/server layers, not the disks.
+#[derive(Clone)]
+pub struct SharedRoot {
+    backend: Arc<dyn StorageBackend>,
+}
+
+impl SharedRoot {
+    /// An in-memory shared root.
+    pub fn in_memory() -> Self {
+        Self {
+            backend: Arc::new(MemBackend::new()),
+        }
+    }
+
+    /// A shared root over an arbitrary backend.
+    pub fn over(backend: Arc<dyn StorageBackend>) -> Self {
+        Self { backend }
+    }
+
+    /// The underlying backend.
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
+    }
+
+    /// Parses a client path.
+    pub fn parse(&self, raw: &str) -> io::Result<VPath> {
+        VPath::parse(raw).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))
+    }
+
+    /// Reads a whole file.
+    pub fn read_all(&self, path: &VPath) -> io::Result<Vec<u8>> {
+        let size = self.backend.stat(path)?.size;
+        let mut out = vec![0u8; size as usize];
+        let mut offset = 0usize;
+        while offset < out.len() {
+            let n = self
+                .backend
+                .read_at(path, offset as u64, &mut out[offset..])?;
+            if n == 0 {
+                break;
+            }
+            offset += n;
+        }
+        out.truncate(offset);
+        Ok(out)
+    }
+
+    /// Creates/overwrites a file with the given contents.
+    pub fn write_all(&self, path: &VPath, data: &[u8]) -> io::Result<()> {
+        match self.backend.create(path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                self.backend.truncate(path, 0)?;
+            }
+            Err(e) => return Err(e),
+        }
+        self.backend.write_at(path, 0, data)
+    }
+}
+
+/// A single-protocol server's accept loop and lifecycle.
+pub struct MiniServer {
+    /// The bound address.
+    pub addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl MiniServer {
+    /// Binds an ephemeral loopback listener and serves each connection on
+    /// its own thread (the classic inetd/Apache-prefork shape).
+    pub fn spawn<F>(name: &str, handler: F) -> io::Result<Self>
+    where
+        F: Fn(TcpStream) + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handler = Arc::new(handler);
+        let acceptor = std::thread::Builder::new()
+            .name(name.to_owned())
+            .spawn(move || {
+                let mut workers: Vec<JoinHandle<()>> = Vec::new();
+                while !stop2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = stream.set_nonblocking(false);
+                            let h = Arc::clone(&handler);
+                            workers.push(std::thread::spawn(move || h(stream)));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                    workers.retain(|w| !w.is_finished());
+                }
+            })?;
+        Ok(Self {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// Stops the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.acceptor.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MiniServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.acceptor.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_root_read_write() {
+        let root = SharedRoot::in_memory();
+        let p = root.parse("/f").unwrap();
+        root.write_all(&p, b"hello").unwrap();
+        assert_eq!(root.read_all(&p).unwrap(), b"hello");
+        // Overwrite truncates.
+        root.write_all(&p, b"x").unwrap();
+        assert_eq!(root.read_all(&p).unwrap(), b"x");
+    }
+
+    #[test]
+    fn shared_root_rejects_escapes() {
+        let root = SharedRoot::in_memory();
+        assert!(root.parse("/../etc/passwd").is_err());
+    }
+}

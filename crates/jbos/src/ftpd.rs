@@ -1,0 +1,194 @@
+//! A thin anonymous FTP server — the wu-ftpd stand-in. Stream mode and
+//! passive connections only.
+
+use crate::common::{MiniServer, SharedRoot};
+use nest_proto::ftp::{format_pasv_reply, parse_command, FtpCommand, FtpReply};
+use nest_proto::wire::{read_line, write_line};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// The mini FTP daemon.
+pub struct MiniFtpd {
+    server: MiniServer,
+}
+
+impl MiniFtpd {
+    /// Starts the server over the shared root.
+    pub fn start(root: SharedRoot) -> io::Result<Self> {
+        let server = MiniServer::spawn("jbos-ftpd", move |stream| {
+            let _ = serve(&root, stream);
+        })?;
+        Ok(Self { server })
+    }
+
+    /// Bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr
+    }
+
+    /// Stops the server.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
+}
+
+fn reply(stream: &mut TcpStream, code: u16, text: &str) -> io::Result<()> {
+    write_line(stream, &FtpReply::new(code, text).to_string())
+}
+
+fn accept_data(pasv: &mut Option<TcpListener>) -> io::Result<TcpStream> {
+    let listener = pasv
+        .take()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "no PASV issued"))?;
+    listener.set_nonblocking(true)?;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match listener.accept() {
+            Ok((conn, _)) => {
+                conn.set_nonblocking(false)?;
+                return Ok(conn);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() > deadline {
+                    return Err(io::Error::new(io::ErrorKind::TimedOut, "no data conn"));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn serve(root: &SharedRoot, mut stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut pasv: Option<TcpListener> = None;
+    let mut rnfr: Option<String> = None;
+    reply(&mut stream, 220, "jbos-ftpd ready")?;
+    loop {
+        let Some(line) = read_line(&mut stream)? else {
+            return Ok(());
+        };
+        match parse_command(&line) {
+            FtpCommand::User(_) => reply(&mut stream, 331, "Any password works")?,
+            FtpCommand::Pass(_) => reply(&mut stream, 230, "Logged in")?,
+            FtpCommand::Syst => reply(&mut stream, 215, "UNIX Type: L8 (jbos)")?,
+            FtpCommand::Type(_) => reply(&mut stream, 200, "Binary")?,
+            FtpCommand::Noop => reply(&mut stream, 200, "NOOP")?,
+            FtpCommand::Pwd => reply(&mut stream, 257, "\"/\"")?,
+            FtpCommand::Cwd(_) => reply(&mut stream, 250, "OK (flat namespace)")?,
+            FtpCommand::Quit => {
+                reply(&mut stream, 221, "Bye")?;
+                return Ok(());
+            }
+            FtpCommand::Pasv => {
+                let listener = TcpListener::bind("127.0.0.1:0")?;
+                let addr = listener.local_addr()?;
+                pasv = Some(listener);
+                write_line(&mut stream, &format_pasv_reply(addr).to_string())?;
+            }
+            FtpCommand::Size(path) => {
+                match root.parse(&path).and_then(|p| root.backend().stat(&p)) {
+                    Ok(st) => reply(&mut stream, 213, &st.size.to_string())?,
+                    Err(_) => reply(&mut stream, 550, "No such file")?,
+                }
+            }
+            FtpCommand::Mkd(path) => {
+                match root.parse(&path).and_then(|p| root.backend().mkdir(&p)) {
+                    Ok(()) => reply(&mut stream, 257, "Created")?,
+                    Err(_) => reply(&mut stream, 550, "Failed")?,
+                }
+            }
+            FtpCommand::Rmd(path) => {
+                match root.parse(&path).and_then(|p| root.backend().rmdir(&p)) {
+                    Ok(()) => reply(&mut stream, 250, "Removed")?,
+                    Err(_) => reply(&mut stream, 550, "Failed")?,
+                }
+            }
+            FtpCommand::Dele(path) => {
+                match root.parse(&path).and_then(|p| root.backend().remove(&p)) {
+                    Ok(()) => reply(&mut stream, 250, "Deleted")?,
+                    Err(_) => reply(&mut stream, 550, "Failed")?,
+                }
+            }
+            FtpCommand::Rnfr(path) => {
+                rnfr = Some(path);
+                reply(&mut stream, 350, "RNFR ok")?;
+            }
+            FtpCommand::Rnto(to) => match rnfr.take() {
+                Some(from) => {
+                    let result = root
+                        .parse(&from)
+                        .and_then(|f| root.parse(&to).and_then(|t| root.backend().rename(&f, &t)));
+                    match result {
+                        Ok(()) => reply(&mut stream, 250, "Renamed")?,
+                        Err(_) => reply(&mut stream, 550, "Failed")?,
+                    }
+                }
+                None => reply(&mut stream, 503, "RNTO without RNFR")?,
+            },
+            FtpCommand::List(path) | FtpCommand::Nlst(path) => {
+                let target = path.unwrap_or_else(|| "/".to_owned());
+                match root.parse(&target).and_then(|p| root.backend().list(&p)) {
+                    Ok(mut names) => {
+                        names.sort();
+                        reply(&mut stream, 150, "Listing")?;
+                        let mut data = accept_data(&mut pasv)?;
+                        for n in names {
+                            write_line(&mut data, &n)?;
+                        }
+                        drop(data);
+                        reply(&mut stream, 226, "Done")?;
+                    }
+                    Err(_) => reply(&mut stream, 550, "No such directory")?,
+                }
+            }
+            FtpCommand::Retr(path) => match root.parse(&path).and_then(|p| root.read_all(&p)) {
+                Ok(body) => {
+                    reply(&mut stream, 150, "Sending")?;
+                    let mut data = accept_data(&mut pasv)?;
+                    data.write_all(&body)?;
+                    drop(data);
+                    reply(&mut stream, 226, "Done")?;
+                }
+                Err(_) => reply(&mut stream, 550, "No such file")?,
+            },
+            FtpCommand::Stor(path) => match root.parse(&path) {
+                Ok(p) => {
+                    reply(&mut stream, 150, "Receiving")?;
+                    let mut data = accept_data(&mut pasv)?;
+                    let mut body = Vec::new();
+                    data.read_to_end(&mut body)?;
+                    drop(data);
+                    match root.write_all(&p, &body) {
+                        Ok(()) => reply(&mut stream, 226, "Stored")?,
+                        Err(_) => reply(&mut stream, 451, "Store failed")?,
+                    }
+                }
+                Err(_) => reply(&mut stream, 553, "Bad path")?,
+            },
+            _ => reply(&mut stream, 502, "Not implemented")?,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nest_proto::ftp::FtpClient;
+
+    #[test]
+    fn ftpd_roundtrip() {
+        let root = SharedRoot::in_memory();
+        let server = MiniFtpd::start(root).unwrap();
+        let mut client = FtpClient::connect(server.addr()).unwrap();
+        client.login("anonymous", "x").unwrap();
+        client.stor_bytes("/f.bin", b"jbos ftp").unwrap();
+        assert_eq!(client.retr_bytes("/f.bin").unwrap(), b"jbos ftp");
+        assert_eq!(client.size("/f.bin").unwrap(), 8);
+        assert_eq!(client.nlst(Some("/")).unwrap(), vec!["f.bin"]);
+        client.dele("/f.bin").unwrap();
+        client.quit().unwrap();
+        server.shutdown();
+    }
+}

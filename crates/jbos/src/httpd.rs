@@ -1,0 +1,114 @@
+//! A thin HTTP file server — the Apache stand-in.
+
+use crate::common::{MiniServer, SharedRoot};
+use nest_proto::http::{render_response_head, HttpMethod, HttpRequestHead, HttpResponseHead};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// The mini HTTP daemon.
+pub struct MiniHttpd {
+    server: MiniServer,
+}
+
+impl MiniHttpd {
+    /// Starts the server over the shared root.
+    pub fn start(root: SharedRoot) -> io::Result<Self> {
+        let server = MiniServer::spawn("jbos-httpd", move |stream| {
+            let _ = serve(&root, stream);
+        })?;
+        Ok(Self { server })
+    }
+
+    /// Bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr
+    }
+
+    /// Stops the server.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
+}
+
+fn serve(root: &SharedRoot, mut stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    loop {
+        let Some(head) = HttpRequestHead::read(&mut stream)? else {
+            return Ok(());
+        };
+        match head.method {
+            HttpMethod::Get => match root.parse(&head.path).and_then(|p| root.read_all(&p)) {
+                Ok(body) => {
+                    let resp = HttpResponseHead::with_length(200, "OK", body.len() as u64);
+                    stream.write_all(render_response_head(&resp).as_bytes())?;
+                    stream.write_all(&body)?;
+                }
+                Err(_) => not_found(&mut stream)?,
+            },
+            HttpMethod::Head => {
+                match root.parse(&head.path).and_then(|p| root.backend().stat(&p)) {
+                    Ok(st) => {
+                        let resp = HttpResponseHead::with_length(200, "OK", st.size);
+                        stream.write_all(render_response_head(&resp).as_bytes())?;
+                    }
+                    Err(_) => not_found(&mut stream)?,
+                }
+            }
+            HttpMethod::Put => {
+                let Some(length) = head.content_length() else {
+                    let resp = HttpResponseHead::with_length(411, "Length Required", 0);
+                    stream.write_all(render_response_head(&resp).as_bytes())?;
+                    continue;
+                };
+                let body = nest_proto::wire::read_exact_vec(&mut stream, length)?;
+                match root
+                    .parse(&head.path)
+                    .and_then(|p| root.write_all(&p, &body))
+                {
+                    Ok(()) => {
+                        let resp = HttpResponseHead::with_length(201, "Created", 0);
+                        stream.write_all(render_response_head(&resp).as_bytes())?;
+                    }
+                    Err(_) => not_found(&mut stream)?,
+                }
+            }
+            HttpMethod::Delete => {
+                match root
+                    .parse(&head.path)
+                    .and_then(|p| root.backend().remove(&p))
+                {
+                    Ok(()) => {
+                        let resp = HttpResponseHead::with_length(204, "No Content", 0);
+                        stream.write_all(render_response_head(&resp).as_bytes())?;
+                    }
+                    Err(_) => not_found(&mut stream)?,
+                }
+            }
+        }
+        stream.flush()?;
+    }
+}
+
+fn not_found(stream: &mut TcpStream) -> io::Result<()> {
+    let resp = HttpResponseHead::with_length(404, "Not Found", 0);
+    stream.write_all(render_response_head(&resp).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nest_proto::http::HttpClient;
+
+    #[test]
+    fn httpd_roundtrip() {
+        let root = SharedRoot::in_memory();
+        let server = MiniHttpd::start(root).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        assert_eq!(client.put_bytes("/a.txt", b"jbos").unwrap(), 201);
+        assert_eq!(client.get_bytes("/a.txt").unwrap(), b"jbos");
+        assert_eq!(client.head_request("/a.txt").unwrap(), (200, Some(4)));
+        assert_eq!(client.delete("/a.txt").unwrap(), 204);
+        assert_eq!(client.head_request("/a.txt").unwrap().0, 404);
+        server.shutdown();
+    }
+}

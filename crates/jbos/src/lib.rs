@@ -1,0 +1,63 @@
+//! # nest-jbos
+//!
+//! "Just a Bunch Of Servers" — the baseline NeST is compared against
+//! (paper §3, §7.1). JBOS runs one independent, single-protocol server per
+//! protocol: the paper used Apache (HTTP), wu-ftpd (FTP), the in-kernel
+//! Linux nfsd (NFS) and a standalone Chirp server.
+//!
+//! The mini-servers here play those roles: each is a deliberately *thin*
+//! native-style implementation — thread per connection, direct file I/O, no
+//! shared transfer manager, no lots, no ACLs, no cross-protocol anything.
+//! That absence of shared machinery is precisely the property Figures 3
+//! and 4 contrast: a JBOS deployment cannot schedule across protocols, so
+//! "proportional-share scheduling in NeST ... cannot be applied to other
+//! traffic streams in a JBOS environment."
+//!
+//! All four serve the same [`SharedRoot`], so a JBOS deployment exports one
+//! namespace over many ports — like pointing Apache and wu-ftpd at the same
+//! directory.
+
+pub mod chirpd;
+pub mod common;
+pub mod ftpd;
+pub mod httpd;
+pub mod nfsd;
+
+pub use chirpd::MiniChirpd;
+pub use common::SharedRoot;
+pub use ftpd::MiniFtpd;
+pub use httpd::MiniHttpd;
+pub use nfsd::MiniNfsd;
+
+/// A complete JBOS deployment: four independent servers over one shared
+/// directory tree.
+pub struct JbosFleet {
+    /// The Chirp server.
+    pub chirpd: MiniChirpd,
+    /// The HTTP server.
+    pub httpd: MiniHttpd,
+    /// The FTP server.
+    pub ftpd: MiniFtpd,
+    /// The NFS server.
+    pub nfsd: MiniNfsd,
+}
+
+impl JbosFleet {
+    /// Starts all four servers over a shared in-memory root.
+    pub fn start(root: SharedRoot) -> std::io::Result<Self> {
+        Ok(Self {
+            chirpd: MiniChirpd::start(root.clone())?,
+            httpd: MiniHttpd::start(root.clone())?,
+            ftpd: MiniFtpd::start(root.clone())?,
+            nfsd: MiniNfsd::start(root)?,
+        })
+    }
+
+    /// Stops every server.
+    pub fn shutdown(self) {
+        self.chirpd.shutdown();
+        self.httpd.shutdown();
+        self.ftpd.shutdown();
+        self.nfsd.shutdown();
+    }
+}

@@ -1,0 +1,307 @@
+//! A thin user-level NFSv2 server — the in-kernel nfsd stand-in.
+
+use crate::common::SharedRoot;
+use nest_proto::nfs::types::{FileHandle, NfsAttr, NfsStat};
+use nest_proto::nfs::wire::{
+    mountproc, proc, AttrStat, CreateArgs, DirEntry, DirOpArgs, DirOpRes, FhStatus, ReadArgs,
+    ReadDirArgs, ReadDirRes, ReadRes, RenameArgs, WriteArgs, MOUNT_PROGRAM, MOUNT_VERSION,
+    NFS_PROGRAM, NFS_VERSION,
+};
+use nest_storage::backend::FileKind;
+use nest_storage::VPath;
+use nest_sunrpc::rpc::{AcceptStat, CallBody};
+use nest_sunrpc::server::{RpcHandler, RpcServer, SpawnedRpcServer};
+use nest_sunrpc::xdr::{XdrDecoder, XdrEncoder};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// The mini NFS daemon (UDP + TCP RPC).
+pub struct MiniNfsd {
+    rpc: SpawnedRpcServer,
+}
+
+impl MiniNfsd {
+    /// Starts the server over the shared root.
+    pub fn start(root: SharedRoot) -> io::Result<Self> {
+        let state = Arc::new(NfsState::new(root));
+        let mut server = RpcServer::new();
+        server.register(NFS_PROGRAM, NFS_VERSION, Handler(Arc::clone(&state)));
+        server.register(MOUNT_PROGRAM, MOUNT_VERSION, Mount(state));
+        Ok(Self {
+            rpc: SpawnedRpcServer::spawn(server)?,
+        })
+    }
+
+    /// Bound UDP address.
+    pub fn addr(&self) -> SocketAddr {
+        self.rpc.udp_addr
+    }
+
+    /// Stops the server.
+    pub fn shutdown(self) {
+        self.rpc.shutdown();
+    }
+}
+
+struct NfsState {
+    root: SharedRoot,
+    fhs: Mutex<FhMap>,
+}
+
+struct FhMap {
+    next: u64,
+    by_path: HashMap<VPath, u64>,
+    by_id: HashMap<u64, VPath>,
+}
+
+impl NfsState {
+    fn new(root: SharedRoot) -> Self {
+        let mut by_path = HashMap::new();
+        let mut by_id = HashMap::new();
+        by_path.insert(VPath::root(), 1);
+        by_id.insert(1, VPath::root());
+        Self {
+            root,
+            fhs: Mutex::new(FhMap {
+                next: 2,
+                by_path,
+                by_id,
+            }),
+        }
+    }
+
+    fn handle_for(&self, path: &VPath) -> FileHandle {
+        let mut fhs = self.fhs.lock();
+        if let Some(&id) = fhs.by_path.get(path) {
+            return FileHandle::from_id(id, 1);
+        }
+        let id = fhs.next;
+        fhs.next += 1;
+        fhs.by_path.insert(path.clone(), id);
+        fhs.by_id.insert(id, path.clone());
+        FileHandle::from_id(id, 1)
+    }
+
+    fn resolve(&self, fh: &FileHandle) -> Result<VPath, NfsStat> {
+        self.fhs
+            .lock()
+            .by_id
+            .get(&fh.id())
+            .cloned()
+            .ok_or(NfsStat::Stale)
+    }
+
+    fn attr_for(&self, path: &VPath) -> Result<NfsAttr, NfsStat> {
+        let st = self.root.backend().stat(path).map_err(io_stat)?;
+        let fileid = (self.handle_for(path).id() & 0xFFFF_FFFF) as u32;
+        Ok(match st.kind {
+            FileKind::File => NfsAttr::file(st.size.min(u32::MAX as u64) as u32, fileid),
+            FileKind::Dir => NfsAttr::dir(fileid),
+        })
+    }
+}
+
+fn io_stat(e: io::Error) -> NfsStat {
+    match e.kind() {
+        io::ErrorKind::NotFound => NfsStat::NoEnt,
+        io::ErrorKind::AlreadyExists => NfsStat::Exist,
+        io::ErrorKind::DirectoryNotEmpty => NfsStat::NotEmpty,
+        io::ErrorKind::InvalidInput => NfsStat::NotDir,
+        _ => NfsStat::Io,
+    }
+}
+
+struct Handler(Arc<NfsState>);
+
+impl RpcHandler for Handler {
+    fn handle(&self, call: &CallBody, _peer: SocketAddr) -> Result<Vec<u8>, AcceptStat> {
+        let s = &self.0;
+        let mut d = XdrDecoder::new(&call.args);
+        let mut e = XdrEncoder::new();
+        match call.proc {
+            proc::NULL => {}
+            proc::GETATTR => {
+                let fh = FileHandle::decode(&mut d).map_err(|_| AcceptStat::GarbageArgs)?;
+                match s.resolve(&fh).and_then(|p| s.attr_for(&p)) {
+                    Ok(attr) => AttrStat::ok(attr).encode(&mut e),
+                    Err(st) => AttrStat::err(st).encode(&mut e),
+                }
+            }
+            proc::LOOKUP => {
+                let args = DirOpArgs::decode(&mut d).map_err(|_| AcceptStat::GarbageArgs)?;
+                let res = (|| {
+                    let dir = s.resolve(&args.dir)?;
+                    let path = dir.join(&args.name).map_err(|_| NfsStat::NoEnt)?;
+                    let attr = s.attr_for(&path)?;
+                    Ok::<_, NfsStat>(DirOpRes::ok(s.handle_for(&path), attr))
+                })()
+                .unwrap_or_else(DirOpRes::err);
+                res.encode(&mut e);
+            }
+            proc::READ => {
+                let args = ReadArgs::decode(&mut d).map_err(|_| AcceptStat::GarbageArgs)?;
+                let res = (|| {
+                    let path = s.resolve(&args.fh)?;
+                    let mut buf = vec![0u8; args.count.min(8192) as usize];
+                    let n = s
+                        .root
+                        .backend()
+                        .read_at(&path, args.offset as u64, &mut buf)
+                        .map_err(io_stat)?;
+                    buf.truncate(n);
+                    let attr = s.attr_for(&path)?;
+                    Ok::<_, NfsStat>(ReadRes {
+                        status: NfsStat::Ok,
+                        attr: Some(attr),
+                        data: buf,
+                    })
+                })()
+                .unwrap_or_else(|st| ReadRes {
+                    status: st,
+                    attr: None,
+                    data: Vec::new(),
+                });
+                res.encode(&mut e);
+            }
+            proc::WRITE => {
+                let args = WriteArgs::decode(&mut d).map_err(|_| AcceptStat::GarbageArgs)?;
+                let res = (|| {
+                    let path = s.resolve(&args.fh)?;
+                    s.root
+                        .backend()
+                        .write_at(&path, args.offset as u64, &args.data)
+                        .map_err(io_stat)?;
+                    s.attr_for(&path).map(AttrStat::ok)
+                })()
+                .unwrap_or_else(AttrStat::err);
+                res.encode(&mut e);
+            }
+            proc::CREATE | proc::MKDIR => {
+                let args = CreateArgs::decode(&mut d).map_err(|_| AcceptStat::GarbageArgs)?;
+                let res = (|| {
+                    let dir = s.resolve(&args.wher.dir)?;
+                    let path = dir.join(&args.wher.name).map_err(|_| NfsStat::Io)?;
+                    if call.proc == proc::MKDIR {
+                        s.root.backend().mkdir(&path).map_err(io_stat)?;
+                    } else {
+                        s.root.backend().create(&path).map_err(io_stat)?;
+                    }
+                    let attr = s.attr_for(&path)?;
+                    Ok::<_, NfsStat>(DirOpRes::ok(s.handle_for(&path), attr))
+                })()
+                .unwrap_or_else(DirOpRes::err);
+                res.encode(&mut e);
+            }
+            proc::REMOVE | proc::RMDIR => {
+                let args = DirOpArgs::decode(&mut d).map_err(|_| AcceptStat::GarbageArgs)?;
+                let status = (|| {
+                    let dir = s.resolve(&args.dir)?;
+                    let path = dir.join(&args.name).map_err(|_| NfsStat::NoEnt)?;
+                    if call.proc == proc::RMDIR {
+                        s.root.backend().rmdir(&path).map_err(io_stat)?;
+                    } else {
+                        s.root.backend().remove(&path).map_err(io_stat)?;
+                    }
+                    Ok::<_, NfsStat>(NfsStat::Ok)
+                })()
+                .unwrap_or_else(|st| st);
+                e.put_u32(status as u32);
+            }
+            proc::RENAME => {
+                let args = RenameArgs::decode(&mut d).map_err(|_| AcceptStat::GarbageArgs)?;
+                let status = (|| {
+                    let from_dir = s.resolve(&args.from.dir)?;
+                    let to_dir = s.resolve(&args.to.dir)?;
+                    let from = from_dir.join(&args.from.name).map_err(|_| NfsStat::NoEnt)?;
+                    let to = to_dir.join(&args.to.name).map_err(|_| NfsStat::Io)?;
+                    s.root.backend().rename(&from, &to).map_err(io_stat)?;
+                    Ok::<_, NfsStat>(NfsStat::Ok)
+                })()
+                .unwrap_or_else(|st| st);
+                e.put_u32(status as u32);
+            }
+            proc::READDIR => {
+                let args = ReadDirArgs::decode(&mut d).map_err(|_| AcceptStat::GarbageArgs)?;
+                let res = (|| {
+                    let dir = s.resolve(&args.fh)?;
+                    let mut names = s.root.backend().list(&dir).map_err(io_stat)?;
+                    names.sort();
+                    let entries = names
+                        .into_iter()
+                        .enumerate()
+                        .skip(args.cookie as usize)
+                        .map(|(i, name)| DirEntry {
+                            fileid: (i + 2) as u32,
+                            name,
+                            cookie: (i + 1) as u32,
+                        })
+                        .collect();
+                    Ok::<_, NfsStat>(ReadDirRes {
+                        status: NfsStat::Ok,
+                        entries,
+                        eof: true,
+                    })
+                })()
+                .unwrap_or_else(|st| ReadDirRes {
+                    status: st,
+                    entries: Vec::new(),
+                    eof: true,
+                });
+                res.encode(&mut e);
+            }
+            _ => return Err(AcceptStat::ProcUnavail),
+        }
+        Ok(e.into_bytes())
+    }
+}
+
+struct Mount(#[allow(dead_code)] Arc<NfsState>);
+
+impl RpcHandler for Mount {
+    fn handle(&self, call: &CallBody, _peer: SocketAddr) -> Result<Vec<u8>, AcceptStat> {
+        match call.proc {
+            mountproc::NULL | mountproc::UMNT => Ok(Vec::new()),
+            mountproc::MNT => {
+                let mut e = XdrEncoder::new();
+                FhStatus {
+                    status: 0,
+                    fh: Some(FileHandle::from_id(1, 1)),
+                }
+                .encode(&mut e);
+                Ok(e.into_bytes())
+            }
+            _ => Err(AcceptStat::ProcUnavail),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nest_proto::nfs::{MountClient, NfsClient};
+
+    #[test]
+    fn nfsd_roundtrip() {
+        let root = SharedRoot::in_memory();
+        let server = MiniNfsd::start(root).unwrap();
+        let addr = server.addr();
+        let mut mount = MountClient::connect(addr).unwrap();
+        let rootfh = mount.mount("/").unwrap();
+        let mut nfs = NfsClient::connect(addr).unwrap();
+        nfs.null().unwrap();
+        let payload = vec![3u8; 20_000];
+        nfs.write_file(rootfh, "x.bin", &mut std::io::Cursor::new(payload.clone()))
+            .unwrap();
+        let (fh, attr) = nfs.lookup(rootfh, "x.bin").unwrap();
+        assert_eq!(attr.size as usize, payload.len());
+        let mut back = Vec::new();
+        nfs.read_file(fh, &mut back).unwrap();
+        assert_eq!(back, payload);
+        assert_eq!(nfs.readdir(rootfh).unwrap(), vec!["x.bin"]);
+        nfs.remove(rootfh, "x.bin").unwrap();
+        server.shutdown();
+    }
+}

@@ -1,0 +1,368 @@
+//! A blocking Chirp client.
+
+use super::codec::{error_from_code, format_request, CODE_OK};
+use crate::gsi::Credential;
+use crate::request::{NestError, NestRequest, TransferUrl};
+use crate::wire::{copy_exact, read_line, write_line};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Chirp client errors.
+#[derive(Debug)]
+pub enum ChirpError {
+    /// Transport failure.
+    Io(io::Error),
+    /// Server-reported failure.
+    Server(NestError),
+    /// The server sent something unparseable.
+    Protocol(String),
+}
+
+impl fmt::Display for ChirpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChirpError::Io(e) => write!(f, "chirp I/O error: {}", e),
+            ChirpError::Server(e) => write!(f, "chirp server error: {}", e),
+            ChirpError::Protocol(m) => write!(f, "chirp protocol error: {}", m),
+        }
+    }
+}
+
+impl std::error::Error for ChirpError {}
+
+impl From<io::Error> for ChirpError {
+    fn from(e: io::Error) -> Self {
+        ChirpError::Io(e)
+    }
+}
+
+/// Lot information returned by `lot_stat` / `lot_list`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LotInfo {
+    /// Lot id.
+    pub id: u64,
+    /// Owner spec (`user:alice` / `group:wind`).
+    pub owner: String,
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// Bytes used.
+    pub used: u64,
+    /// Absolute expiry (seconds).
+    pub expires_at: u64,
+}
+
+impl LotInfo {
+    /// Parses the server's `id owner capacity used expires` line.
+    pub fn parse(line: &str) -> Option<Self> {
+        let mut it = line.split_whitespace();
+        Some(LotInfo {
+            id: it.next()?.parse().ok()?,
+            owner: it.next()?.to_owned(),
+            capacity: it.next()?.parse().ok()?,
+            used: it.next()?.parse().ok()?,
+            expires_at: it.next()?.parse().ok()?,
+        })
+    }
+
+    /// Renders the wire line.
+    pub fn render(&self) -> String {
+        format!(
+            "{} {} {} {} {}",
+            self.id, self.owner, self.capacity, self.used, self.expires_at
+        )
+    }
+}
+
+/// A blocking Chirp client session.
+pub struct ChirpClient {
+    stream: TcpStream,
+}
+
+struct Status {
+    code: i32,
+    detail: String,
+}
+
+impl ChirpClient {
+    /// Connects to a Chirp server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ChirpError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Self { stream })
+    }
+
+    /// Authenticates with a simulated GSI credential; returns the mapped
+    /// local user name.
+    pub fn authenticate(&mut self, cred: &Credential) -> Result<String, ChirpError> {
+        write_line(&mut self.stream, &format!("auth gsi {}", cred.to_wire()))?;
+        let st = self.read_status()?;
+        if st.code == CODE_OK {
+            Ok(st.detail)
+        } else {
+            Err(ChirpError::Server(error_from_code(st.code)))
+        }
+    }
+
+    /// Asks the server's version string.
+    pub fn version(&mut self) -> Result<String, ChirpError> {
+        write_line(&mut self.stream, "version")?;
+        let st = self.read_status()?;
+        self.expect_ok(&st)?;
+        Ok(st.detail)
+    }
+
+    fn send(&mut self, req: &NestRequest) -> Result<Status, ChirpError> {
+        write_line(&mut self.stream, &format_request(req))?;
+        self.read_status()
+    }
+
+    fn read_status(&mut self) -> Result<Status, ChirpError> {
+        let line = read_line(&mut self.stream)?
+            .ok_or_else(|| ChirpError::Protocol("server closed connection".into()))?;
+        let (code, detail) = match line.split_once(' ') {
+            Some((c, d)) => (c, d.to_owned()),
+            None => (line.as_str(), String::new()),
+        };
+        let code: i32 = code
+            .parse()
+            .map_err(|_| ChirpError::Protocol(format!("bad status line {:?}", line)))?;
+        Ok(Status { code, detail })
+    }
+
+    fn expect_ok(&mut self, st: &Status) -> Result<(), ChirpError> {
+        if st.code == CODE_OK {
+            Ok(())
+        } else {
+            Err(ChirpError::Server(error_from_code(st.code)))
+        }
+    }
+
+    fn read_lines(&mut self, st: &Status) -> Result<Vec<String>, ChirpError> {
+        let n: usize = st
+            .detail
+            .split_whitespace()
+            .next()
+            .unwrap_or("0")
+            .parse()
+            .map_err(|_| ChirpError::Protocol(format!("bad line count {:?}", st.detail)))?;
+        let mut out = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            out.push(
+                read_line(&mut self.stream)?
+                    .ok_or_else(|| ChirpError::Protocol("EOF in multi-line payload".into()))?,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Creates a directory.
+    pub fn mkdir(&mut self, path: &str) -> Result<(), ChirpError> {
+        let st = self.send(&NestRequest::Mkdir { path: path.into() })?;
+        self.expect_ok(&st)
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&mut self, path: &str) -> Result<(), ChirpError> {
+        let st = self.send(&NestRequest::Rmdir { path: path.into() })?;
+        self.expect_ok(&st)
+    }
+
+    /// Lists a directory.
+    pub fn ls(&mut self, path: &str) -> Result<Vec<String>, ChirpError> {
+        let st = self.send(&NestRequest::ListDir { path: path.into() })?;
+        self.expect_ok(&st)?;
+        self.read_lines(&st)
+    }
+
+    /// Returns a file's size.
+    pub fn stat(&mut self, path: &str) -> Result<u64, ChirpError> {
+        let st = self.send(&NestRequest::Stat { path: path.into() })?;
+        self.expect_ok(&st)?;
+        st.detail
+            .split_whitespace()
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ChirpError::Protocol(format!("bad stat reply {:?}", st.detail)))
+    }
+
+    /// Deletes a file.
+    pub fn unlink(&mut self, path: &str) -> Result<(), ChirpError> {
+        let st = self.send(&NestRequest::Delete { path: path.into() })?;
+        self.expect_ok(&st)
+    }
+
+    /// Renames a file or directory.
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<(), ChirpError> {
+        let st = self.send(&NestRequest::Rename {
+            from: from.into(),
+            to: to.into(),
+        })?;
+        self.expect_ok(&st)
+    }
+
+    /// Stores a byte slice as a file.
+    pub fn put_bytes(&mut self, path: &str, data: &[u8]) -> Result<(), ChirpError> {
+        self.put_stream(path, data.len() as u64, &mut io::Cursor::new(data))
+    }
+
+    /// Stores `size` bytes read from `source`.
+    pub fn put_stream(
+        &mut self,
+        path: &str,
+        size: u64,
+        source: &mut impl Read,
+    ) -> Result<(), ChirpError> {
+        let st = self.send(&NestRequest::Put {
+            path: path.into(),
+            size: Some(size),
+        })?;
+        self.expect_ok(&st)?; // server says "ready"
+        copy_exact(source, &mut self.stream, size, 64 * 1024)?;
+        let st = self.read_status()?;
+        self.expect_ok(&st)
+    }
+
+    /// Retrieves a file into a vector.
+    pub fn get_bytes(&mut self, path: &str) -> Result<Vec<u8>, ChirpError> {
+        let mut out = Vec::new();
+        self.get_stream(path, &mut out)?;
+        Ok(out)
+    }
+
+    /// Retrieves a file into a writer; returns the byte count.
+    pub fn get_stream(&mut self, path: &str, sink: &mut impl Write) -> Result<u64, ChirpError> {
+        let st = self.send(&NestRequest::Get { path: path.into() })?;
+        self.expect_ok(&st)?;
+        let size: u64 = st
+            .detail
+            .split_whitespace()
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ChirpError::Protocol(format!("bad get reply {:?}", st.detail)))?;
+        copy_exact(&mut self.stream, sink, size, 64 * 1024)?;
+        Ok(size)
+    }
+
+    /// Creates a lot; returns its id.
+    pub fn lot_create(&mut self, capacity: u64, duration: u64) -> Result<u64, ChirpError> {
+        let st = self.send(&NestRequest::LotCreate { capacity, duration })?;
+        self.expect_ok(&st)?;
+        st.detail
+            .split_whitespace()
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ChirpError::Protocol(format!("bad lot id {:?}", st.detail)))
+    }
+
+    /// Creates a group lot (caller must belong to the group); returns its id.
+    pub fn lot_create_group(
+        &mut self,
+        group: &str,
+        capacity: u64,
+        duration: u64,
+    ) -> Result<u64, ChirpError> {
+        let st = self.send(&NestRequest::LotCreateGroup {
+            group: group.into(),
+            capacity,
+            duration,
+        })?;
+        self.expect_ok(&st)?;
+        st.detail
+            .split_whitespace()
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ChirpError::Protocol(format!("bad lot id {:?}", st.detail)))
+    }
+
+    /// Renews a lot.
+    pub fn lot_renew(&mut self, id: u64, extra: u64) -> Result<(), ChirpError> {
+        let st = self.send(&NestRequest::LotRenew { id, extra })?;
+        self.expect_ok(&st)
+    }
+
+    /// Terminates a lot.
+    pub fn lot_terminate(&mut self, id: u64) -> Result<(), ChirpError> {
+        let st = self.send(&NestRequest::LotTerminate { id })?;
+        self.expect_ok(&st)
+    }
+
+    /// Queries a lot.
+    pub fn lot_stat(&mut self, id: u64) -> Result<LotInfo, ChirpError> {
+        let st = self.send(&NestRequest::LotStat { id })?;
+        self.expect_ok(&st)?;
+        let lines = self.read_lines(&st)?;
+        lines
+            .first()
+            .and_then(|l| LotInfo::parse(l))
+            .ok_or_else(|| ChirpError::Protocol("bad lot_stat payload".into()))
+    }
+
+    /// Lists the caller's lots.
+    pub fn lot_list(&mut self) -> Result<Vec<LotInfo>, ChirpError> {
+        let st = self.send(&NestRequest::LotList)?;
+        self.expect_ok(&st)?;
+        let lines = self.read_lines(&st)?;
+        lines
+            .iter()
+            .map(|l| {
+                LotInfo::parse(l)
+                    .ok_or_else(|| ChirpError::Protocol(format!("bad lot line {:?}", l)))
+            })
+            .collect()
+    }
+
+    /// Sets an ACL entry on a directory.
+    pub fn setacl(&mut self, path: &str, principal: &str, rights: &str) -> Result<(), ChirpError> {
+        let st = self.send(&NestRequest::SetAcl {
+            path: path.into(),
+            principal: principal.into(),
+            rights: rights.into(),
+        })?;
+        self.expect_ok(&st)
+    }
+
+    /// Reads the effective ACL for a path.
+    pub fn getacl(&mut self, path: &str) -> Result<Vec<String>, ChirpError> {
+        let st = self.send(&NestRequest::GetAcl { path: path.into() })?;
+        self.expect_ok(&st)?;
+        self.read_lines(&st)
+    }
+
+    /// Requests a third-party transfer between two URLs, orchestrated by
+    /// the connected server.
+    pub fn third_party(&mut self, src: &TransferUrl, dst: &TransferUrl) -> Result<(), ChirpError> {
+        let st = self.send(&NestRequest::ThirdParty {
+            src: src.clone(),
+            dst: dst.clone(),
+        })?;
+        self.expect_ok(&st)
+    }
+
+    /// Ends the session politely.
+    pub fn quit(mut self) -> Result<(), ChirpError> {
+        let _ = self.send(&NestRequest::Quit);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lot_info_roundtrip() {
+        let info = LotInfo {
+            id: 3,
+            owner: "user:alice".into(),
+            capacity: 1000,
+            used: 250,
+            expires_at: 1234567,
+        };
+        assert_eq!(LotInfo::parse(&info.render()), Some(info));
+        assert_eq!(LotInfo::parse("not a lot line"), None);
+        assert_eq!(LotInfo::parse(""), None);
+    }
+}

@@ -1,0 +1,314 @@
+//! Chirp command/response codec: the translation between Chirp's wire
+//! format and the common request interface.
+
+use crate::gsi::Credential;
+use crate::request::{NestError, NestRequest, NestResponse};
+
+/// Success status code.
+pub const CODE_OK: i32 = 0;
+
+/// A parsed Chirp command: session-level commands plus common requests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChirpCommand {
+    /// Protocol version inquiry.
+    Version,
+    /// GSI authentication handshake.
+    Auth(Credential),
+    /// A common request.
+    Request(NestRequest),
+}
+
+/// Percent-escapes spaces and percent signs in a path argument.
+pub fn escape_arg(s: &str) -> String {
+    s.replace('%', "%25").replace(' ', "%20")
+}
+
+/// Reverses [`escape_arg`].
+pub fn unescape_arg(s: &str) -> String {
+    s.replace("%20", " ").replace("%25", "%")
+}
+
+/// Parses one request line. Returns `None` for unknown verbs or malformed
+/// argument lists (the handler answers with a bad-request status).
+pub fn parse_command(line: &str) -> Option<ChirpCommand> {
+    let mut parts = line.split_whitespace();
+    let verb = parts.next()?.to_ascii_lowercase();
+    let args: Vec<&str> = parts.collect();
+    let req = match (verb.as_str(), args.as_slice()) {
+        ("version", []) => return Some(ChirpCommand::Version),
+        ("auth", ["gsi", rest @ ..]) if rest.len() == 2 => {
+            let cred = Credential::from_wire(&format!("{} {}", rest[0], rest[1]))?;
+            return Some(ChirpCommand::Auth(cred));
+        }
+        ("mkdir", [p]) => NestRequest::Mkdir {
+            path: unescape_arg(p),
+        },
+        ("rmdir", [p]) => NestRequest::Rmdir {
+            path: unescape_arg(p),
+        },
+        ("ls", [p]) => NestRequest::ListDir {
+            path: unescape_arg(p),
+        },
+        ("stat", [p]) => NestRequest::Stat {
+            path: unescape_arg(p),
+        },
+        ("get", [p]) => NestRequest::Get {
+            path: unescape_arg(p),
+        },
+        ("put", [p, size]) => NestRequest::Put {
+            path: unescape_arg(p),
+            size: Some(size.parse().ok()?),
+        },
+        ("unlink", [p]) => NestRequest::Delete {
+            path: unescape_arg(p),
+        },
+        ("rename", [a, b]) => NestRequest::Rename {
+            from: unescape_arg(a),
+            to: unescape_arg(b),
+        },
+        ("lot_create", [cap, dur]) => NestRequest::LotCreate {
+            capacity: cap.parse().ok()?,
+            duration: dur.parse().ok()?,
+        },
+        ("lot_create_group", [group, cap, dur]) => NestRequest::LotCreateGroup {
+            group: unescape_arg(group),
+            capacity: cap.parse().ok()?,
+            duration: dur.parse().ok()?,
+        },
+        ("lot_renew", [id, extra]) => NestRequest::LotRenew {
+            id: id.parse().ok()?,
+            extra: extra.parse().ok()?,
+        },
+        ("lot_terminate", [id]) => NestRequest::LotTerminate {
+            id: id.parse().ok()?,
+        },
+        ("lot_stat", [id]) => NestRequest::LotStat {
+            id: id.parse().ok()?,
+        },
+        ("lot_list", []) => NestRequest::LotList,
+        ("setacl", [p, principal, rights]) => NestRequest::SetAcl {
+            path: unescape_arg(p),
+            principal: unescape_arg(principal),
+            rights: (*rights).to_owned(),
+        },
+        ("getacl", [p]) => NestRequest::GetAcl {
+            path: unescape_arg(p),
+        },
+        ("third_party", [src, dst]) => NestRequest::ThirdParty {
+            src: src.parse().ok()?,
+            dst: dst.parse().ok()?,
+        },
+        ("quit", []) => NestRequest::Quit,
+        _ => return None,
+    };
+    Some(ChirpCommand::Request(req))
+}
+
+/// Renders a request as a Chirp command line (client side).
+pub fn format_request(req: &NestRequest) -> String {
+    match req {
+        NestRequest::Mkdir { path } => format!("mkdir {}", escape_arg(path)),
+        NestRequest::Rmdir { path } => format!("rmdir {}", escape_arg(path)),
+        NestRequest::ListDir { path } => format!("ls {}", escape_arg(path)),
+        NestRequest::Stat { path } => format!("stat {}", escape_arg(path)),
+        NestRequest::Get { path } => format!("get {}", escape_arg(path)),
+        NestRequest::Put { path, size } => {
+            format!("put {} {}", escape_arg(path), size.unwrap_or(0))
+        }
+        NestRequest::Delete { path } => format!("unlink {}", escape_arg(path)),
+        NestRequest::Rename { from, to } => {
+            format!("rename {} {}", escape_arg(from), escape_arg(to))
+        }
+        NestRequest::LotCreate { capacity, duration } => {
+            format!("lot_create {} {}", capacity, duration)
+        }
+        NestRequest::LotCreateGroup {
+            group,
+            capacity,
+            duration,
+        } => format!(
+            "lot_create_group {} {} {}",
+            escape_arg(group),
+            capacity,
+            duration
+        ),
+        NestRequest::LotRenew { id, extra } => format!("lot_renew {} {}", id, extra),
+        NestRequest::LotTerminate { id } => format!("lot_terminate {}", id),
+        NestRequest::LotStat { id } => format!("lot_stat {}", id),
+        NestRequest::LotList => "lot_list".to_owned(),
+        NestRequest::SetAcl {
+            path,
+            principal,
+            rights,
+        } => format!(
+            "setacl {} {} {}",
+            escape_arg(path),
+            escape_arg(principal),
+            rights
+        ),
+        NestRequest::GetAcl { path } => format!("getacl {}", escape_arg(path)),
+        NestRequest::ThirdParty { src, dst } => format!("third_party {} {}", src, dst),
+        NestRequest::Quit => "quit".to_owned(),
+    }
+}
+
+/// Maps a [`NestError`] to its Chirp status code.
+pub fn error_code(e: NestError) -> i32 {
+    match e {
+        NestError::NotFound => -1,
+        NestError::Denied => -2,
+        NestError::Exists => -3,
+        NestError::NoSpace => -4,
+        NestError::BadRequest => -5,
+        NestError::Invalid => -6,
+        NestError::Internal => -7,
+    }
+}
+
+/// Maps a Chirp status code back to a [`NestError`].
+pub fn error_from_code(code: i32) -> NestError {
+    match code {
+        -1 => NestError::NotFound,
+        -2 => NestError::Denied,
+        -3 => NestError::Exists,
+        -4 => NestError::NoSpace,
+        -5 => NestError::BadRequest,
+        -6 => NestError::Invalid,
+        _ => NestError::Internal,
+    }
+}
+
+/// Builds the status line for a response. Multi-line payloads follow the
+/// status line, one per line.
+pub fn status_line(resp: &NestResponse) -> String {
+    match resp {
+        NestResponse::Ok => format!("{} ok", CODE_OK),
+        NestResponse::OkText(lines) => format!("{} {}", CODE_OK, lines.len()),
+        NestResponse::OkSize(size) => format!("{} {}", CODE_OK, size),
+        NestResponse::OkLot(id) => format!("{} {}", CODE_OK, id),
+        NestResponse::Error(e) => format!("{} {}", error_code(*e), e),
+    }
+}
+
+/// Renders a full response (status line plus any payload lines).
+pub fn format_response(resp: &NestResponse) -> Vec<String> {
+    let mut out = vec![status_line(resp)];
+    if let NestResponse::OkText(lines) = resp {
+        out.extend(lines.iter().cloned());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::TransferUrl;
+
+    #[test]
+    fn request_lines_roundtrip() {
+        let requests = vec![
+            NestRequest::Mkdir {
+                path: "/a dir".into(),
+            },
+            NestRequest::Rmdir { path: "/d".into() },
+            NestRequest::ListDir { path: "/".into() },
+            NestRequest::Stat { path: "/f".into() },
+            NestRequest::Get { path: "/f".into() },
+            NestRequest::Put {
+                path: "/f".into(),
+                size: Some(100),
+            },
+            NestRequest::Delete { path: "/f".into() },
+            NestRequest::Rename {
+                from: "/a".into(),
+                to: "/b".into(),
+            },
+            NestRequest::LotCreate {
+                capacity: 1000,
+                duration: 60,
+            },
+            NestRequest::LotCreateGroup {
+                group: "wind".into(),
+                capacity: 500,
+                duration: 60,
+            },
+            NestRequest::LotRenew { id: 3, extra: 30 },
+            NestRequest::LotTerminate { id: 3 },
+            NestRequest::LotStat { id: 3 },
+            NestRequest::LotList,
+            NestRequest::SetAcl {
+                path: "/d".into(),
+                principal: "user:alice".into(),
+                rights: "rliw".into(),
+            },
+            NestRequest::GetAcl { path: "/d".into() },
+            NestRequest::ThirdParty {
+                src: TransferUrl::new("gsiftp", "a", 2811, "/x"),
+                dst: TransferUrl::new("gsiftp", "b", 2811, "/y"),
+            },
+            NestRequest::Quit,
+        ];
+        for req in requests {
+            let line = format_request(&req);
+            match parse_command(&line) {
+                Some(ChirpCommand::Request(parsed)) => assert_eq!(parsed, req, "line {:?}", line),
+                other => panic!("line {:?} parsed as {:?}", line, other),
+            }
+        }
+    }
+
+    #[test]
+    fn path_escaping_roundtrips() {
+        assert_eq!(unescape_arg(&escape_arg("a b%c")), "a b%c");
+        let line = format_request(&NestRequest::Get {
+            path: "/dir with spaces/f".into(),
+        });
+        assert!(!line[4..].contains(' ') || line.matches(' ').count() == 1);
+    }
+
+    #[test]
+    fn auth_command_parses() {
+        let ca = crate::gsi::SimCa::new("ca", 1);
+        let cred = ca.issue("/O=Grid/CN=A B");
+        let line = format!("auth gsi {}", cred.to_wire());
+        match parse_command(&line) {
+            Some(ChirpCommand::Auth(c)) => assert_eq!(c, cred),
+            other => panic!("{:?}", other),
+        }
+    }
+
+    #[test]
+    fn version_and_unknown() {
+        assert_eq!(parse_command("version"), Some(ChirpCommand::Version));
+        assert_eq!(parse_command("frobnicate /x"), None);
+        assert_eq!(parse_command(""), None);
+        assert_eq!(parse_command("put /f notanumber"), None);
+    }
+
+    #[test]
+    fn error_codes_roundtrip() {
+        for e in [
+            NestError::NotFound,
+            NestError::Denied,
+            NestError::Exists,
+            NestError::NoSpace,
+            NestError::BadRequest,
+            NestError::Invalid,
+            NestError::Internal,
+        ] {
+            assert_eq!(error_from_code(error_code(e)), e);
+            assert!(error_code(e) < 0);
+        }
+    }
+
+    #[test]
+    fn response_rendering() {
+        assert_eq!(status_line(&NestResponse::Ok), "0 ok");
+        assert_eq!(status_line(&NestResponse::OkSize(42)), "0 42");
+        assert_eq!(status_line(&NestResponse::OkLot(7)), "0 7");
+        let multi = format_response(&NestResponse::OkText(vec!["a".into(), "b".into()]));
+        assert_eq!(multi, vec!["0 2", "a", "b"]);
+        let err = status_line(&NestResponse::Error(NestError::Denied));
+        assert!(err.starts_with("-2 "));
+    }
+}

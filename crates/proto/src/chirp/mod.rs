@@ -1,0 +1,24 @@
+//! Chirp — NeST's native protocol (paper §3).
+//!
+//! Chirp is a simple line-oriented request/response protocol from the
+//! Condor project. It is the only protocol with lot-management requests
+//! ("Chirp is the only protocol that supports lot management") and one of
+//! the two GSI-authenticated protocols.
+//!
+//! ## Wire format
+//!
+//! Requests are single lines: `verb arg1 arg2 ...`; path arguments with
+//! spaces are percent-escaped by the client. Responses begin with a status
+//! line `<code> <detail>`, where code `0` is success and negative codes are
+//! errors. `get`/`put` responses are followed by a raw byte stream of the
+//! announced length. Multi-line results (`ls`, `lot_list`, `getacl`)
+//! announce a line count and then send that many lines.
+
+pub mod client;
+mod codec;
+
+pub use client::{ChirpClient, ChirpError};
+pub use codec::{
+    error_code, error_from_code, format_request, format_response, parse_command, status_line,
+    ChirpCommand, CODE_OK,
+};

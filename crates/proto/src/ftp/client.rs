@@ -1,0 +1,238 @@
+//! A blocking FTP client (passive mode).
+
+use super::codec::{parse_pasv_reply, FtpReply};
+use crate::wire::{read_line, write_line};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// FTP client errors.
+#[derive(Debug)]
+pub enum FtpError {
+    /// Transport failure.
+    Io(io::Error),
+    /// A negative server reply.
+    Reply(FtpReply),
+    /// Unparseable server output.
+    Protocol(String),
+}
+
+impl fmt::Display for FtpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtpError::Io(e) => write!(f, "ftp I/O error: {}", e),
+            FtpError::Reply(r) => write!(f, "ftp server replied {}", r),
+            FtpError::Protocol(m) => write!(f, "ftp protocol error: {}", m),
+        }
+    }
+}
+
+impl std::error::Error for FtpError {}
+
+impl From<io::Error> for FtpError {
+    fn from(e: io::Error) -> Self {
+        FtpError::Io(e)
+    }
+}
+
+/// A blocking FTP client session.
+pub struct FtpClient {
+    control: TcpStream,
+}
+
+impl FtpClient {
+    /// Connects and consumes the greeting.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, FtpError> {
+        let control = TcpStream::connect(addr)?;
+        control.set_nodelay(true)?;
+        control.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let mut client = Self { control };
+        let greeting = client.read_reply()?;
+        if greeting.code != 220 {
+            return Err(FtpError::Reply(greeting));
+        }
+        Ok(client)
+    }
+
+    /// Issues a raw command and reads one reply.
+    pub fn command(&mut self, line: &str) -> Result<FtpReply, FtpError> {
+        write_line(&mut self.control, line)?;
+        self.read_reply()
+    }
+
+    /// Reads one reply line.
+    pub fn read_reply(&mut self) -> Result<FtpReply, FtpError> {
+        let line = read_line(&mut self.control)?
+            .ok_or_else(|| FtpError::Protocol("server closed control connection".into()))?;
+        FtpReply::parse(&line)
+            .ok_or_else(|| FtpError::Protocol(format!("bad reply line {:?}", line)))
+    }
+
+    fn expect(&mut self, line: &str, code: u16) -> Result<FtpReply, FtpError> {
+        let reply = self.command(line)?;
+        if reply.code == code {
+            Ok(reply)
+        } else {
+            Err(FtpError::Reply(reply))
+        }
+    }
+
+    /// Logs in (anonymous or named).
+    pub fn login(&mut self, user: &str, pass: &str) -> Result<(), FtpError> {
+        let reply = self.command(&format!("USER {}", user))?;
+        match reply.code {
+            230 => return Ok(()),
+            331 => {}
+            _ => return Err(FtpError::Reply(reply)),
+        }
+        self.expect(&format!("PASS {}", pass), 230)?;
+        Ok(())
+    }
+
+    /// Sets binary type.
+    pub fn type_binary(&mut self) -> Result<(), FtpError> {
+        self.expect("TYPE I", 200)?;
+        Ok(())
+    }
+
+    /// Enters passive mode; returns the server's data address.
+    pub fn pasv(&mut self) -> Result<SocketAddr, FtpError> {
+        let reply = self.expect("PASV", 227)?;
+        parse_pasv_reply(&reply.text)
+            .map(SocketAddr::V4)
+            .ok_or_else(|| FtpError::Protocol(format!("bad PASV reply {:?}", reply.text)))
+    }
+
+    /// Downloads a file into a writer; returns bytes transferred.
+    pub fn retr(&mut self, path: &str, sink: &mut impl Write) -> Result<u64, FtpError> {
+        let data_addr = self.pasv()?;
+        let reply = self.command(&format!("RETR {}", path))?;
+        if reply.code != 150 {
+            return Err(FtpError::Reply(reply));
+        }
+        let mut data = TcpStream::connect(data_addr)?;
+        let mut total = 0u64;
+        let mut buf = vec![0u8; 64 * 1024];
+        loop {
+            let n = data.read(&mut buf)?;
+            if n == 0 {
+                break;
+            }
+            sink.write_all(&buf[..n])?;
+            total += n as u64;
+        }
+        drop(data);
+        let done = self.read_reply()?;
+        if done.code != 226 {
+            return Err(FtpError::Reply(done));
+        }
+        Ok(total)
+    }
+
+    /// Downloads a file into a vector.
+    pub fn retr_bytes(&mut self, path: &str) -> Result<Vec<u8>, FtpError> {
+        let mut out = Vec::new();
+        self.retr(path, &mut out)?;
+        Ok(out)
+    }
+
+    /// Uploads from a reader until EOF; returns bytes transferred.
+    pub fn stor(&mut self, path: &str, source: &mut impl Read) -> Result<u64, FtpError> {
+        let data_addr = self.pasv()?;
+        let reply = self.command(&format!("STOR {}", path))?;
+        if reply.code != 150 {
+            return Err(FtpError::Reply(reply));
+        }
+        let mut data = TcpStream::connect(data_addr)?;
+        let mut total = 0u64;
+        let mut buf = vec![0u8; 64 * 1024];
+        loop {
+            let n = source.read(&mut buf)?;
+            if n == 0 {
+                break;
+            }
+            data.write_all(&buf[..n])?;
+            total += n as u64;
+        }
+        data.flush()?;
+        drop(data); // close signals EOF in stream mode
+        let done = self.read_reply()?;
+        if done.code != 226 {
+            return Err(FtpError::Reply(done));
+        }
+        Ok(total)
+    }
+
+    /// Uploads a byte slice.
+    pub fn stor_bytes(&mut self, path: &str, data: &[u8]) -> Result<u64, FtpError> {
+        self.stor(path, &mut io::Cursor::new(data))
+    }
+
+    /// Names in a directory (NLST).
+    pub fn nlst(&mut self, path: Option<&str>) -> Result<Vec<String>, FtpError> {
+        let data_addr = self.pasv()?;
+        let cmd = match path {
+            Some(p) => format!("NLST {}", p),
+            None => "NLST".to_owned(),
+        };
+        let reply = self.command(&cmd)?;
+        if reply.code != 150 {
+            return Err(FtpError::Reply(reply));
+        }
+        let mut data = TcpStream::connect(data_addr)?;
+        let mut names = Vec::new();
+        while let Some(line) = read_line(&mut data)? {
+            if !line.is_empty() {
+                names.push(line);
+            }
+        }
+        drop(data);
+        let done = self.read_reply()?;
+        if done.code != 226 {
+            return Err(FtpError::Reply(done));
+        }
+        Ok(names)
+    }
+
+    /// Makes a directory.
+    pub fn mkd(&mut self, path: &str) -> Result<(), FtpError> {
+        self.expect(&format!("MKD {}", path), 257)?;
+        Ok(())
+    }
+
+    /// Removes a directory.
+    pub fn rmd(&mut self, path: &str) -> Result<(), FtpError> {
+        self.expect(&format!("RMD {}", path), 250)?;
+        Ok(())
+    }
+
+    /// Deletes a file.
+    pub fn dele(&mut self, path: &str) -> Result<(), FtpError> {
+        self.expect(&format!("DELE {}", path), 250)?;
+        Ok(())
+    }
+
+    /// Queries a file's size.
+    pub fn size(&mut self, path: &str) -> Result<u64, FtpError> {
+        let reply = self.expect(&format!("SIZE {}", path), 213)?;
+        reply
+            .text
+            .trim()
+            .parse()
+            .map_err(|_| FtpError::Protocol(format!("bad SIZE reply {:?}", reply.text)))
+    }
+
+    /// Renames a file.
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<(), FtpError> {
+        self.expect(&format!("RNFR {}", from), 350)?;
+        self.expect(&format!("RNTO {}", to), 250)?;
+        Ok(())
+    }
+
+    /// Ends the session.
+    pub fn quit(mut self) -> Result<(), FtpError> {
+        let _ = self.command("QUIT");
+        Ok(())
+    }
+}

@@ -1,0 +1,294 @@
+//! FTP control-channel command and reply codec.
+
+use std::fmt;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
+
+/// A parsed FTP control command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtpCommand {
+    /// `USER <name>`.
+    User(String),
+    /// `PASS <password>`.
+    Pass(String),
+    /// `SYST`.
+    Syst,
+    /// `TYPE I` / `TYPE A` (we accept, always behave as binary).
+    Type(char),
+    /// `PWD`.
+    Pwd,
+    /// `CWD <dir>`.
+    Cwd(String),
+    /// `PASV` — server opens a listening data port.
+    Pasv,
+    /// `PORT h1,h2,h3,h4,p1,p2` — server connects out for data.
+    Port(SocketAddrV4),
+    /// `RETR <path>`.
+    Retr(String),
+    /// `STOR <path>`.
+    Stor(String),
+    /// `LIST [path]` (long listing).
+    List(Option<String>),
+    /// `NLST [path]` (names only).
+    Nlst(Option<String>),
+    /// `MKD <dir>`.
+    Mkd(String),
+    /// `RMD <dir>`.
+    Rmd(String),
+    /// `DELE <path>`.
+    Dele(String),
+    /// `SIZE <path>`.
+    Size(String),
+    /// `RNFR <path>`.
+    Rnfr(String),
+    /// `RNTO <path>`.
+    Rnto(String),
+    /// `NOOP`.
+    Noop,
+    /// `QUIT`.
+    Quit,
+    /// `MODE S|E` — stream or (GridFTP) extended block mode.
+    Mode(char),
+    /// `AUTH GSSAPI` — GridFTP security handshake start.
+    AuthGssapi,
+    /// `ADAT <base64ish blob>` — GridFTP security token (our simulated
+    /// credential wire form).
+    Adat(String),
+    /// `OPTS RETR Parallelism=n;` — GridFTP parallel-stream option.
+    OptsParallelism(u32),
+    /// `SPAS` — striped passive: server returns several data endpoints.
+    Spas,
+    /// Anything else (answered 502).
+    Unknown(String),
+}
+
+/// Parses one control line.
+pub fn parse_command(line: &str) -> FtpCommand {
+    let (verb, arg) = match line.find(' ') {
+        Some(i) => (&line[..i], line[i + 1..].trim()),
+        None => (line.trim(), ""),
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "USER" => FtpCommand::User(arg.to_owned()),
+        "PASS" => FtpCommand::Pass(arg.to_owned()),
+        "SYST" => FtpCommand::Syst,
+        "TYPE" => FtpCommand::Type(arg.chars().next().unwrap_or('I')),
+        "PWD" => FtpCommand::Pwd,
+        "CWD" => FtpCommand::Cwd(arg.to_owned()),
+        "PASV" => FtpCommand::Pasv,
+        "PORT" => match parse_host_port(arg) {
+            Some(addr) => FtpCommand::Port(addr),
+            None => FtpCommand::Unknown(line.to_owned()),
+        },
+        "RETR" => FtpCommand::Retr(arg.to_owned()),
+        "STOR" => FtpCommand::Stor(arg.to_owned()),
+        "LIST" => FtpCommand::List(if arg.is_empty() {
+            None
+        } else {
+            Some(arg.to_owned())
+        }),
+        "NLST" => FtpCommand::Nlst(if arg.is_empty() {
+            None
+        } else {
+            Some(arg.to_owned())
+        }),
+        "MKD" => FtpCommand::Mkd(arg.to_owned()),
+        "RMD" => FtpCommand::Rmd(arg.to_owned()),
+        "DELE" => FtpCommand::Dele(arg.to_owned()),
+        "SIZE" => FtpCommand::Size(arg.to_owned()),
+        "RNFR" => FtpCommand::Rnfr(arg.to_owned()),
+        "RNTO" => FtpCommand::Rnto(arg.to_owned()),
+        "NOOP" => FtpCommand::Noop,
+        "QUIT" => FtpCommand::Quit,
+        "MODE" => FtpCommand::Mode(arg.chars().next().unwrap_or('S')),
+        "AUTH" if arg.eq_ignore_ascii_case("GSSAPI") => FtpCommand::AuthGssapi,
+        "ADAT" => FtpCommand::Adat(arg.to_owned()),
+        "SPAS" => FtpCommand::Spas,
+        "OPTS" => {
+            // `OPTS RETR Parallelism=n;` (GridFTP).
+            let lower = arg.to_ascii_lowercase();
+            if let Some(idx) = lower.find("parallelism=") {
+                let rest = &arg[idx + "parallelism=".len()..];
+                let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+                if let Ok(n) = digits.parse() {
+                    return FtpCommand::OptsParallelism(n);
+                }
+            }
+            FtpCommand::Unknown(line.to_owned())
+        }
+        _ => FtpCommand::Unknown(line.to_owned()),
+    }
+}
+
+/// An FTP reply: code + text. Multi-line replies use `code-text` continuation
+/// lines; we only ever emit single-line and the final line of multi-line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FtpReply {
+    /// Three-digit reply code.
+    pub code: u16,
+    /// Reply text.
+    pub text: String,
+}
+
+impl FtpReply {
+    /// Builds a reply.
+    pub fn new(code: u16, text: impl Into<String>) -> Self {
+        Self {
+            code,
+            text: text.into(),
+        }
+    }
+
+    /// True for 2xx/1xx/3xx (non-error).
+    pub fn is_positive(&self) -> bool {
+        self.code < 400
+    }
+
+    /// Parses one reply line.
+    pub fn parse(line: &str) -> Option<Self> {
+        if line.len() < 3 {
+            return None;
+        }
+        let code: u16 = line.get(0..3)?.parse().ok()?;
+        let text = line.get(4..).unwrap_or("").to_owned();
+        Some(Self { code, text })
+    }
+}
+
+impl fmt::Display for FtpReply {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code, self.text)
+    }
+}
+
+/// Parses the `h1,h2,h3,h4,p1,p2` host-port form used by PORT and PASV.
+pub fn parse_host_port(s: &str) -> Option<SocketAddrV4> {
+    let nums: Vec<u8> = s
+        .split(',')
+        .map(|p| p.trim().parse::<u8>())
+        .collect::<Result<_, _>>()
+        .ok()?;
+    if nums.len() != 6 {
+        return None;
+    }
+    let ip = Ipv4Addr::new(nums[0], nums[1], nums[2], nums[3]);
+    let port = u16::from(nums[4]) << 8 | u16::from(nums[5]);
+    Some(SocketAddrV4::new(ip, port))
+}
+
+/// Renders an address in `h1,h2,h3,h4,p1,p2` form.
+pub fn render_host_port(addr: SocketAddrV4) -> String {
+    let [a, b, c, d] = addr.ip().octets();
+    format!(
+        "{},{},{},{},{},{}",
+        a,
+        b,
+        c,
+        d,
+        addr.port() >> 8,
+        addr.port() & 0xFF
+    )
+}
+
+/// Builds the `227 Entering Passive Mode (...)` reply for a data address.
+/// Non-IPv4 addresses (unused in this codebase) report 0.0.0.0.
+pub fn format_pasv_reply(addr: SocketAddr) -> FtpReply {
+    let v4 = match addr {
+        SocketAddr::V4(v4) => v4,
+        SocketAddr::V6(v6) => SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, v6.port()),
+    };
+    FtpReply::new(
+        227,
+        format!("Entering Passive Mode ({})", render_host_port(v4)),
+    )
+}
+
+/// Extracts the data address from a 227 reply's text.
+pub fn parse_pasv_reply(text: &str) -> Option<SocketAddrV4> {
+    let start = text.find('(')? + 1;
+    let end = text.rfind(')')?;
+    parse_host_port(&text[start..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_commands() {
+        assert_eq!(
+            parse_command("USER anonymous"),
+            FtpCommand::User("anonymous".into())
+        );
+        assert_eq!(
+            parse_command("pass secret"),
+            FtpCommand::Pass("secret".into())
+        );
+        assert_eq!(parse_command("TYPE I"), FtpCommand::Type('I'));
+        assert_eq!(parse_command("RETR /a/b"), FtpCommand::Retr("/a/b".into()));
+        assert_eq!(parse_command("LIST"), FtpCommand::List(None));
+        assert_eq!(
+            parse_command("LIST /d"),
+            FtpCommand::List(Some("/d".into()))
+        );
+        assert_eq!(parse_command("QUIT"), FtpCommand::Quit);
+        assert_eq!(parse_command("MODE E"), FtpCommand::Mode('E'));
+        assert!(matches!(parse_command("XYZZY"), FtpCommand::Unknown(_)));
+    }
+
+    #[test]
+    fn parse_gridftp_commands() {
+        assert_eq!(parse_command("AUTH GSSAPI"), FtpCommand::AuthGssapi);
+        assert_eq!(parse_command("ADAT blob"), FtpCommand::Adat("blob".into()));
+        assert_eq!(
+            parse_command("OPTS RETR Parallelism=4;"),
+            FtpCommand::OptsParallelism(4)
+        );
+        assert_eq!(parse_command("SPAS"), FtpCommand::Spas);
+    }
+
+    #[test]
+    fn host_port_roundtrip() {
+        let addr = SocketAddrV4::new(Ipv4Addr::new(127, 0, 0, 1), 45678);
+        let rendered = render_host_port(addr);
+        assert_eq!(parse_host_port(&rendered), Some(addr));
+        assert_eq!(rendered, "127,0,0,1,178,110");
+    }
+
+    #[test]
+    fn port_command_parses_address() {
+        match parse_command("PORT 10,0,0,2,4,1") {
+            FtpCommand::Port(addr) => {
+                assert_eq!(addr.ip(), &Ipv4Addr::new(10, 0, 0, 2));
+                assert_eq!(addr.port(), 4 * 256 + 1);
+            }
+            other => panic!("{:?}", other),
+        }
+        assert!(matches!(
+            parse_command("PORT 1,2,3"),
+            FtpCommand::Unknown(_)
+        ));
+        assert!(matches!(
+            parse_command("PORT 300,0,0,1,1,1"),
+            FtpCommand::Unknown(_)
+        ));
+    }
+
+    #[test]
+    fn pasv_reply_roundtrip() {
+        let addr: SocketAddr = "127.0.0.1:50000".parse().unwrap();
+        let reply = format_pasv_reply(addr);
+        assert_eq!(reply.code, 227);
+        let parsed = parse_pasv_reply(&reply.text).unwrap();
+        assert_eq!(SocketAddr::V4(parsed), addr);
+    }
+
+    #[test]
+    fn reply_parse_and_positivity() {
+        let r = FtpReply::parse("230 User logged in").unwrap();
+        assert_eq!(r.code, 230);
+        assert!(r.is_positive());
+        let e = FtpReply::parse("550 No such file").unwrap();
+        assert!(!e.is_positive());
+        assert!(FtpReply::parse("xx").is_none());
+    }
+}

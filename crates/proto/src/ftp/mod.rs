@@ -1,0 +1,15 @@
+//! FTP (RFC 959 subset) — control-channel codec and client (paper §3).
+//!
+//! The subset implemented is what a 2002 storage appliance served:
+//! USER/PASS login (anonymous only on plain FTP, per the paper), TYPE I,
+//! passive (PASV) and active (PORT) data connections, RETR/STOR/LIST/NLST,
+//! MKD/RMD/DELE/SIZE, RNFR/RNTO and QUIT. GridFTP's extensions build on
+//! this module (see [`crate::gridftp`]).
+
+pub mod client;
+mod codec;
+
+pub use client::{FtpClient, FtpError};
+pub use codec::{
+    format_pasv_reply, parse_command, parse_host_port, render_host_port, FtpCommand, FtpReply,
+};

@@ -1,0 +1,183 @@
+//! A blocking GridFTP client: FTP plus GSI authentication, MODE E parallel
+//! transfers, and third-party orchestration.
+
+use super::modee::{recv_striped, send_striped, OffsetSink};
+use crate::ftp::{render_host_port, FtpClient, FtpError};
+use crate::gsi::Credential;
+use parking_lot::Mutex;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+/// A GridFTP client session.
+pub struct GridFtpClient {
+    ftp: FtpClient,
+    parallelism: u32,
+}
+
+impl GridFtpClient {
+    /// Connects to a GridFTP control port.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, FtpError> {
+        Ok(Self {
+            ftp: FtpClient::connect(addr)?,
+            parallelism: 1,
+        })
+    }
+
+    /// Performs the (simulated) GSI handshake: `AUTH GSSAPI` then `ADAT`
+    /// carrying the credential. Returns the mapped local user reported in
+    /// the 235 reply.
+    pub fn authenticate(&mut self, cred: &Credential) -> Result<String, FtpError> {
+        let reply = self.ftp.command("AUTH GSSAPI")?;
+        if reply.code != 334 {
+            return Err(FtpError::Reply(reply));
+        }
+        let reply = self
+            .ftp
+            .command(&format!("ADAT {}", cred.to_wire().replace(' ', "|")))?;
+        if reply.code != 235 {
+            return Err(FtpError::Reply(reply));
+        }
+        // "235 GSSAPI authentication succeeded for <user>"
+        Ok(reply.text.rsplit(' ').next().unwrap_or_default().to_owned())
+    }
+
+    /// Switches the session to extended block mode and sets the number of
+    /// parallel data streams for subsequent transfers.
+    pub fn set_parallelism(&mut self, n: u32) -> Result<(), FtpError> {
+        let n = n.max(1);
+        let reply = self.ftp.command("MODE E")?;
+        if reply.code != 200 {
+            return Err(FtpError::Reply(reply));
+        }
+        let reply = self.ftp.command(&format!("OPTS RETR Parallelism={};", n))?;
+        if reply.code != 200 {
+            return Err(FtpError::Reply(reply));
+        }
+        self.parallelism = n;
+        Ok(())
+    }
+
+    /// Plain FTP operations pass straight through.
+    pub fn ftp(&mut self) -> &mut FtpClient {
+        &mut self.ftp
+    }
+
+    fn open_streams(&mut self, data_addr: SocketAddr) -> Result<Vec<TcpStream>, FtpError> {
+        let mut streams = Vec::with_capacity(self.parallelism as usize);
+        for _ in 0..self.parallelism.max(1) {
+            let s = TcpStream::connect(data_addr)?;
+            s.set_nodelay(true)?;
+            streams.push(s);
+        }
+        Ok(streams)
+    }
+
+    /// Retrieves a file in MODE E over the configured parallel streams,
+    /// writing blocks (possibly out of order) into `sink`. Returns payload
+    /// bytes received.
+    pub fn get_parallel(
+        &mut self,
+        path: &str,
+        sink: Arc<Mutex<dyn OffsetSink>>,
+    ) -> Result<u64, FtpError> {
+        let data_addr = self.ftp.pasv()?;
+        let reply = self.ftp.command(&format!("RETR {}", path))?;
+        if reply.code != 150 {
+            return Err(FtpError::Reply(reply));
+        }
+        let streams = self.open_streams(data_addr)?;
+        let total = recv_striped(streams, sink)?;
+        let done = self.ftp.read_reply()?;
+        if done.code != 226 {
+            return Err(FtpError::Reply(done));
+        }
+        Ok(total)
+    }
+
+    /// Convenience: retrieves a whole file into memory.
+    pub fn get_bytes(&mut self, path: &str) -> Result<Vec<u8>, FtpError> {
+        let sink = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let dyn_sink: Arc<Mutex<dyn OffsetSink>> = sink.clone();
+        self.get_parallel(path, dyn_sink)?;
+        let mut guard = sink.lock();
+        Ok(std::mem::take(&mut *guard))
+    }
+
+    /// Stores a stream in MODE E over the configured parallel streams.
+    /// Returns payload bytes sent.
+    pub fn put_parallel(&mut self, path: &str, source: &mut impl Read) -> Result<u64, FtpError> {
+        let data_addr = self.ftp.pasv()?;
+        let reply = self.ftp.command(&format!("STOR {}", path))?;
+        if reply.code != 150 {
+            return Err(FtpError::Reply(reply));
+        }
+        let mut streams = self.open_streams(data_addr)?;
+        let total = send_striped(&mut streams[..], source, 64 * 1024)?;
+        drop(streams);
+        let done = self.ftp.read_reply()?;
+        if done.code != 226 {
+            return Err(FtpError::Reply(done));
+        }
+        Ok(total)
+    }
+
+    /// Convenience: stores a byte slice.
+    pub fn put_bytes(&mut self, path: &str, data: &[u8]) -> Result<u64, FtpError> {
+        self.put_parallel(path, &mut io::Cursor::new(data))
+    }
+
+    /// Ends the session.
+    pub fn quit(self) -> Result<(), FtpError> {
+        self.ftp.quit()
+    }
+}
+
+/// Orchestrates a third-party transfer: the file at `src_path` on the
+/// server behind `src` moves directly to `dst_path` on the server behind
+/// `dst`; the data never touches this client (paper §2.1: "allowing
+/// transparent three- and four-party transfers").
+///
+/// Mechanism (classic FTP third-party, stream mode):
+/// 1. `PASV` on the destination → data address;
+/// 2. `STOR` on the destination (it begins listening);
+/// 3. `PORT <addr>` on the source (it will connect out);
+/// 4. `RETR` on the source;
+/// 5. wait for `226` on both control channels.
+pub fn third_party(
+    src: &mut GridFtpClient,
+    src_path: &str,
+    dst: &mut GridFtpClient,
+    dst_path: &str,
+) -> Result<(), FtpError> {
+    let data_addr = dst.ftp.pasv()?;
+    let stor = dst.ftp.command(&format!("STOR {}", dst_path))?;
+    if stor.code != 150 {
+        return Err(FtpError::Reply(stor));
+    }
+    let v4 = match data_addr {
+        SocketAddr::V4(v4) => v4,
+        SocketAddr::V6(_) => {
+            return Err(FtpError::Protocol(
+                "IPv6 data address in third-party".into(),
+            ))
+        }
+    };
+    let port = src.ftp.command(&format!("PORT {}", render_host_port(v4)))?;
+    if port.code != 200 {
+        return Err(FtpError::Reply(port));
+    }
+    let retr = src.ftp.command(&format!("RETR {}", src_path))?;
+    if retr.code != 150 {
+        return Err(FtpError::Reply(retr));
+    }
+    let src_done = src.ftp.read_reply()?;
+    if src_done.code != 226 {
+        return Err(FtpError::Reply(src_done));
+    }
+    let dst_done = dst.ftp.read_reply()?;
+    if dst_done.code != 226 {
+        return Err(FtpError::Reply(dst_done));
+    }
+    Ok(())
+}

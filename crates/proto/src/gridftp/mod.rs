@@ -1,0 +1,24 @@
+//! GridFTP — protocol extensions to FTP for the Grid (paper §3; Allcock et
+//! al., "GridFTP: Protocol Extensions to FTP for the Grid").
+//!
+//! Implemented extensions:
+//!
+//! * **GSI authentication** — `AUTH GSSAPI` + `ADAT` carrying our simulated
+//!   credential (see [`crate::gsi`]); the paper notes GSI "is used by Chirp
+//!   and GridFTP".
+//! * **Extended block mode (MODE E)** — blocks carry `(descriptor, count,
+//!   offset)` headers so data can arrive out of order over several TCP
+//!   streams ([`modee`]).
+//! * **Parallel data streams** — `OPTS RETR Parallelism=n;` plus multiple
+//!   connections to one passive endpoint.
+//! * **Third-party transfers** — a client holds two control connections
+//!   and splices the servers together with `PASV`/`PORT`
+//!   ([`client::third_party`]), the mechanism behind the paper's Figure 2
+//!   step 3 ("a GridFTP third-party transfer between the Madison NeST and
+//!   the NeST at the Argonne cluster").
+
+pub mod client;
+pub mod modee;
+
+pub use client::{third_party, GridFtpClient};
+pub use modee::{read_block, write_block, Block, OffsetSink, DESC_EOD, DESC_EOF};

@@ -1,0 +1,321 @@
+//! GridFTP extended block mode (MODE E) framing.
+//!
+//! Each block on a data channel is:
+//!
+//! ```text
+//! +------------+---------------+----------------+------ ... ------+
+//! | descriptor | count (u64 BE)| offset (u64 BE)| count data bytes|
+//! +------------+---------------+----------------+------ ... ------+
+//! ```
+//!
+//! Because every block names its file offset, blocks may arrive out of
+//! order and over any number of TCP streams — this is what makes parallel
+//! streams and striped servers possible.
+//!
+//! Descriptor bits used here (a subset of the GridFTP draft):
+//! * [`DESC_EOD`] (0x08) — end of data on *this* channel;
+//! * [`DESC_EOF`] (0x40) — the block's `offset` field carries the total
+//!   number of data channels the receiver should expect EOD from.
+
+use std::io::{self, Read, Write};
+
+/// End-of-data descriptor bit.
+pub const DESC_EOD: u8 = 0x08;
+/// End-of-file descriptor bit (offset = expected EOD count).
+pub const DESC_EOF: u8 = 0x40;
+
+/// One MODE E block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Descriptor bits.
+    pub descriptor: u8,
+    /// File offset of the payload.
+    pub offset: u64,
+    /// Payload bytes.
+    pub data: Vec<u8>,
+}
+
+impl Block {
+    /// True if this block carries the EOD bit.
+    pub fn is_eod(&self) -> bool {
+        self.descriptor & DESC_EOD != 0
+    }
+
+    /// True if this block carries the EOF bit.
+    pub fn is_eof(&self) -> bool {
+        self.descriptor & DESC_EOF != 0
+    }
+}
+
+/// Writes one block.
+pub fn write_block(w: &mut impl Write, descriptor: u8, offset: u64, data: &[u8]) -> io::Result<()> {
+    let mut header = [0u8; 17];
+    header[0] = descriptor;
+    header[1..9].copy_from_slice(&(data.len() as u64).to_be_bytes());
+    header[9..17].copy_from_slice(&offset.to_be_bytes());
+    w.write_all(&header)?;
+    w.write_all(data)?;
+    w.flush()
+}
+
+/// Reads one block; `Ok(None)` on clean EOF at a block boundary.
+pub fn read_block(r: &mut impl Read) -> io::Result<Option<Block>> {
+    let mut header = [0u8; 17];
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside MODE E block header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let descriptor = header[0];
+    let count = u64::from_be_bytes(header[1..9].try_into().unwrap());
+    let offset = u64::from_be_bytes(header[9..17].try_into().unwrap());
+    if count > (1 << 31) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("MODE E block of {} bytes exceeds cap", count),
+        ));
+    }
+    let mut data = vec![0u8; count as usize];
+    r.read_exact(&mut data)?;
+    Ok(Some(Block {
+        descriptor,
+        offset,
+        data,
+    }))
+}
+
+/// A random-access byte sink: MODE E blocks land at explicit offsets.
+pub trait OffsetSink: Send {
+    /// Writes `data` at `offset`, extending as needed.
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()>;
+}
+
+impl OffsetSink for Vec<u8> {
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+        let end = offset as usize + data.len();
+        if self.len() < end {
+            self.resize(end, 0);
+        }
+        self[offset as usize..end].copy_from_slice(data);
+        Ok(())
+    }
+}
+
+/// Stripes a source across several writers in MODE E, round-robin, then
+/// sends the EOF block (on the first stream) and EOD on every stream.
+/// Returns total payload bytes sent.
+pub fn send_striped<W: Write>(
+    streams: &mut [W],
+    source: &mut impl Read,
+    chunk_size: usize,
+) -> io::Result<u64> {
+    assert!(!streams.is_empty());
+    let mut buf = vec![0u8; chunk_size.max(1)];
+    let mut offset = 0u64;
+    let mut turn = 0usize;
+    loop {
+        let n = source.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        write_block(&mut streams[turn], 0, offset, &buf[..n])?;
+        offset += n as u64;
+        turn = (turn + 1) % streams.len();
+    }
+    // EOF block: announce how many EODs to expect.
+    let n_streams = streams.len() as u64;
+    write_block(&mut streams[0], DESC_EOF, n_streams, &[])?;
+    for s in streams.iter_mut() {
+        write_block(s, DESC_EOD, 0, &[])?;
+    }
+    Ok(offset)
+}
+
+/// Drains one MODE E stream into a shared sink; returns (payload bytes,
+/// saw_eod, eof_channel_count if an EOF block arrived).
+pub fn drain_stream(
+    r: &mut impl Read,
+    sink: &std::sync::Arc<parking_lot::Mutex<dyn OffsetSink>>,
+) -> io::Result<(u64, bool, Option<u64>)> {
+    let mut bytes = 0u64;
+    let mut saw_eod = false;
+    let mut eof_channels = None;
+    while let Some(block) = read_block(r)? {
+        if !block.data.is_empty() {
+            sink.lock().write_at(block.offset, &block.data)?;
+            bytes += block.data.len() as u64;
+        }
+        if block.is_eof() {
+            eof_channels = Some(block.offset);
+        }
+        if block.is_eod() {
+            saw_eod = true;
+            break;
+        }
+    }
+    Ok((bytes, saw_eod, eof_channels))
+}
+
+/// Receives a complete MODE E transfer arriving over several streams,
+/// writing into `sink`. Spawns a thread per stream (std has no readiness
+/// API; one blocking reader per channel is exactly what 2002-era servers
+/// did). Returns total payload bytes.
+pub fn recv_striped<R: Read + Send + 'static>(
+    streams: Vec<R>,
+    sink: std::sync::Arc<parking_lot::Mutex<dyn OffsetSink>>,
+) -> io::Result<u64> {
+    let mut handles = Vec::new();
+    for mut r in streams {
+        let sink = std::sync::Arc::clone(&sink);
+        handles.push(std::thread::spawn(move || drain_stream(&mut r, &sink)));
+    }
+    let mut total = 0u64;
+    let mut first_err = None;
+    for h in handles {
+        match h.join() {
+            Ok(Ok((bytes, _eod, _eof))) => total += bytes,
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Err(_) => {
+                first_err = first_err.or_else(|| Some(io::Error::other("receiver thread panicked")))
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(total),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::io::Cursor;
+    use std::sync::Arc;
+
+    #[test]
+    fn block_roundtrip() {
+        let mut buf = Vec::new();
+        write_block(&mut buf, 0, 4096, b"payload").unwrap();
+        let mut cur = Cursor::new(buf);
+        let block = read_block(&mut cur).unwrap().unwrap();
+        assert_eq!(block.descriptor, 0);
+        assert_eq!(block.offset, 4096);
+        assert_eq!(block.data, b"payload");
+        assert!(read_block(&mut cur).unwrap().is_none());
+    }
+
+    #[test]
+    fn eod_and_eof_bits() {
+        let mut buf = Vec::new();
+        write_block(&mut buf, DESC_EOF, 3, &[]).unwrap();
+        write_block(&mut buf, DESC_EOD, 0, &[]).unwrap();
+        let mut cur = Cursor::new(buf);
+        let eof = read_block(&mut cur).unwrap().unwrap();
+        assert!(eof.is_eof());
+        assert_eq!(eof.offset, 3);
+        let eod = read_block(&mut cur).unwrap().unwrap();
+        assert!(eod.is_eod());
+    }
+
+    #[test]
+    fn truncated_header_is_error() {
+        let mut buf = Vec::new();
+        write_block(&mut buf, 0, 0, b"xy").unwrap();
+        buf.truncate(10);
+        assert!(read_block(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn oversized_count_rejected() {
+        let mut header = [0u8; 17];
+        header[1..9].copy_from_slice(&(u64::MAX).to_be_bytes());
+        assert!(read_block(&mut Cursor::new(header.to_vec())).is_err());
+    }
+
+    #[test]
+    fn offset_sink_vec_handles_out_of_order() {
+        let mut v: Vec<u8> = Vec::new();
+        v.write_at(5, b"world").unwrap();
+        v.write_at(0, b"hello").unwrap();
+        assert_eq!(&v, b"helloworld");
+    }
+
+    #[test]
+    fn stripe_and_reassemble_across_three_streams() {
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let mut wires: Vec<Vec<u8>> = vec![Vec::new(); 3];
+        {
+            let mut refs: Vec<&mut Vec<u8>> = wires.iter_mut().collect();
+            let sent =
+                send_striped(&mut refs[..], &mut Cursor::new(payload.clone()), 1000).unwrap();
+            assert_eq!(sent, payload.len() as u64);
+        }
+        let sink: Arc<Mutex<dyn OffsetSink>> = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let streams: Vec<Cursor<Vec<u8>>> = wires.into_iter().map(Cursor::new).collect();
+        let total = recv_striped(streams, Arc::clone(&sink)).unwrap();
+        assert_eq!(total, payload.len() as u64);
+        // Verify reassembly byte-for-byte by downcasting through the vec.
+        let guard = sink.lock();
+        // Write a copy out through the trait: cheat by writing at 0 of a
+        // fresh vec is not possible through dyn; instead re-run with a
+        // concrete type:
+        drop(guard);
+        let concrete = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let mut wires2: Vec<Vec<u8>> = vec![Vec::new(); 3];
+        {
+            let mut refs: Vec<&mut Vec<u8>> = wires2.iter_mut().collect();
+            send_striped(&mut refs[..], &mut Cursor::new(payload.clone()), 1000).unwrap();
+        }
+        let dyn_sink: Arc<Mutex<dyn OffsetSink>> = concrete.clone();
+        recv_striped(
+            wires2.into_iter().map(Cursor::new).collect::<Vec<_>>(),
+            dyn_sink,
+        )
+        .unwrap();
+        assert_eq!(&*concrete.lock(), &payload);
+    }
+
+    #[test]
+    fn single_stream_stripe() {
+        let payload = vec![9u8; 5000];
+        let mut wires: Vec<Vec<u8>> = vec![Vec::new()];
+        {
+            let mut refs: Vec<&mut Vec<u8>> = wires.iter_mut().collect();
+            send_striped(&mut refs[..], &mut Cursor::new(payload.clone()), 512).unwrap();
+        }
+        let concrete = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let dyn_sink: Arc<Mutex<dyn OffsetSink>> = concrete.clone();
+        recv_striped(vec![Cursor::new(wires.remove(0))], dyn_sink).unwrap();
+        assert_eq!(&*concrete.lock(), &payload);
+    }
+
+    #[test]
+    fn empty_source_sends_only_control_blocks() {
+        let mut wires: Vec<Vec<u8>> = vec![Vec::new(), Vec::new()];
+        {
+            let mut refs: Vec<&mut Vec<u8>> = wires.iter_mut().collect();
+            let sent = send_striped(&mut refs[..], &mut Cursor::new(Vec::new()), 512).unwrap();
+            assert_eq!(sent, 0);
+        }
+        let concrete = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let dyn_sink: Arc<Mutex<dyn OffsetSink>> = concrete.clone();
+        let total = recv_striped(
+            wires.into_iter().map(Cursor::new).collect::<Vec<_>>(),
+            dyn_sink,
+        )
+        .unwrap();
+        assert_eq!(total, 0);
+        assert!(concrete.lock().is_empty());
+    }
+}

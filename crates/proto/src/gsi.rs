@@ -1,0 +1,274 @@
+//! Simulated Grid Security Infrastructure (paper §3).
+//!
+//! "Currently, we allow only Grid Security Infrastructure (GSI)
+//! authentication, which is used by Chirp and GridFTP; connections through
+//! the other protocols are allowed only anonymous access."
+//!
+//! The real GSI is X.509/GSSAPI. Without a crypto dependency we simulate
+//! the *shape* of it faithfully enough to exercise the same code paths:
+//!
+//! * a **CA** holds a secret; a **credential** is a subject DN plus a tag
+//!   computed as `fnv1a(secret ‖ subject)`;
+//! * servers verify the tag against their trusted CA and then map the
+//!   subject DN to a local user through a **grid-mapfile**, exactly as
+//!   Globus gatekeepers do;
+//! * the wire handshake is a single `AUTHENTICATE GSI <subject> <tag>`
+//!   exchange inside each protocol's own framing.
+//!
+//! **This is a simulation**: the tag scheme is trivially forgeable by
+//! anyone who knows the CA secret, and there is no channel encryption. It
+//! stands in for GSI per the substitution policy in `DESIGN.md`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// 64-bit FNV-1a — the toy MAC underlying simulated credentials.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// A simulated certificate authority.
+#[derive(Debug, Clone)]
+pub struct SimCa {
+    /// Name of the CA (informational).
+    pub name: String,
+    secret: u64,
+}
+
+impl SimCa {
+    /// Creates a CA with the given secret.
+    pub fn new(name: impl Into<String>, secret: u64) -> Self {
+        Self {
+            name: name.into(),
+            secret,
+        }
+    }
+
+    /// Issues a credential for a subject DN.
+    pub fn issue(&self, subject: &str) -> Credential {
+        Credential {
+            subject: subject.to_owned(),
+            tag: self.tag_for(subject),
+        }
+    }
+
+    /// Verifies a credential was issued by this CA.
+    pub fn verify(&self, cred: &Credential) -> bool {
+        cred.tag == self.tag_for(&cred.subject)
+    }
+
+    fn tag_for(&self, subject: &str) -> u64 {
+        let mut data = self.secret.to_be_bytes().to_vec();
+        data.extend_from_slice(subject.as_bytes());
+        fnv1a(&data)
+    }
+}
+
+/// A simulated GSI credential: subject DN + CA tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Credential {
+    /// The X.509-style subject distinguished name,
+    /// e.g. `/O=Grid/OU=wisc.edu/CN=John Bent`.
+    pub subject: String,
+    /// The CA's tag over the subject.
+    pub tag: u64,
+}
+
+impl Credential {
+    /// Serializes for the wire: `<subject-with-escaped-spaces> <tag-hex>`.
+    pub fn to_wire(&self) -> String {
+        format!("{} {:016x}", self.subject.replace(' ', "+"), self.tag)
+    }
+
+    /// Parses the wire form.
+    pub fn from_wire(s: &str) -> Option<Self> {
+        let (subject, tag) = s.rsplit_once(' ')?;
+        let tag = u64::from_str_radix(tag, 16).ok()?;
+        Some(Self {
+            subject: subject.replace('+', " "),
+            tag,
+        })
+    }
+}
+
+impl fmt::Display for Credential {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.subject)
+    }
+}
+
+/// A grid-mapfile: subject DN → local user name.
+#[derive(Debug, Clone, Default)]
+pub struct GridMap {
+    map: HashMap<String, String>,
+}
+
+impl GridMap {
+    /// Empty map (every authentic credential is refused: unmapped).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a mapping.
+    pub fn add(&mut self, subject: impl Into<String>, user: impl Into<String>) -> &mut Self {
+        self.map.insert(subject.into(), user.into());
+        self
+    }
+
+    /// Maps a subject to its local user.
+    pub fn lookup(&self, subject: &str) -> Option<&str> {
+        self.map.get(subject).map(String::as_str)
+    }
+
+    /// Parses the classic grid-mapfile format:
+    /// `"/O=Grid/CN=Jane Doe" jdoe` per line, `#` comments.
+    pub fn parse(text: &str) -> Self {
+        let mut gm = Self::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('"') {
+                if let Some((subject, user)) = rest.split_once('"') {
+                    let user = user.trim();
+                    if !user.is_empty() {
+                        gm.add(subject, user);
+                    }
+                }
+            } else if let Some((subject, user)) = line.rsplit_once(' ') {
+                gm.add(subject.trim(), user.trim());
+            }
+        }
+        gm
+    }
+}
+
+/// Server-side authenticator: trusted CA + grid-mapfile.
+#[derive(Debug, Clone)]
+pub struct GsiAuthenticator {
+    ca: SimCa,
+    gridmap: GridMap,
+}
+
+impl GsiAuthenticator {
+    /// Creates an authenticator.
+    pub fn new(ca: SimCa, gridmap: GridMap) -> Self {
+        Self { ca, gridmap }
+    }
+
+    /// Full check: credential authenticity, then DN mapping.
+    /// Returns the local user name on success.
+    pub fn authenticate(&self, cred: &Credential) -> Result<String, AuthError> {
+        if !self.ca.verify(cred) {
+            return Err(AuthError::BadCredential);
+        }
+        self.gridmap
+            .lookup(&cred.subject)
+            .map(str::to_owned)
+            .ok_or(AuthError::Unmapped)
+    }
+}
+
+/// Authentication failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthError {
+    /// The credential's tag did not verify against the trusted CA.
+    BadCredential,
+    /// Authentic, but the subject has no grid-mapfile entry.
+    Unmapped,
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::BadCredential => write!(f, "credential verification failed"),
+            AuthError::Unmapped => write!(f, "subject not in grid-mapfile"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ca() -> SimCa {
+        SimCa::new("TestCA", 0xDEADBEEF)
+    }
+
+    #[test]
+    fn issued_credentials_verify() {
+        let ca = ca();
+        let cred = ca.issue("/O=Grid/CN=Alice");
+        assert!(ca.verify(&cred));
+    }
+
+    #[test]
+    fn forged_or_foreign_credentials_fail() {
+        let ca = ca();
+        let mut cred = ca.issue("/O=Grid/CN=Alice");
+        cred.subject = "/O=Grid/CN=Mallory".into();
+        assert!(!ca.verify(&cred));
+        let other_ca = SimCa::new("OtherCA", 0x1234);
+        let foreign = other_ca.issue("/O=Grid/CN=Alice");
+        assert!(!ca.verify(&foreign));
+    }
+
+    #[test]
+    fn wire_roundtrip_with_spaces() {
+        let ca = ca();
+        let cred = ca.issue("/O=Grid/OU=wisc.edu/CN=John Bent");
+        let wire = cred.to_wire();
+        assert!(!wire.contains("John Bent")); // spaces escaped
+        let back = Credential::from_wire(&wire).unwrap();
+        assert_eq!(back, cred);
+        assert!(ca.verify(&back));
+    }
+
+    #[test]
+    fn gridmap_parse_and_lookup() {
+        let gm = GridMap::parse(
+            r#"
+# comment line
+"/O=Grid/CN=Alice Smith" alice
+/O=Grid/CN=Bob bob
+"#,
+        );
+        assert_eq!(gm.lookup("/O=Grid/CN=Alice Smith"), Some("alice"));
+        assert_eq!(gm.lookup("/O=Grid/CN=Bob"), Some("bob"));
+        assert_eq!(gm.lookup("/O=Grid/CN=Eve"), None);
+    }
+
+    #[test]
+    fn authenticator_full_path() {
+        let ca = ca();
+        let mut gm = GridMap::new();
+        gm.add("/O=Grid/CN=Alice", "alice");
+        let auth = GsiAuthenticator::new(ca.clone(), gm);
+
+        let good = ca.issue("/O=Grid/CN=Alice");
+        assert_eq!(auth.authenticate(&good).unwrap(), "alice");
+
+        let unmapped = ca.issue("/O=Grid/CN=Stranger");
+        assert_eq!(auth.authenticate(&unmapped), Err(AuthError::Unmapped));
+
+        let mut forged = good.clone();
+        forged.tag ^= 1;
+        assert_eq!(auth.authenticate(&forged), Err(AuthError::BadCredential));
+    }
+
+    #[test]
+    fn fnv1a_known_vector() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        // And it is deterministic and input-sensitive.
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

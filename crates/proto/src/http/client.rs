@@ -1,0 +1,96 @@
+//! A minimal blocking HTTP/1.1 client for talking to NeST's HTTP handler.
+
+use super::codec::{HttpMethod, HttpRequestHead, HttpResponseHead};
+use crate::wire::copy_exact;
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A persistent-connection HTTP client.
+pub struct HttpClient {
+    stream: TcpStream,
+    host: String,
+}
+
+impl HttpClient {
+    /// Connects to the server.
+    pub fn connect(addr: impl ToSocketAddrs + std::fmt::Debug) -> io::Result<Self> {
+        let host = format!("{:?}", addr);
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Self { stream, host })
+    }
+
+    fn head(&self, method: HttpMethod, path: &str) -> HttpRequestHead {
+        let mut headers = BTreeMap::new();
+        headers.insert("host".into(), self.host.clone());
+        HttpRequestHead {
+            method,
+            path: path.to_owned(),
+            headers,
+        }
+    }
+
+    /// GET a file into a writer. Returns (status, bytes).
+    pub fn get(&mut self, path: &str, sink: &mut impl Write) -> io::Result<(u16, u64)> {
+        let head = self.head(HttpMethod::Get, path);
+        self.stream.write_all(head.render().as_bytes())?;
+        self.stream.flush()?;
+        let resp = HttpResponseHead::read(&mut self.stream)?;
+        let len = resp.content_length().unwrap_or(0);
+        copy_exact(&mut self.stream, sink, len, 64 * 1024)?;
+        Ok((resp.status, len))
+    }
+
+    /// GET a file into a vector; errors unless status is 200.
+    pub fn get_bytes(&mut self, path: &str) -> io::Result<Vec<u8>> {
+        let mut out = Vec::new();
+        let (status, _) = self.get(path, &mut out)?;
+        if status != 200 {
+            return Err(io::Error::other(format!("HTTP status {}", status)));
+        }
+        Ok(out)
+    }
+
+    /// HEAD: returns (status, content-length).
+    pub fn head_request(&mut self, path: &str) -> io::Result<(u16, Option<u64>)> {
+        let head = self.head(HttpMethod::Head, path);
+        self.stream.write_all(head.render().as_bytes())?;
+        self.stream.flush()?;
+        let resp = HttpResponseHead::read(&mut self.stream)?;
+        // HEAD carries no body.
+        Ok((resp.status, resp.content_length()))
+    }
+
+    /// PUT `size` bytes from a reader. Returns the status code.
+    pub fn put(&mut self, path: &str, size: u64, source: &mut impl Read) -> io::Result<u16> {
+        let mut head = self.head(HttpMethod::Put, path);
+        head.headers
+            .insert("content-length".into(), size.to_string());
+        self.stream.write_all(head.render().as_bytes())?;
+        copy_exact(source, &mut self.stream, size, 64 * 1024)?;
+        let resp = HttpResponseHead::read(&mut self.stream)?;
+        // Drain any error body to keep the connection reusable.
+        let len = resp.content_length().unwrap_or(0);
+        copy_exact(&mut self.stream, &mut io::sink(), len, 4096)?;
+        Ok(resp.status)
+    }
+
+    /// PUT a byte slice.
+    pub fn put_bytes(&mut self, path: &str, data: &[u8]) -> io::Result<u16> {
+        self.put(path, data.len() as u64, &mut io::Cursor::new(data))
+    }
+
+    /// DELETE a file. Returns the status code.
+    pub fn delete(&mut self, path: &str) -> io::Result<u16> {
+        let head = self.head(HttpMethod::Delete, path);
+        self.stream.write_all(head.render().as_bytes())?;
+        self.stream.flush()?;
+        let resp = HttpResponseHead::read(&mut self.stream)?;
+        let len = resp.content_length().unwrap_or(0);
+        copy_exact(&mut self.stream, &mut io::sink(), len, 4096)?;
+        Ok(resp.status)
+    }
+}

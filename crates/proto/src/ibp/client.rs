@@ -1,0 +1,204 @@
+//! A blocking IBP client.
+
+use super::codec::{Capability, Reliability, CODE_OK};
+use crate::wire::{copy_exact, read_exact_vec, read_line, write_line};
+use std::fmt;
+use std::io::{self, Read};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// IBP client errors.
+#[derive(Debug)]
+pub enum IbpError {
+    /// Transport failure.
+    Io(io::Error),
+    /// Depot-reported failure (negative status code).
+    Depot(i32),
+    /// Unparseable depot output.
+    Protocol(String),
+}
+
+impl fmt::Display for IbpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IbpError::Io(e) => write!(f, "ibp I/O error: {}", e),
+            IbpError::Depot(code) => write!(f, "ibp depot error {}", code),
+            IbpError::Protocol(m) => write!(f, "ibp protocol error: {}", m),
+        }
+    }
+}
+
+impl std::error::Error for IbpError {}
+
+impl From<io::Error> for IbpError {
+    fn from(e: io::Error) -> Self {
+        IbpError::Io(e)
+    }
+}
+
+/// The three capabilities returned by ALLOCATE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IbpCapSet {
+    /// Read capability.
+    pub read: Capability,
+    /// Write capability.
+    pub write: Capability,
+    /// Manage capability.
+    pub manage: Capability,
+}
+
+/// PROBE results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IbpProbe {
+    /// Reserved size in bytes.
+    pub size: u64,
+    /// Bytes stored so far.
+    pub stored: u64,
+    /// Absolute expiry (depot seconds).
+    pub expires: u64,
+    /// Reliability class.
+    pub reliability: Reliability,
+}
+
+/// A blocking IBP client session.
+pub struct IbpClient {
+    stream: TcpStream,
+}
+
+struct Status {
+    code: i32,
+    rest: String,
+}
+
+impl IbpClient {
+    /// Connects to a depot.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, IbpError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Self { stream })
+    }
+
+    fn command(&mut self, line: &str) -> Result<Status, IbpError> {
+        write_line(&mut self.stream, line)?;
+        self.read_status()
+    }
+
+    fn read_status(&mut self) -> Result<Status, IbpError> {
+        let line = read_line(&mut self.stream)?
+            .ok_or_else(|| IbpError::Protocol("depot closed connection".into()))?;
+        let (code, rest) = match line.split_once(' ') {
+            Some((c, r)) => (c, r.to_owned()),
+            None => (line.as_str(), String::new()),
+        };
+        let code: i32 = code
+            .parse()
+            .map_err(|_| IbpError::Protocol(format!("bad status line {:?}", line)))?;
+        if code != CODE_OK {
+            return Err(IbpError::Depot(code));
+        }
+        Ok(Status { code, rest })
+    }
+
+    /// Reserves a byte array; returns its capability set.
+    pub fn allocate(
+        &mut self,
+        size: u64,
+        duration: u64,
+        reliability: Reliability,
+    ) -> Result<IbpCapSet, IbpError> {
+        let st = self.command(&format!(
+            "ALLOCATE {} {} {}",
+            size,
+            duration,
+            reliability.as_str()
+        ))?;
+        let caps: Vec<&str> = st.rest.split_whitespace().collect();
+        if caps.len() != 3 {
+            return Err(IbpError::Protocol(format!(
+                "expected 3 capabilities, got {:?}",
+                st.rest
+            )));
+        }
+        Ok(IbpCapSet {
+            read: Capability(caps[0].to_owned()),
+            write: Capability(caps[1].to_owned()),
+            manage: Capability(caps[2].to_owned()),
+        })
+    }
+
+    /// Appends bytes from a reader; returns the array's total stored bytes.
+    pub fn store(
+        &mut self,
+        wcap: &Capability,
+        nbytes: u64,
+        source: &mut impl Read,
+    ) -> Result<u64, IbpError> {
+        write_line(&mut self.stream, &format!("STORE {} {}", wcap, nbytes))?;
+        copy_exact(source, &mut self.stream, nbytes, 64 * 1024)?;
+        let st = self.read_status()?;
+        debug_assert_eq!(st.code, CODE_OK);
+        st.rest
+            .split_whitespace()
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| IbpError::Protocol(format!("bad STORE reply {:?}", st.rest)))
+    }
+
+    /// Appends a byte slice.
+    pub fn store_bytes(&mut self, wcap: &Capability, data: &[u8]) -> Result<u64, IbpError> {
+        self.store(wcap, data.len() as u64, &mut io::Cursor::new(data))
+    }
+
+    /// Reads a byte range.
+    pub fn load(&mut self, rcap: &Capability, offset: u64, len: u64) -> Result<Vec<u8>, IbpError> {
+        let st = self.command(&format!("LOAD {} {} {}", rcap, offset, len))?;
+        let n: u64 = st
+            .rest
+            .split_whitespace()
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| IbpError::Protocol(format!("bad LOAD reply {:?}", st.rest)))?;
+        Ok(read_exact_vec(&mut self.stream, n)?)
+    }
+
+    /// Queries an allocation.
+    pub fn probe(&mut self, mcap: &Capability) -> Result<IbpProbe, IbpError> {
+        let st = self.command(&format!("PROBE {}", mcap))?;
+        let parts: Vec<&str> = st.rest.split_whitespace().collect();
+        if parts.len() != 4 {
+            return Err(IbpError::Protocol(format!("bad PROBE reply {:?}", st.rest)));
+        }
+        Ok(IbpProbe {
+            size: parts[0]
+                .parse()
+                .map_err(|_| IbpError::Protocol("size".into()))?,
+            stored: parts[1]
+                .parse()
+                .map_err(|_| IbpError::Protocol("stored".into()))?,
+            expires: parts[2]
+                .parse()
+                .map_err(|_| IbpError::Protocol("expires".into()))?,
+            reliability: Reliability::parse(parts[3])
+                .ok_or_else(|| IbpError::Protocol("reliability".into()))?,
+        })
+    }
+
+    /// Extends an allocation's duration.
+    pub fn extend(&mut self, mcap: &Capability, extra: u64) -> Result<(), IbpError> {
+        self.command(&format!("EXTEND {} {}", mcap, extra))?;
+        Ok(())
+    }
+
+    /// Deallocates.
+    pub fn decrement(&mut self, mcap: &Capability) -> Result<(), IbpError> {
+        self.command(&format!("DECREMENT {}", mcap))?;
+        Ok(())
+    }
+
+    /// Ends the session.
+    pub fn quit(mut self) -> Result<(), IbpError> {
+        let _ = self.command("QUIT");
+        Ok(())
+    }
+}

@@ -1,0 +1,183 @@
+//! IBP command parsing and capability handling.
+
+use std::fmt;
+
+/// Success status code.
+pub const CODE_OK: i32 = 0;
+
+/// An unguessable capability naming one right on one allocation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Capability(pub String);
+
+impl Capability {
+    /// Builds a capability from an allocation id, a kind tag and a secret
+    /// tag (the depot mints these; clients treat them as opaque).
+    pub fn mint(alloc_id: u64, kind: &str, secret: u64) -> Self {
+        Capability(format!("ibp-{}-{}-{:016x}", kind, alloc_id, secret))
+    }
+
+    /// Parses the allocation id back out (depot side).
+    pub fn alloc_id(&self) -> Option<u64> {
+        self.0.split('-').nth(2)?.parse().ok()
+    }
+
+    /// The capability kind ("r", "w" or "m").
+    pub fn kind(&self) -> Option<&str> {
+        self.0.split('-').nth(1)
+    }
+}
+
+impl fmt::Display for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Allocation reliability, per the IBP model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reliability {
+    /// May be revoked when the depot needs space.
+    Volatile,
+    /// Space is guaranteed until the duration expires; never revoked early.
+    Stable,
+}
+
+impl Reliability {
+    /// Wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Reliability::Volatile => "volatile",
+            Reliability::Stable => "stable",
+        }
+    }
+
+    /// Parses the wire token.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "volatile" => Some(Reliability::Volatile),
+            "stable" => Some(Reliability::Stable),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed IBP request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IbpCommand {
+    /// Reserve a byte array.
+    Allocate {
+        size: u64,
+        duration: u64,
+        reliability: Reliability,
+    },
+    /// Append bytes (raw payload follows the line).
+    Store { wcap: Capability, nbytes: u64 },
+    /// Read a range.
+    Load {
+        rcap: Capability,
+        offset: u64,
+        len: u64,
+    },
+    /// Query an allocation.
+    Probe { mcap: Capability },
+    /// Extend the duration.
+    Extend { mcap: Capability, extra: u64 },
+    /// Deallocate.
+    Decrement { mcap: Capability },
+    /// End the session.
+    Quit,
+}
+
+/// Parses one request line; `None` = malformed.
+pub fn parse_command(line: &str) -> Option<IbpCommand> {
+    let mut parts = line.split_whitespace();
+    let verb = parts.next()?.to_ascii_uppercase();
+    let args: Vec<&str> = parts.collect();
+    Some(match (verb.as_str(), args.as_slice()) {
+        ("ALLOCATE", [size, duration, rel]) => IbpCommand::Allocate {
+            size: size.parse().ok()?,
+            duration: duration.parse().ok()?,
+            reliability: Reliability::parse(rel)?,
+        },
+        ("STORE", [wcap, nbytes]) => IbpCommand::Store {
+            wcap: Capability((*wcap).to_owned()),
+            nbytes: nbytes.parse().ok()?,
+        },
+        ("LOAD", [rcap, offset, len]) => IbpCommand::Load {
+            rcap: Capability((*rcap).to_owned()),
+            offset: offset.parse().ok()?,
+            len: len.parse().ok()?,
+        },
+        ("PROBE", [mcap]) => IbpCommand::Probe {
+            mcap: Capability((*mcap).to_owned()),
+        },
+        ("EXTEND", [mcap, extra]) => IbpCommand::Extend {
+            mcap: Capability((*mcap).to_owned()),
+            extra: extra.parse().ok()?,
+        },
+        ("DECREMENT", [mcap]) => IbpCommand::Decrement {
+            mcap: Capability((*mcap).to_owned()),
+        },
+        ("QUIT", []) => IbpCommand::Quit,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_roundtrip() {
+        let cap = Capability::mint(42, "w", 0xDEADBEEF);
+        assert_eq!(cap.alloc_id(), Some(42));
+        assert_eq!(cap.kind(), Some("w"));
+        // Different secrets produce different capabilities.
+        assert_ne!(cap, Capability::mint(42, "w", 0xBEEF));
+    }
+
+    #[test]
+    fn parse_allocate() {
+        assert_eq!(
+            parse_command("ALLOCATE 1000 3600 volatile"),
+            Some(IbpCommand::Allocate {
+                size: 1000,
+                duration: 3600,
+                reliability: Reliability::Volatile
+            })
+        );
+        assert_eq!(
+            parse_command("allocate 5 1 STABLE"),
+            Some(IbpCommand::Allocate {
+                size: 5,
+                duration: 1,
+                reliability: Reliability::Stable
+            })
+        );
+        assert_eq!(parse_command("ALLOCATE x 1 stable"), None);
+        assert_eq!(parse_command("ALLOCATE 1 1 flaky"), None);
+    }
+
+    #[test]
+    fn parse_data_commands() {
+        assert!(matches!(
+            parse_command("STORE ibp-w-1-aa 100"),
+            Some(IbpCommand::Store { nbytes: 100, .. })
+        ));
+        assert!(matches!(
+            parse_command("LOAD ibp-r-1-aa 0 50"),
+            Some(IbpCommand::Load {
+                offset: 0,
+                len: 50,
+                ..
+            })
+        ));
+        assert!(matches!(
+            parse_command("PROBE ibp-m-1-aa"),
+            Some(IbpCommand::Probe { .. })
+        ));
+        assert_eq!(parse_command("QUIT"), Some(IbpCommand::Quit));
+        assert_eq!(parse_command("FROBNICATE"), None);
+        assert_eq!(parse_command(""), None);
+    }
+}

@@ -1,0 +1,36 @@
+//! IBP — the Internet Backplane Protocol (paper §3 future work, §8
+//! related work).
+//!
+//! The paper: "We plan to include other Grid-relevant protocols in NeST,
+//! including data movement protocols such as IBP", and §8 contrasts lots
+//! with IBP's storage model: "IBP reservations are allocations for byte
+//! arrays ... IBP allows both permanent and volatile allocations. ...
+//! there does not appear to be a mechanism in IBP for switching an
+//! allocation from permanent to volatile while lots in NeST switch
+//! automatically to best-effort when their duration expires."
+//!
+//! This module implements that storage model (after Plank et al., "Managing
+//! Data Storage in the Network"): a *depot* holds **byte arrays** named by
+//! unguessable **capabilities** — a read, a write and a manage capability
+//! per allocation — rather than files in a namespace.
+//!
+//! ## Wire format
+//!
+//! Line-oriented requests; `0 ...` success replies, negative codes for
+//! errors; raw byte phases follow STORE requests and LOAD replies:
+//!
+//! ```text
+//! ALLOCATE <size> <duration> <volatile|stable>  → 0 <rcap> <wcap> <mcap>
+//! STORE <wcap> <nbytes> ⏎ <raw bytes>           → 0 <stored_total>
+//! LOAD <rcap> <offset> <len>                    → 0 <n> ⏎ <raw bytes>
+//! PROBE <mcap>                                  → 0 <size> <stored> <expires> <reliability>
+//! EXTEND <mcap> <extra_seconds>                 → 0 ok
+//! DECREMENT <mcap>                              → 0 ok   (deallocates)
+//! QUIT                                          → 0 bye
+//! ```
+
+pub mod client;
+mod codec;
+
+pub use client::{IbpCapSet, IbpClient, IbpError, IbpProbe};
+pub use codec::{parse_command, Capability, IbpCommand, Reliability, CODE_OK};

@@ -1,0 +1,43 @@
+//! # nest-proto
+//!
+//! The NeST **protocol layer** (paper §3): wire codecs and client libraries
+//! for every protocol the appliance speaks, plus the *common request
+//! format* they are all translated into.
+//!
+//! "The role of the protocol layer is to transform the specific protocol
+//! used by the client to and from a common request interface understood by
+//! the other components in NeST. ... the virtual protocol layer in NeST is
+//! much like the virtual file system (VFS) layer in many operating
+//! systems."
+//!
+//! * [`request`] — the common request/response model ([`NestRequest`],
+//!   [`NestResponse`]) and transfer URLs for third-party transfers.
+//! * [`wire`] — shared line-oriented framing with hostile-input limits.
+//! * [`chirp`] — Chirp, NeST's native protocol: the only protocol with lot
+//!   management, and a GSI-authenticated one.
+//! * [`http`] — an HTTP/1.1 subset (GET/PUT/HEAD/DELETE).
+//! * [`ftp`] — RFC 959 FTP: control-channel codec and passive-mode data
+//!   connections.
+//! * [`gridftp`] — GridFTP extensions over FTP: simulated GSI
+//!   authentication, extended block (MODE E) framing, parallel data
+//!   streams, and third-party transfers.
+//! * [`nfs`] — an NFSv2 subset plus the MOUNT protocol, over
+//!   `nest-sunrpc`.
+//! * [`ibp`] — the Internet Backplane Protocol's byte-array depot model
+//!   (the paper's announced protocol addition; §8 contrasts its
+//!   allocations with lots).
+//! * [`gsi`] — a *simulated* Grid Security Infrastructure: subject DNs,
+//!   toy CA-signed credentials and a grid-mapfile. (Not cryptographically
+//!   secure; it exercises the same authentication code paths.)
+
+pub mod chirp;
+pub mod ftp;
+pub mod gridftp;
+pub mod gsi;
+pub mod http;
+pub mod ibp;
+pub mod nfs;
+pub mod request;
+pub mod wire;
+
+pub use request::{NestRequest, NestResponse, TransferUrl};

@@ -1,0 +1,364 @@
+//! A user-level NFSv2 + MOUNT client.
+//!
+//! Stands in for the kernel NFS client the paper's compute jobs used (a
+//! kernel mount is unavailable in a container; see the substitution table
+//! in `DESIGN.md`). Exercises the identical wire protocol.
+
+use super::types::{FileHandle, NfsAttr, NfsStat};
+use super::wire::{
+    mountproc, proc, AttrStat, CreateArgs, DirOpArgs, DirOpRes, ReadArgs, ReadDirArgs, ReadDirRes,
+    ReadRes, RenameArgs, SetAttrArgs, WriteArgs, MOUNT_PROGRAM, MOUNT_VERSION, NFS_BLOCK_SIZE,
+    NFS_PROGRAM, NFS_VERSION,
+};
+use nest_sunrpc::client::{RpcClient, RpcError};
+use nest_sunrpc::xdr::{XdrDecoder, XdrEncoder};
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::ToSocketAddrs;
+
+/// NFS client errors.
+#[derive(Debug)]
+pub enum NfsError {
+    /// RPC/transport failure.
+    Rpc(RpcError),
+    /// The server returned a non-OK NFS status.
+    Status(NfsStat),
+    /// Malformed server reply.
+    Decode,
+}
+
+impl fmt::Display for NfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NfsError::Rpc(e) => write!(f, "nfs rpc error: {}", e),
+            NfsError::Status(s) => write!(f, "nfs error status {:?}", s),
+            NfsError::Decode => write!(f, "nfs reply decode error"),
+        }
+    }
+}
+
+impl std::error::Error for NfsError {}
+
+impl From<RpcError> for NfsError {
+    fn from(e: RpcError) -> Self {
+        NfsError::Rpc(e)
+    }
+}
+
+impl From<nest_sunrpc::xdr::XdrError> for NfsError {
+    fn from(_: nest_sunrpc::xdr::XdrError) -> Self {
+        NfsError::Decode
+    }
+}
+
+fn check(status: NfsStat) -> Result<(), NfsError> {
+    if status == NfsStat::Ok {
+        Ok(())
+    } else {
+        Err(NfsError::Status(status))
+    }
+}
+
+/// A MOUNT-protocol client.
+pub struct MountClient {
+    rpc: RpcClient,
+}
+
+impl MountClient {
+    /// Connects over UDP to the server's RPC endpoint.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NfsError> {
+        Ok(Self {
+            rpc: RpcClient::udp(addr)?,
+        })
+    }
+
+    /// MNT: obtains the root file handle for an export path.
+    pub fn mount(&mut self, dirpath: &str) -> Result<FileHandle, NfsError> {
+        let mut e = XdrEncoder::new();
+        e.put_str(dirpath);
+        let res = self
+            .rpc
+            .call(MOUNT_PROGRAM, MOUNT_VERSION, mountproc::MNT, e.into_bytes())?;
+        let mut d = XdrDecoder::new(&res);
+        let st = super::wire::FhStatus::decode(&mut d)?;
+        match st.fh {
+            Some(fh) if st.status == 0 => Ok(fh),
+            _ => Err(NfsError::Status(NfsStat::from_u32(st.status))),
+        }
+    }
+
+    /// UMNT: releases an export.
+    pub fn unmount(&mut self, dirpath: &str) -> Result<(), NfsError> {
+        let mut e = XdrEncoder::new();
+        e.put_str(dirpath);
+        self.rpc.call(
+            MOUNT_PROGRAM,
+            MOUNT_VERSION,
+            mountproc::UMNT,
+            e.into_bytes(),
+        )?;
+        Ok(())
+    }
+}
+
+/// An NFSv2 client bound to one server.
+pub struct NfsClient {
+    rpc: RpcClient,
+}
+
+impl NfsClient {
+    /// Connects over UDP (the classic NFSv2 transport).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NfsError> {
+        Ok(Self {
+            rpc: RpcClient::udp(addr)?,
+        })
+    }
+
+    /// Connects over TCP.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> Result<Self, NfsError> {
+        Ok(Self {
+            rpc: RpcClient::tcp(addr)?,
+        })
+    }
+
+    fn call(&mut self, proc: u32, args: Vec<u8>) -> Result<Vec<u8>, NfsError> {
+        Ok(self.rpc.call(NFS_PROGRAM, NFS_VERSION, proc, args)?)
+    }
+
+    /// NULL ping.
+    pub fn null(&mut self) -> Result<(), NfsError> {
+        self.call(proc::NULL, Vec::new())?;
+        Ok(())
+    }
+
+    /// GETATTR.
+    pub fn getattr(&mut self, fh: FileHandle) -> Result<NfsAttr, NfsError> {
+        let mut e = XdrEncoder::new();
+        fh.encode(&mut e);
+        let res = self.call(proc::GETATTR, e.into_bytes())?;
+        let st = AttrStat::decode(&mut XdrDecoder::new(&res))?;
+        check(st.status)?;
+        st.attr.ok_or(NfsError::Decode)
+    }
+
+    /// SETATTR: truncates (or extends) a file to `size` bytes.
+    pub fn truncate(&mut self, fh: FileHandle, size: u32) -> Result<NfsAttr, NfsError> {
+        let mut e = XdrEncoder::new();
+        SetAttrArgs {
+            fh,
+            size: Some(size),
+        }
+        .encode(&mut e);
+        let res = self.call(proc::SETATTR, e.into_bytes())?;
+        let st = AttrStat::decode(&mut XdrDecoder::new(&res))?;
+        check(st.status)?;
+        st.attr.ok_or(NfsError::Decode)
+    }
+
+    /// LOOKUP a name in a directory.
+    pub fn lookup(
+        &mut self,
+        dir: FileHandle,
+        name: &str,
+    ) -> Result<(FileHandle, NfsAttr), NfsError> {
+        let mut e = XdrEncoder::new();
+        DirOpArgs {
+            dir,
+            name: name.into(),
+        }
+        .encode(&mut e);
+        let res = self.call(proc::LOOKUP, e.into_bytes())?;
+        let r = DirOpRes::decode(&mut XdrDecoder::new(&res))?;
+        check(r.status)?;
+        r.fh.ok_or(NfsError::Decode)
+    }
+
+    /// READ one block.
+    pub fn read(&mut self, fh: FileHandle, offset: u32, count: u32) -> Result<Vec<u8>, NfsError> {
+        let mut e = XdrEncoder::new();
+        ReadArgs { fh, offset, count }.encode(&mut e);
+        let res = self.call(proc::READ, e.into_bytes())?;
+        let r = ReadRes::decode(&mut XdrDecoder::new(&res))?;
+        check(r.status)?;
+        Ok(r.data)
+    }
+
+    /// WRITE one block.
+    pub fn write(&mut self, fh: FileHandle, offset: u32, data: &[u8]) -> Result<NfsAttr, NfsError> {
+        let mut e = XdrEncoder::new();
+        WriteArgs {
+            fh,
+            offset,
+            data: data.to_vec(),
+        }
+        .encode(&mut e);
+        let res = self.call(proc::WRITE, e.into_bytes())?;
+        let st = AttrStat::decode(&mut XdrDecoder::new(&res))?;
+        check(st.status)?;
+        st.attr.ok_or(NfsError::Decode)
+    }
+
+    /// CREATE a file.
+    pub fn create(
+        &mut self,
+        dir: FileHandle,
+        name: &str,
+    ) -> Result<(FileHandle, NfsAttr), NfsError> {
+        let mut e = XdrEncoder::new();
+        CreateArgs {
+            wher: DirOpArgs {
+                dir,
+                name: name.into(),
+            },
+        }
+        .encode(&mut e);
+        let res = self.call(proc::CREATE, e.into_bytes())?;
+        let r = DirOpRes::decode(&mut XdrDecoder::new(&res))?;
+        check(r.status)?;
+        r.fh.ok_or(NfsError::Decode)
+    }
+
+    /// REMOVE a file.
+    pub fn remove(&mut self, dir: FileHandle, name: &str) -> Result<(), NfsError> {
+        let mut e = XdrEncoder::new();
+        DirOpArgs {
+            dir,
+            name: name.into(),
+        }
+        .encode(&mut e);
+        let res = self.call(proc::REMOVE, e.into_bytes())?;
+        check(NfsStat::from_u32(
+            XdrDecoder::new(&res)
+                .get_u32()
+                .map_err(|_| NfsError::Decode)?,
+        ))
+    }
+
+    /// RENAME.
+    pub fn rename(
+        &mut self,
+        from_dir: FileHandle,
+        from: &str,
+        to_dir: FileHandle,
+        to: &str,
+    ) -> Result<(), NfsError> {
+        let mut e = XdrEncoder::new();
+        RenameArgs {
+            from: DirOpArgs {
+                dir: from_dir,
+                name: from.into(),
+            },
+            to: DirOpArgs {
+                dir: to_dir,
+                name: to.into(),
+            },
+        }
+        .encode(&mut e);
+        let res = self.call(proc::RENAME, e.into_bytes())?;
+        check(NfsStat::from_u32(
+            XdrDecoder::new(&res)
+                .get_u32()
+                .map_err(|_| NfsError::Decode)?,
+        ))
+    }
+
+    /// MKDIR.
+    pub fn mkdir(
+        &mut self,
+        dir: FileHandle,
+        name: &str,
+    ) -> Result<(FileHandle, NfsAttr), NfsError> {
+        let mut e = XdrEncoder::new();
+        CreateArgs {
+            wher: DirOpArgs {
+                dir,
+                name: name.into(),
+            },
+        }
+        .encode(&mut e);
+        let res = self.call(proc::MKDIR, e.into_bytes())?;
+        let r = DirOpRes::decode(&mut XdrDecoder::new(&res))?;
+        check(r.status)?;
+        r.fh.ok_or(NfsError::Decode)
+    }
+
+    /// RMDIR.
+    pub fn rmdir(&mut self, dir: FileHandle, name: &str) -> Result<(), NfsError> {
+        let mut e = XdrEncoder::new();
+        DirOpArgs {
+            dir,
+            name: name.into(),
+        }
+        .encode(&mut e);
+        let res = self.call(proc::RMDIR, e.into_bytes())?;
+        check(NfsStat::from_u32(
+            XdrDecoder::new(&res)
+                .get_u32()
+                .map_err(|_| NfsError::Decode)?,
+        ))
+    }
+
+    /// READDIR (whole directory, following cookies).
+    pub fn readdir(&mut self, dir: FileHandle) -> Result<Vec<String>, NfsError> {
+        let mut names = Vec::new();
+        let mut cookie = 0u32;
+        loop {
+            let mut e = XdrEncoder::new();
+            ReadDirArgs {
+                fh: dir,
+                cookie,
+                count: 4096,
+            }
+            .encode(&mut e);
+            let res = self.call(proc::READDIR, e.into_bytes())?;
+            let r = ReadDirRes::decode(&mut XdrDecoder::new(&res))?;
+            check(r.status)?;
+            for entry in &r.entries {
+                cookie = entry.cookie;
+                if entry.name != "." && entry.name != ".." {
+                    names.push(entry.name.clone());
+                }
+            }
+            if r.eof || r.entries.is_empty() {
+                return Ok(names);
+            }
+        }
+    }
+
+    /// Reads a whole file block by block (how a kernel client streams it —
+    /// the workload shape Figures 3–4 depend on).
+    pub fn read_file(&mut self, fh: FileHandle, sink: &mut impl Write) -> Result<u64, NfsError> {
+        let mut offset = 0u32;
+        loop {
+            let data = self.read(fh, offset, NFS_BLOCK_SIZE)?;
+            if data.is_empty() {
+                return Ok(offset as u64);
+            }
+            sink.write_all(&data).map_err(|_| NfsError::Decode)?;
+            offset += data.len() as u32;
+            if (data.len() as u32) < NFS_BLOCK_SIZE {
+                return Ok(offset as u64);
+            }
+        }
+    }
+
+    /// Writes a whole stream block by block under `name` in `dir`.
+    pub fn write_file(
+        &mut self,
+        dir: FileHandle,
+        name: &str,
+        source: &mut impl Read,
+    ) -> Result<u64, NfsError> {
+        let (fh, _) = self.create(dir, name)?;
+        let mut offset = 0u32;
+        let mut buf = vec![0u8; NFS_BLOCK_SIZE as usize];
+        loop {
+            let n = source.read(&mut buf).map_err(|_| NfsError::Decode)?;
+            if n == 0 {
+                return Ok(offset as u64);
+            }
+            self.write(fh, offset, &buf[..n])?;
+            offset += n as u32;
+        }
+    }
+}

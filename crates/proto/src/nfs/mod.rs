@@ -1,0 +1,21 @@
+//! NFS version 2 (RFC 1094) subset plus the MOUNT protocol (paper §3).
+//!
+//! The paper serves "a restricted subset of NFS" so unmodified applications
+//! can use Grid storage through the local file-system interface, and notes
+//! that "mount, not technically part of NFS, is actually a protocol in its
+//! own right; however, within NeST, mount is handled by the NFS handler."
+//!
+//! Implemented procedures: NULL, GETATTR, LOOKUP, READ, WRITE, CREATE,
+//! REMOVE, RENAME, MKDIR, RMDIR, READDIR, STATFS — the set a 2002
+//! compute-job workload touches. NFS is block-based: a client reading a
+//! 10 MB file issues ~1280 8 KB READs, which is exactly why FIFO
+//! scheduling disfavors NFS in Figure 3 and why the stride scheduler's
+//! byte-based accounting matters in Figure 4.
+
+pub mod client;
+pub mod types;
+pub mod wire;
+
+pub use client::{MountClient, NfsClient};
+pub use types::{FileHandle, NfsAttr, NfsFileType, NfsStat};
+pub use wire::{MOUNT_PROGRAM, MOUNT_VERSION, NFS_BLOCK_SIZE, NFS_PROGRAM, NFS_VERSION};

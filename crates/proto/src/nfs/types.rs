@@ -1,0 +1,273 @@
+//! NFSv2 data types (RFC 1094 §2.3).
+
+use nest_sunrpc::xdr::{XdrDecoder, XdrEncoder, XdrError};
+
+/// Size of an NFSv2 file handle.
+pub const FHSIZE: usize = 32;
+
+/// An opaque 32-byte file handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileHandle(pub [u8; FHSIZE]);
+
+impl FileHandle {
+    /// Builds a handle from a 64-bit file id (the server's fh scheme:
+    /// id in the first 8 bytes, a generation tag in the next 8, zero pad).
+    pub fn from_id(id: u64, generation: u64) -> Self {
+        let mut bytes = [0u8; FHSIZE];
+        bytes[..8].copy_from_slice(&id.to_be_bytes());
+        bytes[8..16].copy_from_slice(&generation.to_be_bytes());
+        FileHandle(bytes)
+    }
+
+    /// Extracts the file id.
+    pub fn id(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().unwrap())
+    }
+
+    /// Extracts the generation tag.
+    pub fn generation(&self) -> u64 {
+        u64::from_be_bytes(self.0[8..16].try_into().unwrap())
+    }
+
+    /// XDR-encodes (fixed 32 bytes).
+    pub fn encode(&self, e: &mut XdrEncoder) {
+        e.put_opaque_fixed(&self.0);
+    }
+
+    /// XDR-decodes.
+    pub fn decode(d: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        let bytes = d.get_opaque_fixed(FHSIZE)?;
+        let mut fh = [0u8; FHSIZE];
+        fh.copy_from_slice(bytes);
+        Ok(FileHandle(fh))
+    }
+}
+
+/// NFSv2 status codes (RFC 1094 §2.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum NfsStat {
+    Ok = 0,
+    Perm = 1,
+    NoEnt = 2,
+    Io = 5,
+    Acces = 13,
+    Exist = 17,
+    NotDir = 20,
+    IsDir = 21,
+    FBig = 27,
+    NoSpc = 28,
+    Rofs = 30,
+    NotEmpty = 66,
+    Dquot = 69,
+    Stale = 70,
+}
+
+impl NfsStat {
+    /// Decodes from the wire value (unknown values map to Io).
+    pub fn from_u32(v: u32) -> Self {
+        match v {
+            0 => NfsStat::Ok,
+            1 => NfsStat::Perm,
+            2 => NfsStat::NoEnt,
+            5 => NfsStat::Io,
+            13 => NfsStat::Acces,
+            17 => NfsStat::Exist,
+            20 => NfsStat::NotDir,
+            21 => NfsStat::IsDir,
+            27 => NfsStat::FBig,
+            28 => NfsStat::NoSpc,
+            30 => NfsStat::Rofs,
+            66 => NfsStat::NotEmpty,
+            69 => NfsStat::Dquot,
+            70 => NfsStat::Stale,
+            _ => NfsStat::Io,
+        }
+    }
+}
+
+/// NFSv2 file types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum NfsFileType {
+    /// Non-file (unused here).
+    None = 0,
+    /// Regular file.
+    Regular = 1,
+    /// Directory.
+    Directory = 2,
+}
+
+impl NfsFileType {
+    fn from_u32(v: u32) -> Self {
+        match v {
+            1 => NfsFileType::Regular,
+            2 => NfsFileType::Directory,
+            _ => NfsFileType::None,
+        }
+    }
+}
+
+/// NFSv2 `fattr` — file attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NfsAttr {
+    /// File type.
+    pub ftype: NfsFileType,
+    /// Permission bits (NeST reports 0644/0755; real enforcement is the
+    /// ACL layer's job).
+    pub mode: u32,
+    /// Link count (always 1/2).
+    pub nlink: u32,
+    /// Owner uid as reported.
+    pub uid: u32,
+    /// Owner gid.
+    pub gid: u32,
+    /// Size in bytes.
+    pub size: u32,
+    /// Preferred block size.
+    pub blocksize: u32,
+    /// File id (inode analogue: the fh id truncated).
+    pub fileid: u32,
+    /// Modification time (seconds).
+    pub mtime: u32,
+}
+
+impl NfsAttr {
+    /// Attributes for a regular file.
+    pub fn file(size: u32, fileid: u32) -> Self {
+        Self {
+            ftype: NfsFileType::Regular,
+            mode: 0o644,
+            nlink: 1,
+            uid: 0,
+            gid: 0,
+            size,
+            blocksize: super::wire::NFS_BLOCK_SIZE,
+            fileid,
+            mtime: 0,
+        }
+    }
+
+    /// Attributes for a directory.
+    pub fn dir(fileid: u32) -> Self {
+        Self {
+            ftype: NfsFileType::Directory,
+            mode: 0o755,
+            nlink: 2,
+            uid: 0,
+            gid: 0,
+            size: 512,
+            blocksize: super::wire::NFS_BLOCK_SIZE,
+            fileid,
+            mtime: 0,
+        }
+    }
+
+    /// XDR-encodes the full RFC 1094 fattr layout.
+    pub fn encode(&self, e: &mut XdrEncoder) {
+        e.put_u32(self.ftype as u32);
+        e.put_u32(self.mode);
+        e.put_u32(self.nlink);
+        e.put_u32(self.uid);
+        e.put_u32(self.gid);
+        e.put_u32(self.size);
+        e.put_u32(self.blocksize);
+        e.put_u32(0); // rdev
+        e.put_u32(self.size.div_ceil(512)); // blocks
+        e.put_u32(1); // fsid
+        e.put_u32(self.fileid);
+        e.put_u32(self.mtime).put_u32(0); // atime
+        e.put_u32(self.mtime).put_u32(0); // mtime
+        e.put_u32(self.mtime).put_u32(0); // ctime
+    }
+
+    /// XDR-decodes.
+    pub fn decode(d: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        let ftype = NfsFileType::from_u32(d.get_u32()?);
+        let mode = d.get_u32()?;
+        let nlink = d.get_u32()?;
+        let uid = d.get_u32()?;
+        let gid = d.get_u32()?;
+        let size = d.get_u32()?;
+        let blocksize = d.get_u32()?;
+        let _rdev = d.get_u32()?;
+        let _blocks = d.get_u32()?;
+        let _fsid = d.get_u32()?;
+        let fileid = d.get_u32()?;
+        let mtime_a = (d.get_u32()?, d.get_u32()?);
+        let _mtime_m = (d.get_u32()?, d.get_u32()?);
+        let _ctime = (d.get_u32()?, d.get_u32()?);
+        Ok(Self {
+            ftype,
+            mode,
+            nlink,
+            uid,
+            gid,
+            size,
+            blocksize,
+            fileid,
+            mtime: mtime_a.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_handle_id_roundtrip() {
+        let fh = FileHandle::from_id(0xABCDEF, 42);
+        assert_eq!(fh.id(), 0xABCDEF);
+        assert_eq!(fh.generation(), 42);
+        let mut e = XdrEncoder::new();
+        fh.encode(&mut e);
+        let bytes = e.into_bytes();
+        assert_eq!(bytes.len(), FHSIZE);
+        let decoded = FileHandle::decode(&mut XdrDecoder::new(&bytes)).unwrap();
+        assert_eq!(decoded, fh);
+    }
+
+    #[test]
+    fn attr_roundtrip() {
+        let attr = NfsAttr::file(123_456, 77);
+        let mut e = XdrEncoder::new();
+        attr.encode(&mut e);
+        let bytes = e.into_bytes();
+        // fattr is 17 u32s.
+        assert_eq!(bytes.len(), 17 * 4);
+        let decoded = NfsAttr::decode(&mut XdrDecoder::new(&bytes)).unwrap();
+        assert_eq!(decoded, attr);
+    }
+
+    #[test]
+    fn dir_attr_shape() {
+        let attr = NfsAttr::dir(1);
+        assert_eq!(attr.ftype, NfsFileType::Directory);
+        assert_eq!(attr.mode, 0o755);
+        assert_eq!(attr.nlink, 2);
+    }
+
+    #[test]
+    fn stat_codes_roundtrip() {
+        for s in [
+            NfsStat::Ok,
+            NfsStat::Perm,
+            NfsStat::NoEnt,
+            NfsStat::Io,
+            NfsStat::Acces,
+            NfsStat::Exist,
+            NfsStat::NotDir,
+            NfsStat::IsDir,
+            NfsStat::FBig,
+            NfsStat::NoSpc,
+            NfsStat::Rofs,
+            NfsStat::NotEmpty,
+            NfsStat::Dquot,
+            NfsStat::Stale,
+        ] {
+            assert_eq!(NfsStat::from_u32(s as u32), s);
+        }
+        assert_eq!(NfsStat::from_u32(9999), NfsStat::Io);
+    }
+}

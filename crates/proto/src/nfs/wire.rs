@@ -1,0 +1,668 @@
+//! NFSv2 / MOUNT procedure argument and result encodings (RFC 1094).
+//!
+//! Both sides live here: the client encodes args and decodes results; the
+//! server (in `nest-core`) decodes args and encodes results.
+
+use super::types::{FileHandle, NfsAttr, NfsStat};
+use nest_sunrpc::xdr::{XdrDecoder, XdrEncoder, XdrError};
+
+/// The NFS RPC program number.
+pub const NFS_PROGRAM: u32 = 100_003;
+/// NFS protocol version implemented.
+pub const NFS_VERSION: u32 = 2;
+/// The MOUNT RPC program number.
+pub const MOUNT_PROGRAM: u32 = 100_005;
+/// MOUNT protocol version.
+pub const MOUNT_VERSION: u32 = 1;
+/// NFSv2 transfer block size (8 KB, the classic value — and the unit the
+/// paper's byte-based stride scheduling reasons about).
+pub const NFS_BLOCK_SIZE: u32 = 8192;
+
+/// NFSv2 procedure numbers.
+pub mod proc {
+    pub const NULL: u32 = 0;
+    pub const GETATTR: u32 = 1;
+    pub const SETATTR: u32 = 2;
+    pub const LOOKUP: u32 = 4;
+    pub const READ: u32 = 6;
+    pub const WRITE: u32 = 8;
+    pub const CREATE: u32 = 9;
+    pub const REMOVE: u32 = 10;
+    pub const RENAME: u32 = 11;
+    pub const MKDIR: u32 = 14;
+    pub const RMDIR: u32 = 15;
+    pub const READDIR: u32 = 16;
+    pub const STATFS: u32 = 17;
+}
+
+/// MOUNT procedure numbers.
+pub mod mountproc {
+    pub const NULL: u32 = 0;
+    pub const MNT: u32 = 1;
+    pub const UMNT: u32 = 3;
+}
+
+/// `diropargs`: directory handle + name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirOpArgs {
+    /// Directory handle.
+    pub dir: FileHandle,
+    /// Entry name.
+    pub name: String,
+}
+
+impl DirOpArgs {
+    /// Encodes.
+    pub fn encode(&self, e: &mut XdrEncoder) {
+        self.dir.encode(e);
+        e.put_str(&self.name);
+    }
+
+    /// Decodes.
+    pub fn decode(d: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self {
+            dir: FileHandle::decode(d)?,
+            name: d.get_string()?,
+        })
+    }
+}
+
+/// `diropres`: status + (handle, attributes) on success.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirOpRes {
+    pub status: NfsStat,
+    pub fh: Option<(FileHandle, NfsAttr)>,
+}
+
+impl DirOpRes {
+    /// Encodes a success.
+    pub fn ok(fh: FileHandle, attr: NfsAttr) -> Self {
+        Self {
+            status: NfsStat::Ok,
+            fh: Some((fh, attr)),
+        }
+    }
+
+    /// Encodes an error.
+    pub fn err(status: NfsStat) -> Self {
+        Self { status, fh: None }
+    }
+
+    /// Encodes.
+    pub fn encode(&self, e: &mut XdrEncoder) {
+        e.put_u32(self.status as u32);
+        if let Some((fh, attr)) = &self.fh {
+            fh.encode(e);
+            attr.encode(e);
+        }
+    }
+
+    /// Decodes.
+    pub fn decode(d: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        let status = NfsStat::from_u32(d.get_u32()?);
+        if status == NfsStat::Ok {
+            let fh = FileHandle::decode(d)?;
+            let attr = NfsAttr::decode(d)?;
+            Ok(Self {
+                status,
+                fh: Some((fh, attr)),
+            })
+        } else {
+            Ok(Self { status, fh: None })
+        }
+    }
+}
+
+/// `attrstat`: status + attributes on success.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrStat {
+    pub status: NfsStat,
+    pub attr: Option<NfsAttr>,
+}
+
+impl AttrStat {
+    /// Success.
+    pub fn ok(attr: NfsAttr) -> Self {
+        Self {
+            status: NfsStat::Ok,
+            attr: Some(attr),
+        }
+    }
+
+    /// Error.
+    pub fn err(status: NfsStat) -> Self {
+        Self { status, attr: None }
+    }
+
+    /// Encodes.
+    pub fn encode(&self, e: &mut XdrEncoder) {
+        e.put_u32(self.status as u32);
+        if let Some(attr) = &self.attr {
+            attr.encode(e);
+        }
+    }
+
+    /// Decodes.
+    pub fn decode(d: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        let status = NfsStat::from_u32(d.get_u32()?);
+        if status == NfsStat::Ok {
+            Ok(Self {
+                status,
+                attr: Some(NfsAttr::decode(d)?),
+            })
+        } else {
+            Ok(Self { status, attr: None })
+        }
+    }
+}
+
+/// SETATTR args: handle + sattr. The only settable attribute NeST honors
+/// is `size` (truncate); mode/uid/gid are ACL-layer concerns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetAttrArgs {
+    pub fh: FileHandle,
+    /// New size, or `None` (wire value 0xffffffff) to leave unchanged.
+    pub size: Option<u32>,
+}
+
+impl SetAttrArgs {
+    /// Encodes.
+    pub fn encode(&self, e: &mut XdrEncoder) {
+        self.fh.encode(e);
+        e.put_u32(u32::MAX); // mode: don't set
+        e.put_u32(u32::MAX); // uid
+        e.put_u32(u32::MAX); // gid
+        e.put_u32(self.size.unwrap_or(u32::MAX));
+        e.put_u32(u32::MAX).put_u32(u32::MAX); // atime
+        e.put_u32(u32::MAX).put_u32(u32::MAX); // mtime
+    }
+
+    /// Decodes.
+    pub fn decode(d: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        let fh = FileHandle::decode(d)?;
+        let _mode = d.get_u32()?;
+        let _uid = d.get_u32()?;
+        let _gid = d.get_u32()?;
+        let size = match d.get_u32()? {
+            u32::MAX => None,
+            v => Some(v),
+        };
+        for _ in 0..4 {
+            d.get_u32()?;
+        }
+        Ok(Self { fh, size })
+    }
+}
+
+/// READ args.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadArgs {
+    pub fh: FileHandle,
+    pub offset: u32,
+    pub count: u32,
+}
+
+impl ReadArgs {
+    /// Encodes (totalcount is unused per the RFC).
+    pub fn encode(&self, e: &mut XdrEncoder) {
+        self.fh.encode(e);
+        e.put_u32(self.offset);
+        e.put_u32(self.count);
+        e.put_u32(0);
+    }
+
+    /// Decodes.
+    pub fn decode(d: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        let fh = FileHandle::decode(d)?;
+        let offset = d.get_u32()?;
+        let count = d.get_u32()?;
+        let _total = d.get_u32()?;
+        Ok(Self { fh, offset, count })
+    }
+}
+
+/// READ result: status + (attrs, data).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadRes {
+    pub status: NfsStat,
+    pub attr: Option<NfsAttr>,
+    pub data: Vec<u8>,
+}
+
+impl ReadRes {
+    /// Encodes.
+    pub fn encode(&self, e: &mut XdrEncoder) {
+        e.put_u32(self.status as u32);
+        if self.status == NfsStat::Ok {
+            if let Some(attr) = &self.attr {
+                attr.encode(e);
+            }
+            e.put_opaque(&self.data);
+        }
+    }
+
+    /// Decodes.
+    pub fn decode(d: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        let status = NfsStat::from_u32(d.get_u32()?);
+        if status == NfsStat::Ok {
+            let attr = NfsAttr::decode(d)?;
+            let data = d.get_opaque()?.to_vec();
+            Ok(Self {
+                status,
+                attr: Some(attr),
+                data,
+            })
+        } else {
+            Ok(Self {
+                status,
+                attr: None,
+                data: Vec::new(),
+            })
+        }
+    }
+}
+
+/// WRITE args.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteArgs {
+    pub fh: FileHandle,
+    pub offset: u32,
+    pub data: Vec<u8>,
+}
+
+impl WriteArgs {
+    /// Encodes (beginoffset/totalcount unused per the RFC).
+    pub fn encode(&self, e: &mut XdrEncoder) {
+        self.fh.encode(e);
+        e.put_u32(0);
+        e.put_u32(self.offset);
+        e.put_u32(0);
+        e.put_opaque(&self.data);
+    }
+
+    /// Decodes.
+    pub fn decode(d: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        let fh = FileHandle::decode(d)?;
+        let _begin = d.get_u32()?;
+        let offset = d.get_u32()?;
+        let _total = d.get_u32()?;
+        let data = d.get_opaque()?.to_vec();
+        Ok(Self { fh, offset, data })
+    }
+}
+
+/// CREATE/MKDIR args: where + initial attributes (we honor only size=0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CreateArgs {
+    pub wher: DirOpArgs,
+}
+
+impl CreateArgs {
+    /// Encodes with a default `sattr` (all -1 except mode/size).
+    pub fn encode(&self, e: &mut XdrEncoder) {
+        self.wher.encode(e);
+        // sattr: mode, uid, gid, size, atime(2), mtime(2) — -1 = don't set.
+        e.put_u32(0o644);
+        e.put_u32(u32::MAX);
+        e.put_u32(u32::MAX);
+        e.put_u32(0);
+        e.put_u32(u32::MAX).put_u32(u32::MAX);
+        e.put_u32(u32::MAX).put_u32(u32::MAX);
+    }
+
+    /// Decodes, discarding the sattr.
+    pub fn decode(d: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        let wher = DirOpArgs::decode(d)?;
+        for _ in 0..8 {
+            d.get_u32()?;
+        }
+        Ok(Self { wher })
+    }
+}
+
+/// RENAME args.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenameArgs {
+    pub from: DirOpArgs,
+    pub to: DirOpArgs,
+}
+
+impl RenameArgs {
+    /// Encodes.
+    pub fn encode(&self, e: &mut XdrEncoder) {
+        self.from.encode(e);
+        self.to.encode(e);
+    }
+
+    /// Decodes.
+    pub fn decode(d: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self {
+            from: DirOpArgs::decode(d)?,
+            to: DirOpArgs::decode(d)?,
+        })
+    }
+}
+
+/// READDIR args.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadDirArgs {
+    pub fh: FileHandle,
+    pub cookie: u32,
+    pub count: u32,
+}
+
+impl ReadDirArgs {
+    /// Encodes.
+    pub fn encode(&self, e: &mut XdrEncoder) {
+        self.fh.encode(e);
+        e.put_u32(self.cookie);
+        e.put_u32(self.count);
+    }
+
+    /// Decodes.
+    pub fn decode(d: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self {
+            fh: FileHandle::decode(d)?,
+            cookie: d.get_u32()?,
+            count: d.get_u32()?,
+        })
+    }
+}
+
+/// One READDIR entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    pub fileid: u32,
+    pub name: String,
+    pub cookie: u32,
+}
+
+/// READDIR result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadDirRes {
+    pub status: NfsStat,
+    pub entries: Vec<DirEntry>,
+    pub eof: bool,
+}
+
+impl ReadDirRes {
+    /// Encodes (linked-list XDR form).
+    pub fn encode(&self, e: &mut XdrEncoder) {
+        e.put_u32(self.status as u32);
+        if self.status != NfsStat::Ok {
+            return;
+        }
+        for entry in &self.entries {
+            e.put_bool(true);
+            e.put_u32(entry.fileid);
+            e.put_str(&entry.name);
+            e.put_u32(entry.cookie);
+        }
+        e.put_bool(false);
+        e.put_bool(self.eof);
+    }
+
+    /// Decodes.
+    pub fn decode(d: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        let status = NfsStat::from_u32(d.get_u32()?);
+        if status != NfsStat::Ok {
+            return Ok(Self {
+                status,
+                entries: Vec::new(),
+                eof: true,
+            });
+        }
+        let mut entries = Vec::new();
+        while d.get_bool()? {
+            entries.push(DirEntry {
+                fileid: d.get_u32()?,
+                name: d.get_string()?,
+                cookie: d.get_u32()?,
+            });
+        }
+        let eof = d.get_bool()?;
+        Ok(Self {
+            status,
+            entries,
+            eof,
+        })
+    }
+}
+
+/// MOUNT `fhstatus`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FhStatus {
+    pub status: u32,
+    pub fh: Option<FileHandle>,
+}
+
+impl FhStatus {
+    /// Encodes.
+    pub fn encode(&self, e: &mut XdrEncoder) {
+        e.put_u32(self.status);
+        if let Some(fh) = &self.fh {
+            fh.encode(e);
+        }
+    }
+
+    /// Decodes.
+    pub fn decode(d: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        let status = d.get_u32()?;
+        if status == 0 {
+            Ok(Self {
+                status,
+                fh: Some(FileHandle::decode(d)?),
+            })
+        } else {
+            Ok(Self { status, fh: None })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: PartialEq + std::fmt::Debug>(
+        value: &T,
+        encode: impl Fn(&T, &mut XdrEncoder),
+        decode: impl Fn(&mut XdrDecoder<'_>) -> Result<T, XdrError>,
+    ) {
+        let mut e = XdrEncoder::new();
+        encode(value, &mut e);
+        let bytes = e.into_bytes();
+        let mut d = XdrDecoder::new(&bytes);
+        let back = decode(&mut d).unwrap();
+        assert_eq!(&back, value);
+        assert!(d.is_exhausted(), "{} trailing bytes", d.remaining());
+    }
+
+    fn fh(id: u64) -> FileHandle {
+        FileHandle::from_id(id, 1)
+    }
+
+    #[test]
+    fn diropargs_roundtrip() {
+        roundtrip(
+            &DirOpArgs {
+                dir: fh(5),
+                name: "input.dat".into(),
+            },
+            DirOpArgs::encode,
+            DirOpArgs::decode,
+        );
+    }
+
+    #[test]
+    fn diropres_both_arms() {
+        roundtrip(
+            &DirOpRes::ok(fh(9), NfsAttr::file(100, 9)),
+            DirOpRes::encode,
+            DirOpRes::decode,
+        );
+        roundtrip(
+            &DirOpRes::err(NfsStat::NoEnt),
+            DirOpRes::encode,
+            DirOpRes::decode,
+        );
+    }
+
+    #[test]
+    fn attrstat_both_arms() {
+        roundtrip(
+            &AttrStat::ok(NfsAttr::dir(2)),
+            AttrStat::encode,
+            AttrStat::decode,
+        );
+        roundtrip(
+            &AttrStat::err(NfsStat::Stale),
+            AttrStat::encode,
+            AttrStat::decode,
+        );
+    }
+
+    #[test]
+    fn read_roundtrips() {
+        roundtrip(
+            &ReadArgs {
+                fh: fh(1),
+                offset: 8192,
+                count: 8192,
+            },
+            ReadArgs::encode,
+            ReadArgs::decode,
+        );
+        roundtrip(
+            &ReadRes {
+                status: NfsStat::Ok,
+                attr: Some(NfsAttr::file(100, 1)),
+                data: vec![1, 2, 3],
+            },
+            ReadRes::encode,
+            ReadRes::decode,
+        );
+        roundtrip(
+            &ReadRes {
+                status: NfsStat::Acces,
+                attr: None,
+                data: Vec::new(),
+            },
+            ReadRes::encode,
+            ReadRes::decode,
+        );
+    }
+
+    #[test]
+    fn setattr_roundtrip() {
+        roundtrip(
+            &SetAttrArgs {
+                fh: fh(4),
+                size: Some(1000),
+            },
+            SetAttrArgs::encode,
+            SetAttrArgs::decode,
+        );
+        roundtrip(
+            &SetAttrArgs {
+                fh: fh(4),
+                size: None,
+            },
+            SetAttrArgs::encode,
+            SetAttrArgs::decode,
+        );
+    }
+
+    #[test]
+    fn write_roundtrip() {
+        roundtrip(
+            &WriteArgs {
+                fh: fh(1),
+                offset: 0,
+                data: vec![7; 8192],
+            },
+            WriteArgs::encode,
+            WriteArgs::decode,
+        );
+    }
+
+    #[test]
+    fn create_and_rename_roundtrip() {
+        roundtrip(
+            &CreateArgs {
+                wher: DirOpArgs {
+                    dir: fh(1),
+                    name: "new".into(),
+                },
+            },
+            CreateArgs::encode,
+            CreateArgs::decode,
+        );
+        roundtrip(
+            &RenameArgs {
+                from: DirOpArgs {
+                    dir: fh(1),
+                    name: "a".into(),
+                },
+                to: DirOpArgs {
+                    dir: fh(2),
+                    name: "b".into(),
+                },
+            },
+            RenameArgs::encode,
+            RenameArgs::decode,
+        );
+    }
+
+    #[test]
+    fn readdir_roundtrip_with_entries() {
+        roundtrip(
+            &ReadDirRes {
+                status: NfsStat::Ok,
+                entries: vec![
+                    DirEntry {
+                        fileid: 1,
+                        name: ".".into(),
+                        cookie: 1,
+                    },
+                    DirEntry {
+                        fileid: 7,
+                        name: "data".into(),
+                        cookie: 2,
+                    },
+                ],
+                eof: true,
+            },
+            ReadDirRes::encode,
+            ReadDirRes::decode,
+        );
+        roundtrip(
+            &ReadDirRes {
+                status: NfsStat::NotDir,
+                entries: Vec::new(),
+                eof: true,
+            },
+            ReadDirRes::encode,
+            ReadDirRes::decode,
+        );
+    }
+
+    #[test]
+    fn fhstatus_roundtrip() {
+        roundtrip(
+            &FhStatus {
+                status: 0,
+                fh: Some(fh(1)),
+            },
+            FhStatus::encode,
+            FhStatus::decode,
+        );
+        roundtrip(
+            &FhStatus {
+                status: 13,
+                fh: None,
+            },
+            FhStatus::encode,
+            FhStatus::decode,
+        );
+    }
+}

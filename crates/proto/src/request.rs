@@ -1,0 +1,318 @@
+//! The common request interface (paper §3).
+//!
+//! Every protocol handler parses its wire format into a [`NestRequest`] and
+//! renders a [`NestResponse`] back out, so the dispatcher, storage manager
+//! and transfer manager never see protocol detail. "Most request types
+//! across protocols are very similar (e.g., all have directory operations
+//! such as create, remove, and read, as well as file operations such as
+//! read, write, get, put, remove, and query)."
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The common request format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NestRequest {
+    /// Create a directory.
+    Mkdir { path: String },
+    /// Remove an empty directory.
+    Rmdir { path: String },
+    /// List a directory.
+    ListDir { path: String },
+    /// Query file metadata.
+    Stat { path: String },
+    /// Retrieve a file (server → client data flow).
+    Get { path: String },
+    /// Store a file (client → server data flow). `size` is known for
+    /// protocols that announce it (Chirp, HTTP Content-Length).
+    Put { path: String, size: Option<u64> },
+    /// Delete a file.
+    Delete { path: String },
+    /// Rename a file or directory.
+    Rename { from: String, to: String },
+    /// Create a lot (Chirp only: "Chirp is the only protocol that supports
+    /// lot management").
+    LotCreate { capacity: u64, duration: u64 },
+    /// Create a group lot (the paper's "next release" feature; the caller
+    /// must belong to the group).
+    LotCreateGroup {
+        group: String,
+        capacity: u64,
+        duration: u64,
+    },
+    /// Renew a lot's duration.
+    LotRenew { id: u64, extra: u64 },
+    /// Terminate a lot.
+    LotTerminate { id: u64 },
+    /// Query a lot.
+    LotStat { id: u64 },
+    /// List the caller's lots.
+    LotList,
+    /// Replace a directory ACL entry.
+    SetAcl {
+        path: String,
+        principal: String,
+        rights: String,
+    },
+    /// Read the effective ACL.
+    GetAcl { path: String },
+    /// Third-party transfer: instruct this server to move a file between
+    /// two URLs (GridFTP-style server-to-server).
+    ThirdParty { src: TransferUrl, dst: TransferUrl },
+    /// End the session.
+    Quit,
+}
+
+impl NestRequest {
+    /// A short operation name used in ACL request ads and logs.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            NestRequest::Mkdir { .. } => "mkdir",
+            NestRequest::Rmdir { .. } => "rmdir",
+            NestRequest::ListDir { .. } => "list",
+            NestRequest::Stat { .. } => "stat",
+            NestRequest::Get { .. } => "get",
+            NestRequest::Put { .. } => "put",
+            NestRequest::Delete { .. } => "delete",
+            NestRequest::Rename { .. } => "rename",
+            NestRequest::LotCreate { .. } => "lot_create",
+            NestRequest::LotCreateGroup { .. } => "lot_create_group",
+            NestRequest::LotRenew { .. } => "lot_renew",
+            NestRequest::LotTerminate { .. } => "lot_terminate",
+            NestRequest::LotStat { .. } => "lot_stat",
+            NestRequest::LotList => "lot_list",
+            NestRequest::SetAcl { .. } => "setacl",
+            NestRequest::GetAcl { .. } => "getacl",
+            NestRequest::ThirdParty { .. } => "third_party",
+            NestRequest::Quit => "quit",
+        }
+    }
+
+    /// True for requests whose execution is a data transfer (routed to the
+    /// transfer manager); everything else is handled synchronously by the
+    /// storage manager.
+    pub fn is_transfer(&self) -> bool {
+        matches!(
+            self,
+            NestRequest::Get { .. } | NestRequest::Put { .. } | NestRequest::ThirdParty { .. }
+        )
+    }
+}
+
+/// The protocol-independent response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NestResponse {
+    /// Success with no payload.
+    Ok,
+    /// Success with a text payload (directory listings, lot info, ACLs).
+    OkText(Vec<String>),
+    /// Success with a size (stat, and the pre-transfer size announcement).
+    OkSize(u64),
+    /// Success with a lot id.
+    OkLot(u64),
+    /// The request failed.
+    Error(NestError),
+}
+
+/// Protocol-independent error classes; each codec maps these to its wire
+/// representation (HTTP status, FTP reply code, NFS stat, Chirp code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NestError {
+    /// Authentication failed or access denied.
+    Denied,
+    /// No such file or directory.
+    NotFound,
+    /// Already exists.
+    Exists,
+    /// Out of guaranteed space / lot failure.
+    NoSpace,
+    /// Malformed request.
+    BadRequest,
+    /// Directory not empty, wrong object kind, etc.
+    Invalid,
+    /// Internal server error.
+    Internal,
+}
+
+impl fmt::Display for NestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NestError::Denied => "permission denied",
+            NestError::NotFound => "not found",
+            NestError::Exists => "already exists",
+            NestError::NoSpace => "insufficient space",
+            NestError::BadRequest => "bad request",
+            NestError::Invalid => "invalid operation",
+            NestError::Internal => "internal error",
+        };
+        write!(f, "{}", s)
+    }
+}
+
+/// A transfer endpoint URL: `protocol://host:port/path`, as used by
+/// third-party transfers and the grid execution manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferUrl {
+    /// Protocol scheme: "chirp", "ftp", "gsiftp" (GridFTP), "http", "nfs".
+    pub scheme: String,
+    /// Host name or address.
+    pub host: String,
+    /// TCP port.
+    pub port: u16,
+    /// Absolute path on that server.
+    pub path: String,
+}
+
+impl TransferUrl {
+    /// Builds a URL.
+    pub fn new(scheme: &str, host: &str, port: u16, path: &str) -> Self {
+        Self {
+            scheme: scheme.to_owned(),
+            host: host.to_owned(),
+            port,
+            path: path.to_owned(),
+        }
+    }
+
+    /// The `host:port` authority.
+    pub fn authority(&self) -> String {
+        format!("{}:{}", self.host, self.port)
+    }
+}
+
+impl fmt::Display for TransferUrl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}://{}:{}{}",
+            self.scheme, self.host, self.port, self.path
+        )
+    }
+}
+
+/// URL parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UrlError(pub String);
+
+impl fmt::Display for UrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad transfer url: {}", self.0)
+    }
+}
+
+impl std::error::Error for UrlError {}
+
+impl FromStr for TransferUrl {
+    type Err = UrlError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (scheme, rest) = s
+            .split_once("://")
+            .ok_or_else(|| UrlError(format!("missing scheme in {:?}", s)))?;
+        if scheme.is_empty() {
+            return Err(UrlError("empty scheme".into()));
+        }
+        let (authority, path) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        let (host, port) = authority
+            .rsplit_once(':')
+            .ok_or_else(|| UrlError(format!("missing port in {:?}", s)))?;
+        if host.is_empty() {
+            return Err(UrlError("empty host".into()));
+        }
+        let port: u16 = port
+            .parse()
+            .map_err(|_| UrlError(format!("bad port in {:?}", s)))?;
+        Ok(TransferUrl {
+            scheme: scheme.to_owned(),
+            host: host.to_owned(),
+            port,
+            path: path.to_owned(),
+        })
+    }
+}
+
+/// Default well-known ports, mirroring the 2002 NeST deployment layout
+/// (one process, many listening ports).
+pub mod ports {
+    /// Chirp (NeST native).
+    pub const CHIRP: u16 = 5893;
+    /// HTTP.
+    pub const HTTP: u16 = 8080;
+    /// FTP control.
+    pub const FTP: u16 = 5894;
+    /// GridFTP control.
+    pub const GRIDFTP: u16 = 2811;
+    /// NFS (UDP/TCP RPC).
+    pub const NFS: u16 = 5899;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_classification() {
+        assert!(NestRequest::Get { path: "/f".into() }.is_transfer());
+        assert!(NestRequest::Put {
+            path: "/f".into(),
+            size: None
+        }
+        .is_transfer());
+        assert!(!NestRequest::Mkdir { path: "/d".into() }.is_transfer());
+        assert!(!NestRequest::LotList.is_transfer());
+    }
+
+    #[test]
+    fn url_roundtrip() {
+        let u: TransferUrl = "gsiftp://argonne.example.org:2811/staging/input.dat"
+            .parse()
+            .unwrap();
+        assert_eq!(u.scheme, "gsiftp");
+        assert_eq!(u.host, "argonne.example.org");
+        assert_eq!(u.port, 2811);
+        assert_eq!(u.path, "/staging/input.dat");
+        assert_eq!(
+            u.to_string(),
+            "gsiftp://argonne.example.org:2811/staging/input.dat"
+        );
+    }
+
+    #[test]
+    fn url_defaults_root_path() {
+        let u: TransferUrl = "chirp://host:5893".parse().unwrap();
+        assert_eq!(u.path, "/");
+    }
+
+    #[test]
+    fn url_errors() {
+        assert!("no-scheme/path".parse::<TransferUrl>().is_err());
+        assert!("chirp://hostonly/path".parse::<TransferUrl>().is_err());
+        assert!("chirp://host:badport/p".parse::<TransferUrl>().is_err());
+        assert!("://host:1/p".parse::<TransferUrl>().is_err());
+        assert!("chirp://:1/p".parse::<TransferUrl>().is_err());
+    }
+
+    #[test]
+    fn op_names_unique_enough() {
+        assert_eq!(NestRequest::Quit.op_name(), "quit");
+        assert_eq!(
+            NestRequest::LotCreate {
+                capacity: 1,
+                duration: 1
+            }
+            .op_name(),
+            "lot_create"
+        );
+    }
+
+    #[test]
+    fn ipv6_ish_host_with_port_parses_via_rsplit() {
+        // rsplit_once keeps the last colon as the port separator.
+        let u: TransferUrl = "http://fe80--1:8080/x".parse().unwrap();
+        assert_eq!(u.host, "fe80--1");
+        assert_eq!(u.port, 8080);
+    }
+}

@@ -1,0 +1,153 @@
+//! Shared line-oriented wire helpers.
+//!
+//! Chirp, HTTP and FTP are all CRLF/LF line protocols; this module provides
+//! bounded line reading (hostile clients cannot exhaust memory with an
+//! unterminated line) and exact-count byte copying for data phases.
+
+use std::io::{self, Read, Write};
+
+/// Maximum accepted line length; longer lines abort the connection.
+pub const MAX_LINE: usize = 8 * 1024;
+
+/// Reads one line (terminated by `\n`; a trailing `\r` is stripped).
+/// Returns `Ok(None)` on clean EOF before any byte.
+pub fn read_line(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut buf = Vec::with_capacity(80);
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                // EOF mid-line: hand back what we have (FTP clients often
+                // omit the final newline on QUIT).
+                break;
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                if buf.len() >= MAX_LINE {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "line exceeds maximum length",
+                    ));
+                }
+                buf.push(byte[0]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 line"))
+}
+
+/// Writes a line with CRLF termination and flushes.
+pub fn write_line(w: &mut impl Write, line: &str) -> io::Result<()> {
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\r\n")?;
+    w.flush()
+}
+
+/// Copies exactly `count` bytes from `r` to `w` in `chunk`-sized pieces.
+pub fn copy_exact(
+    r: &mut impl Read,
+    w: &mut impl Write,
+    count: u64,
+    chunk: usize,
+) -> io::Result<()> {
+    let mut buf = vec![0u8; chunk.max(1)];
+    let mut remaining = count;
+    while remaining > 0 {
+        let want = (buf.len() as u64).min(remaining) as usize;
+        let n = r.read(&mut buf[..want])?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("peer closed with {} bytes outstanding", remaining),
+            ));
+        }
+        w.write_all(&buf[..n])?;
+        remaining -= n as u64;
+    }
+    w.flush()
+}
+
+/// Reads exactly `count` bytes into a vector.
+pub fn read_exact_vec(r: &mut impl Read, count: u64) -> io::Result<Vec<u8>> {
+    let mut out = vec![0u8; count as usize];
+    r.read_exact(&mut out)?;
+    Ok(out)
+}
+
+/// Splits a command line into the verb and the remainder.
+pub fn split_verb(line: &str) -> (&str, &str) {
+    match line.find(' ') {
+        Some(i) => (&line[..i], line[i + 1..].trim_start()),
+        None => (line, ""),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn read_line_strips_crlf() {
+        let mut c = Cursor::new(b"hello\r\nworld\n".to_vec());
+        assert_eq!(read_line(&mut c).unwrap().unwrap(), "hello");
+        assert_eq!(read_line(&mut c).unwrap().unwrap(), "world");
+        assert_eq!(read_line(&mut c).unwrap(), None);
+    }
+
+    #[test]
+    fn read_line_handles_eof_mid_line() {
+        let mut c = Cursor::new(b"partial".to_vec());
+        assert_eq!(read_line(&mut c).unwrap().unwrap(), "partial");
+        assert_eq!(read_line(&mut c).unwrap(), None);
+    }
+
+    #[test]
+    fn read_line_rejects_oversized() {
+        let big = vec![b'a'; MAX_LINE + 10];
+        let mut c = Cursor::new(big);
+        assert!(read_line(&mut c).is_err());
+    }
+
+    #[test]
+    fn write_line_appends_crlf() {
+        let mut out = Vec::new();
+        write_line(&mut out, "200 OK").unwrap();
+        assert_eq!(out, b"200 OK\r\n");
+    }
+
+    #[test]
+    fn copy_exact_moves_count_bytes() {
+        let src = vec![7u8; 10_000];
+        let mut r = Cursor::new(src);
+        let mut dst = Vec::new();
+        copy_exact(&mut r, &mut dst, 9_999, 512).unwrap();
+        assert_eq!(dst.len(), 9_999);
+    }
+
+    #[test]
+    fn copy_exact_detects_early_eof() {
+        let mut r = Cursor::new(vec![0u8; 5]);
+        let mut dst = Vec::new();
+        assert!(copy_exact(&mut r, &mut dst, 10, 4).is_err());
+    }
+
+    #[test]
+    fn split_verb_variants() {
+        assert_eq!(split_verb("GET /path"), ("GET", "/path"));
+        assert_eq!(split_verb("QUIT"), ("QUIT", ""));
+        assert_eq!(split_verb("PUT   /a b"), ("PUT", "/a b"));
+    }
+}

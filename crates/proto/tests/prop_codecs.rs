@@ -1,0 +1,185 @@
+//! Property tests across the protocol codecs: every client-producible
+//! request must reparse identically, every decoder must survive arbitrary
+//! bytes without panicking, and MODE E striping must reassemble exactly.
+
+use nest_proto::chirp;
+use nest_proto::ftp;
+use nest_proto::gridftp::modee::{self, OffsetSink};
+use nest_proto::gsi::Credential;
+use nest_proto::http::{HttpMethod, HttpRequestHead};
+use nest_proto::nfs::types::{FileHandle, NfsAttr};
+use nest_proto::request::{NestRequest, TransferUrl};
+use nest_proto::wire;
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::io::Cursor;
+use std::sync::Arc;
+
+/// Path strings the escaping layer must survive (spaces, percent signs,
+/// nested slashes).
+fn arb_path() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 %._/-]{1,32}".prop_map(|s| format!("/{}", s.trim_start_matches('/')))
+}
+
+fn arb_url() -> impl Strategy<Value = TransferUrl> {
+    (
+        prop_oneof![Just("chirp"), Just("gsiftp"), Just("http")],
+        "[a-z][a-z0-9.-]{0,15}",
+        1u16..,
+        "[a-zA-Z0-9._/-]{0,20}",
+    )
+        .prop_map(|(scheme, host, port, path)| {
+            TransferUrl::new(scheme, &host, port, &format!("/{}", path))
+        })
+}
+
+fn arb_request() -> impl Strategy<Value = NestRequest> {
+    prop_oneof![
+        arb_path().prop_map(|path| NestRequest::Mkdir { path }),
+        arb_path().prop_map(|path| NestRequest::Rmdir { path }),
+        arb_path().prop_map(|path| NestRequest::ListDir { path }),
+        arb_path().prop_map(|path| NestRequest::Stat { path }),
+        arb_path().prop_map(|path| NestRequest::Get { path }),
+        (arb_path(), any::<u64>()).prop_map(|(path, size)| NestRequest::Put {
+            path,
+            size: Some(size)
+        }),
+        arb_path().prop_map(|path| NestRequest::Delete { path }),
+        (arb_path(), arb_path()).prop_map(|(from, to)| NestRequest::Rename { from, to }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(capacity, duration)| NestRequest::LotCreate { capacity, duration }),
+        (any::<u64>(), any::<u64>()).prop_map(|(id, extra)| NestRequest::LotRenew { id, extra }),
+        any::<u64>().prop_map(|id| NestRequest::LotTerminate { id }),
+        any::<u64>().prop_map(|id| NestRequest::LotStat { id }),
+        Just(NestRequest::LotList),
+        arb_path().prop_map(|path| NestRequest::GetAcl { path }),
+        (arb_url(), arb_url()).prop_map(|(src, dst)| NestRequest::ThirdParty { src, dst }),
+        Just(NestRequest::Quit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn chirp_request_lines_roundtrip(req in arb_request()) {
+        let line = chirp::format_request(&req);
+        match chirp::parse_command(&line) {
+            Some(chirp::ChirpCommand::Request(parsed)) => prop_assert_eq!(parsed, req),
+            other => prop_assert!(false, "line {:?} parsed as {:?}", line, other),
+        }
+    }
+
+    #[test]
+    fn chirp_parser_never_panics(line in "\\PC{0,200}") {
+        let _ = chirp::parse_command(&line);
+    }
+
+    #[test]
+    fn ftp_parser_never_panics(line in "\\PC{0,200}") {
+        let _ = ftp::parse_command(&line);
+    }
+
+    #[test]
+    fn ftp_host_port_roundtrip(a in any::<u8>(), b in any::<u8>(),
+                               c in any::<u8>(), d in any::<u8>(), port in any::<u16>()) {
+        let addr = std::net::SocketAddrV4::new(std::net::Ipv4Addr::new(a, b, c, d), port);
+        let rendered = ftp::render_host_port(addr);
+        prop_assert_eq!(ftp::parse_host_port(&rendered), Some(addr));
+    }
+
+    #[test]
+    fn http_head_roundtrip(
+        method in prop_oneof![
+            Just(HttpMethod::Get), Just(HttpMethod::Put),
+            Just(HttpMethod::Head), Just(HttpMethod::Delete)
+        ],
+        path in arb_path(),
+        length in proptest::option::of(any::<u64>()),
+    ) {
+        let mut headers = BTreeMap::new();
+        if let Some(l) = length {
+            headers.insert("content-length".to_owned(), l.to_string());
+        }
+        let head = HttpRequestHead { method, path, headers };
+        let wire = head.render();
+        let parsed = HttpRequestHead::read(&mut Cursor::new(wire.into_bytes()))
+            .unwrap()
+            .unwrap();
+        prop_assert_eq!(parsed, head);
+    }
+
+    #[test]
+    fn http_parser_survives_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = HttpRequestHead::read(&mut Cursor::new(bytes));
+    }
+
+    #[test]
+    fn credential_wire_roundtrip(subject in "[/=a-zA-Z0-9 .-]{1,60}", tag in any::<u64>()) {
+        let cred = Credential { subject: subject.clone(), tag };
+        let back = Credential::from_wire(&cred.to_wire()).unwrap();
+        prop_assert_eq!(back, cred);
+    }
+
+    #[test]
+    fn url_roundtrip(url in arb_url()) {
+        let parsed: TransferUrl = url.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, url);
+    }
+
+    #[test]
+    fn nfs_attr_roundtrip(size in any::<u32>(), fileid in any::<u32>()) {
+        let attr = NfsAttr::file(size, fileid);
+        let mut e = nest_sunrpc::xdr::XdrEncoder::new();
+        attr.encode(&mut e);
+        let bytes = e.into_bytes();
+        let back = NfsAttr::decode(&mut nest_sunrpc::xdr::XdrDecoder::new(&bytes)).unwrap();
+        prop_assert_eq!(back, attr);
+    }
+
+    #[test]
+    fn file_handle_roundtrip(id in any::<u64>(), generation in any::<u64>()) {
+        let fh = FileHandle::from_id(id, generation);
+        prop_assert_eq!(fh.id(), id);
+        prop_assert_eq!(fh.generation(), generation);
+    }
+
+    #[test]
+    fn modee_striping_reassembles_exactly(
+        payload in prop::collection::vec(any::<u8>(), 0..20_000),
+        streams in 1usize..5,
+        chunk in 1usize..4096,
+    ) {
+        let mut wires: Vec<Vec<u8>> = vec![Vec::new(); streams];
+        {
+            let mut refs: Vec<&mut Vec<u8>> = wires.iter_mut().collect();
+            let sent = modee::send_striped(
+                &mut refs[..], &mut Cursor::new(payload.clone()), chunk).unwrap();
+            prop_assert_eq!(sent, payload.len() as u64);
+        }
+        let sink = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let dyn_sink: Arc<Mutex<dyn OffsetSink>> = sink.clone();
+        let total = modee::recv_striped(
+            wires.into_iter().map(Cursor::new).collect::<Vec<_>>(),
+            dyn_sink,
+        ).unwrap();
+        prop_assert_eq!(total, payload.len() as u64);
+        prop_assert_eq!(&*sink.lock(), &payload);
+    }
+
+    #[test]
+    fn modee_reader_survives_garbage(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = modee::read_block(&mut Cursor::new(bytes));
+    }
+
+    #[test]
+    fn wire_line_roundtrip(line in "[ -~]{0,200}") {
+        // Printable ASCII without the terminator roundtrips through
+        // write_line/read_line.
+        let mut buf = Vec::new();
+        wire::write_line(&mut buf, &line).unwrap();
+        let back = wire::read_line(&mut Cursor::new(buf)).unwrap().unwrap();
+        prop_assert_eq!(back, line);
+    }
+}

@@ -1,0 +1,138 @@
+//! Simulation statistics.
+
+use std::collections::HashMap;
+
+/// Per-class accounting for one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct ClassStats {
+    /// Payload bytes delivered.
+    pub bytes: u64,
+    /// Completed requests (whole files or blocks, per the client mode).
+    pub completions: u64,
+    /// Completed whole files (for latency reporting on file workloads).
+    pub files: u64,
+    /// Sum of request latencies in seconds.
+    pub latency_sum: f64,
+    /// Individual request latencies (seconds, f32 to stay compact), for
+    /// percentile reporting.
+    pub latencies: Vec<f32>,
+}
+
+/// The result of a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Virtual seconds simulated.
+    pub elapsed: f64,
+    /// Per-protocol-class stats.
+    pub classes: HashMap<String, ClassStats>,
+    /// Completions per concurrency model name.
+    pub per_model: HashMap<&'static str, u64>,
+}
+
+impl SimStats {
+    /// Delivered bandwidth for one class, bytes/second.
+    pub fn bandwidth(&self, class: &str) -> f64 {
+        if self.elapsed <= 0.0 {
+            return 0.0;
+        }
+        self.classes
+            .get(class)
+            .map_or(0.0, |c| c.bytes as f64 / self.elapsed)
+    }
+
+    /// Total delivered bandwidth, bytes/second.
+    pub fn total_bandwidth(&self) -> f64 {
+        if self.elapsed <= 0.0 {
+            return 0.0;
+        }
+        self.classes.values().map(|c| c.bytes).sum::<u64>() as f64 / self.elapsed
+    }
+
+    /// Mean request latency for a class, seconds.
+    pub fn mean_latency(&self, class: &str) -> f64 {
+        self.classes.get(class).map_or(0.0, |c| {
+            if c.completions == 0 {
+                0.0
+            } else {
+                c.latency_sum / c.completions as f64
+            }
+        })
+    }
+
+    /// The q-th latency percentile (0.0..=1.0) for a class, seconds.
+    /// Returns 0.0 when no requests completed.
+    pub fn latency_percentile(&self, class: &str, q: f64) -> f64 {
+        let Some(c) = self.classes.get(class) else {
+            return 0.0;
+        };
+        if c.latencies.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = c.latencies.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx] as f64
+    }
+
+    /// Mean latency across every class.
+    pub fn overall_mean_latency(&self) -> f64 {
+        let (sum, n) = self.classes.values().fold((0.0, 0u64), |(s, n), c| {
+            (s + c.latency_sum, n + c.completions)
+        });
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Mutable class accessor.
+    pub fn class_mut(&mut self, class: &str) -> &mut ClassStats {
+        if !self.classes.contains_key(class) {
+            self.classes.insert(class.to_owned(), ClassStats::default());
+        }
+        self.classes.get_mut(class).unwrap()
+    }
+}
+
+/// Formats bytes/second as MB/s (decimal, as the paper's axes do).
+pub fn mbps(bps: f64) -> f64 {
+    bps / 1.0e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_and_latency_math() {
+        let mut s = SimStats {
+            elapsed: 2.0,
+            ..Default::default()
+        };
+        {
+            let c = s.class_mut("http");
+            c.bytes = 20_000_000;
+            c.completions = 4;
+            c.latency_sum = 1.0;
+            c.latencies = vec![0.1, 0.2, 0.3, 0.4];
+        }
+        assert!((s.bandwidth("http") - 10_000_000.0).abs() < 1e-9);
+        assert!((s.total_bandwidth() - 10_000_000.0).abs() < 1e-9);
+        assert!((s.mean_latency("http") - 0.25).abs() < 1e-12);
+        assert_eq!(s.bandwidth("nfs"), 0.0);
+        assert!((mbps(35_000_000.0) - 35.0).abs() < 1e-12);
+        // Percentiles from the recorded samples.
+        assert!((s.latency_percentile("http", 0.0) - 0.1).abs() < 1e-6);
+        assert!((s.latency_percentile("http", 1.0) - 0.4).abs() < 1e-6);
+        assert!((s.latency_percentile("http", 0.5) - 0.3).abs() < 1e-6);
+        assert_eq!(s.latency_percentile("nfs", 0.5), 0.0);
+    }
+
+    #[test]
+    fn zero_elapsed_is_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.total_bandwidth(), 0.0);
+        assert_eq!(s.overall_mean_latency(), 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Workload descriptions: the client side of the simulation.
+//!
+//! The paper's §7.1–7.2 workload is "four clients request 10 MB files for
+//! each protocol". A client is a closed loop: it keeps one request
+//! outstanding, issuing the next as soon as the previous completes (file
+//! protocols) or the next block as soon as the previous block returns
+//! plus a turnaround gap (NFS). That closed-loop block behaviour is what
+//! limits NFS bandwidth and what makes the 1:1:1:4 proportional target in
+//! Figure 4 unreachable.
+
+/// How a client's protocol maps onto server requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestMode {
+    /// One request per whole file (Chirp, HTTP, FTP, GridFTP).
+    WholeFile,
+    /// One request per block; the client walks the file block by block
+    /// (NFS). The payload is the block size.
+    Blocks {
+        /// Block size in bytes (8192 for NFSv2).
+        block: u64,
+    },
+}
+
+/// One simulated client.
+#[derive(Debug, Clone)]
+pub struct ClientSpec {
+    /// Protocol class ("chirp", "gridftp", "http", "nfs", "ftp").
+    pub protocol: String,
+    /// File size requested repeatedly.
+    pub file_size: u64,
+    /// Request mode.
+    pub mode: RequestMode,
+    /// How many distinct files this client cycles through (affects cache
+    /// behaviour: 1 = always the same hot file).
+    pub working_set: usize,
+}
+
+impl ClientSpec {
+    /// A whole-file client for the given protocol.
+    pub fn file_client(protocol: &str, file_size: u64) -> Self {
+        Self {
+            protocol: protocol.to_owned(),
+            file_size,
+            mode: RequestMode::WholeFile,
+            working_set: 1,
+        }
+    }
+
+    /// An NFS block client (8 KB NFSv2 blocks).
+    pub fn nfs_client(file_size: u64) -> Self {
+        Self {
+            protocol: "nfs".to_owned(),
+            file_size,
+            mode: RequestMode::Blocks { block: 8192 },
+            working_set: 1,
+        }
+    }
+
+    /// Spreads the client over a working set of `n` files.
+    pub fn with_working_set(mut self, n: usize) -> Self {
+        self.working_set = n.max(1);
+        self
+    }
+
+    /// The paper's Figure 3/4 mixed workload: four clients per protocol,
+    /// 10 MB files, over the four protocols NeST compares.
+    pub fn paper_mixed_workload() -> Vec<ClientSpec> {
+        let mut clients = Vec::new();
+        for proto in ["chirp", "gridftp", "http"] {
+            for _ in 0..4 {
+                clients.push(ClientSpec::file_client(proto, 10 << 20));
+            }
+        }
+        for _ in 0..4 {
+            clients.push(ClientSpec::nfs_client(10 << 20));
+        }
+        clients
+    }
+
+    /// A single-protocol slice of the paper workload.
+    pub fn paper_single_protocol(proto: &str) -> Vec<ClientSpec> {
+        (0..4)
+            .map(|_| {
+                if proto == "nfs" {
+                    ClientSpec::nfs_client(10 << 20)
+                } else {
+                    ClientSpec::file_client(proto, 10 << 20)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workload_shape() {
+        let w = ClientSpec::paper_mixed_workload();
+        assert_eq!(w.len(), 16);
+        assert_eq!(w.iter().filter(|c| c.protocol == "nfs").count(), 4);
+        assert!(w
+            .iter()
+            .filter(|c| c.protocol == "nfs")
+            .all(|c| matches!(c.mode, RequestMode::Blocks { block: 8192 })));
+        assert!(w
+            .iter()
+            .filter(|c| c.protocol != "nfs")
+            .all(|c| c.mode == RequestMode::WholeFile && c.file_size == 10 << 20));
+    }
+
+    #[test]
+    fn single_protocol_slice() {
+        let w = ClientSpec::paper_single_protocol("http");
+        assert_eq!(w.len(), 4);
+        assert!(w.iter().all(|c| c.protocol == "http"));
+    }
+}

@@ -1,0 +1,568 @@
+//! AFS-style access control lists built on ClassAds (paper §5).
+//!
+//! "AFS-style access control lists determine read, write, modify, insert,
+//! and other privileges, and the typical notions of users and groups are
+//! maintained. NeST support for access control is generic, as these policies
+//! are enforced across any and all protocols."
+//!
+//! ACLs attach to directories and are inherited by everything beneath until
+//! overridden, as in AFS. Each entry grants a rights string to a principal
+//! pattern (`user`, `group:name`, `anonymous`, or `*`), optionally guarded
+//! by a ClassAd expression evaluated against a per-request ad (so e.g. a
+//! right can be limited to a protocol). Every entry round-trips through a
+//! ClassAd, which is how NeST stores and publishes them.
+
+use crate::namespace::VPath;
+use nest_classad::{ClassAd, EvalContext, Expr, Value};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// The AFS-style rights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessRight {
+    /// `r` — read file data.
+    Read,
+    /// `l` — lookup: list directories, stat entries.
+    Lookup,
+    /// `i` — insert: create new files/directories.
+    Insert,
+    /// `d` — delete entries.
+    Delete,
+    /// `w` — write/modify existing file data.
+    Write,
+    /// `a` — administer: change the ACL itself, manage lots on this subtree.
+    Admin,
+}
+
+impl AccessRight {
+    /// The single-letter AFS code.
+    pub fn code(self) -> char {
+        match self {
+            AccessRight::Read => 'r',
+            AccessRight::Lookup => 'l',
+            AccessRight::Insert => 'i',
+            AccessRight::Delete => 'd',
+            AccessRight::Write => 'w',
+            AccessRight::Admin => 'a',
+        }
+    }
+
+    /// Parses a single-letter code.
+    pub fn from_code(c: char) -> Option<Self> {
+        Some(match c.to_ascii_lowercase() {
+            'r' => AccessRight::Read,
+            'l' => AccessRight::Lookup,
+            'i' => AccessRight::Insert,
+            'd' => AccessRight::Delete,
+            'w' => AccessRight::Write,
+            'a' => AccessRight::Admin,
+            _ => return None,
+        })
+    }
+
+    /// All rights, for "all" grants.
+    pub fn all() -> [AccessRight; 6] {
+        [
+            AccessRight::Read,
+            AccessRight::Lookup,
+            AccessRight::Insert,
+            AccessRight::Delete,
+            AccessRight::Write,
+            AccessRight::Admin,
+        ]
+    }
+}
+
+/// An authenticated principal: the local user name plus group memberships,
+/// as produced by a protocol handler's authentication step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Principal {
+    /// Local user name; `"anonymous"` for unauthenticated protocols.
+    pub user: String,
+    /// Groups the user belongs to.
+    pub groups: HashSet<String>,
+}
+
+impl Principal {
+    /// An authenticated user with no groups.
+    pub fn user(name: impl Into<String>) -> Self {
+        Self {
+            user: name.into(),
+            groups: HashSet::new(),
+        }
+    }
+
+    /// The anonymous principal used by protocols without authentication
+    /// (HTTP, FTP, NFS in the paper's configuration).
+    pub fn anonymous() -> Self {
+        Self::user("anonymous")
+    }
+
+    /// True for the anonymous principal.
+    pub fn is_anonymous(&self) -> bool {
+        self.user == "anonymous"
+    }
+
+    /// Adds a group membership.
+    pub fn with_group(mut self, group: impl Into<String>) -> Self {
+        self.groups.insert(group.into());
+        self
+    }
+}
+
+/// Who an ACL entry applies to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Who {
+    /// A specific user.
+    User(String),
+    /// Members of a group.
+    Group(String),
+    /// The anonymous principal only.
+    Anonymous,
+    /// Every principal including anonymous.
+    Everyone,
+}
+
+impl Who {
+    fn applies_to(&self, p: &Principal) -> bool {
+        match self {
+            Who::User(u) => p.user == *u,
+            Who::Group(g) => p.groups.contains(g),
+            Who::Anonymous => p.is_anonymous(),
+            Who::Everyone => true,
+        }
+    }
+
+    fn to_spec(&self) -> String {
+        match self {
+            Who::User(u) => format!("user:{}", u),
+            Who::Group(g) => format!("group:{}", g),
+            Who::Anonymous => "anonymous".to_owned(),
+            Who::Everyone => "*".to_owned(),
+        }
+    }
+
+    fn from_spec(spec: &str) -> Option<Self> {
+        if spec == "*" {
+            return Some(Who::Everyone);
+        }
+        if spec.eq_ignore_ascii_case("anonymous") {
+            return Some(Who::Anonymous);
+        }
+        if let Some(u) = spec.strip_prefix("user:") {
+            return Some(Who::User(u.to_owned()));
+        }
+        if let Some(g) = spec.strip_prefix("group:") {
+            return Some(Who::Group(g.to_owned()));
+        }
+        // Bare name defaults to a user, matching AFS `fs setacl` usage.
+        Some(Who::User(spec.to_owned()))
+    }
+}
+
+impl fmt::Display for Who {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_spec())
+    }
+}
+
+/// One ACL entry: a principal pattern, a set of rights, and an optional
+/// ClassAd guard expression evaluated against the request ad.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AclEntry {
+    /// Who the entry applies to.
+    pub who: Who,
+    /// The granted rights.
+    pub rights: HashSet<AccessRight>,
+    /// Optional guard: the entry only applies when this expression
+    /// evaluates to `true` against the request ad (attributes such as
+    /// `Protocol` and `Operation`).
+    pub condition: Option<Expr>,
+}
+
+impl AclEntry {
+    /// Creates an entry from a rights string like `"rliw"` (or `"all"`).
+    pub fn new(who: Who, rights: &str) -> Self {
+        let rights = if rights.eq_ignore_ascii_case("all") {
+            AccessRight::all().into_iter().collect()
+        } else {
+            rights.chars().filter_map(AccessRight::from_code).collect()
+        };
+        Self {
+            who,
+            rights,
+            condition: None,
+        }
+    }
+
+    /// Attaches a guard condition.
+    pub fn when(mut self, condition: Expr) -> Self {
+        self.condition = Some(condition);
+        self
+    }
+
+    /// The canonical rights string, in AFS order.
+    pub fn rights_string(&self) -> String {
+        AccessRight::all()
+            .iter()
+            .filter(|r| self.rights.contains(r))
+            .map(|r| r.code())
+            .collect()
+    }
+
+    /// Serializes to the ClassAd representation NeST stores and publishes.
+    pub fn to_classad(&self) -> ClassAd {
+        let mut ad = ClassAd::new();
+        ad.insert_value("Type", Value::str("AclEntry"));
+        ad.insert_value("Principal", Value::str(self.who.to_spec()));
+        ad.insert_value("Rights", Value::str(self.rights_string()));
+        if let Some(cond) = &self.condition {
+            ad.insert("Requirements", cond.clone());
+        }
+        ad
+    }
+
+    /// Parses the ClassAd representation.
+    pub fn from_classad(ad: &ClassAd) -> Option<Self> {
+        if ad.eval("Type") != Value::str("AclEntry") {
+            return None;
+        }
+        let spec = match ad.eval("Principal") {
+            Value::Str(s) => s,
+            _ => return None,
+        };
+        let rights = match ad.eval("Rights") {
+            Value::Str(s) => s,
+            _ => return None,
+        };
+        let mut entry = AclEntry::new(Who::from_spec(&spec)?, &rights);
+        entry.condition = ad.get("Requirements").cloned();
+        Some(entry)
+    }
+
+    fn grants(&self, p: &Principal, right: AccessRight, request: &ClassAd) -> bool {
+        if !self.who.applies_to(p) || !self.rights.contains(&right) {
+            return false;
+        }
+        match &self.condition {
+            None => true,
+            Some(cond) => EvalContext::new(request).eval(cond) == Value::Bool(true),
+        }
+    }
+}
+
+/// Per-directory ACL storage with AFS-style inheritance: the effective ACL
+/// for a path is the ACL of the nearest ancestor directory that has one.
+#[derive(Debug, Default)]
+pub struct AclTable {
+    acls: RwLock<BTreeMap<VPath, Vec<AclEntry>>>,
+    groups: RwLock<HashMap<String, HashSet<String>>>,
+}
+
+impl AclTable {
+    /// Creates an empty table (no access for anyone until a root ACL is
+    /// set; use [`AclTable::open_by_default`] for a permissive start).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table whose root grants everyone everything — the paper's
+    /// out-of-the-box behavior before an administrator configures access.
+    pub fn open_by_default() -> Self {
+        let table = Self::new();
+        table.set_acl(VPath::root(), vec![AclEntry::new(Who::Everyone, "all")]);
+        table
+    }
+
+    /// Replaces the ACL on a directory.
+    pub fn set_acl(&self, dir: VPath, entries: Vec<AclEntry>) {
+        self.acls.write().insert(dir, entries);
+    }
+
+    /// Removes the ACL from a directory (inheritance then applies).
+    pub fn clear_acl(&self, dir: &VPath) {
+        self.acls.write().remove(dir);
+    }
+
+    /// Returns the ACL explicitly set on `dir`, if any.
+    pub fn get_acl(&self, dir: &VPath) -> Option<Vec<AclEntry>> {
+        self.acls.read().get(dir).cloned()
+    }
+
+    /// Returns the effective ACL for `path` (walking up to the nearest
+    /// ancestor with an explicit ACL).
+    pub fn effective_acl(&self, path: &VPath) -> Vec<AclEntry> {
+        let acls = self.acls.read();
+        let mut dir = Some(path.clone());
+        while let Some(d) = dir {
+            if let Some(entries) = acls.get(&d) {
+                return entries.clone();
+            }
+            dir = d.parent();
+        }
+        Vec::new()
+    }
+
+    /// Defines a group's membership.
+    pub fn set_group(&self, group: impl Into<String>, members: impl IntoIterator<Item = String>) {
+        self.groups
+            .write()
+            .insert(group.into(), members.into_iter().collect());
+    }
+
+    /// Expands a principal's group memberships from the group table.
+    pub fn resolve(&self, user: &str) -> Principal {
+        let mut p = Principal::user(user);
+        for (group, members) in self.groups.read().iter() {
+            if members.contains(user) {
+                p.groups.insert(group.clone());
+            }
+        }
+        p
+    }
+
+    /// The core check: does `principal` hold `right` on `path` for this
+    /// request? `request` is a ClassAd describing the operation (at minimum
+    /// `Protocol` and `Operation` attributes) used by guarded entries.
+    pub fn check(
+        &self,
+        principal: &Principal,
+        right: AccessRight,
+        path: &VPath,
+        request: &ClassAd,
+    ) -> bool {
+        self.effective_acl(path)
+            .iter()
+            .any(|e| e.grants(principal, right, request))
+    }
+
+    /// Serializes the whole table as a collection of ClassAds, one per
+    /// (directory, entry) pair — the form NeST publishes and persists.
+    pub fn to_classads(&self) -> Vec<ClassAd> {
+        let acls = self.acls.read();
+        let mut out = Vec::new();
+        for (dir, entries) in acls.iter() {
+            for e in entries {
+                let mut ad = e.to_classad();
+                ad.insert_value("Path", Value::str(dir.to_string()));
+                out.push(ad);
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a table from serialized ClassAds.
+    pub fn from_classads(ads: &[ClassAd]) -> Self {
+        let table = Self::new();
+        {
+            let mut acls = table.acls.write();
+            for ad in ads {
+                let path = match ad.eval("Path") {
+                    Value::Str(s) => match VPath::parse(&s) {
+                        Ok(p) => p,
+                        Err(_) => continue,
+                    },
+                    _ => continue,
+                };
+                if let Some(entry) = AclEntry::from_classad(ad) {
+                    acls.entry(path).or_default().push(entry);
+                }
+            }
+        }
+        table
+    }
+}
+
+/// Builds the request ad a protocol handler passes to ACL checks.
+pub fn request_ad(protocol: &str, operation: &str) -> ClassAd {
+    let mut ad = ClassAd::new();
+    ad.insert_value("Type", Value::str("Request"));
+    ad.insert_value("Protocol", Value::str(protocol));
+    ad.insert_value("Operation", Value::str(operation));
+    ad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nest_classad::parse_expr;
+
+    fn vp(s: &str) -> VPath {
+        VPath::parse(s).unwrap()
+    }
+
+    fn req() -> ClassAd {
+        request_ad("chirp", "get")
+    }
+
+    #[test]
+    fn rights_parse_and_print() {
+        let e = AclEntry::new(Who::Everyone, "rwl");
+        assert_eq!(e.rights_string(), "rlw");
+        let all = AclEntry::new(Who::Everyone, "all");
+        assert_eq!(all.rights_string(), "rlidwa");
+    }
+
+    #[test]
+    fn user_entry_grants_only_that_user() {
+        let t = AclTable::new();
+        t.set_acl(
+            VPath::root(),
+            vec![AclEntry::new(Who::User("alice".into()), "r")],
+        );
+        assert!(t.check(
+            &Principal::user("alice"),
+            AccessRight::Read,
+            &vp("/f"),
+            &req()
+        ));
+        assert!(!t.check(
+            &Principal::user("bob"),
+            AccessRight::Read,
+            &vp("/f"),
+            &req()
+        ));
+        assert!(!t.check(
+            &Principal::user("alice"),
+            AccessRight::Write,
+            &vp("/f"),
+            &req()
+        ));
+    }
+
+    #[test]
+    fn group_entry_uses_membership() {
+        let t = AclTable::new();
+        t.set_group("wind", ["alice".to_owned(), "bob".to_owned()]);
+        t.set_acl(
+            VPath::root(),
+            vec![AclEntry::new(Who::Group("wind".into()), "rl")],
+        );
+        let alice = t.resolve("alice");
+        let carol = t.resolve("carol");
+        assert!(t.check(&alice, AccessRight::Read, &vp("/x"), &req()));
+        assert!(!t.check(&carol, AccessRight::Read, &vp("/x"), &req()));
+    }
+
+    #[test]
+    fn anonymous_vs_everyone() {
+        let t = AclTable::new();
+        t.set_acl(
+            VPath::root(),
+            vec![
+                AclEntry::new(Who::Anonymous, "rl"),
+                AclEntry::new(Who::Everyone, "l"),
+            ],
+        );
+        let anon = Principal::anonymous();
+        let user = Principal::user("alice");
+        assert!(t.check(&anon, AccessRight::Read, &vp("/f"), &req()));
+        assert!(!t.check(&user, AccessRight::Read, &vp("/f"), &req()));
+        assert!(t.check(&user, AccessRight::Lookup, &vp("/f"), &req()));
+    }
+
+    #[test]
+    fn inheritance_nearest_ancestor_wins() {
+        let t = AclTable::new();
+        t.set_acl(VPath::root(), vec![AclEntry::new(Who::Everyone, "all")]);
+        t.set_acl(
+            vp("/private"),
+            vec![AclEntry::new(Who::User("alice".into()), "all")],
+        );
+        let bob = Principal::user("bob");
+        assert!(t.check(&bob, AccessRight::Read, &vp("/public/f"), &req()));
+        assert!(!t.check(&bob, AccessRight::Read, &vp("/private/f"), &req()));
+        assert!(!t.check(&bob, AccessRight::Read, &vp("/private/deep/f"), &req()));
+        let alice = Principal::user("alice");
+        assert!(t.check(&alice, AccessRight::Read, &vp("/private/deep/f"), &req()));
+    }
+
+    #[test]
+    fn empty_table_denies_everything() {
+        let t = AclTable::new();
+        assert!(!t.check(
+            &Principal::user("root"),
+            AccessRight::Read,
+            &vp("/f"),
+            &req()
+        ));
+    }
+
+    #[test]
+    fn open_by_default_grants_everything() {
+        let t = AclTable::open_by_default();
+        assert!(t.check(
+            &Principal::anonymous(),
+            AccessRight::Admin,
+            &vp("/any/where"),
+            &req()
+        ));
+    }
+
+    #[test]
+    fn guarded_entry_consults_request_ad() {
+        let t = AclTable::new();
+        // Anonymous may read, but only over HTTP.
+        t.set_acl(
+            VPath::root(),
+            vec![AclEntry::new(Who::Anonymous, "rl")
+                .when(parse_expr("Protocol == \"http\"").unwrap())],
+        );
+        let anon = Principal::anonymous();
+        assert!(t.check(
+            &anon,
+            AccessRight::Read,
+            &vp("/f"),
+            &request_ad("http", "get")
+        ));
+        assert!(!t.check(
+            &anon,
+            AccessRight::Read,
+            &vp("/f"),
+            &request_ad("ftp", "get")
+        ));
+    }
+
+    #[test]
+    fn classad_roundtrip_preserves_entries() {
+        let t = AclTable::new();
+        t.set_acl(
+            vp("/data"),
+            vec![
+                AclEntry::new(Who::User("alice".into()), "rliw"),
+                AclEntry::new(Who::Group("wind".into()), "rl")
+                    .when(parse_expr("Protocol == \"chirp\"").unwrap()),
+            ],
+        );
+        let ads = t.to_classads();
+        assert_eq!(ads.len(), 2);
+        let restored = AclTable::from_classads(&ads);
+        let entries = restored.get_acl(&vp("/data")).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries, t.get_acl(&vp("/data")).unwrap());
+    }
+
+    #[test]
+    fn who_spec_parsing() {
+        assert_eq!(Who::from_spec("*"), Some(Who::Everyone));
+        assert_eq!(Who::from_spec("anonymous"), Some(Who::Anonymous));
+        assert_eq!(
+            Who::from_spec("group:wind"),
+            Some(Who::Group("wind".into()))
+        );
+        assert_eq!(Who::from_spec("user:x"), Some(Who::User("x".into())));
+        assert_eq!(Who::from_spec("bare"), Some(Who::User("bare".into())));
+    }
+
+    #[test]
+    fn clear_acl_restores_inheritance() {
+        let t = AclTable::new();
+        t.set_acl(VPath::root(), vec![AclEntry::new(Who::Everyone, "r")]);
+        t.set_acl(vp("/sub"), vec![]);
+        let p = Principal::user("u");
+        assert!(!t.check(&p, AccessRight::Read, &vp("/sub/f"), &req()));
+        t.clear_acl(&vp("/sub"));
+        assert!(t.check(&p, AccessRight::Read, &vp("/sub/f"), &req()));
+    }
+}

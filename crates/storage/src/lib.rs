@@ -1,0 +1,39 @@
+//! # nest-storage
+//!
+//! The NeST **storage manager** (paper §5). Its three roles, quoted from the
+//! paper, are to "implement access control, virtualize the storage
+//! namespace, and provide mechanisms for guaranteeing storage space."
+//!
+//! * [`namespace`] — virtual paths: every protocol-visible path is
+//!   normalized and confined to the appliance's virtual root, so NeST can
+//!   run over any physical storage element.
+//! * [`backend`] — pluggable physical storage: a local filesystem directory
+//!   ([`backend::LocalFsBackend`]) or main memory
+//!   ([`backend::MemBackend`]). The paper uses the local filesystem and
+//!   names raw disk and memory as planned alternatives.
+//! * [`acl`] — AFS-style access control lists built on ClassAds, enforced
+//!   identically across every protocol.
+//! * [`lot`] — storage-space guarantees: a *lot* has an owner, capacity,
+//!   duration and a set of files; expired lots become *best-effort* (their
+//!   files linger until space is reclaimed for new lots).
+//! * [`quota`] — the user-level quota accounting on which lots are
+//!   implemented, mirroring the paper's use of the kernel quota system.
+//! * [`manager`] — the [`manager::StorageManager`] façade the dispatcher
+//!   calls: synchronous, serialized execution of all non-transfer requests.
+//!
+//! Storage-manager operations are synchronous by design: the paper notes
+//! they complete in milliseconds, and the dispatcher serializes them.
+
+pub mod acl;
+pub mod backend;
+pub mod lot;
+pub mod manager;
+pub mod namespace;
+pub mod quota;
+
+pub use acl::{AccessRight, AclEntry, AclTable, Principal};
+pub use backend::{FileKind, FileStat, LocalFsBackend, MemBackend, StorageBackend};
+pub use lot::{Lot, LotError, LotId, LotManager, ReclaimPolicy};
+pub use manager::{StorageError, StorageManager};
+pub use namespace::{PathError, VPath};
+pub use quota::QuotaTable;

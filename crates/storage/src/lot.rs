@@ -1,0 +1,979 @@
+//! Lots: guaranteed storage space (paper §5).
+//!
+//! "Each lot is defined by four characteristics: owner, capacity, duration,
+//! and files." When a lot's duration expires its files are not deleted;
+//! the lot becomes **best-effort** and its space is reclaimed only when
+//! needed to create a new lot. Files may span multiple lots when they do
+//! not fit in one.
+//!
+//! Beyond the paper's 2002 release this module also implements two of its
+//! announced extensions: **group lots** (owner may be a group) and a choice
+//! of best-effort **reclamation policies** (the paper says "we are currently
+//! investigating different selection policies for reclaiming this space").
+//!
+//! Time is passed in explicitly (seconds) so the same code runs under the
+//! real clock and under the simulation substrate.
+
+use crate::namespace::VPath;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A lot identifier, unique within one NeST.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LotId(pub u64);
+
+impl fmt::Display for LotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lot-{}", self.0)
+    }
+}
+
+/// Who owns a lot: a user, or (extension) a group.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LotOwner {
+    /// An individual user, as in the paper's 2002 release.
+    User(String),
+    /// A group lot — the paper's "next release" feature.
+    Group(String),
+}
+
+impl LotOwner {
+    /// True when `user` (with `groups` memberships) may use this lot.
+    pub fn usable_by(&self, user: &str, groups: &std::collections::HashSet<String>) -> bool {
+        match self {
+            LotOwner::User(u) => u == user,
+            LotOwner::Group(g) => groups.contains(g),
+        }
+    }
+}
+
+impl fmt::Display for LotOwner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LotOwner::User(u) => write!(f, "user:{}", u),
+            LotOwner::Group(g) => write!(f, "group:{}", g),
+        }
+    }
+}
+
+/// A storage-space guarantee.
+#[derive(Debug, Clone)]
+pub struct Lot {
+    /// Unique id.
+    pub id: LotId,
+    /// Owner (user or group).
+    pub owner: LotOwner,
+    /// Guaranteed capacity in bytes.
+    pub capacity: u64,
+    /// Absolute expiry time (seconds). After this the lot is best-effort.
+    pub expires_at: u64,
+    /// Bytes currently stored in this lot.
+    pub used: u64,
+    /// Last time (seconds) data in this lot was read or written, for the
+    /// LRU reclamation policy.
+    pub last_access: u64,
+    /// Files with bytes allocated in this lot, and how many bytes each has
+    /// here (a file may span lots).
+    pub files: BTreeMap<VPath, u64>,
+}
+
+impl Lot {
+    /// True once the duration has elapsed.
+    pub fn is_expired(&self, now: u64) -> bool {
+        now >= self.expires_at
+    }
+
+    /// Uncommitted capacity.
+    pub fn free(&self) -> u64 {
+        self.capacity.saturating_sub(self.used)
+    }
+}
+
+/// How best-effort (expired) lots are chosen for reclamation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReclaimPolicy {
+    /// Longest-expired first (the natural FIFO on expiry).
+    ExpiredFirst,
+    /// Largest occupied space first (frees the most per eviction).
+    LargestFirst,
+    /// Least recently accessed first.
+    Lru,
+}
+
+/// Errors from lot operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LotError {
+    /// No lot with that id.
+    NoSuchLot(LotId),
+    /// Creating or writing would exceed guaranteed space even after
+    /// reclaiming every best-effort lot.
+    InsufficientSpace {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes available after maximal reclamation.
+        available: u64,
+    },
+    /// The named user may not use this lot.
+    NotOwner,
+    /// Writes are not accepted into an expired (best-effort) lot.
+    Expired(LotId),
+    /// The user has no lot at all (file creation requires one).
+    NoLot(String),
+}
+
+impl fmt::Display for LotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LotError::NoSuchLot(id) => write!(f, "no such lot {}", id),
+            LotError::InsufficientSpace {
+                requested,
+                available,
+            } => write!(
+                f,
+                "insufficient guaranteed space: requested {}, available {}",
+                requested, available
+            ),
+            LotError::NotOwner => write!(f, "caller does not own this lot"),
+            LotError::Expired(id) => write!(f, "lot {} has expired (best-effort)", id),
+            LotError::NoLot(user) => write!(f, "user {} holds no lot", user),
+        }
+    }
+}
+
+impl std::error::Error for LotError {}
+
+/// The outcome of an operation that may have evicted best-effort lots:
+/// the paths whose backing store should now be deleted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Evicted {
+    /// Files to delete from the physical backend.
+    pub files: Vec<VPath>,
+    /// The reclaimed lots.
+    pub lots: Vec<LotId>,
+}
+
+/// The lot table and its accounting.
+///
+/// Invariants (checked by `debug_assert_invariants`):
+/// * Σ active capacities + Σ best-effort used ≤ total capacity — every
+///   active lot can always be filled to its capacity;
+/// * each lot's `used` equals the sum of its per-file allocations;
+/// * a lot's `used` never exceeds its `capacity`.
+pub struct LotManager {
+    inner: Mutex<LotState>,
+}
+
+struct LotState {
+    total_capacity: u64,
+    policy: ReclaimPolicy,
+    next_id: u64,
+    lots: HashMap<LotId, Lot>,
+    /// Which lots each file has bytes in (orders spans for release).
+    file_spans: HashMap<VPath, Vec<LotId>>,
+}
+
+impl LotManager {
+    /// Creates a manager over `total_capacity` bytes of physical storage.
+    pub fn new(total_capacity: u64, policy: ReclaimPolicy) -> Self {
+        Self {
+            inner: Mutex::new(LotState {
+                total_capacity,
+                policy,
+                next_id: 1,
+                lots: HashMap::new(),
+                file_spans: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Total physical capacity under management.
+    pub fn total_capacity(&self) -> u64 {
+        self.inner.lock().total_capacity
+    }
+
+    /// Sum of active (unexpired) lot capacities — space that is promised.
+    pub fn guaranteed(&self, now: u64) -> u64 {
+        let st = self.inner.lock();
+        st.lots
+            .values()
+            .filter(|l| !l.is_expired(now))
+            .map(|l| l.capacity)
+            .sum()
+    }
+
+    /// Space available for new guarantees after maximal reclamation.
+    pub fn reservable(&self, now: u64) -> u64 {
+        let st = self.inner.lock();
+        let committed: u64 = st
+            .lots
+            .values()
+            .filter(|l| !l.is_expired(now))
+            .map(|l| l.capacity)
+            .sum();
+        st.total_capacity.saturating_sub(committed)
+    }
+
+    /// Creates a lot of `capacity` bytes lasting `duration` seconds,
+    /// reclaiming best-effort lots if needed. Returns the new lot id and
+    /// any evictions the caller must apply to the backend.
+    pub fn create(
+        &self,
+        owner: LotOwner,
+        capacity: u64,
+        duration: u64,
+        now: u64,
+    ) -> Result<(LotId, Evicted), LotError> {
+        let mut st = self.inner.lock();
+        let mut evicted = Evicted::default();
+
+        // The guarantee invariant: active capacities plus best-effort bytes
+        // physically present must fit. Reclaim until the new lot fits.
+        loop {
+            let active_cap: u64 = st
+                .lots
+                .values()
+                .filter(|l| !l.is_expired(now))
+                .map(|l| l.capacity)
+                .sum();
+            let best_effort_used: u64 = st
+                .lots
+                .values()
+                .filter(|l| l.is_expired(now))
+                .map(|l| l.used)
+                .sum();
+            if active_cap + best_effort_used + capacity <= st.total_capacity {
+                break;
+            }
+            // Pick a best-effort victim per policy.
+            match st.pick_victim(now) {
+                Some(victim) => st.evict(victim, &mut evicted),
+                None => {
+                    return Err(LotError::InsufficientSpace {
+                        requested: capacity,
+                        available: st.total_capacity.saturating_sub(active_cap),
+                    })
+                }
+            }
+        }
+
+        let id = LotId(st.next_id);
+        st.next_id += 1;
+        st.lots.insert(
+            id,
+            Lot {
+                id,
+                owner,
+                capacity,
+                expires_at: now.saturating_add(duration),
+                used: 0,
+                last_access: now,
+                files: BTreeMap::new(),
+            },
+        );
+        st.debug_assert_invariants(now);
+        Ok((id, evicted))
+    }
+
+    /// Extends a lot's duration ("users are allowed to indefinitely renew").
+    pub fn renew(&self, id: LotId, extra: u64, now: u64) -> Result<(), LotError> {
+        let mut st = self.inner.lock();
+        // Renewing an expired lot re-activates it only if the guarantee
+        // invariant still holds with its capacity re-promised.
+        let active_cap: u64 = st
+            .lots
+            .values()
+            .filter(|l| l.id != id && !l.is_expired(now))
+            .map(|l| l.capacity)
+            .sum();
+        let best_effort_used: u64 = st
+            .lots
+            .values()
+            .filter(|l| l.id != id && l.is_expired(now))
+            .map(|l| l.used)
+            .sum();
+        let total = st.total_capacity;
+        let lot = st.lots.get_mut(&id).ok_or(LotError::NoSuchLot(id))?;
+        if lot.is_expired(now) {
+            if active_cap + best_effort_used + lot.capacity > total {
+                return Err(LotError::InsufficientSpace {
+                    requested: lot.capacity,
+                    available: total.saturating_sub(active_cap + best_effort_used),
+                });
+            }
+            lot.expires_at = now.saturating_add(extra);
+        } else {
+            lot.expires_at = lot.expires_at.saturating_add(extra);
+        }
+        Ok(())
+    }
+
+    /// Terminates a lot. Its files' allocations here are dropped; files
+    /// whose *entire* allocation was in this lot are returned for deletion.
+    pub fn terminate(&self, id: LotId) -> Result<Evicted, LotError> {
+        let mut st = self.inner.lock();
+        if !st.lots.contains_key(&id) {
+            return Err(LotError::NoSuchLot(id));
+        }
+        let mut evicted = Evicted::default();
+        st.evict(id, &mut evicted);
+        Ok(evicted)
+    }
+
+    /// Looks up a lot snapshot.
+    pub fn stat(&self, id: LotId) -> Result<Lot, LotError> {
+        self.inner
+            .lock()
+            .lots
+            .get(&id)
+            .cloned()
+            .ok_or(LotError::NoSuchLot(id))
+    }
+
+    /// All lots usable by a user with the given group memberships.
+    pub fn lots_for(&self, user: &str, groups: &std::collections::HashSet<String>) -> Vec<Lot> {
+        let st = self.inner.lock();
+        let mut lots: Vec<Lot> = st
+            .lots
+            .values()
+            .filter(|l| l.owner.usable_by(user, groups))
+            .cloned()
+            .collect();
+        lots.sort_by_key(|l| l.id);
+        lots
+    }
+
+    /// Charges `bytes` for `path` against the user's active lots, spanning
+    /// lots when one alone cannot hold the file (paper: "a file may span
+    /// multiple lots if it cannot fit within a single one").
+    pub fn charge_file(
+        &self,
+        user: &str,
+        groups: &std::collections::HashSet<String>,
+        path: &VPath,
+        bytes: u64,
+        now: u64,
+    ) -> Result<(), LotError> {
+        let mut st = self.inner.lock();
+        let mut usable: Vec<LotId> = st
+            .lots
+            .values()
+            .filter(|l| l.owner.usable_by(user, groups) && !l.is_expired(now))
+            .map(|l| l.id)
+            .collect();
+        usable.sort();
+        if usable.is_empty() {
+            let holds_any = st.lots.values().any(|l| l.owner.usable_by(user, groups));
+            return Err(if holds_any {
+                // Only expired lots remain; writes are refused.
+                LotError::Expired(
+                    st.lots
+                        .values()
+                        .find(|l| l.owner.usable_by(user, groups))
+                        .map(|l| l.id)
+                        .unwrap(),
+                )
+            } else {
+                LotError::NoLot(user.to_owned())
+            });
+        }
+        let available: u64 = usable.iter().map(|id| st.lots[id].free()).sum();
+        if bytes > available {
+            return Err(LotError::InsufficientSpace {
+                requested: bytes,
+                available,
+            });
+        }
+        // Greedy span across lots in id order.
+        let mut remaining = bytes;
+        for id in usable {
+            if remaining == 0 {
+                break;
+            }
+            let lot = st.lots.get_mut(&id).unwrap();
+            let take = lot.free().min(remaining);
+            if take == 0 {
+                continue;
+            }
+            lot.used += take;
+            lot.last_access = now;
+            *lot.files.entry(path.clone()).or_insert(0) += take;
+            remaining -= take;
+            let spans = st.file_spans.entry(path.clone()).or_default();
+            if !spans.contains(&id) {
+                spans.push(id);
+            }
+        }
+        debug_assert_eq!(remaining, 0);
+        st.debug_assert_invariants(now);
+        Ok(())
+    }
+
+    /// Releases all of a file's charges (on delete or truncate-to-zero).
+    /// Returns the number of bytes released.
+    pub fn release_file(&self, path: &VPath) -> u64 {
+        let mut st = self.inner.lock();
+        let Some(span) = st.file_spans.remove(path) else {
+            return 0;
+        };
+        let mut released = 0;
+        for id in span {
+            if let Some(lot) = st.lots.get_mut(&id) {
+                if let Some(bytes) = lot.files.remove(path) {
+                    lot.used = lot.used.saturating_sub(bytes);
+                    released += bytes;
+                }
+            }
+        }
+        released
+    }
+
+    /// Records an access to the lots backing `path` (for LRU reclamation).
+    pub fn touch_file(&self, path: &VPath, now: u64) {
+        let mut st = self.inner.lock();
+        let Some(span) = st.file_spans.get(path).cloned() else {
+            return;
+        };
+        for id in span {
+            if let Some(lot) = st.lots.get_mut(&id) {
+                lot.last_access = now;
+            }
+        }
+    }
+
+    /// Snapshot of every lot, for ad publication and `lot_list`.
+    pub fn all_lots(&self) -> Vec<Lot> {
+        let mut lots: Vec<Lot> = self.inner.lock().lots.values().cloned().collect();
+        lots.sort_by_key(|l| l.id);
+        lots
+    }
+
+    // -- persistence ---------------------------------------------------------
+
+    /// Serializes the lot table to a line format for persistence:
+    ///
+    /// ```text
+    /// lot <id> <user|group> <name> <capacity> <expires> <last_access>
+    /// file <lot-id> <bytes> <path>
+    /// ```
+    ///
+    /// Reservations must survive appliance restarts for the guarantee to
+    /// mean anything; the paper got this for free from kernel quotas.
+    pub fn snapshot(&self) -> String {
+        let st = self.inner.lock();
+        let mut out = String::new();
+        let mut ids: Vec<&LotId> = st.lots.keys().collect();
+        ids.sort();
+        for id in ids {
+            let lot = &st.lots[id];
+            let (kind, name) = match &lot.owner {
+                LotOwner::User(u) => ("user", u),
+                LotOwner::Group(g) => ("group", g),
+            };
+            out.push_str(&format!(
+                "lot {} {} {} {} {} {}\n",
+                lot.id.0, kind, name, lot.capacity, lot.expires_at, lot.last_access
+            ));
+            for (path, bytes) in &lot.files {
+                out.push_str(&format!("file {} {} {}\n", lot.id.0, bytes, path));
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a manager from a [`LotManager::snapshot`]. Unparseable
+    /// lines are skipped (a corrupt line must not brick the appliance);
+    /// lots that would violate the guarantee invariant against
+    /// `total_capacity` *as of `now`* are dropped (expired lots count only
+    /// their stored bytes, exactly as in the live invariant).
+    pub fn restore(text: &str, total_capacity: u64, policy: ReclaimPolicy, now: u64) -> Self {
+        let manager = Self::new(total_capacity, policy);
+        {
+            let mut st = manager.inner.lock();
+            for line in text.lines() {
+                let mut it = line.split_whitespace();
+                match it.next() {
+                    Some("lot") => {
+                        let mut parse = || -> Option<Lot> {
+                            let id = LotId(it.next()?.parse().ok()?);
+                            let kind = it.next()?;
+                            let name = it.next()?.to_owned();
+                            let owner = match kind {
+                                "user" => LotOwner::User(name),
+                                "group" => LotOwner::Group(name),
+                                _ => return None,
+                            };
+                            Some(Lot {
+                                id,
+                                owner,
+                                capacity: it.next()?.parse().ok()?,
+                                expires_at: it.next()?.parse().ok()?,
+                                used: 0,
+                                last_access: it.next()?.parse().ok()?,
+                                files: BTreeMap::new(),
+                            })
+                        };
+                        if let Some(lot) = parse() {
+                            st.next_id = st.next_id.max(lot.id.0 + 1);
+                            st.lots.insert(lot.id, lot);
+                        }
+                    }
+                    Some("file") => {
+                        let parse = || -> Option<(LotId, u64, VPath)> {
+                            let id = LotId(it.next()?.parse().ok()?);
+                            let bytes: u64 = it.next()?.parse().ok()?;
+                            // The path is the remainder (it may hold spaces
+                            // only if clients sent them; VPath handles it).
+                            let rest: Vec<&str> = it.collect();
+                            let path = VPath::parse(&rest.join(" ")).ok()?;
+                            Some((id, bytes, path))
+                        };
+                        if let Some((id, bytes, path)) = parse() {
+                            if let Some(lot) = st.lots.get_mut(&id) {
+                                if lot.used + bytes <= lot.capacity {
+                                    lot.used += bytes;
+                                    *lot.files.entry(path.clone()).or_insert(0) += bytes;
+                                    let spans = st.file_spans.entry(path).or_default();
+                                    if !spans.contains(&id) {
+                                        spans.push(id);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // Enforce the guarantee invariant: drop newest lots until the
+            // snapshot fits the (possibly reduced) capacity.
+            loop {
+                let active_cap: u64 = st
+                    .lots
+                    .values()
+                    .filter(|l| !l.is_expired(now))
+                    .map(|l| l.capacity)
+                    .sum();
+                let best_used: u64 = st
+                    .lots
+                    .values()
+                    .filter(|l| l.is_expired(now))
+                    .map(|l| l.used)
+                    .sum();
+                if active_cap + best_used <= total_capacity {
+                    break;
+                }
+                let victim = st.lots.keys().max().copied();
+                match victim {
+                    Some(id) => {
+                        let mut ev = Evicted::default();
+                        st.evict(id, &mut ev);
+                    }
+                    None => break,
+                }
+            }
+        }
+        manager
+    }
+}
+
+impl LotState {
+    fn pick_victim(&self, now: u64) -> Option<LotId> {
+        let candidates: Vec<&Lot> = self.lots.values().filter(|l| l.is_expired(now)).collect();
+        match self.policy {
+            ReclaimPolicy::ExpiredFirst => candidates
+                .iter()
+                .min_by_key(|l| (l.expires_at, l.id))
+                .map(|l| l.id),
+            ReclaimPolicy::LargestFirst => candidates
+                .iter()
+                .max_by_key(|l| (l.used, std::cmp::Reverse(l.id)))
+                .map(|l| l.id),
+            ReclaimPolicy::Lru => candidates
+                .iter()
+                .min_by_key(|l| (l.last_access, l.id))
+                .map(|l| l.id),
+        }
+    }
+
+    fn evict(&mut self, id: LotId, evicted: &mut Evicted) {
+        let Some(lot) = self.lots.remove(&id) else {
+            return;
+        };
+        evicted.lots.push(id);
+        for (path, _bytes) in lot.files {
+            // Remove this lot from the file's span; if it was the file's
+            // only backing, the file loses its guarantee and is deleted.
+            if let Some(span) = self.file_spans.get_mut(&path) {
+                span.retain(|l| *l != id);
+                if span.is_empty() {
+                    self.file_spans.remove(&path);
+                    evicted.files.push(path);
+                } else {
+                    // Partially backed file: remaining spans keep their
+                    // bytes; the evicted portion is gone. Physical
+                    // truncation is the storage manager's job; we surface
+                    // the file as evicted so it is handled conservatively.
+                    evicted.files.push(path.clone());
+                    // Drop the file's remaining charges too: a partially
+                    // deleted file is useless.
+                    for other in self.file_spans.remove(&path).unwrap_or_default() {
+                        if let Some(l) = self.lots.get_mut(&other) {
+                            if let Some(b) = l.files.remove(&path) {
+                                l.used = l.used.saturating_sub(b);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn debug_assert_invariants(&self, now: u64) {
+        if cfg!(debug_assertions) {
+            let active_cap: u64 = self
+                .lots
+                .values()
+                .filter(|l| !l.is_expired(now))
+                .map(|l| l.capacity)
+                .sum();
+            let best_used: u64 = self
+                .lots
+                .values()
+                .filter(|l| l.is_expired(now))
+                .map(|l| l.used)
+                .sum();
+            debug_assert!(
+                active_cap + best_used <= self.total_capacity,
+                "guarantee invariant violated: {} + {} > {}",
+                active_cap,
+                best_used,
+                self.total_capacity
+            );
+            for lot in self.lots.values() {
+                debug_assert!(lot.used <= lot.capacity);
+                let file_sum: u64 = lot.files.values().sum();
+                debug_assert_eq!(lot.used, file_sum, "lot {} used mismatch", lot.id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn vp(s: &str) -> VPath {
+        VPath::parse(s).unwrap()
+    }
+
+    fn no_groups() -> HashSet<String> {
+        HashSet::new()
+    }
+
+    fn user(name: &str) -> LotOwner {
+        LotOwner::User(name.to_owned())
+    }
+
+    #[test]
+    fn create_within_capacity() {
+        let lm = LotManager::new(1000, ReclaimPolicy::ExpiredFirst);
+        let (a, ev) = lm.create(user("alice"), 400, 100, 0).unwrap();
+        assert!(ev.lots.is_empty());
+        let (b, _) = lm.create(user("bob"), 600, 100, 0).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(lm.guaranteed(0), 1000);
+        assert_eq!(lm.reservable(0), 0);
+    }
+
+    #[test]
+    fn create_beyond_capacity_fails() {
+        let lm = LotManager::new(1000, ReclaimPolicy::ExpiredFirst);
+        lm.create(user("a"), 800, 100, 0).unwrap();
+        match lm.create(user("b"), 300, 100, 0) {
+            Err(LotError::InsufficientSpace {
+                requested: 300,
+                available: 200,
+            }) => {}
+            other => panic!("unexpected: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn charge_and_release_file() {
+        let lm = LotManager::new(1000, ReclaimPolicy::ExpiredFirst);
+        let (id, _) = lm.create(user("alice"), 500, 100, 0).unwrap();
+        lm.charge_file("alice", &no_groups(), &vp("/f"), 200, 1)
+            .unwrap();
+        assert_eq!(lm.stat(id).unwrap().used, 200);
+        assert_eq!(lm.release_file(&vp("/f")), 200);
+        assert_eq!(lm.stat(id).unwrap().used, 0);
+        // Double release is a no-op.
+        assert_eq!(lm.release_file(&vp("/f")), 0);
+    }
+
+    #[test]
+    fn file_spans_multiple_lots() {
+        let lm = LotManager::new(1000, ReclaimPolicy::ExpiredFirst);
+        let (a, _) = lm.create(user("alice"), 300, 100, 0).unwrap();
+        let (b, _) = lm.create(user("alice"), 300, 100, 0).unwrap();
+        // 500 bytes does not fit in either lot alone.
+        lm.charge_file("alice", &no_groups(), &vp("/big"), 500, 1)
+            .unwrap();
+        assert_eq!(lm.stat(a).unwrap().used, 300);
+        assert_eq!(lm.stat(b).unwrap().used, 200);
+        assert_eq!(lm.release_file(&vp("/big")), 500);
+    }
+
+    #[test]
+    fn overfull_single_lot_rejected_even_with_spare_elsewhere() {
+        // The paper's noted quota-implementation caveat does NOT apply to
+        // NeST-managed lots: spanning handles it. But a user with no active
+        // lot capacity at all must be refused.
+        let lm = LotManager::new(1000, ReclaimPolicy::ExpiredFirst);
+        lm.create(user("alice"), 100, 100, 0).unwrap();
+        match lm.charge_file("alice", &no_groups(), &vp("/f"), 150, 1) {
+            Err(LotError::InsufficientSpace {
+                requested: 150,
+                available: 100,
+            }) => {}
+            other => panic!("unexpected: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn no_lot_no_write() {
+        let lm = LotManager::new(1000, ReclaimPolicy::ExpiredFirst);
+        match lm.charge_file("ghost", &no_groups(), &vp("/f"), 1, 0) {
+            Err(LotError::NoLot(u)) => assert_eq!(u, "ghost"),
+            other => panic!("unexpected: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn expired_lot_refuses_writes_but_keeps_files() {
+        let lm = LotManager::new(1000, ReclaimPolicy::ExpiredFirst);
+        let (id, _) = lm.create(user("alice"), 500, 10, 0).unwrap();
+        lm.charge_file("alice", &no_groups(), &vp("/f"), 100, 1)
+            .unwrap();
+        // Past expiry: writes fail, data still accounted.
+        match lm.charge_file("alice", &no_groups(), &vp("/g"), 1, 11) {
+            Err(LotError::Expired(e)) => assert_eq!(e, id),
+            other => panic!("unexpected: {:?}", other),
+        }
+        assert_eq!(lm.stat(id).unwrap().used, 100);
+    }
+
+    #[test]
+    fn best_effort_space_reclaimed_for_new_lot() {
+        let lm = LotManager::new(1000, ReclaimPolicy::ExpiredFirst);
+        let (old, _) = lm.create(user("alice"), 900, 10, 0).unwrap();
+        lm.charge_file("alice", &no_groups(), &vp("/old"), 900, 1)
+            .unwrap();
+        // At t=20 the lot is best-effort; its 900 bytes linger...
+        assert_eq!(lm.stat(old).unwrap().used, 900);
+        // ...until bob needs a 500-byte guarantee.
+        let (_, evicted) = lm.create(user("bob"), 500, 100, 20).unwrap();
+        assert_eq!(evicted.lots, vec![old]);
+        assert_eq!(evicted.files, vec![vp("/old")]);
+        assert!(lm.stat(old).is_err());
+    }
+
+    #[test]
+    fn expired_lot_untouched_when_space_suffices() {
+        let lm = LotManager::new(1000, ReclaimPolicy::ExpiredFirst);
+        let (old, _) = lm.create(user("alice"), 300, 10, 0).unwrap();
+        lm.charge_file("alice", &no_groups(), &vp("/keep"), 300, 1)
+            .unwrap();
+        let (_, evicted) = lm.create(user("bob"), 500, 100, 20).unwrap();
+        assert!(evicted.lots.is_empty());
+        assert_eq!(lm.stat(old).unwrap().used, 300);
+    }
+
+    #[test]
+    fn reclaim_policy_largest_first() {
+        let lm = LotManager::new(1000, ReclaimPolicy::LargestFirst);
+        let (small, _) = lm.create(user("a"), 200, 10, 0).unwrap();
+        let (big, _) = lm.create(user("b"), 700, 10, 0).unwrap();
+        lm.charge_file("a", &no_groups(), &vp("/s"), 100, 1)
+            .unwrap();
+        lm.charge_file("b", &no_groups(), &vp("/b"), 600, 1)
+            .unwrap();
+        // Both expired at t=20. Need 400: evicting the largest (600) is
+        // enough; the small one survives.
+        let (_, ev) = lm.create(user("c"), 400, 100, 20).unwrap();
+        assert_eq!(ev.lots, vec![big]);
+        assert!(lm.stat(small).is_ok());
+    }
+
+    #[test]
+    fn reclaim_policy_lru() {
+        let lm = LotManager::new(1000, ReclaimPolicy::Lru);
+        let (a, _) = lm.create(user("a"), 450, 10, 0).unwrap();
+        let (b, _) = lm.create(user("b"), 450, 10, 0).unwrap();
+        lm.charge_file("a", &no_groups(), &vp("/a"), 450, 1)
+            .unwrap();
+        lm.charge_file("b", &no_groups(), &vp("/b"), 450, 2)
+            .unwrap();
+        // Touch a's file later: b becomes the LRU victim.
+        lm.touch_file(&vp("/a"), 5);
+        let (_, ev) = lm.create(user("c"), 400, 100, 20).unwrap();
+        assert_eq!(ev.lots, vec![b]);
+        assert!(lm.stat(a).is_ok());
+    }
+
+    #[test]
+    fn renew_extends_active_and_reactivates_expired() {
+        let lm = LotManager::new(1000, ReclaimPolicy::ExpiredFirst);
+        let (id, _) = lm.create(user("a"), 500, 10, 0).unwrap();
+        lm.renew(id, 10, 5).unwrap();
+        assert_eq!(lm.stat(id).unwrap().expires_at, 20);
+        // Expired at t=30; renewal re-activates since space is free.
+        lm.renew(id, 50, 30).unwrap();
+        assert_eq!(lm.stat(id).unwrap().expires_at, 80);
+        assert!(!lm.stat(id).unwrap().is_expired(40));
+    }
+
+    #[test]
+    fn renew_expired_fails_when_space_promised_away() {
+        let lm = LotManager::new(1000, ReclaimPolicy::ExpiredFirst);
+        let (old, _) = lm.create(user("a"), 600, 10, 0).unwrap();
+        // old expires; bob grabs the space.
+        lm.create(user("b"), 600, 100, 20).unwrap();
+        match lm.renew(old, 100, 21) {
+            Err(LotError::InsufficientSpace { .. }) => {}
+            other => panic!("unexpected: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn terminate_returns_files_for_deletion() {
+        let lm = LotManager::new(1000, ReclaimPolicy::ExpiredFirst);
+        let (id, _) = lm.create(user("a"), 500, 100, 0).unwrap();
+        lm.charge_file("a", &no_groups(), &vp("/f1"), 100, 1)
+            .unwrap();
+        lm.charge_file("a", &no_groups(), &vp("/f2"), 100, 1)
+            .unwrap();
+        let ev = lm.terminate(id).unwrap();
+        assert_eq!(ev.lots, vec![id]);
+        let mut files = ev.files.clone();
+        files.sort();
+        assert_eq!(files, vec![vp("/f1"), vp("/f2")]);
+        assert!(matches!(lm.terminate(id), Err(LotError::NoSuchLot(_))));
+    }
+
+    #[test]
+    fn group_lot_usable_by_members() {
+        let lm = LotManager::new(1000, ReclaimPolicy::ExpiredFirst);
+        lm.create(LotOwner::Group("wind".into()), 500, 100, 0)
+            .unwrap();
+        let mut groups = HashSet::new();
+        groups.insert("wind".to_owned());
+        lm.charge_file("alice", &groups, &vp("/shared"), 100, 1)
+            .unwrap();
+        // Non-member refused.
+        match lm.charge_file("mallory", &no_groups(), &vp("/x"), 1, 1) {
+            Err(LotError::NoLot(_)) => {}
+            other => panic!("unexpected: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn spanned_file_fully_dropped_when_one_backing_lot_evicted() {
+        let lm = LotManager::new(1000, ReclaimPolicy::ExpiredFirst);
+        let (a, _) = lm.create(user("u"), 300, 10, 0).unwrap();
+        let (_b, _) = lm.create(user("u"), 300, 1000, 0).unwrap();
+        lm.charge_file("u", &no_groups(), &vp("/span"), 500, 1)
+            .unwrap();
+        // Lot a expires; creating a big new lot must evict it, and the
+        // spanned file is surfaced for deletion with all charges dropped.
+        let (_, ev) = lm.create(user("v"), 500, 100, 20).unwrap();
+        assert_eq!(ev.lots, vec![a]);
+        assert_eq!(ev.files, vec![vp("/span")]);
+        assert_eq!(lm.release_file(&vp("/span")), 0);
+    }
+
+    #[test]
+    fn lots_for_lists_in_id_order() {
+        let lm = LotManager::new(1000, ReclaimPolicy::ExpiredFirst);
+        let (a, _) = lm.create(user("u"), 100, 100, 0).unwrap();
+        let (b, _) = lm.create(user("u"), 100, 100, 0).unwrap();
+        lm.create(user("other"), 100, 100, 0).unwrap();
+        let mine = lm.lots_for("u", &no_groups());
+        assert_eq!(mine.iter().map(|l| l.id).collect::<Vec<_>>(), vec![a, b]);
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let lm = LotManager::new(1000, ReclaimPolicy::ExpiredFirst);
+        let (a, _) = lm
+            .create(LotOwner::User("alice".into()), 400, 100, 5)
+            .unwrap();
+        let (b, _) = lm
+            .create(LotOwner::Group("wind".into()), 300, 200, 6)
+            .unwrap();
+        let groups: HashSet<String> = ["wind".to_owned()].into();
+        lm.charge_file(
+            "alice",
+            &HashSet::new(),
+            &VPath::parse("/f1").unwrap(),
+            150,
+            7,
+        )
+        .unwrap();
+        lm.charge_file("bob", &groups, &VPath::parse("/f2").unwrap(), 100, 8)
+            .unwrap();
+
+        let snap = lm.snapshot();
+        let restored = LotManager::restore(&snap, 1000, ReclaimPolicy::ExpiredFirst, 0);
+
+        let la = restored.stat(a).unwrap();
+        assert_eq!(la.capacity, 400);
+        assert_eq!(la.used, 150);
+        assert_eq!(la.expires_at, 105);
+        let lb = restored.stat(b).unwrap();
+        assert_eq!(lb.owner, LotOwner::Group("wind".into()));
+        assert_eq!(lb.used, 100);
+        // File spans survive: releasing /f1 frees lot a.
+        assert_eq!(restored.release_file(&VPath::parse("/f1").unwrap()), 150);
+        assert_eq!(restored.stat(a).unwrap().used, 0);
+        // Fresh ids continue past the snapshot's.
+        let (c, _) = restored
+            .create(LotOwner::User("carol".into()), 100, 10, 0)
+            .unwrap();
+        assert!(c.0 > b.0);
+    }
+
+    #[test]
+    fn restore_skips_garbage_lines() {
+        let text = "lot 1 user alice 100 50 0\nTOTALLY BROKEN\nfile 1 40 /x\nfile 99 10 /orphan\n";
+        let lm = LotManager::restore(text, 1000, ReclaimPolicy::ExpiredFirst, 0);
+        assert_eq!(lm.stat(LotId(1)).unwrap().used, 40);
+        assert_eq!(lm.all_lots().len(), 1);
+    }
+
+    #[test]
+    fn restore_enforces_reduced_capacity() {
+        let lm = LotManager::new(1000, ReclaimPolicy::ExpiredFirst);
+        lm.create(LotOwner::User("a".into()), 600, 100, 0).unwrap();
+        lm.create(LotOwner::User("b".into()), 350, 100, 0).unwrap();
+        let snap = lm.snapshot();
+        // Restore onto a smaller disk: the newest lot is dropped.
+        let small = LotManager::restore(&snap, 700, ReclaimPolicy::ExpiredFirst, 0);
+        assert_eq!(small.all_lots().len(), 1);
+        assert_eq!(small.all_lots()[0].capacity, 600);
+    }
+
+    #[test]
+    fn empty_snapshot_restores_empty() {
+        let lm = LotManager::restore("", 500, ReclaimPolicy::Lru, 0);
+        assert!(lm.all_lots().is_empty());
+        assert_eq!(lm.total_capacity(), 500);
+    }
+}

@@ -1,0 +1,204 @@
+//! User-level quota accounting.
+//!
+//! The paper implements lots "on the quota mechanism of the underlying
+//! filesystem". Running inside a container we cannot program kernel quotas,
+//! so NeST enforces the same bookkeeping at user level: a per-owner usage
+//! counter checked against a per-owner limit on every write. The *cost* of
+//! the kernel's synchronous quota-file updates — what Figure 6 measures — is
+//! modelled in `nest-simenv`.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Per-owner usage/limit bookkeeping. Thread-safe; charges are atomic
+/// check-and-update so concurrent writers cannot jointly exceed a limit.
+///
+/// ```
+/// use nest_storage::QuotaTable;
+///
+/// let q = QuotaTable::new();
+/// q.set_limit("alice", 100);
+/// assert!(q.charge("alice", 80).is_ok());
+/// assert!(q.charge("alice", 40).is_err()); // would exceed the limit
+/// q.release("alice", 50);
+/// assert!(q.charge("alice", 40).is_ok());
+/// ```
+#[derive(Debug, Default)]
+pub struct QuotaTable {
+    inner: Mutex<HashMap<String, QuotaRecord>>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct QuotaRecord {
+    limit: u64,
+    used: u64,
+}
+
+/// A failed charge: how much was requested and how much headroom remained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuotaExceeded {
+    /// Bytes the caller asked for.
+    pub requested: u64,
+    /// Bytes that were still available.
+    pub available: u64,
+}
+
+impl QuotaTable {
+    /// Creates an empty table. Owners without a record have a limit of 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets an owner's limit (does not disturb current usage).
+    pub fn set_limit(&self, owner: &str, limit: u64) {
+        self.inner.lock().entry(owner.to_owned()).or_default().limit = limit;
+    }
+
+    /// Raises an owner's limit by `delta`.
+    pub fn raise_limit(&self, owner: &str, delta: u64) {
+        let mut inner = self.inner.lock();
+        let rec = inner.entry(owner.to_owned()).or_default();
+        rec.limit = rec.limit.saturating_add(delta);
+    }
+
+    /// Lowers an owner's limit by `delta` (floor 0). Usage may then exceed
+    /// the limit; further charges fail until usage drops.
+    pub fn lower_limit(&self, owner: &str, delta: u64) {
+        let mut inner = self.inner.lock();
+        let rec = inner.entry(owner.to_owned()).or_default();
+        rec.limit = rec.limit.saturating_sub(delta);
+    }
+
+    /// The owner's configured limit.
+    pub fn limit(&self, owner: &str) -> u64 {
+        self.inner.lock().get(owner).map_or(0, |r| r.limit)
+    }
+
+    /// The owner's current usage.
+    pub fn usage(&self, owner: &str) -> u64 {
+        self.inner.lock().get(owner).map_or(0, |r| r.used)
+    }
+
+    /// Atomically charges `bytes` against the owner's quota.
+    pub fn charge(&self, owner: &str, bytes: u64) -> Result<(), QuotaExceeded> {
+        let mut inner = self.inner.lock();
+        let rec = inner.entry(owner.to_owned()).or_default();
+        let available = rec.limit.saturating_sub(rec.used);
+        if bytes > available {
+            return Err(QuotaExceeded {
+                requested: bytes,
+                available,
+            });
+        }
+        rec.used += bytes;
+        Ok(())
+    }
+
+    /// Releases previously charged bytes (clamped at zero so releases can
+    /// never underflow even if callers double-release defensively).
+    pub fn release(&self, owner: &str, bytes: u64) {
+        let mut inner = self.inner.lock();
+        if let Some(rec) = inner.get_mut(owner) {
+            rec.used = rec.used.saturating_sub(bytes);
+        }
+    }
+
+    /// Total bytes in use across all owners.
+    pub fn total_usage(&self) -> u64 {
+        self.inner.lock().values().map(|r| r.used).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_within_limit_succeeds() {
+        let q = QuotaTable::new();
+        q.set_limit("alice", 100);
+        assert!(q.charge("alice", 60).is_ok());
+        assert!(q.charge("alice", 40).is_ok());
+        assert_eq!(q.usage("alice"), 100);
+    }
+
+    #[test]
+    fn charge_over_limit_fails_with_headroom() {
+        let q = QuotaTable::new();
+        q.set_limit("alice", 100);
+        q.charge("alice", 90).unwrap();
+        assert_eq!(
+            q.charge("alice", 20),
+            Err(QuotaExceeded {
+                requested: 20,
+                available: 10
+            })
+        );
+        // Failed charge does not consume anything.
+        assert_eq!(q.usage("alice"), 90);
+    }
+
+    #[test]
+    fn unknown_owner_has_zero_limit() {
+        let q = QuotaTable::new();
+        assert!(q.charge("nobody", 1).is_err());
+        assert_eq!(q.limit("nobody"), 0);
+    }
+
+    #[test]
+    fn release_restores_headroom_and_clamps() {
+        let q = QuotaTable::new();
+        q.set_limit("bob", 50);
+        q.charge("bob", 50).unwrap();
+        q.release("bob", 20);
+        assert_eq!(q.usage("bob"), 30);
+        q.release("bob", 1000); // clamped
+        assert_eq!(q.usage("bob"), 0);
+    }
+
+    #[test]
+    fn limits_adjust_without_touching_usage() {
+        let q = QuotaTable::new();
+        q.set_limit("c", 10);
+        q.charge("c", 10).unwrap();
+        q.raise_limit("c", 5);
+        assert!(q.charge("c", 5).is_ok());
+        q.lower_limit("c", 100);
+        assert_eq!(q.limit("c"), 0);
+        assert_eq!(q.usage("c"), 15); // over-limit usage persists
+        assert!(q.charge("c", 1).is_err());
+    }
+
+    #[test]
+    fn concurrent_charges_never_exceed_limit() {
+        use std::sync::Arc;
+        let q = Arc::new(QuotaTable::new());
+        q.set_limit("shared", 1000);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                let mut granted = 0u64;
+                for _ in 0..1000 {
+                    if q.charge("shared", 1).is_ok() {
+                        granted += 1;
+                    }
+                }
+                granted
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 1000);
+        assert_eq!(q.usage("shared"), 1000);
+    }
+
+    #[test]
+    fn total_usage_sums_owners() {
+        let q = QuotaTable::new();
+        q.set_limit("a", 10);
+        q.set_limit("b", 10);
+        q.charge("a", 3).unwrap();
+        q.charge("b", 4).unwrap();
+        assert_eq!(q.total_usage(), 7);
+    }
+}

@@ -1,0 +1,263 @@
+//! A blocking ONC RPC client over UDP (with retransmission) or TCP.
+
+use crate::record::{read_record, write_record};
+use crate::rpc::{AcceptStat, ReplyBody, RpcMessage};
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs, UdpSocket};
+use std::time::Duration;
+
+/// Errors surfaced to RPC callers.
+#[derive(Debug)]
+pub enum RpcError {
+    /// Transport-level failure.
+    Io(io::Error),
+    /// The server accepted the call but reported a failure status.
+    Rpc(AcceptStat),
+    /// The server denied the call outright.
+    Denied(u32),
+    /// No reply arrived within the configured retries.
+    TimedOut,
+    /// The reply could not be decoded.
+    BadReply,
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Io(e) => write!(f, "rpc I/O error: {}", e),
+            RpcError::Rpc(stat) => write!(f, "rpc call failed: {:?}", stat),
+            RpcError::Denied(s) => write!(f, "rpc call denied (reject_stat {})", s),
+            RpcError::TimedOut => write!(f, "rpc call timed out"),
+            RpcError::BadReply => write!(f, "rpc reply could not be decoded"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<io::Error> for RpcError {
+    fn from(e: io::Error) -> Self {
+        RpcError::Io(e)
+    }
+}
+
+enum Transport {
+    Udp { socket: UdpSocket, peer: SocketAddr },
+    Tcp(TcpStream),
+}
+
+/// A blocking RPC client bound to one server program endpoint.
+pub struct RpcClient {
+    transport: Transport,
+    next_xid: u32,
+    /// Per-attempt receive timeout for UDP.
+    pub timeout: Duration,
+    /// Number of UDP retransmissions before giving up.
+    pub retries: u32,
+}
+
+impl RpcClient {
+    /// Connects over UDP.
+    pub fn udp(server: impl ToSocketAddrs) -> Result<Self, RpcError> {
+        let peer = server
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        Ok(Self {
+            transport: Transport::Udp { socket, peer },
+            next_xid: 1,
+            timeout: Duration::from_millis(500),
+            retries: 4,
+        })
+    }
+
+    /// Connects over TCP.
+    pub fn tcp(server: impl ToSocketAddrs) -> Result<Self, RpcError> {
+        let stream = TcpStream::connect(server)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            transport: Transport::Tcp(stream),
+            next_xid: 1,
+            timeout: Duration::from_millis(2000),
+            retries: 0,
+        })
+    }
+
+    /// Issues one call and waits for its reply, returning the XDR-encoded
+    /// results.
+    pub fn call(
+        &mut self,
+        prog: u32,
+        vers: u32,
+        proc: u32,
+        args: Vec<u8>,
+    ) -> Result<Vec<u8>, RpcError> {
+        let xid = self.next_xid;
+        self.next_xid = self.next_xid.wrapping_add(1);
+        let msg = RpcMessage::call(xid, prog, vers, proc, args).encode();
+
+        match &mut self.transport {
+            Transport::Udp { socket, peer } => {
+                socket.set_read_timeout(Some(self.timeout))?;
+                let mut buf = vec![0u8; 64 * 1024];
+                for _attempt in 0..=self.retries {
+                    socket.send_to(&msg, *peer)?;
+                    loop {
+                        match socket.recv_from(&mut buf) {
+                            Ok((n, from)) => {
+                                if from != *peer {
+                                    continue; // stray datagram
+                                }
+                                match RpcMessage::decode(&buf[..n]) {
+                                    Ok(reply) if reply.xid() == xid => {
+                                        return extract_results(reply)
+                                    }
+                                    // Late reply to an earlier xid: keep
+                                    // waiting for ours.
+                                    Ok(_) => continue,
+                                    Err(_) => return Err(RpcError::BadReply),
+                                }
+                            }
+                            Err(e)
+                                if e.kind() == io::ErrorKind::WouldBlock
+                                    || e.kind() == io::ErrorKind::TimedOut =>
+                            {
+                                break; // retransmit
+                            }
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                }
+                Err(RpcError::TimedOut)
+            }
+            Transport::Tcp(stream) => {
+                stream.set_read_timeout(Some(self.timeout))?;
+                write_record(stream, &msg)?;
+                match read_record(stream)? {
+                    None => Err(RpcError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed connection",
+                    ))),
+                    Some(record) => {
+                        let reply = RpcMessage::decode(&record).map_err(|_| RpcError::BadReply)?;
+                        if reply.xid() != xid {
+                            return Err(RpcError::BadReply);
+                        }
+                        extract_results(reply)
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn extract_results(reply: RpcMessage) -> Result<Vec<u8>, RpcError> {
+    match reply {
+        RpcMessage::Reply {
+            body:
+                ReplyBody::Accepted {
+                    stat: AcceptStat::Success,
+                    results,
+                    ..
+                },
+            ..
+        } => Ok(results),
+        RpcMessage::Reply {
+            body: ReplyBody::Accepted { stat, .. },
+            ..
+        } => Err(RpcError::Rpc(stat)),
+        RpcMessage::Reply {
+            body: ReplyBody::Denied { reject_stat },
+            ..
+        } => Err(RpcError::Denied(reject_stat)),
+        RpcMessage::Call { .. } => Err(RpcError::BadReply),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rpc::CallBody;
+    use crate::server::{RpcServer, SpawnedRpcServer};
+
+    const PROG: u32 = 300_000;
+
+    fn spawn_echo() -> SpawnedRpcServer {
+        let mut server = RpcServer::new();
+        server.register(PROG, 1, |call: &CallBody, _peer: SocketAddr| {
+            match call.proc {
+                0 => Ok(Vec::new()),        // NULL proc
+                1 => Ok(call.args.clone()), // echo
+                2 => Err(AcceptStat::SystemErr),
+                _ => Err(AcceptStat::ProcUnavail),
+            }
+        });
+        SpawnedRpcServer::spawn(server).unwrap()
+    }
+
+    #[test]
+    fn udp_echo_roundtrip() {
+        let server = spawn_echo();
+        let mut client = RpcClient::udp(server.udp_addr).unwrap();
+        let result = client.call(PROG, 1, 1, vec![5, 6, 7, 8]).unwrap();
+        assert_eq!(result, vec![5, 6, 7, 8]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_echo_roundtrip() {
+        let server = spawn_echo();
+        let mut client = RpcClient::tcp(server.tcp_addr).unwrap();
+        let result = client.call(PROG, 1, 1, vec![9, 9, 9, 9]).unwrap();
+        assert_eq!(result, vec![9, 9, 9, 9]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_multiple_calls_on_one_connection() {
+        let server = spawn_echo();
+        let mut client = RpcClient::tcp(server.tcp_addr).unwrap();
+        for i in 0..5u8 {
+            let result = client.call(PROG, 1, 1, vec![i, i, i, i]).unwrap();
+            assert_eq!(result, vec![i, i, i, i]);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_error_surfaces_as_rpc_error() {
+        let server = spawn_echo();
+        let mut client = RpcClient::udp(server.udp_addr).unwrap();
+        match client.call(PROG, 1, 2, vec![]) {
+            Err(RpcError::Rpc(AcceptStat::SystemErr)) => {}
+            other => panic!("expected SystemErr, got {:?}", other.map(|_| ())),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_proc_unavail() {
+        let server = spawn_echo();
+        let mut client = RpcClient::tcp(server.tcp_addr).unwrap();
+        match client.call(PROG, 1, 99, vec![]) {
+            Err(RpcError::Rpc(AcceptStat::ProcUnavail)) => {}
+            other => panic!("expected ProcUnavail, got {:?}", other.map(|_| ())),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn udp_timeout_when_no_server() {
+        // Bind a socket and never serve it: client must time out, not hang.
+        let dead = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let mut client = RpcClient::udp(dead.local_addr().unwrap()).unwrap();
+        client.timeout = Duration::from_millis(30);
+        client.retries = 1;
+        match client.call(PROG, 1, 0, vec![]) {
+            Err(RpcError::TimedOut) => {}
+            other => panic!("expected timeout, got {:?}", other.map(|_| ())),
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # nest-sunrpc
+//!
+//! A from-scratch implementation of XDR (RFC 4506) and ONC/Sun RPC
+//! (RFC 5531, protocol version 2), the substrate beneath NeST's NFS protocol
+//! handler. The paper notes that NeST "uses the Sun RPC package for the RPC
+//! communication in NFS"; this crate plays that role.
+//!
+//! Provided:
+//!
+//! * [`xdr`] — XDR encoding/decoding of the primitive types NFS needs
+//!   (integers, booleans, opaque data, strings, options, arrays) with the
+//!   mandatory 4-byte alignment.
+//! * [`rpc`] — RPC call/reply message bodies, `AUTH_NONE`/`AUTH_SYS`
+//!   credentials, accept/deny status codes.
+//! * [`record`] — record marking for RPC over TCP (fragment headers).
+//! * [`server`] — a transport-generic RPC server: register programs by
+//!   `(prog, vers)`, serve over UDP datagrams or TCP record streams.
+//! * [`client`] — a blocking RPC client for UDP and TCP.
+
+pub mod client;
+pub mod record;
+pub mod rpc;
+pub mod server;
+pub mod xdr;
+
+pub use client::{RpcClient, RpcError};
+pub use rpc::{AcceptStat, AuthFlavor, CallBody, OpaqueAuth, ReplyBody, RpcMessage};
+pub use server::{RpcHandler, RpcServer};
+pub use xdr::{XdrDecoder, XdrEncoder, XdrError};

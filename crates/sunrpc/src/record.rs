@@ -1,0 +1,152 @@
+//! RPC record marking for stream transports (RFC 5531 §11).
+//!
+//! Each record is sent as one or more fragments; a fragment header is a
+//! 4-byte big-endian word whose high bit marks the final fragment and whose
+//! low 31 bits give the fragment length.
+
+use std::io::{self, Read, Write};
+
+/// Maximum accepted fragment size (sanity cap against hostile headers).
+pub const MAX_FRAGMENT: usize = 16 << 20;
+
+/// Writes one complete record as a single final fragment.
+pub fn write_record(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() < (1 << 31));
+    let header = (payload.len() as u32) | 0x8000_0000;
+    w.write_all(&header.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one complete record, reassembling fragments. Returns `Ok(None)` on
+/// a clean EOF at a record boundary.
+pub fn read_record(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut out = Vec::new();
+    loop {
+        let mut header = [0u8; 4];
+        match read_exact_or_eof(r, &mut header)? {
+            ReadOutcome::Eof if out.is_empty() => return Ok(None),
+            ReadOutcome::Eof => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a fragmented RPC record",
+                ))
+            }
+            ReadOutcome::Full => {}
+        }
+        let word = u32::from_be_bytes(header);
+        let last = word & 0x8000_0000 != 0;
+        let len = (word & 0x7FFF_FFFF) as usize;
+        if len > MAX_FRAGMENT {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("RPC fragment of {} bytes exceeds cap", len),
+            ));
+        }
+        let start = out.len();
+        out.resize(start + len, 0);
+        r.read_exact(&mut out[start..])?;
+        if last {
+            return Ok(Some(out));
+        }
+    }
+}
+
+enum ReadOutcome {
+    Full,
+    Eof,
+}
+
+/// Reads exactly `buf.len()` bytes, distinguishing a clean EOF before any
+/// byte from a mid-item EOF.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(ReadOutcome::Eof),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside an RPC fragment header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn single_fragment_roundtrip() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"hello rpc").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_record(&mut cur).unwrap().unwrap(), b"hello rpc");
+        assert_eq!(read_record(&mut cur).unwrap(), None);
+    }
+
+    #[test]
+    fn multi_fragment_reassembly() {
+        // Hand-build two fragments: "hel" (not last) + "lo" (last).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_be_bytes());
+        buf.extend_from_slice(b"hel");
+        buf.extend_from_slice(&(2u32 | 0x8000_0000).to_be_bytes());
+        buf.extend_from_slice(b"lo");
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_record(&mut cur).unwrap().unwrap(), b"hello");
+    }
+
+    #[test]
+    fn eof_mid_record_is_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_be_bytes()); // non-final fragment
+        buf.extend_from_slice(b"hel");
+        // stream ends without the final fragment
+        let mut cur = Cursor::new(buf);
+        assert!(read_record(&mut cur).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_is_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(10u32 | 0x8000_0000).to_be_bytes());
+        buf.extend_from_slice(b"short");
+        let mut cur = Cursor::new(buf);
+        assert!(read_record(&mut cur).is_err());
+    }
+
+    #[test]
+    fn oversized_fragment_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((MAX_FRAGMENT as u32 + 1) | 0x8000_0000).to_be_bytes());
+        let mut cur = Cursor::new(buf);
+        assert!(read_record(&mut cur).is_err());
+    }
+
+    #[test]
+    fn empty_record_roundtrip() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_record(&mut cur).unwrap().unwrap(), b"");
+    }
+
+    #[test]
+    fn back_to_back_records() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"one").unwrap();
+        write_record(&mut buf, b"two").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_record(&mut cur).unwrap().unwrap(), b"one");
+        assert_eq!(read_record(&mut cur).unwrap().unwrap(), b"two");
+        assert_eq!(read_record(&mut cur).unwrap(), None);
+    }
+}

@@ -1,0 +1,438 @@
+//! ONC RPC version 2 message structures (RFC 5531).
+
+use crate::xdr::{XdrDecoder, XdrEncoder, XdrError};
+
+/// The RPC protocol version this crate implements.
+pub const RPC_VERSION: u32 = 2;
+
+/// Authentication flavors. NeST's NFS handler accepts `AUTH_NONE` and
+/// `AUTH_SYS` (classic Unix credentials); stronger authentication happens at
+/// the Chirp/GridFTP layer per the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthFlavor {
+    /// No authentication.
+    None,
+    /// Unix-style credentials (uid/gid).
+    Sys,
+    /// Any flavor we do not interpret; carried opaquely.
+    Other(u32),
+}
+
+impl AuthFlavor {
+    fn to_u32(self) -> u32 {
+        match self {
+            AuthFlavor::None => 0,
+            AuthFlavor::Sys => 1,
+            AuthFlavor::Other(v) => v,
+        }
+    }
+
+    fn from_u32(v: u32) -> Self {
+        match v {
+            0 => AuthFlavor::None,
+            1 => AuthFlavor::Sys,
+            v => AuthFlavor::Other(v),
+        }
+    }
+}
+
+/// An opaque authenticator: flavor plus up to 400 bytes of body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpaqueAuth {
+    /// The authentication flavor.
+    pub flavor: AuthFlavor,
+    /// Flavor-specific body.
+    pub body: Vec<u8>,
+}
+
+impl OpaqueAuth {
+    /// The `AUTH_NONE` authenticator.
+    pub fn none() -> Self {
+        Self {
+            flavor: AuthFlavor::None,
+            body: Vec::new(),
+        }
+    }
+
+    /// An `AUTH_SYS` authenticator for the given machine/uid/gid.
+    pub fn sys(machine: &str, uid: u32, gid: u32) -> Self {
+        let mut e = XdrEncoder::new();
+        e.put_u32(0); // stamp
+        e.put_str(machine);
+        e.put_u32(uid);
+        e.put_u32(gid);
+        e.put_array(&[] as &[u32], |e, g| {
+            e.put_u32(*g);
+        });
+        Self {
+            flavor: AuthFlavor::Sys,
+            body: e.into_bytes(),
+        }
+    }
+
+    /// Parses the uid out of an `AUTH_SYS` body, if this is one.
+    pub fn sys_uid(&self) -> Option<u32> {
+        if self.flavor != AuthFlavor::Sys {
+            return None;
+        }
+        let mut d = XdrDecoder::new(&self.body);
+        d.get_u32().ok()?; // stamp
+        d.get_str().ok()?; // machine
+        d.get_u32().ok()
+    }
+
+    fn encode(&self, e: &mut XdrEncoder) {
+        e.put_u32(self.flavor.to_u32());
+        e.put_opaque(&self.body);
+    }
+
+    fn decode(d: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        let flavor = AuthFlavor::from_u32(d.get_u32()?);
+        let body = d.get_opaque()?.to_vec();
+        Ok(Self { flavor, body })
+    }
+}
+
+/// The body of an RPC call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallBody {
+    /// Remote program number (e.g. 100003 for NFS).
+    pub prog: u32,
+    /// Program version (e.g. 2 for NFSv2).
+    pub vers: u32,
+    /// Procedure number within the program.
+    pub proc: u32,
+    /// Caller credentials.
+    pub cred: OpaqueAuth,
+    /// Caller verifier.
+    pub verf: OpaqueAuth,
+    /// Procedure-specific arguments, already XDR-encoded.
+    pub args: Vec<u8>,
+}
+
+/// Why a call was accepted-but-failed or executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptStat {
+    /// Call executed successfully; results follow.
+    Success = 0,
+    /// The program is not served here.
+    ProgUnavail = 1,
+    /// The program version is not served; low/high supported versions follow
+    /// on the wire (we encode 0/0 for simplicity of the mismatch path).
+    ProgMismatch = 2,
+    /// Unknown procedure number.
+    ProcUnavail = 3,
+    /// Arguments could not be decoded.
+    GarbageArgs = 4,
+    /// Internal server error.
+    SystemErr = 5,
+}
+
+impl AcceptStat {
+    fn from_u32(v: u32) -> Result<Self, XdrError> {
+        Ok(match v {
+            0 => AcceptStat::Success,
+            1 => AcceptStat::ProgUnavail,
+            2 => AcceptStat::ProgMismatch,
+            3 => AcceptStat::ProcUnavail,
+            4 => AcceptStat::GarbageArgs,
+            5 => AcceptStat::SystemErr,
+            other => return Err(XdrError::BadDiscriminant(other)),
+        })
+    }
+}
+
+/// The body of an RPC reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplyBody {
+    /// The call was accepted (it may still have failed; see the status).
+    Accepted {
+        /// Server verifier.
+        verf: OpaqueAuth,
+        /// Execution status.
+        stat: AcceptStat,
+        /// Procedure-specific results (only meaningful on `Success`).
+        results: Vec<u8>,
+    },
+    /// The call was rejected outright (version mismatch or auth error).
+    Denied {
+        /// 0 = RPC version mismatch, 1 = authentication error.
+        reject_stat: u32,
+    },
+}
+
+/// A complete RPC message: transaction id plus call or reply body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RpcMessage {
+    /// An outgoing or incoming call.
+    Call {
+        /// Transaction id chosen by the caller.
+        xid: u32,
+        /// Call body.
+        body: CallBody,
+    },
+    /// An outgoing or incoming reply.
+    Reply {
+        /// Transaction id echoed from the call.
+        xid: u32,
+        /// Reply body.
+        body: ReplyBody,
+    },
+}
+
+const MSG_CALL: u32 = 0;
+const MSG_REPLY: u32 = 1;
+const REPLY_ACCEPTED: u32 = 0;
+const REPLY_DENIED: u32 = 1;
+
+impl RpcMessage {
+    /// Builds a call message.
+    pub fn call(xid: u32, prog: u32, vers: u32, proc: u32, args: Vec<u8>) -> Self {
+        RpcMessage::Call {
+            xid,
+            body: CallBody {
+                prog,
+                vers,
+                proc,
+                cred: OpaqueAuth::none(),
+                verf: OpaqueAuth::none(),
+                args,
+            },
+        }
+    }
+
+    /// Builds a successful reply carrying `results`.
+    pub fn success_reply(xid: u32, results: Vec<u8>) -> Self {
+        RpcMessage::Reply {
+            xid,
+            body: ReplyBody::Accepted {
+                verf: OpaqueAuth::none(),
+                stat: AcceptStat::Success,
+                results,
+            },
+        }
+    }
+
+    /// Builds an accepted-but-failed reply with the given status.
+    pub fn error_reply(xid: u32, stat: AcceptStat) -> Self {
+        RpcMessage::Reply {
+            xid,
+            body: ReplyBody::Accepted {
+                verf: OpaqueAuth::none(),
+                stat,
+                results: Vec::new(),
+            },
+        }
+    }
+
+    /// The transaction id.
+    pub fn xid(&self) -> u32 {
+        match self {
+            RpcMessage::Call { xid, .. } | RpcMessage::Reply { xid, .. } => *xid,
+        }
+    }
+
+    /// Encodes the message to XDR bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = XdrEncoder::with_capacity(64);
+        match self {
+            RpcMessage::Call { xid, body } => {
+                e.put_u32(*xid);
+                e.put_u32(MSG_CALL);
+                e.put_u32(RPC_VERSION);
+                e.put_u32(body.prog);
+                e.put_u32(body.vers);
+                e.put_u32(body.proc);
+                body.cred.encode(&mut e);
+                body.verf.encode(&mut e);
+                let mut bytes = e.into_bytes();
+                bytes.extend_from_slice(&body.args);
+                return bytes;
+            }
+            RpcMessage::Reply { xid, body } => {
+                e.put_u32(*xid);
+                e.put_u32(MSG_REPLY);
+                match body {
+                    ReplyBody::Accepted {
+                        verf,
+                        stat,
+                        results,
+                    } => {
+                        e.put_u32(REPLY_ACCEPTED);
+                        verf.encode(&mut e);
+                        e.put_u32(*stat as u32);
+                        if *stat == AcceptStat::ProgMismatch {
+                            // mismatch_info { low, high } — we serve exactly
+                            // the registered version, so encode it twice
+                            // upstream; here a conservative 0/0.
+                            e.put_u32(0);
+                            e.put_u32(0);
+                        }
+                        let mut bytes = e.into_bytes();
+                        bytes.extend_from_slice(results);
+                        return bytes;
+                    }
+                    ReplyBody::Denied { reject_stat } => {
+                        e.put_u32(REPLY_DENIED);
+                        e.put_u32(*reject_stat);
+                        if *reject_stat == 0 {
+                            // RPC_MISMATCH carries low/high versions.
+                            e.put_u32(RPC_VERSION);
+                            e.put_u32(RPC_VERSION);
+                        } else {
+                            // AUTH_ERROR carries an auth_stat.
+                            e.put_u32(1); // AUTH_BADCRED
+                        }
+                    }
+                }
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes a message from XDR bytes. The remainder of the buffer after
+    /// the RPC header is captured as `args`/`results`.
+    pub fn decode(bytes: &[u8]) -> Result<Self, XdrError> {
+        let mut d = XdrDecoder::new(bytes);
+        let xid = d.get_u32()?;
+        match d.get_u32()? {
+            MSG_CALL => {
+                let rpcvers = d.get_u32()?;
+                if rpcvers != RPC_VERSION {
+                    return Err(XdrError::BadDiscriminant(rpcvers));
+                }
+                let prog = d.get_u32()?;
+                let vers = d.get_u32()?;
+                let proc = d.get_u32()?;
+                let cred = OpaqueAuth::decode(&mut d)?;
+                let verf = OpaqueAuth::decode(&mut d)?;
+                let args = bytes[bytes.len() - d.remaining()..].to_vec();
+                Ok(RpcMessage::Call {
+                    xid,
+                    body: CallBody {
+                        prog,
+                        vers,
+                        proc,
+                        cred,
+                        verf,
+                        args,
+                    },
+                })
+            }
+            MSG_REPLY => match d.get_u32()? {
+                REPLY_ACCEPTED => {
+                    let verf = OpaqueAuth::decode(&mut d)?;
+                    let stat = AcceptStat::from_u32(d.get_u32()?)?;
+                    if stat == AcceptStat::ProgMismatch {
+                        d.get_u32()?;
+                        d.get_u32()?;
+                    }
+                    let results = bytes[bytes.len() - d.remaining()..].to_vec();
+                    Ok(RpcMessage::Reply {
+                        xid,
+                        body: ReplyBody::Accepted {
+                            verf,
+                            stat,
+                            results,
+                        },
+                    })
+                }
+                REPLY_DENIED => {
+                    let reject_stat = d.get_u32()?;
+                    Ok(RpcMessage::Reply {
+                        xid,
+                        body: ReplyBody::Denied { reject_stat },
+                    })
+                }
+                other => Err(XdrError::BadDiscriminant(other)),
+            },
+            other => Err(XdrError::BadDiscriminant(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_roundtrip() {
+        let msg = RpcMessage::call(42, 100003, 2, 6, vec![1, 2, 3, 4]);
+        let bytes = msg.encode();
+        let decoded = RpcMessage::decode(&bytes).unwrap();
+        assert_eq!(msg, decoded);
+    }
+
+    #[test]
+    fn success_reply_roundtrip() {
+        let msg = RpcMessage::success_reply(7, vec![9, 9, 9, 9]);
+        let decoded = RpcMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(msg, decoded);
+    }
+
+    #[test]
+    fn error_reply_roundtrip() {
+        for stat in [
+            AcceptStat::ProgUnavail,
+            AcceptStat::ProcUnavail,
+            AcceptStat::GarbageArgs,
+            AcceptStat::SystemErr,
+            AcceptStat::ProgMismatch,
+        ] {
+            let msg = RpcMessage::error_reply(1, stat);
+            let decoded = RpcMessage::decode(&msg.encode()).unwrap();
+            match decoded {
+                RpcMessage::Reply {
+                    body: ReplyBody::Accepted { stat: s, .. },
+                    ..
+                } => assert_eq!(s, stat),
+                other => panic!("unexpected decode: {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn denied_reply_roundtrip() {
+        let msg = RpcMessage::Reply {
+            xid: 3,
+            body: ReplyBody::Denied { reject_stat: 1 },
+        };
+        let decoded = RpcMessage::decode(&msg.encode()).unwrap();
+        match decoded {
+            RpcMessage::Reply {
+                xid: 3,
+                body: ReplyBody::Denied { reject_stat: 1 },
+            } => {}
+            other => panic!("unexpected decode: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn auth_sys_uid_parses() {
+        let auth = OpaqueAuth::sys("testhost", 1001, 100);
+        assert_eq!(auth.sys_uid(), Some(1001));
+        assert_eq!(OpaqueAuth::none().sys_uid(), None);
+    }
+
+    #[test]
+    fn wrong_rpc_version_rejected() {
+        let msg = RpcMessage::call(1, 100003, 2, 0, vec![]);
+        let mut bytes = msg.encode();
+        // Corrupt the rpcvers field (bytes 8..12).
+        bytes[11] = 9;
+        assert!(RpcMessage::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn xid_accessor() {
+        assert_eq!(RpcMessage::call(5, 1, 1, 1, vec![]).xid(), 5);
+        assert_eq!(RpcMessage::success_reply(6, vec![]).xid(), 6);
+    }
+
+    #[test]
+    fn truncated_message_rejected() {
+        let msg = RpcMessage::call(42, 100003, 2, 6, vec![]);
+        let bytes = msg.encode();
+        assert!(RpcMessage::decode(&bytes[..8]).is_err());
+    }
+}

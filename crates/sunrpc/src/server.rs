@@ -1,0 +1,371 @@
+//! A transport-generic ONC RPC server.
+//!
+//! Programs register by `(program, version)`; the server decodes incoming
+//! calls, dispatches, and encodes replies. Both UDP datagrams (classic NFS)
+//! and TCP record streams are supported.
+
+use crate::record::{read_record, write_record};
+use crate::rpc::{AcceptStat, CallBody, RpcMessage};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A handler for one `(program, version)` pair.
+///
+/// Returns the XDR-encoded procedure results on success, or an
+/// [`AcceptStat`] describing the failure.
+pub trait RpcHandler: Send + Sync + 'static {
+    /// Handles one call. `call.proc` selects the procedure; `call.args`
+    /// holds the XDR-encoded arguments.
+    fn handle(&self, call: &CallBody, peer: SocketAddr) -> Result<Vec<u8>, AcceptStat>;
+}
+
+impl<F> RpcHandler for F
+where
+    F: Fn(&CallBody, SocketAddr) -> Result<Vec<u8>, AcceptStat> + Send + Sync + 'static,
+{
+    fn handle(&self, call: &CallBody, peer: SocketAddr) -> Result<Vec<u8>, AcceptStat> {
+        self(call, peer)
+    }
+}
+
+/// An RPC server multiplexing registered programs over UDP and/or TCP.
+pub struct RpcServer {
+    programs: HashMap<(u32, u32), Arc<dyn RpcHandler>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Default for RpcServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RpcServer {
+    /// Creates a server with no programs registered.
+    pub fn new() -> Self {
+        Self {
+            programs: HashMap::new(),
+            stop: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Registers a program handler.
+    pub fn register(&mut self, prog: u32, vers: u32, handler: impl RpcHandler) -> &mut Self {
+        self.programs.insert((prog, vers), Arc::new(handler));
+        self
+    }
+
+    /// A flag that, when set, causes serving loops to exit at their next
+    /// poll interval.
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Dispatches one decoded message, producing the reply to send (if any;
+    /// replies to replies are dropped).
+    pub fn dispatch(&self, msg: &RpcMessage, peer: SocketAddr) -> Option<RpcMessage> {
+        let (xid, call) = match msg {
+            RpcMessage::Call { xid, body } => (*xid, body),
+            RpcMessage::Reply { .. } => return None,
+        };
+        let reply = match self.programs.get(&(call.prog, call.vers)) {
+            None => {
+                // Distinguish unknown program from known program at the
+                // wrong version.
+                let known_prog = self.programs.keys().any(|(p, _)| *p == call.prog);
+                if known_prog {
+                    RpcMessage::error_reply(xid, AcceptStat::ProgMismatch)
+                } else {
+                    RpcMessage::error_reply(xid, AcceptStat::ProgUnavail)
+                }
+            }
+            Some(handler) => match handler.handle(call, peer) {
+                Ok(results) => RpcMessage::success_reply(xid, results),
+                Err(stat) => RpcMessage::error_reply(xid, stat),
+            },
+        };
+        Some(reply)
+    }
+
+    /// Dispatches raw bytes (one datagram or one record), returning encoded
+    /// reply bytes. Undecodable data yields `None` (dropped, as real RPC
+    /// servers do for garbage datagrams).
+    pub fn dispatch_bytes(&self, bytes: &[u8], peer: SocketAddr) -> Option<Vec<u8>> {
+        let msg = RpcMessage::decode(bytes).ok()?;
+        self.dispatch(&msg, peer).map(|r| r.encode())
+    }
+
+    /// Serves UDP datagrams on the given socket until the stop flag is set.
+    pub fn serve_udp(self: Arc<Self>, socket: UdpSocket) -> io::Result<()> {
+        socket.set_read_timeout(Some(Duration::from_millis(50)))?;
+        let mut buf = vec![0u8; 64 * 1024];
+        while !self.stop.load(Ordering::Relaxed) {
+            match socket.recv_from(&mut buf) {
+                Ok((n, peer)) => {
+                    if let Some(reply) = self.dispatch_bytes(&buf[..n], peer) {
+                        let _ = socket.send_to(&reply, peer);
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Serves TCP record streams on the given listener until the stop flag
+    /// is set; one thread per connection.
+    pub fn serve_tcp(self: Arc<Self>, listener: TcpListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let mut workers: Vec<JoinHandle<()>> = Vec::new();
+        while !self.stop.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    let server = Arc::clone(&self);
+                    workers.push(std::thread::spawn(move || {
+                        let _ = server.serve_tcp_conn(stream, peer);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+            workers.retain(|w| !w.is_finished());
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+
+    /// Serves one TCP connection until EOF or stop.
+    pub fn serve_tcp_conn(&self, mut stream: TcpStream, peer: SocketAddr) -> io::Result<()> {
+        stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                return Ok(());
+            }
+            match read_record(&mut stream) {
+                Ok(None) => return Ok(()),
+                Ok(Some(record)) => {
+                    if let Some(reply) = self.dispatch_bytes(&record, peer) {
+                        write_record(&mut stream, &reply)?;
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// A running RPC server bound to ephemeral UDP and TCP ports, for tests and
+/// embedding in NeST. Dropping stops the serving threads.
+pub struct SpawnedRpcServer {
+    server: Arc<RpcServer>,
+    /// UDP address the server listens on.
+    pub udp_addr: SocketAddr,
+    /// TCP address the server listens on.
+    pub tcp_addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl SpawnedRpcServer {
+    /// Binds UDP and TCP on loopback ephemeral ports and spawns the serving
+    /// threads.
+    pub fn spawn(server: RpcServer) -> io::Result<Self> {
+        let server = Arc::new(server);
+        let udp = UdpSocket::bind("127.0.0.1:0")?;
+        let tcp = TcpListener::bind("127.0.0.1:0")?;
+        let udp_addr = udp.local_addr()?;
+        let tcp_addr = tcp.local_addr()?;
+        let s1 = Arc::clone(&server);
+        let s2 = Arc::clone(&server);
+        let threads = vec![
+            std::thread::spawn(move || {
+                let _ = s1.serve_udp(udp);
+            }),
+            std::thread::spawn(move || {
+                let _ = s2.serve_tcp(tcp);
+            }),
+        ];
+        Ok(Self {
+            server,
+            udp_addr,
+            tcp_addr,
+            threads,
+        })
+    }
+
+    /// Signals the serving loops to stop and joins them.
+    pub fn shutdown(mut self) {
+        self.server.stop_flag().store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SpawnedRpcServer {
+    fn drop(&mut self) {
+        self.server.stop_flag().store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rpc::RpcMessage;
+
+    fn echo_server() -> RpcServer {
+        let mut server = RpcServer::new();
+        server.register(200_000, 1, |call: &CallBody, _peer: SocketAddr| {
+            Ok(call.args.clone())
+        });
+        server
+    }
+
+    fn peer() -> SocketAddr {
+        "127.0.0.1:9".parse().unwrap()
+    }
+
+    #[test]
+    fn dispatch_success() {
+        let server = echo_server();
+        let call = RpcMessage::call(1, 200_000, 1, 0, vec![1, 2, 3, 4]);
+        let reply = server.dispatch(&call, peer()).unwrap();
+        match reply {
+            RpcMessage::Reply {
+                xid: 1,
+                body:
+                    crate::rpc::ReplyBody::Accepted {
+                        stat: AcceptStat::Success,
+                        results,
+                        ..
+                    },
+            } => assert_eq!(results, vec![1, 2, 3, 4]),
+            other => panic!("unexpected reply {:?}", other),
+        }
+    }
+
+    #[test]
+    fn unknown_program_unavail() {
+        let server = echo_server();
+        let call = RpcMessage::call(2, 999, 1, 0, vec![]);
+        let reply = server.dispatch(&call, peer()).unwrap();
+        match reply {
+            RpcMessage::Reply {
+                body:
+                    crate::rpc::ReplyBody::Accepted {
+                        stat: AcceptStat::ProgUnavail,
+                        ..
+                    },
+                ..
+            } => {}
+            other => panic!("unexpected reply {:?}", other),
+        }
+    }
+
+    #[test]
+    fn wrong_version_mismatch() {
+        let server = echo_server();
+        let call = RpcMessage::call(3, 200_000, 9, 0, vec![]);
+        let reply = server.dispatch(&call, peer()).unwrap();
+        match reply {
+            RpcMessage::Reply {
+                body:
+                    crate::rpc::ReplyBody::Accepted {
+                        stat: AcceptStat::ProgMismatch,
+                        ..
+                    },
+                ..
+            } => {}
+            other => panic!("unexpected reply {:?}", other),
+        }
+    }
+
+    #[test]
+    fn replies_are_not_dispatched() {
+        let server = echo_server();
+        let msg = RpcMessage::success_reply(9, vec![]);
+        assert!(server.dispatch(&msg, peer()).is_none());
+    }
+
+    #[test]
+    fn garbage_bytes_dropped() {
+        let server = echo_server();
+        assert!(server.dispatch_bytes(&[0, 1], peer()).is_none());
+    }
+}
+
+#[cfg(test)]
+mod concurrency_tests {
+    use super::*;
+    use crate::client::RpcClient;
+    use crate::rpc::CallBody;
+
+    const PROG: u32 = 400_000;
+
+    /// Many clients over both transports at once: every reply must match
+    /// its own request (no cross-wiring of xids or payloads).
+    #[test]
+    fn concurrent_clients_get_their_own_replies() {
+        let mut server = RpcServer::new();
+        server.register(PROG, 1, |call: &CallBody, _peer: SocketAddr| {
+            // Echo with a transform so a swapped reply is detectable.
+            let mut out = call.args.clone();
+            for b in &mut out {
+                *b = b.wrapping_add(1);
+            }
+            Ok(out)
+        });
+        let spawned = SpawnedRpcServer::spawn(server).unwrap();
+        let udp_addr = spawned.udp_addr;
+        let tcp_addr = spawned.tcp_addr;
+
+        let mut handles = Vec::new();
+        for i in 0..4u8 {
+            handles.push(std::thread::spawn(move || {
+                let mut c = RpcClient::udp(udp_addr).unwrap();
+                for j in 0..20u8 {
+                    let args = vec![i, j, i ^ j, 0];
+                    let reply = c.call(PROG, 1, 0, args.clone()).unwrap();
+                    let expect: Vec<u8> = args.iter().map(|b| b.wrapping_add(1)).collect();
+                    assert_eq!(reply, expect);
+                }
+            }));
+            handles.push(std::thread::spawn(move || {
+                let mut c = RpcClient::tcp(tcp_addr).unwrap();
+                for j in 0..20u8 {
+                    let args = vec![i, j, j.wrapping_mul(3), 1];
+                    let reply = c.call(PROG, 1, 0, args.clone()).unwrap();
+                    let expect: Vec<u8> = args.iter().map(|b| b.wrapping_add(1)).collect();
+                    assert_eq!(reply, expect);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        spawned.shutdown();
+    }
+}

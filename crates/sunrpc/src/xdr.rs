@@ -1,0 +1,434 @@
+//! XDR (External Data Representation, RFC 4506) encoding and decoding.
+//!
+//! XDR represents all items in multiples of four bytes, big-endian, with
+//! opaque/string data zero-padded up to the next 4-byte boundary.
+
+use std::fmt;
+
+/// Errors produced while decoding XDR data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XdrError {
+    /// The buffer ended before the requested item.
+    Truncated {
+        /// Bytes needed to finish the read.
+        needed: usize,
+        /// Bytes remaining in the buffer.
+        remaining: usize,
+    },
+    /// A length prefix exceeded the decoder's configured maximum.
+    LengthTooLarge { len: usize, max: usize },
+    /// A boolean was encoded as something other than 0 or 1.
+    BadBool(u32),
+    /// A string contained invalid UTF-8.
+    BadUtf8,
+    /// An enum discriminant was not a known value.
+    BadDiscriminant(u32),
+    /// Non-zero padding bytes (tolerated by some decoders; we reject).
+    BadPadding,
+}
+
+impl fmt::Display for XdrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XdrError::Truncated { needed, remaining } => write!(
+                f,
+                "truncated XDR data: needed {} bytes, {} remaining",
+                needed, remaining
+            ),
+            XdrError::LengthTooLarge { len, max } => {
+                write!(f, "XDR length {} exceeds maximum {}", len, max)
+            }
+            XdrError::BadBool(v) => write!(f, "invalid XDR boolean {}", v),
+            XdrError::BadUtf8 => write!(f, "XDR string is not valid UTF-8"),
+            XdrError::BadDiscriminant(v) => write!(f, "unknown XDR discriminant {}", v),
+            XdrError::BadPadding => write!(f, "non-zero XDR padding"),
+        }
+    }
+}
+
+impl std::error::Error for XdrError {}
+
+/// Pads a length up to the next multiple of four.
+#[inline]
+pub fn padded(len: usize) -> usize {
+    (len + 3) & !3
+}
+
+/// An XDR encoder writing into an owned byte vector.
+#[derive(Debug, Default)]
+pub struct XdrEncoder {
+    buf: Vec<u8>,
+}
+
+impl XdrEncoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an encoder with a capacity hint.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length in bytes (always a multiple of 4).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Encodes an unsigned 32-bit integer.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Encodes a signed 32-bit integer.
+    pub fn put_i32(&mut self, v: i32) -> &mut Self {
+        self.put_u32(v as u32)
+    }
+
+    /// Encodes an unsigned 64-bit hyper integer.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Encodes a signed 64-bit hyper integer.
+    pub fn put_i64(&mut self, v: i64) -> &mut Self {
+        self.put_u64(v as u64)
+    }
+
+    /// Encodes a boolean as 0/1.
+    pub fn put_bool(&mut self, v: bool) -> &mut Self {
+        self.put_u32(v as u32)
+    }
+
+    /// Encodes fixed-length opaque data (caller guarantees the length is
+    /// known to both sides); pads to a 4-byte boundary.
+    pub fn put_opaque_fixed(&mut self, data: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(data);
+        for _ in data.len()..padded(data.len()) {
+            self.buf.push(0);
+        }
+        self
+    }
+
+    /// Encodes variable-length opaque data with a length prefix.
+    pub fn put_opaque(&mut self, data: &[u8]) -> &mut Self {
+        self.put_u32(data.len() as u32);
+        self.put_opaque_fixed(data)
+    }
+
+    /// Encodes a string (length-prefixed UTF-8 bytes).
+    pub fn put_str(&mut self, s: &str) -> &mut Self {
+        self.put_opaque(s.as_bytes())
+    }
+
+    /// Encodes an XDR optional (`*T` in XDR language): a presence boolean
+    /// followed by the value when present.
+    pub fn put_option<T>(&mut self, v: Option<&T>, f: impl FnOnce(&mut Self, &T)) -> &mut Self {
+        match v {
+            Some(inner) => {
+                self.put_bool(true);
+                f(self, inner);
+            }
+            None => {
+                self.put_bool(false);
+            }
+        }
+        self
+    }
+
+    /// Encodes a counted array.
+    pub fn put_array<T>(&mut self, items: &[T], mut f: impl FnMut(&mut Self, &T)) -> &mut Self {
+        self.put_u32(items.len() as u32);
+        for item in items {
+            f(self, item);
+        }
+        self
+    }
+}
+
+/// An XDR decoder reading from a borrowed byte slice.
+#[derive(Debug)]
+pub struct XdrDecoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Maximum accepted length for any variable-length item, protecting
+    /// against hostile length prefixes.
+    max_len: usize,
+}
+
+impl<'a> XdrDecoder<'a> {
+    /// Creates a decoder with a 16 MiB variable-length cap.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self {
+            buf,
+            pos: 0,
+            max_len: 16 << 20,
+        }
+    }
+
+    /// Overrides the variable-length item cap.
+    pub fn with_max_len(buf: &'a [u8], max_len: usize) -> Self {
+        Self {
+            buf,
+            pos: 0,
+            max_len,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when the buffer is fully consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], XdrError> {
+        if self.remaining() < n {
+            return Err(XdrError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Decodes an unsigned 32-bit integer.
+    pub fn get_u32(&mut self) -> Result<u32, XdrError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Decodes a signed 32-bit integer.
+    pub fn get_i32(&mut self) -> Result<i32, XdrError> {
+        Ok(self.get_u32()? as i32)
+    }
+
+    /// Decodes an unsigned 64-bit hyper.
+    pub fn get_u64(&mut self) -> Result<u64, XdrError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_be_bytes(a))
+    }
+
+    /// Decodes a signed 64-bit hyper.
+    pub fn get_i64(&mut self) -> Result<i64, XdrError> {
+        Ok(self.get_u64()? as i64)
+    }
+
+    /// Decodes a boolean, rejecting values other than 0/1.
+    pub fn get_bool(&mut self) -> Result<bool, XdrError> {
+        match self.get_u32()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(XdrError::BadBool(v)),
+        }
+    }
+
+    /// Decodes fixed-length opaque data of known size, consuming padding.
+    pub fn get_opaque_fixed(&mut self, len: usize) -> Result<&'a [u8], XdrError> {
+        let data = self.take(len)?;
+        let pad = padded(len) - len;
+        let padding = self.take(pad)?;
+        if padding.iter().any(|&b| b != 0) {
+            return Err(XdrError::BadPadding);
+        }
+        Ok(data)
+    }
+
+    /// Decodes variable-length opaque data.
+    pub fn get_opaque(&mut self) -> Result<&'a [u8], XdrError> {
+        let len = self.get_u32()? as usize;
+        if len > self.max_len {
+            return Err(XdrError::LengthTooLarge {
+                len,
+                max: self.max_len,
+            });
+        }
+        self.get_opaque_fixed(len)
+    }
+
+    /// Decodes a string.
+    pub fn get_str(&mut self) -> Result<&'a str, XdrError> {
+        let bytes = self.get_opaque()?;
+        std::str::from_utf8(bytes).map_err(|_| XdrError::BadUtf8)
+    }
+
+    /// Decodes an owned string.
+    pub fn get_string(&mut self) -> Result<String, XdrError> {
+        self.get_str().map(str::to_owned)
+    }
+
+    /// Decodes an optional.
+    pub fn get_option<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, XdrError>,
+    ) -> Result<Option<T>, XdrError> {
+        if self.get_bool()? {
+            Ok(Some(f(self)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Decodes a counted array.
+    pub fn get_array<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> Result<T, XdrError>,
+    ) -> Result<Vec<T>, XdrError> {
+        let n = self.get_u32()? as usize;
+        if n > self.max_len {
+            return Err(XdrError::LengthTooLarge {
+                len: n,
+                max: self.max_len,
+            });
+        }
+        let mut out = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            out.push(f(self)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_roundtrip_is_big_endian() {
+        let mut e = XdrEncoder::new();
+        e.put_u32(0x01020304);
+        let bytes = e.into_bytes();
+        assert_eq!(bytes, [1, 2, 3, 4]);
+        assert_eq!(XdrDecoder::new(&bytes).get_u32().unwrap(), 0x01020304);
+    }
+
+    #[test]
+    fn signed_values_roundtrip() {
+        let mut e = XdrEncoder::new();
+        e.put_i32(-5).put_i64(-1234567890123);
+        let b = e.into_bytes();
+        let mut d = XdrDecoder::new(&b);
+        assert_eq!(d.get_i32().unwrap(), -5);
+        assert_eq!(d.get_i64().unwrap(), -1234567890123);
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn string_padding_to_four_bytes() {
+        let mut e = XdrEncoder::new();
+        e.put_str("abcde");
+        let b = e.into_bytes();
+        // 4 (length) + 5 (data) + 3 (padding) = 12.
+        assert_eq!(b.len(), 12);
+        assert_eq!(&b[4..9], b"abcde");
+        assert_eq!(&b[9..12], &[0, 0, 0]);
+        assert_eq!(XdrDecoder::new(&b).get_str().unwrap(), "abcde");
+    }
+
+    #[test]
+    fn exact_multiple_of_four_has_no_padding() {
+        let mut e = XdrEncoder::new();
+        e.put_opaque(b"abcd");
+        assert_eq!(e.len(), 8);
+    }
+
+    #[test]
+    fn nonzero_padding_rejected() {
+        // length 1, data 'x', then non-zero padding.
+        let raw = [0, 0, 0, 1, b'x', 9, 0, 0];
+        assert_eq!(
+            XdrDecoder::new(&raw).get_opaque(),
+            Err(XdrError::BadPadding)
+        );
+    }
+
+    #[test]
+    fn bool_strictness() {
+        let raw = 2u32.to_be_bytes();
+        assert_eq!(XdrDecoder::new(&raw).get_bool(), Err(XdrError::BadBool(2)));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let raw = [0, 0];
+        assert!(matches!(
+            XdrDecoder::new(&raw).get_u32(),
+            Err(XdrError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        let mut e = XdrEncoder::new();
+        e.put_u32(u32::MAX);
+        let b = e.into_bytes();
+        assert!(matches!(
+            XdrDecoder::new(&b).get_opaque(),
+            Err(XdrError::LengthTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let mut e = XdrEncoder::new();
+        e.put_option(Some(&7u32), |e, v| {
+            e.put_u32(*v);
+        });
+        e.put_option(None::<&u32>, |e, v| {
+            e.put_u32(*v);
+        });
+        let b = e.into_bytes();
+        let mut d = XdrDecoder::new(&b);
+        assert_eq!(d.get_option(|d| d.get_u32()).unwrap(), Some(7));
+        assert_eq!(d.get_option(|d| d.get_u32()).unwrap(), None);
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let mut e = XdrEncoder::new();
+        e.put_array(&[1u32, 2, 3], |e, v| {
+            e.put_u32(*v);
+        });
+        let b = e.into_bytes();
+        let mut d = XdrDecoder::new(&b);
+        assert_eq!(d.get_array(|d| d.get_u32()).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn invalid_utf8_string_rejected() {
+        let mut e = XdrEncoder::new();
+        e.put_opaque(&[0xFF, 0xFE]);
+        let b = e.into_bytes();
+        assert_eq!(XdrDecoder::new(&b).get_str(), Err(XdrError::BadUtf8));
+    }
+
+    #[test]
+    fn padded_helper() {
+        assert_eq!(padded(0), 0);
+        assert_eq!(padded(1), 4);
+        assert_eq!(padded(4), 4);
+        assert_eq!(padded(5), 8);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the XDR codec and RPC message framing.
+
+use nest_sunrpc::rpc::RpcMessage;
+use nest_sunrpc::xdr::{padded, XdrDecoder, XdrEncoder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn u32_i64_roundtrip(a in any::<u32>(), b in any::<i64>()) {
+        let mut e = XdrEncoder::new();
+        e.put_u32(a).put_i64(b);
+        let bytes = e.into_bytes();
+        let mut d = XdrDecoder::new(&bytes);
+        prop_assert_eq!(d.get_u32().unwrap(), a);
+        prop_assert_eq!(d.get_i64().unwrap(), b);
+        prop_assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn opaque_roundtrip_any_length(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut e = XdrEncoder::new();
+        e.put_opaque(&data);
+        let bytes = e.into_bytes();
+        // Encoded size is always 4 (length) + padded payload.
+        prop_assert_eq!(bytes.len(), 4 + padded(data.len()));
+        let mut d = XdrDecoder::new(&bytes);
+        prop_assert_eq!(d.get_opaque().unwrap(), &data[..]);
+        prop_assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn string_roundtrip(s in "\\PC{0,64}") {
+        let mut e = XdrEncoder::new();
+        e.put_str(&s);
+        let bytes = e.into_bytes();
+        let mut d = XdrDecoder::new(&bytes);
+        prop_assert_eq!(d.get_str().unwrap(), s);
+    }
+
+    #[test]
+    fn mixed_sequence_roundtrip(
+        n in any::<i32>(),
+        flag in any::<bool>(),
+        items in prop::collection::vec(any::<u64>(), 0..16),
+        tail in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut e = XdrEncoder::new();
+        e.put_i32(n).put_bool(flag);
+        e.put_array(&items, |e, v| { e.put_u64(*v); });
+        e.put_opaque(&tail);
+        let bytes = e.into_bytes();
+        let mut d = XdrDecoder::new(&bytes);
+        prop_assert_eq!(d.get_i32().unwrap(), n);
+        prop_assert_eq!(d.get_bool().unwrap(), flag);
+        prop_assert_eq!(d.get_array(|d| d.get_u64()).unwrap(), items);
+        prop_assert_eq!(d.get_opaque().unwrap(), &tail[..]);
+        prop_assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn rpc_call_roundtrip(
+        xid in any::<u32>(),
+        prog in any::<u32>(),
+        vers in any::<u32>(),
+        proc in any::<u32>(),
+        // Args must be 4-byte aligned (they are always XDR-encoded payloads
+        // in practice); the header decoder takes the remainder verbatim.
+        words in prop::collection::vec(any::<u32>(), 0..32),
+    ) {
+        let mut args = Vec::new();
+        for w in &words {
+            args.extend_from_slice(&w.to_be_bytes());
+        }
+        let msg = RpcMessage::call(xid, prog, vers, proc, args);
+        let decoded = RpcMessage::decode(&msg.encode()).unwrap();
+        prop_assert_eq!(msg, decoded);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Whatever the bytes, decoding must fail gracefully, not panic.
+        let _ = RpcMessage::decode(&data);
+        let mut d = XdrDecoder::new(&data);
+        let _ = d.get_u32();
+        let _ = d.get_opaque();
+        let _ = d.get_str();
+    }
+
+    #[test]
+    fn record_marking_roundtrip(payload in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let mut buf = Vec::new();
+        nest_sunrpc::record::write_record(&mut buf, &payload).unwrap();
+        let mut cur = std::io::Cursor::new(buf);
+        let back = nest_sunrpc::record::read_record(&mut cur).unwrap().unwrap();
+        prop_assert_eq!(back, payload);
+    }
+}

@@ -1,0 +1,239 @@
+//! Adaptive concurrency-model selection (paper §4.1).
+//!
+//! "To deliver high performance, NeST dynamically chooses among these
+//! architectures; the choice is enabled by distributing requests among the
+//! architectures equally at first, monitoring their progress, and then
+//! slowly biasing requests toward the most effective choice."
+//!
+//! The selector keeps an exponentially weighted moving average of each
+//! model's observed throughput. During a warmup window assignments rotate
+//! round-robin; afterwards the best-scoring model receives most requests,
+//! with a periodic exploration slot cycling through the alternatives so the
+//! choice can track workload shifts. This periodic re-measurement is the
+//! "cost for adaptation" visible in Figure 5: the adaptive line sits
+//! between the best and worst pure models.
+
+use crate::concurrency::ModelKind;
+use std::collections::HashMap;
+
+/// EWMA smoothing factor for throughput observations.
+const ALPHA: f64 = 0.2;
+
+/// The adaptive model selector.
+#[derive(Debug)]
+pub struct AdaptiveSelector {
+    models: Vec<ModelKind>,
+    /// EWMA of throughput (bytes/sec) per model; `None` until first report.
+    score: HashMap<ModelKind, f64>,
+    assignments: u64,
+    /// Assignments during which models rotate round-robin.
+    warmup: u64,
+    /// After warmup, every `explore_period`-th assignment probes a
+    /// non-best model (rotating through them).
+    explore_period: u64,
+    explore_cursor: usize,
+}
+
+impl AdaptiveSelector {
+    /// Creates a selector over the given models with the paper-style
+    /// defaults: a warmup of 4 assignments per model, exploration every
+    /// 8th assignment.
+    pub fn new(models: Vec<ModelKind>) -> Self {
+        assert!(!models.is_empty(), "need at least one model");
+        let warmup = models.len() as u64 * 4;
+        Self {
+            models,
+            score: HashMap::new(),
+            assignments: 0,
+            warmup,
+            explore_period: 8,
+            explore_cursor: 0,
+        }
+    }
+
+    /// Overrides the warmup length (total assignments, not per model).
+    pub fn with_warmup(mut self, warmup: u64) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Overrides the exploration period (0 disables exploration entirely —
+    /// pure exploit after warmup).
+    pub fn with_explore_period(mut self, period: u64) -> Self {
+        self.explore_period = period;
+        self
+    }
+
+    /// The models under consideration.
+    pub fn models(&self) -> &[ModelKind] {
+        &self.models
+    }
+
+    /// Picks the model for the next request.
+    pub fn choose(&mut self) -> ModelKind {
+        let n = self.assignments;
+        self.assignments += 1;
+
+        if n < self.warmup {
+            // Equal distribution at first.
+            return self.models[(n % self.models.len() as u64) as usize];
+        }
+        let best = self.best();
+        if self.explore_period > 0 && n.is_multiple_of(self.explore_period) && self.models.len() > 1
+        {
+            // Periodic exploration: rotate through the non-best models.
+            let others: Vec<ModelKind> =
+                self.models.iter().copied().filter(|m| *m != best).collect();
+            let pick = others[self.explore_cursor % others.len()];
+            self.explore_cursor += 1;
+            return pick;
+        }
+        best
+    }
+
+    /// Reports an observed completion: `bytes` moved in `seconds`.
+    pub fn report(&mut self, model: ModelKind, bytes: u64, seconds: f64) {
+        if seconds <= 0.0 {
+            return;
+        }
+        let throughput = bytes as f64 / seconds;
+        let entry = self.score.entry(model).or_insert(throughput);
+        *entry = ALPHA * throughput + (1.0 - ALPHA) * *entry;
+    }
+
+    /// The current best model by EWMA throughput (unscored models win ties
+    /// optimistically so they get measured at least once).
+    pub fn best(&self) -> ModelKind {
+        *self
+            .models
+            .iter()
+            .max_by(|a, b| {
+                let sa = self.score.get(a).copied().unwrap_or(f64::INFINITY);
+                let sb = self.score.get(b).copied().unwrap_or(f64::INFINITY);
+                sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("models non-empty")
+    }
+
+    /// The current score table (model → EWMA throughput), for diagnostics.
+    pub fn scores(&self) -> Vec<(ModelKind, Option<f64>)> {
+        self.models
+            .iter()
+            .map(|m| (*m, self.score.get(m).copied()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_models() -> Vec<ModelKind> {
+        vec![ModelKind::Threads, ModelKind::Processes, ModelKind::Events]
+    }
+
+    #[test]
+    fn warmup_distributes_equally() {
+        let mut s = AdaptiveSelector::new(all_models()).with_warmup(12);
+        let mut counts: HashMap<ModelKind, u32> = HashMap::new();
+        for _ in 0..12 {
+            *counts.entry(s.choose()).or_insert(0) += 1;
+        }
+        assert_eq!(counts[&ModelKind::Threads], 4);
+        assert_eq!(counts[&ModelKind::Processes], 4);
+        assert_eq!(counts[&ModelKind::Events], 4);
+    }
+
+    #[test]
+    fn converges_to_fastest_model() {
+        let mut s = AdaptiveSelector::new(all_models()).with_warmup(6);
+        // Feed observations: events 3x faster than threads, processes slow.
+        for _ in 0..20 {
+            s.report(ModelKind::Events, 3_000_000, 1.0);
+            s.report(ModelKind::Threads, 1_000_000, 1.0);
+            s.report(ModelKind::Processes, 300_000, 1.0);
+        }
+        assert_eq!(s.best(), ModelKind::Events);
+        let mut counts: HashMap<ModelKind, u32> = HashMap::new();
+        for _ in 0..800 {
+            let m = s.choose();
+            *counts.entry(m).or_insert(0) += 1;
+            // Keep observations flowing so exploration does not flip the
+            // leader.
+            let tput = match m {
+                ModelKind::Events => 3_000_000,
+                ModelKind::Threads => 1_000_000,
+                ModelKind::Processes => 300_000,
+            };
+            s.report(m, tput, 1.0);
+        }
+        let events = counts[&ModelKind::Events];
+        assert!(
+            events > 600,
+            "events got only {} of 800 assignments",
+            events
+        );
+        // But exploration means the others are still probed.
+        assert!(counts[&ModelKind::Threads] > 0);
+        assert!(counts[&ModelKind::Processes] > 0);
+    }
+
+    #[test]
+    fn adapts_when_workload_shifts() {
+        let mut s = AdaptiveSelector::new(vec![ModelKind::Events, ModelKind::Threads])
+            .with_warmup(4)
+            .with_explore_period(4);
+        // Phase 1: events wins.
+        for _ in 0..30 {
+            s.report(ModelKind::Events, 2_000_000, 1.0);
+            s.report(ModelKind::Threads, 500_000, 1.0);
+        }
+        assert_eq!(s.best(), ModelKind::Events);
+        // Phase 2: workload shifts (large I/O-bound files): threads wins.
+        // The periodic exploration keeps measuring threads, so the EWMA
+        // crosses over.
+        for _ in 0..60 {
+            s.report(ModelKind::Events, 500_000, 1.0);
+            s.report(ModelKind::Threads, 2_000_000, 1.0);
+        }
+        assert_eq!(s.best(), ModelKind::Threads);
+    }
+
+    #[test]
+    fn single_model_always_chosen() {
+        let mut s = AdaptiveSelector::new(vec![ModelKind::Threads]);
+        for _ in 0..20 {
+            assert_eq!(s.choose(), ModelKind::Threads);
+        }
+    }
+
+    #[test]
+    fn unmeasured_model_wins_optimistically() {
+        let mut s = AdaptiveSelector::new(all_models()).with_warmup(0);
+        s.report(ModelKind::Threads, 100, 1.0);
+        // Events and Processes are unmeasured → optimistic infinity → one
+        // of them is "best" until measured.
+        assert_ne!(s.best(), ModelKind::Threads);
+    }
+
+    #[test]
+    fn zero_duration_reports_ignored() {
+        let mut s = AdaptiveSelector::new(all_models());
+        s.report(ModelKind::Events, 1000, 0.0);
+        assert_eq!(s.scores().iter().filter(|(_, v)| v.is_some()).count(), 0);
+    }
+
+    #[test]
+    fn exploration_disabled_is_pure_exploit() {
+        let mut s = AdaptiveSelector::new(vec![ModelKind::Events, ModelKind::Threads])
+            .with_warmup(2)
+            .with_explore_period(0);
+        s.choose();
+        s.choose();
+        s.report(ModelKind::Events, 100, 1.0);
+        s.report(ModelKind::Threads, 200, 1.0);
+        for _ in 0..50 {
+            assert_eq!(s.choose(), ModelKind::Threads);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Gray-box model of the kernel buffer cache (paper §4.2).
+//!
+//! "By modeling the kernel buffer cache using gray-box techniques, NeST is
+//! able to predict which requested files are likely to be cache resident and
+//! can schedule them before requests for files which will need to be fetched
+//! from secondary storage."
+//!
+//! The model follows the gray-box approach of Arpaci-Dusseau & Burnett:
+//! NeST cannot see the kernel's cache, but it *can* observe its own file
+//! accesses, assume an LRU-like replacement discipline and a known cache
+//! size, and simulate what the kernel most likely holds. The simulation is
+//! an LRU list over file extents with a byte-capacity bound.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// An LRU simulation of the host buffer cache, keyed by file name.
+///
+/// Whole-file granularity: NeST workloads read files end to end, so a file
+/// is either fully resident or being evicted tail-first; we track the
+/// resident byte count per file.
+///
+/// ```
+/// use nest_transfer::cache::CacheModel;
+///
+/// let cache = CacheModel::new(1000);
+/// cache.observe_access("hot.dat", 400);
+/// assert!(cache.predict_resident("hot.dat", 400));
+/// // Two more files overflow the 1000-byte cache: LRU evicts hot.dat.
+/// cache.observe_access("a.dat", 400);
+/// cache.observe_access("b.dat", 400);
+/// assert!(!cache.predict_resident("hot.dat", 400));
+/// ```
+#[derive(Debug)]
+pub struct CacheModel {
+    inner: Mutex<CacheState>,
+}
+
+#[derive(Debug)]
+struct CacheState {
+    capacity: u64,
+    used: u64,
+    /// file → resident bytes.
+    resident: HashMap<String, u64>,
+    /// LRU order: front = coldest. (A Vec is fine: the working sets in a
+    /// storage appliance are hundreds of files, not millions.)
+    order: Vec<String>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheModel {
+    /// Creates a model of a cache holding `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            inner: Mutex::new(CacheState {
+                capacity,
+                used: 0,
+                resident: HashMap::new(),
+                order: Vec::new(),
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// The modelled capacity.
+    pub fn capacity(&self) -> u64 {
+        self.inner.lock().capacity
+    }
+
+    /// Bytes currently believed resident.
+    pub fn used(&self) -> u64 {
+        self.inner.lock().used
+    }
+
+    /// Predicts whether a read of `file` (of `size` bytes) would hit: true
+    /// when the model believes the whole file is resident.
+    pub fn predict_resident(&self, file: &str, size: u64) -> bool {
+        let st = self.inner.lock();
+        st.resident.get(file).is_some_and(|&r| r >= size)
+    }
+
+    /// Records that NeST served a read or write of `file` with `size`
+    /// bytes: the kernel will now (most likely) hold it, evicting LRU data.
+    pub fn observe_access(&self, file: &str, size: u64) {
+        let mut st = self.inner.lock();
+        let was_hit = st.resident.get(file).is_some_and(|&r| r >= size);
+        if was_hit {
+            st.hits += 1;
+        } else {
+            st.misses += 1;
+        }
+
+        // A file larger than the whole cache leaves only its tail resident;
+        // model that as "not resident" (predicting a hit for it would be
+        // wrong for a subsequent full-file read).
+        if size > st.capacity {
+            if let Some(old) = st.resident.remove(file) {
+                st.used -= old;
+                st.order.retain(|f| f != file);
+            }
+            // It flushed everything else on its way through.
+            st.resident.clear();
+            st.order.clear();
+            st.used = 0;
+            return;
+        }
+
+        // Refresh or insert this file at the MRU end.
+        if let Some(old) = st.resident.remove(file) {
+            st.used -= old;
+            st.order.retain(|f| f != file);
+        }
+        // Evict from the LRU end until it fits.
+        while st.used + size > st.capacity {
+            let victim = st.order.remove(0);
+            let freed = st.resident.remove(&victim).unwrap_or(0);
+            st.used -= freed;
+        }
+        st.resident.insert(file.to_owned(), size);
+        st.order.push(file.to_owned());
+        st.used += size;
+    }
+
+    /// Invalidates a file (it was deleted or truncated).
+    pub fn invalidate(&self, file: &str) {
+        let mut st = self.inner.lock();
+        if let Some(old) = st.resident.remove(file) {
+            st.used -= old;
+            st.order.retain(|f| f != file);
+        }
+    }
+
+    /// Observed (hits, misses) since creation — the model's own accuracy
+    /// bookkeeping, useful for adaptive tuning and tests.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        let st = self.inner.lock();
+        (st.hits, st.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recently_accessed_files_predicted_resident() {
+        let c = CacheModel::new(1000);
+        c.observe_access("a", 300);
+        assert!(c.predict_resident("a", 300));
+        assert!(!c.predict_resident("b", 1));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let c = CacheModel::new(1000);
+        c.observe_access("a", 400);
+        c.observe_access("b", 400);
+        // Touch a so b becomes LRU.
+        c.observe_access("a", 400);
+        c.observe_access("c", 400); // evicts b
+        assert!(c.predict_resident("a", 400));
+        assert!(!c.predict_resident("b", 400));
+        assert!(c.predict_resident("c", 400));
+        assert_eq!(c.used(), 800);
+    }
+
+    #[test]
+    fn oversized_file_flushes_cache_and_stays_cold() {
+        let c = CacheModel::new(1000);
+        c.observe_access("small", 500);
+        c.observe_access("huge", 5000);
+        assert!(!c.predict_resident("huge", 5000));
+        assert!(!c.predict_resident("small", 500));
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn invalidate_removes_residency() {
+        let c = CacheModel::new(1000);
+        c.observe_access("f", 100);
+        c.invalidate("f");
+        assert!(!c.predict_resident("f", 100));
+        assert_eq!(c.used(), 0);
+        // Invalidating again is a no-op.
+        c.invalidate("f");
+    }
+
+    #[test]
+    fn resize_via_reaccess_updates_bytes() {
+        let c = CacheModel::new(1000);
+        c.observe_access("f", 100);
+        c.observe_access("f", 700); // file grew
+        assert_eq!(c.used(), 700);
+        assert!(c.predict_resident("f", 700));
+        assert!(!c.predict_resident("f", 800));
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let c = CacheModel::new(1000);
+        c.observe_access("a", 100); // miss
+        c.observe_access("a", 100); // hit
+        c.observe_access("b", 100); // miss
+        assert_eq!(c.hit_stats(), (1, 2));
+    }
+
+    #[test]
+    fn exact_fit_works() {
+        let c = CacheModel::new(100);
+        c.observe_access("a", 100);
+        assert!(c.predict_resident("a", 100));
+        c.observe_access("b", 100);
+        assert!(!c.predict_resident("a", 100));
+        assert!(c.predict_resident("b", 100));
+    }
+}

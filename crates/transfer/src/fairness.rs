@@ -1,0 +1,84 @@
+//! Jain's fairness index (paper §7.2, footnote 2).
+//!
+//! For N components each with ratio `x_i` of delivered to desired
+//! allocation, fairness is `(Σx)² / (N · Σx²)`; 1.0 is a perfectly
+//! proportional allocation.
+
+/// Computes Jain's fairness index over allocation ratios.
+///
+/// Returns 1.0 for an empty slice (vacuously fair) and handles all-zero
+/// inputs without dividing by zero.
+///
+/// ```
+/// use nest_transfer::fairness::jain_fairness;
+/// assert_eq!(jain_fairness(&[1.0, 1.0, 1.0, 1.0]), 1.0);
+/// assert_eq!(jain_fairness(&[1.0, 0.0, 0.0, 0.0]), 0.25);
+/// ```
+pub fn jain_fairness(ratios: &[f64]) -> f64 {
+    if ratios.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = ratios.iter().sum();
+    let sum_sq: f64 = ratios.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (ratios.len() as f64 * sum_sq)
+}
+
+/// Convenience: fairness of delivered bandwidths against desired weights.
+/// `delivered[i]` is compared to `desired[i]`; slices must be equal length.
+pub fn jain_fairness_weighted(delivered: &[f64], desired: &[f64]) -> f64 {
+    assert_eq!(delivered.len(), desired.len());
+    let ratios: Vec<f64> = delivered
+        .iter()
+        .zip(desired)
+        .map(|(d, w)| if *w > 0.0 { d / w } else { 0.0 })
+        .collect();
+    jain_fairness(&ratios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_allocation_is_one() {
+        assert!((jain_fairness(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // Any uniform scaling of ratios is still perfectly fair.
+        assert!((jain_fairness(&[2.5, 2.5, 2.5]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_component_is_one() {
+        assert!((jain_fairness(&[0.3]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totally_unfair_approaches_one_over_n() {
+        let f = jain_fairness(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((f - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moderate_skew_between_bounds() {
+        let f = jain_fairness(&[1.0, 1.0, 1.0, 0.5]);
+        assert!(f > 0.25 && f < 1.0);
+    }
+
+    #[test]
+    fn empty_and_zero_are_vacuously_fair() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn weighted_form_matches_manual_ratios() {
+        // delivered 10,20 vs desired 1:2 is perfectly fair.
+        let f = jain_fairness_weighted(&[10.0, 20.0], &[1.0, 2.0]);
+        assert!((f - 1.0).abs() < 1e-12);
+        // delivered equal despite desired 1:2 is not.
+        let f = jain_fairness_weighted(&[10.0, 10.0], &[1.0, 2.0]);
+        assert!(f < 1.0);
+    }
+}

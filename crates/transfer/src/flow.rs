@@ -1,0 +1,314 @@
+//! Flows: the unit of work the transfer manager schedules.
+//!
+//! A flow pumps bytes from a [`DataSource`] to a [`DataSink`] one chunk at a
+//! time. Chunk granularity is what lets the event-model executor interleave
+//! many flows under a scheduling policy, and what makes the stride
+//! scheduler's byte-based accounting exact.
+
+use std::fmt;
+use std::io;
+
+/// Identifies one flow within a transfer manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow-{}", self.0)
+    }
+}
+
+/// A source of bytes (disk file, client socket, another NeST...).
+pub trait DataSource: Send {
+    /// Reads up to `buf.len()` bytes; 0 means end of stream.
+    fn read_chunk(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+}
+
+/// A destination for bytes.
+pub trait DataSink: Send {
+    /// Writes the whole chunk.
+    fn write_chunk(&mut self, data: &[u8]) -> io::Result<()>;
+
+    /// Called once after the final chunk, for sinks that need a commit or
+    /// acknowledgment step.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl DataSource for std::io::Cursor<Vec<u8>> {
+    fn read_chunk(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        io::Read::read(self, buf)
+    }
+}
+
+impl DataSink for Vec<u8> {
+    fn write_chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        self.extend_from_slice(data);
+        Ok(())
+    }
+}
+
+/// Scheduler-visible metadata about a flow.
+#[derive(Debug, Clone)]
+pub struct FlowMeta {
+    /// The flow id.
+    pub id: FlowId,
+    /// Protocol class ("chirp", "gridftp", "http", "nfs", ...). The stride
+    /// scheduler allocates bandwidth between these classes.
+    pub class: String,
+    /// Total bytes expected, when known (None for streaming puts).
+    pub size: Option<u64>,
+    /// Whether the gray-box cache model predicts the data is resident.
+    pub predicted_cached: bool,
+}
+
+impl FlowMeta {
+    /// Creates metadata for a flow of known size.
+    pub fn new(id: FlowId, class: impl Into<String>, size: Option<u64>) -> Self {
+        Self {
+            id,
+            class: class.into(),
+            size,
+            predicted_cached: false,
+        }
+    }
+}
+
+/// The state of one in-progress transfer.
+pub struct Flow {
+    /// Scheduler-visible metadata.
+    pub meta: FlowMeta,
+    source: Box<dyn DataSource>,
+    sink: Box<dyn DataSink>,
+    moved: u64,
+    done: bool,
+    buf: Vec<u8>,
+}
+
+/// Result of advancing a flow by one chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Moved this many bytes; more remain.
+    Moved(usize),
+    /// The source is exhausted and the sink finished; the flow is complete.
+    Finished,
+}
+
+impl Flow {
+    /// Creates a flow with the given chunk size.
+    pub fn new(
+        meta: FlowMeta,
+        source: Box<dyn DataSource>,
+        sink: Box<dyn DataSink>,
+        chunk_size: usize,
+    ) -> Self {
+        Self {
+            meta,
+            source,
+            sink,
+            moved: 0,
+            done: false,
+            buf: vec![0; chunk_size.max(1)],
+        }
+    }
+
+    /// Bytes moved so far.
+    pub fn moved(&self) -> u64 {
+        self.moved
+    }
+
+    /// True once the flow has completed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Moves one chunk from source to sink.
+    pub fn step(&mut self) -> io::Result<StepOutcome> {
+        if self.done {
+            return Ok(StepOutcome::Finished);
+        }
+        let n = self.source.read_chunk(&mut self.buf)?;
+        if n == 0 {
+            self.sink.finish()?;
+            self.done = true;
+            return Ok(StepOutcome::Finished);
+        }
+        self.sink.write_chunk(&self.buf[..n])?;
+        self.moved += n as u64;
+        Ok(StepOutcome::Moved(n))
+    }
+
+    /// Reads a chunk directly from the source, bypassing the sink. Used by
+    /// executors that stage data through an external process.
+    pub fn source_read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.source.read_chunk(buf)
+    }
+
+    /// Writes a chunk directly to the sink, counting it as moved.
+    pub fn sink_write(&mut self, data: &[u8]) -> io::Result<()> {
+        self.sink.write_chunk(data)?;
+        self.moved += data.len() as u64;
+        Ok(())
+    }
+
+    /// Finishes the sink directly and marks the flow done.
+    pub fn sink_finish(&mut self) -> io::Result<()> {
+        self.sink.finish()?;
+        self.done = true;
+        Ok(())
+    }
+
+    /// Pumps the flow to completion (used by the thread-per-flow model).
+    /// Returns total bytes moved.
+    pub fn run_to_completion(&mut self) -> io::Result<u64> {
+        loop {
+            match self.step()? {
+                StepOutcome::Moved(_) => continue,
+                StepOutcome::Finished => return Ok(self.moved),
+            }
+        }
+    }
+}
+
+/// A source producing `len` deterministic pseudo-random-ish bytes; used by
+/// tests and workload generators.
+pub struct PatternSource {
+    remaining: u64,
+    counter: u8,
+}
+
+impl PatternSource {
+    /// Creates a pattern source of the given length.
+    pub fn new(len: u64) -> Self {
+        Self {
+            remaining: len,
+            counter: 0,
+        }
+    }
+}
+
+impl DataSource for PatternSource {
+    fn read_chunk(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.remaining == 0 {
+            return Ok(0);
+        }
+        let n = (buf.len() as u64).min(self.remaining) as usize;
+        for b in &mut buf[..n] {
+            *b = self.counter;
+            self.counter = self.counter.wrapping_add(1);
+        }
+        self.remaining -= n as u64;
+        Ok(n)
+    }
+}
+
+/// A sink that counts bytes and discards them.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    /// Bytes received so far.
+    pub received: u64,
+    /// Whether `finish` has been called.
+    pub finished: bool,
+}
+
+impl DataSink for CountingSink {
+    fn write_chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        self.received += data.len() as u64;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.finished = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(id: u64) -> FlowMeta {
+        FlowMeta::new(FlowId(id), "test", None)
+    }
+
+    #[test]
+    fn flow_moves_all_bytes_in_chunks() {
+        let mut flow = Flow::new(
+            meta(1),
+            Box::new(PatternSource::new(1000)),
+            Box::new(Vec::new()),
+            128,
+        );
+        let mut steps = 0;
+        while let StepOutcome::Moved(n) = flow.step().unwrap() {
+            assert!(n <= 128);
+            steps += 1;
+        }
+        assert_eq!(flow.moved(), 1000);
+        assert_eq!(steps, 8); // ceil(1000/128)
+        assert!(flow.is_done());
+    }
+
+    #[test]
+    fn run_to_completion_returns_total() {
+        let mut flow = Flow::new(
+            meta(2),
+            Box::new(PatternSource::new(5000)),
+            Box::new(Vec::new()),
+            512,
+        );
+        assert_eq!(flow.run_to_completion().unwrap(), 5000);
+        // Stepping a finished flow stays finished.
+        assert_eq!(flow.step().unwrap(), StepOutcome::Finished);
+    }
+
+    #[test]
+    fn pattern_source_content_is_deterministic() {
+        let mut s1 = PatternSource::new(10);
+        let mut s2 = PatternSource::new(10);
+        let mut a = [0u8; 10];
+        let mut b = [0u8; 10];
+        s1.read_chunk(&mut a).unwrap();
+        s2.read_chunk(&mut b).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, [0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn counting_sink_sees_finish() {
+        let mut flow = Flow::new(
+            meta(3),
+            Box::new(PatternSource::new(10)),
+            Box::new(CountingSink::default()),
+            4,
+        );
+        flow.run_to_completion().unwrap();
+        // The sink is boxed inside the flow; verify via moved().
+        assert_eq!(flow.moved(), 10);
+    }
+
+    #[test]
+    fn empty_source_finishes_immediately() {
+        let mut flow = Flow::new(
+            meta(4),
+            Box::new(PatternSource::new(0)),
+            Box::new(Vec::new()),
+            64,
+        );
+        assert_eq!(flow.step().unwrap(), StepOutcome::Finished);
+        assert_eq!(flow.moved(), 0);
+    }
+
+    #[test]
+    fn cursor_and_vec_adapters() {
+        let data = vec![1u8, 2, 3, 4, 5];
+        let mut flow = Flow::new(
+            meta(5),
+            Box::new(std::io::Cursor::new(data.clone())),
+            Box::new(Vec::new()),
+            2,
+        );
+        assert_eq!(flow.run_to_completion().unwrap(), 5);
+    }
+}

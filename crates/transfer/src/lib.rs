@@ -1,0 +1,41 @@
+//! # nest-transfer
+//!
+//! The NeST **transfer manager** (paper §4): "at the heart of data flow
+//! within NeST ... responsible for moving data between disk and network for
+//! a given request. The transfer manager is protocol agnostic."
+//!
+//! * [`flow`] — a transfer is a [`flow::Flow`]: a chunk-oriented pump
+//!   between a [`flow::DataSource`] and a [`flow::DataSink`], tagged with
+//!   its protocol class so schedulers can treat classes differently.
+//! * [`sched`] — pluggable schedulers: FCFS, **proportional-share stride
+//!   scheduling with byte-based strides** (paper §4.2, after Waldspurger &
+//!   Weihl), and **cache-aware** scheduling that serves predicted
+//!   cache-resident files first. Includes the non-work-conserving variant
+//!   the paper says it was "currently implementing".
+//! * [`cache`] — the gray-box buffer-cache model behind cache-aware
+//!   scheduling: an LRU simulation of the kernel page cache.
+//! * [`concurrency`] — the three concurrency models (threads, processes,
+//!   events) behind one executor interface.
+//! * [`adaptive`] — the model selector: "distributing requests among the
+//!   architectures equally at first, monitoring their progress, and then
+//!   slowly biasing requests toward the most effective choice."
+//! * [`manager`] — the [`manager::TransferManager`] façade: admits flows,
+//!   picks a model, applies the scheduling policy, and reports per-class
+//!   statistics.
+//! * [`fairness`] — Jain's fairness index, the metric Figure 4 reports.
+
+pub mod adaptive;
+pub mod cache;
+pub mod concurrency;
+pub mod fairness;
+pub mod flow;
+pub mod manager;
+pub mod sched;
+
+pub use adaptive::AdaptiveSelector;
+pub use cache::CacheModel;
+pub use concurrency::ModelKind;
+pub use fairness::jain_fairness;
+pub use flow::{DataSink, DataSource, Flow, FlowId, FlowMeta};
+pub use manager::{SchedPolicy, TransferManager, TransferStats};
+pub use sched::{CacheAwareScheduler, FcfsScheduler, Scheduler, StrideScheduler};

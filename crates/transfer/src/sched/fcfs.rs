@@ -1,0 +1,94 @@
+//! First-come first-served scheduling — NeST's default (paper §4.2: "the
+//! most basic strategy is to service requests in a first-come, first-served
+//! manner, which NeST can be configured to employ").
+//!
+//! Within the event executor FCFS degenerates to round-robin over admitted
+//! flows in arrival order: the oldest runnable flow always moves next, so a
+//! long file-based transfer (HTTP) monopolizes its quantum stream while
+//! block-based NFS requests — each a separate small flow — wait their turn.
+//! This is exactly the bias Figure 3 observes ("the default transfer
+//! manager within NeST ends up disfavoring NFS since it schedules requests
+//! in a FIFO order").
+
+use super::Scheduler;
+use crate::flow::{FlowId, FlowMeta};
+use std::collections::VecDeque;
+
+/// FIFO scheduler: flows are served in arrival order; the head flow keeps
+/// receiving quanta until it completes.
+#[derive(Debug, Default)]
+pub struct FcfsScheduler {
+    queue: VecDeque<FlowId>,
+}
+
+impl FcfsScheduler {
+    /// Creates an empty FCFS scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for FcfsScheduler {
+    fn admit(&mut self, meta: &FlowMeta) {
+        self.queue.push_back(meta.id);
+    }
+
+    fn next(&mut self) -> Option<FlowId> {
+        self.queue.front().copied()
+    }
+
+    fn account(&mut self, _id: FlowId, _bytes: u64) {
+        // FCFS keeps serving the head; nothing to account.
+    }
+
+    fn done(&mut self, id: FlowId) {
+        self.queue.retain(|f| *f != id);
+    }
+
+    fn runnable(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{drive, meta};
+    use super::*;
+
+    #[test]
+    fn serves_head_until_done() {
+        let mut s = FcfsScheduler::new();
+        s.admit(&meta(1, "http"));
+        s.admit(&meta(2, "nfs"));
+        let delivered = drive(&mut s, 10, 100);
+        assert_eq!(delivered.get(&FlowId(1)), Some(&1000));
+        assert_eq!(delivered.get(&FlowId(2)), None);
+        s.done(FlowId(1));
+        assert_eq!(s.next(), Some(FlowId(2)));
+    }
+
+    #[test]
+    fn arrival_order_preserved() {
+        let mut s = FcfsScheduler::new();
+        for i in 0..5 {
+            s.admit(&meta(i, "x"));
+        }
+        for i in 0..5 {
+            assert_eq!(s.next(), Some(FlowId(i)));
+            s.done(FlowId(i));
+        }
+        assert_eq!(s.next(), None);
+        assert_eq!(s.runnable(), 0);
+    }
+
+    #[test]
+    fn done_mid_queue_removes() {
+        let mut s = FcfsScheduler::new();
+        s.admit(&meta(1, "x"));
+        s.admit(&meta(2, "x"));
+        s.admit(&meta(3, "x"));
+        s.done(FlowId(2));
+        s.done(FlowId(1));
+        assert_eq!(s.next(), Some(FlowId(3)));
+    }
+}

@@ -1,0 +1,72 @@
+//! Transfer scheduling policies (paper §4.2).
+//!
+//! "Because there are likely to be multiple outstanding requests within a
+//! NeST, NeST is able to selectively reorder requests to implement different
+//! scheduling policies."
+//!
+//! A scheduler decides, quantum by quantum, which admitted flow moves its
+//! next chunk. The interface is deliberately free of I/O and wall-clock
+//! time so the same scheduler code runs inside the real event-model
+//! executor and inside the deterministic simulation that regenerates the
+//! paper's figures.
+
+mod cache_aware;
+mod fcfs;
+mod stride;
+
+pub use cache_aware::CacheAwareScheduler;
+pub use fcfs::FcfsScheduler;
+pub use stride::{StrideScheduler, STRIDE1};
+
+use crate::flow::{FlowId, FlowMeta};
+
+/// The scheduling interface.
+///
+/// Protocol: `admit` each new flow; repeatedly call `next` to pick the flow
+/// for the next quantum; after moving bytes, call `account`; when a flow
+/// completes (or fails), call `done`.
+pub trait Scheduler: Send {
+    /// Registers a new runnable flow.
+    fn admit(&mut self, meta: &FlowMeta);
+
+    /// Picks the flow that should move its next chunk. `None` means the
+    /// scheduler chooses to idle (only non-work-conserving schedulers do
+    /// this while flows are runnable; otherwise `None` means no flows).
+    fn next(&mut self) -> Option<FlowId>;
+
+    /// Records that `bytes` moved on behalf of `id`.
+    fn account(&mut self, id: FlowId, bytes: u64);
+
+    /// Removes a completed or aborted flow.
+    fn done(&mut self, id: FlowId);
+
+    /// Number of runnable flows.
+    fn runnable(&self) -> usize;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use crate::flow::FlowMeta;
+
+    pub fn meta(id: u64, class: &str) -> FlowMeta {
+        FlowMeta::new(FlowId(id), class, Some(1 << 20))
+    }
+
+    /// Drives a scheduler for `quanta` rounds with `bytes_per_quantum` per
+    /// pick, returning bytes delivered per flow. Flows never finish.
+    pub fn drive(
+        sched: &mut dyn Scheduler,
+        quanta: usize,
+        bytes_per_quantum: u64,
+    ) -> std::collections::HashMap<FlowId, u64> {
+        let mut delivered = std::collections::HashMap::new();
+        for _ in 0..quanta {
+            if let Some(id) = sched.next() {
+                sched.account(id, bytes_per_quantum);
+                *delivered.entry(id).or_insert(0) += bytes_per_quantum;
+            }
+        }
+        delivered
+    }
+}

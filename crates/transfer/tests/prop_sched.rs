@@ -1,0 +1,165 @@
+//! Property tests on the schedulers: safety invariants under arbitrary
+//! operation sequences, and the stride scheduler's proportional-share
+//! guarantee under saturation.
+
+use nest_transfer::fairness::jain_fairness_weighted;
+use nest_transfer::flow::{FlowId, FlowMeta};
+use nest_transfer::sched::{CacheAwareScheduler, FcfsScheduler, Scheduler, StrideScheduler};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Admit { id: u64, class: u8, cached: bool },
+    Quantum { bytes: u64 },
+    Done { idx: usize },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..64, 0u8..4, any::<bool>()).prop_map(|(id, class, cached)| Op::Admit {
+                id,
+                class,
+                cached
+            }),
+            (1u64..200_000).prop_map(|bytes| Op::Quantum { bytes }),
+            (0usize..64).prop_map(|idx| Op::Done { idx }),
+        ],
+        1..120,
+    )
+}
+
+/// Runs an op sequence against a scheduler, asserting the safety
+/// invariants every step: `next()` only returns admitted, not-yet-done
+/// flows, and `runnable()` equals the live-flow count.
+fn check_invariants(sched: &mut dyn Scheduler, ops: Vec<Op>) -> Result<(), TestCaseError> {
+    let mut live: Vec<FlowId> = Vec::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+    for op in ops {
+        match op {
+            Op::Admit { id, class, cached } => {
+                // Avoid duplicate ids (a caller contract).
+                if !seen.insert(id) {
+                    continue;
+                }
+                let mut meta = FlowMeta::new(FlowId(id), format!("class{}", class), Some(1 << 20));
+                meta.predicted_cached = cached;
+                sched.admit(&meta);
+                live.push(FlowId(id));
+            }
+            Op::Quantum { bytes } => {
+                match sched.next() {
+                    Some(id) => {
+                        prop_assert!(
+                            live.contains(&id),
+                            "scheduler returned {:?} which is not live",
+                            id
+                        );
+                        sched.account(id, bytes);
+                    }
+                    None => {
+                        // Work-conserving schedulers may only idle when no
+                        // flows are runnable.
+                        prop_assert!(
+                            live.is_empty(),
+                            "work-conserving scheduler idled with {} live flows",
+                            live.len()
+                        );
+                    }
+                }
+            }
+            Op::Done { idx } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live.remove(idx % live.len());
+                sched.done(id);
+            }
+        }
+        prop_assert_eq!(sched.runnable(), live.len());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fcfs_invariants(ops in arb_ops()) {
+        check_invariants(&mut FcfsScheduler::new(), ops)?;
+    }
+
+    #[test]
+    fn stride_invariants(ops in arb_ops()) {
+        let mut s = StrideScheduler::new();
+        s.set_tickets("class0", 100);
+        s.set_tickets("class1", 200);
+        s.set_tickets("class2", 300);
+        s.set_tickets("class3", 400);
+        check_invariants(&mut s, ops)?;
+    }
+
+    #[test]
+    fn cache_aware_invariants(ops in arb_ops()) {
+        check_invariants(&mut CacheAwareScheduler::new(), ops)?;
+    }
+
+    /// Under saturation (every class always has a runnable flow), stride
+    /// delivery converges to the ticket ratios for *any* ticket vector.
+    #[test]
+    fn stride_proportionality_for_any_ticket_vector(
+        tickets in prop::collection::vec(1u32..64, 2..5),
+    ) {
+        let mut s = StrideScheduler::new();
+        for (i, t) in tickets.iter().enumerate() {
+            let class = format!("c{}", i);
+            s.set_tickets(&class, *t * 16);
+            s.admit(&FlowMeta::new(FlowId(i as u64), class, Some(u64::MAX)));
+        }
+        let mut delivered = vec![0u64; tickets.len()];
+        // Enough quanta for convergence relative to the ticket magnitudes.
+        for _ in 0..20_000 {
+            let id = s.next().expect("always runnable");
+            s.account(id, 1024);
+            delivered[id.0 as usize] += 1024;
+        }
+        let delivered_f: Vec<f64> = delivered.iter().map(|b| *b as f64).collect();
+        let desired: Vec<f64> = tickets.iter().map(|t| *t as f64).collect();
+        let fairness = jain_fairness_weighted(&delivered_f, &desired);
+        prop_assert!(
+            fairness > 0.97,
+            "fairness {} for tickets {:?}, delivered {:?}",
+            fairness, tickets, delivered
+        );
+    }
+
+    /// The non-work-conserving scheduler never idles longer than its
+    /// budget while work exists.
+    #[test]
+    fn nwc_idle_budget_is_bounded(budget in 1u32..10) {
+        let mut s = StrideScheduler::non_work_conserving(budget);
+        s.set_tickets("present", 100);
+        s.set_tickets("absent", 1000);
+        s.admit(&FlowMeta::new(FlowId(1), "present".to_owned(), Some(1 << 20)));
+        let mut consecutive_idles = 0u32;
+        let mut max_idles = 0u32;
+        for _ in 0..200 {
+            match s.next() {
+                None => {
+                    consecutive_idles += 1;
+                    max_idles = max_idles.max(consecutive_idles);
+                }
+                Some(id) => {
+                    consecutive_idles = 0;
+                    s.account(id, 1024);
+                }
+            }
+        }
+        prop_assert!(
+            max_idles <= budget,
+            "idled {} consecutive quanta with budget {}",
+            max_idles, budget
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! The paper's Section 6 / Figure 2 scenario, end to end with real
+//! servers: a researcher's input data lives at the Madison NeST; a global
+//! execution manager matches a storage request against the discovery
+//! system, reserves a lot at the Argonne NeST over Chirp, stages input
+//! with a GridFTP third-party transfer, runs the "jobs" against Argonne
+//! over NFS, stages the output home, and terminates the reservation — with
+//! the whole pipeline encapsulated in a DAGMan-style request manager.
+//!
+//! ```sh
+//! cargo run --example grid_scenario
+//! ```
+
+use nest::core::config::NestConfig;
+use nest::core::server::NestServer;
+use nest::grid::manager::{ExecutionManager, JobSpec, SiteInfo};
+use nest::grid::{Dag, Discovery};
+use nest::proto::chirp::ChirpClient;
+use nest::proto::gsi::{GridMap, SimCa};
+use std::sync::Mutex;
+
+fn ca() -> SimCa {
+    SimCa::new("Grid-CA", 0xFEED_FACE)
+}
+
+fn start_site(name: &str) -> Result<(NestServer, SiteInfo), Box<dyn std::error::Error>> {
+    let mut gridmap = GridMap::new();
+    gridmap.add("/O=Grid/OU=wisc.edu/CN=Researcher", "researcher");
+    let server = NestServer::start(NestConfig::ephemeral(name).with_gsi(ca(), gridmap))?;
+    server.grant_default_lot("anonymous", 64 << 20, 3600)?;
+    let site = SiteInfo {
+        name: name.to_owned(),
+        chirp: server.chirp_addr.unwrap().to_string(),
+        gridftp: server.gridftp_addr.unwrap().to_string(),
+        nfs: server.nfs_addr.unwrap().to_string(),
+    };
+    Ok((server, site))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two sites, as in Figure 2.
+    let (madison, madison_site) = start_site("madison")?;
+    let (argonne, argonne_site) = start_site("argonne")?;
+    println!("sites up: madison (home), argonne (compute)");
+
+    // The researcher's input data is permanently stored at home.
+    let cred = ca().issue("/O=Grid/OU=wisc.edu/CN=Researcher");
+    let mut home = ChirpClient::connect(&*madison_site.chirp)?;
+    home.authenticate(&cred)?;
+    home.lot_create(32 << 20, 3600)?;
+    let input: Vec<u8> = (0..2_000_000u32).map(|i| (i % 239) as u8).collect();
+    home.mkdir("/experiment")?;
+    home.put_bytes("/experiment/input.dat", &input)?;
+    println!(
+        "staged {} bytes of input at madison:/experiment/input.dat",
+        input.len()
+    );
+
+    // Both sites publish storage ads into the discovery system (step 0:
+    // "previously published both its resource and data availability").
+    let discovery = Discovery::new();
+    for (server, site) in [(&madison, &madison_site), (&argonne, &argonne_site)] {
+        let mut ad = server
+            .dispatcher()
+            .storage_ad(&["chirp", "gridftp", "nfs", "http", "ftp"]);
+        site.annotate(&mut ad);
+        discovery.publish(&site.name, ad);
+    }
+    println!("both sites published ClassAds into the discovery system");
+
+    // The job: checksum the input over NFS and leave the result beside it.
+    let expected: u64 = input.iter().map(|&b| b as u64).sum();
+    let job = JobSpec {
+        name: "checksum".into(),
+        need_space: 8 << 20,
+        lot_duration: 600,
+        stage_in: vec![("/experiment/input.dat".into(), "/scratch/input.dat".into())],
+        stage_out: vec![("/scratch/sum.txt".into(), "/experiment/sum.txt".into())],
+        run: Box::new(move |nfs, root| {
+            let (dir, _) = nfs.lookup(root, "scratch").map_err(|e| e.to_string())?;
+            let (fh, _) = nfs.lookup(dir, "input.dat").map_err(|e| e.to_string())?;
+            let mut data = Vec::new();
+            nfs.read_file(fh, &mut data).map_err(|e| e.to_string())?;
+            let sum: u64 = data.iter().map(|&b| b as u64).sum();
+            println!(
+                "  [job] read {} bytes over NFS, checksum {}",
+                data.len(),
+                sum
+            );
+            nfs.write_file(
+                dir,
+                "sum.txt",
+                &mut std::io::Cursor::new(sum.to_string().into_bytes()),
+            )
+            .map_err(|e| e.to_string())?;
+            Ok(())
+        }),
+    };
+
+    // The execution site needs the /scratch directory before staging.
+    {
+        let mut prep = ChirpClient::connect(&*argonne_site.chirp)?;
+        prep.authenticate(&cred)?;
+        prep.mkdir("/scratch")?;
+    }
+
+    // Encapsulate the scenario in a DAG, as the paper suggests DAGMan
+    // would: run-job is one node; verify-output depends on it.
+    let manager = ExecutionManager::new(discovery, madison_site.clone(), cred.clone());
+    let summary = Mutex::new(None);
+    let mut dag = Dag::new();
+    dag.job("run-job", {
+        let summary = &summary;
+        move || {
+            let s = manager.run_job(job).map_err(|e| e.to_string())?;
+            println!("  [dag] job ran at {:?} under lot {}", s.site, s.lot_id);
+            *summary.lock().unwrap() = Some(s);
+            Ok(())
+        }
+    });
+    dag.job("verify-output", {
+        let chirp_addr = madison_site.chirp.clone();
+        let cred = cred.clone();
+        move || {
+            let mut chirp = ChirpClient::connect(&*chirp_addr).map_err(|e| e.to_string())?;
+            chirp.authenticate(&cred).map_err(|e| e.to_string())?;
+            let out = chirp
+                .get_bytes("/experiment/sum.txt")
+                .map_err(|e| e.to_string())?;
+            let sum: u64 = String::from_utf8_lossy(&out)
+                .parse()
+                .map_err(|_| "bad sum")?;
+            if sum == expected {
+                println!("  [dag] verified output checksum {} at home site", sum);
+                Ok(())
+            } else {
+                Err(format!("checksum mismatch: {} != {}", sum, expected))
+            }
+        }
+    });
+    dag.depends("verify-output", "run-job")?;
+    let order = dag.run()?;
+    println!("DAG completed: {:?}", order);
+
+    let s = summary.into_inner().unwrap().unwrap();
+    assert_eq!(s.site, "argonne");
+    println!(
+        "\nscenario complete: staged {} in / {} out via GridFTP third-party,",
+        s.staged_in, s.staged_out
+    );
+    println!(
+        "job executed over NFS at {}, lot {} terminated.",
+        s.site, s.lot_id
+    );
+
+    madison.shutdown();
+    argonne.shutdown();
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! # nest
+//!
+//! Facade crate for the NeST Grid storage appliance reproduction. Re-exports
+//! every subsystem crate under one roof so examples, integration tests and
+//! downstream users can depend on a single crate.
+//!
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! system inventory and the per-experiment index.
+
+pub use nest_classad as classad;
+pub use nest_core as core;
+pub use nest_grid as grid;
+pub use nest_jbos as jbos;
+pub use nest_proto as proto;
+pub use nest_simenv as simenv;
+pub use nest_storage as storage;
+pub use nest_sunrpc as sunrpc;
+pub use nest_transfer as transfer;

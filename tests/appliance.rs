@@ -1,0 +1,169 @@
+//! Workspace-level integration tests through the `nest` facade crate:
+//! behaviours that span several subsystem crates at once.
+
+use nest::core::config::NestConfig;
+use nest::core::server::NestServer;
+use nest::grid::Discovery;
+use nest::jbos::{JbosFleet, SharedRoot};
+use nest::proto::chirp::ChirpClient;
+use nest::proto::ftp::FtpClient;
+use nest::proto::gridftp::GridFtpClient;
+use nest::proto::gsi::{GridMap, SimCa};
+use nest::proto::http::HttpClient;
+
+fn ca() -> SimCa {
+    SimCa::new("Facade-CA", 0xACE)
+}
+
+fn start(name: &str) -> NestServer {
+    let mut gm = GridMap::new();
+    gm.add("/O=Grid/CN=User", "user");
+    NestServer::start(NestConfig::ephemeral(name).with_gsi(ca(), gm)).unwrap()
+}
+
+#[test]
+fn discovery_matches_live_server_ads() {
+    let server = start("adtest");
+    let discovery = Discovery::new();
+    discovery.publish("adtest", server.dispatcher().storage_ad(&["chirp", "nfs"]));
+
+    let request: nest::classad::ClassAd = r#"[
+        Type = "StorageRequest"; NeedSpace = 1024;
+        Requirements = other.Type == "Storage" &&
+                       member("nfs", other.Protocols) ]"#
+        .parse()
+        .unwrap();
+    let (key, ad) = discovery.best_match(&request).unwrap();
+    assert_eq!(key, "adtest");
+    assert_eq!(ad.eval("Name"), nest::classad::Value::str("adtest"));
+
+    // A request needing a protocol the server lacks does not match.
+    let bad: nest::classad::ClassAd = r#"[
+        Type = "StorageRequest"; NeedSpace = 1024;
+        Requirements = member("afs", other.Protocols) ]"#
+        .parse()
+        .unwrap();
+    assert!(discovery.best_match(&bad).is_none());
+    server.shutdown();
+}
+
+#[test]
+fn nest_and_jbos_serve_equivalent_protocol_surfaces() {
+    // The same client code must work against NeST and against the JBOS
+    // baseline (that equivalence is what makes the Figure 3 comparison
+    // meaningful).
+    let nest_server = start("nest-vs-jbos");
+    nest_server
+        .grant_default_lot("anonymous", 16 << 20, 3600)
+        .unwrap();
+    let fleet = JbosFleet::start(SharedRoot::in_memory()).unwrap();
+
+    let body: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+
+    for (label, http_addr, ftp_addr) in [
+        (
+            "nest",
+            nest_server.http_addr.unwrap(),
+            nest_server.ftp_addr.unwrap(),
+        ),
+        ("jbos", fleet.httpd.addr(), fleet.ftpd.addr()),
+    ] {
+        let mut http = HttpClient::connect(http_addr).unwrap();
+        assert_eq!(http.put_bytes("/x.bin", &body).unwrap(), 201, "{}", label);
+        assert_eq!(http.get_bytes("/x.bin").unwrap(), body, "{}", label);
+
+        let mut ftp = FtpClient::connect(ftp_addr).unwrap();
+        ftp.login("anonymous", "t@").unwrap();
+        assert_eq!(ftp.retr_bytes("/x.bin").unwrap(), body, "{}", label);
+        ftp.quit().unwrap();
+    }
+
+    // The one asymmetry the paper highlights: only NeST has lots.
+    let mut nest_chirp = ChirpClient::connect(nest_server.chirp_addr.unwrap()).unwrap();
+    nest_chirp
+        .authenticate(&ca().issue("/O=Grid/CN=User"))
+        .unwrap();
+    assert!(nest_chirp.lot_create(1 << 20, 60).is_ok());
+    let mut jbos_chirp = ChirpClient::connect(fleet.chirpd.addr()).unwrap();
+    assert!(jbos_chirp.lot_create(1 << 20, 60).is_err());
+
+    fleet.shutdown();
+    nest_server.shutdown();
+}
+
+#[test]
+fn gridftp_third_party_moves_between_nest_and_back() {
+    // Round trip: A → B → A, contents intact, via two third-party legs.
+    let a = start("site-a");
+    let b = start("site-b");
+    a.grant_default_lot("anonymous", 16 << 20, 3600).unwrap();
+    b.grant_default_lot("anonymous", 16 << 20, 3600).unwrap();
+
+    let payload: Vec<u8> = (0..300_000u32).map(|i| (i % 247) as u8).collect();
+    let mut stage = FtpClient::connect(a.ftp_addr.unwrap()).unwrap();
+    stage.login("anonymous", "x").unwrap();
+    stage.stor_bytes("/orig.bin", &payload).unwrap();
+
+    let mut ca_client = GridFtpClient::connect(a.gridftp_addr.unwrap()).unwrap();
+    let mut cb_client = GridFtpClient::connect(b.gridftp_addr.unwrap()).unwrap();
+    ca_client.ftp().login("anonymous", "x").unwrap();
+    cb_client.ftp().login("anonymous", "x").unwrap();
+
+    nest::proto::gridftp::third_party(&mut ca_client, "/orig.bin", &mut cb_client, "/hop.bin")
+        .unwrap();
+    nest::proto::gridftp::third_party(&mut cb_client, "/hop.bin", &mut ca_client, "/back.bin")
+        .unwrap();
+
+    assert_eq!(stage.retr_bytes("/back.bin").unwrap(), payload);
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn lot_expiry_is_best_effort_across_protocols() {
+    // A file written under a lot remains readable after the lot expires
+    // (best-effort) and disappears only when a new lot needs the space —
+    // observable over any protocol.
+    let server = start("expiry");
+    // A tiny appliance: 1 MB total.
+    let dispatcher = server.dispatcher();
+    let _ = dispatcher; // default capacity is large; use the admin path:
+    server.grant_default_lot("anonymous", 600 << 10, 1).unwrap(); // 600 KB, 1 s
+
+    let mut http = HttpClient::connect(server.http_addr.unwrap()).unwrap();
+    let body = vec![5u8; 500 << 10];
+    assert_eq!(http.put_bytes("/stayput.bin", &body).unwrap(), 201);
+
+    // Wait out the lot's one-second duration.
+    std::thread::sleep(std::time::Duration::from_millis(1500));
+
+    // Best-effort: still readable.
+    assert_eq!(http.get_bytes("/stayput.bin").unwrap().len(), body.len());
+
+    // New writes are refused (the only lot is expired).
+    assert_eq!(http.put_bytes("/new.bin", b"x").unwrap(), 507);
+    server.shutdown();
+}
+
+#[test]
+fn simulation_reproduces_paper_shapes() {
+    use nest::simenv::server::{SimModel, SimPolicy};
+    use nest::simenv::{ClientSpec, PlatformProfile, SimServer};
+    use nest::transfer::ModelKind;
+
+    // Figure 3 shape: cheap protocols ~2x the expensive ones.
+    let mut peak = 0.0f64;
+    let mut half = 0.0f64;
+    for (proto, slot) in [("http", &mut peak), ("gridftp", &mut half)] {
+        let clients = ClientSpec::paper_single_protocol(proto);
+        let mut s = SimServer::nest(
+            PlatformProfile::linux_gige(),
+            SimPolicy::Fcfs,
+            SimModel::Fixed(ModelKind::Events),
+        );
+        s.warm_cache(&clients);
+        *slot = s.run(&clients, 5.0).bandwidth(proto);
+    }
+    let ratio = peak / half;
+    assert!(ratio > 1.6 && ratio < 2.6, "peak/half ratio {}", ratio);
+}
