@@ -86,7 +86,7 @@ fn main() {
             "--nfs" => config.ports.nfs = parse_port(val()).unwrap_or_else(|| usage()),
             "--sched" => sched = val().to_owned(),
             "--non-work-conserving" => work_conserving = false,
-            "--per-user" => config = config.with_per_user_scheduling(),
+            "--per-user" => config.sched_class = nest_core::config::SchedClass::User,
             "--tickets" => {
                 for pair in val().split(',') {
                     let Some((class, t)) = pair.split_once('=') else {
@@ -152,7 +152,17 @@ fn main() {
             exit(1);
         });
         let ca = SimCa::new("nestd-ca", ca_secret);
-        config = config.with_gsi(ca, GridMap::parse(&text));
+        config.gsi = Some(nest_proto::gsi::GsiAuthenticator::new(
+            ca,
+            GridMap::parse(&text),
+        ));
+    }
+
+    // nestd assembles the config field by field from flags; validate the
+    // combination the same way the builder would before starting.
+    if let Err(e) = config.validate() {
+        eprintln!("invalid configuration: {}", e);
+        exit(2);
     }
 
     let server = NestServer::start(config).unwrap_or_else(|e| {

@@ -1,9 +1,19 @@
 //! Appliance configuration.
+//!
+//! [`NestConfig`] is assembled through [`NestConfigBuilder`], which
+//! validates the combination before an appliance is built from it:
+//! configurations that cannot work (no name, quota enforcement over zero
+//! capacity, an explicit storage guarantee with lots disabled, two
+//! protocols fighting over one port) are rejected at `build()` time rather
+//! than surfacing as confusing runtime failures.
 
+use nest_obs::Obs;
 use nest_proto::gsi::{GridMap, GsiAuthenticator, SimCa};
 use nest_transfer::manager::{ModelSelection, SchedPolicy};
 use nest_transfer::ModelKind;
+use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// What a transfer's scheduling class is keyed on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +33,40 @@ pub enum BackendKind {
     /// A host directory.
     LocalFs(PathBuf),
 }
+
+/// A configuration rejected by [`NestConfigBuilder::build`] or
+/// [`NestConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The appliance name is empty (it keys the published ClassAd).
+    EmptyName,
+    /// Lot enforcement requires a nonzero managed capacity.
+    NoCapacity,
+    /// An explicit capacity guarantee was requested with lots disabled —
+    /// without lots there is no mechanism to honor the guarantee.
+    CapacityWithoutLots,
+    /// Two protocols were given the same fixed port.
+    DuplicatePort(u16),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptyName => write!(f, "appliance name must be non-empty"),
+            ConfigError::NoCapacity => {
+                write!(f, "lot enforcement requires a nonzero capacity")
+            }
+            ConfigError::CapacityWithoutLots => {
+                write!(f, "an explicit capacity guarantee requires lot enforcement")
+            }
+            ConfigError::DuplicatePort(p) => {
+                write!(f, "two protocols configured on the same port {}", p)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Configuration for one NeST instance.
 pub struct NestConfig {
@@ -54,6 +98,10 @@ pub struct NestConfig {
     pub ports: Ports,
     /// Size of the modelled kernel buffer cache (gray-box cache model).
     pub cache_bytes: u64,
+    /// Observability registry shared with the appliance. `None` makes the
+    /// dispatcher create a private one; pass a registry to read the same
+    /// instruments from outside (tests, embedding monitors).
+    pub obs: Option<Arc<Obs>>,
 }
 
 /// Per-protocol listening ports; `None` disables the protocol.
@@ -70,8 +118,21 @@ pub struct Ports {
     /// NFS RPC port (UDP and TCP).
     pub nfs: Option<u16>,
     /// IBP depot port (None by default: it is the paper's announced
-    /// extension, opt-in via [`NestConfig::with_ibp`]).
+    /// extension, opt-in via [`NestConfigBuilder::ibp`]).
     pub ibp: Option<u16>,
+}
+
+impl Ports {
+    fn all(&self) -> [Option<u16>; 6] {
+        [
+            self.chirp,
+            self.http,
+            self.ftp,
+            self.gridftp,
+            self.nfs,
+            self.ibp,
+        ]
+    }
 }
 
 impl Default for Ports {
@@ -106,11 +167,23 @@ impl Default for NestConfig {
             gsi: None,
             ports: Ports::default(),
             cache_bytes: 256 << 20,
+            obs: None,
         }
     }
 }
 
 impl NestConfig {
+    /// Starts a builder for a named appliance.
+    pub fn builder(name: impl Into<String>) -> NestConfigBuilder {
+        NestConfigBuilder {
+            config: Self {
+                name: name.into(),
+                ..Self::default()
+            },
+            capacity_set: false,
+        }
+    }
+
     /// A named in-memory appliance with all protocols on ephemeral ports —
     /// the configuration tests and examples use.
     pub fn ephemeral(name: &str) -> Self {
@@ -120,39 +193,247 @@ impl NestConfig {
         }
     }
 
+    /// Checks the configuration's internal consistency. `build()` calls
+    /// this; code that assembles a `NestConfig` field by field (e.g. from
+    /// command-line flags) should call it before starting an appliance.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.name.is_empty() {
+            return Err(ConfigError::EmptyName);
+        }
+        if self.enforce_lots && self.capacity == 0 {
+            return Err(ConfigError::NoCapacity);
+        }
+        // Fixed (nonzero) ports must be unique; ephemeral (0) and disabled
+        // ports cannot clash.
+        let mut fixed: Vec<u16> = self
+            .ports
+            .all()
+            .iter()
+            .filter_map(|p| p.filter(|&p| p != 0))
+            .collect();
+        fixed.sort_unstable();
+        for pair in fixed.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(ConfigError::DuplicatePort(pair[0]));
+            }
+        }
+        Ok(())
+    }
+
     /// Attaches a simulated GSI authenticator built from a CA and mapfile.
+    #[deprecated(since = "0.9.0", note = "use NestConfig::builder(..).gsi(..)")]
     pub fn with_gsi(mut self, ca: SimCa, gridmap: GridMap) -> Self {
         self.gsi = Some(GsiAuthenticator::new(ca, gridmap));
         self
     }
 
     /// Disables lot enforcement.
+    #[deprecated(since = "0.9.0", note = "use NestConfig::builder(..).lots(false)")]
     pub fn without_lots(mut self) -> Self {
         self.enforce_lots = false;
         self
     }
 
     /// Uses a fixed concurrency model instead of adaptation.
+    #[deprecated(since = "0.9.0", note = "use NestConfig::builder(..).fixed_model(..)")]
     pub fn with_fixed_model(mut self, model: ModelKind) -> Self {
         self.model = ModelSelection::Fixed(model);
         self
     }
 
     /// Uses a scheduling policy.
+    #[deprecated(since = "0.9.0", note = "use NestConfig::builder(..).sched(..)")]
     pub fn with_sched(mut self, sched: SchedPolicy) -> Self {
         self.sched = sched;
         self
     }
 
     /// Schedules per authenticated user instead of per protocol.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use NestConfig::builder(..).sched_class(SchedClass::User)"
+    )]
     pub fn with_per_user_scheduling(mut self) -> Self {
         self.sched_class = SchedClass::User;
         self
     }
 
     /// Enables the IBP depot listener (ephemeral port).
+    #[deprecated(since = "0.9.0", note = "use NestConfig::builder(..).ibp(true)")]
     pub fn with_ibp(mut self) -> Self {
         self.ports.ibp = Some(0);
         self
+    }
+}
+
+/// Builder for [`NestConfig`]; see the module docs for what
+/// [`NestConfigBuilder::build`] rejects.
+pub struct NestConfigBuilder {
+    config: NestConfig,
+    /// Whether the caller set capacity explicitly (an explicit guarantee
+    /// combined with `lots(false)` is contradictory and rejected).
+    capacity_set: bool,
+}
+
+impl NestConfigBuilder {
+    /// Physical storage backing the appliance.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Total bytes under lot management (the guaranteed-storage pool).
+    pub fn capacity(mut self, bytes: u64) -> Self {
+        self.config.capacity = bytes;
+        self.capacity_set = true;
+        self
+    }
+
+    /// Enables or disables lot enforcement.
+    pub fn lots(mut self, enforce: bool) -> Self {
+        self.config.enforce_lots = enforce;
+        self
+    }
+
+    /// Best-effort lot reclamation policy.
+    pub fn reclaim(mut self, policy: nest_storage::ReclaimPolicy) -> Self {
+        self.config.reclaim = policy;
+        self
+    }
+
+    /// Transfer scheduling policy.
+    pub fn sched(mut self, sched: SchedPolicy) -> Self {
+        self.config.sched = sched;
+        self
+    }
+
+    /// What transfers are classed on (protocol or user).
+    pub fn sched_class(mut self, class: SchedClass) -> Self {
+        self.config.sched_class = class;
+        self
+    }
+
+    /// Concurrency-model selection.
+    pub fn model(mut self, model: ModelSelection) -> Self {
+        self.config.model = model;
+        self
+    }
+
+    /// Uses one fixed concurrency model instead of adaptation.
+    pub fn fixed_model(self, model: ModelKind) -> Self {
+        self.model(ModelSelection::Fixed(model))
+    }
+
+    /// Attaches a simulated GSI authenticator built from a CA and mapfile.
+    pub fn gsi(mut self, ca: SimCa, gridmap: GridMap) -> Self {
+        self.config.gsi = Some(GsiAuthenticator::new(ca, gridmap));
+        self
+    }
+
+    /// Replaces the whole port table.
+    pub fn ports(mut self, ports: Ports) -> Self {
+        self.config.ports = ports;
+        self
+    }
+
+    /// Enables (ephemeral port) or disables the IBP depot listener.
+    pub fn ibp(mut self, enabled: bool) -> Self {
+        self.config.ports.ibp = if enabled { Some(0) } else { None };
+        self
+    }
+
+    /// Size of the modelled kernel buffer cache.
+    pub fn cache_bytes(mut self, bytes: u64) -> Self {
+        self.config.cache_bytes = bytes;
+        self
+    }
+
+    /// Shares an observability registry with the appliance, so callers can
+    /// read its instruments (and register trace sinks) from outside.
+    pub fn obs(mut self, obs: Arc<Obs>) -> Self {
+        self.config.obs = Some(obs);
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<NestConfig, ConfigError> {
+        if self.capacity_set && !self.config.enforce_lots {
+            return Err(ConfigError::CapacityWithoutLots);
+        }
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_validated_config() {
+        let obs = Obs::new();
+        let config = NestConfig::builder("turkey")
+            .capacity(1 << 20)
+            .fixed_model(ModelKind::Events)
+            .sched_class(SchedClass::User)
+            .ibp(true)
+            .obs(Arc::clone(&obs))
+            .build()
+            .unwrap();
+        assert_eq!(config.name, "turkey");
+        assert_eq!(config.capacity, 1 << 20);
+        assert_eq!(config.sched_class, SchedClass::User);
+        assert_eq!(config.ports.ibp, Some(0));
+        assert!(config.obs.is_some());
+        config.validate().unwrap();
+    }
+
+    #[test]
+    fn builder_rejects_empty_name() {
+        assert_eq!(
+            NestConfig::builder("").build().err().unwrap(),
+            ConfigError::EmptyName
+        );
+    }
+
+    #[test]
+    fn builder_rejects_quota_without_capacity() {
+        assert_eq!(
+            NestConfig::builder("n").capacity(0).build().err().unwrap(),
+            ConfigError::NoCapacity
+        );
+    }
+
+    #[test]
+    fn builder_rejects_capacity_with_lots_disabled() {
+        assert_eq!(
+            NestConfig::builder("n")
+                .capacity(1 << 20)
+                .lots(false)
+                .build()
+                .err()
+                .unwrap(),
+            ConfigError::CapacityWithoutLots
+        );
+        // Disabling lots without promising capacity is fine.
+        assert!(NestConfig::builder("n").lots(false).build().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_port_clashes() {
+        let ports = Ports {
+            chirp: Some(9094),
+            http: Some(9094),
+            ..Ports::default()
+        };
+        assert_eq!(
+            NestConfig::builder("n").ports(ports).build().err().unwrap(),
+            ConfigError::DuplicatePort(9094)
+        );
+        // Ephemeral ports (0) never clash.
+        assert!(NestConfig::builder("n")
+            .ports(Ports::default())
+            .build()
+            .is_ok());
     }
 }

@@ -13,11 +13,11 @@
 use crate::config::{BackendKind, NestConfig, SchedClass};
 use crate::procpool::SubprocessLauncher;
 use nest_classad::ClassAd;
+use nest_obs::{Counter, Histogram, Obs};
 use nest_proto::gridftp::{third_party, GridFtpClient};
 use nest_proto::gsi::{AuthError, Credential, GsiAuthenticator};
 use nest_proto::request::{NestError, NestRequest, NestResponse, TransferUrl};
 use nest_storage::acl::{AclEntry, Who};
-use nest_storage::lot::LotError;
 use nest_storage::{
     AclTable, LocalFsBackend, LotId, MemBackend, Principal, StorageBackend, StorageError,
     StorageManager, VPath,
@@ -28,22 +28,57 @@ use nest_transfer::manager::{TransferConfig, TransferManager, TransferStats};
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 
-/// Maps storage-layer failures to the protocol-independent error classes.
-pub fn map_storage_error(e: &StorageError) -> NestError {
-    match e {
-        StorageError::Denied => NestError::Denied,
-        StorageError::Path(_) => NestError::BadRequest,
-        StorageError::Lot(LotError::InsufficientSpace { .. }) => NestError::NoSpace,
-        StorageError::Lot(LotError::NoLot(_)) => NestError::NoSpace,
-        StorageError::Lot(LotError::Expired(_)) => NestError::NoSpace,
-        StorageError::Lot(LotError::NotOwner) => NestError::Denied,
-        StorageError::Lot(LotError::NoSuchLot(_)) => NestError::NotFound,
-        StorageError::Io(e) => match e.kind() {
-            io::ErrorKind::NotFound => NestError::NotFound,
-            io::ErrorKind::AlreadyExists => NestError::Exists,
-            io::ErrorKind::DirectoryNotEmpty | io::ErrorKind::InvalidInput => NestError::Invalid,
-            _ => NestError::Internal,
-        },
+/// Dispatcher-level instruments: request mix and control-plane cost.
+///
+/// Metric names: `dispatch.requests`, `dispatch.errors`,
+/// `dispatch.auth_failures`, `dispatch.op.<verb>`,
+/// `dispatch.cache.predicted_hits` / `.predicted_misses` — counters;
+/// `dispatch.sync_us` — synchronous-request latency histogram.
+struct DispatchMetrics {
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    auth_failures: Arc<Counter>,
+    cache_predicted_hits: Arc<Counter>,
+    cache_predicted_misses: Arc<Counter>,
+    sync_us: Arc<Histogram>,
+}
+
+impl DispatchMetrics {
+    fn new(obs: &Obs) -> Self {
+        let m = &obs.metrics;
+        Self {
+            requests: m.counter("dispatch.requests"),
+            errors: m.counter("dispatch.errors"),
+            auth_failures: m.counter("dispatch.auth_failures"),
+            cache_predicted_hits: m.counter("dispatch.cache.predicted_hits"),
+            cache_predicted_misses: m.counter("dispatch.cache.predicted_misses"),
+            sync_us: m.histogram("dispatch.sync_us"),
+        }
+    }
+}
+
+/// The Chirp verb (or closest equivalent) for a request, keying the
+/// per-operation request-mix counters.
+fn op_name(req: &NestRequest) -> &'static str {
+    match req {
+        NestRequest::Mkdir { .. } => "mkdir",
+        NestRequest::Rmdir { .. } => "rmdir",
+        NestRequest::ListDir { .. } => "ls",
+        NestRequest::Stat { .. } => "stat",
+        NestRequest::Get { .. } => "get",
+        NestRequest::Put { .. } => "put",
+        NestRequest::Delete { .. } => "unlink",
+        NestRequest::Rename { .. } => "rename",
+        NestRequest::LotCreate { .. } => "lot_create",
+        NestRequest::LotCreateGroup { .. } => "lot_create_group",
+        NestRequest::LotRenew { .. } => "lot_renew",
+        NestRequest::LotTerminate { .. } => "lot_terminate",
+        NestRequest::LotStat { .. } => "lot_stat",
+        NestRequest::LotList => "lot_list",
+        NestRequest::SetAcl { .. } => "setacl",
+        NestRequest::GetAcl { .. } => "getacl",
+        NestRequest::ThirdParty { .. } => "third_party",
+        NestRequest::Quit => "quit",
     }
 }
 
@@ -65,6 +100,9 @@ pub struct Dispatcher {
     acl_store: Option<std::path::PathBuf>,
     /// Where lots persist across restarts (disk-backed appliances only).
     lot_store: Option<std::path::PathBuf>,
+    /// Shared observability registry (instruments + tracer).
+    obs: Arc<Obs>,
+    metrics: DispatchMetrics,
 }
 
 impl Dispatcher {
@@ -93,6 +131,7 @@ impl Dispatcher {
             }
             _ => AclTable::open_by_default(),
         };
+        let obs = config.obs.clone().unwrap_or_default();
         let mut storage = StorageManager::new(backend, acl, config.capacity, config.reclaim);
         if !config.enforce_lots {
             storage = storage.with_lots_disabled();
@@ -103,12 +142,15 @@ impl Dispatcher {
                 storage = storage.with_lot_state(&text);
             }
         }
+        let storage = storage.with_obs(&obs);
         let transfers = TransferManager::new(TransferConfig {
             policy: config.sched.clone(),
             model: config.model.clone(),
             chunk_size: 64 * 1024,
             process_launcher: Arc::new(SubprocessLauncher::new()),
+            obs: Some(Arc::clone(&obs)),
         });
+        let metrics = DispatchMetrics::new(&obs);
         Ok(Self {
             name: config.name.clone(),
             storage: Arc::new(storage),
@@ -119,7 +161,23 @@ impl Dispatcher {
             sched_class: config.sched_class,
             acl_store,
             lot_store,
+            obs,
+            metrics,
         })
+    }
+
+    /// The appliance's observability registry.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// One coherent metrics snapshot across every subsystem — the payload
+    /// behind `GET /nest/stats`, the Chirp `stats` command and the
+    /// published ClassAd's measured attributes.
+    pub fn metrics_snapshot(&self) -> nest_obs::MetricsSnapshot {
+        // Occupancy gauges are pull-updated: refresh before reading.
+        self.storage.refresh_gauges();
+        self.obs.snapshot()
     }
 
     /// The scheduling class for a flow: protocol or user, per config.
@@ -152,13 +210,16 @@ impl Dispatcher {
 
     /// Authenticates a GSI credential, returning the mapped principal.
     pub fn authenticate(&self, cred: &Credential) -> Result<Principal, AuthError> {
-        match &self.gsi {
+        let result = match &self.gsi {
             None => Err(AuthError::BadCredential),
-            Some(auth) => {
-                let user = auth.authenticate(cred)?;
-                Ok(self.storage.acl().resolve(&user))
-            }
+            Some(auth) => auth
+                .authenticate(cred)
+                .map(|user| self.storage.acl().resolve(&user)),
+        };
+        if result.is_err() {
+            self.metrics.auth_failures.inc();
         }
+        result
     }
 
     // -- synchronous (storage manager) requests ----------------------------
@@ -167,6 +228,12 @@ impl Dispatcher {
     /// manager, per the paper's control flow. Transfer requests return
     /// `BadRequest` here — handlers must use the transfer entry points.
     pub fn execute_sync(&self, who: &Principal, protocol: &str, req: &NestRequest) -> NestResponse {
+        let start = std::time::Instant::now();
+        self.metrics.requests.inc();
+        self.obs
+            .metrics
+            .counter(&format!("dispatch.op.{}", op_name(req)))
+            .inc();
         let sm = &self.storage;
         let result: Result<NestResponse, StorageError> = (|| {
             Ok(match req {
@@ -256,10 +323,11 @@ impl Dispatcher {
                 | NestRequest::Quit => NestResponse::Error(NestError::BadRequest),
             })
         })();
-        let resp = match result {
-            Ok(resp) => resp,
-            Err(e) => NestResponse::Error(map_storage_error(&e)),
-        };
+        let resp = NestResponse::from_result(result);
+        self.metrics.sync_us.record(start.elapsed());
+        if matches!(resp, NestResponse::Error(_)) {
+            self.metrics.errors.inc();
+        }
         // Lot state changes on lot requests and on deletes/renames (which
         // move or release charges); persist after any of them succeeds.
         if !matches!(resp, NestResponse::Error(_))
@@ -287,13 +355,26 @@ impl Dispatcher {
         protocol: &str,
         path: &str,
     ) -> Result<(VPath, u64, bool), NestError> {
+        self.metrics.requests.inc();
+        self.obs.metrics.counter("dispatch.op.get").inc();
         let vpath = VPath::parse(path).map_err(|_| NestError::BadRequest)?;
         let size = self
             .storage
             .begin_get(who, protocol, &vpath)
-            .map_err(|e| map_storage_error(&e))?;
+            .map_err(|e| self.note_error(NestError::from(&e)))?;
         let cached = self.cache.predict_resident(&vpath.to_string(), size);
+        if cached {
+            self.metrics.cache_predicted_hits.inc();
+        } else {
+            self.metrics.cache_predicted_misses.inc();
+        }
         Ok((vpath, size, cached))
+    }
+
+    /// Counts an admission error before handing it back.
+    fn note_error(&self, e: NestError) -> NestError {
+        self.metrics.errors.inc();
+        e
     }
 
     /// Admits a PUT: checks access, charges lots, creates the file.
@@ -304,10 +385,12 @@ impl Dispatcher {
         path: &str,
         size: Option<u64>,
     ) -> Result<VPath, NestError> {
+        self.metrics.requests.inc();
+        self.obs.metrics.counter("dispatch.op.put").inc();
         let vpath = VPath::parse(path).map_err(|_| NestError::BadRequest)?;
         self.storage
             .begin_put(who, protocol, &vpath, size.unwrap_or(0))
-            .map_err(|e| map_storage_error(&e))?;
+            .map_err(|e| self.note_error(NestError::from(&e)))?;
         Ok(vpath)
     }
 
@@ -375,7 +458,7 @@ impl Dispatcher {
         // Access check (cheap; also feeds lot LRU).
         self.storage
             .begin_get(who, protocol, vpath)
-            .map_err(|e| map_storage_error(&e))?;
+            .map_err(|e| NestError::from(&e))?;
         let meta = FlowMeta::new(
             self.transfers.next_flow_id(),
             self.class_for(who, protocol),
@@ -469,9 +552,29 @@ impl Dispatcher {
 
     // -- resource publication -----------------------------------------------
 
-    /// Builds the storage ad this NeST publishes into a discovery system.
+    /// Builds the storage ad this NeST publishes into a discovery system,
+    /// enriched with measured load attributes so matchmakers can rank
+    /// appliances by observed performance, not just free space:
+    /// `MeasuredBandwidthMBs` (EWMA of delivered MB/s), `ActiveTransfers`
+    /// (in-flight flows) and `LotBytesCommitted` (bytes charged to lots).
     pub fn storage_ad(&self, protocols: &[&str]) -> ClassAd {
-        self.storage.storage_ad(&self.name, protocols)
+        let mut ad = self.storage.storage_ad(&self.name, protocols);
+        let bw_mbs = self
+            .obs
+            .metrics
+            .meter("transfer.bandwidth_bps")
+            .rate_per_sec()
+            / 1e6;
+        ad.insert_value("MeasuredBandwidthMBs", nest_classad::Value::Real(bw_mbs));
+        ad.insert_value(
+            "ActiveTransfers",
+            nest_classad::Value::Int(self.obs.metrics.gauge("transfer.queue_depth").get()),
+        );
+        ad.insert_value(
+            "LotBytesCommitted",
+            nest_classad::Value::Int(self.storage.committed_bytes() as i64),
+        );
+        ad
     }
 
     /// Shuts the transfer engine down after in-flight work completes.

@@ -32,6 +32,14 @@ pub fn handle_conn(dispatcher: &Arc<Dispatcher>, mut stream: TcpStream) -> io::R
             Some(ChirpCommand::Version) => {
                 write_line(&mut stream, "0 nest-chirp/0.9")?;
             }
+            Some(ChirpCommand::Stats) => {
+                // Session-level, like `version`: rendered metrics lines.
+                let text = dispatcher.metrics_snapshot().render_text();
+                let lines: Vec<String> = text.lines().map(str::to_owned).collect();
+                for out in format_response(&NestResponse::OkText(lines)) {
+                    write_line(&mut stream, &out)?;
+                }
+            }
             Some(ChirpCommand::Auth(cred)) => match dispatcher.authenticate(&cred) {
                 Ok(principal) => {
                     let user = principal.user.clone();

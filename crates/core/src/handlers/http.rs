@@ -21,6 +21,15 @@ pub fn handle_conn(dispatcher: &Arc<Dispatcher>, mut stream: TcpStream) -> io::R
             return Ok(());
         };
         match head.method {
+            HttpMethod::Get if head.path == "/nest/stats" => {
+                // The monitoring endpoint: flat `name value` text lines,
+                // served before any storage-manager admission so it works
+                // without a lot and never appears in transfer statistics.
+                let body = dispatcher.metrics_snapshot().render_text();
+                let resp = HttpResponseHead::with_length(200, "OK", body.len() as u64);
+                stream.write_all(render_response_head(&resp).as_bytes())?;
+                stream.write_all(body.as_bytes())?;
+            }
             HttpMethod::Get => {
                 match dispatcher.admit_get(&who, PROTOCOL, &head.path) {
                     Err(NestError::Invalid) => {

@@ -5,7 +5,7 @@
 //! Every READ/WRITE block is routed through the transfer manager as its
 //! own flow, so cross-protocol scheduling policies see NFS traffic.
 
-use crate::dispatcher::{map_storage_error, Dispatcher};
+use crate::dispatcher::Dispatcher;
 use crate::fhtable::FhTable;
 use nest_proto::nfs::types::{FileHandle, NfsAttr, NfsStat};
 use nest_proto::nfs::wire::{
@@ -61,7 +61,7 @@ impl NfsHandler {
             .dispatcher
             .storage()
             .stat(&self.who(), PROTOCOL, path)
-            .map_err(|e| nfs_stat_for(map_storage_error(&e)))?;
+            .map_err(|e| nfs_stat_for(NestError::from(&e)))?;
         let fileid = self.fhs.fileid(path);
         Ok(match st.kind {
             FileKind::File => NfsAttr::file(st.size.min(u32::MAX as u64) as u32, fileid),
@@ -168,12 +168,12 @@ impl NfsHandler {
                 self.dispatcher
                     .storage()
                     .mkdir(&self.who(), PROTOCOL, &path)
-                    .map_err(|e| nfs_stat_for(map_storage_error(&e)))?;
+                    .map_err(|e| nfs_stat_for(NestError::from(&e)))?;
             } else {
                 self.dispatcher
                     .storage()
                     .begin_put(&self.who(), PROTOCOL, &path, 0)
-                    .map_err(|e| nfs_stat_for(map_storage_error(&e)))?;
+                    .map_err(|e| nfs_stat_for(NestError::from(&e)))?;
             }
             let attr = self.attr_for(&path)?;
             Ok::<_, NfsStat>(DirOpRes::ok(self.fhs.handle_for(&path), attr))
@@ -195,7 +195,7 @@ impl NfsHandler {
             } else {
                 sm.remove(&self.who(), PROTOCOL, &path)
             };
-            result.map_err(|e| nfs_stat_for(map_storage_error(&e)))?;
+            result.map_err(|e| nfs_stat_for(NestError::from(&e)))?;
             self.fhs.forget(&path);
             Ok::<_, NfsStat>(NfsStat::Ok)
         })()
@@ -215,7 +215,7 @@ impl NfsHandler {
             self.dispatcher
                 .storage()
                 .rename(&self.who(), PROTOCOL, &from, &to)
-                .map_err(|e| nfs_stat_for(map_storage_error(&e)))?;
+                .map_err(|e| nfs_stat_for(NestError::from(&e)))?;
             self.fhs.rename(&from, &to);
             Ok::<_, NfsStat>(NfsStat::Ok)
         })()
@@ -233,7 +233,7 @@ impl NfsHandler {
                 .dispatcher
                 .storage()
                 .list(&self.who(), PROTOCOL, &dir)
-                .map_err(|e| nfs_stat_for(map_storage_error(&e)))?;
+                .map_err(|e| nfs_stat_for(NestError::from(&e)))?;
             // Cookie = index into the listing (1-based); "." and ".." first.
             let mut all: Vec<(u32, String)> = Vec::with_capacity(names.len() + 2);
             all.push((self.fhs.fileid(&dir), ".".to_owned()));

@@ -39,6 +39,11 @@ impl NestServer {
     /// Starts the appliance: builds the dispatcher and binds every enabled
     /// protocol listener.
     pub fn start(config: NestConfig) -> io::Result<Self> {
+        // Reject inconsistent configurations up front (the builder already
+        // validates; this covers configs assembled field by field).
+        config
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         let dispatcher = Arc::new(Dispatcher::new(&config)?);
         let stop = Arc::new(AtomicBool::new(false));
         let mut threads = Vec::new();
@@ -216,7 +221,13 @@ fn spawn_acceptor(
                     Ok((stream, _peer)) => {
                         let _ = stream.set_nonblocking(false);
                         let d = Arc::clone(&dispatcher);
-                        workers.push(std::thread::spawn(move || handler(d, stream)));
+                        workers.push(std::thread::spawn(move || {
+                            let conns = d.obs().metrics.gauge("server.active_conns");
+                            d.obs().metrics.counter("server.conns_total").inc();
+                            conns.inc();
+                            handler(d, stream);
+                            conns.dec();
+                        }));
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(5));

@@ -21,7 +21,10 @@ fn gridmap() -> GridMap {
 }
 
 fn start_server(name: &str) -> NestServer {
-    let config = NestConfig::ephemeral(name).with_gsi(test_ca(), gridmap());
+    let config = NestConfig::builder(name)
+        .gsi(test_ca(), gridmap())
+        .build()
+        .unwrap();
     NestServer::start(config).expect("server starts")
 }
 
@@ -322,9 +325,11 @@ fn acl_enforced_identically_across_protocols() {
 fn per_user_scheduling_classes_reach_stats() {
     // With per-user scheduling, transfer stats are keyed by user name
     // instead of protocol — the paper's per-user preferences extension.
-    let config = NestConfig::ephemeral("per-user")
-        .with_gsi(test_ca(), gridmap())
-        .with_per_user_scheduling();
+    let config = NestConfig::builder("per-user")
+        .gsi(test_ca(), gridmap())
+        .sched_class(nest_core::config::SchedClass::User)
+        .build()
+        .unwrap();
     let server = NestServer::start(config).unwrap();
     server.grant_default_lot("alice", 1 << 20, 3600).unwrap();
     server
@@ -510,8 +515,11 @@ fn acls_persist_across_restarts_on_disk() {
     let _ = std::fs::remove_file(dir.with_extension("acls"));
 
     let start_disk = |name: &str| {
-        let mut config = NestConfig::ephemeral(name).with_gsi(test_ca(), gridmap());
-        config.backend = nest_core::config::BackendKind::LocalFs(dir.clone());
+        let config = NestConfig::builder(name)
+            .gsi(test_ca(), gridmap())
+            .backend(nest_core::config::BackendKind::LocalFs(dir.clone()))
+            .build()
+            .unwrap();
         NestServer::start(config).unwrap()
     };
 
@@ -552,9 +560,11 @@ fn ibp_depot_over_the_wire_and_lots_contrast() {
     // the file namespace that lots govern.
     use nest_proto::ibp::{IbpClient, Reliability};
 
-    let config = NestConfig::ephemeral("ibp-e2e")
-        .with_gsi(test_ca(), gridmap())
-        .with_ibp();
+    let config = NestConfig::builder("ibp-e2e")
+        .gsi(test_ca(), gridmap())
+        .ibp(true)
+        .build()
+        .unwrap();
     let server = NestServer::start(config).unwrap();
 
     let mut ibp = IbpClient::connect(server.ibp_addr.unwrap()).unwrap();
@@ -594,9 +604,12 @@ fn lots_persist_across_restarts_on_disk() {
     let _ = std::fs::remove_file(dir.with_extension("acls"));
 
     let start_disk = |name: &str| {
-        let mut config = NestConfig::ephemeral(name).with_gsi(test_ca(), gridmap());
-        config.backend = nest_core::config::BackendKind::LocalFs(dir.clone());
-        config.capacity = 1 << 20;
+        let config = NestConfig::builder(name)
+            .gsi(test_ca(), gridmap())
+            .backend(nest_core::config::BackendKind::LocalFs(dir.clone()))
+            .capacity(1 << 20)
+            .build()
+            .unwrap();
         NestServer::start(config).unwrap()
     };
 

@@ -19,7 +19,11 @@ fn gridmap() -> GridMap {
 }
 
 fn start(name: &str) -> (NestServer, SiteInfo) {
-    let server = NestServer::start(NestConfig::ephemeral(name).with_gsi(ca(), gridmap())).unwrap();
+    let config = NestConfig::builder(name)
+        .gsi(ca(), gridmap())
+        .build()
+        .unwrap();
+    let server = NestServer::start(config).unwrap();
     // Anonymous lot backs the GridFTP/NFS data paths at each site.
     server
         .grant_default_lot("anonymous", 64 << 20, 3600)

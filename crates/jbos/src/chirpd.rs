@@ -55,6 +55,11 @@ fn serve(root: &SharedRoot, mut stream: TcpStream) -> io::Result<()> {
         }
         match parse_command(&line) {
             Some(ChirpCommand::Version) => write_line(&mut stream, "0 jbos-chirpd/0.9")?,
+            Some(ChirpCommand::Stats) => {
+                // The bag-of-services ensemble has no shared metrics
+                // registry (compare: NeST's integrated snapshot).
+                write_line(&mut stream, "0 0")?;
+            }
             Some(ChirpCommand::Auth(_)) => {
                 // The standalone server trusts everyone (compare: NeST
                 // verifies against a CA and grid-mapfile).

@@ -1,0 +1,307 @@
+//! Naming, lookup, and snapshotting of metric instruments.
+//!
+//! Hot paths hold `Arc` handles to their instruments; the registry's
+//! `RwLock` is touched only at registration time and when a snapshot is
+//! taken, so steady-state metric updates never contend on it.
+
+use crate::metrics::{Counter, EwmaMeter, Gauge, Histogram};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// A point-in-time value of one instrument.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter value.
+    Count(u64),
+    /// Instantaneous gauge level.
+    Level(i64),
+    /// Smoothed rate, units per second.
+    Rate(f64),
+    /// Latency distribution summary (microseconds).
+    Latency {
+        /// Number of samples.
+        count: u64,
+        /// Mean in microseconds.
+        mean_us: f64,
+        /// Approximate median (bucket upper bound).
+        p50_us: u64,
+        /// Approximate 99th percentile (bucket upper bound).
+        p99_us: u64,
+        /// Largest observed sample.
+        max_us: u64,
+    },
+}
+
+impl MetricValue {
+    /// The value as `u64` when it is integral (count/level); `None` for
+    /// rates and latency summaries.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            MetricValue::Count(v) => Some(*v),
+            MetricValue::Level(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` for scalar kinds; `None` for latency summaries.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            MetricValue::Count(v) => Some(*v as f64),
+            MetricValue::Level(v) => Some(*v as f64),
+            MetricValue::Rate(v) => Some(*v),
+            MetricValue::Latency { .. } => None,
+        }
+    }
+}
+
+/// A consistent, ordered view of every registered instrument.
+///
+/// Rendered as stable `name value` text lines by
+/// [`MetricsSnapshot::render_text`]; latency summaries expand into
+/// `.count` / `.mean_us` / `.p50_us` / `.p99_us` / `.max_us` suffixed
+/// lines so the text form is a flat key space.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Instrument name → value, sorted by name.
+    pub values: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up one instrument.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.values.get(name)
+    }
+
+    /// Convenience: integral value of `name`, or 0 when absent.
+    pub fn count(&self, name: &str) -> u64 {
+        self.get(name).and_then(MetricValue::as_u64).unwrap_or(0)
+    }
+
+    /// Convenience: float value of `name`, or 0.0 when absent.
+    pub fn value(&self, name: &str) -> f64 {
+        self.get(name).and_then(MetricValue::as_f64).unwrap_or(0.0)
+    }
+
+    /// Convenience: sample count of the latency summary `name`, or 0 when
+    /// absent or not a latency metric.
+    pub fn latency_count(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Latency { count, .. }) => *count,
+            _ => 0,
+        }
+    }
+
+    /// Renders the flat `name value` text form (one instrument per line,
+    /// sorted; rates with 3 decimals).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.values {
+            match v {
+                MetricValue::Count(n) => writeln!(out, "{} {}", name, n).unwrap(),
+                MetricValue::Level(n) => writeln!(out, "{} {}", name, n).unwrap(),
+                MetricValue::Rate(r) => writeln!(out, "{} {:.3}", name, r).unwrap(),
+                MetricValue::Latency {
+                    count,
+                    mean_us,
+                    p50_us,
+                    p99_us,
+                    max_us,
+                } => {
+                    // Alphabetical suffix order keeps the whole rendering
+                    // sorted line-by-line.
+                    writeln!(out, "{}.count {}", name, count).unwrap();
+                    writeln!(out, "{}.max_us {}", name, max_us).unwrap();
+                    writeln!(out, "{}.mean_us {:.1}", name, mean_us).unwrap();
+                    writeln!(out, "{}.p50_us {}", name, p50_us).unwrap();
+                    writeln!(out, "{}.p99_us {}", name, p99_us).unwrap();
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the text form back into `name → f64` pairs (used by clients
+    /// and the end-to-end tests; latency summaries come back as their
+    /// expanded flat keys).
+    pub fn parse_text(text: &str) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some((name, value)) = line.rsplit_once(' ') {
+                if let Ok(v) = value.parse::<f64>() {
+                    out.insert(name.to_owned(), v);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct Instruments {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    meters: BTreeMap<String, Arc<EwmaMeter>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// Names instruments and produces snapshots.
+///
+/// `counter`/`gauge`/`meter`/`histogram` are get-or-create: calling twice
+/// with the same name yields handles to the same instrument, so
+/// independent subsystems can share an instrument by convention.
+#[derive(Default)]
+pub struct Registry {
+    inner: RwLock<Instruments>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handle to the counter named `name` (created on first use).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.inner.read().counters.get(name) {
+            return Arc::clone(c);
+        }
+        let mut w = self.inner.write();
+        Arc::clone(
+            w.counters
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Handle to the gauge named `name` (created on first use).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.inner.read().gauges.get(name) {
+            return Arc::clone(g);
+        }
+        let mut w = self.inner.write();
+        Arc::clone(
+            w.gauges
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Handle to the EWMA meter named `name` (created on first use).
+    pub fn meter(&self, name: &str) -> Arc<EwmaMeter> {
+        if let Some(m) = self.inner.read().meters.get(name) {
+            return Arc::clone(m);
+        }
+        let mut w = self.inner.write();
+        Arc::clone(
+            w.meters
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(EwmaMeter::default())),
+        )
+    }
+
+    /// Handle to the latency histogram named `name` (created on first use).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.inner.read().histograms.get(name) {
+            return Arc::clone(h);
+        }
+        let mut w = self.inner.write();
+        Arc::clone(
+            w.histograms
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// A consistent, ordered snapshot of every instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let r = self.inner.read();
+        let mut values = BTreeMap::new();
+        for (name, c) in &r.counters {
+            values.insert(name.clone(), MetricValue::Count(c.get()));
+        }
+        for (name, g) in &r.gauges {
+            values.insert(name.clone(), MetricValue::Level(g.get()));
+        }
+        for (name, m) in &r.meters {
+            values.insert(name.clone(), MetricValue::Rate(m.rate_per_sec()));
+        }
+        for (name, h) in &r.histograms {
+            values.insert(
+                name.clone(),
+                MetricValue::Latency {
+                    count: h.count(),
+                    mean_us: h.mean_us(),
+                    p50_us: h.quantile_us(0.50),
+                    p99_us: h.quantile_us(0.99),
+                    max_us: h.max_us(),
+                },
+            );
+        }
+        MetricsSnapshot { values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_shares_instruments() {
+        let r = Registry::new();
+        r.counter("a.ops").inc();
+        r.counter("a.ops").add(2);
+        assert_eq!(r.counter("a.ops").get(), 3);
+        r.gauge("a.depth").set(7);
+        assert_eq!(r.gauge("a.depth").get(), 7);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("z.count").add(5);
+        r.gauge("a.level").set(-2);
+        r.histogram("m.lat").record_us(100);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.values.keys().map(String::as_str).collect();
+        assert_eq!(names, vec!["a.level", "m.lat", "z.count"]);
+        assert_eq!(snap.count("z.count"), 5);
+        assert_eq!(snap.value("a.level"), -2.0);
+        assert!(matches!(
+            snap.get("m.lat"),
+            Some(MetricValue::Latency { count: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_scalars() {
+        let r = Registry::new();
+        r.counter("bytes.total").add(4096);
+        r.gauge("queue.depth").set(3);
+        r.histogram("op.lat").record_us(50);
+        let text = r.snapshot().render_text();
+        let parsed = MetricsSnapshot::parse_text(&text);
+        assert_eq!(parsed["bytes.total"], 4096.0);
+        assert_eq!(parsed["queue.depth"], 3.0);
+        assert_eq!(parsed["op.lat.count"], 1.0);
+        assert!(parsed.contains_key("op.lat.p99_us"));
+        // Stable line order: sorted by name.
+        let lines: Vec<&str> = text.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+    }
+
+    #[test]
+    fn parse_text_skips_garbage() {
+        let parsed =
+            MetricsSnapshot::parse_text("# comment\n\nnot-a-metric\nx 1.5\ny notanumber\n");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed["x"], 1.5);
+    }
+}

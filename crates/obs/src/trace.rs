@@ -1,0 +1,221 @@
+//! A lightweight span/tracing facility with a pluggable sink.
+//!
+//! A [`Span`] times a region of code and carries a few key/value tags;
+//! when it drops (or [`Span::finish`] is called) the completed
+//! [`SpanRecord`] is handed to whatever [`SpanSink`] is installed on the
+//! [`Tracer`]. With no sink installed, spans cost one `Instant::now()` and
+//! a relaxed load — cheap enough to leave enabled on request paths.
+
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A completed span: name, wall-clock duration, and tags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (e.g. `"dispatch.get"`).
+    pub name: String,
+    /// Elapsed wall time in microseconds.
+    pub elapsed_us: u64,
+    /// Key/value tags attached while the span was open.
+    pub tags: Vec<(String, String)>,
+}
+
+/// Receives completed spans. Implementations must be cheap and
+/// non-blocking; they run inline on the instrumented path.
+pub trait SpanSink: Send + Sync {
+    /// Consumes one completed span.
+    fn record(&self, span: SpanRecord);
+}
+
+/// A sink that buffers spans in memory; intended for tests and for the
+/// simple "recent activity" views.
+#[derive(Default)]
+pub struct CollectingSink {
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl CollectingSink {
+    /// Creates an empty collecting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drains and returns everything recorded so far.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut self.spans.lock())
+    }
+
+    /// Number of spans currently buffered.
+    pub fn len(&self) -> usize {
+        self.spans.lock().len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SpanSink for CollectingSink {
+    fn record(&self, span: SpanRecord) {
+        self.spans.lock().push(span);
+    }
+}
+
+/// Hands out spans and routes completed ones to the installed sink.
+#[derive(Default)]
+pub struct Tracer {
+    sink: RwLock<Option<Arc<dyn SpanSink>>>,
+    // Fast-path flag mirroring `sink.is_some()` so span completion can
+    // skip the lock entirely when tracing is off.
+    enabled: AtomicBool,
+}
+
+impl Tracer {
+    /// Creates a tracer with no sink installed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or, with `None`, removes) the sink receiving completed
+    /// spans.
+    pub fn set_sink(&self, sink: Option<Arc<dyn SpanSink>>) {
+        self.enabled.store(sink.is_some(), Ordering::Release);
+        *self.sink.write() = sink;
+    }
+
+    /// True when a sink is installed.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Opens a span named `name`; it reports when dropped or finished.
+    pub fn span(&self, name: impl Into<String>) -> Span<'_> {
+        Span {
+            tracer: self,
+            name: name.into(),
+            start: Instant::now(),
+            tags: Vec::new(),
+            done: false,
+        }
+    }
+
+    fn complete(&self, record: SpanRecord) {
+        if !self.is_enabled() {
+            return;
+        }
+        if let Some(sink) = self.sink.read().as_ref() {
+            sink.record(record);
+        }
+    }
+}
+
+/// An open, timed region of code. Reports to the tracer's sink on drop.
+pub struct Span<'a> {
+    tracer: &'a Tracer,
+    name: String,
+    start: Instant,
+    tags: Vec<(String, String)>,
+    done: bool,
+}
+
+impl Span<'_> {
+    /// Attaches a key/value tag (no-op when tracing is disabled).
+    pub fn tag(&mut self, key: impl Into<String>, value: impl ToString) {
+        if self.tracer.is_enabled() {
+            self.tags.push((key.into(), value.to_string()));
+        }
+    }
+
+    /// Microseconds elapsed since the span opened.
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Ends the span now, reporting it to the sink.
+    pub fn finish(mut self) {
+        self.complete();
+    }
+
+    fn complete(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        self.tracer.complete(SpanRecord {
+            name: std::mem::take(&mut self.name),
+            elapsed_us: self.elapsed_us(),
+            tags: std::mem::take(&mut self.tags),
+        });
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.complete();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_reach_the_sink() {
+        let tracer = Tracer::new();
+        let sink = Arc::new(CollectingSink::new());
+        tracer.set_sink(Some(sink.clone()));
+
+        {
+            let mut s = tracer.span("op.read");
+            s.tag("path", "/data/a");
+        } // drop reports
+        tracer.span("op.write").finish();
+
+        let spans = sink.take();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "op.read");
+        assert_eq!(
+            spans[0].tags,
+            vec![("path".to_owned(), "/data/a".to_owned())]
+        );
+        assert_eq!(spans[1].name, "op.write");
+    }
+
+    #[test]
+    fn no_sink_means_no_buffering_cost() {
+        let tracer = Tracer::new();
+        assert!(!tracer.is_enabled());
+        let mut s = tracer.span("quiet");
+        s.tag("k", "v"); // ignored while disabled
+        drop(s); // must not panic or block
+    }
+
+    #[test]
+    fn sink_can_be_swapped_at_runtime() {
+        let tracer = Tracer::new();
+        let a = Arc::new(CollectingSink::new());
+        let b = Arc::new(CollectingSink::new());
+        tracer.set_sink(Some(a.clone()));
+        tracer.span("one").finish();
+        tracer.set_sink(Some(b.clone()));
+        tracer.span("two").finish();
+        tracer.set_sink(None);
+        tracer.span("three").finish();
+        assert_eq!(a.take().len(), 1);
+        assert_eq!(b.take().len(), 1);
+        assert!(!tracer.is_enabled());
+    }
+
+    #[test]
+    fn finish_then_drop_reports_once() {
+        let tracer = Tracer::new();
+        let sink = Arc::new(CollectingSink::new());
+        tracer.set_sink(Some(sink.clone()));
+        let s = tracer.span("once");
+        s.finish();
+        assert_eq!(sink.take().len(), 1);
+    }
+}

@@ -158,6 +158,15 @@ impl ChirpClient {
         Ok(out)
     }
 
+    /// Fetches the server's metrics snapshot: flat `name value` text lines
+    /// (the same rendering `GET /nest/stats` serves over HTTP).
+    pub fn stats(&mut self) -> Result<Vec<String>, ChirpError> {
+        write_line(&mut self.stream, "stats")?;
+        let st = self.read_status()?;
+        self.expect_ok(&st)?;
+        self.read_lines(&st)
+    }
+
     /// Creates a directory.
     pub fn mkdir(&mut self, path: &str) -> Result<(), ChirpError> {
         let st = self.send(&NestRequest::Mkdir { path: path.into() })?;

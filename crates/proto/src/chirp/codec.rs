@@ -14,6 +14,10 @@ pub enum ChirpCommand {
     Version,
     /// GSI authentication handshake.
     Auth(Credential),
+    /// Metrics snapshot request ("what is this appliance doing, and how
+    /// fast?"). Session-level, like `version`: it never reaches the
+    /// storage or transfer managers.
+    Stats,
     /// A common request.
     Request(NestRequest),
 }
@@ -36,6 +40,7 @@ pub fn parse_command(line: &str) -> Option<ChirpCommand> {
     let args: Vec<&str> = parts.collect();
     let req = match (verb.as_str(), args.as_slice()) {
         ("version", []) => return Some(ChirpCommand::Version),
+        ("stats", []) => return Some(ChirpCommand::Stats),
         ("auth", ["gsi", rest @ ..]) if rest.len() == 2 => {
             let cred = Credential::from_wire(&format!("{} {}", rest[0], rest[1]))?;
             return Some(ChirpCommand::Auth(cred));
@@ -280,6 +285,8 @@ mod tests {
     #[test]
     fn version_and_unknown() {
         assert_eq!(parse_command("version"), Some(ChirpCommand::Version));
+        assert_eq!(parse_command("stats"), Some(ChirpCommand::Stats));
+        assert_eq!(parse_command("stats extra"), None);
         assert_eq!(parse_command("frobnicate /x"), None);
         assert_eq!(parse_command(""), None);
         assert_eq!(parse_command("put /f notanumber"), None);

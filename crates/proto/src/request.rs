@@ -114,6 +114,20 @@ pub enum NestResponse {
     Error(NestError),
 }
 
+impl NestResponse {
+    /// Collapses a fallible handler computation into a response: `Ok`
+    /// passes through, the error converts via `Into<NestError>`. This is
+    /// the single funnel through which layer-specific failures (storage,
+    /// authentication) become wire-visible error classes, so handlers can
+    /// use `?` internally and convert exactly once at the edge.
+    pub fn from_result<E: Into<NestError>>(result: Result<NestResponse, E>) -> NestResponse {
+        match result {
+            Ok(resp) => resp,
+            Err(e) => NestResponse::Error(e.into()),
+        }
+    }
+}
+
 /// Protocol-independent error classes; each codec maps these to its wire
 /// representation (HTTP status, FTP reply code, NFS stat, Chirp code).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,6 +160,15 @@ impl fmt::Display for NestError {
             NestError::Internal => "internal error",
         };
         write!(f, "{}", s)
+    }
+}
+
+/// Authentication failures are always reported as `Denied`: the wire
+/// protocols deliberately do not distinguish "bad credential" from
+/// "unmapped subject" (that would leak mapfile contents to probers).
+impl From<crate::gsi::AuthError> for NestError {
+    fn from(_: crate::gsi::AuthError) -> Self {
+        NestError::Denied
     }
 }
 
@@ -293,6 +316,26 @@ mod tests {
         assert!("chirp://host:badport/p".parse::<TransferUrl>().is_err());
         assert!("://host:1/p".parse::<TransferUrl>().is_err());
         assert!("chirp://:1/p".parse::<TransferUrl>().is_err());
+    }
+
+    #[test]
+    fn from_result_funnels_errors() {
+        let ok: Result<NestResponse, NestError> = Ok(NestResponse::OkSize(9));
+        assert_eq!(NestResponse::from_result(ok), NestResponse::OkSize(9));
+        let err: Result<NestResponse, NestError> = Err(NestError::NoSpace);
+        assert_eq!(
+            NestResponse::from_result(err),
+            NestResponse::Error(NestError::NoSpace)
+        );
+        // Auth failures collapse to Denied without leaking the cause.
+        assert_eq!(
+            NestError::from(crate::gsi::AuthError::BadCredential),
+            NestError::Denied
+        );
+        assert_eq!(
+            NestError::from(crate::gsi::AuthError::Unmapped),
+            NestError::Denied
+        );
     }
 
     #[test]

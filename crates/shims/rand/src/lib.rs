@@ -1,0 +1,207 @@
+//! Workspace-local stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this shim provides the
+//! small surface the workspace uses: [`random`], [`thread_rng`], and an
+//! [`Rng`] trait with `gen`/`gen_range`/`gen_bool`. The generator is a
+//! SplitMix64/xorshift-style PRNG seeded from the system clock and a
+//! per-thread counter — statistically fine for capability nonces, jitter
+//! and tests; **not** cryptographically secure.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Types that can be produced by [`random`] / [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws a uniformly distributed value from `rng`.
+    fn draw(rng: &mut ThreadRng) -> Self;
+}
+
+/// Types usable as `gen_range` bounds.
+pub trait SampleRange: Sized {
+    /// Draws uniformly from `[range.start, range.end)`.
+    fn sample(range: Range<Self>, rng: &mut ThreadRng) -> Self;
+}
+
+/// The random-number-generator trait (subset).
+pub trait Rng {
+    /// Raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized;
+
+    /// A value uniform in `[range.start, range.end)`.
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized;
+
+    /// True with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized;
+}
+
+/// A per-thread PRNG handle.
+pub struct ThreadRng {
+    state: u64,
+}
+
+impl ThreadRng {
+    fn mix(mut z: u64) -> u64 {
+        // SplitMix64 finalizer.
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Rng for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        Self::mix(self.state)
+    }
+
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample(range, self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let x: f64 = self.gen();
+        x < p
+    }
+}
+
+impl Drop for ThreadRng {
+    fn drop(&mut self) {
+        // Persist the advanced state so successive thread_rng() handles on
+        // the same thread do not repeat sequences.
+        THREAD_STATE.with(|s| s.set(self.state));
+    }
+}
+
+thread_local! {
+    static THREAD_STATE: Cell<u64> = Cell::new(initial_seed());
+}
+
+fn initial_seed() -> u64 {
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0xDEAD_BEEF);
+    // Mix in a per-thread address so simultaneous threads diverge.
+    let tid = &nanos as *const _ as u64;
+    ThreadRng::mix(nanos ^ tid.rotate_left(32))
+}
+
+/// Returns the calling thread's RNG handle.
+pub fn thread_rng() -> ThreadRng {
+    ThreadRng {
+        state: THREAD_STATE.with(|s| s.get()),
+    }
+}
+
+/// A uniformly distributed random value (like `rand::random`).
+pub fn random<T: Standard>() -> T {
+    thread_rng().gen()
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw(rng: &mut ThreadRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+        impl SampleRange for $t {
+            fn sample(range: Range<Self>, rng: &mut ThreadRng) -> Self {
+                assert!(range.start < range.end, "empty gen_range");
+                let span = (range.end as u128).wrapping_sub(range.start as u128) as u128;
+                let r = ((rng.next_u64() as u128) % span) as $t;
+                range.start.wrapping_add(r)
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn draw(rng: &mut ThreadRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut ThreadRng) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for f32 {
+    fn draw(rng: &mut ThreadRng) -> Self {
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl SampleRange for f64 {
+    fn sample(range: Range<Self>, rng: &mut ThreadRng) -> Self {
+        let unit: f64 = f64::draw(rng);
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_values_vary() {
+        let a: u64 = random();
+        let b: u64 = random();
+        let c: u64 = random();
+        assert!(a != b || b != c, "constant RNG output");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = thread_rng();
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let f = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = thread_rng();
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = thread_rng();
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn successive_handles_continue_sequence() {
+        let a: u64 = random();
+        let b: u64 = random();
+        assert_ne!(a, b);
+    }
+}

@@ -14,10 +14,12 @@ use crate::backend::{FileKind, FileStat, StorageBackend};
 use crate::lot::{Evicted, Lot, LotError, LotId, LotManager, LotOwner, ReclaimPolicy};
 use crate::namespace::{PathError, VPath};
 use nest_classad::{ClassAd, Value};
+use nest_obs::{Counter, Gauge, Histogram, Obs};
+use nest_proto::request::NestError;
 use std::fmt;
 use std::io;
 use std::sync::Arc;
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// Errors surfaced to protocol handlers.
 #[derive(Debug)]
@@ -63,6 +65,38 @@ impl From<io::Error> for StorageError {
     }
 }
 
+/// Maps storage-layer failures onto the protocol-independent error
+/// classes. Living here (rather than as a free function in the
+/// dispatcher) means every caller — dispatcher, NFS handler, tests — gets
+/// the same mapping through plain `?` / `.into()` conversion.
+impl From<&StorageError> for NestError {
+    fn from(e: &StorageError) -> Self {
+        match e {
+            StorageError::Denied => NestError::Denied,
+            StorageError::Path(_) => NestError::BadRequest,
+            StorageError::Lot(LotError::InsufficientSpace { .. }) => NestError::NoSpace,
+            StorageError::Lot(LotError::NoLot(_)) => NestError::NoSpace,
+            StorageError::Lot(LotError::Expired(_)) => NestError::NoSpace,
+            StorageError::Lot(LotError::NotOwner) => NestError::Denied,
+            StorageError::Lot(LotError::NoSuchLot(_)) => NestError::NotFound,
+            StorageError::Io(e) => match e.kind() {
+                io::ErrorKind::NotFound => NestError::NotFound,
+                io::ErrorKind::AlreadyExists => NestError::Exists,
+                io::ErrorKind::DirectoryNotEmpty | io::ErrorKind::InvalidInput => {
+                    NestError::Invalid
+                }
+                _ => NestError::Internal,
+            },
+        }
+    }
+}
+
+impl From<StorageError> for NestError {
+    fn from(e: StorageError) -> Self {
+        (&e).into()
+    }
+}
+
 /// A convenience result alias.
 pub type Result<T> = std::result::Result<T, StorageError>;
 
@@ -80,6 +114,50 @@ pub fn system_clock() -> Clock {
     })
 }
 
+/// Instrument handles for the storage layer, obtained once at
+/// construction so the hot path never touches the registry map.
+///
+/// Metric catalog (all under `storage.`):
+/// * `storage.meta_us` — latency histogram for synchronous metadata
+///   operations (mkdir/rmdir/list/stat/remove/rename).
+/// * `storage.read_us` / `storage.write_us` — backend chunk I/O latency.
+/// * `storage.denied` — ACL denials.
+/// * `storage.reclaim.events` / `storage.reclaim.files` — best-effort lot
+///   reclamation passes and the files they evicted.
+/// * `storage.lot.capacity_bytes` / `.guaranteed_bytes` /
+///   `.committed_bytes` / `.count` — lot occupancy gauges, refreshed by
+///   [`StorageManager::refresh_gauges`].
+struct StorageMetrics {
+    meta_us: Arc<Histogram>,
+    read_us: Arc<Histogram>,
+    write_us: Arc<Histogram>,
+    denied: Arc<Counter>,
+    reclaim_events: Arc<Counter>,
+    reclaim_files: Arc<Counter>,
+    lot_capacity: Arc<Gauge>,
+    lot_guaranteed: Arc<Gauge>,
+    lot_committed: Arc<Gauge>,
+    lot_count: Arc<Gauge>,
+}
+
+impl StorageMetrics {
+    fn new(obs: &Obs) -> Self {
+        let m = &obs.metrics;
+        Self {
+            meta_us: m.histogram("storage.meta_us"),
+            read_us: m.histogram("storage.read_us"),
+            write_us: m.histogram("storage.write_us"),
+            denied: m.counter("storage.denied"),
+            reclaim_events: m.counter("storage.reclaim.events"),
+            reclaim_files: m.counter("storage.reclaim.files"),
+            lot_capacity: m.gauge("storage.lot.capacity_bytes"),
+            lot_guaranteed: m.gauge("storage.lot.guaranteed_bytes"),
+            lot_committed: m.gauge("storage.lot.committed_bytes"),
+            lot_count: m.gauge("storage.lot.count"),
+        }
+    }
+}
+
 /// The storage manager.
 pub struct StorageManager {
     backend: Arc<dyn StorageBackend>,
@@ -91,6 +169,8 @@ pub struct StorageManager {
     enforce_lots: bool,
     /// Kept so persisted lot state can be restored with the same policy.
     reclaim_policy: ReclaimPolicy,
+    /// Instrument handles; `None` runs fully uninstrumented.
+    metrics: Option<StorageMetrics>,
 }
 
 impl StorageManager {
@@ -109,7 +189,17 @@ impl StorageManager {
             clock: system_clock(),
             enforce_lots: true,
             reclaim_policy: policy,
+            metrics: None,
         }
+    }
+
+    /// Registers this manager's instruments on an observability domain.
+    /// The handles are resolved once; steady-state updates are plain
+    /// atomics.
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.metrics = Some(StorageMetrics::new(obs));
+        self.refresh_gauges();
+        self
     }
 
     /// Restores lot state from a [`LotManager::snapshot`] taken by a
@@ -158,6 +248,33 @@ impl StorageManager {
         (self.clock)()
     }
 
+    /// Total bytes currently charged against lots (the ad's
+    /// `LotBytesCommitted`).
+    pub fn committed_bytes(&self) -> u64 {
+        self.lots.all_lots().iter().map(|l| l.used).sum()
+    }
+
+    /// Refreshes the lot-occupancy gauges from the lot manager. Cheap
+    /// enough to call before every snapshot and after every lot mutation;
+    /// a no-op when the manager is uninstrumented.
+    pub fn refresh_gauges(&self) {
+        let Some(m) = &self.metrics else {
+            return;
+        };
+        let now = self.now();
+        m.lot_capacity.set(self.lots.total_capacity() as i64);
+        m.lot_guaranteed.set(self.lots.guaranteed(now) as i64);
+        m.lot_committed.set(self.committed_bytes() as i64);
+        m.lot_count.set(self.lots.all_lots().len() as i64);
+    }
+
+    /// Records a metadata-operation latency sample.
+    fn note_meta(&self, start: Instant) {
+        if let Some(m) = &self.metrics {
+            m.meta_us.record(start.elapsed());
+        }
+    }
+
     fn authorize(
         &self,
         who: &Principal,
@@ -169,6 +286,9 @@ impl StorageManager {
         if self.acl.check(who, right, path, &request_ad(protocol, op)) {
             Ok(())
         } else {
+            if let Some(m) = &self.metrics {
+                m.denied.inc();
+            }
             Err(StorageError::Denied)
         }
     }
@@ -179,48 +299,93 @@ impl StorageManager {
             // means the client deleted it first.
             let _ = self.backend.remove(path);
         }
+        if let Some(m) = &self.metrics {
+            if !evicted.files.is_empty() {
+                m.reclaim_events.inc();
+                m.reclaim_files.add(evicted.files.len() as u64);
+            }
+        }
+        self.refresh_gauges();
     }
 
     // -- directory / metadata operations (executed synchronously) ---------
 
     /// Creates a directory.
     pub fn mkdir(&self, who: &Principal, protocol: &str, path: &VPath) -> Result<()> {
-        self.authorize(who, AccessRight::Insert, path, protocol, "mkdir")?;
-        Ok(self.backend.mkdir(path)?)
+        let t = Instant::now();
+        let r = (|| {
+            self.authorize(who, AccessRight::Insert, path, protocol, "mkdir")?;
+            Ok(self.backend.mkdir(path)?)
+        })();
+        self.note_meta(t);
+        r
     }
 
     /// Removes an empty directory.
     pub fn rmdir(&self, who: &Principal, protocol: &str, path: &VPath) -> Result<()> {
-        self.authorize(who, AccessRight::Delete, path, protocol, "rmdir")?;
-        Ok(self.backend.rmdir(path)?)
+        let t = Instant::now();
+        let r = (|| {
+            self.authorize(who, AccessRight::Delete, path, protocol, "rmdir")?;
+            Ok(self.backend.rmdir(path)?)
+        })();
+        self.note_meta(t);
+        r
     }
 
     /// Lists a directory.
     pub fn list(&self, who: &Principal, protocol: &str, path: &VPath) -> Result<Vec<String>> {
-        self.authorize(who, AccessRight::Lookup, path, protocol, "list")?;
-        let mut names = self.backend.list(path)?;
-        names.sort();
-        Ok(names)
+        let t = Instant::now();
+        let r = (|| {
+            self.authorize(who, AccessRight::Lookup, path, protocol, "list")?;
+            let mut names = self.backend.list(path)?;
+            names.sort();
+            Ok(names)
+        })();
+        self.note_meta(t);
+        r
     }
 
     /// Stats a path.
     pub fn stat(&self, who: &Principal, protocol: &str, path: &VPath) -> Result<FileStat> {
-        self.authorize(who, AccessRight::Lookup, path, protocol, "stat")?;
-        Ok(self.backend.stat(path)?)
+        let t = Instant::now();
+        let r = (|| {
+            self.authorize(who, AccessRight::Lookup, path, protocol, "stat")?;
+            Ok(self.backend.stat(path)?)
+        })();
+        self.note_meta(t);
+        r
     }
 
     /// Deletes a file, releasing its lot charges.
     pub fn remove(&self, who: &Principal, protocol: &str, path: &VPath) -> Result<()> {
-        self.authorize(who, AccessRight::Delete, path, protocol, "remove")?;
-        self.backend.remove(path)?;
-        if self.enforce_lots {
-            self.lots.release_file(path);
-        }
-        Ok(())
+        let t = Instant::now();
+        let r = (|| {
+            self.authorize(who, AccessRight::Delete, path, protocol, "remove")?;
+            self.backend.remove(path)?;
+            if self.enforce_lots {
+                self.lots.release_file(path);
+            }
+            Ok(())
+        })();
+        self.note_meta(t);
+        r
     }
 
     /// Renames a file or directory, carrying lot charges with it.
     pub fn rename(&self, who: &Principal, protocol: &str, from: &VPath, to: &VPath) -> Result<()> {
+        let t = Instant::now();
+        let r = self.rename_inner(who, protocol, from, to);
+        self.note_meta(t);
+        r
+    }
+
+    fn rename_inner(
+        &self,
+        who: &Principal,
+        protocol: &str,
+        from: &VPath,
+        to: &VPath,
+    ) -> Result<()> {
         self.authorize(who, AccessRight::Delete, from, protocol, "rename")?;
         self.authorize(who, AccessRight::Insert, to, protocol, "rename")?;
         self.backend.rename(from, to)?;
@@ -326,12 +491,22 @@ impl StorageManager {
                 }
             }
         }
-        Ok(self.backend.write_at(path, offset, data)?)
+        let t = Instant::now();
+        let r = self.backend.write_at(path, offset, data);
+        if let Some(m) = &self.metrics {
+            m.write_us.record(t.elapsed());
+        }
+        Ok(r?)
     }
 
     /// Reads a chunk during an admitted transfer.
     pub fn read_chunk(&self, path: &VPath, offset: u64, buf: &mut [u8]) -> Result<usize> {
-        Ok(self.backend.read_at(path, offset, buf)?)
+        let t = Instant::now();
+        let r = self.backend.read_at(path, offset, buf);
+        if let Some(m) = &self.metrics {
+            m.read_us.record(t.elapsed());
+        }
+        Ok(r?)
     }
 
     fn charged_bytes(&self, path: &VPath) -> u64 {
@@ -709,6 +884,68 @@ mod tests {
         assert!(sm
             .get_acl(&Principal::user("carol"), "chirp", &vp("/x"))
             .is_ok());
+    }
+
+    #[test]
+    fn storage_errors_map_to_protocol_classes() {
+        use crate::namespace::PathError;
+        let cases: Vec<(StorageError, NestError)> = vec![
+            (StorageError::Denied, NestError::Denied),
+            (
+                StorageError::Path(PathError::Escapes),
+                NestError::BadRequest,
+            ),
+            (
+                StorageError::Lot(LotError::NoLot("ghost".into())),
+                NestError::NoSpace,
+            ),
+            (StorageError::Lot(LotError::NotOwner), NestError::Denied),
+            (
+                StorageError::Lot(LotError::NoSuchLot(LotId(9))),
+                NestError::NotFound,
+            ),
+            (
+                StorageError::Io(io::Error::from(io::ErrorKind::NotFound)),
+                NestError::NotFound,
+            ),
+            (
+                StorageError::Io(io::Error::from(io::ErrorKind::AlreadyExists)),
+                NestError::Exists,
+            ),
+            (
+                StorageError::Io(io::Error::from(io::ErrorKind::InvalidInput)),
+                NestError::Invalid,
+            ),
+            (
+                StorageError::Io(io::Error::from(io::ErrorKind::Other)),
+                NestError::Internal,
+            ),
+        ];
+        for (se, ne) in cases {
+            assert_eq!(NestError::from(&se), ne, "{:?}", se);
+        }
+    }
+
+    #[test]
+    fn instrumented_manager_reports_latencies_and_occupancy() {
+        let obs = nest_obs::Obs::new();
+        let sm = open_manager(10_000).with_obs(&obs);
+        let who = alice();
+        sm.lot_create(&who, 4_000, 3600).unwrap();
+        sm.begin_put(&who, "chirp", &vp("/f"), 1_000).unwrap();
+        sm.write_chunk(&who, &vp("/f"), 0, &[1; 1_000]).unwrap();
+        let mut buf = [0u8; 16];
+        sm.read_chunk(&vp("/f"), 0, &mut buf).unwrap();
+        sm.stat(&who, "chirp", &vp("/f")).unwrap();
+        sm.refresh_gauges();
+        let snap = obs.snapshot();
+        assert_eq!(snap.count("storage.lot.capacity_bytes"), 10_000);
+        assert_eq!(snap.count("storage.lot.guaranteed_bytes"), 4_000);
+        assert_eq!(snap.count("storage.lot.committed_bytes"), 1_000);
+        assert_eq!(snap.count("storage.lot.count"), 1);
+        assert!(snap.latency_count("storage.meta_us") >= 1);
+        assert!(snap.latency_count("storage.read_us") >= 1);
+        assert!(snap.latency_count("storage.write_us") >= 1);
     }
 
     #[test]

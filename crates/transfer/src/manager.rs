@@ -17,6 +17,7 @@ use crate::concurrency::{
 use crate::flow::{DataSink, DataSource, Flow, FlowId, FlowMeta, StepOutcome};
 use crate::sched::{CacheAwareScheduler, FcfsScheduler, Scheduler, StrideScheduler};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use nest_obs::{Counter, EwmaMeter, Gauge, Histogram, Obs};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
@@ -60,6 +61,9 @@ pub struct TransferConfig {
     pub chunk_size: usize,
     /// Launcher for the process model.
     pub process_launcher: SharedProcessLauncher,
+    /// Observability registry; `None` leaves the engine uninstrumented
+    /// (zero overhead on the data path).
+    pub obs: Option<Arc<Obs>>,
 }
 
 impl Default for TransferConfig {
@@ -73,7 +77,66 @@ impl Default for TransferConfig {
             ]),
             chunk_size: 64 * 1024,
             process_launcher: Arc::new(EmulatedProcessLauncher::default()),
+            obs: None,
         }
+    }
+}
+
+/// Instrument handles owned by the engine thread (paper §5: "what is this
+/// appliance doing, and how fast is it doing it?").
+///
+/// Metric names:
+///   `transfer.bytes_total`, `transfer.completed`, `transfer.failures`,
+///   `transfer.model.switches` — counters;
+///   `transfer.bandwidth_bps` — EWMA meter of delivered bytes/sec;
+///   `transfer.queue_depth` — gauge of in-flight flows (event + external);
+///   `transfer.sched.pass_us`, `transfer.latency_us` — histograms;
+///   `transfer.class.<class>.bytes` / `.bandwidth_bps` — per-class pairs,
+///   created lazily on first completion for the class.
+struct EngineMetrics {
+    obs: Arc<Obs>,
+    bytes_total: Arc<Counter>,
+    completed: Arc<Counter>,
+    failures: Arc<Counter>,
+    model_switches: Arc<Counter>,
+    bandwidth: Arc<EwmaMeter>,
+    queue_depth: Arc<Gauge>,
+    sched_pass_us: Arc<Histogram>,
+    latency_us: Arc<Histogram>,
+    /// Per-class instrument cache; avoids registry lookups per completion.
+    class_instruments: HashMap<String, (Arc<Counter>, Arc<EwmaMeter>)>,
+}
+
+impl EngineMetrics {
+    fn new(obs: Arc<Obs>) -> Self {
+        let m = &obs.metrics;
+        Self {
+            bytes_total: m.counter("transfer.bytes_total"),
+            completed: m.counter("transfer.completed"),
+            failures: m.counter("transfer.failures"),
+            model_switches: m.counter("transfer.model.switches"),
+            bandwidth: m.meter("transfer.bandwidth_bps"),
+            queue_depth: m.gauge("transfer.queue_depth"),
+            sched_pass_us: m.histogram("transfer.sched.pass_us"),
+            latency_us: m.histogram("transfer.latency_us"),
+            class_instruments: HashMap::new(),
+            obs,
+        }
+    }
+
+    fn class(&mut self, class: &str) -> &(Arc<Counter>, Arc<EwmaMeter>) {
+        if !self.class_instruments.contains_key(class) {
+            let bytes = self
+                .obs
+                .metrics
+                .counter(&format!("transfer.class.{}.bytes", class));
+            let bw = self
+                .obs
+                .metrics
+                .meter(&format!("transfer.class.{}.bandwidth_bps", class));
+            self.class_instruments.insert(class.to_owned(), (bytes, bw));
+        }
+        &self.class_instruments[class]
     }
 }
 
@@ -241,6 +304,10 @@ struct Engine {
     stats: Arc<Mutex<TransferStats>>,
     outstanding_external: usize,
     shutting_down: bool,
+    metrics: Option<EngineMetrics>,
+    /// Model chosen for the previous submission; a change is an
+    /// adaptive-switch event worth counting.
+    last_model: Option<ModelKind>,
 }
 
 impl Engine {
@@ -285,6 +352,16 @@ impl Engine {
             stats,
             outstanding_external: 0,
             shutting_down: false,
+            metrics: config.obs.map(EngineMetrics::new),
+            last_model: None,
+        }
+    }
+
+    /// In-flight flows across both the event engine and external models.
+    fn note_queue_depth(&self) {
+        if let Some(m) = &self.metrics {
+            m.queue_depth
+                .set((self.event_flows.len() + self.outstanding_external) as i64);
         }
     }
 
@@ -315,7 +392,15 @@ impl Engine {
                 while let Ok(msg) = self.rx.try_recv() {
                     self.handle(msg);
                 }
-                self.step_events();
+                if self.metrics.is_some() {
+                    let t = Instant::now();
+                    self.step_events();
+                    if let Some(m) = &self.metrics {
+                        m.sched_pass_us.record(t.elapsed());
+                    }
+                } else {
+                    self.step_events();
+                }
             }
         }
     }
@@ -329,6 +414,12 @@ impl Engine {
                     (Some(sel), None) => sel.choose(),
                     (None, None) => ModelKind::Events,
                 };
+                if let Some(m) = &self.metrics {
+                    if self.last_model.is_some_and(|prev| prev != model) {
+                        m.model_switches.inc();
+                    }
+                }
+                self.last_model = Some(model);
                 match model {
                     ModelKind::Events => {
                         // Rebuffer to the engine's chunk size.
@@ -364,6 +455,7 @@ impl Engine {
                         );
                     }
                 }
+                self.note_queue_depth();
             }
         }
     }
@@ -432,6 +524,20 @@ impl Engine {
                 stats.failures += 1;
             }
         }
+        if let Some(m) = &mut self.metrics {
+            m.bytes_total.add(completion.bytes);
+            m.bandwidth.mark(completion.bytes);
+            m.latency_us.record(completion.elapsed);
+            if completion.result.is_ok() {
+                m.completed.inc();
+            } else {
+                m.failures.inc();
+            }
+            let (class_bytes, class_bw) = m.class(&completion.meta.class);
+            class_bytes.add(completion.bytes);
+            class_bw.mark(completion.bytes);
+        }
+        self.note_queue_depth();
         let bytes = completion.bytes;
         let _ = respond.send(completion.result.map(|_| bytes));
     }
@@ -483,6 +589,52 @@ mod tests {
             assert_eq!(stats.classes["chirp"].bytes, 100_000);
             tm.shutdown();
         }
+    }
+
+    #[test]
+    fn instrumented_engine_reports_bytes_and_per_class_bandwidth() {
+        let obs = Obs::new();
+        let tm = TransferManager::new(TransferConfig {
+            model: ModelSelection::Fixed(ModelKind::Events),
+            obs: Some(Arc::clone(&obs)),
+            ..TransferConfig::default()
+        });
+        let mut handles = submit_n(&tm, 3, "http", 100_000);
+        handles.extend(submit_n(&tm, 1, "chirp", 50_000));
+        for h in handles {
+            h.wait().unwrap();
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.count("transfer.bytes_total"), 350_000);
+        assert_eq!(snap.count("transfer.completed"), 4);
+        assert_eq!(snap.count("transfer.failures"), 0);
+        assert_eq!(snap.count("transfer.class.http.bytes"), 300_000);
+        assert_eq!(snap.count("transfer.class.chirp.bytes"), 50_000);
+        // Recent completions drive the EWMA meters above zero.
+        assert!(snap.value("transfer.bandwidth_bps") > 0.0);
+        assert!(snap.value("transfer.class.http.bandwidth_bps") > 0.0);
+        assert!(snap.latency_count("transfer.latency_us") == 4);
+        assert!(snap.latency_count("transfer.sched.pass_us") >= 1);
+        // All flows drained: the queue-depth gauge has returned to zero.
+        assert_eq!(snap.count("transfer.queue_depth"), 0);
+        tm.shutdown();
+    }
+
+    #[test]
+    fn model_switches_are_counted_in_adaptive_mode() {
+        let obs = Obs::new();
+        let tm = TransferManager::new(TransferConfig {
+            model: ModelSelection::Adaptive(vec![ModelKind::Events, ModelKind::Threads]),
+            obs: Some(Arc::clone(&obs)),
+            ..TransferConfig::default()
+        });
+        // The adaptive warmup round-robins across models, so consecutive
+        // submissions are guaranteed to alternate at least once.
+        for h in submit_n(&tm, 6, "ftp", 32 * 1024) {
+            h.wait().unwrap();
+        }
+        assert!(obs.snapshot().count("transfer.model.switches") >= 1);
+        tm.shutdown();
     }
 
     #[test]

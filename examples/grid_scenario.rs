@@ -25,7 +25,7 @@ fn ca() -> SimCa {
 fn start_site(name: &str) -> Result<(NestServer, SiteInfo), Box<dyn std::error::Error>> {
     let mut gridmap = GridMap::new();
     gridmap.add("/O=Grid/OU=wisc.edu/CN=Researcher", "researcher");
-    let server = NestServer::start(NestConfig::ephemeral(name).with_gsi(ca(), gridmap))?;
+    let server = NestServer::start(NestConfig::builder(name).gsi(ca(), gridmap).build()?)?;
     server.grant_default_lot("anonymous", 64 << 20, 3600)?;
     let site = SiteInfo {
         name: name.to_owned(),

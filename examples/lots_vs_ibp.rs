@@ -27,9 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut gridmap = GridMap::new();
     gridmap.add("/O=Grid/CN=User", "user");
     let server = NestServer::start(
-        NestConfig::ephemeral("lots-vs-ibp")
-            .with_gsi(ca.clone(), gridmap)
-            .with_ibp(),
+        NestConfig::builder("lots-vs-ibp")
+            .gsi(ca.clone(), gridmap)
+            .ibp(true)
+            .build()?,
     )?;
 
     // ---- Claim 1: lots hold *files* in a namespace; IBP holds byte arrays.

@@ -22,12 +22,13 @@ use nest::transfer::ModelKind;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Proportional share: Chirp gets twice HTTP's bandwidth.
-    let config = NestConfig::ephemeral("multi")
-        .with_sched(SchedPolicy::Proportional {
+    let config = NestConfig::builder("multi")
+        .sched(SchedPolicy::Proportional {
             tickets: vec![("chirp".into(), 200), ("http".into(), 100)],
             work_conserving: true,
         })
-        .with_fixed_model(ModelKind::Events);
+        .fixed_model(ModelKind::Events)
+        .build()?;
     let server = NestServer::start(config)?;
     server.grant_default_lot("anonymous", 256 << 20, 3600)?;
     println!("appliance up with 2:1 chirp:http proportional scheduling\n");

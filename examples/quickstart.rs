@@ -18,8 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Start the appliance: in-memory storage, every protocol on an
     // ephemeral loopback port.
-    let server =
-        NestServer::start(NestConfig::ephemeral("quickstart").with_gsi(ca.clone(), gridmap))?;
+    let server = NestServer::start(
+        NestConfig::builder("quickstart")
+            .gsi(ca.clone(), gridmap)
+            .build()?,
+    )?;
     println!("NeST is up:");
     println!("  chirp   {}", server.chirp_addr.unwrap());
     println!("  http    {}", server.http_addr.unwrap());

@@ -11,6 +11,7 @@ pub use nest_classad as classad;
 pub use nest_core as core;
 pub use nest_grid as grid;
 pub use nest_jbos as jbos;
+pub use nest_obs as obs;
 pub use nest_proto as proto;
 pub use nest_simenv as simenv;
 pub use nest_storage as storage;

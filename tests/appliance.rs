@@ -18,7 +18,8 @@ fn ca() -> SimCa {
 fn start(name: &str) -> NestServer {
     let mut gm = GridMap::new();
     gm.add("/O=Grid/CN=User", "user");
-    NestServer::start(NestConfig::ephemeral(name).with_gsi(ca(), gm)).unwrap()
+    let config = NestConfig::builder(name).gsi(ca(), gm).build().unwrap();
+    NestServer::start(config).unwrap()
 }
 
 #[test]

@@ -1,0 +1,81 @@
+//! The same metrics snapshot must be visible on every monitoring surface:
+//! `GET /nest/stats`, the Chirp `stats` command, and the shared [`Obs`]
+//! registry handed in through the config builder ("what is this appliance
+//! doing, and how fast is it doing it?").
+
+use nest::core::config::NestConfig;
+use nest::core::server::NestServer;
+use nest::obs::{MetricsSnapshot, Obs};
+use nest::proto::chirp::ChirpClient;
+use nest::proto::http::HttpClient;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[test]
+fn http_and_chirp_stats_agree_after_workload() {
+    let obs = Obs::new();
+    let config = NestConfig::builder("stats-e2e")
+        .obs(Arc::clone(&obs))
+        .build()
+        .unwrap();
+    let server = NestServer::start(config).unwrap();
+    server
+        .grant_default_lot("anonymous", 16 << 20, 3600)
+        .unwrap();
+
+    // Move some bytes: one PUT and one GET of 200 000 bytes over HTTP.
+    let body: Vec<u8> = (0..200_000u32).map(|i| (i % 233) as u8).collect();
+    let mut http = HttpClient::connect(server.http_addr.unwrap()).unwrap();
+    assert_eq!(http.put_bytes("/w.bin", &body).unwrap(), 201);
+    assert_eq!(http.get_bytes("/w.bin").unwrap(), body);
+
+    // Surface 1: the HTTP monitoring endpoint.
+    let text = String::from_utf8(http.get_bytes("/nest/stats").unwrap()).unwrap();
+    let via_http: BTreeMap<String, f64> = MetricsSnapshot::parse_text(&text);
+
+    // Surface 2: the Chirp session-level `stats` command.
+    let mut chirp = ChirpClient::connect(server.chirp_addr.unwrap()).unwrap();
+    let lines = chirp.stats().unwrap();
+    let via_chirp: BTreeMap<String, f64> = MetricsSnapshot::parse_text(&lines.join("\n"));
+
+    // The transfer layer saw the PUT and the GET (>= 400 000 bytes), and
+    // both surfaces report the identical count: stats reads themselves are
+    // not transfers, so the counter is stable between the two reads.
+    let total = via_http["transfer.bytes_total"];
+    assert!(total >= 400_000.0, "transfer.bytes_total = {}", total);
+    assert_eq!(total, via_chirp["transfer.bytes_total"]);
+    assert_eq!(
+        via_http["transfer.class.http.bytes"],
+        via_chirp["transfer.class.http.bytes"]
+    );
+
+    // Per-layer highlights on the rendered form.
+    assert!(via_http["dispatch.op.put"] >= 1.0);
+    assert!(via_http["dispatch.op.get"] >= 1.0);
+    assert_eq!(via_http["storage.lot.committed_bytes"], 200_000.0);
+    assert_eq!(via_http["storage.lot.count"], 1.0);
+    assert!(via_http["transfer.latency_us.count"] >= 2.0);
+    assert!(via_http["server.conns_total"] >= 1.0);
+
+    // Surface 3: the registry passed through the builder is the same one
+    // the appliance writes to — embedders need no endpoint at all.
+    let snap = obs.snapshot();
+    assert_eq!(snap.count("transfer.bytes_total") as f64, total);
+
+    server.shutdown();
+}
+
+#[test]
+fn stats_endpoint_needs_no_lot() {
+    // The monitoring endpoint must answer even when nothing else works:
+    // no lot has been granted, so a data PUT would be refused.
+    let server = NestServer::start(NestConfig::builder("bare").build().unwrap()).unwrap();
+    let mut http = HttpClient::connect(server.http_addr.unwrap()).unwrap();
+    assert_eq!(http.put_bytes("/refused.bin", b"x").unwrap(), 507);
+    let text = String::from_utf8(http.get_bytes("/nest/stats").unwrap()).unwrap();
+    let stats = MetricsSnapshot::parse_text(&text);
+    // The refused PUT is visible as a dispatcher error.
+    assert!(stats["dispatch.errors"] >= 1.0);
+    assert_eq!(stats["transfer.bytes_total"], 0.0);
+    server.shutdown();
+}
