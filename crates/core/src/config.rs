@@ -10,10 +10,11 @@
 use nest_obs::Obs;
 use nest_proto::gsi::{GridMap, GsiAuthenticator, SimCa};
 use nest_transfer::manager::{ModelSelection, SchedPolicy};
-use nest_transfer::ModelKind;
+use nest_transfer::{ModelKind, RetryPolicy};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// What a transfer's scheduling class is keyed on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +103,14 @@ pub struct NestConfig {
     /// dispatcher create a private one; pass a registry to read the same
     /// instruments from outside (tests, embedding monitors).
     pub obs: Option<Arc<Obs>>,
+    /// Retry policy stamped onto every transfer the dispatcher submits.
+    /// Transient I/O failures are retried with exponential backoff within
+    /// this budget when both endpoints can be replayed. Default:
+    /// [`RetryPolicy::standard`].
+    pub retry: RetryPolicy,
+    /// Per-transfer deadline stamped onto dispatcher-submitted flows;
+    /// `None` (the default) means transfers may run indefinitely.
+    pub transfer_deadline: Option<Duration>,
 }
 
 /// Per-protocol listening ports; `None` disables the protocol.
@@ -168,6 +177,8 @@ impl Default for NestConfig {
             ports: Ports::default(),
             cache_bytes: 256 << 20,
             obs: None,
+            retry: RetryPolicy::standard(),
+            transfer_deadline: None,
         }
     }
 }
@@ -352,6 +363,19 @@ impl NestConfigBuilder {
     /// read its instruments (and register trace sinks) from outside.
     pub fn obs(mut self, obs: Arc<Obs>) -> Self {
         self.config.obs = Some(obs);
+        self
+    }
+
+    /// Retry policy for transient transfer failures
+    /// ([`RetryPolicy::none`] disables retries).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.config.retry = policy;
+        self
+    }
+
+    /// Per-transfer wall-clock deadline (`None` disables deadlines).
+    pub fn transfer_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.config.transfer_deadline = deadline;
         self
     }
 

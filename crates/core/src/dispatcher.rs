@@ -25,8 +25,10 @@ use nest_storage::{
 use nest_transfer::cache::CacheModel;
 use nest_transfer::flow::{DataSink, DataSource, FlowMeta};
 use nest_transfer::manager::{TransferConfig, TransferManager, TransferStats};
+use nest_transfer::RetryPolicy;
 use std::io::{self, Read, Write};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Dispatcher-level instruments: request mix and control-plane cost.
 ///
@@ -103,6 +105,10 @@ pub struct Dispatcher {
     /// Shared observability registry (instruments + tracer).
     obs: Arc<Obs>,
     metrics: DispatchMetrics,
+    /// Retry policy stamped onto every submitted flow.
+    retry: RetryPolicy,
+    /// Deadline stamped onto every submitted flow (None = unbounded).
+    transfer_deadline: Option<Duration>,
 }
 
 impl Dispatcher {
@@ -163,7 +169,19 @@ impl Dispatcher {
             lot_store,
             obs,
             metrics,
+            retry: config.retry.clone(),
+            transfer_deadline: config.transfer_deadline,
         })
+    }
+
+    /// Applies the appliance-wide failure policy (retry budget and
+    /// deadline) to a flow about to be submitted.
+    fn stamp_failure_policy(&self, mut meta: FlowMeta) -> FlowMeta {
+        meta = meta.with_retry(self.retry.clone());
+        if let Some(d) = self.transfer_deadline {
+            meta = meta.with_deadline(d);
+        }
+        meta
     }
 
     /// The appliance's observability registry.
@@ -406,14 +424,18 @@ impl Dispatcher {
         sink: Box<dyn DataSink>,
     ) -> io::Result<u64> {
         let class = self.class_for(who, protocol);
-        let mut meta = FlowMeta::new(self.transfers.next_flow_id(), class, Some(size));
+        let mut meta = self.stamp_failure_policy(FlowMeta::new(
+            self.transfers.next_flow_id(),
+            class,
+            Some(size),
+        ));
         meta.predicted_cached = cached;
-        let source = Box::new(BackendSource {
-            storage: Arc::clone(&self.storage),
-            path: vpath.clone(),
-            offset: 0,
-            remaining: size,
-        });
+        let source = Box::new(BackendSource::new(
+            Arc::clone(&self.storage),
+            vpath.clone(),
+            0,
+            size,
+        ));
         let handle = self.transfers.submit(meta, source, sink);
         let moved = handle.wait()?;
         self.cache.observe_access(&vpath.to_string(), size);
@@ -431,17 +453,20 @@ impl Dispatcher {
         size: Option<u64>,
     ) -> io::Result<u64> {
         let class = self.class_for(who, protocol);
-        let meta = FlowMeta::new(self.transfers.next_flow_id(), class, size);
-        let sink = Box::new(BackendSink {
-            storage: Arc::clone(&self.storage),
-            who: who.clone(),
-            path: vpath.clone(),
-            offset: 0,
-        });
+        let meta =
+            self.stamp_failure_policy(FlowMeta::new(self.transfers.next_flow_id(), class, size));
+        let sink = Box::new(BackendSink::whole_file(
+            Arc::clone(&self.storage),
+            who.clone(),
+            vpath.clone(),
+        ));
         let handle = self.transfers.submit(meta, source, sink);
-        let moved = handle.wait()?;
-        self.cache.observe_access(&vpath.to_string(), moved);
+        let result = handle.wait();
+        // Lot state changed either way: charged on success, released by
+        // the sink's abort-cleanup on failure. Persist both outcomes.
         self.persist_lots();
+        let moved = result?;
+        self.cache.observe_access(&vpath.to_string(), moved);
         Ok(moved)
     }
 
@@ -459,17 +484,17 @@ impl Dispatcher {
         self.storage
             .begin_get(who, protocol, vpath)
             .map_err(|e| NestError::from(&e))?;
-        let meta = FlowMeta::new(
+        let meta = self.stamp_failure_policy(FlowMeta::new(
             self.transfers.next_flow_id(),
             self.class_for(who, protocol),
             Some(count as u64),
-        );
-        let source = Box::new(BackendSource {
-            storage: Arc::clone(&self.storage),
-            path: vpath.clone(),
+        ));
+        let source = Box::new(BackendSource::new(
+            Arc::clone(&self.storage),
+            vpath.clone(),
             offset,
-            remaining: count as u64,
-        });
+            count as u64,
+        ));
         let (sink, rx) = ChannelSink::new();
         let handle = self.transfers.submit(meta, source, Box::new(sink));
         handle.wait().map_err(|_| NestError::Internal)?;
@@ -485,18 +510,18 @@ impl Dispatcher {
         offset: u64,
         data: Vec<u8>,
     ) -> Result<(), NestError> {
-        let meta = FlowMeta::new(
+        let meta = self.stamp_failure_policy(FlowMeta::new(
             self.transfers.next_flow_id(),
             self.class_for(who, protocol),
             Some(data.len() as u64),
-        );
+        ));
         let source = Box::new(io::Cursor::new(data));
-        let sink = Box::new(BackendSink {
-            storage: Arc::clone(&self.storage),
-            who: who.clone(),
-            path: vpath.clone(),
+        let sink = Box::new(BackendSink::block(
+            Arc::clone(&self.storage),
+            who.clone(),
+            vpath.clone(),
             offset,
-        });
+        ));
         let handle = self.transfers.submit(meta, source, sink);
         match handle.wait() {
             Ok(_) => Ok(()),
@@ -574,6 +599,14 @@ impl Dispatcher {
             "LotBytesCommitted",
             nest_classad::Value::Int(self.storage.committed_bytes() as i64),
         );
+        ad.insert_value(
+            "TransferRetries",
+            nest_classad::Value::Int(self.obs.metrics.counter("transfer.retries").get() as i64),
+        );
+        ad.insert_value(
+            "TransferFailures",
+            nest_classad::Value::Int(self.obs.metrics.counter("transfer.failures").get() as i64),
+        );
         ad
     }
 
@@ -621,12 +654,32 @@ fn parse_who(spec: &str) -> Result<Who, StorageError> {
 // Flow adapters between the storage backend, sockets and the engine
 // ---------------------------------------------------------------------------
 
-/// Reads a byte range of a stored file chunk by chunk.
+/// Reads a byte range of a stored file chunk by chunk. Disk-backed reads
+/// are replayable, so the source supports [`DataSource::rewind`] and a
+/// transient failure downstream can retry the whole range.
 pub struct BackendSource {
     storage: Arc<StorageManager>,
     path: VPath,
     offset: u64,
     remaining: u64,
+    /// Where the range starts (for rewind).
+    start_offset: u64,
+    /// The full range length (for rewind).
+    len: u64,
+}
+
+impl BackendSource {
+    /// Creates a source over `len` bytes of `path` starting at `offset`.
+    pub fn new(storage: Arc<StorageManager>, path: VPath, offset: u64, len: u64) -> Self {
+        Self {
+            storage,
+            path,
+            offset,
+            remaining: len,
+            start_offset: offset,
+            len,
+        }
+    }
 }
 
 impl DataSource for BackendSource {
@@ -643,14 +696,58 @@ impl DataSource for BackendSource {
         self.remaining -= n as u64;
         Ok(n)
     }
+
+    fn rewind(&mut self) -> io::Result<()> {
+        self.offset = self.start_offset;
+        self.remaining = self.len;
+        Ok(())
+    }
 }
 
 /// Writes chunks into a stored file (charging lots as it grows).
+///
+/// Whole-file sinks (PUT) support abort-cleanup: a terminal failure
+/// removes the partial file and releases its lot charge via
+/// [`StorageManager::abort_put`], and a retry truncates back to empty.
+/// Block sinks (NFS writes into an existing file) only rewind their write
+/// offset — removing the whole file would destroy other blocks.
 pub struct BackendSink {
     storage: Arc<StorageManager>,
     who: Principal,
     path: VPath,
     offset: u64,
+    start_offset: u64,
+    /// Whether this sink owns the whole file (PUT) rather than a block
+    /// range within it (NFS write).
+    whole_file: bool,
+}
+
+impl BackendSink {
+    /// Sink for a whole-file PUT starting at offset 0; abort removes the
+    /// partial file.
+    pub fn whole_file(storage: Arc<StorageManager>, who: Principal, path: VPath) -> Self {
+        Self {
+            storage,
+            who,
+            path,
+            offset: 0,
+            start_offset: 0,
+            whole_file: true,
+        }
+    }
+
+    /// Sink for a block write into an existing file; abort leaves the file
+    /// in place.
+    pub fn block(storage: Arc<StorageManager>, who: Principal, path: VPath, offset: u64) -> Self {
+        Self {
+            storage,
+            who,
+            path,
+            offset,
+            start_offset: offset,
+            whole_file: false,
+        }
+    }
 }
 
 impl DataSink for BackendSink {
@@ -663,6 +760,22 @@ impl DataSink for BackendSink {
             })?;
         self.offset += data.len() as u64;
         Ok(())
+    }
+
+    fn reset(&mut self) -> io::Result<()> {
+        if self.whole_file {
+            // Drop any partial content so a shorter replay cannot leave a
+            // stale tail behind.
+            self.storage.backend().truncate(&self.path, 0)?;
+        }
+        self.offset = self.start_offset;
+        Ok(())
+    }
+
+    fn abort(&mut self) {
+        if self.whole_file {
+            self.storage.abort_put(&self.path);
+        }
     }
 }
 

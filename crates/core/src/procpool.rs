@@ -13,6 +13,7 @@
 //! thread-based fallback when spawning fails (e.g. a stripped container).
 
 use nest_transfer::concurrency::{run_flow, Completion, ModelKind, ProcessLauncher};
+use nest_transfer::fault::{cancelled_error, classify, deadline_error, ErrorClass, FailureKind};
 use nest_transfer::flow::Flow;
 use std::io::{Read, Write};
 use std::process::{Command, Stdio};
@@ -31,108 +32,183 @@ impl SubprocessLauncher {
     }
 }
 
+/// Outcome of one staged attempt through a child worker.
+enum StageOutcome {
+    /// No worker binary could be spawned; the flow is handed back for
+    /// in-process execution.
+    NoWorker(Flow),
+    /// The attempt ran; the flow survives, with its result.
+    Done(Flow, std::io::Result<u64>),
+    /// The feeder thread panicked and took the flow with it.
+    Lost(std::io::Error),
+}
+
+/// Runs one attempt: source → child stdin, child stdout → sink.
+///
+/// Unlike the original implementation, the feeder thread hands the flow
+/// back even on error, so the caller can retry a transient failure or
+/// abort the sink on a terminal one (partial-output cleanup).
+fn stage_through_child(mut flow: Flow) -> StageOutcome {
+    let child = Command::new("cat")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn();
+    let mut child = match child {
+        Ok(c) => c,
+        Err(_) => return StageOutcome::NoWorker(flow),
+    };
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let mut stdout = child.stdout.take().expect("piped stdout");
+
+    // Pump thread: source → child stdin; returns the flow with its result.
+    let feeder = std::thread::spawn(move || -> (Flow, std::io::Result<u64>) {
+        let mut buf = vec![0u8; 64 * 1024];
+        let mut total_in = 0u64;
+        let result = loop {
+            match flow.source_read(&mut buf) {
+                Ok(0) => break Ok(total_in),
+                Ok(n) => {
+                    if let Err(e) = stdin.write_all(&buf[..n]) {
+                        break Err(e);
+                    }
+                    total_in += n as u64;
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        drop(stdin); // EOF to the child
+        (flow, result)
+    });
+    // Drain child stdout into a buffer on this thread.
+    let mut staged = Vec::new();
+    let drain = stdout.read_to_end(&mut staged);
+    let feed = feeder.join();
+    let _ = child.wait();
+
+    let (mut flow, feed_result) = match feed {
+        Ok(pair) => pair,
+        Err(_) => return StageOutcome::Lost(std::io::Error::other("feeder thread panicked")),
+    };
+    let result = match (feed_result, drain) {
+        (Err(e), _) => Err(e),
+        (_, Err(e)) => Err(e),
+        (Ok(total_in), Ok(_)) => {
+            // Deliver the staged bytes to the sink in chunks.
+            let mut delivered = Ok(());
+            for chunk in staged.chunks(64 * 1024) {
+                if let Err(e) = flow.sink_write(chunk) {
+                    delivered = Err(e);
+                    break;
+                }
+            }
+            debug_assert_eq!(total_in, staged.len() as u64);
+            delivered
+                .and_then(|_| flow.sink_finish())
+                .map(|_| staged.len() as u64)
+        }
+    };
+    StageOutcome::Done(flow, result)
+}
+
 impl ProcessLauncher for SubprocessLauncher {
-    fn launch(&self, mut flow: Flow, on_done: Box<dyn FnOnce(Completion) + Send>) {
+    fn launch(&self, flow: Flow, on_done: Box<dyn FnOnce(Completion) + Send>) {
         std::thread::spawn(move || {
             let start = Instant::now();
-            let child = Command::new("cat")
-                .stdin(Stdio::piped())
-                .stdout(Stdio::piped())
-                .stderr(Stdio::null())
-                .spawn();
-            let mut child = match child {
-                Ok(c) => c,
-                Err(_) => {
-                    // No worker binary available: degrade to in-process
-                    // execution so the transfer still completes.
-                    let completion = run_flow(flow, ModelKind::Processes, start);
-                    on_done(completion);
+            let deadline = flow.meta.deadline.map(|d| start + d);
+            let policy = flow.meta.retry.clone();
+            let mut retries = 0u32;
+            let mut flow = flow;
+            let fail = |mut flow: Flow, e: std::io::Error, retries, kind| {
+                flow.abort();
+                Completion {
+                    bytes: flow.moved(),
+                    meta: flow.meta.clone(),
+                    elapsed: start.elapsed(),
+                    model: ModelKind::Processes,
+                    result: Err(e),
+                    retries,
+                    aborted: true,
+                    failure: Some(kind),
+                }
+            };
+            loop {
+                // Honor cancellation and the deadline between attempts.
+                if flow.meta.is_cancelled() {
+                    on_done(fail(
+                        flow,
+                        cancelled_error(),
+                        retries,
+                        FailureKind::Cancelled,
+                    ));
                     return;
                 }
-            };
-            let mut stdin = child.stdin.take().expect("piped stdin");
-            let mut stdout = child.stdout.take().expect("piped stdout");
-
-            // Pump thread: source → child stdin. We split the flow by
-            // stealing its step loop: read chunks from the source here and
-            // write the child's output into the sink below.
-            let (feed_result, drain_result) = {
-                // The Flow owns both ends; temporarily drive them manually.
-                let mut total_in = 0u64;
-                let feeder = std::thread::spawn(move || -> std::io::Result<(Flow, u64)> {
-                    let mut buf = vec![0u8; 64 * 1024];
-                    loop {
-                        let n = flow.source_read(&mut buf)?;
-                        if n == 0 {
-                            break;
-                        }
-                        stdin.write_all(&buf[..n])?;
-                        total_in += n as u64;
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    on_done(fail(
+                        flow,
+                        deadline_error(),
+                        retries,
+                        FailureKind::DeadlineExceeded,
+                    ));
+                    return;
+                }
+                match stage_through_child(flow) {
+                    StageOutcome::NoWorker(f) => {
+                        // No worker binary available: degrade to in-process
+                        // execution (run_flow applies the same retry /
+                        // cancel / deadline / abort semantics itself).
+                        let mut c = run_flow(f, ModelKind::Processes, start);
+                        c.retries += retries;
+                        on_done(c);
+                        return;
                     }
-                    drop(stdin); // EOF to the child
-                    Ok((flow, total_in))
-                });
-                // Drain child stdout into a buffer on this thread.
-                let mut staged = Vec::new();
-                let drain = stdout.read_to_end(&mut staged);
-                (feeder.join(), drain.map(|_| staged))
-            };
-            let _ = child.wait();
-
-            match (feed_result, drain_result) {
-                (Ok(Ok((mut flow, total_in))), Ok(staged)) => {
-                    // Deliver the staged bytes to the sink in chunks.
-                    let result = (|| -> std::io::Result<()> {
-                        for chunk in staged.chunks(64 * 1024) {
-                            flow.sink_write(chunk)?;
+                    StageOutcome::Done(f, Ok(bytes)) => {
+                        on_done(Completion {
+                            bytes,
+                            meta: f.meta.clone(),
+                            elapsed: start.elapsed(),
+                            model: ModelKind::Processes,
+                            result: Ok(()),
+                            retries,
+                            aborted: false,
+                            failure: None,
+                        });
+                        return;
+                    }
+                    StageOutcome::Done(mut f, Err(e)) => {
+                        let backoff = policy.backoff(retries + 1);
+                        let within_deadline = deadline.is_none_or(|d| Instant::now() + backoff < d);
+                        if classify(e.kind()) == ErrorClass::Transient
+                            && policy.allows_retry(retries)
+                            && within_deadline
+                            && f.reset_for_retry().is_ok()
+                        {
+                            retries += 1;
+                            if !backoff.is_zero() {
+                                std::thread::sleep(backoff);
+                            }
+                            flow = f;
+                            continue;
                         }
-                        flow.sink_finish()
-                    })();
-                    debug_assert_eq!(total_in, staged.len() as u64);
-                    on_done(Completion {
-                        bytes: staged.len() as u64,
-                        meta: flow.meta.clone(),
-                        elapsed: start.elapsed(),
-                        model: ModelKind::Processes,
-                        result,
-                    });
-                }
-                (Ok(Ok((flow, _))), Err(e)) => {
-                    on_done(Completion {
-                        bytes: 0,
-                        meta: flow.meta.clone(),
-                        elapsed: start.elapsed(),
-                        model: ModelKind::Processes,
-                        result: Err(e),
-                    });
-                }
-                (Ok(Err(e)), _) | (Err(_), Err(e)) => {
-                    // We lost the flow inside the feeder; report the error
-                    // with whatever metadata we can reconstruct.
-                    on_done(Completion {
-                        bytes: 0,
-                        meta: nest_transfer::flow::FlowMeta::new(
-                            nest_transfer::flow::FlowId(0),
-                            "unknown",
-                            None,
-                        ),
-                        elapsed: start.elapsed(),
-                        model: ModelKind::Processes,
-                        result: Err(e),
-                    });
-                }
-                (Err(_), Ok(_)) => {
-                    on_done(Completion {
-                        bytes: 0,
-                        meta: nest_transfer::flow::FlowMeta::new(
-                            nest_transfer::flow::FlowId(0),
-                            "unknown",
-                            None,
-                        ),
-                        elapsed: start.elapsed(),
-                        model: ModelKind::Processes,
-                        result: Err(std::io::Error::other("feeder thread panicked")),
-                    });
+                        on_done(fail(f, e, retries, FailureKind::Io));
+                        return;
+                    }
+                    StageOutcome::Lost(e) => {
+                        // We lost the flow inside the feeder; report the
+                        // error with whatever metadata we can reconstruct.
+                        on_done(Completion::from_result(
+                            nest_transfer::flow::FlowMeta::new(
+                                nest_transfer::flow::FlowId(0),
+                                "unknown",
+                                None,
+                            ),
+                            0,
+                            start.elapsed(),
+                            ModelKind::Processes,
+                            Err(e),
+                        ));
+                        return;
+                    }
                 }
             }
         });

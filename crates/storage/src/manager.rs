@@ -448,6 +448,20 @@ impl StorageManager {
         Ok(())
     }
 
+    /// Aborts an admitted PUT whose transfer failed: best-effort removal of
+    /// the partial file and release of its lot charge, so a failed transfer
+    /// leaves neither stray data nor a residual charge against the user's
+    /// lot. Safe to call whether or not any chunks were written; errors from
+    /// the backend (e.g. the file was never created) are swallowed because
+    /// abort runs on an already-failed path.
+    pub fn abort_put(&self, path: &VPath) {
+        let _ = self.backend.remove(path);
+        if self.enforce_lots {
+            self.lots.release_file(path);
+        }
+        self.refresh_gauges();
+    }
+
     /// Admits an outgoing transfer: checks the Read right and returns the
     /// file size. Touches the backing lots for LRU accounting.
     pub fn begin_get(&self, who: &Principal, protocol: &str, path: &VPath) -> Result<u64> {

@@ -101,6 +101,19 @@ impl AdaptiveSelector {
         *entry = ALPHA * throughput + (1.0 - ALPHA) * *entry;
     }
 
+    /// Reports a *failed* transfer: the model is scored as if it had
+    /// delivered zero throughput, so its EWMA decays and a broken model
+    /// stops attracting traffic.
+    ///
+    /// Crucially this also *creates* a score for a model that has never
+    /// succeeded — without it, an always-failing model would keep its
+    /// optimistic `INFINITY` standing in [`AdaptiveSelector::best`] and be
+    /// picked forever.
+    pub fn report_failure(&mut self, model: ModelKind) {
+        let entry = self.score.entry(model).or_insert(0.0);
+        *entry *= 1.0 - ALPHA;
+    }
+
     /// The current best model by EWMA throughput (unscored models win ties
     /// optimistically so they get measured at least once).
     pub fn best(&self) -> ModelKind {
@@ -214,6 +227,41 @@ mod tests {
         // Events and Processes are unmeasured → optimistic infinity → one
         // of them is "best" until measured.
         assert_ne!(s.best(), ModelKind::Threads);
+    }
+
+    #[test]
+    fn always_failing_model_loses_optimistic_standing() {
+        // Regression: a model that had *never* succeeded kept its
+        // optimistic INFINITY score (failures were simply not reported)
+        // and was picked forever. `report_failure` must create a real
+        // (zero) score so the broken model stops attracting traffic.
+        let mut s = AdaptiveSelector::new(vec![ModelKind::Threads, ModelKind::Processes])
+            .with_warmup(0)
+            .with_explore_period(0);
+        s.report_failure(ModelKind::Processes);
+        s.report(ModelKind::Threads, 1_000_000, 1.0);
+        assert_eq!(s.best(), ModelKind::Threads);
+        for _ in 0..32 {
+            assert_eq!(s.choose(), ModelKind::Threads);
+        }
+    }
+
+    #[test]
+    fn failures_decay_an_established_score() {
+        let mut s = AdaptiveSelector::new(all_models());
+        s.report(ModelKind::Events, 1_000_000, 1.0);
+        let before = s.scores()[2].1.unwrap();
+        for _ in 0..10 {
+            s.report_failure(ModelKind::Events);
+        }
+        let after = s
+            .scores()
+            .iter()
+            .find(|(m, _)| *m == ModelKind::Events)
+            .unwrap()
+            .1
+            .unwrap();
+        assert!(after < before / 2.0, "score did not decay: {}", after);
     }
 
     #[test]

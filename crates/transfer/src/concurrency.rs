@@ -18,7 +18,8 @@
 //!   (per-dispatch process overhead) on threads. The simulation substrate
 //!   costs the model directly.
 
-use crate::flow::Flow;
+use crate::fault::{cancelled_error, classify, deadline_error, ErrorClass, FailureKind};
+use crate::flow::{Flow, StepOutcome};
 use std::fmt;
 use std::io;
 use std::sync::Arc;
@@ -50,7 +51,7 @@ impl fmt::Display for ModelKind {
 pub struct Completion {
     /// The finished flow's metadata.
     pub meta: crate::flow::FlowMeta,
-    /// Bytes moved.
+    /// Bytes moved (by the final attempt, on failure).
     pub bytes: u64,
     /// Wall-clock duration from dispatch to completion.
     pub elapsed: Duration,
@@ -58,6 +59,38 @@ pub struct Completion {
     pub model: ModelKind,
     /// The I/O outcome.
     pub result: io::Result<()>,
+    /// Transient-failure retries consumed before the final outcome.
+    pub retries: u32,
+    /// Whether terminal-failure sink cleanup ([`crate::flow::DataSink::abort`])
+    /// was performed.
+    pub aborted: bool,
+    /// Failure category when `result` is `Err` (I/O vs deadline vs
+    /// cancellation), so the engine's instruments stay exact.
+    pub failure: Option<FailureKind>,
+}
+
+impl Completion {
+    /// Builds a completion from a plain I/O result (no retries, no abort
+    /// performed). Failures are classed as ordinary I/O failures.
+    pub fn from_result(
+        meta: crate::flow::FlowMeta,
+        bytes: u64,
+        elapsed: Duration,
+        model: ModelKind,
+        result: io::Result<()>,
+    ) -> Self {
+        let failure = result.as_ref().err().map(|_| FailureKind::Io);
+        Self {
+            meta,
+            bytes,
+            elapsed,
+            model,
+            result,
+            retries: 0,
+            aborted: false,
+            failure,
+        }
+    }
 }
 
 /// Launches a flow under the process model.
@@ -108,16 +141,97 @@ impl ProcessLauncher for EmulatedProcessLauncher {
     }
 }
 
+/// One attempt's outcome, distinguished so the retry loop knows what is
+/// retryable.
+enum PumpEnd {
+    Finished,
+    Cancelled,
+    Deadline,
+    Io(io::Error),
+}
+
+/// Pumps a flow chunk by chunk, honoring the cancellation token and the
+/// absolute deadline between chunks.
+fn pump(flow: &mut Flow, deadline: Option<Instant>) -> PumpEnd {
+    loop {
+        if flow.meta.is_cancelled() {
+            return PumpEnd::Cancelled;
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return PumpEnd::Deadline;
+        }
+        match flow.step() {
+            Ok(StepOutcome::Moved(_)) => continue,
+            Ok(StepOutcome::Finished) => return PumpEnd::Finished,
+            Err(e) => return PumpEnd::Io(e),
+        }
+    }
+}
+
 /// Runs a flow to completion on the current thread, producing a completion
 /// record. Shared by the thread and process executors.
+///
+/// This is the external models' failure domain: transient I/O errors are
+/// retried (with backoff) within the flow's
+/// [`crate::fault::RetryPolicy`] budget as long as both endpoints can be
+/// replayed; the cancellation token and deadline are honored between
+/// chunks; and a terminal failure aborts the sink so partial output is
+/// cleaned up.
 pub fn run_flow(mut flow: Flow, model: ModelKind, start: Instant) -> Completion {
-    let result = flow.run_to_completion().map(|_| ());
-    Completion {
+    let deadline = flow.meta.deadline.map(|d| start + d);
+    let policy = flow.meta.retry.clone();
+    let mut retries = 0u32;
+    let done = |flow: &Flow, result: io::Result<()>, retries, aborted, failure| Completion {
         bytes: flow.moved(),
         meta: flow.meta.clone(),
         elapsed: start.elapsed(),
         model,
         result,
+        retries,
+        aborted,
+        failure,
+    };
+    loop {
+        match pump(&mut flow, deadline) {
+            PumpEnd::Finished => return done(&flow, Ok(()), retries, false, None),
+            PumpEnd::Cancelled => {
+                flow.abort();
+                return done(
+                    &flow,
+                    Err(cancelled_error()),
+                    retries,
+                    true,
+                    Some(FailureKind::Cancelled),
+                );
+            }
+            PumpEnd::Deadline => {
+                flow.abort();
+                return done(
+                    &flow,
+                    Err(deadline_error()),
+                    retries,
+                    true,
+                    Some(FailureKind::DeadlineExceeded),
+                );
+            }
+            PumpEnd::Io(e) => {
+                let backoff = policy.backoff(retries + 1);
+                let within_deadline = deadline.is_none_or(|d| Instant::now() + backoff < d);
+                if classify(e.kind()) == ErrorClass::Transient
+                    && policy.allows_retry(retries)
+                    && within_deadline
+                    && flow.reset_for_retry().is_ok()
+                {
+                    retries += 1;
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    continue;
+                }
+                flow.abort();
+                return done(&flow, Err(e), retries, true, Some(FailureKind::Io));
+            }
+        }
     }
 }
 

@@ -1,0 +1,454 @@
+//! Failure classification, retry policy, and deterministic fault injection.
+//!
+//! Real Grid storage peers treat transient-failure recovery as table
+//! stakes: GridFTP specifies restartable, fault-tolerant transfers and
+//! CASTOR's stager is built around retrying failed moves. This module is
+//! the transfer manager's failure domain:
+//!
+//! * [`ErrorClass`] / [`classify`] — split `io::ErrorKind`s into transient
+//!   faults (worth retrying) and permanent ones (fail fast).
+//! * [`RetryPolicy`] — an attempt budget with exponential backoff and
+//!   deterministic jitter, carried per flow in
+//!   [`crate::flow::FlowMeta::retry`].
+//! * [`FaultingSource`] / [`FaultingSink`] — deterministic wrappers that
+//!   fail at byte *N* with a chosen `ErrorKind`, either a fixed number of
+//!   times (to exercise the retry path) or on every attempt (to exercise
+//!   the abort path).
+//! * [`FlakySource`] — seeded probabilistic faults for stress loops.
+//!
+//! The injection wrappers are a supported public testing API: protocol
+//! handlers, the simulator, and downstream users can wrap any
+//! `DataSource`/`DataSink` to prove their cleanup paths work.
+
+use crate::flow::{DataSink, DataSource};
+use std::io;
+use std::time::Duration;
+
+/// How a transfer failure should be treated by the retry machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Worth retrying after a backoff (network hiccups, interruptions).
+    Transient,
+    /// Retrying cannot help (missing file, permission, corrupt request).
+    Permanent,
+}
+
+/// Classifies an `io::ErrorKind` into a retry class.
+///
+/// Connection-level and timing-level faults are transient; namespace,
+/// permission, and data-integrity faults are permanent.
+pub fn classify(kind: io::ErrorKind) -> ErrorClass {
+    use io::ErrorKind::*;
+    match kind {
+        Interrupted | WouldBlock | TimedOut | ConnectionReset | ConnectionAborted
+        | ConnectionRefused | NotConnected | HostUnreachable | NetworkUnreachable | NetworkDown
+        | ResourceBusy => ErrorClass::Transient,
+        _ => ErrorClass::Permanent,
+    }
+}
+
+/// Why a transfer ultimately failed (beyond the raw `io::Error`), so the
+/// engine can count deadline expiries and cancellations separately from
+/// ordinary I/O failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// An I/O error (after any retries were exhausted or were not
+    /// applicable).
+    Io,
+    /// The flow's deadline elapsed before it finished.
+    DeadlineExceeded,
+    /// The submitter cancelled the flow via
+    /// [`crate::manager::TransferHandle::cancel`].
+    Cancelled,
+}
+
+/// The error returned when a flow's deadline elapses.
+pub fn deadline_error() -> io::Error {
+    io::Error::new(io::ErrorKind::TimedOut, "transfer deadline exceeded")
+}
+
+/// The error returned when a flow is cancelled.
+pub fn cancelled_error() -> io::Error {
+    io::Error::new(io::ErrorKind::Interrupted, "transfer cancelled")
+}
+
+/// Per-flow retry budget: exponential backoff with deterministic jitter.
+///
+/// `max_attempts` counts *total* attempts, so `1` means "no retries" —
+/// the default for flows whose endpoints cannot be replayed (live
+/// sockets). Retries additionally require the flow's source to support
+/// [`DataSource::rewind`] and its sink [`DataSink::reset`]; a flow whose
+/// endpoints cannot be replayed fails on the first error regardless of
+/// budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempt budget (first try included). `1` disables retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each subsequent retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter (same seed ⇒ same schedule).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: fail on the first error.
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter_seed: 0,
+        }
+    }
+
+    /// The appliance default: 4 total attempts, 5 ms base backoff capped
+    /// at 500 ms.
+    pub fn standard() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(500),
+            jitter_seed: DEFAULT_JITTER_SEED,
+        }
+    }
+
+    /// Overrides the attempt budget.
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Overrides the jitter seed (tests pin this for determinism).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Whether another attempt is allowed after `retries_so_far` retries.
+    pub fn allows_retry(&self, retries_so_far: u32) -> bool {
+        retries_so_far + 1 < self.max_attempts
+    }
+
+    /// The backoff before retry number `retry` (1-based): exponential,
+    /// capped, with deterministic jitter in the upper half of the window
+    /// (`[cap/2, cap]`), so concurrent retries decorrelate without a
+    /// global RNG.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let shift = retry.saturating_sub(1).min(16);
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32.checked_shl(shift).unwrap_or(u32::MAX));
+        let cap = exp.min(self.max_backoff.max(self.base_backoff));
+        let cap_us = cap.as_micros().min(u128::from(u64::MAX)) as u64;
+        let jitter_span = cap_us / 2;
+        if jitter_span == 0 {
+            return cap;
+        }
+        let r = splitmix64(self.jitter_seed ^ u64::from(retry).wrapping_mul(0x9e37_79b9));
+        Duration::from_micros(cap_us - jitter_span + r % (jitter_span + 1))
+    }
+}
+
+/// The default jitter seed; callers pin their own via
+/// [`RetryPolicy::with_seed`] when they need reproducible schedules.
+const DEFAULT_JITTER_SEED: u64 = 0x5eed_5eed_5eed_5eed;
+
+/// SplitMix64: tiny, high-quality deterministic mixing for jitter and the
+/// flaky source (no dependency on a global RNG).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// How many times an injected fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultBudget {
+    /// Fire on the first `n` attempts that reach the trigger, then behave
+    /// normally (exercises the retry-then-succeed path).
+    Times(u32),
+    /// Fire on every attempt (exercises the retries-exhausted/abort path).
+    Always,
+}
+
+impl FaultBudget {
+    fn take(&mut self) -> bool {
+        match self {
+            FaultBudget::Always => true,
+            FaultBudget::Times(0) => false,
+            FaultBudget::Times(n) => {
+                *n -= 1;
+                true
+            }
+        }
+    }
+}
+
+/// A [`DataSource`] wrapper that fails with a chosen `ErrorKind` once the
+/// cumulative bytes read reach `fail_at`. Deterministic: same
+/// construction, same behavior.
+pub struct FaultingSource<S> {
+    inner: S,
+    fail_at: u64,
+    kind: io::ErrorKind,
+    budget: FaultBudget,
+    read: u64,
+}
+
+impl<S: DataSource> FaultingSource<S> {
+    /// Fails reads with `kind` once `fail_at` bytes have been produced,
+    /// as many times as `budget` allows.
+    pub fn new(inner: S, fail_at: u64, kind: io::ErrorKind, budget: FaultBudget) -> Self {
+        Self {
+            inner,
+            fail_at,
+            kind,
+            budget,
+            read: 0,
+        }
+    }
+}
+
+impl<S: DataSource> DataSource for FaultingSource<S> {
+    fn read_chunk(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.read >= self.fail_at && self.budget.take() {
+            return Err(io::Error::new(self.kind, "injected source fault"));
+        }
+        let n = self.inner.read_chunk(buf)?;
+        self.read += n as u64;
+        Ok(n)
+    }
+
+    fn rewind(&mut self) -> io::Result<()> {
+        self.inner.rewind()?;
+        self.read = 0;
+        Ok(())
+    }
+}
+
+/// A [`DataSink`] wrapper that fails with a chosen `ErrorKind` once the
+/// cumulative bytes written reach `fail_at`.
+pub struct FaultingSink<K> {
+    inner: K,
+    fail_at: u64,
+    kind: io::ErrorKind,
+    budget: FaultBudget,
+    written: u64,
+    /// Number of times [`DataSink::abort`] reached this sink (cleanup
+    /// observability for tests).
+    aborts: u32,
+}
+
+impl<K: DataSink> FaultingSink<K> {
+    /// Fails writes with `kind` once `fail_at` bytes have been accepted,
+    /// as many times as `budget` allows.
+    pub fn new(inner: K, fail_at: u64, kind: io::ErrorKind, budget: FaultBudget) -> Self {
+        Self {
+            inner,
+            fail_at,
+            kind,
+            budget,
+            written: 0,
+            aborts: 0,
+        }
+    }
+
+    /// How many times the engine aborted this sink.
+    pub fn abort_count(&self) -> u32 {
+        self.aborts
+    }
+}
+
+impl<K: DataSink> DataSink for FaultingSink<K> {
+    fn write_chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if self.written + data.len() as u64 > self.fail_at && self.budget.take() {
+            return Err(io::Error::new(self.kind, "injected sink fault"));
+        }
+        self.inner.write_chunk(data)?;
+        self.written += data.len() as u64;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.inner.finish()
+    }
+
+    fn reset(&mut self) -> io::Result<()> {
+        self.inner.reset()?;
+        self.written = 0;
+        Ok(())
+    }
+
+    fn abort(&mut self) {
+        self.aborts += 1;
+        self.inner.abort();
+    }
+}
+
+/// A [`DataSource`] wrapper that injects seeded, reproducible transient
+/// faults with probability `fail_per_mille`/1000 per chunk. Used by the
+/// `fault_stress` loop; the same seed always yields the same fault
+/// schedule.
+pub struct FlakySource<S> {
+    inner: S,
+    fail_per_mille: u32,
+    kind: io::ErrorKind,
+    state: u64,
+    /// Saved so `rewind` replays the *remaining* schedule deterministically
+    /// per attempt (each attempt draws fresh values, like a real network).
+    draws: u64,
+}
+
+impl<S: DataSource> FlakySource<S> {
+    /// Wraps `inner`; each chunk fails with probability
+    /// `fail_per_mille / 1000` using a SplitMix64 stream from `seed`.
+    pub fn new(inner: S, fail_per_mille: u32, kind: io::ErrorKind, seed: u64) -> Self {
+        Self {
+            inner,
+            fail_per_mille: fail_per_mille.min(1000),
+            kind,
+            state: seed,
+            draws: 0,
+        }
+    }
+}
+
+impl<S: DataSource> DataSource for FlakySource<S> {
+    fn read_chunk(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.draws += 1;
+        let r = splitmix64(self.state.wrapping_add(self.draws));
+        if r % 1000 < u64::from(self.fail_per_mille) {
+            return Err(io::Error::new(self.kind, "flaky source fault"));
+        }
+        self.inner.read_chunk(buf)
+    }
+
+    fn rewind(&mut self) -> io::Result<()> {
+        self.inner.rewind()
+        // `draws` keeps advancing: each retry sees a fresh slice of the
+        // deterministic stream, so a flaky flow eventually gets through.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{CountingSink, PatternSource};
+
+    #[test]
+    fn classify_splits_transient_from_permanent() {
+        assert_eq!(classify(io::ErrorKind::TimedOut), ErrorClass::Transient);
+        assert_eq!(
+            classify(io::ErrorKind::ConnectionReset),
+            ErrorClass::Transient
+        );
+        assert_eq!(classify(io::ErrorKind::Interrupted), ErrorClass::Transient);
+        assert_eq!(classify(io::ErrorKind::NotFound), ErrorClass::Permanent);
+        assert_eq!(
+            classify(io::ErrorKind::PermissionDenied),
+            ErrorClass::Permanent
+        );
+        assert_eq!(classify(io::ErrorKind::Other), ErrorClass::Permanent);
+    }
+
+    #[test]
+    fn retry_policy_budget_and_backoff() {
+        let p = RetryPolicy::standard().with_seed(7);
+        assert!(p.allows_retry(0));
+        assert!(p.allows_retry(2));
+        assert!(!p.allows_retry(3)); // 4 total attempts = 3 retries
+                                     // Backoff grows (modulo jitter the cap doubles each retry).
+        let b1 = p.backoff(1);
+        let b4 = p.backoff(4);
+        assert!(b1 >= p.base_backoff / 2, "{:?}", b1);
+        assert!(b4 > b1, "{:?} vs {:?}", b4, b1);
+        assert!(b4 <= p.max_backoff);
+        // Deterministic: same policy, same schedule.
+        assert_eq!(
+            p.backoff(2),
+            RetryPolicy::standard().with_seed(7).backoff(2)
+        );
+        // No-retry policy backs off not at all.
+        assert_eq!(RetryPolicy::none().backoff(1), Duration::ZERO);
+    }
+
+    #[test]
+    fn faulting_source_fails_at_byte_n_then_recovers() {
+        let mut src = FaultingSource::new(
+            PatternSource::new(1000),
+            256,
+            io::ErrorKind::ConnectionReset,
+            FaultBudget::Times(1),
+        );
+        let mut buf = [0u8; 256];
+        assert_eq!(src.read_chunk(&mut buf).unwrap(), 256);
+        let err = src.read_chunk(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        // Budget exhausted: subsequent reads pass through.
+        assert_eq!(src.read_chunk(&mut buf).unwrap(), 256);
+    }
+
+    #[test]
+    fn faulting_source_always_refires_after_rewind() {
+        let mut src = FaultingSource::new(
+            PatternSource::new(1000),
+            0,
+            io::ErrorKind::TimedOut,
+            FaultBudget::Always,
+        );
+        let mut buf = [0u8; 64];
+        assert!(src.read_chunk(&mut buf).is_err());
+        src.rewind().unwrap();
+        assert!(src.read_chunk(&mut buf).is_err());
+    }
+
+    #[test]
+    fn faulting_sink_counts_aborts() {
+        let mut sink = FaultingSink::new(
+            CountingSink::default(),
+            10,
+            io::ErrorKind::Other,
+            FaultBudget::Always,
+        );
+        sink.write_chunk(&[0u8; 8]).unwrap();
+        assert!(sink.write_chunk(&[0u8; 8]).is_err());
+        sink.abort();
+        assert_eq!(sink.abort_count(), 1);
+    }
+
+    #[test]
+    fn flaky_source_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = FlakySource::new(
+                PatternSource::new(64 * 1024),
+                200,
+                io::ErrorKind::ConnectionReset,
+                seed,
+            );
+            let mut buf = [0u8; 1024];
+            let mut pattern = Vec::new();
+            for _ in 0..64 {
+                pattern.push(s.read_chunk(&mut buf).is_ok());
+            }
+            pattern
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+        // Roughly 20% failures at 200 per mille.
+        let fails = run(42).iter().filter(|ok| !**ok).count();
+        assert!((3..30).contains(&fails), "fails = {}", fails);
+    }
+}

@@ -5,8 +5,12 @@
 //! many flows under a scheduling policy, and what makes the stride
 //! scheduler's byte-based accounting exact.
 
+use crate::fault::RetryPolicy;
 use std::fmt;
 use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Identifies one flow within a transfer manager.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -22,6 +26,17 @@ impl fmt::Display for FlowId {
 pub trait DataSource: Send {
     /// Reads up to `buf.len()` bytes; 0 means end of stream.
     fn read_chunk(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+
+    /// Returns the source to its first byte so a failed transfer can be
+    /// retried from scratch. Sources that cannot replay (live sockets)
+    /// keep the default, which refuses — such flows fail on the first
+    /// error regardless of their retry budget.
+    fn rewind(&mut self) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "source cannot rewind",
+        ))
+    }
 }
 
 /// A destination for bytes.
@@ -34,17 +49,43 @@ pub trait DataSink: Send {
     fn finish(&mut self) -> io::Result<()> {
         Ok(())
     }
+
+    /// Discards partial output so a failed transfer can be retried from
+    /// byte 0. Sinks that cannot unwrite (live sockets) keep the default,
+    /// which refuses.
+    fn reset(&mut self) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "sink cannot reset",
+        ))
+    }
+
+    /// Called exactly once when a flow fails terminally (retries
+    /// exhausted, deadline elapsed, or cancelled): best-effort cleanup of
+    /// partial output. Storage-backed sinks delete the partial file and
+    /// release its lot charge here. The default does nothing.
+    fn abort(&mut self) {}
 }
 
 impl DataSource for std::io::Cursor<Vec<u8>> {
     fn read_chunk(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         io::Read::read(self, buf)
     }
+
+    fn rewind(&mut self) -> io::Result<()> {
+        self.set_position(0);
+        Ok(())
+    }
 }
 
 impl DataSink for Vec<u8> {
     fn write_chunk(&mut self, data: &[u8]) -> io::Result<()> {
         self.extend_from_slice(data);
+        Ok(())
+    }
+
+    fn reset(&mut self) -> io::Result<()> {
+        self.clear();
         Ok(())
     }
 }
@@ -61,17 +102,52 @@ pub struct FlowMeta {
     pub size: Option<u64>,
     /// Whether the gray-box cache model predicts the data is resident.
     pub predicted_cached: bool,
+    /// Attempt budget + backoff schedule for transient failures.
+    pub retry: RetryPolicy,
+    /// Wall-clock budget from dispatch; the engine fails the flow with
+    /// `TimedOut` once it elapses. `None` = no deadline.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation token, shared with the submitter's
+    /// [`crate::manager::TransferHandle`]. Clones of this metadata share
+    /// the token.
+    pub cancel: Arc<AtomicBool>,
 }
 
 impl FlowMeta {
-    /// Creates metadata for a flow of known size.
+    /// Creates metadata for a flow of known size (no retries, no
+    /// deadline).
     pub fn new(id: FlowId, class: impl Into<String>, size: Option<u64>) -> Self {
         Self {
             id,
             class: class.into(),
             size,
             predicted_cached: false,
+            retry: RetryPolicy::none(),
+            deadline: None,
+            cancel: Arc::new(AtomicBool::new(false)),
         }
+    }
+
+    /// Sets the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets a wall-clock deadline measured from dispatch.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Requests cooperative cancellation of this flow.
+    pub fn request_cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
     }
 }
 
@@ -159,6 +235,26 @@ impl Flow {
         Ok(())
     }
 
+    /// Prepares the flow for another attempt after a transient failure:
+    /// rewinds the source, resets the sink, and clears the byte counter.
+    /// Fails (without side effects beyond the endpoints' own attempts) if
+    /// either endpoint cannot be replayed — the caller must then fail the
+    /// flow terminally.
+    pub fn reset_for_retry(&mut self) -> io::Result<()> {
+        self.source.rewind()?;
+        self.sink.reset()?;
+        self.moved = 0;
+        self.done = false;
+        Ok(())
+    }
+
+    /// Terminal-failure cleanup: forwards [`DataSink::abort`] to the sink
+    /// (best-effort; storage sinks delete partial output and release lot
+    /// charges).
+    pub fn abort(&mut self) {
+        self.sink.abort();
+    }
+
     /// Pumps the flow to completion (used by the thread-per-flow model).
     /// Returns total bytes moved.
     pub fn run_to_completion(&mut self) -> io::Result<u64> {
@@ -174,6 +270,7 @@ impl Flow {
 /// A source producing `len` deterministic pseudo-random-ish bytes; used by
 /// tests and workload generators.
 pub struct PatternSource {
+    len: u64,
     remaining: u64,
     counter: u8,
 }
@@ -182,6 +279,7 @@ impl PatternSource {
     /// Creates a pattern source of the given length.
     pub fn new(len: u64) -> Self {
         Self {
+            len,
             remaining: len,
             counter: 0,
         }
@@ -200,6 +298,12 @@ impl DataSource for PatternSource {
         }
         self.remaining -= n as u64;
         Ok(n)
+    }
+
+    fn rewind(&mut self) -> io::Result<()> {
+        self.remaining = self.len;
+        self.counter = 0;
+        Ok(())
     }
 }
 
@@ -220,6 +324,12 @@ impl DataSink for CountingSink {
 
     fn finish(&mut self) -> io::Result<()> {
         self.finished = true;
+        Ok(())
+    }
+
+    fn reset(&mut self) -> io::Result<()> {
+        self.received = 0;
+        self.finished = false;
         Ok(())
     }
 }

@@ -23,11 +23,15 @@
 //!   picks a model, applies the scheduling policy, and reports per-class
 //!   statistics.
 //! * [`fairness`] — Jain's fairness index, the metric Figure 4 reports.
+//! * [`fault`] — the failure domain: transient-vs-permanent error
+//!   classification, retry/backoff policies, and deterministic
+//!   fault-injection sources/sinks for testing the failure path.
 
 pub mod adaptive;
 pub mod cache;
 pub mod concurrency;
 pub mod fairness;
+pub mod fault;
 pub mod flow;
 pub mod manager;
 pub mod sched;
@@ -36,6 +40,10 @@ pub use adaptive::AdaptiveSelector;
 pub use cache::CacheModel;
 pub use concurrency::ModelKind;
 pub use fairness::jain_fairness;
+pub use fault::{
+    classify, ErrorClass, FailureKind, FaultBudget, FaultingSink, FaultingSource, FlakySource,
+    RetryPolicy,
+};
 pub use flow::{DataSink, DataSource, Flow, FlowId, FlowMeta};
 pub use manager::{SchedPolicy, TransferManager, TransferStats};
 pub use sched::{CacheAwareScheduler, FcfsScheduler, Scheduler, StrideScheduler};

@@ -14,6 +14,7 @@ use crate::adaptive::AdaptiveSelector;
 use crate::concurrency::{
     launch_thread, Completion, EmulatedProcessLauncher, ModelKind, SharedProcessLauncher,
 };
+use crate::fault::{cancelled_error, classify, deadline_error, ErrorClass, FailureKind};
 use crate::flow::{DataSink, DataSource, Flow, FlowId, FlowMeta, StepOutcome};
 use crate::sched::{CacheAwareScheduler, FcfsScheduler, Scheduler, StrideScheduler};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
@@ -21,7 +22,7 @@ use nest_obs::{Counter, EwmaMeter, Gauge, Histogram, Obs};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -86,18 +87,26 @@ impl Default for TransferConfig {
 /// appliance doing, and how fast is it doing it?").
 ///
 /// Metric names:
-///   `transfer.bytes_total`, `transfer.completed`, `transfer.failures`,
-///   `transfer.model.switches` — counters;
-///   `transfer.bandwidth_bps` — EWMA meter of delivered bytes/sec;
-///   `transfer.queue_depth` — gauge of in-flight flows (event + external);
-///   `transfer.sched.pass_us`, `transfer.latency_us` — histograms;
-///   `transfer.class.<class>.bytes` / `.bandwidth_bps` — per-class pairs,
-///   created lazily on first completion for the class.
+/// - `transfer.bytes_total`, `transfer.completed`, `transfer.failures`,
+///   `transfer.model.switches` — counters
+/// - `transfer.retries`, `transfer.aborted`, `transfer.deadline_exceeded`,
+///   `transfer.cancelled` — failure-domain counters (retry attempts,
+///   sink-abort cleanups, deadline expiries, cancellations)
+/// - `transfer.bandwidth_bps` — EWMA meter of delivered bytes/sec
+/// - `transfer.queue_depth` — gauge of in-flight flows (event + retry-wait
+///   + external)
+/// - `transfer.sched.pass_us`, `transfer.latency_us` — histograms
+/// - `transfer.class.<class>.bytes` / `.bandwidth_bps` — per-class pairs,
+///   created lazily on first completion for the class
 struct EngineMetrics {
     obs: Arc<Obs>,
     bytes_total: Arc<Counter>,
     completed: Arc<Counter>,
     failures: Arc<Counter>,
+    retries: Arc<Counter>,
+    aborted: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
+    cancelled: Arc<Counter>,
     model_switches: Arc<Counter>,
     bandwidth: Arc<EwmaMeter>,
     queue_depth: Arc<Gauge>,
@@ -114,6 +123,10 @@ impl EngineMetrics {
             bytes_total: m.counter("transfer.bytes_total"),
             completed: m.counter("transfer.completed"),
             failures: m.counter("transfer.failures"),
+            retries: m.counter("transfer.retries"),
+            aborted: m.counter("transfer.aborted"),
+            deadline_exceeded: m.counter("transfer.deadline_exceeded"),
+            cancelled: m.counter("transfer.cancelled"),
             model_switches: m.counter("transfer.model.switches"),
             bandwidth: m.meter("transfer.bandwidth_bps"),
             queue_depth: m.gauge("transfer.queue_depth"),
@@ -141,13 +154,19 @@ impl EngineMetrics {
 }
 
 /// Per-class delivered statistics.
+///
+/// Failures are counted separately from completions: `bytes`,
+/// `completed`, and `total_latency` describe *successful* transfers only,
+/// so bandwidth and latency derived from them stay honest under faults.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ClassStats {
-    /// Bytes delivered for this class.
+    /// Bytes delivered for this class (successful transfers only).
     pub bytes: u64,
-    /// Completed transfers.
+    /// Successfully completed transfers.
     pub completed: u64,
-    /// Sum of transfer latencies in seconds.
+    /// Transfers that ended in error (after any retries).
+    pub failed: u64,
+    /// Sum of successful-transfer latencies in seconds.
     pub total_latency: f64,
 }
 
@@ -156,10 +175,17 @@ pub struct ClassStats {
 pub struct TransferStats {
     /// Per-protocol-class stats.
     pub classes: HashMap<String, ClassStats>,
-    /// Completions per concurrency model.
+    /// Finished transfers (successes *and* failures) per concurrency
+    /// model — the assignment mix the adaptive selector produced.
     pub per_model: HashMap<ModelKind, u64>,
     /// Transfers that ended in error.
     pub failures: u64,
+    /// Transient-failure retry attempts across all flows.
+    pub retries: u64,
+    /// Flows that failed because their deadline elapsed.
+    pub deadline_exceeded: u64,
+    /// Flows cancelled by their submitter.
+    pub cancelled: u64,
 }
 
 impl TransferStats {
@@ -184,6 +210,7 @@ impl TransferStats {
 /// Handle for awaiting one submitted transfer.
 pub struct TransferHandle {
     rx: Receiver<io::Result<u64>>,
+    cancel: Arc<AtomicBool>,
 }
 
 impl TransferHandle {
@@ -202,11 +229,20 @@ impl TransferHandle {
     pub fn try_wait(&self) -> Option<io::Result<u64>> {
         self.rx.try_recv().ok()
     }
+
+    /// Requests cooperative cancellation. The engine (or the external
+    /// executor) notices at the next chunk boundary, aborts the sink
+    /// (cleaning up partial output), and completes the flow with an
+    /// `Interrupted` error — so a subsequent [`TransferHandle::wait`]
+    /// returns promptly.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
 }
 
 enum EngineMsg {
     Submit {
-        flow: Flow,
+        flow: Box<Flow>,
         respond: Sender<io::Result<u64>>,
     },
     Shutdown,
@@ -251,11 +287,12 @@ impl TransferManager {
         sink: Box<dyn DataSink>,
     ) -> TransferHandle {
         let (respond, rx) = bounded(1);
-        let flow = Flow::new(meta, source, sink, self.chunk_size_hint());
+        let cancel = Arc::clone(&meta.cancel);
+        let flow = Box::new(Flow::new(meta, source, sink, self.chunk_size_hint()));
         // A send failure means the engine is gone; the handle will surface
         // a BrokenPipe when waited on.
         let _ = self.tx.send(EngineMsg::Submit { flow, respond });
-        TransferHandle { rx }
+        TransferHandle { rx, cancel }
     }
 
     fn chunk_size_hint(&self) -> usize {
@@ -289,6 +326,24 @@ struct EventFlow {
     flow: Flow,
     start: Instant,
     respond: Sender<io::Result<u64>>,
+    /// Transient-failure retries consumed so far.
+    retries: u32,
+    /// Absolute deadline (from `FlowMeta::deadline`), fixed at admission.
+    deadline: Option<Instant>,
+}
+
+impl EventFlow {
+    fn new(flow: Flow, respond: Sender<io::Result<u64>>) -> Self {
+        let start = Instant::now();
+        let deadline = flow.meta.deadline.map(|d| start + d);
+        Self {
+            flow,
+            start,
+            respond,
+            retries: 0,
+            deadline,
+        }
+    }
 }
 
 struct Engine {
@@ -301,6 +356,9 @@ struct Engine {
     chunk_size: usize,
     launcher: SharedProcessLauncher,
     event_flows: HashMap<FlowId, EventFlow>,
+    /// Event-model flows waiting out a retry backoff; re-admitted to the
+    /// scheduler when their instant arrives. Still counted as in-flight.
+    retry_queue: Vec<(Instant, EventFlow)>,
     stats: Arc<Mutex<TransferStats>>,
     outstanding_external: usize,
     shutting_down: bool,
@@ -349,6 +407,7 @@ impl Engine {
             chunk_size: config.chunk_size,
             launcher: config.process_launcher,
             event_flows: HashMap::new(),
+            retry_queue: Vec::new(),
             stats,
             outstanding_external: 0,
             shutting_down: false,
@@ -357,11 +416,46 @@ impl Engine {
         }
     }
 
-    /// In-flight flows across both the event engine and external models.
+    /// In-flight flows across the event engine, the retry wait-room, and
+    /// external models.
     fn note_queue_depth(&self) {
         if let Some(m) = &self.metrics {
-            m.queue_depth
-                .set((self.event_flows.len() + self.outstanding_external) as i64);
+            m.queue_depth.set(
+                (self.event_flows.len() + self.retry_queue.len() + self.outstanding_external)
+                    as i64,
+            );
+        }
+    }
+
+    /// Moves retry-queue entries whose backoff has elapsed back into the
+    /// scheduler; fails entries whose deadline passed or that were
+    /// cancelled while waiting.
+    fn requeue_due_retries(&mut self) {
+        if self.retry_queue.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let due: Vec<EventFlow> = {
+            let mut due = Vec::new();
+            let mut i = 0;
+            while i < self.retry_queue.len() {
+                if self.retry_queue[i].0 <= now {
+                    due.push(self.retry_queue.swap_remove(i).1);
+                } else {
+                    i += 1;
+                }
+            }
+            due
+        };
+        for ef in due {
+            if ef.flow.meta.is_cancelled() {
+                self.fail_event_flow(ef, cancelled_error(), FailureKind::Cancelled);
+            } else if ef.deadline.is_some_and(|d| now >= d) {
+                self.fail_event_flow(ef, deadline_error(), FailureKind::DeadlineExceeded);
+            } else {
+                self.scheduler.admit(&ef.flow.meta);
+                self.event_flows.insert(ef.flow.meta.id, ef);
+            }
         }
     }
 
@@ -372,13 +466,20 @@ impl Engine {
                 self.outstanding_external -= 1;
                 self.finish(completion, respond);
             }
+            // Wake flows whose retry backoff has elapsed.
+            self.requeue_due_retries();
             // Accept new submissions.
             let idle = self.event_flows.is_empty();
-            if idle && self.outstanding_external == 0 && self.shutting_down {
+            if idle
+                && self.retry_queue.is_empty()
+                && self.outstanding_external == 0
+                && self.shutting_down
+            {
                 return;
             }
             if idle {
-                // Nothing to interleave: block briefly for work.
+                // Nothing to interleave: block briefly for work (retry
+                // wakeups are bounded by the same quantum).
                 match self.rx.recv_timeout(Duration::from_millis(20)) {
                     Ok(msg) => self.handle(msg),
                     Err(RecvTimeoutError::Timeout) => continue,
@@ -408,7 +509,8 @@ impl Engine {
     fn handle(&mut self, msg: EngineMsg) {
         match msg {
             EngineMsg::Shutdown => self.shutting_down = true,
-            EngineMsg::Submit { mut flow, respond } => {
+            EngineMsg::Submit { flow, respond } => {
+                let mut flow = *flow;
                 let model = match (&mut self.selector, self.fixed_model) {
                     (_, Some(m)) => m,
                     (Some(sel), None) => sel.choose(),
@@ -425,14 +527,8 @@ impl Engine {
                         // Rebuffer to the engine's chunk size.
                         flow = rebuffer(flow, self.chunk_size);
                         self.scheduler.admit(&flow.meta);
-                        self.event_flows.insert(
-                            flow.meta.id,
-                            EventFlow {
-                                flow,
-                                start: Instant::now(),
-                                respond,
-                            },
-                        );
+                        self.event_flows
+                            .insert(flow.meta.id, EventFlow::new(flow, respond));
                     }
                     ModelKind::Threads => {
                         let tx = self.completion_tx.clone();
@@ -460,6 +556,24 @@ impl Engine {
         }
     }
 
+    /// Fails an event-model flow: aborts the sink (partial-output
+    /// cleanup), builds the failure completion, and reports it. The flow
+    /// must already be detached from the scheduler and `event_flows`.
+    fn fail_event_flow(&mut self, mut ef: EventFlow, error: io::Error, kind: FailureKind) {
+        ef.flow.abort();
+        let completion = Completion {
+            bytes: ef.flow.moved(),
+            meta: ef.flow.meta.clone(),
+            elapsed: ef.start.elapsed(),
+            model: ModelKind::Events,
+            result: Err(error),
+            retries: ef.retries,
+            aborted: true,
+            failure: Some(kind),
+        };
+        self.finish(completion, ef.respond);
+    }
+
     fn step_events(&mut self) {
         let Some(id) = self.scheduler.next() else {
             // Non-work-conserving idle quantum: model the wait.
@@ -472,6 +586,20 @@ impl Engine {
             self.scheduler.done(id);
             return;
         };
+        // Cooperative cancellation and deadlines are honored at chunk
+        // boundaries, before spending more I/O on a doomed flow.
+        if ef.flow.meta.is_cancelled() {
+            self.scheduler.done(id);
+            let ef = self.event_flows.remove(&id).unwrap();
+            self.fail_event_flow(ef, cancelled_error(), FailureKind::Cancelled);
+            return;
+        }
+        if ef.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.scheduler.done(id);
+            let ef = self.event_flows.remove(&id).unwrap();
+            self.fail_event_flow(ef, deadline_error(), FailureKind::DeadlineExceeded);
+            return;
+        }
         match ef.flow.step() {
             Ok(StepOutcome::Moved(n)) => {
                 self.scheduler.account(id, n as u64);
@@ -485,29 +613,49 @@ impl Engine {
                     elapsed: ef.start.elapsed(),
                     model: ModelKind::Events,
                     result: Ok(()),
+                    retries: ef.retries,
+                    aborted: false,
+                    failure: None,
                 };
                 self.finish(completion, ef.respond);
             }
             Err(e) => {
                 self.scheduler.done(id);
-                let ef = self.event_flows.remove(&id).unwrap();
-                let completion = Completion {
-                    bytes: ef.flow.moved(),
-                    meta: ef.flow.meta.clone(),
-                    elapsed: ef.start.elapsed(),
-                    model: ModelKind::Events,
-                    result: Err(e),
-                };
-                self.finish(completion, ef.respond);
+                let mut ef = self.event_flows.remove(&id).unwrap();
+                // Plan a retry if the failure is transient, the budget
+                // allows it, the backoff fits inside the deadline, and both
+                // endpoints can be replayed. The engine thread never
+                // sleeps: the flow waits in the retry queue instead.
+                let policy = ef.flow.meta.retry.clone();
+                let backoff = policy.backoff(ef.retries + 1);
+                let within_deadline = ef.deadline.is_none_or(|d| Instant::now() + backoff < d);
+                if classify(e.kind()) == ErrorClass::Transient
+                    && policy.allows_retry(ef.retries)
+                    && within_deadline
+                    && ef.flow.reset_for_retry().is_ok()
+                {
+                    ef.retries += 1;
+                    self.retry_queue.push((Instant::now() + backoff, ef));
+                    self.note_queue_depth();
+                    return;
+                }
+                self.fail_event_flow(ef, e, FailureKind::Io);
             }
         }
     }
 
     fn finish(&mut self, completion: Completion, respond: Sender<io::Result<u64>>) {
         let seconds = completion.elapsed.as_secs_f64();
+        let ok = completion.result.is_ok();
         if let Some(sel) = &mut self.selector {
-            if completion.result.is_ok() {
+            if ok {
                 sel.report(completion.model, completion.bytes, seconds.max(1e-9));
+            } else {
+                // A failed completion decays the model's score so a broken
+                // model stops attracting traffic (bugfix: previously only
+                // successes were reported, so an always-failing model kept
+                // its optimistic standing forever).
+                sel.report_failure(completion.model);
             }
         }
         {
@@ -516,26 +664,48 @@ impl Engine {
                 .classes
                 .entry(completion.meta.class.clone())
                 .or_default();
-            class.bytes += completion.bytes;
-            class.completed += 1;
-            class.total_latency += seconds;
+            if ok {
+                // Delivered-work accounting covers successes only so
+                // bandwidth/latency stay honest under faults (bugfix:
+                // failures used to inflate both).
+                class.bytes += completion.bytes;
+                class.completed += 1;
+                class.total_latency += seconds;
+            } else {
+                class.failed += 1;
+            }
             *stats.per_model.entry(completion.model).or_insert(0) += 1;
-            if completion.result.is_err() {
+            stats.retries += u64::from(completion.retries);
+            if !ok {
                 stats.failures += 1;
+                match completion.failure {
+                    Some(FailureKind::DeadlineExceeded) => stats.deadline_exceeded += 1,
+                    Some(FailureKind::Cancelled) => stats.cancelled += 1,
+                    _ => {}
+                }
             }
         }
         if let Some(m) = &mut self.metrics {
-            m.bytes_total.add(completion.bytes);
-            m.bandwidth.mark(completion.bytes);
-            m.latency_us.record(completion.elapsed);
-            if completion.result.is_ok() {
+            m.retries.add(u64::from(completion.retries));
+            if ok {
+                m.bytes_total.add(completion.bytes);
+                m.bandwidth.mark(completion.bytes);
+                m.latency_us.record(completion.elapsed);
                 m.completed.inc();
+                let (class_bytes, class_bw) = m.class(&completion.meta.class);
+                class_bytes.add(completion.bytes);
+                class_bw.mark(completion.bytes);
             } else {
                 m.failures.inc();
+                if completion.aborted {
+                    m.aborted.inc();
+                }
+                match completion.failure {
+                    Some(FailureKind::DeadlineExceeded) => m.deadline_exceeded.inc(),
+                    Some(FailureKind::Cancelled) => m.cancelled.inc(),
+                    _ => {}
+                }
             }
-            let (class_bytes, class_bw) = m.class(&completion.meta.class);
-            class_bytes.add(completion.bytes);
-            class_bw.mark(completion.bytes);
         }
         self.note_queue_depth();
         let bytes = completion.bytes;
@@ -742,5 +912,203 @@ mod tests {
         };
         assert_eq!(h.wait().unwrap(), 1000);
         drop(tm); // must not hang
+    }
+
+    // -- failure domain ----------------------------------------------------
+
+    use crate::concurrency::ProcessLauncher;
+    use crate::fault::{FaultBudget, FaultingSource, RetryPolicy};
+
+    /// An endless source that trickles bytes slowly (for cancel/deadline
+    /// tests: the flow can never finish on its own).
+    struct Trickle;
+    impl DataSource for Trickle {
+        fn read_chunk(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            std::thread::sleep(Duration::from_millis(1));
+            let n = buf.len().min(1024);
+            buf[..n].fill(7);
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn failed_transfer_not_counted_as_completed() {
+        // Regression: failures incremented `completed` and their partial
+        // bytes inflated class bandwidth.
+        let tm = TransferManager::new(config_fixed(ModelKind::Events));
+        let meta = FlowMeta::new(tm.next_flow_id(), "chirp", Some(200_000));
+        let src = FaultingSource::new(
+            PatternSource::new(200_000),
+            4096,
+            io::ErrorKind::NotFound, // permanent: no retry
+            FaultBudget::Always,
+        );
+        let h = tm.submit(meta, Box::new(src), Box::new(CountingSink::default()));
+        assert!(h.wait().is_err());
+        let stats = tm.stats();
+        let class = &stats.classes["chirp"];
+        assert_eq!(class.completed, 0, "failure counted as completion");
+        assert_eq!(class.bytes, 0, "failed bytes inflated class bytes");
+        assert_eq!(class.failed, 1);
+        assert_eq!(stats.failures, 1);
+        // The failure still shows up in the assignment mix.
+        assert_eq!(stats.per_model.get(&ModelKind::Events), Some(&1));
+        tm.shutdown();
+    }
+
+    #[test]
+    fn transient_fault_retried_to_success_on_each_model() {
+        for model in [ModelKind::Events, ModelKind::Threads, ModelKind::Processes] {
+            let tm = TransferManager::new(config_fixed(model));
+            let meta = FlowMeta::new(tm.next_flow_id(), "chirp", Some(100_000))
+                .with_retry(RetryPolicy::standard().with_seed(9));
+            let src = FaultingSource::new(
+                PatternSource::new(100_000),
+                0,
+                io::ErrorKind::ConnectionReset,
+                FaultBudget::Times(2),
+            );
+            let h = tm.submit(meta, Box::new(src), Box::new(CountingSink::default()));
+            assert_eq!(h.wait().unwrap(), 100_000, "model {}", model);
+            let stats = tm.stats();
+            assert_eq!(stats.retries, 2, "model {}", model);
+            assert_eq!(stats.failures, 0, "model {}", model);
+            assert_eq!(stats.classes["chirp"].completed, 1, "model {}", model);
+            tm.shutdown();
+        }
+    }
+
+    #[test]
+    fn retries_exhausted_is_terminal_failure() {
+        let tm = TransferManager::new(config_fixed(ModelKind::Events));
+        let meta = FlowMeta::new(tm.next_flow_id(), "chirp", Some(100_000))
+            .with_retry(RetryPolicy::standard().with_seed(3).with_max_attempts(2));
+        let src = FaultingSource::new(
+            PatternSource::new(100_000),
+            0,
+            io::ErrorKind::ConnectionReset,
+            FaultBudget::Always,
+        );
+        let h = tm.submit(meta, Box::new(src), Box::new(CountingSink::default()));
+        let err = h.wait().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        let stats = tm.stats();
+        assert_eq!(stats.retries, 1); // 2 attempts = 1 retry
+        assert_eq!(stats.failures, 1);
+        tm.shutdown();
+    }
+
+    #[test]
+    fn cancel_interrupts_flow_on_each_model() {
+        for model in [ModelKind::Events, ModelKind::Threads, ModelKind::Processes] {
+            let tm = TransferManager::new(config_fixed(model));
+            let meta = FlowMeta::new(tm.next_flow_id(), "chirp", None);
+            let h = tm.submit(meta, Box::new(Trickle), Box::new(CountingSink::default()));
+            std::thread::sleep(Duration::from_millis(10));
+            h.cancel();
+            let err = h.wait().unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::Interrupted, "model {}", model);
+            let stats = tm.stats();
+            assert_eq!(stats.cancelled, 1, "model {}", model);
+            assert_eq!(stats.failures, 1, "model {}", model);
+            tm.shutdown();
+        }
+    }
+
+    #[test]
+    fn deadline_expires_slow_flow() {
+        for model in [ModelKind::Events, ModelKind::Threads] {
+            let tm = TransferManager::new(config_fixed(model));
+            let meta = FlowMeta::new(tm.next_flow_id(), "chirp", None)
+                .with_deadline(Duration::from_millis(30));
+            let h = tm.submit(meta, Box::new(Trickle), Box::new(CountingSink::default()));
+            let err = h.wait().unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::TimedOut, "model {}", model);
+            let stats = tm.stats();
+            assert_eq!(stats.deadline_exceeded, 1, "model {}", model);
+            tm.shutdown();
+        }
+    }
+
+    #[test]
+    fn terminal_failure_aborts_sink_and_drains_queue() {
+        let obs = Obs::new();
+        let tm = TransferManager::new(TransferConfig {
+            model: ModelSelection::Fixed(ModelKind::Events),
+            obs: Some(Arc::clone(&obs)),
+            ..TransferConfig::default()
+        });
+        let meta = FlowMeta::new(tm.next_flow_id(), "chirp", Some(100_000));
+        let src = FaultingSource::new(
+            PatternSource::new(100_000),
+            0,
+            io::ErrorKind::PermissionDenied,
+            FaultBudget::Always,
+        );
+        let h = tm.submit(meta, Box::new(src), Box::new(CountingSink::default()));
+        assert!(h.wait().is_err());
+        let snap = obs.snapshot();
+        assert_eq!(snap.count("transfer.failures"), 1);
+        assert_eq!(snap.count("transfer.aborted"), 1);
+        assert_eq!(snap.count("transfer.completed"), 0);
+        assert_eq!(snap.count("transfer.bytes_total"), 0);
+        assert_eq!(snap.count("transfer.queue_depth"), 0);
+        tm.shutdown();
+    }
+
+    /// A process launcher whose every dispatch fails immediately — the
+    /// "permanently-failing external model" from the adaptive-selection
+    /// regression.
+    struct FailingLauncher;
+    impl ProcessLauncher for FailingLauncher {
+        fn launch(&self, mut flow: Flow, on_done: Box<dyn FnOnce(Completion) + Send>) {
+            flow.abort();
+            on_done(Completion {
+                meta: flow.meta.clone(),
+                bytes: 0,
+                elapsed: Duration::from_millis(1),
+                model: ModelKind::Processes,
+                result: Err(io::Error::new(io::ErrorKind::NotFound, "worker pool dead")),
+                retries: 0,
+                aborted: true,
+                failure: Some(FailureKind::Io),
+            });
+        }
+    }
+
+    #[test]
+    fn failing_process_model_stops_attracting_traffic() {
+        // Regression: only successes were reported to the selector, so a
+        // model that always failed kept its optimistic INFINITY standing
+        // and was chosen forever.
+        let tm = TransferManager::new(TransferConfig {
+            model: ModelSelection::Adaptive(vec![ModelKind::Threads, ModelKind::Processes]),
+            process_launcher: Arc::new(FailingLauncher),
+            ..TransferConfig::default()
+        });
+        for _ in 0..64 {
+            let meta = FlowMeta::new(tm.next_flow_id(), "chirp", Some(32 * 1024));
+            let h = tm.submit(
+                meta,
+                Box::new(PatternSource::new(32 * 1024)),
+                Box::new(CountingSink::default()),
+            );
+            // Sequential waits: the selector sees each outcome before the
+            // next pick, so the convergence bound is deterministic.
+            let _ = h.wait();
+        }
+        let stats = tm.stats();
+        let procs = stats
+            .per_model
+            .get(&ModelKind::Processes)
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            procs <= 32,
+            "broken process model still received {} of 64 assignments",
+            procs
+        );
+        assert_eq!(stats.failures, procs);
+        tm.shutdown();
     }
 }

@@ -125,14 +125,29 @@ impl StrideScheduler {
 
     /// Sets a protocol class's ticket allocation. Ratios between classes'
     /// tickets are the desired bandwidth ratios.
+    ///
+    /// Safe to call while the class has runnable flows: the queue is
+    /// preserved (an earlier version rebuilt the whole `ClassState`,
+    /// silently discarding admitted flows — they were never scheduled
+    /// again and their submitters hung forever). Only the stride is
+    /// recomputed; the pass *ahead of global virtual time* is rescaled to
+    /// the new stride so an in-flight class neither hoards credit nor owes
+    /// a debt after a ticket change.
     pub fn set_tickets(&mut self, class: &str, tickets: u32) {
+        let tickets = tickets.max(1);
+        let global = self.global_pass;
         let entry = self
             .classes
             .entry(class.to_owned())
             .or_insert_with(|| ClassState::new(tickets));
-        let done_fraction = entry.pass; // keep accumulated pass
-        *entry = ClassState::new(tickets);
-        entry.pass = done_fraction;
+        let old_stride = entry.stride.max(1);
+        entry.tickets = tickets;
+        entry.stride = STRIDE1 / tickets as u64;
+        // Rescale accumulated credit relative to global virtual time so the
+        // remaining "debt" means the same number of *bytes* under the new
+        // stride (classic stride-scheduler ticket-change transformation).
+        let ahead = entry.pass.saturating_sub(global);
+        entry.pass = global + ahead / old_stride as u128 * entry.stride as u128;
     }
 
     /// The tickets configured for a class (or the default).
@@ -385,6 +400,48 @@ mod tests {
         let d = drive(&mut s, 100, 1024);
         assert_eq!(d.get(&FlowId(1)), Some(&(50 * 1024)));
         assert_eq!(d.get(&FlowId(2)), Some(&(50 * 1024)));
+    }
+
+    #[test]
+    fn set_tickets_preserves_runnable_flows() {
+        // Regression: changing a class's tickets while it had runnable
+        // flows rebuilt the whole ClassState, silently discarding its
+        // queue — the flows were never scheduled again and their
+        // submitters hung forever.
+        let mut s = StrideScheduler::new();
+        s.admit(&meta(1, "a"));
+        s.admit(&meta(2, "a"));
+        s.set_tickets("a", 500);
+        assert_eq!(s.runnable(), 2, "queue discarded by ticket change");
+        let d = drive(&mut s, 20, 1024);
+        assert!(d.contains_key(&FlowId(1)), "flow 1 stranded");
+        assert!(d.contains_key(&FlowId(2)), "flow 2 stranded");
+    }
+
+    #[test]
+    fn set_tickets_mid_stream_keeps_proportions_sane() {
+        // After a mid-stream ticket change the class must neither hoard
+        // credit nor owe an unbounded debt: both classes keep making
+        // progress at roughly the new 1:1 ratio.
+        let mut s = StrideScheduler::new();
+        s.set_tickets("a", 400);
+        s.set_tickets("b", 100);
+        s.admit(&meta(1, "a"));
+        s.admit(&meta(2, "b"));
+        let _ = drive(&mut s, 200, 1024);
+        s.set_tickets("a", 100);
+        let d = drive(&mut s, 400, 1024);
+        let da = *d.get(&FlowId(1)).unwrap_or(&0);
+        let db = *d.get(&FlowId(2)).unwrap_or(&0);
+        assert!(da > 0 && db > 0, "a={} b={}", da, db);
+        let ratio = da as f64 / db as f64;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "post-change ratio {} out of band (a={} b={})",
+            ratio,
+            da,
+            db
+        );
     }
 
     #[test]

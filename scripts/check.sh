@@ -14,4 +14,10 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> fault matrix (deterministic fault injection across models x policies)"
+cargo test -p nest-transfer --release --test fault_matrix
+
+echo "==> fault stress loop (seeded, --features fault-injection)"
+cargo test -p nest-transfer --release --features fault-injection fault_stress
+
 echo "==> all checks passed"

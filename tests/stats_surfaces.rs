@@ -49,6 +49,18 @@ fn http_and_chirp_stats_agree_after_workload() {
         via_chirp["transfer.class.http.bytes"]
     );
 
+    // Failure-domain instruments are registered eagerly, so a healthy
+    // appliance renders them as explicit zeros on every surface.
+    for key in [
+        "transfer.retries",
+        "transfer.aborted",
+        "transfer.deadline_exceeded",
+        "transfer.cancelled",
+    ] {
+        assert_eq!(via_http[key], 0.0, "{}", key);
+        assert_eq!(via_chirp[key], 0.0, "{}", key);
+    }
+
     // Per-layer highlights on the rendered form.
     assert!(via_http["dispatch.op.put"] >= 1.0);
     assert!(via_http["dispatch.op.get"] >= 1.0);
