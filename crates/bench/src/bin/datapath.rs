@@ -1,0 +1,529 @@
+//! Real-mode data-path benchmark: the per-chunk syscall/allocation storm,
+//! measured (DESIGN.md §10).
+//!
+//! Drives GET and PUT flows through the live transfer engine over a
+//! [`LocalFsBackend`], plus an NFS-style 8 KiB block-read workload straight
+//! against the backend, across the 2×2 ablation of the two data-path
+//! optimizations this repo applies:
+//!
+//! * **FD handle cache** (storage layer): positional I/O on a cached open
+//!   file handle vs open-per-chunk (the seed's open+seek+read+close).
+//! * **Chunk buffer pool** (transfer layer): recycled staging buffers vs a
+//!   fresh `vec![0; chunk_size]` per flow.
+//!
+//! Methodology: each workload is measured over several repetitions with
+//! the four configs interleaved round-robin, and the median is reported —
+//! on a shared single-CPU host, background writeback hits whichever config
+//! happens to be running, and interleaving spreads that noise across all
+//! of them instead of poisoning one.
+//!
+//! Emits machine-readable results to `BENCH_datapath.json` (override with
+//! `--out <path>`); `--smoke` shrinks sizes for the CI gate. The binary
+//! validates its own output (all rates finite and positive) and exits
+//! non-zero otherwise.
+
+use nest_bench::Table;
+use nest_core::dispatcher::{BackendSink, BackendSource};
+use nest_storage::{
+    AclTable, LocalFsBackend, Principal, ReclaimPolicy, StorageBackend, StorageManager, VPath,
+};
+use nest_transfer::flow::{CountingSink, DataSource, FlowMeta, PatternSource};
+use nest_transfer::manager::{
+    ModelSelection, SchedPolicy, TransferConfig, TransferHandle, TransferManager,
+};
+use nest_transfer::ModelKind;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+const CHUNK: usize = 64 * 1024;
+const BLOCK: usize = 8 * 1024;
+/// Pipelining depth for flow submission; below the pool's idle bound so
+/// buffers recycle in steady state.
+const IN_FLIGHT: usize = 16;
+
+struct Sizes {
+    file_size: u64,
+    files: usize,
+    /// GET volume per repetition, in whole passes over the working set.
+    get_rounds: usize,
+    /// PUT flows per repetition, in multiples of `files`.
+    put_rounds: usize,
+    nfs_file: u64,
+    nfs_passes: usize,
+    reps: usize,
+}
+
+impl Sizes {
+    fn real() -> Self {
+        Self {
+            file_size: 1 << 20, // 1 MiB, the ISSUE workload
+            files: 8,
+            get_rounds: 16, // 128 MiB of GETs per rep per config
+            put_rounds: 4,  // 32 MiB of PUTs per rep per config
+            nfs_file: 4 << 20,
+            nfs_passes: 16,
+            reps: 5,
+        }
+    }
+
+    fn smoke() -> Self {
+        Self {
+            file_size: 64 << 10,
+            files: 2,
+            get_rounds: 2,
+            put_rounds: 2,
+            nfs_file: 64 << 10,
+            nfs_passes: 2,
+            reps: 1,
+        }
+    }
+}
+
+/// One live config under test: a storage stack plus a transfer engine.
+struct Ctx {
+    name: &'static str,
+    pool: bool,
+    cache: bool,
+    dir: PathBuf,
+    backend: Arc<LocalFsBackend>,
+    storage: Arc<StorageManager>,
+    tm: TransferManager,
+    get_paths: Vec<VPath>,
+    get_samples: Vec<f64>,
+    put_samples: Vec<f64>,
+    nfs_samples: Vec<f64>,
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nest-datapath-{}-{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn setup(name: &'static str, pool: bool, cache: bool, sz: &Sizes) -> Ctx {
+    let dir = scratch(name);
+    let backend = Arc::new(
+        LocalFsBackend::new(&dir)
+            .unwrap()
+            .with_handle_cache_capacity(if cache { 128 } else { 0 }),
+    );
+    let storage = Arc::new(
+        StorageManager::new(
+            Arc::clone(&backend) as Arc<dyn StorageBackend>,
+            AclTable::open_by_default(),
+            u64::MAX / 4,
+            ReclaimPolicy::Lru,
+        )
+        .with_lots_disabled(),
+    );
+    let tm = TransferManager::new(TransferConfig {
+        policy: SchedPolicy::Fcfs,
+        model: ModelSelection::Fixed(ModelKind::Events),
+        chunk_size: CHUNK,
+        pool_buffers: pool,
+        ..TransferConfig::default()
+    });
+
+    // Stage the GET working set and warm the OS page cache.
+    let get_paths: Vec<VPath> = (0..sz.files)
+        .map(|i| VPath::parse(&format!("/get{i}.dat")).unwrap())
+        .collect();
+    let body: Vec<u8> = (0..sz.file_size).map(|i| (i % 251) as u8).collect();
+    let mut warm = vec![0u8; CHUNK];
+    for p in &get_paths {
+        backend.create(p).unwrap();
+        backend.write_at(p, 0, &body).unwrap();
+        let mut off = 0u64;
+        while backend.read_at(p, off, &mut warm).unwrap() > 0 {
+            off += CHUNK as u64;
+        }
+    }
+    // Stage the NFS block-read file.
+    let nfs = VPath::parse("/nfs.dat").unwrap();
+    backend.create(&nfs).unwrap();
+    backend
+        .write_at(&nfs, 0, &vec![0x42u8; sz.nfs_file as usize])
+        .unwrap();
+
+    Ctx {
+        name,
+        pool,
+        cache,
+        dir,
+        backend,
+        storage,
+        tm,
+        get_paths,
+        get_samples: Vec::new(),
+        put_samples: Vec::new(),
+        nfs_samples: Vec::new(),
+    }
+}
+
+/// GET: 1 MiB files through the live engine in 64 KiB chunks, pipelined
+/// behind a bounded in-flight window (a loaded server, not a ping-pong
+/// client). Returns MB/s.
+fn measure_get(ctx: &Ctx, sz: &Sizes) -> f64 {
+    let start = Instant::now();
+    let mut window: VecDeque<TransferHandle> = VecDeque::new();
+    for _ in 0..sz.get_rounds {
+        for p in &ctx.get_paths {
+            let meta = FlowMeta::new(ctx.tm.next_flow_id(), "get", Some(sz.file_size));
+            let src = BackendSource::new(Arc::clone(&ctx.storage), p.clone(), 0, sz.file_size);
+            window.push_back(
+                ctx.tm
+                    .submit(meta, Box::new(src), Box::new(CountingSink::default())),
+            );
+            if window.len() >= IN_FLIGHT {
+                assert_eq!(window.pop_front().unwrap().wait().unwrap(), sz.file_size);
+            }
+        }
+    }
+    for h in window {
+        assert_eq!(h.wait().unwrap(), sz.file_size);
+    }
+    let bytes = sz.get_rounds as u64 * sz.files as u64 * sz.file_size;
+    bytes as f64 / start.elapsed().as_secs_f64() / 1e6
+}
+
+/// PUT: 1 MiB files through the live engine onto a rotating set of
+/// IN_FLIGHT paths (overwrite semantics, as a busy ingest point sees): the
+/// dirty working set stays bounded so the numbers measure the data path,
+/// not the host's writeback heuristics. A path is reused only after its
+/// previous flow has been awaited. Returns MB/s.
+fn measure_put(ctx: &Ctx, sz: &Sizes) -> f64 {
+    let who = Principal::user("bench");
+    let put_paths: Vec<VPath> = (0..IN_FLIGHT)
+        .map(|i| VPath::parse(&format!("/put{i}.dat")).unwrap())
+        .collect();
+    let total = sz.put_rounds * sz.files;
+    let start = Instant::now();
+    let mut window: VecDeque<TransferHandle> = VecDeque::new();
+    for s in 0..total {
+        if window.len() >= IN_FLIGHT {
+            assert_eq!(window.pop_front().unwrap().wait().unwrap(), sz.file_size);
+        }
+        let p = &put_paths[s % IN_FLIGHT];
+        ctx.storage
+            .begin_put(&who, "bench", p, sz.file_size)
+            .unwrap();
+        let meta = FlowMeta::new(ctx.tm.next_flow_id(), "put", Some(sz.file_size));
+        let sink = BackendSink::whole_file(Arc::clone(&ctx.storage), who.clone(), p.clone());
+        window.push_back(ctx.tm.submit(
+            meta,
+            Box::new(PatternSource::new(sz.file_size)),
+            Box::new(sink),
+        ));
+    }
+    for h in window {
+        assert_eq!(h.wait().unwrap(), sz.file_size);
+    }
+    let elapsed = start.elapsed();
+    for p in &put_paths {
+        let _ = ctx.backend.remove(p);
+    }
+    total as u64 as f64 * sz.file_size as f64 / elapsed.as_secs_f64() / 1e6
+}
+
+/// NFS-style sequential 8 KiB block reads straight against the backend.
+/// Returns blocks/sec.
+fn measure_nfs(ctx: &Ctx, sz: &Sizes) -> f64 {
+    let nfs = VPath::parse("/nfs.dat").unwrap();
+    let mut block = vec![0u8; BLOCK];
+    let start = Instant::now();
+    let mut blocks = 0u64;
+    for _ in 0..sz.nfs_passes {
+        let mut off = 0u64;
+        while ctx.backend.read_at(&nfs, off, &mut block).unwrap() > 0 {
+            off += BLOCK as u64;
+            blocks += 1;
+        }
+    }
+    blocks as f64 / start.elapsed().as_secs_f64()
+}
+
+fn median(samples: &[f64]) -> f64 {
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    s[s.len() / 2]
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // All strings we emit are static identifiers; guard anyway.
+    assert!(!s.contains(['"', '\\']), "unexpected JSON-unsafe string");
+    s
+}
+
+struct ConfigResult {
+    name: &'static str,
+    pool: bool,
+    cache: bool,
+    get_mbps: f64,
+    put_mbps: f64,
+    nfs_blocks_per_sec: f64,
+    hc_hits: u64,
+    hc_misses: u64,
+    pool_reuse: u64,
+    pool_fresh: u64,
+}
+
+fn emit_json(out: &PathBuf, smoke: bool, sz: &Sizes, results: &[ConfigResult]) {
+    let find = |name: &str| results.iter().find(|r| r.name == name).unwrap();
+    let base = find("baseline");
+    let best = find("pool+handle-cache");
+    let get_speedup = best.get_mbps / base.get_mbps;
+    let put_speedup = best.put_mbps / base.put_mbps;
+    let nfs_speedup = best.nfs_blocks_per_sec / base.nfs_blocks_per_sec;
+
+    let mut configs = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            configs.push(',');
+        }
+        configs.push_str(&format!(
+            concat!(
+                "\n    {{\"name\":\"{}\",\"pool_buffers\":{},\"handle_cache\":{},",
+                "\"get_mbps\":{:.2},\"put_mbps\":{:.2},\"nfs_blocks_per_sec\":{:.0},",
+                "\"handlecache_hits\":{},\"handlecache_misses\":{},",
+                "\"bufpool_reuse\":{},\"bufpool_fresh\":{}}}"
+            ),
+            json_escape_free(r.name),
+            r.pool,
+            r.cache,
+            r.get_mbps,
+            r.put_mbps,
+            r.nfs_blocks_per_sec,
+            r.hc_hits,
+            r.hc_misses,
+            r.pool_reuse,
+            r.pool_fresh,
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"datapath\",\n",
+            "  \"smoke\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"file_size\": {},\n",
+            "  \"chunk_size\": {},\n",
+            "  \"block_size\": {},\n",
+            "  \"configs\": [{}\n  ],\n",
+            "  \"get_speedup\": {:.3},\n",
+            "  \"put_speedup\": {:.3},\n",
+            "  \"nfs_speedup\": {:.3}\n",
+            "}}\n"
+        ),
+        smoke, sz.reps, sz.file_size, CHUNK, BLOCK, configs, get_speedup, put_speedup, nfs_speedup
+    );
+    std::fs::write(out, &json).unwrap();
+
+    // Self-validation: every reported rate must be finite and positive.
+    let ok = results.iter().all(|r| {
+        r.get_mbps.is_finite()
+            && r.get_mbps > 0.0
+            && r.put_mbps.is_finite()
+            && r.put_mbps > 0.0
+            && r.nfs_blocks_per_sec.is_finite()
+            && r.nfs_blocks_per_sec > 0.0
+    }) && get_speedup.is_finite()
+        && put_speedup.is_finite()
+        && nfs_speedup.is_finite();
+    if !ok {
+        eprintln!("datapath: self-validation FAILED (non-finite or zero rate)");
+        std::process::exit(1);
+    }
+    println!("\nwrote {}", out.display());
+    println!(
+        "speedups (pool+handle-cache vs baseline, medians of {} reps): GET {:.2}x, PUT {:.2}x, 8K blocks {:.2}x",
+        sz.reps, get_speedup, put_speedup, nfs_speedup
+    );
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = PathBuf::from("BENCH_datapath.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--micro" => return micro(),
+            "--smoke" => smoke = true,
+            "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
+            other => panic!("unknown flag {other:?} (expected --smoke / --out <path>)"),
+        }
+    }
+    let sz = if smoke { Sizes::smoke() } else { Sizes::real() };
+    println!(
+        "Data-path ablation: {} x {} KiB files, {} KiB chunks, {} KiB NFS blocks, {} reps{}\n",
+        sz.files,
+        sz.file_size >> 10,
+        CHUNK >> 10,
+        BLOCK >> 10,
+        sz.reps,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut ctxs = vec![
+        setup("baseline", false, false, &sz),
+        setup("bufpool", true, false, &sz),
+        setup("handle-cache", false, true, &sz),
+        setup("pool+handle-cache", true, true, &sz),
+    ];
+
+    // Interleave configs within each repetition so host-level noise
+    // (writeback, scheduler) spreads across all of them.
+    for rep in 0..sz.reps {
+        for ctx in ctxs.iter_mut() {
+            let v = measure_get(ctx, &sz);
+            ctx.get_samples.push(v);
+            let _ = rep;
+        }
+    }
+    for _ in 0..sz.reps {
+        for ctx in ctxs.iter_mut() {
+            let v = measure_put(ctx, &sz);
+            ctx.put_samples.push(v);
+        }
+    }
+    for _ in 0..sz.reps {
+        for ctx in ctxs.iter_mut() {
+            let v = measure_nfs(ctx, &sz);
+            ctx.nfs_samples.push(v);
+        }
+    }
+
+    let mut results = Vec::new();
+    for ctx in ctxs {
+        let hc = ctx.backend.handle_cache_stats();
+        let bp = ctx.tm.buffer_pool().stats();
+        results.push(ConfigResult {
+            name: ctx.name,
+            pool: ctx.pool,
+            cache: ctx.cache,
+            get_mbps: median(&ctx.get_samples),
+            put_mbps: median(&ctx.put_samples),
+            nfs_blocks_per_sec: median(&ctx.nfs_samples),
+            hc_hits: hc.hits,
+            hc_misses: hc.misses,
+            pool_reuse: bp.reuse,
+            pool_fresh: bp.fresh,
+        });
+        ctx.tm.shutdown();
+        let _ = std::fs::remove_dir_all(&ctx.dir);
+    }
+
+    let mut table = Table::new(&[
+        "config",
+        "GET MB/s",
+        "PUT MB/s",
+        "8K blk/s",
+        "hc hit/miss",
+        "pool reuse/fresh",
+    ]);
+    for r in &results {
+        table.row(vec![
+            r.name.into(),
+            format!("{:.0}", r.get_mbps),
+            format!("{:.0}", r.put_mbps),
+            format!("{:.0}", r.nfs_blocks_per_sec),
+            format!("{}/{}", r.hc_hits, r.hc_misses),
+            format!("{}/{}", r.pool_reuse, r.pool_fresh),
+        ]);
+    }
+    table.print();
+
+    emit_json(&out, smoke, &sz, &results);
+}
+
+/// Micro-breakdown (dev aid, `--micro`): where does a chunk's time go?
+fn micro() {
+    let dir = scratch("micro");
+    let backend = Arc::new(
+        LocalFsBackend::new(&dir)
+            .unwrap()
+            .with_handle_cache_capacity(128),
+    );
+    let storage = Arc::new(
+        StorageManager::new(
+            Arc::clone(&backend) as Arc<dyn StorageBackend>,
+            AclTable::open_by_default(),
+            u64::MAX / 4,
+            ReclaimPolicy::Lru,
+        )
+        .with_lots_disabled(),
+    );
+    let p = VPath::parse("/f.dat").unwrap();
+    backend.create(&p).unwrap();
+    backend.write_at(&p, 0, &vec![7u8; 1 << 20]).unwrap();
+    let mut buf = vec![0u8; CHUNK];
+    let n = 100_000u64;
+    for i in 0..16 {
+        backend.read_at(&p, i * CHUNK as u64, &mut buf).unwrap();
+    }
+    let t = Instant::now();
+    for i in 0..n {
+        backend
+            .read_at(&p, (i % 16) * CHUNK as u64, &mut buf)
+            .unwrap();
+    }
+    println!(
+        "backend.read_at: {:.2}us",
+        t.elapsed().as_secs_f64() / n as f64 * 1e6
+    );
+    let t = Instant::now();
+    for i in 0..n {
+        storage
+            .read_chunk(&p, (i % 16) * CHUNK as u64, &mut buf)
+            .unwrap();
+    }
+    println!(
+        "storage.read_chunk: {:.2}us",
+        t.elapsed().as_secs_f64() / n as f64 * 1e6
+    );
+    let t = Instant::now();
+    let rounds = n / 16;
+    for _ in 0..rounds {
+        let mut src = BackendSource::new(Arc::clone(&storage), p.clone(), 0, 1 << 20);
+        for _ in 0..16 {
+            src.read_chunk(&mut buf).unwrap();
+        }
+    }
+    println!(
+        "BackendSource.read_chunk: {:.2}us",
+        t.elapsed().as_secs_f64() / (rounds * 16) as f64 * 1e6
+    );
+    // Pure engine overhead: a no-I/O flow (pattern fill -> counter).
+    let tm = TransferManager::new(TransferConfig {
+        policy: SchedPolicy::Fcfs,
+        model: ModelSelection::Fixed(ModelKind::Events),
+        chunk_size: CHUNK,
+        pool_buffers: true,
+        ..TransferConfig::default()
+    });
+    let flows = 256u64;
+    let t = Instant::now();
+    let mut window: VecDeque<TransferHandle> = VecDeque::new();
+    for _ in 0..flows {
+        let meta = FlowMeta::new(tm.next_flow_id(), "x", Some(1 << 20));
+        window.push_back(tm.submit(
+            meta,
+            Box::new(PatternSource::new(1 << 20)),
+            Box::new(CountingSink::default()),
+        ));
+        if window.len() >= IN_FLIGHT {
+            window.pop_front().unwrap().wait().unwrap();
+        }
+    }
+    for h in window {
+        h.wait().unwrap();
+    }
+    println!(
+        "engine chunk (pattern->counter): {:.2}us",
+        t.elapsed().as_secs_f64() / (flows * 16) as f64 * 1e6
+    );
+    tm.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

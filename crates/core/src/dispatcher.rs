@@ -116,6 +116,7 @@ impl Dispatcher {
     pub fn new(config: &NestConfig) -> io::Result<Self> {
         let mut acl_store = None;
         let mut lot_store = None;
+        let obs = config.obs.clone().unwrap_or_default();
         let backend: Arc<dyn StorageBackend> = match &config.backend {
             BackendKind::Memory => Arc::new(MemBackend::new()),
             BackendKind::LocalFs(root) => {
@@ -127,7 +128,9 @@ impl Dispatcher {
                 let mut store = root.clone().into_os_string();
                 store.push(".lots");
                 lot_store = Some(std::path::PathBuf::from(store));
-                Arc::new(LocalFsBackend::new(root)?)
+                // Disk chunk I/O runs through the backend's FD handle
+                // cache; publish handlecache.* on the shared registry.
+                Arc::new(LocalFsBackend::new(root)?.with_obs(&obs))
             }
         };
         let acl = match &acl_store {
@@ -137,7 +140,6 @@ impl Dispatcher {
             }
             _ => AclTable::open_by_default(),
         };
-        let obs = config.obs.clone().unwrap_or_default();
         let mut storage = StorageManager::new(backend, acl, config.capacity, config.reclaim);
         if !config.enforce_lots {
             storage = storage.with_lots_disabled();
@@ -155,6 +157,7 @@ impl Dispatcher {
             chunk_size: 64 * 1024,
             process_launcher: Arc::new(SubprocessLauncher::new()),
             obs: Some(Arc::clone(&obs)),
+            pool_buffers: true,
         });
         let metrics = DispatchMetrics::new(&obs);
         Ok(Self {

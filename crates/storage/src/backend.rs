@@ -7,12 +7,14 @@
 //! both present the same chunk-oriented [`StorageBackend`] trait so the rest
 //! of NeST is oblivious to the physical medium.
 
+use crate::handle_cache::{HandleCache, HandleCacheStats, Lookup};
 use crate::namespace::VPath;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::fs;
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// What kind of object a path names.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -302,17 +304,53 @@ impl StorageBackend for MemBackend {
 
 /// A backend rooted at a host directory. Virtual paths map beneath the root;
 /// [`VPath`]'s invariants guarantee they cannot escape it.
+///
+/// Chunk I/O goes through an LRU [`HandleCache`] of open descriptors
+/// (default capacity [`DEFAULT_HANDLE_CACHE_CAPACITY`]): steady-state
+/// reads and writes are a single positional `pread`/`pwrite` on an
+/// already-open, shared handle — no open, no seek, no close per chunk.
+/// Every metadata mutation (`remove`, `rename`, `truncate`, recreate)
+/// invalidates affected handles so a cached descriptor can never serve a
+/// deleted file or clobber a renamed one. The [`MemBackend`] has no
+/// descriptors and therefore bypasses the cache entirely.
 #[derive(Debug)]
 pub struct LocalFsBackend {
     root: PathBuf,
+    handles: HandleCache,
 }
+
+/// Default bound on descriptors the handle cache keeps open.
+pub const DEFAULT_HANDLE_CACHE_CAPACITY: usize = 128;
 
 impl LocalFsBackend {
     /// Creates a backend rooted at `root`, creating the directory if absent.
     pub fn new(root: impl AsRef<Path>) -> io::Result<Self> {
         let root = root.as_ref().to_path_buf();
         fs::create_dir_all(&root)?;
-        Ok(Self { root })
+        Ok(Self {
+            root,
+            handles: HandleCache::new(DEFAULT_HANDLE_CACHE_CAPACITY),
+        })
+    }
+
+    /// Bounds the handle cache to `capacity` open descriptors; `0`
+    /// disables caching (every chunk opens fresh — the pre-cache
+    /// behavior, kept for ablation and for hosts with tight fd limits).
+    pub fn with_handle_cache_capacity(mut self, capacity: usize) -> Self {
+        self.handles = HandleCache::new(capacity);
+        self
+    }
+
+    /// Registers the `handlecache.*` instruments on an observability
+    /// registry.
+    pub fn with_obs(self, obs: &nest_obs::Obs) -> Self {
+        self.handles.register_obs(obs);
+        self
+    }
+
+    /// Handle-cache counters (hits/misses/evictions/open descriptors).
+    pub fn handle_cache_stats(&self) -> HandleCacheStats {
+        self.handles.stats()
     }
 
     fn host_path(&self, path: &VPath) -> PathBuf {
@@ -322,21 +360,66 @@ impl LocalFsBackend {
         }
         p
     }
+
+    /// Resolves a (possibly cached) open handle for `path`. Misses open
+    /// read-write when possible so one descriptor serves both directions;
+    /// read lookups fall back to read-only for unwritable files. The
+    /// returned handle is shared — I/O must be positional.
+    fn handle_for(&self, path: &VPath, need_write: bool) -> io::Result<Arc<fs::File>> {
+        match self.handles.lookup(path, need_write) {
+            Lookup::Hit(file) => Ok(file),
+            Lookup::Disabled => {
+                // Uncached fallback: plain open in the needed mode.
+                let file = if need_write {
+                    fs::OpenOptions::new()
+                        .write(true)
+                        .open(self.host_path(path))?
+                } else {
+                    fs::File::open(self.host_path(path))?
+                };
+                Ok(Arc::new(file))
+            }
+            Lookup::Miss { epoch } => {
+                let host = self.host_path(path);
+                let (file, writable) =
+                    match fs::OpenOptions::new().read(true).write(true).open(&host) {
+                        Ok(f) => (f, true),
+                        Err(e) if !need_write && e.kind() == io::ErrorKind::PermissionDenied => {
+                            (fs::File::open(&host)?, false)
+                        }
+                        Err(e) => return Err(e),
+                    };
+                let file = Arc::new(file);
+                self.handles
+                    .insert(path, Arc::clone(&file), writable, epoch);
+                Ok(file)
+            }
+        }
+    }
 }
 
-impl StorageBackend for LocalFsBackend {
-    fn create(&self, path: &VPath) -> io::Result<()> {
-        fs::OpenOptions::new()
-            .write(true)
-            .create_new(true)
-            .open(self.host_path(path))
-            .map(|_| ())
+/// Positional full-buffer read with short-read looping (`pread` on Unix;
+/// a per-call handle with seek elsewhere, since shared seeks would race).
+fn read_at_handle(file: &fs::File, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        let mut filled = 0;
+        while filled < buf.len() {
+            match file.read_at(&mut buf[filled..], offset + filled as u64) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(filled)
     }
-
-    fn read_at(&self, path: &VPath, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
-        let mut f = fs::File::open(self.host_path(path))?;
+    #[cfg(not(unix))]
+    {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = file;
         f.seek(SeekFrom::Start(offset))?;
-        // Loop to fill as much as possible (read may return short counts).
         let mut filled = 0;
         while filled < buf.len() {
             match f.read(&mut buf[filled..]) {
@@ -348,24 +431,93 @@ impl StorageBackend for LocalFsBackend {
         }
         Ok(filled)
     }
+}
 
-    fn write_at(&self, path: &VPath, offset: u64, data: &[u8]) -> io::Result<()> {
-        let mut f = fs::OpenOptions::new()
-            .write(true)
-            .open(self.host_path(path))?;
+/// Positional full-buffer write (`pwrite` on Unix). Writing past EOF
+/// extends the file; skipped ranges read back as zeros, matching the
+/// trait's sparse-write contract.
+fn write_at_handle(file: &fs::File, offset: u64, data: &[u8]) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.write_all_at(data, offset)
+    }
+    #[cfg(not(unix))]
+    {
+        use std::io::{Seek, SeekFrom, Write};
+        let mut f = file;
         f.seek(SeekFrom::Start(offset))?;
         f.write_all(data)
+    }
+}
+
+impl StorageBackend for LocalFsBackend {
+    fn create(&self, path: &VPath) -> io::Result<()> {
+        fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(self.host_path(path))
+            .map(|_| ())?;
+        // The name now means a brand-new (empty) file; no descriptor
+        // opened under the old meaning may be cached.
+        self.handles.invalidate(path);
+        Ok(())
+    }
+
+    fn read_at(&self, path: &VPath, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        if !self.handles.enabled() {
+            // Pre-cache behavior, kept verbatim for ablation (capacity 0):
+            // open + seek + read for every chunk.
+            use std::io::{Read, Seek, SeekFrom};
+            let mut f = fs::File::open(self.host_path(path))?;
+            f.seek(SeekFrom::Start(offset))?;
+            let mut filled = 0;
+            while filled < buf.len() {
+                match f.read(&mut buf[filled..]) {
+                    Ok(0) => break,
+                    Ok(n) => filled += n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            return Ok(filled);
+        }
+        let file = self.handle_for(path, false)?;
+        read_at_handle(&file, offset, buf)
+    }
+
+    fn write_at(&self, path: &VPath, offset: u64, data: &[u8]) -> io::Result<()> {
+        if !self.handles.enabled() {
+            // Pre-cache behavior, kept verbatim for ablation (capacity 0):
+            // open + seek + write for every chunk.
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = fs::OpenOptions::new()
+                .write(true)
+                .open(self.host_path(path))?;
+            f.seek(SeekFrom::Start(offset))?;
+            return f.write_all(data);
+        }
+        let file = self.handle_for(path, true)?;
+        write_at_handle(&file, offset, data)
     }
 
     fn truncate(&self, path: &VPath, size: u64) -> io::Result<()> {
         let f = fs::OpenOptions::new()
             .write(true)
             .open(self.host_path(path))?;
-        f.set_len(size)
+        f.set_len(size)?;
+        // Conservative: a truncate usually precedes an overwrite; drop any
+        // cached descriptor so the rewrite starts from a fresh lookup.
+        self.handles.invalidate(path);
+        Ok(())
     }
 
     fn remove(&self, path: &VPath) -> io::Result<()> {
-        fs::remove_file(self.host_path(path))
+        fs::remove_file(self.host_path(path))?;
+        // A cached descriptor would pin the unlinked inode and happily
+        // serve deleted bytes — drop it, and fence racing opens.
+        self.handles.invalidate(path);
+        Ok(())
     }
 
     fn rename(&self, from: &VPath, to: &VPath) -> io::Result<()> {
@@ -373,7 +525,12 @@ impl StorageBackend for LocalFsBackend {
         if dst.exists() {
             return Err(io::Error::new(io::ErrorKind::AlreadyExists, "exists"));
         }
-        fs::rename(self.host_path(from), dst)
+        fs::rename(self.host_path(from), dst)?;
+        // Both names changed meaning: `from` no longer exists and `to` is
+        // a different inode than any descriptor cached under it.
+        self.handles.invalidate(from);
+        self.handles.invalidate(to);
+        Ok(())
     }
 
     fn mkdir(&self, path: &VPath) -> io::Result<()> {

@@ -1,0 +1,375 @@
+//! LRU cache of open file handles for the disk-backed data path.
+//!
+//! The paper's performance case (§7) is that a software-only appliance can
+//! approach kernel-server throughput. Opening, seeking and closing a file
+//! for **every 64 KiB chunk** forfeits that: steady-state GET/PUT paid
+//! three to four syscalls of pure overhead per chunk. This cache keeps an
+//! open [`File`] per hot [`VPath`] and serves chunk I/O with positional
+//! `pread`/`pwrite` (`std::os::unix::fs::FileExt`) — zero redundant
+//! syscalls per chunk, and the handle is shared (`Arc<File>`) so
+//! concurrent readers of one file need only one descriptor.
+//!
+//! ## Staleness
+//!
+//! A cached descriptor pins an *inode*, not a *name*. After `remove`,
+//! `rename` or a recreate, the name may point at different bytes (or
+//! nothing), so the backend explicitly [`HandleCache::invalidate`]s every
+//! affected path on metadata mutations. Insertions are epoch-guarded: a
+//! handle opened before an invalidation that raced with it is used for
+//! its one operation but never cached, so a stale descriptor can never be
+//! re-served.
+//!
+//! ## Sizing
+//!
+//! Capacity bounds open descriptors; eviction is least-recently-used.
+//! Capacity 0 disables caching entirely (every operation opens fresh —
+//! the ablation baseline and the pre-cache behavior).
+
+use crate::namespace::VPath;
+use nest_obs::{Counter, Gauge, Obs};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs::File;
+use std::sync::Arc;
+
+/// Point-in-time counters for the cache (see also the
+/// `handlecache.{hits,misses,evictions,open_fds}` instruments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HandleCacheStats {
+    /// Chunk operations served by an already-open descriptor.
+    pub hits: u64,
+    /// Operations that had to open the file.
+    pub misses: u64,
+    /// Handles closed to make room under the capacity bound.
+    pub evictions: u64,
+    /// Descriptors currently held open by the cache.
+    pub open: u64,
+}
+
+/// One cached handle. `writable` records the open mode: read-only opens
+/// (a fallback for files we cannot open read-write) never serve writes.
+struct Entry {
+    file: Arc<File>,
+    writable: bool,
+    /// Monotonic last-use stamp for LRU eviction.
+    stamp: u64,
+}
+
+struct CacheState {
+    entries: HashMap<VPath, Entry>,
+    /// Monotonic use counter backing the LRU stamps.
+    tick: u64,
+    /// Bumped by every invalidation; insertions captured under an older
+    /// epoch are dropped instead of cached (see module docs).
+    epoch: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Obs instrument handles, resolved once at registration.
+struct CacheInstruments {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    open_fds: Arc<Gauge>,
+}
+
+/// The handle cache. Cheap to share (`Arc` internally not required — the
+/// backend owns it); all state sits behind one short-held mutex, and the
+/// actual I/O happens outside the lock on the cloned `Arc<File>`.
+pub struct HandleCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+    instruments: Mutex<Option<CacheInstruments>>,
+}
+
+impl std::fmt::Debug for HandleCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("HandleCache")
+            .field("capacity", &self.capacity)
+            .field("open", &st.entries.len())
+            .field("hits", &st.hits)
+            .field("misses", &st.misses)
+            .field("evictions", &st.evictions)
+            .finish()
+    }
+}
+
+/// What a lookup resolved to: a cached handle plus the epoch under which a
+/// replacement may be inserted.
+pub(crate) enum Lookup {
+    /// Cache hit: use this handle.
+    Hit(Arc<File>),
+    /// Miss: open the file yourself, then offer it back via
+    /// [`HandleCache::insert`] with this epoch.
+    Miss { epoch: u64 },
+    /// Caching disabled (capacity 0): open fresh, do not insert.
+    Disabled,
+}
+
+impl HandleCache {
+    /// Creates a cache bounding open descriptors to `capacity` (0
+    /// disables caching).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                tick: 0,
+                epoch: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            instruments: Mutex::new(None),
+        }
+    }
+
+    /// Whether caching is active.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Registers the `handlecache.{hits,misses,evictions,open_fds}`
+    /// instruments on an observability registry and back-fills any counts
+    /// accumulated before registration.
+    pub fn register_obs(&self, obs: &Obs) {
+        let m = &obs.metrics;
+        let inst = CacheInstruments {
+            hits: m.counter("handlecache.hits"),
+            misses: m.counter("handlecache.misses"),
+            evictions: m.counter("handlecache.evictions"),
+            open_fds: m.gauge("handlecache.open_fds"),
+        };
+        let st = self.state.lock();
+        inst.hits.add(st.hits);
+        inst.misses.add(st.misses);
+        inst.evictions.add(st.evictions);
+        inst.open_fds.set(st.entries.len() as i64);
+        *self.instruments.lock() = Some(inst);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> HandleCacheStats {
+        let st = self.state.lock();
+        HandleCacheStats {
+            hits: st.hits,
+            misses: st.misses,
+            evictions: st.evictions,
+            open: st.entries.len() as u64,
+        }
+    }
+
+    /// Looks up a handle for `path`. `need_write` demands a handle opened
+    /// read-write; a cached read-only handle is treated as a miss (and
+    /// replaced on insert).
+    pub(crate) fn lookup(&self, path: &VPath, need_write: bool) -> Lookup {
+        if self.capacity == 0 {
+            return Lookup::Disabled;
+        }
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        if let Some(e) = st.entries.get_mut(path) {
+            if e.writable || !need_write {
+                e.stamp = tick;
+                let file = Arc::clone(&e.file);
+                st.hits += 1;
+                drop(st);
+                if let Some(i) = &*self.instruments.lock() {
+                    i.hits.inc();
+                }
+                return Lookup::Hit(file);
+            }
+            // Read-only handle but a write is needed: drop it; the caller
+            // reopens read-write and re-inserts.
+            st.entries.remove(path);
+        }
+        st.misses += 1;
+        let epoch = st.epoch;
+        let open = st.entries.len() as i64;
+        drop(st);
+        if let Some(i) = &*self.instruments.lock() {
+            i.misses.inc();
+            i.open_fds.set(open);
+        }
+        Lookup::Miss { epoch }
+    }
+
+    /// Offers a freshly opened handle for caching. Dropped (not cached) if
+    /// an invalidation happened since the `epoch` captured at lookup — the
+    /// open may have raced a rename/remove and observed a name that no
+    /// longer means the same file.
+    pub(crate) fn insert(&self, path: &VPath, file: Arc<File>, writable: bool, epoch: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut st = self.state.lock();
+        if st.epoch != epoch {
+            return; // raced an invalidation: use-once, never cache
+        }
+        st.tick += 1;
+        let tick = st.tick;
+        let mut evicted = 0u64;
+        while st.entries.len() >= self.capacity {
+            // LRU eviction: linear scan is fine — capacity is small (it
+            // bounds *open descriptors*, typically ≤ a few hundred) and we
+            // only scan on insert-at-capacity, never per chunk.
+            let Some(victim) = st
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(p, _)| p.clone())
+            else {
+                break;
+            };
+            st.entries.remove(&victim);
+            st.evictions += 1;
+            evicted += 1;
+        }
+        st.entries.insert(
+            path.clone(),
+            Entry {
+                file,
+                writable,
+                stamp: tick,
+            },
+        );
+        let open = st.entries.len() as i64;
+        drop(st);
+        if evicted > 0 || open > 0 {
+            if let Some(i) = &*self.instruments.lock() {
+                i.evictions.add(evicted);
+                i.open_fds.set(open);
+            }
+        }
+    }
+
+    /// Drops any cached handle for `path` and bumps the epoch so in-flight
+    /// opens of the same name cannot be cached. Must be called on every
+    /// operation that changes what the *name* means: remove, rename (both
+    /// ends), truncate, recreate, abort cleanup.
+    pub fn invalidate(&self, path: &VPath) {
+        let mut st = self.state.lock();
+        st.epoch += 1;
+        st.entries.remove(path);
+        let open = st.entries.len() as i64;
+        drop(st);
+        if let Some(i) = &*self.instruments.lock() {
+            i.open_fds.set(open);
+        }
+    }
+
+    /// Drops every cached handle (e.g. wholesale namespace changes).
+    pub fn invalidate_all(&self) {
+        let mut st = self.state.lock();
+        st.epoch += 1;
+        st.entries.clear();
+        drop(st);
+        if let Some(i) = &*self.instruments.lock() {
+            i.open_fds.set(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn vp(s: &str) -> VPath {
+        VPath::parse(s).unwrap()
+    }
+
+    fn tmpfile(dir: &std::path::Path, name: &str, content: &[u8]) -> std::path::PathBuf {
+        let p = dir.join(name);
+        let mut f = File::create(&p).unwrap();
+        f.write_all(content).unwrap();
+        p
+    }
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("nest-hcache-{}-{}", tag, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let dir = tempdir("hit");
+        let host = tmpfile(&dir, "f", b"abc");
+        let c = HandleCache::new(4);
+        let path = vp("/f");
+        let Lookup::Miss { epoch } = c.lookup(&path, false) else {
+            panic!("expected miss");
+        };
+        c.insert(&path, Arc::new(File::open(&host).unwrap()), false, epoch);
+        assert!(matches!(c.lookup(&path, false), Lookup::Hit(_)));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.open), (1, 1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn capacity_zero_disables() {
+        let c = HandleCache::new(0);
+        assert!(!c.enabled());
+        assert!(matches!(c.lookup(&vp("/f"), false), Lookup::Disabled));
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let dir = tempdir("lru");
+        let c = HandleCache::new(2);
+        for name in ["a", "b", "c"] {
+            let host = tmpfile(&dir, name, b"x");
+            let path = vp(&format!("/{}", name));
+            let Lookup::Miss { epoch } = c.lookup(&path, false) else {
+                panic!("miss expected");
+            };
+            c.insert(&path, Arc::new(File::open(&host).unwrap()), false, epoch);
+        }
+        let s = c.stats();
+        assert_eq!(s.open, 2);
+        assert_eq!(s.evictions, 1);
+        // "a" was the LRU victim.
+        assert!(matches!(c.lookup(&vp("/a"), false), Lookup::Miss { .. }));
+        assert!(matches!(c.lookup(&vp("/c"), false), Lookup::Hit(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalidation_races_block_insert() {
+        let dir = tempdir("race");
+        let host = tmpfile(&dir, "f", b"abc");
+        let c = HandleCache::new(4);
+        let path = vp("/f");
+        let Lookup::Miss { epoch } = c.lookup(&path, false) else {
+            panic!("miss expected");
+        };
+        // An invalidation lands between the open and the insert.
+        c.invalidate(&path);
+        c.insert(&path, Arc::new(File::open(&host).unwrap()), false, epoch);
+        assert!(matches!(c.lookup(&path, false), Lookup::Miss { .. }));
+        assert_eq!(c.stats().open, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_lookup_rejects_readonly_handle() {
+        let dir = tempdir("ro");
+        let host = tmpfile(&dir, "f", b"abc");
+        let c = HandleCache::new(4);
+        let path = vp("/f");
+        let Lookup::Miss { epoch } = c.lookup(&path, false) else {
+            panic!("miss expected");
+        };
+        c.insert(&path, Arc::new(File::open(&host).unwrap()), false, epoch);
+        // A writer must not receive the read-only handle.
+        assert!(matches!(c.lookup(&path, true), Lookup::Miss { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

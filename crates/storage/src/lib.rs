@@ -11,6 +11,9 @@
 //!   ([`backend::LocalFsBackend`]) or main memory
 //!   ([`backend::MemBackend`]). The paper uses the local filesystem and
 //!   names raw disk and memory as planned alternatives.
+//! * [`handle_cache`] — an LRU of open file descriptors keyed by virtual
+//!   path, so steady-state chunk transfers pay zero `open(2)` calls
+//!   (paper §7: approaching kernel-server performance in user space).
 //! * [`acl`] — AFS-style access control lists built on ClassAds, enforced
 //!   identically across every protocol.
 //! * [`lot`] — storage-space guarantees: a *lot* has an owner, capacity,
@@ -26,6 +29,7 @@
 
 pub mod acl;
 pub mod backend;
+pub mod handle_cache;
 pub mod lot;
 pub mod manager;
 pub mod namespace;
@@ -33,6 +37,7 @@ pub mod quota;
 
 pub use acl::{AccessRight, AclEntry, AclTable, Principal};
 pub use backend::{FileKind, FileStat, LocalFsBackend, MemBackend, StorageBackend};
+pub use handle_cache::{HandleCache, HandleCacheStats};
 pub use lot::{Lot, LotError, LotId, LotManager, ReclaimPolicy};
 pub use manager::{StorageError, StorageManager};
 pub use namespace::{PathError, VPath};

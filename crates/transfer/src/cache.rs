@@ -12,7 +12,8 @@
 //! an LRU list over file extents with a byte-capacity bound.
 
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// An LRU simulation of the host buffer cache, keyed by file name.
 ///
@@ -36,15 +37,33 @@ pub struct CacheModel {
     inner: Mutex<CacheState>,
 }
 
+#[derive(Debug, Clone, Copy)]
+struct FileEntry {
+    /// Resident bytes for this file.
+    bytes: u64,
+    /// Last-use stamp; the key of this file's slot in `order`.
+    stamp: u64,
+}
+
+/// The model's state. The LRU order is a stamp-indexed map rather than a
+/// `Vec<String>`: refresh/evict are `O(log n)` map operations instead of
+/// `O(n)` vector scans, and keys are shared `Arc<str>`s so the observe
+/// path performs no string allocation for files the model already knows —
+/// this sits on every chunk-served request, so it must not grow with the
+/// working set.
 #[derive(Debug)]
 struct CacheState {
     capacity: u64,
     used: u64,
-    /// file → resident bytes.
-    resident: HashMap<String, u64>,
-    /// LRU order: front = coldest. (A Vec is fine: the working sets in a
-    /// storage appliance are hundreds of files, not millions.)
-    order: Vec<String>,
+    /// file → (resident bytes, LRU stamp). `Arc<str>` keys are shared
+    /// with `order`, so lookups take `&str` and refreshes clone a
+    /// refcount, not a string.
+    resident: HashMap<Arc<str>, FileEntry>,
+    /// LRU order: stamp → file; first entry = coldest. Eviction is
+    /// `pop_first`, refresh is remove + insert at a new stamp.
+    order: BTreeMap<u64, Arc<str>>,
+    /// Monotonic counter backing the stamps.
+    tick: u64,
     hits: u64,
     misses: u64,
 }
@@ -57,7 +76,8 @@ impl CacheModel {
                 capacity,
                 used: 0,
                 resident: HashMap::new(),
-                order: Vec::new(),
+                order: BTreeMap::new(),
+                tick: 0,
                 hits: 0,
                 misses: 0,
             }),
@@ -78,14 +98,16 @@ impl CacheModel {
     /// when the model believes the whole file is resident.
     pub fn predict_resident(&self, file: &str, size: u64) -> bool {
         let st = self.inner.lock();
-        st.resident.get(file).is_some_and(|&r| r >= size)
+        st.resident.get(file).is_some_and(|e| e.bytes >= size)
     }
 
     /// Records that NeST served a read or write of `file` with `size`
-    /// bytes: the kernel will now (most likely) hold it, evicting LRU data.
+    /// bytes: the kernel will now (most likely) hold it, evicting LRU
+    /// data. Takes `&str` and allocates only the first time a file is
+    /// seen; refreshes of known files are allocation-free `O(log n)`.
     pub fn observe_access(&self, file: &str, size: u64) {
         let mut st = self.inner.lock();
-        let was_hit = st.resident.get(file).is_some_and(|&r| r >= size);
+        let was_hit = st.resident.get(file).is_some_and(|e| e.bytes >= size);
         if was_hit {
             st.hits += 1;
         } else {
@@ -94,41 +116,47 @@ impl CacheModel {
 
         // A file larger than the whole cache leaves only its tail resident;
         // model that as "not resident" (predicting a hit for it would be
-        // wrong for a subsequent full-file read).
+        // wrong for a subsequent full-file read). It flushed everything
+        // else on its way through.
         if size > st.capacity {
-            if let Some(old) = st.resident.remove(file) {
-                st.used -= old;
-                st.order.retain(|f| f != file);
-            }
-            // It flushed everything else on its way through.
             st.resident.clear();
             st.order.clear();
             st.used = 0;
             return;
         }
 
-        // Refresh or insert this file at the MRU end.
-        if let Some(old) = st.resident.remove(file) {
-            st.used -= old;
-            st.order.retain(|f| f != file);
-        }
+        // Refresh or insert this file at the MRU end. A refresh reuses the
+        // existing shared key (refcount bump, no allocation).
+        st.tick += 1;
+        let stamp = st.tick;
+        let key: Arc<str> = match st.resident.remove_entry(file) {
+            Some((key, old)) => {
+                st.used -= old.bytes;
+                st.order.remove(&old.stamp);
+                key
+            }
+            None => Arc::from(file),
+        };
         // Evict from the LRU end until it fits.
         while st.used + size > st.capacity {
-            let victim = st.order.remove(0);
-            let freed = st.resident.remove(&victim).unwrap_or(0);
-            st.used -= freed;
+            let Some((_, victim)) = st.order.pop_first() else {
+                break;
+            };
+            if let Some(e) = st.resident.remove(&*victim) {
+                st.used -= e.bytes;
+            }
         }
-        st.resident.insert(file.to_owned(), size);
-        st.order.push(file.to_owned());
+        st.order.insert(stamp, Arc::clone(&key));
+        st.resident.insert(key, FileEntry { bytes: size, stamp });
         st.used += size;
     }
 
     /// Invalidates a file (it was deleted or truncated).
     pub fn invalidate(&self, file: &str) {
         let mut st = self.inner.lock();
-        if let Some(old) = st.resident.remove(file) {
-            st.used -= old;
-            st.order.retain(|f| f != file);
+        if let Some(e) = st.resident.remove(file) {
+            st.used -= e.bytes;
+            st.order.remove(&e.stamp);
         }
     }
 

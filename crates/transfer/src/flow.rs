@@ -5,6 +5,7 @@
 //! many flows under a scheduling policy, and what makes the stride
 //! scheduler's byte-based accounting exact.
 
+use crate::bufpool::PooledBuf;
 use crate::fault::RetryPolicy;
 use std::fmt;
 use std::io;
@@ -159,7 +160,7 @@ pub struct Flow {
     sink: Box<dyn DataSink>,
     moved: u64,
     done: bool,
-    buf: Vec<u8>,
+    buf: PooledBuf,
 }
 
 /// Result of advancing a flow by one chunk.
@@ -172,12 +173,27 @@ pub enum StepOutcome {
 }
 
 impl Flow {
-    /// Creates a flow with the given chunk size.
+    /// Creates a flow with a free-standing (unpooled) staging buffer of
+    /// the given chunk size. Hot paths should prefer
+    /// [`Flow::with_buffer`] with a [`crate::bufpool::BufPool`] checkout
+    /// so steady-state admission allocates nothing.
     pub fn new(
         meta: FlowMeta,
         source: Box<dyn DataSource>,
         sink: Box<dyn DataSink>,
         chunk_size: usize,
+    ) -> Self {
+        Self::with_buffer(meta, source, sink, PooledBuf::detached(chunk_size))
+    }
+
+    /// Creates a flow staging chunks through `buf` — typically a
+    /// [`crate::bufpool::BufPool`] checkout, returned to the pool when the
+    /// flow drops.
+    pub fn with_buffer(
+        meta: FlowMeta,
+        source: Box<dyn DataSource>,
+        sink: Box<dyn DataSink>,
+        buf: PooledBuf,
     ) -> Self {
         Self {
             meta,
@@ -185,8 +201,14 @@ impl Flow {
             sink,
             moved: 0,
             done: false,
-            buf: vec![0; chunk_size.max(1)],
+            buf,
         }
+    }
+
+    /// The chunk granularity this flow moves bytes at (its staging-buffer
+    /// size).
+    pub fn chunk_size(&self) -> usize {
+        self.buf.len()
     }
 
     /// Bytes moved so far.

@@ -12,6 +12,8 @@
 //!   Weihl), and **cache-aware** scheduling that serves predicted
 //!   cache-resident files first. Includes the non-work-conserving variant
 //!   the paper says it was "currently implementing".
+//! * [`bufpool`] — recycled chunk staging buffers, so steady-state
+//!   transfers allocate nothing per flow or per chunk.
 //! * [`cache`] — the gray-box buffer-cache model behind cache-aware
 //!   scheduling: an LRU simulation of the kernel page cache.
 //! * [`concurrency`] — the three concurrency models (threads, processes,
@@ -28,6 +30,7 @@
 //!   fault-injection sources/sinks for testing the failure path.
 
 pub mod adaptive;
+pub mod bufpool;
 pub mod cache;
 pub mod concurrency;
 pub mod fairness;
@@ -37,6 +40,7 @@ pub mod manager;
 pub mod sched;
 
 pub use adaptive::AdaptiveSelector;
+pub use bufpool::{BufPool, BufPoolStats, PooledBuf};
 pub use cache::CacheModel;
 pub use concurrency::ModelKind;
 pub use fairness::jain_fairness;

@@ -11,6 +11,7 @@
 //! assigns each incoming transfer to a model and learns from completions.
 
 use crate::adaptive::AdaptiveSelector;
+use crate::bufpool::BufPool;
 use crate::concurrency::{
     launch_thread, Completion, EmulatedProcessLauncher, ModelKind, SharedProcessLauncher,
 };
@@ -65,6 +66,10 @@ pub struct TransferConfig {
     /// Observability registry; `None` leaves the engine uninstrumented
     /// (zero overhead on the data path).
     pub obs: Option<Arc<Obs>>,
+    /// Recycle chunk staging buffers through a [`BufPool`] (steady-state
+    /// admission allocates nothing). `false` allocates per flow — the
+    /// pre-pool behavior, kept for ablation.
+    pub pool_buffers: bool,
 }
 
 impl Default for TransferConfig {
@@ -79,6 +84,7 @@ impl Default for TransferConfig {
             chunk_size: 64 * 1024,
             process_launcher: Arc::new(EmulatedProcessLauncher::default()),
             obs: None,
+            pool_buffers: true,
         }
     }
 }
@@ -96,6 +102,9 @@ impl Default for TransferConfig {
 /// - `transfer.queue_depth` — gauge of in-flight flows (event + retry-wait
 ///   + external)
 /// - `transfer.sched.pass_us`, `transfer.latency_us` — histograms
+/// - `transfer.engine.wakeups` / `transfer.engine.parks` — engine-loop
+///   iterations and blocking parks; a blocked engine should show few
+///   wakeups (the no-busy-spin regression guard)
 /// - `transfer.class.<class>.bytes` / `.bandwidth_bps` — per-class pairs,
 ///   created lazily on first completion for the class
 struct EngineMetrics {
@@ -112,6 +121,8 @@ struct EngineMetrics {
     queue_depth: Arc<Gauge>,
     sched_pass_us: Arc<Histogram>,
     latency_us: Arc<Histogram>,
+    engine_wakeups: Arc<Counter>,
+    engine_parks: Arc<Counter>,
     /// Per-class instrument cache; avoids registry lookups per completion.
     class_instruments: HashMap<String, (Arc<Counter>, Arc<EwmaMeter>)>,
 }
@@ -132,6 +143,8 @@ impl EngineMetrics {
             queue_depth: m.gauge("transfer.queue_depth"),
             sched_pass_us: m.histogram("transfer.sched.pass_us"),
             latency_us: m.histogram("transfer.latency_us"),
+            engine_wakeups: m.counter("transfer.engine.wakeups"),
+            engine_parks: m.counter("transfer.engine.parks"),
             class_instruments: HashMap::new(),
             obs,
         }
@@ -245,6 +258,14 @@ enum EngineMsg {
         flow: Box<Flow>,
         respond: Sender<io::Result<u64>>,
     },
+    /// An external-model (thread/process) flow finished. Routed through
+    /// the same channel as submissions so the engine has exactly one wait
+    /// point — `recv_timeout` on this channel — and any completion wakes
+    /// a parked engine immediately.
+    Completed {
+        completion: Box<Completion>,
+        respond: Sender<io::Result<u64>>,
+    },
     Shutdown,
 }
 
@@ -253,23 +274,38 @@ pub struct TransferManager {
     tx: Sender<EngineMsg>,
     stats: Arc<Mutex<TransferStats>>,
     next_id: AtomicU64,
+    pool: BufPool,
     engine: Option<std::thread::JoinHandle<()>>,
 }
+
+/// Idle chunk buffers the manager's pool keeps parked: enough for a burst
+/// of concurrent flows without unbounded memory retention.
+const POOL_MAX_IDLE: usize = 64;
 
 impl TransferManager {
     /// Starts a transfer manager with the given configuration.
     pub fn new(config: TransferConfig) -> Self {
+        let pool = if config.pool_buffers {
+            BufPool::new(config.chunk_size, POOL_MAX_IDLE)
+        } else {
+            BufPool::disabled(config.chunk_size)
+        };
+        if let Some(obs) = &config.obs {
+            pool.register_obs(obs);
+        }
         let (tx, rx) = unbounded();
         let stats = Arc::new(Mutex::new(TransferStats::default()));
         let engine_stats = Arc::clone(&stats);
+        let engine_tx = tx.clone();
         let engine = std::thread::Builder::new()
             .name("nest-transfer-engine".into())
-            .spawn(move || Engine::new(config, rx, engine_stats).run())
+            .spawn(move || Engine::new(config, rx, engine_tx, engine_stats).run())
             .expect("spawn transfer engine");
         Self {
             tx,
             stats,
             next_id: AtomicU64::new(1),
+            pool,
             engine: Some(engine),
         }
     }
@@ -288,15 +324,19 @@ impl TransferManager {
     ) -> TransferHandle {
         let (respond, rx) = bounded(1);
         let cancel = Arc::clone(&meta.cancel);
-        let flow = Box::new(Flow::new(meta, source, sink, self.chunk_size_hint()));
+        // The staging buffer comes from the pool: steady-state admission
+        // recycles a returned buffer instead of allocating.
+        let flow = Box::new(Flow::with_buffer(meta, source, sink, self.pool.checkout()));
         // A send failure means the engine is gone; the handle will surface
         // a BrokenPipe when waited on.
         let _ = self.tx.send(EngineMsg::Submit { flow, respond });
         TransferHandle { rx, cancel }
     }
 
-    fn chunk_size_hint(&self) -> usize {
-        64 * 1024
+    /// The chunk buffer pool flows stage through (counters for tests and
+    /// ablations).
+    pub fn buffer_pool(&self) -> &BufPool {
+        &self.pool
     }
 
     /// Snapshot of delivered statistics.
@@ -348,12 +388,13 @@ impl EventFlow {
 
 struct Engine {
     rx: Receiver<EngineMsg>,
-    completion_tx: Sender<(Completion, Sender<io::Result<u64>>)>,
-    completion_rx: Receiver<(Completion, Sender<io::Result<u64>>)>,
+    /// Clone of the manager's sender: external executors route their
+    /// completions back through it (see [`EngineMsg::Completed`]), and
+    /// holding it keeps the channel connected for the engine's lifetime.
+    self_tx: Sender<EngineMsg>,
     scheduler: Box<dyn Scheduler>,
     selector: Option<AdaptiveSelector>,
     fixed_model: Option<ModelKind>,
-    chunk_size: usize,
     launcher: SharedProcessLauncher,
     event_flows: HashMap<FlowId, EventFlow>,
     /// Event-model flows waiting out a retry backoff; re-admitted to the
@@ -372,6 +413,7 @@ impl Engine {
     fn new(
         config: TransferConfig,
         rx: Receiver<EngineMsg>,
+        self_tx: Sender<EngineMsg>,
         stats: Arc<Mutex<TransferStats>>,
     ) -> Self {
         let scheduler: Box<dyn Scheduler> = match &config.policy {
@@ -396,15 +438,12 @@ impl Engine {
             ModelSelection::Fixed(m) => (None, Some(*m)),
             ModelSelection::Adaptive(models) => (Some(AdaptiveSelector::new(models.clone())), None),
         };
-        let (completion_tx, completion_rx) = unbounded();
         Self {
             rx,
-            completion_tx,
-            completion_rx,
+            self_tx,
             scheduler,
             selector,
             fixed_model,
-            chunk_size: config.chunk_size,
             launcher: config.process_launcher,
             event_flows: HashMap::new(),
             retry_queue: Vec::new(),
@@ -459,49 +498,153 @@ impl Engine {
         }
     }
 
+    /// The engine loop: wakeup-driven, not quantum-polled.
+    ///
+    /// The old loop slept a fixed 20 ms when idle (quantizing every retry
+    /// backoff up to 20 ms) and spun hot through `try_recv` +
+    /// `yield_now` when the non-work-conserving scheduler declined to
+    /// dispatch (100% CPU while deliberately idling). Now there is exactly
+    /// one wait point: `recv_timeout` on the message channel, with the
+    /// timeout computed from the next *known* event — the earliest retry
+    /// due-instant or flow deadline — bounded by an escalating backoff
+    /// while the scheduler keeps declining. Any message (submission,
+    /// external completion, shutdown) wakes the engine immediately;
+    /// between wakeups it consumes no CPU.
     fn run(mut self) {
+        // Consecutive scheduling passes that produced no dispatch; drives
+        // the escalating park while the scheduler deliberately idles.
+        let mut declines: u32 = 0;
         loop {
-            // Drain external completions (thread/process models).
-            while let Ok((completion, respond)) = self.completion_rx.try_recv() {
-                self.outstanding_external -= 1;
-                self.finish(completion, respond);
+            if let Some(m) = &self.metrics {
+                m.engine_wakeups.inc();
+            }
+            // Drain pending messages without blocking.
+            let mut got_msg = false;
+            while let Ok(msg) = self.rx.try_recv() {
+                got_msg = true;
+                self.handle(msg);
             }
             // Wake flows whose retry backoff has elapsed.
             self.requeue_due_retries();
-            // Accept new submissions.
-            let idle = self.event_flows.is_empty();
-            if idle
+            if self.shutting_down
+                && self.event_flows.is_empty()
                 && self.retry_queue.is_empty()
                 && self.outstanding_external == 0
-                && self.shutting_down
             {
                 return;
             }
-            if idle {
-                // Nothing to interleave: block briefly for work (retry
-                // wakeups are bounded by the same quantum).
-                match self.rx.recv_timeout(Duration::from_millis(20)) {
-                    Ok(msg) => self.handle(msg),
-                    Err(RecvTimeoutError::Timeout) => continue,
-                    Err(RecvTimeoutError::Disconnected) => {
-                        self.shutting_down = true;
-                        continue;
-                    }
+            if got_msg {
+                // New work may have changed the scheduling picture.
+                declines = 0;
+            }
+            let dispatched = if self.event_flows.is_empty() {
+                false
+            } else if self.metrics.is_some() {
+                let t = Instant::now();
+                let d = self.step_events();
+                if let Some(m) = &self.metrics {
+                    m.sched_pass_us.record(t.elapsed());
                 }
+                d
             } else {
-                // Interleaving: poll for messages without blocking.
-                while let Ok(msg) = self.rx.try_recv() {
+                self.step_events()
+            };
+            if dispatched {
+                declines = 0;
+                continue; // work-conserving hot path: no park
+            }
+            // Nothing dispatchable right now — the engine is idle, every
+            // event flow is in a retry backoff, or the non-work-conserving
+            // scheduler is deliberately idling. Block until a message
+            // arrives or the next known event is due.
+            declines = declines.saturating_add(1);
+            let park = self.park_duration(declines);
+            if let Some(m) = &self.metrics {
+                m.engine_parks.inc();
+            }
+            match self.rx.recv_timeout(park) {
+                Ok(msg) => {
+                    declines = 0;
                     self.handle(msg);
                 }
-                if self.metrics.is_some() {
-                    let t = Instant::now();
-                    self.step_events();
-                    if let Some(m) = &self.metrics {
-                        m.sched_pass_us.record(t.elapsed());
-                    }
-                } else {
-                    self.step_events();
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Unreachable while `self_tx` is held, but harmless.
+                    self.shutting_down = true;
                 }
+            }
+            // Flows the scheduler is holding never reach the per-chunk
+            // cancel/deadline checks in `step_events`; sweep them on each
+            // park wakeup so cancellation and deadlines are honored within
+            // one bounded park even for never-dispatched flows.
+            self.sweep_blocked_flows();
+        }
+    }
+
+    /// How long to block when no dispatch is possible: the time to the
+    /// next known event (earliest retry due-instant or flow deadline),
+    /// bounded by an escalating 1→16 ms backoff against scheduler
+    /// declines, and capped so cancellations (which arrive by flag, not
+    /// message) are noticed promptly while flows exist.
+    fn park_duration(&self, declines: u32) -> Duration {
+        /// Longest park while any flow is in flight (cancel-notice bound).
+        const MAX_PARK: Duration = Duration::from_millis(20);
+        /// Longest park when the engine is completely idle (any message
+        /// wakes it immediately; the timeout is only a safety backstop).
+        const IDLE_PARK: Duration = Duration::from_millis(200);
+        /// Floor preventing a zero-timeout spin when an event is due now.
+        const MIN_PARK: Duration = Duration::from_micros(100);
+        let busy = !self.event_flows.is_empty()
+            || !self.retry_queue.is_empty()
+            || self.outstanding_external > 0;
+        let cap = if busy { MAX_PARK } else { IDLE_PARK };
+        let backoff = Duration::from_millis(1u64 << declines.saturating_sub(1).min(5));
+        let mut park = backoff.min(cap);
+        if let Some(next) = self.next_wakeup() {
+            park = park.min(next.saturating_duration_since(Instant::now()));
+        }
+        park.max(MIN_PARK)
+    }
+
+    /// The earliest instant at which time-driven work becomes due: a retry
+    /// backoff expiring or a deadline elapsing (for scheduled flows *and*
+    /// flows waiting in the retry queue).
+    fn next_wakeup(&self) -> Option<Instant> {
+        let retry_due = self.retry_queue.iter().map(|(t, _)| *t).min();
+        let waiting_deadline = self
+            .retry_queue
+            .iter()
+            .filter_map(|(_, ef)| ef.deadline)
+            .min();
+        let flow_deadline = self.event_flows.values().filter_map(|ef| ef.deadline).min();
+        [retry_due, waiting_deadline, flow_deadline]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Fails scheduled-but-undispatched flows whose cancellation flag is
+    /// set or whose deadline has passed. `step_events` performs the same
+    /// checks per chunk for flows that actually run; this covers flows the
+    /// scheduler is holding (0-ticket classes, NWC idling).
+    fn sweep_blocked_flows(&mut self) {
+        if self.event_flows.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let doomed: Vec<FlowId> = self
+            .event_flows
+            .iter()
+            .filter(|(_, ef)| ef.flow.meta.is_cancelled() || ef.deadline.is_some_and(|d| now >= d))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in doomed {
+            self.scheduler.done(id);
+            let ef = self.event_flows.remove(&id).expect("flow present");
+            if ef.flow.meta.is_cancelled() {
+                self.fail_event_flow(ef, cancelled_error(), FailureKind::Cancelled);
+            } else {
+                self.fail_event_flow(ef, deadline_error(), FailureKind::DeadlineExceeded);
             }
         }
     }
@@ -509,8 +652,15 @@ impl Engine {
     fn handle(&mut self, msg: EngineMsg) {
         match msg {
             EngineMsg::Shutdown => self.shutting_down = true,
+            EngineMsg::Completed {
+                completion,
+                respond,
+            } => {
+                self.outstanding_external -= 1;
+                self.finish(*completion, respond);
+            }
             EngineMsg::Submit { flow, respond } => {
-                let mut flow = *flow;
+                let flow = *flow;
                 let model = match (&mut self.selector, self.fixed_model) {
                     (_, Some(m)) => m,
                     (Some(sel), None) => sel.choose(),
@@ -524,29 +674,36 @@ impl Engine {
                 self.last_model = Some(model);
                 match model {
                     ModelKind::Events => {
-                        // Rebuffer to the engine's chunk size.
-                        flow = rebuffer(flow, self.chunk_size);
+                        // The flow arrives carrying its pooled staging
+                        // buffer, already at the manager's chunk size: no
+                        // rebuffering, no allocation on admission.
                         self.scheduler.admit(&flow.meta);
                         self.event_flows
                             .insert(flow.meta.id, EventFlow::new(flow, respond));
                     }
                     ModelKind::Threads => {
-                        let tx = self.completion_tx.clone();
+                        let tx = self.self_tx.clone();
                         self.outstanding_external += 1;
                         launch_thread(
                             flow,
                             Box::new(move |c| {
-                                let _ = tx.send((c, respond));
+                                let _ = tx.send(EngineMsg::Completed {
+                                    completion: Box::new(c),
+                                    respond,
+                                });
                             }),
                         );
                     }
                     ModelKind::Processes => {
-                        let tx = self.completion_tx.clone();
+                        let tx = self.self_tx.clone();
                         self.outstanding_external += 1;
                         self.launcher.launch(
                             flow,
                             Box::new(move |c| {
-                                let _ = tx.send((c, respond));
+                                let _ = tx.send(EngineMsg::Completed {
+                                    completion: Box::new(c),
+                                    respond,
+                                });
                             }),
                         );
                     }
@@ -574,17 +731,17 @@ impl Engine {
         self.finish(completion, ef.respond);
     }
 
-    fn step_events(&mut self) {
+    /// One scheduling pass: asks the scheduler for a flow and advances it
+    /// by one chunk. Returns whether a dispatch happened — `false` means
+    /// the scheduler declined (non-work-conserving idling, a held class,
+    /// or no runnable flows) and the caller should park rather than spin.
+    fn step_events(&mut self) -> bool {
         let Some(id) = self.scheduler.next() else {
-            // Non-work-conserving idle quantum: model the wait.
-            if self.scheduler.runnable() > 0 {
-                std::thread::yield_now();
-            }
-            return;
+            return false;
         };
         let Some(ef) = self.event_flows.get_mut(&id) else {
             self.scheduler.done(id);
-            return;
+            return true;
         };
         // Cooperative cancellation and deadlines are honored at chunk
         // boundaries, before spending more I/O on a doomed flow.
@@ -592,13 +749,13 @@ impl Engine {
             self.scheduler.done(id);
             let ef = self.event_flows.remove(&id).unwrap();
             self.fail_event_flow(ef, cancelled_error(), FailureKind::Cancelled);
-            return;
+            return true;
         }
         if ef.deadline.is_some_and(|d| Instant::now() >= d) {
             self.scheduler.done(id);
             let ef = self.event_flows.remove(&id).unwrap();
             self.fail_event_flow(ef, deadline_error(), FailureKind::DeadlineExceeded);
-            return;
+            return true;
         }
         match ef.flow.step() {
             Ok(StepOutcome::Moved(n)) => {
@@ -637,11 +794,12 @@ impl Engine {
                     ef.retries += 1;
                     self.retry_queue.push((Instant::now() + backoff, ef));
                     self.note_queue_depth();
-                    return;
+                    return true;
                 }
                 self.fail_event_flow(ef, e, FailureKind::Io);
             }
         }
+        true
     }
 
     fn finish(&mut self, completion: Completion, respond: Sender<io::Result<u64>>) {
@@ -711,13 +869,6 @@ impl Engine {
         let bytes = completion.bytes;
         let _ = respond.send(completion.result.map(|_| bytes));
     }
-}
-
-/// Rebuilds a flow with a different chunk size (flows carry their buffer).
-fn rebuffer(flow: Flow, _chunk_size: usize) -> Flow {
-    // Flows are constructed with the manager's chunk size in submit(); the
-    // hook exists for future per-model chunk tuning.
-    flow
 }
 
 #[cfg(test)]

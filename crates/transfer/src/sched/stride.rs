@@ -51,10 +51,12 @@ struct ClassState {
 
 impl ClassState {
     fn new(tickets: u32) -> Self {
-        let tickets = tickets.max(1);
         Self {
             tickets,
-            stride: STRIDE1 / tickets as u64,
+            // A held class (0 tickets) keeps a nominal stride; it is never
+            // dispatched, so the value is only used again after the
+            // administrator restores a positive allocation.
+            stride: STRIDE1 / tickets.max(1) as u64,
             pass: 0,
             flows: VecDeque::new(),
         }
@@ -124,7 +126,11 @@ impl StrideScheduler {
     }
 
     /// Sets a protocol class's ticket allocation. Ratios between classes'
-    /// tickets are the desired bandwidth ratios.
+    /// tickets are the desired bandwidth ratios. **Zero tickets holds the
+    /// class**: its flows stay queued but are never dispatched (and a
+    /// non-work-conserving scheduler does not idle on its behalf) until a
+    /// positive allocation is restored — the administrative "pause this
+    /// protocol" knob.
     ///
     /// Safe to call while the class has runnable flows: the queue is
     /// preserved (an earlier version rebuilt the whole `ClassState`,
@@ -134,7 +140,6 @@ impl StrideScheduler {
     /// the new stride so an in-flight class neither hoards credit nor owes
     /// a debt after a ticket change.
     pub fn set_tickets(&mut self, class: &str, tickets: u32) {
-        let tickets = tickets.max(1);
         let global = self.global_pass;
         let entry = self
             .classes
@@ -142,7 +147,7 @@ impl StrideScheduler {
             .or_insert_with(|| ClassState::new(tickets));
         let old_stride = entry.stride.max(1);
         entry.tickets = tickets;
-        entry.stride = STRIDE1 / tickets as u64;
+        entry.stride = STRIDE1 / tickets.max(1) as u64;
         // Rescale accumulated credit relative to global virtual time so the
         // remaining "debt" means the same number of *bytes* under the new
         // stride (classic stride-scheduler ticket-change transformation).
@@ -163,20 +168,24 @@ impl StrideScheduler {
             .or_insert_with(|| ClassState::new(DEFAULT_TICKETS))
     }
 
-    /// The favored class: minimum pass among classes with tickets,
-    /// regardless of runnability (used for the idle decision).
+    /// The favored class: minimum pass among classes holding tickets,
+    /// regardless of runnability (used for the idle decision). Held
+    /// classes (0 tickets) are invisible here — the scheduler never idles
+    /// waiting for a class the administrator has paused.
     fn favored_class(&self) -> Option<&str> {
         self.classes
             .iter()
+            .filter(|(_, c)| c.tickets > 0)
             .min_by_key(|(name, c)| (c.pass, *name))
             .map(|(name, _)| name.as_str())
     }
 
-    /// The minimum-pass class *with runnable flows*.
+    /// The minimum-pass class *with runnable flows* (held classes
+    /// excluded: their flows wait without being dispatched).
     fn favored_runnable(&self) -> Option<&str> {
         self.classes
             .iter()
-            .filter(|(_, c)| !c.flows.is_empty())
+            .filter(|(_, c)| c.tickets > 0 && !c.flows.is_empty())
             .min_by_key(|(name, c)| (c.pass, *name))
             .map(|(name, _)| name.as_str())
     }
@@ -442,6 +451,36 @@ mod tests {
             da,
             db
         );
+    }
+
+    #[test]
+    fn zero_tickets_holds_class_until_restored() {
+        let mut s = StrideScheduler::new();
+        s.set_tickets("held", 0);
+        s.set_tickets("live", 100);
+        s.admit(&meta(1, "held"));
+        // The held class's flow stays queued but is never dispatched.
+        assert_eq!(s.runnable(), 1);
+        assert_eq!(s.next(), None);
+        assert_eq!(s.next(), None);
+        // Other classes are unaffected.
+        s.admit(&meta(2, "live"));
+        assert_eq!(s.next(), Some(FlowId(2)));
+        // Restoring tickets releases the held flow.
+        s.set_tickets("held", 100);
+        s.done(FlowId(2));
+        assert_eq!(s.next(), Some(FlowId(1)));
+    }
+
+    #[test]
+    fn nwc_does_not_idle_for_held_class() {
+        // A 0-ticket class must not trigger non-work-conserving idling:
+        // the scheduler serves the live class immediately.
+        let mut s = StrideScheduler::non_work_conserving(3);
+        s.set_tickets("held", 0);
+        s.set_tickets("live", 100);
+        s.admit(&meta(1, "live"));
+        assert_eq!(s.next(), Some(FlowId(1)));
     }
 
     #[test]

@@ -20,4 +20,11 @@ cargo test -p nest-transfer --release --test fault_matrix
 echo "==> fault stress loop (seeded, --features fault-injection)"
 cargo test -p nest-transfer --release --features fault-injection fault_stress
 
+echo "==> datapath bench smoke (real LocalFsBackend, JSON schema check)"
+cargo run --release -p nest-bench --bin datapath -- --smoke --out target/datapath_smoke.json
+for key in get_speedup put_speedup nfs_speedup handlecache_hits bufpool_reuse; do
+  grep -q "\"$key\"" target/datapath_smoke.json ||
+    { echo "datapath smoke JSON missing key: $key" >&2; exit 1; }
+done
+
 echo "==> all checks passed"
