@@ -1,0 +1,96 @@
+//! `nest-check` — the appliance's self-checking layer.
+//!
+//! NeST's core claim is *manageability*: an appliance that administers and
+//! checks itself. This crate is the code half of that claim (the lint gate
+//! in `crates/lint` is the source half). It bundles:
+//!
+//! 1. **[`invariant!`]** — debug-build state assertions for the cross-lock
+//!    consistency properties that PR 2's live bugs violated: stride
+//!    scheduler flow conservation, lot byte conservation, buffer-pool
+//!    outstanding accounting, and FD-handle-cache capacity.
+//! 2. **[`lock_order`]** — re-export of the vendored lock shim's
+//!    Eraser-style acquisition-order deadlock detector (see
+//!    `crates/shims/parking_lot/src/order.rs`). Enable at runtime with
+//!    [`lock_order::enable`] or `NEST_LOCK_ORDER=1`.
+//! 3. **[`lockstats`]** — re-export of the per-lock-class contention
+//!    statistics (`acquires / contended / wait_ns / hold_ns`) that named
+//!    locks record in every build.
+//!
+//! The invariant macro compiles to nothing in plain release builds: the
+//! condition expression sits behind a `const` gate ([`enforcing`]) that
+//! the optimizer removes when it is `false`.
+
+pub use parking_lot::lock_order;
+pub use parking_lot::lockstats;
+
+/// Whether [`invariant!`] conditions are evaluated in this build.
+///
+/// `true` under `debug_assertions` or when the `invariants` cargo feature
+/// is enabled; `const` so release builds fold the whole check away.
+pub const fn enforcing() -> bool {
+    cfg!(any(debug_assertions, feature = "invariants"))
+}
+
+/// Asserts an internal state invariant, with formatted context.
+///
+/// Unlike `debug_assert!`, the failure message is prefixed so invariant
+/// trips are grep-able in test logs, and enforcement can be turned on in
+/// release builds via the `invariants` feature (e.g. for a soak run).
+///
+/// ```
+/// # use nest_check::invariant;
+/// let committed: u64 = 10;
+/// let charges: u64 = 4 + 6;
+/// invariant!(
+///     committed == charges,
+///     "lot byte conservation: committed={} != sum(charges)={}",
+///     committed,
+///     charges
+/// );
+/// ```
+#[macro_export]
+macro_rules! invariant {
+    ($cond:expr) => {
+        $crate::invariant!($cond, stringify!($cond));
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if $crate::enforcing() && !($cond) {
+            panic!("nest-check invariant violated: {}", format_args!($($arg)+));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn passing_invariant_is_silent() {
+        invariant!(1 + 1 == 2);
+        invariant!(true, "never printed {}", 42);
+    }
+
+    #[test]
+    #[cfg_attr(not(any(debug_assertions, feature = "invariants")), ignore)]
+    fn failing_invariant_panics_with_prefix() {
+        let err = std::panic::catch_unwind(|| {
+            invariant!(2 + 2 == 5, "arithmetic drifted: {}", 4);
+        })
+        .expect_err("must panic when enforcing");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .unwrap_or_else(|| format!("<unknown payload type: {:?}>", err.type_id()));
+        assert!(
+            msg.contains("nest-check invariant violated: arithmetic drifted: 4"),
+            "message = {msg:?}"
+        );
+    }
+
+    #[test]
+    fn enforcing_matches_build_profile() {
+        assert_eq!(
+            super::enforcing(),
+            cfg!(any(debug_assertions, feature = "invariants"))
+        );
+    }
+}

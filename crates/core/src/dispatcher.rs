@@ -160,6 +160,10 @@ impl Dispatcher {
             pool_buffers: true,
         });
         let metrics = DispatchMetrics::new(&obs);
+        // Surface the lock shim's per-class contention statistics
+        // (lock.<class>.{acquires,contended,wait_us,hold_us}) on every
+        // stats surface this registry feeds.
+        obs.metrics.install_lock_stats();
         Ok(Self {
             name: config.name.clone(),
             storage: Arc::new(storage),
@@ -610,6 +614,15 @@ impl Dispatcher {
             "TransferFailures",
             nest_classad::Value::Int(self.obs.metrics.counter("transfer.failures").get() as i64),
         );
+        // Self-diagnosis for the matchmaker: which internal lock class is
+        // contended most, and how often (e.g. "storage.lot:42"). Absent
+        // until any named lock has ever contended.
+        if let Some(top) = parking_lot::lockstats::most_contended() {
+            ad.insert_value(
+                "LockContentionTop",
+                nest_classad::Value::Str(format!("{}:{}", top.name, top.contended)),
+            );
+        }
         ad
     }
 

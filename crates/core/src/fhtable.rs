@@ -10,9 +10,17 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// The handle table.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FhTable {
     inner: Mutex<FhState>,
+}
+
+impl Default for FhTable {
+    fn default() -> Self {
+        Self {
+            inner: Mutex::named("core.fhtable", 110, FhState::default()),
+        }
+    }
 }
 
 #[derive(Debug, Default)]

@@ -434,11 +434,15 @@ fn handle_stor(
                 // MODE E blocks carry offsets and may arrive on any stream;
                 // land them directly at their offsets through the storage
                 // manager (admission and lot charging already happened).
-                let sink: Arc<Mutex<dyn OffsetSink>> = Arc::new(Mutex::new(BackendOffsetSink {
-                    storage: Arc::clone(dispatcher.storage()),
-                    who: s.who.clone(),
-                    path: vpath.clone(),
-                }));
+                let sink: Arc<Mutex<dyn OffsetSink>> = Arc::new(Mutex::named(
+                    "core.ftp.sink",
+                    600,
+                    BackendOffsetSink {
+                        storage: Arc::clone(dispatcher.storage()),
+                        who: s.who.clone(),
+                        path: vpath.clone(),
+                    },
+                ));
                 recv_striped(streams, sink)
             } else {
                 let data = streams.into_iter().next().unwrap();

@@ -72,12 +72,16 @@ impl IbpDepot {
     pub fn with_clock(capacity: u64, clock: Arc<dyn Fn() -> u64 + Send + Sync>) -> Self {
         Self {
             capacity,
-            state: Mutex::new(DepotState {
-                next_id: 1,
-                next_seq: 1,
-                allocs: HashMap::new(),
-                caps: HashMap::new(),
-            }),
+            state: Mutex::named(
+                "core.ibp.depot",
+                100,
+                DepotState {
+                    next_id: 1,
+                    next_seq: 1,
+                    allocs: HashMap::new(),
+                    caps: HashMap::new(),
+                },
+            ),
             clock,
         }
     }

@@ -9,9 +9,9 @@
 //! on scoped threads. A node failure cancels everything downstream of it
 //! (but independent branches still complete), matching DAGMan semantics.
 
+use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::Mutex;
 
 /// Errors from DAG construction or execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -172,7 +172,8 @@ impl<'a> Dag<'a> {
             if runnable.is_empty() {
                 break;
             }
-            let results: Mutex<Vec<(String, Result<(), String>)>> = Mutex::new(Vec::new());
+            let results: Mutex<Vec<(String, Result<(), String>)>> =
+                Mutex::named("grid.dag.results", 520, Vec::new());
             let mut batch: Vec<(String, Job<'a>)> = Vec::new();
             for name in &runnable {
                 let job = self.jobs.remove(name).expect("job present");
@@ -183,11 +184,11 @@ impl<'a> Dag<'a> {
                     let results = &results;
                     scope.spawn(move || {
                         let outcome = job();
-                        results.lock().unwrap().push((name, outcome));
+                        results.lock().push((name, outcome));
                     });
                 }
             });
-            for (name, outcome) in results.into_inner().unwrap() {
+            for (name, outcome) in results.into_inner() {
                 match outcome {
                     Ok(()) => {
                         done.insert(name.clone());
@@ -249,7 +250,7 @@ mod tests {
         for name in ["a", "b", "c"] {
             let log = &log;
             dag.job(name, move || {
-                log.lock().unwrap().push(name);
+                log.lock().push(name);
                 Ok(())
             });
         }
@@ -257,7 +258,7 @@ mod tests {
         dag.depends("c", "b").unwrap();
         let order = dag.run().unwrap();
         assert_eq!(order, vec!["a", "b", "c"]);
-        assert_eq!(*log.lock().unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(*log.lock(), vec!["a", "b", "c"]);
     }
 
     #[test]
@@ -331,7 +332,7 @@ mod tests {
         for name in ["top", "l", "r", "bottom"] {
             let log = &log;
             dag.job(name, move || {
-                log.lock().unwrap().push(name);
+                log.lock().push(name);
                 Ok(())
             });
         }

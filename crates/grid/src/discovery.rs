@@ -10,9 +10,21 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// A shared, thread-safe ad collection with bilateral matchmaking.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Discovery {
     inner: Arc<Mutex<Matchmaker>>,
+}
+
+impl Default for Discovery {
+    fn default() -> Self {
+        Self {
+            inner: Arc::new(Mutex::named(
+                "grid.discovery.ads",
+                500,
+                Matchmaker::default(),
+            )),
+        }
+    }
 }
 
 impl Discovery {

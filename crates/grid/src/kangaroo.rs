@@ -56,8 +56,10 @@ impl Kangaroo {
     /// `retry_interval`. `credential` authenticates to destinations that
     /// require GSI.
     pub fn start(retry_interval: Duration, credential: Option<Credential>) -> Self {
-        let spool: Arc<(Mutex<Spool>, Condvar)> =
-            Arc::new((Mutex::new(Spool::default()), Condvar::new()));
+        let spool: Arc<(Mutex<Spool>, Condvar)> = Arc::new((
+            Mutex::named("grid.kangaroo.spool", 510, Spool::default()),
+            Condvar::named("grid.kangaroo.spool.cv", 511),
+        ));
         let stop = Arc::new(AtomicBool::new(false));
         let delivered = Arc::new(AtomicU64::new(0));
         let retries = Arc::new(AtomicU64::new(0));

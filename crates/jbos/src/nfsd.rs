@@ -65,11 +65,15 @@ impl NfsState {
         by_id.insert(1, VPath::root());
         Self {
             root,
-            fhs: Mutex::new(FhMap {
-                next: 2,
-                by_path,
-                by_id,
-            }),
+            fhs: Mutex::named(
+                "jbos.nfsd.fhs",
+                115,
+                FhMap {
+                    next: 2,
+                    by_path,
+                    by_id,
+                },
+            ),
         }
     }
 

@@ -1,0 +1,476 @@
+//! `nestlint` — the workspace's source-level quality ratchet.
+//!
+//! The appliance's concurrency and observability guarantees rest on a few
+//! *repo rules* that the compiler cannot enforce: all locks flow through
+//! the vendored `parking_lot` shim (so the lock-order detector and the
+//! contention statistics see them), poison is recovered centrally (never
+//! `.lock().unwrap()`), hot transfer paths draw chunk buffers from the
+//! `BufPool`, disk chunk I/O goes through the FD handle cache, and every
+//! metric registered in code is documented in DESIGN.md's metrics table.
+//! This crate scans the workspace line-by-line and fails the build gate
+//! (`scripts/check.sh`) on the first drift.
+//!
+//! ## Rules
+//!
+//! | id | what it rejects |
+//! |---|---|
+//! | `raw-std-sync` | `std::sync::{Mutex,RwLock,Condvar}` outside the shim |
+//! | `lock-unwrap` | `.lock().unwrap()`-style poison handling |
+//! | `unnamed-lock` | shim locks constructed with `::new` (not `::named`) in non-test code |
+//! | `transfer-alloc` | `vec![0…]` chunk allocations in `crates/transfer` (use `BufPool`) |
+//! | `backend-open` | direct `File::open`/`OpenOptions` in `storage/backend.rs` (use the handle cache) |
+//! | `undocumented-metric` | metric name literals registered in code but absent from DESIGN.md |
+//!
+//! ## Suppression
+//!
+//! A deliberate exception is annotated at the site, with a reason:
+//!
+//! ```text
+//! // nestlint: allow(backend-open): create() must open the file it creates
+//! ```
+//!
+//! on the offending line or the line directly above it. Suppressions are
+//! per-rule; a bare `allow` matches nothing.
+//!
+//! ## Scope
+//!
+//! Production sources only: `crates/*/src` and the root `src/`, skipping
+//! the shim crates (`crates/shims`), this crate, `tests/`, `benches/`,
+//! `examples/`, comment lines, and everything after the first
+//! `#[cfg(test)]` in a file (by convention test modules sit at the end).
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One repo-rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id (e.g. `raw-std-sync`).
+    pub rule: &'static str,
+    /// File, relative to the workspace root when produced by
+    /// [`scan_workspace`].
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub text: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.text
+        )
+    }
+}
+
+/// All rule ids, for reporting and tests.
+pub const RULES: &[&str] = &[
+    "raw-std-sync",
+    "lock-unwrap",
+    "unnamed-lock",
+    "transfer-alloc",
+    "backend-open",
+    "undocumented-metric",
+];
+
+/// Whether `path` (workspace-relative, `/`-separated) is in scope.
+fn in_scope(path: &str) -> bool {
+    if !path.ends_with(".rs") {
+        return false;
+    }
+    let parts: Vec<&str> = path.split('/').collect();
+    // Only crate sources: crates/<name>/src/... or src/...
+    let under_src = parts.first() == Some(&"src")
+        || (parts.first() == Some(&"crates") && parts.get(2) == Some(&"src"));
+    if !under_src {
+        return false;
+    }
+    // The shim implements the rules; this crate tests them (its sources
+    // spell the banned patterns out as string fixtures).
+    if parts.get(1) == Some(&"shims") || parts.get(1) == Some(&"lint") {
+        return false;
+    }
+    !parts
+        .iter()
+        .any(|p| *p == "tests" || *p == "benches" || *p == "examples")
+}
+
+/// Does `line` (or the line above it) carry `// nestlint: allow(<rule>)`?
+fn allowed(rule: &str, line: &str, prev: Option<&str>) -> bool {
+    let marker = format!("nestlint: allow({rule})");
+    line.contains(&marker) || prev.is_some_and(|p| p.contains(&marker))
+}
+
+/// Extracts `"…"` literal arguments of `.counter(` / `.gauge(` /
+/// `.meter(` / `.histogram(` registrations on one line.
+fn metric_literals(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for call in [".counter(\"", ".gauge(\"", ".meter(\"", ".histogram(\""] {
+        let mut rest = line;
+        while let Some(pos) = rest.find(call) {
+            rest = &rest[pos + call.len()..];
+            if let Some(end) = rest.find('"') {
+                out.push(rest[..end].to_owned());
+            }
+        }
+    }
+    out
+}
+
+/// A documented metric pattern: segments split on `.`, where a segment
+/// that was `<…>` in DESIGN.md matches any single name segment.
+#[derive(Debug, Clone)]
+struct MetricPattern {
+    segments: Vec<Option<String>>, // None = wildcard segment
+}
+
+impl MetricPattern {
+    fn matches(&self, name: &str) -> bool {
+        let parts: Vec<&str> = name.split('.').collect();
+        if parts.len() != self.segments.len() {
+            return false;
+        }
+        self.segments
+            .iter()
+            .zip(parts)
+            .all(|(seg, part)| seg.as_deref().is_none_or(|s| s == part))
+    }
+}
+
+/// Expands one backtick span from DESIGN.md into concrete patterns:
+/// `{a,b}` groups multiply out, `<x>` becomes a wildcard segment.
+fn expand_span(span: &str) -> Vec<MetricPattern> {
+    // Brace expansion first (handles multiple groups, no nesting).
+    fn expand_braces(s: &str) -> Vec<String> {
+        let (Some(open), Some(close)) = (s.find('{'), s.find('}')) else {
+            return vec![s.to_owned()];
+        };
+        if close < open {
+            return vec![s.to_owned()];
+        }
+        let mut out = Vec::new();
+        for alt in s[open + 1..close].split(',') {
+            let candidate = format!("{}{}{}", &s[..open], alt.trim(), &s[close + 1..]);
+            out.extend(expand_braces(&candidate));
+        }
+        out
+    }
+    expand_braces(span)
+        .into_iter()
+        .map(|s| MetricPattern {
+            segments: s
+                .split('.')
+                .map(|seg| {
+                    if seg.starts_with('<') && seg.ends_with('>') {
+                        None
+                    } else {
+                        Some(seg.to_owned())
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Parses DESIGN.md: every backtick code span that looks like a metric
+/// name (contains a `.`, uses only name characters plus `{},<>`) becomes
+/// one or more [`MetricPattern`]s.
+fn documented_metrics(design: &str) -> Vec<MetricPattern> {
+    let mut out = Vec::new();
+    for (i, span) in design.split('`').enumerate() {
+        if i % 2 == 0 || !span.contains('.') {
+            continue; // outside backticks, or not dotted
+        }
+        let ok = span
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || "._{},<>".contains(c));
+        if ok && !span.is_empty() {
+            out.extend(expand_span(span));
+        }
+    }
+    out
+}
+
+/// Scans one in-scope source file. `path` must be workspace-relative with
+/// `/` separators; `design_patterns` comes from [`documented_metrics`].
+fn scan_file(path: &str, content: &str, design_patterns: &[MetricPattern]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let is_transfer = path.starts_with("crates/transfer/src");
+    let is_backend = path == "crates/storage/src/backend.rs";
+    let mut prev: Option<&str> = None;
+    for (idx, raw) in content.lines().enumerate() {
+        let line = raw.trim();
+        // Test modules sit at the end of files by repo convention.
+        if line == "#[cfg(test)]" {
+            break;
+        }
+        if line.starts_with("//") {
+            prev = Some(raw);
+            continue;
+        }
+        let mut report = |rule: &'static str| {
+            if !allowed(rule, raw, prev) {
+                out.push(Violation {
+                    rule,
+                    path: PathBuf::from(path),
+                    line: idx + 1,
+                    text: line.to_owned(),
+                });
+            }
+        };
+
+        // raw-std-sync: all locks flow through the shim.
+        if line.contains("std::sync::Mutex")
+            || line.contains("std::sync::RwLock")
+            || line.contains("std::sync::Condvar")
+        {
+            report("raw-std-sync");
+        } else if line.starts_with("use std::sync::") || line.contains(" std::sync::{") {
+            let items = line.split("std::sync::").nth(1).unwrap_or("");
+            if ["Mutex", "RwLock", "Condvar"]
+                .iter()
+                .any(|t| items.contains(t))
+            {
+                report("raw-std-sync");
+            }
+        }
+
+        // lock-unwrap: poison is recovered in the shim, never unwrapped.
+        for pat in [
+            ".lock().unwrap()",
+            ".read().unwrap()",
+            ".write().unwrap()",
+            ".lock().expect(",
+            ".read().expect(",
+            ".write().expect(",
+        ] {
+            if line.contains(pat) {
+                report("lock-unwrap");
+                break;
+            }
+        }
+
+        // unnamed-lock: production locks must join a named class so the
+        // detector and the stats table see them.
+        for pat in ["Mutex::new(", "RwLock::new(", "Condvar::new("] {
+            if let Some(pos) = line.find(pat) {
+                // `sync::Mutex::new(…)` is already a raw-std-sync hit.
+                if !line[..pos].ends_with("sync::") {
+                    report("unnamed-lock");
+                }
+                break;
+            }
+        }
+
+        // transfer-alloc: chunk staging buffers come from the BufPool.
+        if is_transfer && line.contains("vec![0") {
+            report("transfer-alloc");
+        }
+
+        // backend-open: disk chunk I/O goes through the FD handle cache.
+        if is_backend && (line.contains("File::open(") || line.contains("OpenOptions::new(")) {
+            report("backend-open");
+        }
+
+        // undocumented-metric: registered names must be in DESIGN.md.
+        for name in metric_literals(line) {
+            if !design_patterns.iter().any(|p| p.matches(&name))
+                && !allowed("undocumented-metric", raw, prev)
+            {
+                out.push(Violation {
+                    rule: "undocumented-metric",
+                    path: PathBuf::from(path),
+                    line: idx + 1,
+                    text: format!("metric {name:?} is not in DESIGN.md's metrics table"),
+                });
+            }
+        }
+
+        prev = Some(raw);
+    }
+    out
+}
+
+/// Scans arbitrary source text under a synthetic workspace-relative path
+/// against a DESIGN.md body. Exposed for the rule tests; out-of-scope
+/// paths return no violations.
+pub fn scan_source(path: &str, content: &str, design: &str) -> Vec<Violation> {
+    if !in_scope(path) {
+        return Vec::new();
+    }
+    scan_file(path, content, &documented_metrics(design))
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if entry.file_type()?.is_dir() {
+            walk(&path, files)?;
+        } else {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans the whole workspace rooted at `root`. Reads `DESIGN.md` for the
+/// metrics table; missing files surface as `io::Error`.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let design = std::fs::read_to_string(root.join("DESIGN.md"))?;
+    let patterns = documented_metrics(&design);
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        if !in_scope(&rel) {
+            continue;
+        }
+        let content = std::fs::read_to_string(&file)?;
+        out.extend(scan_file(&rel, &content, &patterns));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DESIGN: &str = "table: `transfer.bytes_total`, `dispatch.op.<verb>`, \
+                          `storage.lot.{count,committed_bytes}`";
+
+    fn rules_of(violations: &[Violation]) -> Vec<&'static str> {
+        violations.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn seeded_raw_std_sync_is_caught() {
+        let src = "use std::sync::Mutex;\nfn f() { let m = std::sync::RwLock::new(0); }\n";
+        let v = scan_source("crates/grid/src/x.rs", src, DESIGN);
+        assert_eq!(rules_of(&v), vec!["raw-std-sync", "raw-std-sync"]);
+    }
+
+    #[test]
+    fn seeded_lock_unwrap_is_caught() {
+        let src = "fn f(m: &M) { m.lock().unwrap().push(1); g.read().expect(\"x\"); }\n";
+        let v = scan_source("crates/core/src/x.rs", src, DESIGN);
+        assert_eq!(rules_of(&v), vec!["lock-unwrap"]);
+    }
+
+    #[test]
+    fn seeded_unnamed_lock_is_caught() {
+        let src = "fn f() { let m = Mutex::new(0); let c = Condvar::new(); }\n";
+        let v = scan_source("crates/storage/src/x.rs", src, DESIGN);
+        // One per line (first match reports; both lines here are one line).
+        assert_eq!(rules_of(&v), vec!["unnamed-lock"]);
+        let named = "fn f() { let m = Mutex::named(\"a.b\", 1, 0); }\n";
+        assert!(scan_source("crates/storage/src/x.rs", named, DESIGN).is_empty());
+    }
+
+    #[test]
+    fn seeded_transfer_alloc_is_caught_only_in_transfer() {
+        let src = "fn f() { let b = vec![0u8; 65536]; }\n";
+        let v = scan_source("crates/transfer/src/flow.rs", src, DESIGN);
+        assert_eq!(rules_of(&v), vec!["transfer-alloc"]);
+        assert!(scan_source("crates/storage/src/flow.rs", src, DESIGN).is_empty());
+    }
+
+    #[test]
+    fn seeded_backend_open_is_caught_only_in_backend() {
+        let src = "fn f() { let f = fs::File::open(p)?; }\n";
+        let v = scan_source("crates/storage/src/backend.rs", src, DESIGN);
+        assert_eq!(rules_of(&v), vec!["backend-open"]);
+        assert!(scan_source("crates/storage/src/other.rs", src, DESIGN).is_empty());
+    }
+
+    #[test]
+    fn seeded_undocumented_metric_is_caught() {
+        let src = "fn f(m: &R) { m.counter(\"transfer.bytes_total\").inc(); \
+                   m.gauge(\"sneaky.metric\").set(1); }\n";
+        let v = scan_source("crates/obs/src/x.rs", src, DESIGN);
+        assert_eq!(rules_of(&v), vec!["undocumented-metric"]);
+        assert!(v[0].text.contains("sneaky.metric"));
+    }
+
+    #[test]
+    fn design_brace_and_wildcard_expansion() {
+        let src = "fn f(m: &R) { m.counter(\"dispatch.op.get\").inc(); \
+                   m.gauge(\"storage.lot.count\").set(1); \
+                   m.gauge(\"storage.lot.committed_bytes\").set(1); }\n";
+        assert!(scan_source("crates/core/src/x.rs", src, DESIGN).is_empty());
+        // Wildcards match exactly one segment.
+        let deep = "fn f(m: &R) { m.counter(\"dispatch.op.get.extra\").inc(); }\n";
+        assert_eq!(
+            rules_of(&scan_source("crates/core/src/x.rs", deep, DESIGN)),
+            vec!["undocumented-metric"]
+        );
+    }
+
+    #[test]
+    fn allow_comment_suppresses_same_and_previous_line() {
+        let same = "fn f() { let b = vec![0u8; 4]; } // nestlint: allow(transfer-alloc): fixture\n";
+        assert!(scan_source("crates/transfer/src/x.rs", same, DESIGN).is_empty());
+        let prev = "// nestlint: allow(transfer-alloc): one-off probe buffer\nfn f() { let b = vec![0u8; 4]; }\n";
+        assert!(scan_source("crates/transfer/src/x.rs", prev, DESIGN).is_empty());
+        // A different rule's allow does not suppress.
+        let wrong = "// nestlint: allow(backend-open): nope\nfn f() { let b = vec![0u8; 4]; }\n";
+        assert_eq!(
+            rules_of(&scan_source("crates/transfer/src/x.rs", wrong, DESIGN)),
+            vec!["transfer-alloc"]
+        );
+    }
+
+    #[test]
+    fn test_modules_comments_and_out_of_scope_paths_are_skipped() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    use std::sync::Mutex;\n}\n";
+        assert!(scan_source("crates/core/src/x.rs", src, DESIGN).is_empty());
+        let comment = "// std::sync::Mutex is banned; see DESIGN.md\n";
+        assert!(scan_source("crates/core/src/x.rs", comment, DESIGN).is_empty());
+        let banned = "use std::sync::Mutex;\n";
+        assert!(scan_source("crates/core/tests/x.rs", banned, DESIGN).is_empty());
+        assert!(scan_source("crates/shims/parking_lot/src/lib.rs", banned, DESIGN).is_empty());
+        assert!(scan_source("crates/lint/src/lib.rs", banned, DESIGN).is_empty());
+        assert!(scan_source("crates/core/src/x.txt", banned, DESIGN).is_empty());
+    }
+
+    /// The permanent ratchet: the actual workspace is clean. A violation
+    /// here means new code broke a repo rule (or needs a reasoned
+    /// `nestlint: allow`).
+    #[test]
+    fn actual_workspace_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let violations = scan_workspace(root).expect("scan");
+        assert!(
+            violations.is_empty(),
+            "repo-rule violations:\n{}",
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! `nest-lint` binary: scans the workspace and exits nonzero on any
+//! repo-rule violation. Wired into `scripts/check.sh`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // Compiled location: <root>/crates/lint — the root is two levels up.
+    // Falls back to an explicit argument for out-of-tree runs.
+    if let Some(arg) = std::env::args().nth(1) {
+        return PathBuf::from(arg);
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    match nest_lint::scan_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!(
+                "nestlint: workspace clean ({} rules)",
+                nest_lint::RULES.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            eprintln!("nestlint: {} violation(s):", violations.len());
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            eprintln!(
+                "(suppress a deliberate exception with `// nestlint: allow(<rule>): <reason>`)"
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("nestlint: scan failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

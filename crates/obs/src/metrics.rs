@@ -109,10 +109,14 @@ impl EwmaMeter {
         assert!(!tau.is_zero(), "zero EWMA time constant");
         Self {
             tau,
-            state: Mutex::new(EwmaState {
-                rate: 0.0,
-                last: None,
-            }),
+            state: Mutex::named(
+                "obs.ewma",
+                920,
+                EwmaState {
+                    rate: 0.0,
+                    last: None,
+                },
+            ),
         }
     }
 

@@ -5,7 +5,7 @@
 //! taken, so steady-state metric updates never contend on it.
 
 use crate::metrics::{Counter, EwmaMeter, Gauge, Histogram};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -150,14 +150,27 @@ struct Instruments {
     histograms: BTreeMap<String, Arc<Histogram>>,
 }
 
+/// A snapshot-time metric source: writes externally maintained values
+/// into the snapshot map (e.g. the lock shim's contention statistics).
+type Provider = Box<dyn Fn(&mut BTreeMap<String, MetricValue>) + Send + Sync>;
+
 /// Names instruments and produces snapshots.
 ///
 /// `counter`/`gauge`/`meter`/`histogram` are get-or-create: calling twice
 /// with the same name yields handles to the same instrument, so
 /// independent subsystems can share an instrument by convention.
-#[derive(Default)]
 pub struct Registry {
     inner: RwLock<Instruments>,
+    providers: Mutex<Vec<Provider>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self {
+            inner: RwLock::named("obs.registry", 900, Instruments::default()),
+            providers: Mutex::named("obs.providers", 905, Vec::new()),
+        }
+    }
 }
 
 impl Registry {
@@ -218,6 +231,41 @@ impl Registry {
         )
     }
 
+    /// Registers a snapshot-time metric source. Providers run after the
+    /// instrument tables are read (never under the registry's own lock)
+    /// and may insert or overwrite any keys in the snapshot.
+    pub fn add_provider(
+        &self,
+        f: impl Fn(&mut BTreeMap<String, MetricValue>) + Send + Sync + 'static,
+    ) {
+        self.providers.lock().push(Box::new(f));
+    }
+
+    /// Installs the standard bridge from the lock shim's per-class
+    /// statistics (see `parking_lot::lockstats`): every named lock class
+    /// surfaces `lock.<class>.{acquires,contended,wait_us,hold_us}` in
+    /// snapshots, feeding `GET /nest/stats` and the Chirp `stats` command.
+    pub fn install_lock_stats(&self) {
+        self.add_provider(|values| {
+            for row in parking_lot::lockstats::snapshot() {
+                let base = format!("lock.{}", row.name);
+                values.insert(format!("{base}.acquires"), MetricValue::Count(row.acquires));
+                values.insert(
+                    format!("{base}.contended"),
+                    MetricValue::Count(row.contended),
+                );
+                values.insert(
+                    format!("{base}.wait_us"),
+                    MetricValue::Count(row.wait_ns / 1_000),
+                );
+                values.insert(
+                    format!("{base}.hold_us"),
+                    MetricValue::Count(row.hold_ns / 1_000),
+                );
+            }
+        });
+    }
+
     /// A consistent, ordered snapshot of every instrument.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let r = self.inner.read();
@@ -242,6 +290,10 @@ impl Registry {
                     max_us: h.max_us(),
                 },
             );
+        }
+        drop(r); // providers never run under the instrument lock
+        for p in self.providers.lock().iter() {
+            p(&mut values);
         }
         MetricsSnapshot { values }
     }

@@ -31,9 +31,16 @@ pub trait SpanSink: Send + Sync {
 
 /// A sink that buffers spans in memory; intended for tests and for the
 /// simple "recent activity" views.
-#[derive(Default)]
 pub struct CollectingSink {
     spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl Default for CollectingSink {
+    fn default() -> Self {
+        Self {
+            spans: Mutex::named("obs.trace.spans", 911, Vec::new()),
+        }
+    }
 }
 
 impl CollectingSink {
@@ -65,12 +72,20 @@ impl SpanSink for CollectingSink {
 }
 
 /// Hands out spans and routes completed ones to the installed sink.
-#[derive(Default)]
 pub struct Tracer {
     sink: RwLock<Option<Arc<dyn SpanSink>>>,
     // Fast-path flag mirroring `sink.is_some()` so span completion can
     // skip the lock entirely when tracing is off.
     enabled: AtomicBool,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self {
+            sink: RwLock::named("obs.trace.sink", 910, None),
+            enabled: AtomicBool::new(false),
+        }
+    }
 }
 
 impl Tracer {

@@ -97,7 +97,7 @@ impl GridFtpClient {
 
     /// Convenience: retrieves a whole file into memory.
     pub fn get_bytes(&mut self, path: &str) -> Result<Vec<u8>, FtpError> {
-        let sink = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let sink = Arc::new(Mutex::named("proto.gridftp.sink", 600, Vec::<u8>::new()));
         let dyn_sink: Arc<Mutex<dyn OffsetSink>> = sink.clone();
         self.get_parallel(path, dyn_sink)?;
         let mut guard = sink.lock();

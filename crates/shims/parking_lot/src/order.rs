@@ -1,0 +1,260 @@
+//! Eraser-style lock-order (deadlock-potential) detection.
+//!
+//! Every *named* lock acquisition, while detection is enabled, records
+//! directed edges `held → acquiring` in a global acquisition-order graph
+//! keyed by lock *class* (name). The first edge that closes a cycle —
+//! i.e. the first time two classes are ever taken in both orders, on any
+//! threads, at any time — panics immediately with **both** acquisition
+//! backtraces: the current one and the one recorded when the opposing
+//! edge was first seen. This is happened-in-wrong-order detection, not
+//! sampling: the AB/BA pair is reported even if the two threads never
+//! actually interleave into a deadlock.
+//!
+//! Enablement is runtime-cheap (one relaxed atomic load per acquisition
+//! when off) and comes from any of:
+//! * the `lock-order` cargo feature (on by default in that build),
+//! * the `NEST_LOCK_ORDER` environment variable (read once),
+//! * [`enable`] called programmatically (tests).
+//!
+//! Conservative choices:
+//! * Same-class nesting is ignored: a name identifies a class, and two
+//!   *instances* of one class cannot be distinguished here, so
+//!   read-read recursion (and deliberate instance-ordered designs) are
+//!   not false positives.
+//! * `try_lock` acquisitions push a held entry (they can be the *held*
+//!   side of a deadlock) but record no inbound edge (they never block).
+//! * All internal state uses `std::sync` primitives, never shim locks.
+
+use crate::lockstats::LockStats;
+use std::backtrace::Backtrace;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// How a lock is being (or was) acquired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// `Mutex::lock` / `RwLock::write`.
+    Exclusive,
+    /// `RwLock::read`.
+    Shared,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(cfg!(feature = "lock-order"));
+static ENV_ENABLED: OnceLock<bool> = OnceLock::new();
+
+fn env_enabled() -> bool {
+    *ENV_ENABLED.get_or_init(|| {
+        std::env::var("NEST_LOCK_ORDER")
+            .map(|v| !v.is_empty() && v != "0" && v.to_ascii_lowercase() != "false")
+            .unwrap_or(false)
+    })
+}
+
+/// Whether lock-order detection is currently active.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed) || env_enabled()
+}
+
+/// Turns detection on (process-wide).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns the programmatic/feature switch off. Cannot override an
+/// explicit `NEST_LOCK_ORDER` environment enablement.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+struct Held {
+    id: u32,
+    mode: Mode,
+    stats: &'static LockStats,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One recorded acquisition-order edge `from → to`, with the backtrace of
+/// the acquisition that first established it.
+struct EdgeInfo {
+    backtrace: String,
+}
+
+#[derive(Default)]
+struct Graph {
+    /// Adjacency: from-id → sorted list of to-ids.
+    adj: HashMap<u32, Vec<u32>>,
+    /// Edge metadata, keyed by (from, to).
+    info: HashMap<(u32, u32), EdgeInfo>,
+    /// Node id → lock class, for reporting.
+    names: HashMap<u32, &'static LockStats>,
+}
+
+impl Graph {
+    fn has_edge(&self, from: u32, to: u32) -> bool {
+        self.adj
+            .get(&from)
+            .is_some_and(|v| v.binary_search(&to).is_ok())
+    }
+
+    /// Depth-first path from `from` to `to` over recorded edges; returns
+    /// the node sequence (inclusive) when one exists.
+    fn find_path(&self, from: u32, to: u32) -> Option<Vec<u32>> {
+        let mut stack = vec![vec![from]];
+        let mut visited = std::collections::HashSet::new();
+        visited.insert(from);
+        while let Some(path) = stack.pop() {
+            let last = *path.last().expect("non-empty path");
+            if last == to {
+                return Some(path);
+            }
+            if let Some(nexts) = self.adj.get(&last) {
+                for &n in nexts {
+                    if visited.insert(n) {
+                        let mut p = path.clone();
+                        p.push(n);
+                        stack.push(p);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+static GRAPH: OnceLock<Mutex<Graph>> = OnceLock::new();
+
+fn graph() -> &'static Mutex<Graph> {
+    GRAPH.get_or_init(|| Mutex::new(Graph::default()))
+}
+
+/// Called *before* a named acquisition blocks. Records `held → new`
+/// edges and panics (with both backtraces) if any such edge closes a
+/// cycle in the acquisition-order graph.
+pub(crate) fn check_acquire(new: &'static LockStats, _mode: Mode) {
+    if !is_enabled() {
+        return;
+    }
+    // Snapshot currently held classes (dedup, skip same-class nesting).
+    let mut held_ids: Vec<(u32, &'static LockStats)> = Vec::new();
+    HELD.with(|h| {
+        for held in h.borrow().iter() {
+            if held.id != new.id && !held_ids.iter().any(|(id, _)| *id == held.id) {
+                held_ids.push((held.id, held.stats));
+            }
+        }
+    });
+    if held_ids.is_empty() {
+        return;
+    }
+    for (from, from_stats) in held_ids {
+        // Fast path: known edge.
+        {
+            let g = graph().lock().unwrap_or_else(PoisonError::into_inner);
+            if g.has_edge(from, new.id) {
+                continue;
+            }
+        }
+        // Slow path: new edge — capture the backtrace, insert, check.
+        let bt = Backtrace::force_capture().to_string();
+        let mut g = graph().lock().unwrap_or_else(PoisonError::into_inner);
+        if g.has_edge(from, new.id) {
+            continue; // raced another thread recording the same edge
+        }
+        g.names.entry(from).or_insert(from_stats);
+        g.names.entry(new.id).or_insert(new);
+        // A cycle exists iff the new lock already reaches the held one.
+        if let Some(path) = g.find_path(new.id, from) {
+            let msg = cycle_report(&g, new, from_stats, &path, &bt);
+            drop(g); // do not poison the graph lock with our panic
+            panic!("{}", msg);
+        }
+        let adj = g.adj.entry(from).or_default();
+        if let Err(pos) = adj.binary_search(&new.id) {
+            adj.insert(pos, new.id);
+        }
+        g.info.insert((from, new.id), EdgeInfo { backtrace: bt });
+    }
+}
+
+/// Renders the two-backtrace cycle report.
+fn cycle_report(
+    g: &Graph,
+    new: &'static LockStats,
+    held: &'static LockStats,
+    path: &[u32],
+    current_bt: &str,
+) -> String {
+    let name_of = |id: u32| g.names.get(&id).map_or("?", |s| s.name);
+    let mut cycle: Vec<String> = path.iter().map(|id| name_of(*id).to_owned()).collect();
+    cycle.push(new.name.to_owned()); // close the loop visually
+                                     // The opposing edge whose recording established the reverse order:
+                                     // the first hop of the path new → … → held.
+    let opposing = (path[0], path[1]);
+    let recorded = g
+        .info
+        .get(&opposing)
+        .map_or("<no backtrace recorded>", |e| e.backtrace.as_str());
+    format!(
+        "lock-order cycle detected: acquiring '{}' (rank {}) while holding '{}' (rank {}) \
+         inverts the established order {}\n\
+         \n--- current acquisition backtrace ('{}' -> '{}') ---\n{}\n\
+         \n--- recorded acquisition backtrace ('{}' -> '{}') ---\n{}\n",
+        new.name,
+        new.rank,
+        held.name,
+        held.rank,
+        cycle.join(" -> "),
+        held.name,
+        new.name,
+        current_bt,
+        name_of(opposing.0),
+        name_of(opposing.1),
+        recorded,
+    )
+}
+
+/// Called after a named acquisition succeeds: pushes the held entry.
+pub(crate) fn note_acquired(stats: &'static LockStats, mode: Mode) {
+    if !is_enabled() {
+        return;
+    }
+    HELD.with(|h| {
+        h.borrow_mut().push(Held {
+            id: stats.id,
+            mode,
+            stats,
+        })
+    });
+}
+
+/// Called when a named guard drops (or releases for a condvar wait):
+/// removes the most recent matching held entry, tolerating out-of-order
+/// guard drops and mid-flight enablement.
+pub(crate) fn note_released(stats: &'static LockStats) {
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|e| e.id == stats.id) {
+            held.remove(pos);
+        }
+    });
+}
+
+/// Test hook: number of lock classes this thread currently holds.
+pub fn held_depth() -> usize {
+    HELD.with(|h| h.borrow().len())
+}
+
+// `mode` is currently informational (same-class nesting is skipped before
+// modes matter), but keeping it in the held record makes shared/exclusive
+// reporting and future upgrade (e.g. waiting-writer analysis) cheap.
+impl Held {
+    #[allow(dead_code)]
+    fn is_shared(&self) -> bool {
+        self.mode == Mode::Shared
+    }
+}

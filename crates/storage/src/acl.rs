@@ -254,10 +254,19 @@ impl AclEntry {
 
 /// Per-directory ACL storage with AFS-style inheritance: the effective ACL
 /// for a path is the ACL of the nearest ancestor directory that has one.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AclTable {
     acls: RwLock<BTreeMap<VPath, Vec<AclEntry>>>,
     groups: RwLock<HashMap<String, HashSet<String>>>,
+}
+
+impl Default for AclTable {
+    fn default() -> Self {
+        Self {
+            acls: RwLock::named("storage.acl.acls", 320, BTreeMap::new()),
+            groups: RwLock::named("storage.acl.groups", 321, HashMap::new()),
+        }
+    }
 }
 
 impl AclTable {

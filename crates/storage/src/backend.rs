@@ -86,9 +86,17 @@ enum MemNode {
 
 /// An in-memory backend: a map from virtual path to node. Useful for tests
 /// and for the paper's "physical memory" storage option.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemBackend {
     nodes: RwLock<BTreeMap<VPath, MemNode>>,
+}
+
+impl Default for MemBackend {
+    fn default() -> Self {
+        Self {
+            nodes: RwLock::named("storage.backend.memfs", 330, BTreeMap::new()),
+        }
+    }
 }
 
 impl MemBackend {
@@ -371,10 +379,12 @@ impl LocalFsBackend {
             Lookup::Disabled => {
                 // Uncached fallback: plain open in the needed mode.
                 let file = if need_write {
+                    // nestlint: allow(backend-open): capacity-0 ablation path opens uncached by design
                     fs::OpenOptions::new()
                         .write(true)
                         .open(self.host_path(path))?
                 } else {
+                    // nestlint: allow(backend-open): capacity-0 ablation path opens uncached by design
                     fs::File::open(self.host_path(path))?
                 };
                 Ok(Arc::new(file))
@@ -382,9 +392,11 @@ impl LocalFsBackend {
             Lookup::Miss { epoch } => {
                 let host = self.host_path(path);
                 let (file, writable) =
+                    // nestlint: allow(backend-open): this is the one open that feeds the handle cache
                     match fs::OpenOptions::new().read(true).write(true).open(&host) {
                         Ok(f) => (f, true),
                         Err(e) if !need_write && e.kind() == io::ErrorKind::PermissionDenied => {
+                            // nestlint: allow(backend-open): read-only retry for unwritable files, still inserted into the cache
                             (fs::File::open(&host)?, false)
                         }
                         Err(e) => return Err(e),
@@ -453,6 +465,7 @@ fn write_at_handle(file: &fs::File, offset: u64, data: &[u8]) -> io::Result<()> 
 
 impl StorageBackend for LocalFsBackend {
     fn create(&self, path: &VPath) -> io::Result<()> {
+        // nestlint: allow(backend-open): create_new is a metadata op; it invalidates the cache below
         fs::OpenOptions::new()
             .write(true)
             .create_new(true)
@@ -469,6 +482,7 @@ impl StorageBackend for LocalFsBackend {
             // Pre-cache behavior, kept verbatim for ablation (capacity 0):
             // open + seek + read for every chunk.
             use std::io::{Read, Seek, SeekFrom};
+            // nestlint: allow(backend-open): pre-cache per-chunk open, kept verbatim for the ablation comparison
             let mut f = fs::File::open(self.host_path(path))?;
             f.seek(SeekFrom::Start(offset))?;
             let mut filled = 0;
@@ -491,6 +505,7 @@ impl StorageBackend for LocalFsBackend {
             // Pre-cache behavior, kept verbatim for ablation (capacity 0):
             // open + seek + write for every chunk.
             use std::io::{Seek, SeekFrom, Write};
+            // nestlint: allow(backend-open): pre-cache per-chunk open, kept verbatim for the ablation comparison
             let mut f = fs::OpenOptions::new()
                 .write(true)
                 .open(self.host_path(path))?;
@@ -502,6 +517,7 @@ impl StorageBackend for LocalFsBackend {
     }
 
     fn truncate(&self, path: &VPath, size: u64) -> io::Result<()> {
+        // nestlint: allow(backend-open): truncate is a metadata op; it invalidates the cache below
         let f = fs::OpenOptions::new()
             .write(true)
             .open(self.host_path(path))?;

@@ -115,15 +115,19 @@ impl HandleCache {
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            state: Mutex::new(CacheState {
-                entries: HashMap::new(),
-                tick: 0,
-                epoch: 0,
-                hits: 0,
-                misses: 0,
-                evictions: 0,
-            }),
-            instruments: Mutex::new(None),
+            state: Mutex::named(
+                "storage.handlecache.state",
+                340,
+                CacheState {
+                    entries: HashMap::new(),
+                    tick: 0,
+                    epoch: 0,
+                    hits: 0,
+                    misses: 0,
+                    evictions: 0,
+                },
+            ),
+            instruments: Mutex::named("storage.handlecache.instruments", 341, None),
         }
     }
 
@@ -238,6 +242,14 @@ impl HandleCache {
             },
         );
         let open = st.entries.len() as i64;
+        // The cache's whole point is bounding open descriptors: an insert
+        // must never leave more cached FDs than the configured capacity.
+        nest_check::invariant!(
+            open as usize <= self.capacity,
+            "handlecache holds {} open FDs, capacity is {}",
+            open,
+            self.capacity
+        );
         drop(st);
         if evicted > 0 || open > 0 {
             if let Some(i) = &*self.instruments.lock() {

@@ -177,13 +177,17 @@ impl LotManager {
     /// Creates a manager over `total_capacity` bytes of physical storage.
     pub fn new(total_capacity: u64, policy: ReclaimPolicy) -> Self {
         Self {
-            inner: Mutex::new(LotState {
-                total_capacity,
-                policy,
-                next_id: 1,
-                lots: HashMap::new(),
-                file_spans: HashMap::new(),
-            }),
+            inner: Mutex::named(
+                "storage.lot",
+                300,
+                LotState {
+                    total_capacity,
+                    policy,
+                    next_id: 1,
+                    lots: HashMap::new(),
+                    file_spans: HashMap::new(),
+                },
+            ),
         }
     }
 
@@ -425,6 +429,21 @@ impl LotManager {
                 }
             }
         }
+        // Releasing a span must leave every touched lot conserving bytes
+        // (the expiry-dependent guarantee check needs a clock and is
+        // re-verified on the next charge).
+        if nest_check::enforcing() {
+            for lot in st.lots.values() {
+                let file_sum: u64 = lot.files.values().sum();
+                nest_check::invariant!(
+                    lot.used == file_sum,
+                    "lot {} byte conservation after release: used {} != sum(file charges) {}",
+                    lot.id,
+                    lot.used,
+                    file_sum
+                );
+            }
+        }
         released
     }
 
@@ -629,7 +648,7 @@ impl LotState {
     }
 
     fn debug_assert_invariants(&self, now: u64) {
-        if cfg!(debug_assertions) {
+        if nest_check::enforcing() {
             let active_cap: u64 = self
                 .lots
                 .values()
@@ -642,17 +661,31 @@ impl LotState {
                 .filter(|l| l.is_expired(now))
                 .map(|l| l.used)
                 .sum();
-            debug_assert!(
+            nest_check::invariant!(
                 active_cap + best_used <= self.total_capacity,
-                "guarantee invariant violated: {} + {} > {}",
+                "lot guarantee: active capacity {} + best-effort used {} > total {}",
                 active_cap,
                 best_used,
                 self.total_capacity
             );
+            // Byte conservation: each lot's committed bytes equal the sum
+            // of its per-file charges, and never exceed its capacity.
             for lot in self.lots.values() {
-                debug_assert!(lot.used <= lot.capacity);
+                nest_check::invariant!(
+                    lot.used <= lot.capacity,
+                    "lot {} used {} exceeds capacity {}",
+                    lot.id,
+                    lot.used,
+                    lot.capacity
+                );
                 let file_sum: u64 = lot.files.values().sum();
-                debug_assert_eq!(lot.used, file_sum, "lot {} used mismatch", lot.id);
+                nest_check::invariant!(
+                    lot.used == file_sum,
+                    "lot {} byte conservation: used {} != sum(file charges) {}",
+                    lot.id,
+                    lot.used,
+                    file_sum
+                );
             }
         }
     }

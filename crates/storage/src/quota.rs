@@ -23,9 +23,17 @@ use std::collections::HashMap;
 /// q.release("alice", 50);
 /// assert!(q.charge("alice", 40).is_ok());
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct QuotaTable {
     inner: Mutex<HashMap<String, QuotaRecord>>,
+}
+
+impl Default for QuotaTable {
+    fn default() -> Self {
+        Self {
+            inner: Mutex::named("storage.quota", 310, HashMap::new()),
+        }
+    }
 }
 
 #[derive(Debug, Default, Clone, Copy)]

@@ -64,7 +64,15 @@ struct PoolInner {
 
 impl PoolInner {
     fn note_return(&self, mut data: Vec<u8>) {
-        self.outstanding.fetch_sub(1, Ordering::Relaxed);
+        let after = self.outstanding.fetch_sub(1, Ordering::Relaxed) - 1;
+        // Return-matching: every return must pair with a checkout. A
+        // negative outstanding count means a buffer came back twice (or
+        // from a foreign pool) — silent double-recycling corrupts flows.
+        nest_check::invariant!(
+            after >= 0,
+            "bufpool outstanding went negative ({}): buffer returned without a matching checkout",
+            after
+        );
         if let Some(i) = &*self.instruments.lock() {
             i.outstanding.dec();
         }
@@ -78,6 +86,12 @@ impl PoolInner {
         if free.len() < self.max_idle {
             free.push(data);
         }
+        nest_check::invariant!(
+            free.len() <= self.max_idle,
+            "bufpool free list ({}) exceeds max_idle ({})",
+            free.len(),
+            self.max_idle
+        );
     }
 }
 
@@ -110,11 +124,11 @@ impl BufPool {
             inner: Arc::new(PoolInner {
                 chunk_size: chunk_size.max(1),
                 max_idle,
-                free: Mutex::new(Vec::new()),
+                free: Mutex::named("transfer.bufpool.free", 400, Vec::new()),
                 reuse: AtomicU64::new(0),
                 fresh: AtomicU64::new(0),
                 outstanding: AtomicI64::new(0),
-                instruments: Mutex::new(None),
+                instruments: Mutex::named("transfer.bufpool.instruments", 401, None),
             }),
         }
     }
@@ -165,6 +179,7 @@ impl BufPool {
     pub fn checkout(&self) -> PooledBuf {
         let recycled = self.inner.free.lock().pop();
         let reused = recycled.is_some();
+        // nestlint: allow(transfer-alloc): the pool's own cold-path allocation — every other site recycles through here
         let data = recycled.unwrap_or_else(|| vec![0; self.inner.chunk_size]);
         if reused {
             self.inner.reuse.fetch_add(1, Ordering::Relaxed);
@@ -199,6 +214,7 @@ impl PooledBuf {
     /// flows without a [`BufPool`], e.g. unit tests and one-off pumps).
     pub fn detached(chunk_size: usize) -> Self {
         Self {
+            // nestlint: allow(transfer-alloc): detached buffers are for pool-less one-off pumps, not the hot path
             data: Some(vec![0; chunk_size.max(1)]),
             pool: None,
         }

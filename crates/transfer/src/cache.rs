@@ -72,15 +72,19 @@ impl CacheModel {
     /// Creates a model of a cache holding `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
         Self {
-            inner: Mutex::new(CacheState {
-                capacity,
-                used: 0,
-                resident: HashMap::new(),
-                order: BTreeMap::new(),
-                tick: 0,
-                hits: 0,
-                misses: 0,
-            }),
+            inner: Mutex::named(
+                "transfer.cache",
+                210,
+                CacheState {
+                    capacity,
+                    used: 0,
+                    resident: HashMap::new(),
+                    order: BTreeMap::new(),
+                    tick: 0,
+                    hits: 0,
+                    misses: 0,
+                },
+            ),
         }
     }
 

@@ -294,7 +294,11 @@ impl TransferManager {
             pool.register_obs(obs);
         }
         let (tx, rx) = unbounded();
-        let stats = Arc::new(Mutex::new(TransferStats::default()));
+        let stats = Arc::new(Mutex::named(
+            "transfer.stats",
+            200,
+            TransferStats::default(),
+        ));
         let engine_stats = Arc::clone(&stats);
         let engine_tx = tx.clone();
         let engine = std::thread::Builder::new()

@@ -140,6 +140,14 @@ impl StrideScheduler {
     /// the new stride so an in-flight class neither hoards credit nor owes
     /// a debt after a ticket change.
     pub fn set_tickets(&mut self, class: &str, tickets: u32) {
+        // Flow conservation across a ticket change (the regression class
+        // this method once had: rebuilding ClassState silently discarded
+        // admitted flows, hanging their submitters forever).
+        let queued_before = if nest_check::enforcing() {
+            self.classes.values().map(|c| c.flows.len()).sum::<usize>()
+        } else {
+            0
+        };
         let global = self.global_pass;
         let entry = self
             .classes
@@ -153,6 +161,30 @@ impl StrideScheduler {
         // stride (classic stride-scheduler ticket-change transformation).
         let ahead = entry.pass.saturating_sub(global);
         entry.pass = global + ahead / old_stride as u128 * entry.stride as u128;
+        nest_check::invariant!(
+            entry.pass >= global,
+            "stride rescale moved class {:?} behind global virtual time ({} < {})",
+            class,
+            entry.pass,
+            global
+        );
+        if nest_check::enforcing() {
+            let queued_after = self.classes.values().map(|c| c.flows.len()).sum::<usize>();
+            nest_check::invariant!(
+                queued_after == queued_before,
+                "set_tickets({:?}, {}) changed queued flow count: {} -> {}",
+                class,
+                tickets,
+                queued_before,
+                queued_after
+            );
+            nest_check::invariant!(
+                queued_after == self.class_of.len(),
+                "queued flows ({}) diverged from flow->class map ({})",
+                queued_after,
+                self.class_of.len()
+            );
+        }
     }
 
     /// The tickets configured for a class (or the default).

@@ -10,9 +10,36 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> nest-lint (repo-rule source gate: shim-only locks, named locks, metric catalog)"
+cargo run -q -p nest-lint
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
+
+echo "==> nest-check (invariant macro + lock-order detector unit/regression tests, debug build)"
+cargo test -q -p nest-check -p parking_lot
+
+echo "==> tier-1 under lock-order deadlock detection (NEST_LOCK_ORDER=1)"
+NEST_LOCK_ORDER=1 cargo test -q
+
+echo "==> ThreadSanitizer spot-check (best effort: needs nightly + rust-src)"
+tsan_src=""
+if cargo +nightly --version >/dev/null 2>&1; then
+  tsan_src="$(rustc +nightly --print sysroot)/lib/rustlib/src/rust/library"
+fi
+if [ -n "$tsan_src" ] && [ -d "$tsan_src" ]; then
+  if RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+     cargo +nightly test -Zbuild-std --target "$(rustc -vV | sed -n 's/^host: //p')" \
+       -q -p parking_lot 2>target/tsan.log; then
+    echo "    tsan: parking_lot shim clean"
+  else
+    echo "    tsan: FAILED (see target/tsan.log)" >&2
+    exit 1
+  fi
+else
+  echo "    tsan: skipped (nightly toolchain with rust-src not available)"
+fi
 
 echo "==> fault matrix (deterministic fault injection across models x policies)"
 cargo test -p nest-transfer --release --test fault_matrix
