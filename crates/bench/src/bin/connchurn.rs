@@ -1,0 +1,286 @@
+//! Connection-churn benchmark: the session layer's accept path, measured
+//! (DESIGN.md §12).
+//!
+//! Hammers a live appliance with short-lived HTTP connections (connect,
+//! one `GET /nest/stats`, close) from several concurrent client threads
+//! and reports sustained connections/sec plus the p50/p99
+//! connect-to-first-byte latency, across the accept-path ablation:
+//!
+//! * **pooled** — the session layer proper: one `poll(2)` poller thread
+//!   multiplexing every listener, bounded per-protocol worker pools.
+//! * **baseline** — `max_conns = 0`: the historical shape, one acceptor
+//!   thread per listener polling a nonblocking `accept` on a 5 ms sleep
+//!   and spawning an unbounded thread per connection.
+//!
+//! The baseline's sleep-poll puts up to 5 ms of dead time in front of
+//! every accept, which dominates short-connection churn; the poller wakes
+//! on readiness. Methodology as in the datapath bench: both configs are
+//! measured interleaved round-robin over several repetitions and the
+//! medians are reported.
+//!
+//! Emits machine-readable results to `BENCH_connchurn.json` (override
+//! with `--out <path>`); `--smoke` shrinks the workload for the CI gate.
+//! Self-validates: all rates finite and positive, and in full mode the
+//! pooled config must beat the baseline on connections/sec.
+
+use nest_bench::Table;
+use nest_core::config::NestConfig;
+use nest_core::server::NestServer;
+use nest_obs::Obs;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Sizes {
+    /// Concurrent client threads (each churns serially).
+    threads: usize,
+    /// Connections per thread per repetition.
+    conns_per_thread: usize,
+    reps: usize,
+}
+
+impl Sizes {
+    fn real() -> Self {
+        Self {
+            threads: 6,
+            conns_per_thread: 120,
+            reps: 5,
+        }
+    }
+
+    fn smoke() -> Self {
+        Self {
+            threads: 4,
+            conns_per_thread: 10,
+            reps: 1,
+        }
+    }
+}
+
+/// One live appliance under test.
+struct Ctx {
+    name: &'static str,
+    server: Option<NestServer>,
+    addr: SocketAddr,
+    rate_samples: Vec<f64>,
+    p99_samples: Vec<f64>,
+    p50_samples: Vec<f64>,
+}
+
+fn setup(name: &'static str, max_conns: usize) -> Ctx {
+    let config = NestConfig::builder(name)
+        .obs(Obs::new())
+        .max_conns(max_conns)
+        .build()
+        .unwrap();
+    let server = NestServer::start(config).unwrap();
+    let addr = server.http_addr.unwrap();
+    Ctx {
+        name,
+        server: Some(server),
+        addr,
+        rate_samples: Vec::new(),
+        p99_samples: Vec::new(),
+        p50_samples: Vec::new(),
+    }
+}
+
+/// One repetition: every thread churns its quota of connections; returns
+/// (connections/sec, all connect-to-first-byte latencies in microseconds).
+fn measure(ctx: &Ctx, sz: &Sizes) -> (f64, Vec<f64>) {
+    let addr = ctx.addr;
+    let start = Instant::now();
+    let handles: Vec<_> = (0..sz.threads)
+        .map(|_| {
+            let n = sz.conns_per_thread;
+            std::thread::spawn(move || {
+                let mut lats = Vec::with_capacity(n);
+                let mut first = [0u8; 1];
+                for _ in 0..n {
+                    let t0 = Instant::now();
+                    let mut conn = TcpStream::connect(addr).expect("connect");
+                    conn.set_nodelay(true).unwrap();
+                    conn.write_all(b"GET /nest/stats HTTP/1.1\r\n\r\n")
+                        .expect("request");
+                    conn.read_exact(&mut first).expect("first byte");
+                    lats.push(t0.elapsed().as_secs_f64() * 1e6);
+                    // Drop: the client closes; the worker sees EOF and
+                    // recycles (pooled) or exits (baseline).
+                }
+                lats
+            })
+        })
+        .collect();
+    let mut lats: Vec<f64> = Vec::new();
+    for h in handles {
+        lats.extend(h.join().expect("client thread"));
+    }
+    let total = (sz.threads * sz.conns_per_thread) as f64;
+    (total / start.elapsed().as_secs_f64(), lats)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).saturating_sub(1);
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn median(samples: &[f64]) -> f64 {
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    s[s.len() / 2]
+}
+
+struct ConfigResult {
+    name: &'static str,
+    conns_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn emit_json(out: &PathBuf, smoke: bool, sz: &Sizes, results: &[ConfigResult]) {
+    let find = |name: &str| results.iter().find(|r| r.name == name).unwrap();
+    let pooled = find("pooled");
+    let baseline = find("baseline");
+    let churn_speedup = pooled.conns_per_sec / baseline.conns_per_sec;
+    let p99_improvement = baseline.p99_us / pooled.p99_us;
+
+    let mut configs = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            configs.push(',');
+        }
+        configs.push_str(&format!(
+            concat!(
+                "\n    {{\"name\":\"{}\",\"conns_per_sec\":{:.1},",
+                "\"p50_first_byte_us\":{:.1},\"p99_first_byte_us\":{:.1}}}"
+            ),
+            r.name, r.conns_per_sec, r.p50_us, r.p99_us,
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"connchurn\",\n",
+            "  \"smoke\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"threads\": {},\n",
+            "  \"conns_per_rep\": {},\n",
+            "  \"configs\": [{}\n  ],\n",
+            "  \"pooled_conns_per_sec\": {:.1},\n",
+            "  \"baseline_conns_per_sec\": {:.1},\n",
+            "  \"churn_speedup\": {:.3},\n",
+            "  \"p99_improvement\": {:.3}\n",
+            "}}\n"
+        ),
+        smoke,
+        sz.reps,
+        sz.threads,
+        sz.threads * sz.conns_per_thread,
+        configs,
+        pooled.conns_per_sec,
+        baseline.conns_per_sec,
+        churn_speedup,
+        p99_improvement,
+    );
+    std::fs::write(out, &json).unwrap();
+
+    // Self-validation: finite positive rates everywhere; in full mode the
+    // session layer must beat the sleep-poll acceptors it replaced.
+    let ok = results
+        .iter()
+        .all(|r| r.conns_per_sec.is_finite() && r.conns_per_sec > 0.0 && r.p99_us.is_finite())
+        && churn_speedup.is_finite();
+    if !ok {
+        eprintln!("connchurn: self-validation FAILED (non-finite or zero rate)");
+        std::process::exit(1);
+    }
+    if !smoke && churn_speedup <= 1.0 {
+        eprintln!("connchurn: REGRESSION — pooled accept path is not faster than the sleep-poll baseline ({churn_speedup:.3}x)");
+        std::process::exit(1);
+    }
+    println!("\nwrote {}", out.display());
+    println!(
+        "churn (medians of {} reps): pooled {:.0} conns/s vs baseline {:.0} conns/s ({:.2}x); p99 first byte {:.0}us vs {:.0}us",
+        sz.reps,
+        pooled.conns_per_sec,
+        baseline.conns_per_sec,
+        churn_speedup,
+        pooled.p99_us,
+        baseline.p99_us
+    );
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = PathBuf::from("BENCH_connchurn.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
+            other => panic!("unknown flag {other:?} (expected --smoke / --out <path>)"),
+        }
+    }
+    let sz = if smoke { Sizes::smoke() } else { Sizes::real() };
+    println!(
+        "Connection churn: {} threads x {} conns, {} reps{}\n",
+        sz.threads,
+        sz.conns_per_thread,
+        sz.reps,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // `max_conns == 0` is the ablation switch: per-listener sleep-poll
+    // acceptors with an unbounded thread per connection (the seed shape).
+    let mut ctxs = vec![setup("pooled", 256), setup("baseline", 0)];
+
+    // Warm both paths (listener queues, lazy worker spawn) outside the
+    // measured window, then interleave reps across configs.
+    let warm = Sizes {
+        threads: 2,
+        conns_per_thread: 3,
+        reps: 1,
+    };
+    for ctx in &ctxs {
+        let _ = measure(ctx, &warm);
+    }
+    for _ in 0..sz.reps {
+        for ctx in ctxs.iter_mut() {
+            let (rate, mut lats) = measure(ctx, &sz);
+            lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            ctx.rate_samples.push(rate);
+            ctx.p50_samples.push(percentile(&lats, 0.50));
+            ctx.p99_samples.push(percentile(&lats, 0.99));
+        }
+    }
+
+    let mut results = Vec::new();
+    for ctx in ctxs.iter_mut() {
+        results.push(ConfigResult {
+            name: ctx.name,
+            conns_per_sec: median(&ctx.rate_samples),
+            p50_us: median(&ctx.p50_samples),
+            p99_us: median(&ctx.p99_samples),
+        });
+        ctx.server.take().unwrap().shutdown();
+    }
+
+    let mut table = Table::new(&[
+        "config",
+        "conns/s",
+        "p50 first-byte us",
+        "p99 first-byte us",
+    ]);
+    for r in &results {
+        table.row(vec![
+            r.name.into(),
+            format!("{:.0}", r.conns_per_sec),
+            format!("{:.0}", r.p50_us),
+            format!("{:.0}", r.p99_us),
+        ]);
+    }
+    table.print();
+
+    emit_json(&out, smoke, &sz, &results);
+}

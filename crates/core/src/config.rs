@@ -48,6 +48,9 @@ pub enum ConfigError {
     CapacityWithoutLots,
     /// Two protocols were given the same fixed port.
     DuplicatePort(u16),
+    /// A global connection cap was set but the per-protocol cap is zero,
+    /// so no protocol could ever admit a connection.
+    ZeroPerProtocolCap,
 }
 
 impl fmt::Display for ConfigError {
@@ -62,6 +65,12 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::DuplicatePort(p) => {
                 write!(f, "two protocols configured on the same port {}", p)
+            }
+            ConfigError::ZeroPerProtocolCap => {
+                write!(
+                    f,
+                    "max_conns > 0 with max_conns_per_protocol == 0 admits nothing"
+                )
             }
         }
     }
@@ -111,6 +120,22 @@ pub struct NestConfig {
     /// Per-transfer deadline stamped onto dispatcher-submitted flows;
     /// `None` (the default) means transfers may run indefinitely.
     pub transfer_deadline: Option<Duration>,
+    /// Global cap on simultaneously admitted connections across every
+    /// protocol front-end. `0` selects the per-connection-thread ablation
+    /// (seed behavior: unbounded spawn, 5 ms sleep-poll acceptors) used as
+    /// the benchmark baseline. Default: 256.
+    pub max_conns: usize,
+    /// Per-protocol bound on connections concurrently *being served*
+    /// (the worker-pool size for that protocol). Default: 64.
+    pub max_conns_per_protocol: usize,
+    /// Connections over the per-protocol cap wait in a bounded queue of
+    /// this depth before the appliance rejects with the protocol's
+    /// overload reply. Default: 0 (reject immediately at the cap).
+    pub accept_queue_depth: usize,
+    /// Per-connection idle deadline: a connection that sends no request
+    /// bytes for this long is reaped. `None` (the default) keeps idle
+    /// connections forever.
+    pub idle_timeout: Option<Duration>,
 }
 
 /// Per-protocol listening ports; `None` disables the protocol.
@@ -179,6 +204,10 @@ impl Default for NestConfig {
             obs: None,
             retry: RetryPolicy::standard(),
             transfer_deadline: None,
+            max_conns: 256,
+            max_conns_per_protocol: 64,
+            accept_queue_depth: 0,
+            idle_timeout: None,
         }
     }
 }
@@ -227,6 +256,9 @@ impl NestConfig {
             if pair[0] == pair[1] {
                 return Err(ConfigError::DuplicatePort(pair[0]));
             }
+        }
+        if self.max_conns > 0 && self.max_conns_per_protocol == 0 {
+            return Err(ConfigError::ZeroPerProtocolCap);
         }
         Ok(())
     }
@@ -379,6 +411,31 @@ impl NestConfigBuilder {
         self
     }
 
+    /// Global cap on simultaneously admitted connections. `0` selects the
+    /// per-connection-thread ablation baseline (unbounded spawn).
+    pub fn max_conns(mut self, cap: usize) -> Self {
+        self.config.max_conns = cap;
+        self
+    }
+
+    /// Per-protocol worker-pool size (connections served concurrently).
+    pub fn max_conns_per_protocol(mut self, cap: usize) -> Self {
+        self.config.max_conns_per_protocol = cap;
+        self
+    }
+
+    /// Admission queue depth per protocol before overload rejection.
+    pub fn accept_queue_depth(mut self, depth: usize) -> Self {
+        self.config.accept_queue_depth = depth;
+        self
+    }
+
+    /// Per-connection idle deadline (`None` keeps idle connections).
+    pub fn idle_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.config.idle_timeout = timeout;
+        self
+    }
+
     /// Validates and produces the configuration.
     pub fn build(self) -> Result<NestConfig, ConfigError> {
         if self.capacity_set && !self.config.enforce_lots {
@@ -441,6 +498,36 @@ mod tests {
         );
         // Disabling lots without promising capacity is fine.
         assert!(NestConfig::builder("n").lots(false).build().is_ok());
+    }
+
+    #[test]
+    fn builder_carries_session_limits() {
+        let config = NestConfig::builder("caps")
+            .max_conns(32)
+            .max_conns_per_protocol(4)
+            .accept_queue_depth(2)
+            .idle_timeout(Some(Duration::from_millis(250)))
+            .build()
+            .unwrap();
+        assert_eq!(config.max_conns, 32);
+        assert_eq!(config.max_conns_per_protocol, 4);
+        assert_eq!(config.accept_queue_depth, 2);
+        assert_eq!(config.idle_timeout, Some(Duration::from_millis(250)));
+        // The ablation switch (max_conns == 0) is a valid configuration.
+        assert!(NestConfig::builder("abl").max_conns(0).build().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_zero_per_protocol_cap() {
+        assert_eq!(
+            NestConfig::builder("n")
+                .max_conns(8)
+                .max_conns_per_protocol(0)
+                .build()
+                .err()
+                .unwrap(),
+            ConfigError::ZeroPerProtocolCap
+        );
     }
 
     #[test]

@@ -109,6 +109,9 @@ pub struct Dispatcher {
     retry: RetryPolicy,
     /// Deadline stamped onto every submitted flow (None = unbounded).
     transfer_deadline: Option<Duration>,
+    /// The session layer's global connection cap (0 = uncapped ablation),
+    /// published in the discovery ad as `MaxConnections`.
+    max_conns: usize,
 }
 
 impl Dispatcher {
@@ -178,6 +181,7 @@ impl Dispatcher {
             metrics,
             retry: config.retry.clone(),
             transfer_deadline: config.transfer_deadline,
+            max_conns: config.max_conns,
         })
     }
 
@@ -613,6 +617,17 @@ impl Dispatcher {
         ad.insert_value(
             "TransferFailures",
             nest_classad::Value::Int(self.obs.metrics.counter("transfer.failures").get() as i64),
+        );
+        // Connection load, so the matchmaker can rank by headroom: the
+        // session layer's admitted-connection gauge against its cap
+        // (0 = uncapped thread-per-connection ablation).
+        ad.insert_value(
+            "MaxConnections",
+            nest_classad::Value::Int(self.max_conns as i64),
+        );
+        ad.insert_value(
+            "ActiveConnections",
+            nest_classad::Value::Int(self.obs.metrics.gauge("session.active").get()),
         );
         // Self-diagnosis for the matchmaker: which internal lock class is
         // contended most, and how often (e.g. "storage.lot:42"). Absent

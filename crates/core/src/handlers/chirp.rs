@@ -1,6 +1,7 @@
 //! The Chirp protocol handler.
 
 use crate::dispatcher::{Dispatcher, LimitedStreamSource, StreamSink};
+use crate::session::{Await, SessionCtx};
 use nest_proto::chirp::{format_response, parse_command, status_line, ChirpCommand};
 use nest_proto::request::{NestError, NestRequest, NestResponse};
 use nest_proto::wire::{read_line, write_line};
@@ -11,11 +12,21 @@ use std::sync::Arc;
 
 const PROTOCOL: &str = "chirp";
 
-/// Serves one Chirp connection until QUIT or EOF.
-pub fn handle_conn(dispatcher: &Arc<Dispatcher>, mut stream: TcpStream) -> io::Result<()> {
+/// Serves one Chirp connection until QUIT, EOF, drain, or idle reap.
+pub fn handle_conn(
+    dispatcher: &Arc<Dispatcher>,
+    mut stream: TcpStream,
+    ctx: &SessionCtx,
+) -> io::Result<()> {
     stream.set_nodelay(true)?;
     let mut who = Principal::anonymous();
     loop {
+        // Between requests: wait for bytes, the drain signal, or the idle
+        // deadline (the session layer classifies the close from these).
+        match ctx.await_request(&stream)? {
+            Await::Ready => {}
+            _ => return Ok(()),
+        }
         let Some(line) = read_line(&mut stream)? else {
             return Ok(());
         };

@@ -6,6 +6,7 @@
 //! anonymous stream-mode sessions, matching the paper's configuration.
 
 use crate::dispatcher::{Dispatcher, StreamSink, StreamSource};
+use crate::session::{Await, SessionCtx};
 use nest_proto::ftp::{format_pasv_reply, parse_command, FtpCommand, FtpReply};
 use nest_proto::gridftp::modee::{recv_striped, OffsetSink, DESC_EOD, DESC_EOF};
 use nest_proto::gridftp::write_block;
@@ -55,6 +56,7 @@ pub fn handle_conn(
     dispatcher: &Arc<Dispatcher>,
     mut stream: TcpStream,
     gridftp: bool,
+    ctx: &SessionCtx,
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
     let mut session = Session {
@@ -71,6 +73,10 @@ pub fn handle_conn(
     };
     reply(&mut stream, 220, "NeST FTP service ready")?;
     loop {
+        match ctx.await_request(&stream)? {
+            Await::Ready => {}
+            _ => return Ok(()),
+        }
         let Some(line) = read_line(&mut stream)? else {
             return Ok(());
         };

@@ -1,6 +1,7 @@
 //! The HTTP protocol handler (anonymous access only, per the paper).
 
 use crate::dispatcher::{Dispatcher, LimitedStreamSource, StreamSink};
+use crate::session::{Await, SessionCtx};
 use nest_proto::http::{
     render_response_head, status_for_error, HttpMethod, HttpRequestHead, HttpResponseHead,
 };
@@ -12,11 +13,19 @@ use std::sync::Arc;
 
 const PROTOCOL: &str = "http";
 
-/// Serves one persistent HTTP connection.
-pub fn handle_conn(dispatcher: &Arc<Dispatcher>, mut stream: TcpStream) -> io::Result<()> {
+/// Serves one persistent HTTP connection until close, drain, or idle reap.
+pub fn handle_conn(
+    dispatcher: &Arc<Dispatcher>,
+    mut stream: TcpStream,
+    ctx: &SessionCtx,
+) -> io::Result<()> {
     stream.set_nodelay(true)?;
     let who = Principal::anonymous();
     loop {
+        match ctx.await_request(&stream)? {
+            Await::Ready => {}
+            _ => return Ok(()),
+        }
         let Some(head) = HttpRequestHead::read(&mut stream)? else {
             return Ok(());
         };

@@ -9,6 +9,7 @@
 //! never "switch automatically to best-effort when their duration expires"
 //! — an expired IBP allocation is simply gone.
 
+use crate::session::{Await, SessionCtx};
 use nest_proto::ibp::{parse_command, Capability, IbpCommand, Reliability, CODE_OK};
 use nest_proto::wire::{read_exact_vec, read_line, write_line};
 use parking_lot::Mutex;
@@ -236,10 +237,18 @@ impl IbpDepot {
     }
 }
 
-/// Serves one IBP connection.
-pub fn handle_conn(depot: &Arc<IbpDepot>, mut stream: TcpStream) -> io::Result<()> {
+/// Serves one IBP connection until QUIT, EOF, drain, or idle reap.
+pub fn handle_conn(
+    depot: &Arc<IbpDepot>,
+    mut stream: TcpStream,
+    ctx: &SessionCtx,
+) -> io::Result<()> {
     stream.set_nodelay(true)?;
     loop {
+        match ctx.await_request(&stream)? {
+            Await::Ready => {}
+            _ => return Ok(()),
+        }
         let Some(line) = read_line(&mut stream)? else {
             return Ok(());
         };

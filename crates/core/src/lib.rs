@@ -20,6 +20,11 @@
 //!   generation tags so deleted files yield `NFSERR_STALE`).
 //! * [`procpool`] — the real child-process launcher behind the process
 //!   concurrency model: flow bytes are piped through a worker process.
+//! * [`session`] — the shared connection-lifecycle subsystem: one poller
+//!   thread multiplexing every listening socket, bounded per-protocol
+//!   worker pools with admission control, idle reaping, and graceful
+//!   drain. Every front-end (and every jbos standalone server) accepts
+//!   through it.
 
 pub mod config;
 pub mod dispatcher;
@@ -27,6 +32,7 @@ pub mod fhtable;
 pub mod handlers;
 pub mod procpool;
 pub mod server;
+pub mod session;
 
 pub use config::NestConfig;
 pub use dispatcher::Dispatcher;

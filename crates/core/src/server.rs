@@ -1,4 +1,7 @@
-//! The NeST server: one user-level process, one listener per protocol.
+//! The NeST server: one user-level process, one listener per protocol —
+//! all accepted through the shared [`crate::session`] layer (one poller
+//! thread, bounded per-protocol worker pools, admission control, idle
+//! reaping, graceful drain).
 
 use crate::config::NestConfig;
 use crate::dispatcher::Dispatcher;
@@ -6,20 +9,20 @@ use crate::fhtable::FhTable;
 use crate::handlers;
 use crate::handlers::ibp::IbpDepot;
 use crate::handlers::nfs::{MountHandler, NfsHandler};
+use crate::session::{
+    OverloadReply, SessionConfig, SessionHandler, SessionLayer, DEFAULT_DRAIN_DEADLINE,
+};
 use nest_proto::nfs::wire::{MOUNT_PROGRAM, MOUNT_VERSION, NFS_PROGRAM, NFS_VERSION};
 use nest_sunrpc::server::{RpcServer, SpawnedRpcServer};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// A running NeST appliance.
 pub struct NestServer {
     dispatcher: Arc<Dispatcher>,
-    stop: Arc<AtomicBool>,
-    threads: Vec<JoinHandle<()>>,
+    session: SessionLayer,
     rpc: Option<SpawnedRpcServer>,
     /// Bound Chirp address, if serving.
     pub chirp_addr: Option<SocketAddr>,
@@ -29,15 +32,17 @@ pub struct NestServer {
     pub ftp_addr: Option<SocketAddr>,
     /// Bound GridFTP control address.
     pub gridftp_addr: Option<SocketAddr>,
-    /// Bound NFS RPC address (UDP; TCP serves the same programs).
+    /// Bound NFS RPC address (UDP).
     pub nfs_addr: Option<SocketAddr>,
+    /// Bound NFS-over-TCP address (record streams, same programs).
+    pub nfs_tcp_addr: Option<SocketAddr>,
     /// Bound IBP depot address, when enabled.
     pub ibp_addr: Option<SocketAddr>,
 }
 
 impl NestServer {
-    /// Starts the appliance: builds the dispatcher and binds every enabled
-    /// protocol listener.
+    /// Starts the appliance: builds the dispatcher, binds every enabled
+    /// protocol listener, and registers each with the session layer.
     pub fn start(config: NestConfig) -> io::Result<Self> {
         // Reject inconsistent configurations up front (the builder already
         // validates; this covers configs assembled field by field).
@@ -45,8 +50,13 @@ impl NestServer {
             .validate()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         let dispatcher = Arc::new(Dispatcher::new(&config)?);
-        let stop = Arc::new(AtomicBool::new(false));
-        let mut threads = Vec::new();
+        let session_cfg = SessionConfig {
+            max_conns: config.max_conns,
+            max_conns_per_protocol: config.max_conns_per_protocol,
+            queue_depth: config.accept_queue_depth,
+            idle_timeout: config.idle_timeout,
+        };
+        let mut session = SessionLayer::new(Arc::clone(dispatcher.obs()), session_cfg);
 
         let mut chirp_addr = None;
         let mut http_addr = None;
@@ -55,90 +65,46 @@ impl NestServer {
 
         if let Some(port) = config.ports.chirp {
             let listener = TcpListener::bind(("127.0.0.1", port))?;
-            chirp_addr = Some(listener.local_addr()?);
-            threads.push(spawn_acceptor(
-                "nest-chirp",
-                listener,
-                Arc::clone(&stop),
-                Arc::clone(&dispatcher),
-                |d, s| {
-                    let _ = handlers::chirp::handle_conn(&d, s);
-                },
-            )?);
+            let d = Arc::clone(&dispatcher);
+            let handler: SessionHandler =
+                Arc::new(move |stream, ctx| handlers::chirp::handle_conn(&d, stream, ctx));
+            chirp_addr =
+                Some(session.register("chirp", listener, OverloadReply::ChirpBusy, handler)?);
         }
         if let Some(port) = config.ports.http {
             let listener = TcpListener::bind(("127.0.0.1", port))?;
-            http_addr = Some(listener.local_addr()?);
-            threads.push(spawn_acceptor(
-                "nest-http",
-                listener,
-                Arc::clone(&stop),
-                Arc::clone(&dispatcher),
-                |d, s| {
-                    let _ = handlers::http::handle_conn(&d, s);
-                },
-            )?);
+            let d = Arc::clone(&dispatcher);
+            let handler: SessionHandler =
+                Arc::new(move |stream, ctx| handlers::http::handle_conn(&d, stream, ctx));
+            http_addr =
+                Some(session.register("http", listener, OverloadReply::Http503, handler)?);
         }
         if let Some(port) = config.ports.ftp {
             let listener = TcpListener::bind(("127.0.0.1", port))?;
-            ftp_addr = Some(listener.local_addr()?);
-            threads.push(spawn_acceptor(
-                "nest-ftp",
-                listener,
-                Arc::clone(&stop),
-                Arc::clone(&dispatcher),
-                |d, s| {
-                    let _ = handlers::ftp::handle_conn(&d, s, false);
-                },
-            )?);
+            let d = Arc::clone(&dispatcher);
+            let handler: SessionHandler =
+                Arc::new(move |stream, ctx| handlers::ftp::handle_conn(&d, stream, false, ctx));
+            ftp_addr = Some(session.register("ftp", listener, OverloadReply::Ftp421, handler)?);
         }
         if let Some(port) = config.ports.gridftp {
             let listener = TcpListener::bind(("127.0.0.1", port))?;
-            gridftp_addr = Some(listener.local_addr()?);
-            threads.push(spawn_acceptor(
-                "nest-gridftp",
-                listener,
-                Arc::clone(&stop),
-                Arc::clone(&dispatcher),
-                |d, s| {
-                    let _ = handlers::ftp::handle_conn(&d, s, true);
-                },
-            )?);
+            let d = Arc::clone(&dispatcher);
+            let handler: SessionHandler =
+                Arc::new(move |stream, ctx| handlers::ftp::handle_conn(&d, stream, true, ctx));
+            gridftp_addr =
+                Some(session.register("gridftp", listener, OverloadReply::Ftp421, handler)?);
         }
 
         let mut ibp_addr = None;
         if let Some(port) = config.ports.ibp {
             let listener = TcpListener::bind(("127.0.0.1", port))?;
-            ibp_addr = Some(listener.local_addr()?);
             let depot = Arc::new(IbpDepot::new(config.capacity));
-            listener.set_nonblocking(true)?;
-            let stop2 = Arc::clone(&stop);
-            threads.push(
-                std::thread::Builder::new()
-                    .name("nest-ibp".into())
-                    .spawn(move || {
-                        let mut workers: Vec<JoinHandle<()>> = Vec::new();
-                        while !stop2.load(Ordering::Relaxed) {
-                            match listener.accept() {
-                                Ok((stream, _)) => {
-                                    let _ = stream.set_nonblocking(false);
-                                    let d = Arc::clone(&depot);
-                                    workers.push(std::thread::spawn(move || {
-                                        let _ = handlers::ibp::handle_conn(&d, stream);
-                                    }));
-                                }
-                                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                                    std::thread::sleep(Duration::from_millis(5));
-                                }
-                                Err(_) => break,
-                            }
-                            workers.retain(|w| !w.is_finished());
-                        }
-                    })?,
-            );
+            let handler: SessionHandler =
+                Arc::new(move |stream, ctx| handlers::ibp::handle_conn(&depot, stream, ctx));
+            ibp_addr = Some(session.register("ibp", listener, OverloadReply::Drop, handler)?);
         }
 
-        let (rpc, nfs_addr) = if config.ports.nfs.is_some() {
+        let (rpc, nfs_addr, nfs_tcp_addr) = if config.ports.nfs.is_some() {
             let fhs = Arc::new(FhTable::new());
             let mut rpc_server = RpcServer::new();
             rpc_server.register(
@@ -148,22 +114,33 @@ impl NestServer {
             );
             rpc_server.register(MOUNT_PROGRAM, MOUNT_VERSION, MountHandler::new(fhs));
             let spawned = SpawnedRpcServer::spawn(rpc_server)?;
-            let addr = spawned.udp_addr;
-            (Some(spawned), Some(addr))
+            let udp_addr = spawned.udp_addr;
+            // NFS over TCP: record streams through the session layer, so
+            // the same caps/idle/drain semantics apply as everywhere else.
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            let rpc_arc = Arc::clone(spawned.server());
+            let handler: SessionHandler = Arc::new(move |stream, ctx| {
+                let peer = stream.peer_addr()?;
+                rpc_arc.serve_tcp_conn_until(stream, peer, &|| ctx.draining(), ctx.idle_timeout())
+            });
+            let tcp_addr = session.register("nfs", listener, OverloadReply::Drop, handler)?;
+            (Some(spawned), Some(udp_addr), Some(tcp_addr))
         } else {
-            (None, None)
+            (None, None, None)
         };
+
+        session.start()?;
 
         Ok(Self {
             dispatcher,
-            stop,
-            threads,
+            session,
             rpc,
             chirp_addr,
             http_addr,
             ftp_addr,
             gridftp_addr,
             nfs_addr,
+            nfs_tcp_addr,
             ibp_addr,
         })
     }
@@ -191,50 +168,22 @@ impl NestServer {
             .map_err(|e| io::Error::other(e.to_string()))
     }
 
-    /// Stops accept loops (established connections finish their current
-    /// request streams and exit on client close).
-    pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
+    /// Gracefully drains with the default deadline: stops accepting,
+    /// lets established connections finish their current request streams,
+    /// then closes stragglers and joins every server thread.
+    pub fn shutdown(self) {
+        self.shutdown_within(DEFAULT_DRAIN_DEADLINE);
+    }
+
+    /// Gracefully drains within `deadline`: stops accepting, signals
+    /// in-flight handlers through the shared shutdown token they poll
+    /// between requests, waits up to the deadline for them to finish,
+    /// hard-closes whatever is still on the wire, and joins the worker
+    /// pools before returning.
+    pub fn shutdown_within(mut self, deadline: Duration) {
+        self.session.drain(deadline);
         if let Some(rpc) = self.rpc.take() {
             rpc.shutdown();
         }
     }
-}
-
-fn spawn_acceptor(
-    name: &str,
-    listener: TcpListener,
-    stop: Arc<AtomicBool>,
-    dispatcher: Arc<Dispatcher>,
-    handler: fn(Arc<Dispatcher>, TcpStream),
-) -> io::Result<JoinHandle<()>> {
-    listener.set_nonblocking(true)?;
-    std::thread::Builder::new()
-        .name(name.to_owned())
-        .spawn(move || {
-            let mut workers: Vec<JoinHandle<()>> = Vec::new();
-            while !stop.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        let _ = stream.set_nonblocking(false);
-                        let d = Arc::clone(&dispatcher);
-                        workers.push(std::thread::spawn(move || {
-                            let conns = d.obs().metrics.gauge("server.active_conns");
-                            d.obs().metrics.counter("server.conns_total").inc();
-                            conns.inc();
-                            handler(d, stream);
-                            conns.dec();
-                        }));
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => break,
-                }
-                workers.retain(|w| !w.is_finished());
-            }
-        })
 }

@@ -3,6 +3,7 @@
 //! manager (lot requests are answered with `invalid`).
 
 use crate::common::{MiniServer, SharedRoot};
+use nest_core::session::{Await, OverloadReply, SessionCtx};
 use nest_proto::chirp::{parse_command, status_line, ChirpCommand};
 use nest_proto::request::{NestError, NestRequest, NestResponse};
 use nest_proto::wire::{copy_exact, read_line, write_line};
@@ -17,9 +18,11 @@ pub struct MiniChirpd {
 impl MiniChirpd {
     /// Starts the server over the shared root.
     pub fn start(root: SharedRoot) -> io::Result<Self> {
-        let server = MiniServer::spawn("jbos-chirpd", move |stream| {
-            let _ = serve(&root, stream);
-        })?;
+        let server = MiniServer::spawn(
+            "jbos-chirpd",
+            OverloadReply::ChirpBusy,
+            move |stream, ctx| serve(&root, stream, ctx),
+        )?;
         Ok(Self { server })
     }
 
@@ -44,9 +47,13 @@ fn err_for(e: &io::Error) -> NestError {
     }
 }
 
-fn serve(root: &SharedRoot, mut stream: TcpStream) -> io::Result<()> {
+fn serve(root: &SharedRoot, mut stream: TcpStream, ctx: &SessionCtx) -> io::Result<()> {
     stream.set_nodelay(true)?;
     loop {
+        match ctx.await_request(&stream)? {
+            Await::Ready => {}
+            _ => return Ok(()),
+        }
         let Some(line) = read_line(&mut stream)? else {
             return Ok(());
         };

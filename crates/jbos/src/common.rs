@@ -1,11 +1,11 @@
 //! Shared plumbing for the JBOS mini-servers.
 
+use nest_core::session::{OverloadReply, SessionConfig, SessionCtx, SessionLayer};
+use nest_obs::Obs;
 use nest_storage::{MemBackend, StorageBackend, VPath};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// The directory tree every JBOS server exports — the analogue of pointing
@@ -71,68 +71,47 @@ impl SharedRoot {
     }
 }
 
-/// A single-protocol server's accept loop and lifecycle.
+/// How long a JBOS mini-server waits for in-flight connections on drain.
+const JBOS_DRAIN_DEADLINE: Duration = Duration::from_secs(2);
+
+/// A single-protocol server's connection front and lifecycle.
+///
+/// Even the "just a bunch of servers" ensemble accepts through the shared
+/// nest-core session layer now: one poller, a bounded worker pool, and a
+/// graceful drain — the ensemble's flaw is its lack of *shared* policy
+/// across servers (paper §4), not a per-server accept loop bug.
 pub struct MiniServer {
     /// The bound address.
     pub addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+    session: SessionLayer,
+    /// The server's private metrics registry (each JBOS process stands
+    /// alone — compare NeST's appliance-wide registry).
+    obs: Arc<Obs>,
 }
 
 impl MiniServer {
-    /// Binds an ephemeral loopback listener and serves each connection on
-    /// its own thread (the classic inetd/Apache-prefork shape).
-    pub fn spawn<F>(name: &str, handler: F) -> io::Result<Self>
+    /// Binds an ephemeral loopback listener and serves connections from a
+    /// bounded worker pool, rejecting with `reply` under overload.
+    pub fn spawn<F>(name: &'static str, reply: OverloadReply, handler: F) -> io::Result<Self>
     where
-        F: Fn(TcpStream) + Send + Sync + 'static,
+        F: Fn(TcpStream, &SessionCtx) -> io::Result<()> + Send + Sync + 'static,
     {
+        let obs = Obs::new();
+        let mut session = SessionLayer::new(Arc::clone(&obs), SessionConfig::default());
         let listener = TcpListener::bind("127.0.0.1:0")?;
-        let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
-        let handler = Arc::new(handler);
-        let acceptor = std::thread::Builder::new()
-            .name(name.to_owned())
-            .spawn(move || {
-                let mut workers: Vec<JoinHandle<()>> = Vec::new();
-                while !stop2.load(Ordering::Relaxed) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            let _ = stream.set_nonblocking(false);
-                            let h = Arc::clone(&handler);
-                            workers.push(std::thread::spawn(move || h(stream)));
-                        }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(5));
-                        }
-                        Err(_) => break,
-                    }
-                    workers.retain(|w| !w.is_finished());
-                }
-            })?;
-        Ok(Self {
-            addr,
-            stop,
-            acceptor: Some(acceptor),
-        })
+        let addr = session.register(name, listener, reply, Arc::new(handler))?;
+        session.start()?;
+        Ok(Self { addr, session, obs })
     }
 
-    /// Stops the accept loop.
+    /// The server's metrics registry (session-layer instruments).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// Gracefully drains the connection front.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(t) = self.acceptor.take() {
-            let _ = t.join();
-        }
-    }
-}
-
-impl Drop for MiniServer {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(t) = self.acceptor.take() {
-            let _ = t.join();
-        }
+        self.session.drain(JBOS_DRAIN_DEADLINE);
     }
 }
 

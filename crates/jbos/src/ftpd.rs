@@ -2,6 +2,7 @@
 //! passive connections only.
 
 use crate::common::{MiniServer, SharedRoot};
+use nest_core::session::{Await, OverloadReply, SessionCtx};
 use nest_proto::ftp::{format_pasv_reply, parse_command, FtpCommand, FtpReply};
 use nest_proto::wire::{read_line, write_line};
 use std::io::{self, Read, Write};
@@ -16,8 +17,8 @@ pub struct MiniFtpd {
 impl MiniFtpd {
     /// Starts the server over the shared root.
     pub fn start(root: SharedRoot) -> io::Result<Self> {
-        let server = MiniServer::spawn("jbos-ftpd", move |stream| {
-            let _ = serve(&root, stream);
+        let server = MiniServer::spawn("jbos-ftpd", OverloadReply::Ftp421, move |stream, ctx| {
+            serve(&root, stream, ctx)
         })?;
         Ok(Self { server })
     }
@@ -60,12 +61,16 @@ fn accept_data(pasv: &mut Option<TcpListener>) -> io::Result<TcpStream> {
     }
 }
 
-fn serve(root: &SharedRoot, mut stream: TcpStream) -> io::Result<()> {
+fn serve(root: &SharedRoot, mut stream: TcpStream, ctx: &SessionCtx) -> io::Result<()> {
     stream.set_nodelay(true)?;
     let mut pasv: Option<TcpListener> = None;
     let mut rnfr: Option<String> = None;
     reply(&mut stream, 220, "jbos-ftpd ready")?;
     loop {
+        match ctx.await_request(&stream)? {
+            Await::Ready => {}
+            _ => return Ok(()),
+        }
         let Some(line) = read_line(&mut stream)? else {
             return Ok(());
         };

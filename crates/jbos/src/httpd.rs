@@ -1,6 +1,7 @@
 //! A thin HTTP file server — the Apache stand-in.
 
 use crate::common::{MiniServer, SharedRoot};
+use nest_core::session::{Await, OverloadReply, SessionCtx};
 use nest_proto::http::{render_response_head, HttpMethod, HttpRequestHead, HttpResponseHead};
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -13,9 +14,10 @@ pub struct MiniHttpd {
 impl MiniHttpd {
     /// Starts the server over the shared root.
     pub fn start(root: SharedRoot) -> io::Result<Self> {
-        let server = MiniServer::spawn("jbos-httpd", move |stream| {
-            let _ = serve(&root, stream);
-        })?;
+        let server =
+            MiniServer::spawn("jbos-httpd", OverloadReply::Http503, move |stream, ctx| {
+                serve(&root, stream, ctx)
+            })?;
         Ok(Self { server })
     }
 
@@ -30,9 +32,13 @@ impl MiniHttpd {
     }
 }
 
-fn serve(root: &SharedRoot, mut stream: TcpStream) -> io::Result<()> {
+fn serve(root: &SharedRoot, mut stream: TcpStream, ctx: &SessionCtx) -> io::Result<()> {
     stream.set_nodelay(true)?;
     loop {
+        match ctx.await_request(&stream)? {
+            Await::Ready => {}
+            _ => return Ok(()),
+        }
         let Some(head) = HttpRequestHead::read(&mut stream)? else {
             return Ok(());
         };

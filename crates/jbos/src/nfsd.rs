@@ -1,6 +1,7 @@
 //! A thin user-level NFSv2 server — the in-kernel nfsd stand-in.
 
-use crate::common::SharedRoot;
+use crate::common::{MiniServer, SharedRoot};
+use nest_core::session::OverloadReply;
 use nest_proto::nfs::types::{FileHandle, NfsAttr, NfsStat};
 use nest_proto::nfs::wire::{
     mountproc, proc, AttrStat, CreateArgs, DirEntry, DirOpArgs, DirOpRes, FhStatus, ReadArgs,
@@ -18,9 +19,11 @@ use std::io;
 use std::net::SocketAddr;
 use std::sync::Arc;
 
-/// The mini NFS daemon (UDP + TCP RPC).
+/// The mini NFS daemon (UDP RPC, plus TCP record streams accepted through
+/// the shared session layer).
 pub struct MiniNfsd {
     rpc: SpawnedRpcServer,
+    tcp_front: MiniServer,
 }
 
 impl MiniNfsd {
@@ -30,9 +33,14 @@ impl MiniNfsd {
         let mut server = RpcServer::new();
         server.register(NFS_PROGRAM, NFS_VERSION, Handler(Arc::clone(&state)));
         server.register(MOUNT_PROGRAM, MOUNT_VERSION, Mount(state));
-        Ok(Self {
-            rpc: SpawnedRpcServer::spawn(server)?,
-        })
+        let rpc = SpawnedRpcServer::spawn(server)?;
+        let rpc_arc = Arc::clone(rpc.server());
+        // NFS clients retry silently, so overload = drop (no wire reply).
+        let tcp_front = MiniServer::spawn("jbos-nfsd", OverloadReply::Drop, move |stream, ctx| {
+            let peer = stream.peer_addr()?;
+            rpc_arc.serve_tcp_conn_until(stream, peer, &|| ctx.draining(), ctx.idle_timeout())
+        })?;
+        Ok(Self { rpc, tcp_front })
     }
 
     /// Bound UDP address.
@@ -40,8 +48,14 @@ impl MiniNfsd {
         self.rpc.udp_addr
     }
 
+    /// Bound TCP address (same RPC programs over record streams).
+    pub fn tcp_addr(&self) -> SocketAddr {
+        self.tcp_front.addr
+    }
+
     /// Stops the server.
     pub fn shutdown(self) {
+        self.tcp_front.shutdown();
         self.rpc.shutdown();
     }
 }

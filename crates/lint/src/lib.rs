@@ -20,6 +20,7 @@
 //! | `transfer-alloc` | `vec![0…]` chunk allocations in `crates/transfer` (use `BufPool`) |
 //! | `backend-open` | direct `File::open`/`OpenOptions` in `storage/backend.rs` (use the handle cache) |
 //! | `undocumented-metric` | metric name literals registered in code but absent from DESIGN.md |
+//! | `conn-spawn` | `thread::spawn`/`thread::Builder` in files that handle `TcpListener`s (connection lifecycles belong to `nest-core::session`) |
 //!
 //! ## Suppression
 //!
@@ -78,6 +79,7 @@ pub const RULES: &[&str] = &[
     "transfer-alloc",
     "backend-open",
     "undocumented-metric",
+    "conn-spawn",
 ];
 
 /// Whether `path` (workspace-relative, `/`-separated) is in scope.
@@ -204,6 +206,14 @@ fn scan_file(path: &str, content: &str, design_patterns: &[MetricPattern]) -> Ve
     let mut out = Vec::new();
     let is_transfer = path.starts_with("crates/transfer/src");
     let is_backend = path == "crates/storage/src/backend.rs";
+    // conn-spawn applies to files that touch listening sockets in
+    // production code (pre-`#[cfg(test)]`): connection lifecycles —
+    // accept, worker pooling, idle reaping, drain — are owned by
+    // `nest-core::session`, the one file allowed to spawn per
+    // connection. Hand-rolled `thread::spawn` acceptors bypass the
+    // admission caps and the drain joins.
+    let pre_test = content.split("#[cfg(test)]").next().unwrap_or("");
+    let is_conn_file = path != "crates/core/src/session.rs" && pre_test.contains("TcpListener");
     let mut prev: Option<&str> = None;
     for (idx, raw) in content.lines().enumerate() {
         let line = raw.trim();
@@ -277,6 +287,12 @@ fn scan_file(path: &str, content: &str, design_patterns: &[MetricPattern]) -> Ve
         // backend-open: disk chunk I/O goes through the FD handle cache.
         if is_backend && (line.contains("File::open(") || line.contains("OpenOptions::new(")) {
             report("backend-open");
+        }
+
+        // conn-spawn: connection threads come from the session layer's
+        // bounded pools, never ad-hoc spawns next to a listener.
+        if is_conn_file && (line.contains("thread::spawn(") || line.contains("thread::Builder")) {
+            report("conn-spawn");
         }
 
         // undocumented-metric: registered names must be in DESIGN.md.
@@ -410,6 +426,34 @@ mod tests {
         let v = scan_source("crates/obs/src/x.rs", src, DESIGN);
         assert_eq!(rules_of(&v), vec!["undocumented-metric"]);
         assert!(v[0].text.contains("sneaky.metric"));
+    }
+
+    #[test]
+    fn seeded_conn_spawn_is_caught_only_near_listeners() {
+        // A hand-rolled acceptor: listener + per-connection spawn.
+        let src = "use std::net::TcpListener;\n\
+                   fn serve(l: TcpListener) {\n\
+                   for c in l.incoming() { std::thread::spawn(move || handle(c)); }\n\
+                   let _ = std::thread::Builder::new();\n\
+                   }\n";
+        let v = scan_source("crates/core/src/server.rs", src, DESIGN);
+        assert_eq!(rules_of(&v), vec!["conn-spawn", "conn-spawn"]);
+        // The session layer is the one place allowed to spawn workers.
+        assert!(scan_source("crates/core/src/session.rs", src, DESIGN).is_empty());
+        // Spawns in files with no listener (e.g. background compaction)
+        // are out of the rule's scope.
+        let no_listener = "fn f() { std::thread::spawn(|| work()); }\n";
+        assert!(scan_source("crates/core/src/server.rs", no_listener, DESIGN).is_empty());
+        // A listener that only appears inside tests does not arm the rule.
+        let test_only = "fn f() { std::thread::spawn(|| work()); }\n\
+                         #[cfg(test)]\n\
+                         mod tests { use std::net::TcpListener; }\n";
+        assert!(scan_source("crates/core/src/server.rs", test_only, DESIGN).is_empty());
+        // Suppression works as for every other rule.
+        let allowed = "use std::net::TcpListener;\n\
+                       // nestlint: allow(conn-spawn): bootstrap probe thread\n\
+                       fn f() { std::thread::spawn(|| probe()); }\n";
+        assert!(scan_source("crates/core/src/server.rs", allowed, DESIGN).is_empty());
     }
 
     #[test]

@@ -197,6 +197,14 @@ mod tests {
         SpawnedRpcServer::spawn(server).unwrap()
     }
 
+    /// UDP server plus a test-only TCP front sharing the same programs.
+    fn spawn_echo_tcp() -> (SpawnedRpcServer, SocketAddr, std::thread::JoinHandle<()>) {
+        let server = spawn_echo();
+        let (tcp_addr, front) =
+            crate::server::testutil::spawn_tcp_front(std::sync::Arc::clone(server.server()));
+        (server, tcp_addr, front)
+    }
+
     #[test]
     fn udp_echo_roundtrip() {
         let server = spawn_echo();
@@ -208,22 +216,24 @@ mod tests {
 
     #[test]
     fn tcp_echo_roundtrip() {
-        let server = spawn_echo();
-        let mut client = RpcClient::tcp(server.tcp_addr).unwrap();
+        let (server, tcp_addr, front) = spawn_echo_tcp();
+        let mut client = RpcClient::tcp(tcp_addr).unwrap();
         let result = client.call(PROG, 1, 1, vec![9, 9, 9, 9]).unwrap();
         assert_eq!(result, vec![9, 9, 9, 9]);
         server.shutdown();
+        front.join().unwrap();
     }
 
     #[test]
     fn tcp_multiple_calls_on_one_connection() {
-        let server = spawn_echo();
-        let mut client = RpcClient::tcp(server.tcp_addr).unwrap();
+        let (server, tcp_addr, front) = spawn_echo_tcp();
+        let mut client = RpcClient::tcp(tcp_addr).unwrap();
         for i in 0..5u8 {
             let result = client.call(PROG, 1, 1, vec![i, i, i, i]).unwrap();
             assert_eq!(result, vec![i, i, i, i]);
         }
         server.shutdown();
+        front.join().unwrap();
     }
 
     #[test]
@@ -239,13 +249,14 @@ mod tests {
 
     #[test]
     fn unknown_proc_unavail() {
-        let server = spawn_echo();
-        let mut client = RpcClient::tcp(server.tcp_addr).unwrap();
+        let (server, tcp_addr, front) = spawn_echo_tcp();
+        let mut client = RpcClient::tcp(tcp_addr).unwrap();
         match client.call(PROG, 1, 99, vec![]) {
             Err(RpcError::Rpc(AcceptStat::ProcUnavail)) => {}
             other => panic!("expected ProcUnavail, got {:?}", other.map(|_| ())),
         }
         server.shutdown();
+        front.join().unwrap();
     }
 
     #[test]

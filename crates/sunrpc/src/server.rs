@@ -8,11 +8,11 @@ use crate::record::{read_record, write_record};
 use crate::rpc::{AcceptStat, CallBody, RpcMessage};
 use std::collections::HashMap;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::net::{SocketAddr, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A handler for one `(program, version)` pair.
 ///
@@ -123,37 +123,33 @@ impl RpcServer {
         Ok(())
     }
 
-    /// Serves TCP record streams on the given listener until the stop flag
-    /// is set; one thread per connection.
-    pub fn serve_tcp(self: Arc<Self>, listener: TcpListener) -> io::Result<()> {
-        listener.set_nonblocking(true)?;
-        let mut workers: Vec<JoinHandle<()>> = Vec::new();
-        while !self.stop.load(Ordering::Relaxed) {
-            match listener.accept() {
-                Ok((stream, peer)) => {
-                    let server = Arc::clone(&self);
-                    workers.push(std::thread::spawn(move || {
-                        let _ = server.serve_tcp_conn(stream, peer);
-                    }));
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                Err(e) => return Err(e),
-            }
-            workers.retain(|w| !w.is_finished());
-        }
-        for w in workers {
-            let _ = w.join();
-        }
-        Ok(())
+    /// Serves one TCP connection until EOF or the server's stop flag.
+    ///
+    /// Accepting the connection is the caller's business: production
+    /// fronts accept through the nest-core session layer and hand each
+    /// stream here (or to [`RpcServer::serve_tcp_conn_until`] for
+    /// drain/idle awareness).
+    pub fn serve_tcp_conn(&self, stream: TcpStream, peer: SocketAddr) -> io::Result<()> {
+        let stop = Arc::clone(&self.stop);
+        self.serve_tcp_conn_until(stream, peer, &move || stop.load(Ordering::Relaxed), None)
     }
 
-    /// Serves one TCP connection until EOF or stop.
-    pub fn serve_tcp_conn(&self, mut stream: TcpStream, peer: SocketAddr) -> io::Result<()> {
+    /// Serves one TCP connection until EOF, `should_stop` returns true, or
+    /// the connection sits idle (no complete record) past `idle`.
+    ///
+    /// Idle expiry returns `ErrorKind::TimedOut` so callers (the session
+    /// layer) can classify the close as a reap rather than a clean finish.
+    pub fn serve_tcp_conn_until(
+        &self,
+        mut stream: TcpStream,
+        peer: SocketAddr,
+        should_stop: &dyn Fn() -> bool,
+        idle: Option<Duration>,
+    ) -> io::Result<()> {
         stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+        let mut last_activity = Instant::now();
         loop {
-            if self.stop.load(Ordering::Relaxed) {
+            if should_stop() {
                 return Ok(());
             }
             match read_record(&mut stream) {
@@ -162,11 +158,20 @@ impl RpcServer {
                     if let Some(reply) = self.dispatch_bytes(&record, peer) {
                         write_record(&mut stream, &reply)?;
                     }
+                    last_activity = Instant::now();
                 }
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut =>
                 {
+                    if let Some(d) = idle {
+                        if last_activity.elapsed() >= d {
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                "rpc connection idle past deadline",
+                            ));
+                        }
+                    }
                     continue;
                 }
                 Err(e) => return Err(e),
@@ -175,42 +180,42 @@ impl RpcServer {
     }
 }
 
-/// A running RPC server bound to ephemeral UDP and TCP ports, for tests and
-/// embedding in NeST. Dropping stops the serving threads.
+/// A running RPC server bound to an ephemeral UDP port, for tests and
+/// embedding in NeST. Dropping stops the serving thread.
+///
+/// TCP fronts are *not* spawned here: the appliance accepts NFS TCP
+/// connections through its session layer (bounded pools, admission
+/// control, drain) and feeds each stream to
+/// [`RpcServer::serve_tcp_conn_until`].
 pub struct SpawnedRpcServer {
     server: Arc<RpcServer>,
     /// UDP address the server listens on.
     pub udp_addr: SocketAddr,
-    /// TCP address the server listens on.
-    pub tcp_addr: SocketAddr,
     threads: Vec<JoinHandle<()>>,
 }
 
 impl SpawnedRpcServer {
-    /// Binds UDP and TCP on loopback ephemeral ports and spawns the serving
-    /// threads.
+    /// Binds UDP on a loopback ephemeral port and spawns the serving
+    /// thread.
     pub fn spawn(server: RpcServer) -> io::Result<Self> {
         let server = Arc::new(server);
         let udp = UdpSocket::bind("127.0.0.1:0")?;
-        let tcp = TcpListener::bind("127.0.0.1:0")?;
         let udp_addr = udp.local_addr()?;
-        let tcp_addr = tcp.local_addr()?;
         let s1 = Arc::clone(&server);
-        let s2 = Arc::clone(&server);
-        let threads = vec![
-            std::thread::spawn(move || {
-                let _ = s1.serve_udp(udp);
-            }),
-            std::thread::spawn(move || {
-                let _ = s2.serve_tcp(tcp);
-            }),
-        ];
+        let threads = vec![std::thread::spawn(move || {
+            let _ = s1.serve_udp(udp);
+        })];
         Ok(Self {
             server,
             udp_addr,
-            tcp_addr,
             threads,
         })
+    }
+
+    /// The underlying RPC server, for serving additional transports (the
+    /// appliance's session layer drives NFS-over-TCP through this).
+    pub fn server(&self) -> &Arc<RpcServer> {
+        &self.server
     }
 
     /// Signals the serving loops to stop and joins them.
@@ -228,6 +233,44 @@ impl Drop for SpawnedRpcServer {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Test-only TCP front: the historical accept loop, so transport tests
+    //! can exercise record streams without a full appliance session layer.
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Binds a loopback TCP listener for `server` and serves it until the
+    /// server's stop flag is set. Returns the bound address and the
+    /// acceptor's join handle.
+    pub fn spawn_tcp_front(server: Arc<RpcServer>) -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            while !server.stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, peer)) => {
+                        let s = Arc::clone(&server);
+                        workers.push(std::thread::spawn(move || {
+                            let _ = s.serve_tcp_conn(stream, peer);
+                        }));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+        (addr, handle)
     }
 }
 
@@ -340,7 +383,7 @@ mod concurrency_tests {
         });
         let spawned = SpawnedRpcServer::spawn(server).unwrap();
         let udp_addr = spawned.udp_addr;
-        let tcp_addr = spawned.tcp_addr;
+        let (tcp_addr, front) = super::testutil::spawn_tcp_front(Arc::clone(spawned.server()));
 
         let mut handles = Vec::new();
         for i in 0..4u8 {
@@ -367,5 +410,6 @@ mod concurrency_tests {
             h.join().unwrap();
         }
         spawned.shutdown();
+        front.join().unwrap();
     }
 }

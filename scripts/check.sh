@@ -54,4 +54,11 @@ for key in get_speedup put_speedup nfs_speedup handlecache_hits bufpool_reuse; d
     { echo "datapath smoke JSON missing key: $key" >&2; exit 1; }
 done
 
+echo "==> connchurn bench smoke (session-layer accept path vs sleep-poll ablation, JSON schema check)"
+cargo run --release -p nest-bench --bin connchurn -- --smoke --out target/connchurn_smoke.json
+for key in churn_speedup pooled_conns_per_sec baseline_conns_per_sec p99_improvement; do
+  grep -q "\"$key\"" target/connchurn_smoke.json ||
+    { echo "connchurn smoke JSON missing key: $key" >&2; exit 1; }
+done
+
 echo "==> all checks passed"
