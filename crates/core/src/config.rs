@@ -7,6 +7,8 @@
 //! protocols fighting over one port) are rejected at `build()` time rather
 //! than surfacing as confusing runtime failures.
 
+use crate::dispatcher::Dispatcher;
+use crate::front::ProtocolFront;
 use nest_obs::Obs;
 use nest_proto::gsi::{GridMap, GsiAuthenticator, SimCa};
 use nest_transfer::manager::{ModelSelection, SchedPolicy};
@@ -78,6 +80,19 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// Builds a plugin protocol front once the appliance's dispatcher exists
+/// (fronts usually capture it); called exactly once by `NestServer::start`.
+pub type FrontFactory = Box<dyn FnOnce(&Arc<Dispatcher>) -> Arc<dyn ProtocolFront> + Send>;
+
+/// A plugin front requested through the builder: the port to serve it on
+/// (0 = ephemeral) and the factory that constructs it.
+pub struct ExtraFront {
+    /// Listening port (0 for ephemeral).
+    pub port: u16,
+    /// Front constructor, consumed at server start.
+    pub factory: FrontFactory,
+}
+
 /// Configuration for one NeST instance.
 pub struct NestConfig {
     /// Appliance name (appears in its published ClassAd).
@@ -136,6 +151,10 @@ pub struct NestConfig {
     /// bytes for this long is reaped. `None` (the default) keeps idle
     /// connections forever.
     pub idle_timeout: Option<Duration>,
+    /// Plugin protocol fronts (beyond the built-in six) registered with
+    /// the appliance's `FrontRegistry` at start, in order. Each factory
+    /// receives the dispatcher and returns the front to serve.
+    pub extra_fronts: Vec<ExtraFront>,
 }
 
 /// Per-protocol listening ports; `None` disables the protocol.
@@ -208,6 +227,7 @@ impl Default for NestConfig {
             max_conns_per_protocol: 64,
             accept_queue_depth: 0,
             idle_timeout: None,
+            extra_fronts: Vec::new(),
         }
     }
 }
@@ -250,6 +270,7 @@ impl NestConfig {
             .all()
             .iter()
             .filter_map(|p| p.filter(|&p| p != 0))
+            .chain(self.extra_fronts.iter().map(|f| f.port).filter(|&p| p != 0))
             .collect();
         fixed.sort_unstable();
         for pair in fixed.windows(2) {
@@ -261,51 +282,6 @@ impl NestConfig {
             return Err(ConfigError::ZeroPerProtocolCap);
         }
         Ok(())
-    }
-
-    /// Attaches a simulated GSI authenticator built from a CA and mapfile.
-    #[deprecated(since = "0.9.0", note = "use NestConfig::builder(..).gsi(..)")]
-    pub fn with_gsi(mut self, ca: SimCa, gridmap: GridMap) -> Self {
-        self.gsi = Some(GsiAuthenticator::new(ca, gridmap));
-        self
-    }
-
-    /// Disables lot enforcement.
-    #[deprecated(since = "0.9.0", note = "use NestConfig::builder(..).lots(false)")]
-    pub fn without_lots(mut self) -> Self {
-        self.enforce_lots = false;
-        self
-    }
-
-    /// Uses a fixed concurrency model instead of adaptation.
-    #[deprecated(since = "0.9.0", note = "use NestConfig::builder(..).fixed_model(..)")]
-    pub fn with_fixed_model(mut self, model: ModelKind) -> Self {
-        self.model = ModelSelection::Fixed(model);
-        self
-    }
-
-    /// Uses a scheduling policy.
-    #[deprecated(since = "0.9.0", note = "use NestConfig::builder(..).sched(..)")]
-    pub fn with_sched(mut self, sched: SchedPolicy) -> Self {
-        self.sched = sched;
-        self
-    }
-
-    /// Schedules per authenticated user instead of per protocol.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use NestConfig::builder(..).sched_class(SchedClass::User)"
-    )]
-    pub fn with_per_user_scheduling(mut self) -> Self {
-        self.sched_class = SchedClass::User;
-        self
-    }
-
-    /// Enables the IBP depot listener (ephemeral port).
-    #[deprecated(since = "0.9.0", note = "use NestConfig::builder(..).ibp(true)")]
-    pub fn with_ibp(mut self) -> Self {
-        self.ports.ibp = Some(0);
-        self
     }
 }
 
@@ -382,6 +358,28 @@ impl NestConfigBuilder {
     /// Enables (ephemeral port) or disables the IBP depot listener.
     pub fn ibp(mut self, enabled: bool) -> Self {
         self.config.ports.ibp = if enabled { Some(0) } else { None };
+        self
+    }
+
+    /// Adds a plugin protocol front on its own choice of port (the
+    /// front's `default_port`, or ephemeral). The factory runs at server
+    /// start, once the dispatcher exists.
+    pub fn front<F>(self, factory: F) -> Self
+    where
+        F: FnOnce(&Arc<Dispatcher>) -> Arc<dyn ProtocolFront> + Send + 'static,
+    {
+        self.front_on(0, factory)
+    }
+
+    /// Adds a plugin protocol front on an explicit port (0 = ephemeral).
+    pub fn front_on<F>(mut self, port: u16, factory: F) -> Self
+    where
+        F: FnOnce(&Arc<Dispatcher>) -> Arc<dyn ProtocolFront> + Send + 'static,
+    {
+        self.config.extra_fronts.push(ExtraFront {
+            port,
+            factory: Box::new(factory),
+        });
         self
     }
 

@@ -274,8 +274,34 @@ impl Dispatcher {
                     sm.rmdir(who, protocol, &VPath::parse(path)?)?;
                     NestResponse::Ok
                 }
-                NestRequest::ListDir { path } => {
-                    NestResponse::OkText(sm.list(who, protocol, &VPath::parse(path)?)?)
+                NestRequest::ListDir {
+                    path,
+                    prefix: None,
+                    delimiter: None,
+                } => NestResponse::OkText(sm.list(who, protocol, &VPath::parse(path)?)?),
+                NestRequest::ListDir {
+                    path,
+                    prefix,
+                    delimiter,
+                } => {
+                    // Object-style listing. Encoded line-oriented so it fits
+                    // the protocol-independent OkText payload:
+                    // `K <size> <key>` per object, `P <prefix>` per rolled-up
+                    // common prefix (keys may contain spaces; size first).
+                    let listing = sm.list_objects(
+                        who,
+                        protocol,
+                        &VPath::parse(path)?,
+                        prefix.as_deref().unwrap_or(""),
+                        delimiter.as_deref(),
+                    )?;
+                    let mut lines: Vec<String> = listing
+                        .objects
+                        .iter()
+                        .map(|o| format!("K {} {}", o.size, o.key))
+                        .collect();
+                    lines.extend(listing.common_prefixes.iter().map(|p| format!("P {p}")));
+                    NestResponse::OkText(lines)
                 }
                 NestRequest::Stat { path } => {
                     let st = sm.stat(who, protocol, &VPath::parse(path)?)?;
@@ -940,7 +966,15 @@ mod tests {
             NestResponse::Ok
         );
         assert_eq!(
-            d.execute_sync(&who, "chirp", &NestRequest::ListDir { path: "/".into() }),
+            d.execute_sync(
+                &who,
+                "chirp",
+                &NestRequest::ListDir {
+                    path: "/".into(),
+                    prefix: None,
+                    delimiter: None
+                }
+            ),
             NestResponse::OkText(vec!["d".into()])
         );
         assert_eq!(

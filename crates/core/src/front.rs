@@ -1,0 +1,241 @@
+//! The protocol front API (paper §3 — "the virtual protocol layer").
+//!
+//! The paper's flexibility claim is that a new wire protocol drops into
+//! the appliance without touching the storage, scheduling, or connection
+//! machinery. [`ProtocolFront`] is that contract made explicit: a front
+//! declares its name, preferred port, overload dialect, per-connection
+//! entry point, and its `NestError` → wire-error mapping — and nothing
+//! else. [`FrontRegistry`] owns everything a front must *not* reimplement:
+//! listener binding, registration with the [`SessionLayer`] (bounded
+//! worker pools, admission control, idle reaping, drain), per-front pool
+//! sizing, and the `session.<proto>.*` metric wiring.
+//!
+//! A front can live in any crate: the built-in six are thin wrappers in
+//! [`crate::fronts`], and the S3 front (`nest-s3front`) registers through
+//! this API without a single edit inside `core/src/handlers/`.
+//!
+//! This module is the only sanctioned caller of [`SessionLayer::register`]
+//! (enforced by the `front-registry` nest-lint rule).
+
+use crate::session::{
+    OverloadReply, PoolSpec, SessionConfig, SessionCtx, SessionHandler, SessionLayer, ShutdownToken,
+};
+use nest_obs::Obs;
+use nest_proto::request::NestError;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One wire protocol spoken by the appliance.
+///
+/// Implementations capture their dependencies (dispatcher, depot, RPC
+/// server, shared root) at construction; the registry only ever sees the
+/// trait. The contract:
+///
+/// * [`name`](ProtocolFront::name) keys the `session.<name>.*` instruments
+///   and the transfer manager's scheduling class, so it must be stable and
+///   unique within one registry.
+/// * [`serve_conn`](ProtocolFront::serve_conn) is called once per admitted
+///   connection on a pool worker. It owns the socket until it returns, and
+///   must poll [`SessionCtx::await_request`] (or
+///   [`SessionCtx::draining`]) between requests so drain and idle reaping
+///   work.
+/// * [`overload_reply`](ProtocolFront::overload_reply) is written by the
+///   session layer to connections rejected by admission control — the one
+///   moment the front's dialect must be spoken *without* a worker.
+/// * [`render_error`](ProtocolFront::render_error) is the front's
+///   `NestError` → wire mapping, exposed so tests (and operators reading
+///   docs) can see every dialect's error surface in one place.
+pub trait ProtocolFront: Send + Sync {
+    /// Stable protocol name ("chirp", "http", "s3", ...).
+    fn name(&self) -> &'static str;
+
+    /// The protocol's conventional port, or `None` to always bind
+    /// ephemerally.
+    fn default_port(&self) -> Option<u16>;
+
+    /// The overload dialect written to rejected connections.
+    fn overload_reply(&self) -> OverloadReply;
+
+    /// Per-front worker-pool sizing; defaults inherit the layer-wide
+    /// [`SessionConfig`].
+    fn pool_spec(&self) -> PoolSpec {
+        PoolSpec::default()
+    }
+
+    /// Serves one admitted connection to completion.
+    fn serve_conn(&self, stream: TcpStream, ctx: &SessionCtx) -> io::Result<()>;
+
+    /// Renders a protocol-independent error in this front's dialect
+    /// (a full wire unit: status line, reply line, or error document).
+    fn render_error(&self, e: NestError) -> Vec<u8>;
+}
+
+/// A front bound and registered with the session layer.
+pub struct BoundFront {
+    /// The front's stable name.
+    pub name: &'static str,
+    /// Where it is listening.
+    pub addr: SocketAddr,
+    front: Arc<dyn ProtocolFront>,
+}
+
+impl BoundFront {
+    /// The registered front itself.
+    pub fn front(&self) -> &Arc<dyn ProtocolFront> {
+        &self.front
+    }
+}
+
+/// Owns the session layer and every front registered with it.
+///
+/// Lifecycle: `new` → `register`/`register_on` (bind + wire metrics) →
+/// `start` (serve) → `drain` (graceful stop). The registry is the single
+/// place connection-handling closures are built, which is what lets
+/// nest-lint forbid ad-hoc `SessionLayer::register` calls everywhere else.
+pub struct FrontRegistry {
+    session: SessionLayer,
+    fronts: Vec<BoundFront>,
+}
+
+impl FrontRegistry {
+    /// Creates a registry whose session layer reports into `obs`.
+    pub fn new(obs: Arc<Obs>, cfg: SessionConfig) -> Self {
+        Self {
+            session: SessionLayer::new(obs, cfg),
+            fronts: Vec::new(),
+        }
+    }
+
+    /// Registers a front on its default port (ephemeral if it has none).
+    /// Returns the bound address.
+    pub fn register(&mut self, front: Arc<dyn ProtocolFront>) -> io::Result<SocketAddr> {
+        let port = front.default_port().unwrap_or(0);
+        self.register_on(front, port)
+    }
+
+    /// Registers a front on an explicit port (0 = ephemeral): binds the
+    /// listener, wires the `session.<name>.*` instruments, and installs
+    /// the front's handler, overload dialect, and pool spec in the
+    /// session layer. Must precede [`FrontRegistry::start`].
+    pub fn register_on(
+        &mut self,
+        front: Arc<dyn ProtocolFront>,
+        port: u16,
+    ) -> io::Result<SocketAddr> {
+        let name = front.name();
+        if self.fronts.iter().any(|f| f.name == name) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("protocol front {name:?} registered twice"),
+            ));
+        }
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let serve = Arc::clone(&front);
+        let handler: SessionHandler = Arc::new(move |stream, ctx| serve.serve_conn(stream, ctx));
+        let addr = self.session.register_with(
+            name,
+            listener,
+            front.overload_reply(),
+            handler,
+            front.pool_spec(),
+        )?;
+        self.fronts.push(BoundFront { name, addr, front });
+        Ok(addr)
+    }
+
+    /// Starts serving every registered front.
+    pub fn start(&mut self) -> io::Result<()> {
+        self.session.start()
+    }
+
+    /// The bound address of a front, by name.
+    pub fn addr(&self, name: &str) -> Option<SocketAddr> {
+        self.fronts.iter().find(|f| f.name == name).map(|f| f.addr)
+    }
+
+    /// Every registered front, in registration order.
+    pub fn fronts(&self) -> &[BoundFront] {
+        &self.fronts
+    }
+
+    /// The session layer's shutdown token.
+    pub fn token(&self) -> ShutdownToken {
+        self.session.token()
+    }
+
+    /// Gracefully drains the session layer (see [`SessionLayer::drain`]).
+    pub fn drain(&mut self, deadline: Duration) {
+        self.session.drain(deadline);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    struct EchoFront;
+
+    impl ProtocolFront for EchoFront {
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+        fn default_port(&self) -> Option<u16> {
+            None
+        }
+        fn overload_reply(&self) -> OverloadReply {
+            OverloadReply::Raw(b"ECHO-BUSY\n")
+        }
+        fn pool_spec(&self) -> PoolSpec {
+            PoolSpec {
+                workers: Some(1),
+                queue_depth: Some(0),
+            }
+        }
+        fn serve_conn(&self, mut stream: TcpStream, _ctx: &SessionCtx) -> io::Result<()> {
+            let mut buf = [0u8; 64];
+            let n = stream.read(&mut buf)?;
+            stream.write_all(&buf[..n])
+        }
+        fn render_error(&self, e: NestError) -> Vec<u8> {
+            format!("ERR {e}\n").into_bytes()
+        }
+    }
+
+    #[test]
+    fn registry_binds_serves_and_enumerates() {
+        let obs = Obs::new();
+        let mut reg = FrontRegistry::new(Arc::clone(&obs), SessionConfig::default());
+        let addr = reg.register(Arc::new(EchoFront)).unwrap();
+        assert_eq!(reg.addr("echo"), Some(addr));
+        assert_eq!(reg.fronts().len(), 1);
+        assert_eq!(reg.fronts()[0].name, "echo");
+        assert_eq!(
+            reg.fronts()[0].front().render_error(NestError::NotFound),
+            b"ERR not found\n"
+        );
+        reg.start().unwrap();
+
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(b"ping").unwrap();
+        let mut back = [0u8; 4];
+        c.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"ping");
+        drop(c);
+        reg.drain(Duration::from_secs(2));
+        assert_eq!(obs.snapshot().count("session.echo.active"), 0);
+        assert!(obs.snapshot().count("session.accepted") >= 1);
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let obs = Obs::new();
+        let mut reg = FrontRegistry::new(obs, SessionConfig::default());
+        reg.register(Arc::new(EchoFront)).unwrap();
+        let err = reg.register(Arc::new(EchoFront)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        reg.drain(Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,256 @@
+//! The six built-in protocol fronts, as [`ProtocolFront`] implementations.
+//!
+//! Each is a thin adapter: construction captures the front's dependencies
+//! (dispatcher, IBP depot, NFS RPC server), `serve_conn` delegates to the
+//! unchanged per-connection handler in [`crate::handlers`], and
+//! `render_error` exposes the dialect's `NestError` mapping. The wire
+//! behavior is byte-identical to the pre-registry appliance — the trait
+//! only names what was already true.
+
+use crate::dispatcher::Dispatcher;
+use crate::front::ProtocolFront;
+use crate::handlers;
+use crate::handlers::ibp::IbpDepot;
+use crate::session::{OverloadReply, SessionCtx};
+use nest_proto::chirp::status_line;
+use nest_proto::http::{render_response_head, status_for_error, HttpResponseHead};
+use nest_proto::request::{ports, NestError, NestResponse};
+use nest_sunrpc::server::RpcServer;
+use std::io;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// Chirp — the NeST-native control protocol.
+pub struct ChirpFront {
+    dispatcher: Arc<Dispatcher>,
+}
+
+impl ChirpFront {
+    /// A Chirp front over the appliance's dispatcher.
+    pub fn new(dispatcher: Arc<Dispatcher>) -> Self {
+        Self { dispatcher }
+    }
+}
+
+impl ProtocolFront for ChirpFront {
+    fn name(&self) -> &'static str {
+        "chirp"
+    }
+    fn default_port(&self) -> Option<u16> {
+        Some(ports::CHIRP)
+    }
+    fn overload_reply(&self) -> OverloadReply {
+        OverloadReply::ChirpBusy
+    }
+    fn serve_conn(&self, stream: TcpStream, ctx: &SessionCtx) -> io::Result<()> {
+        handlers::chirp::handle_conn(&self.dispatcher, stream, ctx)
+    }
+    fn render_error(&self, e: NestError) -> Vec<u8> {
+        format!("{}\r\n", status_line(&NestResponse::Error(e))).into_bytes()
+    }
+}
+
+/// HTTP/1.1 (GET/PUT/HEAD/DELETE plus the `/nest/stats` endpoint).
+pub struct HttpFront {
+    dispatcher: Arc<Dispatcher>,
+}
+
+impl HttpFront {
+    /// An HTTP front over the appliance's dispatcher.
+    pub fn new(dispatcher: Arc<Dispatcher>) -> Self {
+        Self { dispatcher }
+    }
+}
+
+impl ProtocolFront for HttpFront {
+    fn name(&self) -> &'static str {
+        "http"
+    }
+    fn default_port(&self) -> Option<u16> {
+        Some(ports::HTTP)
+    }
+    fn overload_reply(&self) -> OverloadReply {
+        OverloadReply::Http503
+    }
+    fn serve_conn(&self, stream: TcpStream, ctx: &SessionCtx) -> io::Result<()> {
+        handlers::http::handle_conn(&self.dispatcher, stream, ctx)
+    }
+    fn render_error(&self, e: NestError) -> Vec<u8> {
+        let (code, reason) = status_for_error(e);
+        render_response_head(&HttpResponseHead::with_length(code, reason, 0)).into_bytes()
+    }
+}
+
+/// FTP (RFC 959 subset) and, with `gridftp`, the GridFTP extensions
+/// (MODE E parallel streams, SPAS/SPOR, ESTO/ERET).
+pub struct FtpFront {
+    dispatcher: Arc<Dispatcher>,
+    gridftp: bool,
+}
+
+impl FtpFront {
+    /// A plain-FTP front.
+    pub fn new(dispatcher: Arc<Dispatcher>) -> Self {
+        Self {
+            dispatcher,
+            gridftp: false,
+        }
+    }
+
+    /// A GridFTP front (same handler, extensions enabled).
+    pub fn gridftp(dispatcher: Arc<Dispatcher>) -> Self {
+        Self {
+            dispatcher,
+            gridftp: true,
+        }
+    }
+}
+
+impl ProtocolFront for FtpFront {
+    fn name(&self) -> &'static str {
+        if self.gridftp {
+            "gridftp"
+        } else {
+            "ftp"
+        }
+    }
+    fn default_port(&self) -> Option<u16> {
+        Some(if self.gridftp {
+            ports::GRIDFTP
+        } else {
+            ports::FTP
+        })
+    }
+    fn overload_reply(&self) -> OverloadReply {
+        OverloadReply::Ftp421
+    }
+    fn serve_conn(&self, stream: TcpStream, ctx: &SessionCtx) -> io::Result<()> {
+        handlers::ftp::handle_conn(&self.dispatcher, stream, self.gridftp, ctx)
+    }
+    fn render_error(&self, e: NestError) -> Vec<u8> {
+        // Mirrors the handler's reply table (RFC 959 reply codes).
+        let (code, text) = match e {
+            NestError::Denied => (550, "Permission denied"),
+            NestError::NotFound => (550, "No such file or directory"),
+            NestError::Exists => (553, "Already exists"),
+            NestError::NoSpace => (452, "Insufficient storage space"),
+            NestError::BadRequest => (501, "Syntax error in parameters"),
+            NestError::Invalid => (550, "Requested action not taken"),
+            NestError::Internal => (451, "Local error in processing"),
+        };
+        format!("{code} {text}\r\n").into_bytes()
+    }
+}
+
+/// NFSv2 over TCP record streams (the same RPC programs the UDP server
+/// answers, accepted through the session layer).
+pub struct NfsTcpFront {
+    rpc: Arc<RpcServer>,
+}
+
+impl NfsTcpFront {
+    /// An NFS-TCP front over a running RPC server.
+    pub fn new(rpc: Arc<RpcServer>) -> Self {
+        Self { rpc }
+    }
+}
+
+impl ProtocolFront for NfsTcpFront {
+    fn name(&self) -> &'static str {
+        "nfs"
+    }
+    fn default_port(&self) -> Option<u16> {
+        Some(ports::NFS)
+    }
+    fn overload_reply(&self) -> OverloadReply {
+        // NFS clients retry silently; EOF is the correct overload signal.
+        OverloadReply::Drop
+    }
+    fn serve_conn(&self, stream: TcpStream, ctx: &SessionCtx) -> io::Result<()> {
+        let peer = stream.peer_addr()?;
+        self.rpc
+            .serve_tcp_conn_until(stream, peer, &|| ctx.draining(), ctx.idle_timeout())
+    }
+    fn render_error(&self, e: NestError) -> Vec<u8> {
+        // NFS errors travel as XDR status words, not a text dialect; the
+        // rendered form is the decimal nfsstat.
+        format!("{}", handlers::nfs::nfs_stat_for(e) as u32).into_bytes()
+    }
+}
+
+/// IBP — the Internet Backplane Protocol depot (paper §8's "NeST as one
+/// of several storage appliances" positioning).
+pub struct IbpFront {
+    depot: Arc<IbpDepot>,
+}
+
+impl IbpFront {
+    /// An IBP front over a depot of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            depot: Arc::new(IbpDepot::new(capacity)),
+        }
+    }
+}
+
+impl ProtocolFront for IbpFront {
+    fn name(&self) -> &'static str {
+        "ibp"
+    }
+    fn default_port(&self) -> Option<u16> {
+        None
+    }
+    fn overload_reply(&self) -> OverloadReply {
+        OverloadReply::Drop
+    }
+    fn serve_conn(&self, stream: TcpStream, ctx: &SessionCtx) -> io::Result<()> {
+        handlers::ibp::handle_conn(&self.depot, stream, ctx)
+    }
+    fn render_error(&self, e: NestError) -> Vec<u8> {
+        // IBP's numeric error codes (codec constants in handlers::ibp).
+        let code: i32 = match e {
+            NestError::Denied | NestError::NotFound => -1, // ERR_NOCAP
+            NestError::NoSpace | NestError::Exists => -2,  // ERR_FULL
+            NestError::Invalid => -3,                      // ERR_EXPIRED
+            NestError::BadRequest | NestError::Internal => -4, // ERR_BADREQ
+        };
+        format!("{code} {e}\r\n").into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NestConfig;
+
+    fn dispatcher() -> Arc<Dispatcher> {
+        Arc::new(Dispatcher::new(&NestConfig::ephemeral("fronts-test")).unwrap())
+    }
+
+    #[test]
+    fn built_in_fronts_declare_their_dialects() {
+        let d = dispatcher();
+        let chirp = ChirpFront::new(Arc::clone(&d));
+        assert_eq!(chirp.name(), "chirp");
+        assert_eq!(chirp.default_port(), Some(ports::CHIRP));
+        assert_eq!(chirp.overload_reply(), OverloadReply::ChirpBusy);
+        assert!(chirp.render_error(NestError::Denied).starts_with(b"-"));
+
+        let http = HttpFront::new(Arc::clone(&d));
+        assert_eq!(http.overload_reply(), OverloadReply::Http503);
+        assert!(http
+            .render_error(NestError::NotFound)
+            .starts_with(b"HTTP/1.1 404"));
+
+        let ftp = FtpFront::new(Arc::clone(&d));
+        let gftp = FtpFront::gridftp(d);
+        assert_eq!((ftp.name(), gftp.name()), ("ftp", "gridftp"));
+        assert_eq!(ftp.default_port(), Some(ports::FTP));
+        assert_eq!(gftp.default_port(), Some(ports::GRIDFTP));
+        assert!(ftp.render_error(NestError::NoSpace).starts_with(b"452 "));
+
+        let ibp = IbpFront::new(1 << 20);
+        assert_eq!(ibp.overload_reply(), OverloadReply::Drop);
+        assert!(ibp.render_error(NestError::NoSpace).starts_with(b"-2 "));
+    }
+}

@@ -144,6 +144,8 @@ fn handle_command(
                     s.protocol(),
                     &NestRequest::ListDir {
                         path: p.to_string(),
+                        prefix: None,
+                        delimiter: None,
                     },
                 ) {
                     NestResponse::OkText(_) => {
@@ -365,7 +367,15 @@ fn handle_list(
         },
         None => s.cwd.to_string(),
     };
-    match dispatcher.execute_sync(&s.who, s.protocol(), &NestRequest::ListDir { path: target }) {
+    match dispatcher.execute_sync(
+        &s.who,
+        s.protocol(),
+        &NestRequest::ListDir {
+            path: target,
+            prefix: None,
+            delimiter: None,
+        },
+    ) {
         NestResponse::OkText(names) => {
             reply(stream, 150, "Opening data connection for listing")?;
             let mut data = match open_data(s, 1) {

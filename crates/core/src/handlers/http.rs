@@ -49,6 +49,8 @@ pub fn handle_conn(
                             PROTOCOL,
                             &NestRequest::ListDir {
                                 path: head.path.clone(),
+                                prefix: None,
+                                delimiter: None,
                             },
                         ) {
                             NestResponse::OkText(names) => {

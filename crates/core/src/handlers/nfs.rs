@@ -23,7 +23,9 @@ use std::sync::Arc;
 
 const PROTOCOL: &str = "nfs";
 
-fn nfs_stat_for(e: NestError) -> NfsStat {
+/// The NFS dialect's `NestError` mapping (exposed for the protocol-front
+/// error-surface contract).
+pub fn nfs_stat_for(e: NestError) -> NfsStat {
     match e {
         NestError::Denied => NfsStat::Acces,
         NestError::NotFound => NfsStat::NoEnt,

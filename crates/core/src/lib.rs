@@ -13,6 +13,13 @@
 //!   hand-off, ClassAd publication, third-party transfer orchestration.
 //! * [`handlers`] — one handler per protocol, each translating its wire
 //!   format to the common request interface and back.
+//! * [`front`] — the protocol front API: the [`front::ProtocolFront`]
+//!   trait every wire protocol implements and the
+//!   [`front::FrontRegistry`] that owns listener binding, session-layer
+//!   registration, and metric wiring. New protocols (in any crate) plug
+//!   in here.
+//! * [`fronts`] — the six built-in [`front::ProtocolFront`]
+//!   implementations, thin adapters over [`handlers`].
 //! * [`server`] — [`server::NestServer`]: binds every protocol's listener
 //!   (one process, many ports), spawns accept loops, and exposes the bound
 //!   addresses for clients.
@@ -29,6 +36,8 @@
 pub mod config;
 pub mod dispatcher;
 pub mod fhtable;
+pub mod front;
+pub mod fronts;
 pub mod handlers;
 pub mod procpool;
 pub mod server;
@@ -36,4 +45,5 @@ pub mod session;
 
 pub use config::NestConfig;
 pub use dispatcher::Dispatcher;
+pub use front::{FrontRegistry, ProtocolFront};
 pub use server::NestServer;

@@ -1,28 +1,27 @@
 //! The NeST server: one user-level process, one listener per protocol —
-//! all accepted through the shared [`crate::session`] layer (one poller
+//! every front registered through the [`crate::front::FrontRegistry`] and
+//! accepted through the shared [`crate::session`] layer (one poller
 //! thread, bounded per-protocol worker pools, admission control, idle
 //! reaping, graceful drain).
 
 use crate::config::NestConfig;
 use crate::dispatcher::Dispatcher;
 use crate::fhtable::FhTable;
-use crate::handlers;
-use crate::handlers::ibp::IbpDepot;
+use crate::front::{BoundFront, FrontRegistry, ProtocolFront};
+use crate::fronts::{ChirpFront, FtpFront, HttpFront, IbpFront, NfsTcpFront};
 use crate::handlers::nfs::{MountHandler, NfsHandler};
-use crate::session::{
-    OverloadReply, SessionConfig, SessionHandler, SessionLayer, DEFAULT_DRAIN_DEADLINE,
-};
+use crate::session::{SessionConfig, DEFAULT_DRAIN_DEADLINE};
 use nest_proto::nfs::wire::{MOUNT_PROGRAM, MOUNT_VERSION, NFS_PROGRAM, NFS_VERSION};
 use nest_sunrpc::server::{RpcServer, SpawnedRpcServer};
 use std::io;
-use std::net::{SocketAddr, TcpListener};
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 
 /// A running NeST appliance.
 pub struct NestServer {
     dispatcher: Arc<Dispatcher>,
-    session: SessionLayer,
+    registry: FrontRegistry,
     rpc: Option<SpawnedRpcServer>,
     /// Bound Chirp address, if serving.
     pub chirp_addr: Option<SocketAddr>,
@@ -41,14 +40,16 @@ pub struct NestServer {
 }
 
 impl NestServer {
-    /// Starts the appliance: builds the dispatcher, binds every enabled
-    /// protocol listener, and registers each with the session layer.
-    pub fn start(config: NestConfig) -> io::Result<Self> {
+    /// Starts the appliance: builds the dispatcher, constructs every
+    /// enabled built-in front plus the configured plugin fronts, and
+    /// registers each with the front registry.
+    pub fn start(mut config: NestConfig) -> io::Result<Self> {
         // Reject inconsistent configurations up front (the builder already
         // validates; this covers configs assembled field by field).
         config
             .validate()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let extra_fronts = std::mem::take(&mut config.extra_fronts);
         let dispatcher = Arc::new(Dispatcher::new(&config)?);
         let session_cfg = SessionConfig {
             max_conns: config.max_conns,
@@ -56,52 +57,33 @@ impl NestServer {
             queue_depth: config.accept_queue_depth,
             idle_timeout: config.idle_timeout,
         };
-        let mut session = SessionLayer::new(Arc::clone(dispatcher.obs()), session_cfg);
+        let mut registry = FrontRegistry::new(Arc::clone(dispatcher.obs()), session_cfg);
 
         let mut chirp_addr = None;
         let mut http_addr = None;
         let mut ftp_addr = None;
         let mut gridftp_addr = None;
+        let mut ibp_addr = None;
 
         if let Some(port) = config.ports.chirp {
-            let listener = TcpListener::bind(("127.0.0.1", port))?;
-            let d = Arc::clone(&dispatcher);
-            let handler: SessionHandler =
-                Arc::new(move |stream, ctx| handlers::chirp::handle_conn(&d, stream, ctx));
-            chirp_addr =
-                Some(session.register("chirp", listener, OverloadReply::ChirpBusy, handler)?);
+            let front = Arc::new(ChirpFront::new(Arc::clone(&dispatcher)));
+            chirp_addr = Some(registry.register_on(front, port)?);
         }
         if let Some(port) = config.ports.http {
-            let listener = TcpListener::bind(("127.0.0.1", port))?;
-            let d = Arc::clone(&dispatcher);
-            let handler: SessionHandler =
-                Arc::new(move |stream, ctx| handlers::http::handle_conn(&d, stream, ctx));
-            http_addr =
-                Some(session.register("http", listener, OverloadReply::Http503, handler)?);
+            let front = Arc::new(HttpFront::new(Arc::clone(&dispatcher)));
+            http_addr = Some(registry.register_on(front, port)?);
         }
         if let Some(port) = config.ports.ftp {
-            let listener = TcpListener::bind(("127.0.0.1", port))?;
-            let d = Arc::clone(&dispatcher);
-            let handler: SessionHandler =
-                Arc::new(move |stream, ctx| handlers::ftp::handle_conn(&d, stream, false, ctx));
-            ftp_addr = Some(session.register("ftp", listener, OverloadReply::Ftp421, handler)?);
+            let front = Arc::new(FtpFront::new(Arc::clone(&dispatcher)));
+            ftp_addr = Some(registry.register_on(front, port)?);
         }
         if let Some(port) = config.ports.gridftp {
-            let listener = TcpListener::bind(("127.0.0.1", port))?;
-            let d = Arc::clone(&dispatcher);
-            let handler: SessionHandler =
-                Arc::new(move |stream, ctx| handlers::ftp::handle_conn(&d, stream, true, ctx));
-            gridftp_addr =
-                Some(session.register("gridftp", listener, OverloadReply::Ftp421, handler)?);
+            let front = Arc::new(FtpFront::gridftp(Arc::clone(&dispatcher)));
+            gridftp_addr = Some(registry.register_on(front, port)?);
         }
-
-        let mut ibp_addr = None;
         if let Some(port) = config.ports.ibp {
-            let listener = TcpListener::bind(("127.0.0.1", port))?;
-            let depot = Arc::new(IbpDepot::new(config.capacity));
-            let handler: SessionHandler =
-                Arc::new(move |stream, ctx| handlers::ibp::handle_conn(&depot, stream, ctx));
-            ibp_addr = Some(session.register("ibp", listener, OverloadReply::Drop, handler)?);
+            let front = Arc::new(IbpFront::new(config.capacity));
+            ibp_addr = Some(registry.register_on(front, port)?);
         }
 
         let (rpc, nfs_addr, nfs_tcp_addr) = if config.ports.nfs.is_some() {
@@ -117,23 +99,26 @@ impl NestServer {
             let udp_addr = spawned.udp_addr;
             // NFS over TCP: record streams through the session layer, so
             // the same caps/idle/drain semantics apply as everywhere else.
-            let listener = TcpListener::bind("127.0.0.1:0")?;
-            let rpc_arc = Arc::clone(spawned.server());
-            let handler: SessionHandler = Arc::new(move |stream, ctx| {
-                let peer = stream.peer_addr()?;
-                rpc_arc.serve_tcp_conn_until(stream, peer, &|| ctx.draining(), ctx.idle_timeout())
-            });
-            let tcp_addr = session.register("nfs", listener, OverloadReply::Drop, handler)?;
+            // (The UDP side stays outside the registry: it is datagram
+            // RPC, not a connection stream.)
+            let front = Arc::new(NfsTcpFront::new(Arc::clone(spawned.server())));
+            let tcp_addr = registry.register_on(front, 0)?;
             (Some(spawned), Some(udp_addr), Some(tcp_addr))
         } else {
             (None, None, None)
         };
 
-        session.start()?;
+        // Plugin fronts from the configuration, in declaration order.
+        for extra in extra_fronts {
+            let front = (extra.factory)(&dispatcher);
+            registry.register_on(front, extra.port)?;
+        }
+
+        registry.start()?;
 
         Ok(Self {
             dispatcher,
-            session,
+            registry,
             rpc,
             chirp_addr,
             http_addr,
@@ -148,6 +133,27 @@ impl NestServer {
     /// The appliance's dispatcher (for administration and inspection).
     pub fn dispatcher(&self) -> &Arc<Dispatcher> {
         &self.dispatcher
+    }
+
+    /// Every registered front (name, bound address, and the front itself),
+    /// in registration order.
+    pub fn fronts(&self) -> &[BoundFront] {
+        self.registry.fronts()
+    }
+
+    /// A front's bound TCP address, by protocol name (plugin fronts have
+    /// no dedicated `*_addr` field).
+    pub fn front_addr(&self, name: &str) -> Option<SocketAddr> {
+        self.registry.addr(name)
+    }
+
+    /// A registered front, by protocol name.
+    pub fn front(&self, name: &str) -> Option<&Arc<dyn ProtocolFront>> {
+        self.registry
+            .fronts()
+            .iter()
+            .find(|f| f.name == name)
+            .map(|f| f.front())
     }
 
     /// Administrative helper: grants a default lot to a user without a
@@ -181,7 +187,7 @@ impl NestServer {
     /// hard-closes whatever is still on the wire, and joins the worker
     /// pools before returning.
     pub fn shutdown_within(mut self, deadline: Duration) {
-        self.session.drain(deadline);
+        self.registry.drain(deadline);
         if let Some(rpc) = self.rpc.take() {
             rpc.shutdown();
         }

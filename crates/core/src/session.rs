@@ -200,10 +200,14 @@ pub enum OverloadReply {
     ChirpBusy,
     /// Close without a reply (IBP, NFS: clients treat EOF as retryable).
     Drop,
+    /// A protocol-supplied literal reply (plugin fronts whose dialect the
+    /// session layer does not know, e.g. S3's `503` + `SlowDown` XML).
+    Raw(&'static [u8]),
 }
 
 impl OverloadReply {
-    fn bytes(self) -> &'static [u8] {
+    /// The wire bytes of this dialect's overload reply.
+    pub fn bytes(self) -> &'static [u8] {
         match self {
             OverloadReply::Http503 => {
                 b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
@@ -211,8 +215,21 @@ impl OverloadReply {
             OverloadReply::Ftp421 => b"421 Too many connections, try again later.\r\n",
             OverloadReply::ChirpBusy => b"-9 server busy: connection limit reached\n",
             OverloadReply::Drop => b"",
+            OverloadReply::Raw(bytes) => bytes,
         }
     }
+}
+
+/// Per-front worker-pool overrides; `None` fields inherit the layer-wide
+/// [`SessionConfig`] values. Fronts advertise this through
+/// `ProtocolFront::pool_spec`, so one protocol can run a deeper queue or
+/// a narrower pool than the appliance default.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolSpec {
+    /// Worker-pool size override (`SessionConfig::max_conns_per_protocol`).
+    pub workers: Option<usize>,
+    /// Accept-queue depth override (`SessionConfig::queue_depth`).
+    pub queue_depth: Option<usize>,
 }
 
 /// A protocol front-end's per-connection entry point.
@@ -311,6 +328,7 @@ impl ProtoPool {
         proto: &'static str,
         reply: OverloadReply,
         handler: SessionHandler,
+        spec: PoolSpec,
         shared: Arc<Shared>,
         obs: &Obs,
     ) -> Arc<Self> {
@@ -319,8 +337,8 @@ impl ProtoPool {
             proto,
             reply,
             handler,
-            cap: shared.cfg.max_conns_per_protocol,
-            queue_depth: shared.cfg.queue_depth,
+            cap: spec.workers.unwrap_or(shared.cfg.max_conns_per_protocol),
+            queue_depth: spec.queue_depth.unwrap_or(shared.cfg.queue_depth),
             pooled: shared.cfg.max_conns != 0,
             shared,
             proto_active,
@@ -550,9 +568,28 @@ impl SessionLayer {
         reply: OverloadReply,
         handler: SessionHandler,
     ) -> io::Result<SocketAddr> {
+        self.register_with(proto, listener, reply, handler, PoolSpec::default())
+    }
+
+    /// [`SessionLayer::register`] with per-front pool-sizing overrides.
+    pub fn register_with(
+        &mut self,
+        proto: &'static str,
+        listener: TcpListener,
+        reply: OverloadReply,
+        handler: SessionHandler,
+        spec: PoolSpec,
+    ) -> io::Result<SocketAddr> {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let pool = ProtoPool::new(proto, reply, handler, Arc::clone(&self.shared), &self.obs);
+        let pool = ProtoPool::new(
+            proto,
+            reply,
+            handler,
+            spec,
+            Arc::clone(&self.shared),
+            &self.obs,
+        );
         self.pools.push(Arc::clone(&pool));
         self.pending.push(Front { pool, listener });
         Ok(addr)
@@ -842,6 +879,39 @@ mod tests {
         c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
         assert_eq!(c.read(&mut buf).unwrap(), 0, "expected server-side close");
         assert!(obs.snapshot().count("session.idle_reaped") >= 1);
+        layer.drain(Duration::from_secs(2));
+    }
+
+    #[test]
+    fn pool_spec_overrides_cap_and_raw_reply_is_verbatim() {
+        let obs = Obs::new();
+        // Layer-wide defaults allow 64 workers; the front narrows to 1 and
+        // rejects in a dialect the layer has never heard of.
+        let mut layer = SessionLayer::new(Arc::clone(&obs), SessionConfig::default());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = layer
+            .register_with(
+                "tiny",
+                listener,
+                OverloadReply::Raw(b"-BUSY custom dialect\n"),
+                echo_handler(),
+                PoolSpec {
+                    workers: Some(1),
+                    queue_depth: Some(0),
+                },
+            )
+            .unwrap();
+        layer.start().unwrap();
+
+        let hold = TcpStream::connect(addr).unwrap();
+        while obs.snapshot().count("session.tiny.active") < 1 {
+            std::thread::yield_now();
+        }
+        let mut c = TcpStream::connect(addr).unwrap();
+        let mut reply = Vec::new();
+        c.read_to_end(&mut reply).unwrap();
+        assert_eq!(reply, b"-BUSY custom dialect\n");
+        drop(hold);
         layer.drain(Duration::from_secs(2));
     }
 

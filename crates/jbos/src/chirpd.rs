@@ -3,12 +3,37 @@
 //! manager (lot requests are answered with `invalid`).
 
 use crate::common::{MiniServer, SharedRoot};
+use nest_core::front::ProtocolFront;
 use nest_core::session::{Await, OverloadReply, SessionCtx};
 use nest_proto::chirp::{parse_command, status_line, ChirpCommand};
 use nest_proto::request::{NestError, NestRequest, NestResponse};
 use nest_proto::wire::{copy_exact, read_line, write_line};
 use std::io::{self, Cursor};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+/// The standalone Chirp front (NeST's wire dialect over a bare root).
+struct ChirpdFront {
+    root: SharedRoot,
+}
+
+impl ProtocolFront for ChirpdFront {
+    fn name(&self) -> &'static str {
+        "jbos-chirpd"
+    }
+    fn default_port(&self) -> Option<u16> {
+        None
+    }
+    fn overload_reply(&self) -> OverloadReply {
+        OverloadReply::ChirpBusy
+    }
+    fn serve_conn(&self, stream: TcpStream, ctx: &SessionCtx) -> io::Result<()> {
+        serve(&self.root, stream, ctx)
+    }
+    fn render_error(&self, e: NestError) -> Vec<u8> {
+        format!("{}\r\n", status_line(&NestResponse::Error(e))).into_bytes()
+    }
+}
 
 /// The mini Chirp daemon.
 pub struct MiniChirpd {
@@ -18,11 +43,7 @@ pub struct MiniChirpd {
 impl MiniChirpd {
     /// Starts the server over the shared root.
     pub fn start(root: SharedRoot) -> io::Result<Self> {
-        let server = MiniServer::spawn(
-            "jbos-chirpd",
-            OverloadReply::ChirpBusy,
-            move |stream, ctx| serve(&root, stream, ctx),
-        )?;
+        let server = MiniServer::serve(Arc::new(ChirpdFront { root }))?;
         Ok(Self { server })
     }
 
@@ -98,7 +119,7 @@ fn handle(root: &SharedRoot, stream: &mut TcpStream, req: NestRequest) -> io::Re
                 root.backend().rmdir(&p).map_err(|e| err_for(&e))?;
                 write_line(stream, &status_line(&NestResponse::Ok)).ok();
             }
-            NestRequest::ListDir { path } => {
+            NestRequest::ListDir { path, .. } => {
                 let p = root.parse(&path).map_err(|e| err_for(&e))?;
                 let mut names = root.backend().list(&p).map_err(|e| err_for(&e))?;
                 names.sort();

@@ -1,10 +1,11 @@
 //! Shared plumbing for the JBOS mini-servers.
 
-use nest_core::session::{OverloadReply, SessionConfig, SessionCtx, SessionLayer};
+use nest_core::front::{FrontRegistry, ProtocolFront};
+use nest_core::session::SessionConfig;
 use nest_obs::Obs;
 use nest_storage::{MemBackend, StorageBackend, VPath};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -83,25 +84,27 @@ const JBOS_DRAIN_DEADLINE: Duration = Duration::from_secs(2);
 pub struct MiniServer {
     /// The bound address.
     pub addr: SocketAddr,
-    session: SessionLayer,
+    registry: FrontRegistry,
     /// The server's private metrics registry (each JBOS process stands
     /// alone — compare NeST's appliance-wide registry).
     obs: Arc<Obs>,
 }
 
 impl MiniServer {
-    /// Binds an ephemeral loopback listener and serves connections from a
-    /// bounded worker pool, rejecting with `reply` under overload.
-    pub fn spawn<F>(name: &'static str, reply: OverloadReply, handler: F) -> io::Result<Self>
-    where
-        F: Fn(TcpStream, &SessionCtx) -> io::Result<()> + Send + Sync + 'static,
-    {
+    /// Binds an ephemeral loopback listener for the front and serves its
+    /// connections from a bounded worker pool, rejecting with the front's
+    /// overload dialect under overload. Even the mini-servers go through
+    /// the [`FrontRegistry`]: one registry, one front each.
+    pub fn serve(front: Arc<dyn ProtocolFront>) -> io::Result<Self> {
         let obs = Obs::new();
-        let mut session = SessionLayer::new(Arc::clone(&obs), SessionConfig::default());
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        let addr = session.register(name, listener, reply, Arc::new(handler))?;
-        session.start()?;
-        Ok(Self { addr, session, obs })
+        let mut registry = FrontRegistry::new(Arc::clone(&obs), SessionConfig::default());
+        let addr = registry.register_on(front, 0)?;
+        registry.start()?;
+        Ok(Self {
+            addr,
+            registry,
+            obs,
+        })
     }
 
     /// The server's metrics registry (session-layer instruments).
@@ -111,7 +114,7 @@ impl MiniServer {
 
     /// Gracefully drains the connection front.
     pub fn shutdown(mut self) {
-        self.session.drain(JBOS_DRAIN_DEADLINE);
+        self.registry.drain(JBOS_DRAIN_DEADLINE);
     }
 }
 

@@ -2,12 +2,47 @@
 //! passive connections only.
 
 use crate::common::{MiniServer, SharedRoot};
+use nest_core::front::ProtocolFront;
 use nest_core::session::{Await, OverloadReply, SessionCtx};
 use nest_proto::ftp::{format_pasv_reply, parse_command, FtpCommand, FtpReply};
+use nest_proto::request::NestError;
 use nest_proto::wire::{read_line, write_line};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The standalone FTP front (RFC 959 over a bare root).
+struct FtpdFront {
+    root: SharedRoot,
+}
+
+impl ProtocolFront for FtpdFront {
+    fn name(&self) -> &'static str {
+        "jbos-ftpd"
+    }
+    fn default_port(&self) -> Option<u16> {
+        None
+    }
+    fn overload_reply(&self) -> OverloadReply {
+        OverloadReply::Ftp421
+    }
+    fn serve_conn(&self, stream: TcpStream, ctx: &SessionCtx) -> io::Result<()> {
+        serve(&self.root, stream, ctx)
+    }
+    fn render_error(&self, e: NestError) -> Vec<u8> {
+        let (code, text) = match e {
+            NestError::Denied => (550, "Permission denied"),
+            NestError::NotFound => (550, "No such file or directory"),
+            NestError::Exists => (553, "Already exists"),
+            NestError::NoSpace => (452, "Insufficient storage space"),
+            NestError::BadRequest => (501, "Syntax error in parameters"),
+            NestError::Invalid => (550, "Requested action not taken"),
+            NestError::Internal => (451, "Local error in processing"),
+        };
+        format!("{code} {text}\r\n").into_bytes()
+    }
+}
 
 /// The mini FTP daemon.
 pub struct MiniFtpd {
@@ -17,9 +52,7 @@ pub struct MiniFtpd {
 impl MiniFtpd {
     /// Starts the server over the shared root.
     pub fn start(root: SharedRoot) -> io::Result<Self> {
-        let server = MiniServer::spawn("jbos-ftpd", OverloadReply::Ftp421, move |stream, ctx| {
-            serve(&root, stream, ctx)
-        })?;
+        let server = MiniServer::serve(Arc::new(FtpdFront { root }))?;
         Ok(Self { server })
     }
 

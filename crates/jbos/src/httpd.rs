@@ -1,10 +1,40 @@
 //! A thin HTTP file server — the Apache stand-in.
 
 use crate::common::{MiniServer, SharedRoot};
+use nest_core::front::ProtocolFront;
 use nest_core::session::{Await, OverloadReply, SessionCtx};
-use nest_proto::http::{render_response_head, HttpMethod, HttpRequestHead, HttpResponseHead};
+use nest_proto::http::{
+    render_response_head, status_for_error, HttpMethod, HttpRequestHead, HttpResponseHead,
+};
+use nest_proto::request::NestError;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+/// The standalone HTTP front (same dialect declarations as NeST's, but
+/// served from a bare shared root instead of the dispatcher).
+struct HttpdFront {
+    root: SharedRoot,
+}
+
+impl ProtocolFront for HttpdFront {
+    fn name(&self) -> &'static str {
+        "jbos-httpd"
+    }
+    fn default_port(&self) -> Option<u16> {
+        None
+    }
+    fn overload_reply(&self) -> OverloadReply {
+        OverloadReply::Http503
+    }
+    fn serve_conn(&self, stream: TcpStream, ctx: &SessionCtx) -> io::Result<()> {
+        serve(&self.root, stream, ctx)
+    }
+    fn render_error(&self, e: NestError) -> Vec<u8> {
+        let (code, reason) = status_for_error(e);
+        render_response_head(&HttpResponseHead::with_length(code, reason, 0)).into_bytes()
+    }
+}
 
 /// The mini HTTP daemon.
 pub struct MiniHttpd {
@@ -14,10 +44,7 @@ pub struct MiniHttpd {
 impl MiniHttpd {
     /// Starts the server over the shared root.
     pub fn start(root: SharedRoot) -> io::Result<Self> {
-        let server =
-            MiniServer::spawn("jbos-httpd", OverloadReply::Http503, move |stream, ctx| {
-                serve(&root, stream, ctx)
-            })?;
+        let server = MiniServer::serve(Arc::new(HttpdFront { root }))?;
         Ok(Self { server })
     }
 

@@ -1,13 +1,15 @@
 //! A thin user-level NFSv2 server — the in-kernel nfsd stand-in.
 
 use crate::common::{MiniServer, SharedRoot};
-use nest_core::session::OverloadReply;
+use nest_core::front::ProtocolFront;
+use nest_core::session::{OverloadReply, SessionCtx};
 use nest_proto::nfs::types::{FileHandle, NfsAttr, NfsStat};
 use nest_proto::nfs::wire::{
     mountproc, proc, AttrStat, CreateArgs, DirEntry, DirOpArgs, DirOpRes, FhStatus, ReadArgs,
     ReadDirArgs, ReadDirRes, ReadRes, RenameArgs, WriteArgs, MOUNT_PROGRAM, MOUNT_VERSION,
     NFS_PROGRAM, NFS_VERSION,
 };
+use nest_proto::request::NestError;
 use nest_storage::backend::FileKind;
 use nest_storage::VPath;
 use nest_sunrpc::rpc::{AcceptStat, CallBody};
@@ -16,8 +18,43 @@ use nest_sunrpc::xdr::{XdrDecoder, XdrEncoder};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
-use std::net::SocketAddr;
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
+
+/// The standalone NFS-over-TCP front (record streams into the RPC server).
+struct NfsdFront {
+    rpc: Arc<RpcServer>,
+}
+
+impl ProtocolFront for NfsdFront {
+    fn name(&self) -> &'static str {
+        "jbos-nfsd"
+    }
+    fn default_port(&self) -> Option<u16> {
+        None
+    }
+    fn overload_reply(&self) -> OverloadReply {
+        // NFS clients retry silently, so overload = drop (no wire reply).
+        OverloadReply::Drop
+    }
+    fn serve_conn(&self, stream: TcpStream, ctx: &SessionCtx) -> io::Result<()> {
+        let peer = stream.peer_addr()?;
+        self.rpc
+            .serve_tcp_conn_until(stream, peer, &|| ctx.draining(), ctx.idle_timeout())
+    }
+    fn render_error(&self, e: NestError) -> Vec<u8> {
+        // Errors travel as XDR status words; render the decimal nfsstat.
+        let st = match e {
+            NestError::Denied => NfsStat::Acces,
+            NestError::NotFound => NfsStat::NoEnt,
+            NestError::Exists => NfsStat::Exist,
+            NestError::NoSpace => NfsStat::NoSpc,
+            NestError::Invalid => NfsStat::NotEmpty,
+            NestError::BadRequest | NestError::Internal => NfsStat::Io,
+        };
+        format!("{}", st as u32).into_bytes()
+    }
+}
 
 /// The mini NFS daemon (UDP RPC, plus TCP record streams accepted through
 /// the shared session layer).
@@ -34,12 +71,9 @@ impl MiniNfsd {
         server.register(NFS_PROGRAM, NFS_VERSION, Handler(Arc::clone(&state)));
         server.register(MOUNT_PROGRAM, MOUNT_VERSION, Mount(state));
         let rpc = SpawnedRpcServer::spawn(server)?;
-        let rpc_arc = Arc::clone(rpc.server());
-        // NFS clients retry silently, so overload = drop (no wire reply).
-        let tcp_front = MiniServer::spawn("jbos-nfsd", OverloadReply::Drop, move |stream, ctx| {
-            let peer = stream.peer_addr()?;
-            rpc_arc.serve_tcp_conn_until(stream, peer, &|| ctx.draining(), ctx.idle_timeout())
-        })?;
+        let tcp_front = MiniServer::serve(Arc::new(NfsdFront {
+            rpc: Arc::clone(rpc.server()),
+        }))?;
         Ok(Self { rpc, tcp_front })
     }
 

@@ -21,6 +21,7 @@
 //! | `backend-open` | direct `File::open`/`OpenOptions` in `storage/backend.rs` (use the handle cache) |
 //! | `undocumented-metric` | metric name literals registered in code but absent from DESIGN.md |
 //! | `conn-spawn` | `thread::spawn`/`thread::Builder` in files that handle `TcpListener`s (connection lifecycles belong to `nest-core::session`) |
+//! | `front-registry` | `SessionLayer::register` calls or raw `SessionHandler` closures outside `core/src/front.rs` (protocol fronts register through the `FrontRegistry`) |
 //!
 //! ## Suppression
 //!
@@ -80,6 +81,7 @@ pub const RULES: &[&str] = &[
     "backend-open",
     "undocumented-metric",
     "conn-spawn",
+    "front-registry",
 ];
 
 /// Whether `path` (workspace-relative, `/`-separated) is in scope.
@@ -214,6 +216,8 @@ fn scan_file(path: &str, content: &str, design_patterns: &[MetricPattern]) -> Ve
     // admission caps and the drain joins.
     let pre_test = content.split("#[cfg(test)]").next().unwrap_or("");
     let is_conn_file = path != "crates/core/src/session.rs" && pre_test.contains("TcpListener");
+    // The registry implements the front API; the session layer defines it.
+    let is_front_api = path == "crates/core/src/front.rs" || path == "crates/core/src/session.rs";
     let mut prev: Option<&str> = None;
     for (idx, raw) in content.lines().enumerate() {
         let line = raw.trim();
@@ -293,6 +297,24 @@ fn scan_file(path: &str, content: &str, design_patterns: &[MetricPattern]) -> Ve
         // bounded pools, never ad-hoc spawns next to a listener.
         if is_conn_file && (line.contains("thread::spawn(") || line.contains("thread::Builder")) {
             report("conn-spawn");
+        }
+
+        // front-registry: protocol fronts implement `ProtocolFront` and
+        // register through the `FrontRegistry` — the one sanctioned
+        // `SessionLayer::register` caller. Direct registration (or a raw
+        // `SessionHandler` closure) bypasses the per-front dialect,
+        // pool-spec and metric wiring the registry owns.
+        if !is_front_api {
+            for pat in [
+                "SessionLayer::register",
+                "session.register(",
+                "SessionHandler",
+            ] {
+                if line.contains(pat) {
+                    report("front-registry");
+                    break;
+                }
+            }
         }
 
         // undocumented-metric: registered names must be in DESIGN.md.
@@ -454,6 +476,25 @@ mod tests {
                        // nestlint: allow(conn-spawn): bootstrap probe thread\n\
                        fn f() { std::thread::spawn(|| probe()); }\n";
         assert!(scan_source("crates/core/src/server.rs", allowed, DESIGN).is_empty());
+    }
+
+    #[test]
+    fn seeded_front_registry_is_caught_outside_the_registry() {
+        let src = "use nest_core::session::SessionHandler;\n\
+                   fn f() { let addr = session.register(\"x\", l, reply, h)?; }\n\
+                   fn g() { SessionLayer::register(s, \"y\", l, reply, h); }\n";
+        let v = scan_source("crates/jbos/src/common.rs", src, DESIGN);
+        assert_eq!(
+            rules_of(&v),
+            vec!["front-registry", "front-registry", "front-registry"]
+        );
+        // The registry implements the API; the session layer defines it.
+        assert!(scan_source("crates/core/src/front.rs", src, DESIGN).is_empty());
+        assert!(scan_source("crates/core/src/session.rs", src, DESIGN).is_empty());
+        // Suppression works as for every other rule.
+        let allowed = "// nestlint: allow(front-registry): migration fixture\n\
+                       fn f() { let h: SessionHandler = mk(); }\n";
+        assert!(scan_source("crates/core/src/x.rs", allowed, DESIGN).is_empty());
     }
 
     #[test]

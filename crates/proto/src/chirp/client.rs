@@ -181,7 +181,11 @@ impl ChirpClient {
 
     /// Lists a directory.
     pub fn ls(&mut self, path: &str) -> Result<Vec<String>, ChirpError> {
-        let st = self.send(&NestRequest::ListDir { path: path.into() })?;
+        let st = self.send(&NestRequest::ListDir {
+            path: path.into(),
+            prefix: None,
+            delimiter: None,
+        })?;
         self.expect_ok(&st)?;
         self.read_lines(&st)
     }

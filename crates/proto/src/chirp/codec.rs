@@ -53,6 +53,8 @@ pub fn parse_command(line: &str) -> Option<ChirpCommand> {
         },
         ("ls", [p]) => NestRequest::ListDir {
             path: unescape_arg(p),
+            prefix: None,
+            delimiter: None,
         },
         ("stat", [p]) => NestRequest::Stat {
             path: unescape_arg(p),
@@ -114,7 +116,9 @@ pub fn format_request(req: &NestRequest) -> String {
     match req {
         NestRequest::Mkdir { path } => format!("mkdir {}", escape_arg(path)),
         NestRequest::Rmdir { path } => format!("rmdir {}", escape_arg(path)),
-        NestRequest::ListDir { path } => format!("ls {}", escape_arg(path)),
+        // Chirp's wire format has no object-listing options; the flat form
+        // keeps the dialect byte-identical (options are S3-side only).
+        NestRequest::ListDir { path, .. } => format!("ls {}", escape_arg(path)),
         NestRequest::Stat { path } => format!("stat {}", escape_arg(path)),
         NestRequest::Get { path } => format!("get {}", escape_arg(path)),
         NestRequest::Put { path, size } => {
@@ -216,7 +220,11 @@ mod tests {
                 path: "/a dir".into(),
             },
             NestRequest::Rmdir { path: "/d".into() },
-            NestRequest::ListDir { path: "/".into() },
+            NestRequest::ListDir {
+                path: "/".into(),
+                prefix: None,
+                delimiter: None,
+            },
             NestRequest::Stat { path: "/f".into() },
             NestRequest::Get { path: "/f".into() },
             NestRequest::Put {

@@ -26,11 +26,7 @@ impl HttpClient {
     fn head(&self, method: HttpMethod, path: &str) -> HttpRequestHead {
         let mut headers = BTreeMap::new();
         headers.insert("host".into(), self.host.clone());
-        HttpRequestHead {
-            method,
-            path: path.to_owned(),
-            headers,
-        }
+        HttpRequestHead::plain(method, path, headers)
     }
 
     /// GET a file into a writer. Returns (status, bytes).

@@ -42,13 +42,26 @@ impl HttpMethod {
 pub struct HttpRequestHead {
     /// The method.
     pub method: HttpMethod,
-    /// The request target (path, percent-decoded).
+    /// The request target (path, percent-decoded, query stripped).
     pub path: String,
+    /// Parsed query parameters (percent-decoded; a bare `?flag` maps to
+    /// an empty value). Empty for plain-path requests.
+    pub query: BTreeMap<String, String>,
     /// Lower-cased header map.
     pub headers: BTreeMap<String, String>,
 }
 
 impl HttpRequestHead {
+    /// A head with no query parameters (the common client-side case).
+    pub fn plain(method: HttpMethod, path: &str, headers: BTreeMap<String, String>) -> Self {
+        Self {
+            method,
+            path: path.to_owned(),
+            query: BTreeMap::new(),
+            headers,
+        }
+    }
+
     /// The Content-Length header, if present and numeric.
     pub fn content_length(&self) -> Option<u64> {
         self.headers.get("content-length")?.trim().parse().ok()
@@ -85,20 +98,37 @@ impl HttpRequestHead {
                 }
             }
         }
+        let (raw_path, raw_query) = match target.split_once('?') {
+            Some((p, q)) => (p, Some(q)),
+            None => (target, None),
+        };
+        let mut query = BTreeMap::new();
+        if let Some(q) = raw_query {
+            for pair in q.split('&').filter(|p| !p.is_empty()) {
+                let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                query.insert(percent_decode(k), percent_decode(v));
+            }
+        }
         Ok(Some(HttpRequestHead {
             method,
-            path: percent_decode(target.split('?').next().unwrap_or(target)),
+            path: percent_decode(raw_path),
+            query,
             headers,
         }))
     }
 
     /// Renders the head for sending (client side).
     pub fn render(&self) -> String {
-        let mut out = format!(
-            "{} {} HTTP/1.1\r\n",
-            self.method.as_str(),
-            percent_encode(&self.path)
-        );
+        let mut target = percent_encode(&self.path);
+        for (i, (k, v)) in self.query.iter().enumerate() {
+            target.push(if i == 0 { '?' } else { '&' });
+            target.push_str(&percent_encode(k));
+            if !v.is_empty() {
+                target.push('=');
+                target.push_str(&percent_encode(v));
+            }
+        }
+        let mut out = format!("{} {} HTTP/1.1\r\n", self.method.as_str(), target);
         for (name, value) in &self.headers {
             out.push_str(name);
             out.push_str(": ");
@@ -269,9 +299,13 @@ mod tests {
     fn request_render_then_parse_roundtrip() {
         let mut headers = BTreeMap::new();
         headers.insert("content-length".into(), "5".into());
+        let mut query = BTreeMap::new();
+        query.insert("list-type".into(), "2".into());
+        query.insert("prefix".into(), "logs/".into());
         let head = HttpRequestHead {
             method: HttpMethod::Put,
             path: "/a file".into(),
+            query,
             headers,
         };
         let rendered = head.render();
@@ -307,11 +341,21 @@ mod tests {
     }
 
     #[test]
-    fn query_string_stripped() {
-        let raw = b"GET /f?x=1 HTTP/1.1\r\n\r\n".to_vec();
+    fn query_string_stripped_from_path_and_parsed() {
+        let raw = b"GET /f?x=1&flag&p=a%2Fb HTTP/1.1\r\n\r\n".to_vec();
         let head = HttpRequestHead::read(&mut Cursor::new(raw))
             .unwrap()
             .unwrap();
         assert_eq!(head.path, "/f");
+        assert_eq!(head.query.get("x").map(String::as_str), Some("1"));
+        assert_eq!(head.query.get("flag").map(String::as_str), Some(""));
+        assert_eq!(head.query.get("p").map(String::as_str), Some("a/b"));
+    }
+
+    #[test]
+    fn plain_head_has_no_query() {
+        let head = HttpRequestHead::plain(HttpMethod::Get, "/x", BTreeMap::new());
+        assert!(head.query.is_empty());
+        assert_eq!(head.render(), "GET /x HTTP/1.1\r\n\r\n");
     }
 }

@@ -26,6 +26,9 @@
 //! * [`ibp`] — the Internet Backplane Protocol's byte-array depot model
 //!   (the paper's announced protocol addition; §8 contrasts its
 //!   allocations with lots).
+//! * [`s3`] — an S3-compatible REST subset (objects, buckets,
+//!   ListObjectsV2, S3 error XML): the post-paper protocol that proves
+//!   the virtual layer is a real plugin API.
 //! * [`gsi`] — a *simulated* Grid Security Infrastructure: subject DNs,
 //!   toy CA-signed credentials and a grid-mapfile. (Not cryptographically
 //!   secure; it exercises the same authentication code paths.)
@@ -38,6 +41,7 @@ pub mod http;
 pub mod ibp;
 pub mod nfs;
 pub mod request;
+pub mod s3;
 pub mod wire;
 
 pub use request::{NestRequest, NestResponse, TransferUrl};

@@ -17,8 +17,16 @@ pub enum NestRequest {
     Mkdir { path: String },
     /// Remove an empty directory.
     Rmdir { path: String },
-    /// List a directory.
-    ListDir { path: String },
+    /// List a directory. `prefix`/`delimiter` support object-store style
+    /// listings (S3 ListObjectsV2): when either is set, the listing walks
+    /// the subtree under `path`, filters keys by `prefix`, and rolls
+    /// everything after the first `delimiter` past the prefix up into
+    /// common prefixes. Both `None` is the classic flat directory listing.
+    ListDir {
+        path: String,
+        prefix: Option<String>,
+        delimiter: Option<String>,
+    },
     /// Query file metadata.
     Stat { path: String },
     /// Retrieve a file (server → client data flow).
@@ -270,6 +278,8 @@ pub mod ports {
     pub const GRIDFTP: u16 = 2811;
     /// NFS (UDP/TCP RPC).
     pub const NFS: u16 = 5899;
+    /// S3-compatible REST (the conventional MinIO port).
+    pub const S3: u16 = 9000;
 }
 
 #[cfg(test)]

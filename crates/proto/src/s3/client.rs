@@ -1,0 +1,225 @@
+//! A minimal blocking S3 client for talking to the S3 front.
+
+use super::{format_auth_header, parse_list_bucket_result, xml_blocks, xml_text, S3Listing};
+use crate::gsi::Credential;
+use crate::http::{HttpMethod, HttpRequestHead, HttpResponseHead};
+use crate::wire::copy_exact;
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A persistent-connection S3 client. Anonymous unless a credential is
+/// attached with [`S3Client::with_credential`].
+pub struct S3Client {
+    stream: TcpStream,
+    host: String,
+    credential: Option<Credential>,
+}
+
+/// A status code plus the response body (error XML or payload).
+#[derive(Debug)]
+pub struct S3Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The raw body.
+    pub body: Vec<u8>,
+}
+
+impl S3Response {
+    /// The S3 error code element, when the body is an error document.
+    pub fn error_code(&self) -> Option<String> {
+        xml_text(&String::from_utf8_lossy(&self.body), "Code")
+    }
+
+    fn expect(self, ok: &[u16]) -> io::Result<Self> {
+        if ok.contains(&self.status) {
+            Ok(self)
+        } else {
+            Err(io::Error::other(format!(
+                "S3 status {} ({})",
+                self.status,
+                self.error_code().unwrap_or_else(|| "no error code".into())
+            )))
+        }
+    }
+}
+
+impl S3Client {
+    /// Connects to the server.
+    pub fn connect(addr: impl ToSocketAddrs + std::fmt::Debug) -> io::Result<Self> {
+        let host = format!("{:?}", addr);
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Self {
+            stream,
+            host,
+            credential: None,
+        })
+    }
+
+    /// Attaches a simulated-GSI credential; subsequent requests carry the
+    /// `Authorization` header.
+    pub fn with_credential(mut self, cred: Credential) -> Self {
+        self.credential = Some(cred);
+        self
+    }
+
+    fn request(
+        &mut self,
+        method: HttpMethod,
+        path: &str,
+        query: BTreeMap<String, String>,
+        body: &[u8],
+    ) -> io::Result<S3Response> {
+        let mut headers = BTreeMap::new();
+        headers.insert("host".into(), self.host.clone());
+        if let Some(cred) = &self.credential {
+            headers.insert("authorization".into(), format_auth_header(cred));
+        }
+        if method == HttpMethod::Put {
+            headers.insert("content-length".into(), body.len().to_string());
+        }
+        let head = HttpRequestHead {
+            method,
+            path: path.to_owned(),
+            query,
+            headers,
+        };
+        self.stream.write_all(head.render().as_bytes())?;
+        if method == HttpMethod::Put {
+            self.stream.write_all(body)?;
+        }
+        self.stream.flush()?;
+        let resp = HttpResponseHead::read(&mut self.stream)?;
+        let len = resp.content_length().unwrap_or(0);
+        let mut out = Vec::new();
+        // HEAD replies declare a length but carry no body.
+        if method != HttpMethod::Head {
+            copy_exact(&mut self.stream, &mut out, len, 64 * 1024)?;
+        }
+        Ok(S3Response {
+            status: resp.status,
+            body: out,
+        })
+    }
+
+    /// Creates a bucket (`PUT /{bucket}`).
+    pub fn create_bucket(&mut self, bucket: &str) -> io::Result<()> {
+        self.request(HttpMethod::Put, &format!("/{bucket}"), BTreeMap::new(), b"")?
+            .expect(&[200])
+            .map(drop)
+    }
+
+    /// Deletes an empty bucket (`DELETE /{bucket}`).
+    pub fn delete_bucket(&mut self, bucket: &str) -> io::Result<()> {
+        self.request(
+            HttpMethod::Delete,
+            &format!("/{bucket}"),
+            BTreeMap::new(),
+            b"",
+        )?
+        .expect(&[204])
+        .map(drop)
+    }
+
+    /// Lists all buckets (`GET /`).
+    pub fn list_buckets(&mut self) -> io::Result<Vec<String>> {
+        let resp = self
+            .request(HttpMethod::Get, "/", BTreeMap::new(), b"")?
+            .expect(&[200])?;
+        let xml = String::from_utf8_lossy(&resp.body).into_owned();
+        Ok(xml_blocks(&xml, "Bucket")
+            .iter()
+            .filter_map(|b| xml_text(b, "Name"))
+            .collect())
+    }
+
+    /// Stores an object (`PUT /{bucket}/{key}`).
+    pub fn put_object(&mut self, bucket: &str, key: &str, data: &[u8]) -> io::Result<()> {
+        self.request(
+            HttpMethod::Put,
+            &format!("/{bucket}/{key}"),
+            BTreeMap::new(),
+            data,
+        )?
+        .expect(&[200])
+        .map(drop)
+    }
+
+    /// Fetches an object (`GET /{bucket}/{key}`).
+    pub fn get_object(&mut self, bucket: &str, key: &str) -> io::Result<Vec<u8>> {
+        self.request(
+            HttpMethod::Get,
+            &format!("/{bucket}/{key}"),
+            BTreeMap::new(),
+            b"",
+        )?
+        .expect(&[200])
+        .map(|r| r.body)
+    }
+
+    /// Stats an object (`HEAD /{bucket}/{key}`); returns its size.
+    pub fn head_object(&mut self, bucket: &str, key: &str) -> io::Result<u64> {
+        let mut headers = BTreeMap::new();
+        headers.insert("host".into(), self.host.clone());
+        if let Some(cred) = &self.credential {
+            headers.insert("authorization".into(), format_auth_header(cred));
+        }
+        let head = HttpRequestHead::plain(HttpMethod::Head, &format!("/{bucket}/{key}"), headers);
+        self.stream.write_all(head.render().as_bytes())?;
+        self.stream.flush()?;
+        let resp = HttpResponseHead::read(&mut self.stream)?;
+        if resp.status != 200 {
+            return Err(io::Error::other(format!("S3 status {}", resp.status)));
+        }
+        Ok(resp.content_length().unwrap_or(0))
+    }
+
+    /// Deletes an object (`DELETE /{bucket}/{key}`).
+    pub fn delete_object(&mut self, bucket: &str, key: &str) -> io::Result<()> {
+        self.request(
+            HttpMethod::Delete,
+            &format!("/{bucket}/{key}"),
+            BTreeMap::new(),
+            b"",
+        )?
+        .expect(&[204])
+        .map(drop)
+    }
+
+    /// ListObjectsV2 (`GET /{bucket}?list-type=2&prefix=&delimiter=`).
+    pub fn list(
+        &mut self,
+        bucket: &str,
+        prefix: &str,
+        delimiter: Option<&str>,
+    ) -> io::Result<S3Listing> {
+        let mut query = BTreeMap::new();
+        query.insert("list-type".into(), "2".into());
+        if !prefix.is_empty() {
+            query.insert("prefix".into(), prefix.to_owned());
+        }
+        if let Some(d) = delimiter {
+            query.insert("delimiter".into(), d.to_owned());
+        }
+        let resp = self
+            .request(HttpMethod::Get, &format!("/{bucket}"), query, b"")?
+            .expect(&[200])?;
+        Ok(parse_list_bucket_result(&String::from_utf8_lossy(
+            &resp.body,
+        )))
+    }
+
+    /// A raw request, for tests that need to observe error statuses.
+    pub fn raw(
+        &mut self,
+        method: HttpMethod,
+        path: &str,
+        query: BTreeMap<String, String>,
+        body: &[u8],
+    ) -> io::Result<S3Response> {
+        self.request(method, path, query, body)
+    }
+}

@@ -1,0 +1,343 @@
+//! An S3-compatible wire dialect (GET/PUT/DELETE object, ListObjectsV2).
+//!
+//! The paper's central claim for the virtual protocol layer is that "new
+//! protocols can be easily added into NeST" (§3). S3 postdates the paper
+//! by four years, which makes it the perfect probe: a protocol the
+//! authors could not have anticipated, mapped onto the same common
+//! request interface. The dialect here is the small, stable core of the
+//! 2006 REST API:
+//!
+//! * objects: `GET`/`PUT`/`HEAD`/`DELETE /{bucket}/{key}`;
+//! * buckets: `PUT`/`DELETE /{bucket}`, `GET /` (ListAllMyBuckets);
+//! * listing: `GET /{bucket}?list-type=2&prefix=&delimiter=&max-keys=`
+//!   (ListObjectsV2 with common-prefix roll-up);
+//! * errors: the S3 error XML document (`<Error><Code>...`);
+//! * overload: `503` + `SlowDown`, S3's documented throttle reply.
+//!
+//! Buckets map onto NeST **lots by directory**: a bucket is a top-level
+//! directory of the virtual namespace, so bucket charges flow through the
+//! same lot accounting as every other protocol's writes.
+//!
+//! Authentication reuses the simulated GSI material from [`crate::gsi`]:
+//! an `Authorization: NEST4-FNV1A Credential=<subject>,Signature=<tag>`
+//! header carries the same subject + FNV-1a tag a Chirp or GridFTP
+//! credential would, shaped like S3's `AWS4-HMAC-SHA256` header. Requests
+//! without the header are anonymous, exactly like NeST's HTTP front.
+
+pub mod client;
+
+pub use client::S3Client;
+
+use crate::gsi::Credential;
+use crate::request::NestError;
+
+/// The scheme token in the `Authorization` header — the simulated-GSI
+/// analogue of `AWS4-HMAC-SHA256`.
+pub const AUTH_SCHEME: &str = "NEST4-FNV1A";
+
+/// The verbatim overload reply: S3 throttles with `503 Slow Down` and a
+/// `SlowDown` error document. Served by the session layer without
+/// touching a worker thread, so it is a single static byte string.
+pub const SLOWDOWN_REPLY: &[u8] = concat!(
+    "HTTP/1.1 503 Slow Down\r\n",
+    "content-length: 127\r\n",
+    "content-type: application/xml\r\n",
+    "server: NeST/0.9\r\n",
+    "\r\n",
+    "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n",
+    "<Error><Code>SlowDown</Code>",
+    "<Message>Please reduce your request rate.</Message></Error>\n",
+)
+.as_bytes();
+
+/// Maps a common-interface error to the S3 dialect:
+/// `(HTTP status, S3 error code, message)`.
+pub fn error_for(e: NestError) -> (u16, &'static str, &'static str) {
+    match e {
+        NestError::Denied => (403, "AccessDenied", "Access Denied"),
+        NestError::NotFound => (404, "NoSuchKey", "The specified key does not exist."),
+        NestError::Exists => (
+            409,
+            "BucketAlreadyExists",
+            "The requested bucket name is not available.",
+        ),
+        NestError::NoSpace => (
+            403,
+            "QuotaExceeded",
+            "The lot backing this bucket is out of space.",
+        ),
+        NestError::BadRequest => (400, "InvalidRequest", "Invalid request."),
+        NestError::Invalid => (409, "BucketNotEmpty", "The bucket you tried is not empty."),
+        NestError::Internal => (500, "InternalError", "We encountered an internal error."),
+    }
+}
+
+/// Escapes text for inclusion in XML character data.
+pub fn xml_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an S3 error document.
+pub fn render_error_xml(code: &str, message: &str, resource: &str) -> String {
+    format!(
+        "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+         <Error><Code>{}</Code><Message>{}</Message><Resource>{}</Resource></Error>\n",
+        xml_escape(code),
+        xml_escape(message),
+        xml_escape(resource)
+    )
+}
+
+/// One object row in a listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct S3Object {
+    /// Full object key (bucket-relative, no leading slash).
+    pub key: String,
+    /// Object size in bytes.
+    pub size: u64,
+}
+
+/// A ListObjectsV2 result: objects plus rolled-up common prefixes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct S3Listing {
+    /// Matching objects, in key order.
+    pub objects: Vec<S3Object>,
+    /// Common prefixes (only when a delimiter was given), in order.
+    pub common_prefixes: Vec<String>,
+}
+
+/// Renders a ListObjectsV2 `ListBucketResult` document.
+pub fn render_list_bucket_result(
+    bucket: &str,
+    prefix: &str,
+    delimiter: Option<&str>,
+    listing: &S3Listing,
+    truncated: bool,
+) -> String {
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<ListBucketResult>");
+    out.push_str(&format!("<Name>{}</Name>", xml_escape(bucket)));
+    out.push_str(&format!("<Prefix>{}</Prefix>", xml_escape(prefix)));
+    if let Some(d) = delimiter {
+        out.push_str(&format!("<Delimiter>{}</Delimiter>", xml_escape(d)));
+    }
+    out.push_str(&format!("<KeyCount>{}</KeyCount>", listing.objects.len()));
+    out.push_str(&format!("<IsTruncated>{truncated}</IsTruncated>"));
+    for obj in &listing.objects {
+        out.push_str(&format!(
+            "<Contents><Key>{}</Key><Size>{}</Size></Contents>",
+            xml_escape(&obj.key),
+            obj.size
+        ));
+    }
+    for p in &listing.common_prefixes {
+        out.push_str(&format!(
+            "<CommonPrefixes><Prefix>{}</Prefix></CommonPrefixes>",
+            xml_escape(p)
+        ));
+    }
+    out.push_str("</ListBucketResult>\n");
+    out
+}
+
+/// Renders a `ListAllMyBucketsResult` document for `GET /`.
+pub fn render_list_all_buckets(buckets: &[String]) -> String {
+    let mut out = String::from(
+        "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<ListAllMyBucketsResult><Buckets>",
+    );
+    for b in buckets {
+        out.push_str(&format!("<Bucket><Name>{}</Name></Bucket>", xml_escape(b)));
+    }
+    out.push_str("</Buckets></ListAllMyBucketsResult>\n");
+    out
+}
+
+/// Formats the `Authorization` header value for a simulated credential.
+pub fn format_auth_header(cred: &Credential) -> String {
+    format!(
+        "{} Credential={},Signature={:016x}",
+        AUTH_SCHEME,
+        cred.subject.replace(' ', "+"),
+        cred.tag
+    )
+}
+
+/// Parses an `Authorization` header value back into a credential.
+/// Returns `None` for missing/foreign schemes or malformed values.
+pub fn parse_auth_header(value: &str) -> Option<Credential> {
+    let rest = value.strip_prefix(AUTH_SCHEME)?.trim_start();
+    let rest = rest.strip_prefix("Credential=")?;
+    // The subject DN may itself contain '=' and ','; split on the last
+    // ",Signature=" so only the tag is peeled off the end.
+    let at = rest.rfind(",Signature=")?;
+    let (subject, sig) = rest.split_at(at);
+    let tag = u64::from_str_radix(&sig[",Signature=".len()..], 16).ok()?;
+    Some(Credential {
+        subject: subject.replace('+', " "),
+        tag,
+    })
+}
+
+/// Unescapes the five XML entities produced by [`xml_escape`].
+pub fn xml_unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+/// Extracts the character data of the first `<tag>...</tag>` element in
+/// `xml`, unescaped. A deliberately tiny extractor: the documents this
+/// dialect produces are flat and machine-generated.
+pub fn xml_text(xml: &str, tag: &str) -> Option<String> {
+    let open = format!("<{tag}>");
+    let close = format!("</{tag}>");
+    let start = xml.find(&open)? + open.len();
+    let end = xml[start..].find(&close)? + start;
+    Some(xml_unescape(&xml[start..end]))
+}
+
+/// Splits out every `<tag>...</tag>` block (inner text, escaped form).
+pub fn xml_blocks<'a>(xml: &'a str, tag: &str) -> Vec<&'a str> {
+    let open = format!("<{tag}>");
+    let close = format!("</{tag}>");
+    let mut out = Vec::new();
+    let mut rest = xml;
+    while let Some(i) = rest.find(&open) {
+        let body = &rest[i + open.len()..];
+        let Some(j) = body.find(&close) else { break };
+        out.push(&body[..j]);
+        rest = &body[j + close.len()..];
+    }
+    out
+}
+
+/// Parses a `ListBucketResult` document into an [`S3Listing`].
+pub fn parse_list_bucket_result(xml: &str) -> S3Listing {
+    let mut listing = S3Listing::default();
+    for block in xml_blocks(xml, "Contents") {
+        let key = xml_text(block, "Key").unwrap_or_default();
+        let size = xml_text(block, "Size")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        listing.objects.push(S3Object { key, size });
+    }
+    for block in xml_blocks(xml, "CommonPrefixes") {
+        if let Some(p) = xml_text(block, "Prefix") {
+            listing.common_prefixes.push(p);
+        }
+    }
+    listing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gsi::SimCa;
+    use crate::http::HttpResponseHead;
+    use std::io::Cursor;
+
+    #[test]
+    fn slowdown_reply_is_a_complete_http_response() {
+        let mut cur = Cursor::new(SLOWDOWN_REPLY.to_vec());
+        let head = HttpResponseHead::read(&mut cur).unwrap();
+        assert_eq!(head.status, 503);
+        let body_len = head.content_length().unwrap() as usize;
+        let body = &SLOWDOWN_REPLY[SLOWDOWN_REPLY.len() - body_len..];
+        // The declared Content-Length must cover exactly the XML body.
+        assert!(body.starts_with(b"<?xml"));
+        assert!(std::str::from_utf8(body)
+            .unwrap()
+            .contains("<Code>SlowDown</Code>"));
+        assert_eq!(
+            cur.get_ref().len() - cur.position() as usize,
+            body_len,
+            "Content-Length must match the remaining bytes"
+        );
+    }
+
+    #[test]
+    fn error_xml_renders_and_parses() {
+        let (status, code, msg) = error_for(NestError::NotFound);
+        assert_eq!(status, 404);
+        let xml = render_error_xml(code, msg, "/b/<k>");
+        assert_eq!(xml_text(&xml, "Code").as_deref(), Some("NoSuchKey"));
+        assert_eq!(xml_text(&xml, "Resource").as_deref(), Some("/b/<k>"));
+    }
+
+    #[test]
+    fn every_error_maps_to_a_distinct_code() {
+        use NestError::*;
+        let codes: Vec<&str> = [
+            Denied, NotFound, Exists, NoSpace, BadRequest, Invalid, Internal,
+        ]
+        .iter()
+        .map(|&e| error_for(e).1)
+        .collect();
+        let mut dedup = codes.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len());
+    }
+
+    #[test]
+    fn list_bucket_result_roundtrip() {
+        let listing = S3Listing {
+            objects: vec![
+                S3Object {
+                    key: "logs/app.log".into(),
+                    size: 7,
+                },
+                S3Object {
+                    key: "a&b".into(),
+                    size: 0,
+                },
+            ],
+            common_prefixes: vec!["logs/2026/".into()],
+        };
+        let xml = render_list_bucket_result("data", "logs/", Some("/"), &listing, false);
+        assert_eq!(xml_text(&xml, "Name").as_deref(), Some("data"));
+        assert_eq!(xml_text(&xml, "KeyCount").as_deref(), Some("2"));
+        let back = parse_list_bucket_result(&xml);
+        assert_eq!(back, listing);
+    }
+
+    #[test]
+    fn auth_header_roundtrips_subjects_with_spaces() {
+        let ca = SimCa::new("TestCA", 0xFEED);
+        let cred = ca.issue("/O=Grid/OU=wisc.edu/CN=John Bent");
+        let header = format_auth_header(&cred);
+        assert!(header.starts_with("NEST4-FNV1A Credential="));
+        // Spaces in the DN are escaped so the header stays one token pair.
+        assert_eq!(header.matches(' ').count(), 1);
+        let back = parse_auth_header(&header).unwrap();
+        assert_eq!(back, cred);
+        assert!(ca.verify(&back));
+    }
+
+    #[test]
+    fn foreign_auth_schemes_are_ignored() {
+        assert!(parse_auth_header("AWS4-HMAC-SHA256 Credential=x,Signature=y").is_none());
+        assert!(parse_auth_header("NEST4-FNV1A Credential=only-subject").is_none());
+        assert!(parse_auth_header("NEST4-FNV1A Credential=s,Signature=zzzz").is_none());
+    }
+
+    #[test]
+    fn bucket_listing_renders() {
+        let xml = render_list_all_buckets(&["alpha".into(), "beta".into()]);
+        let blocks = xml_blocks(&xml, "Bucket");
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(xml_text(blocks[0], "Name").as_deref(), Some("alpha"));
+    }
+}

@@ -1,0 +1,473 @@
+//! # nest-s3front
+//!
+//! An S3-compatible protocol front for NeST, implemented **entirely
+//! outside** `nest-core`'s handler tree: this crate sees only the public
+//! [`ProtocolFront`] API, the dispatcher's common request interface, and
+//! the wire codec in `nest_proto::s3`. It is the existence proof for the
+//! paper's flexibility claim — "new protocols can be easily added into
+//! NeST" (§3) — demonstrated with a protocol invented four years *after*
+//! the paper.
+//!
+//! The mapping onto the common interface:
+//!
+//! | S3 operation                  | Common request                        |
+//! |-------------------------------|---------------------------------------|
+//! | `PUT /{bucket}`               | `Mkdir`                               |
+//! | `DELETE /{bucket}`            | `Rmdir`                               |
+//! | `GET /` (ListBuckets)         | `ListDir` at `/` with delimiter `/`   |
+//! | `GET /{bucket}?list-type=2`   | `ListDir` with prefix/delimiter       |
+//! | `GET /{bucket}/{key}`         | admitted `Get` (transfer manager)     |
+//! | `HEAD /{bucket}/{key}`        | `Stat`                                |
+//! | `PUT /{bucket}/{key}`         | admitted `Put` (transfer manager)     |
+//! | `DELETE /{bucket}/{key}`      | `Delete`                              |
+//!
+//! A bucket is a top-level directory of the virtual namespace, so bucket
+//! writes are charged to the same lots as every other protocol's, and a
+//! `DELETE` through S3 releases lot charge visible over Chirp.
+//!
+//! Authentication is per-request: an `Authorization: NEST4-FNV1A ...`
+//! header carrying a simulated-GSI credential maps the subject through
+//! the appliance's grid-mapfile; requests without the header run as the
+//! anonymous principal, like NeST's HTTP front.
+
+use nest_core::dispatcher::{Dispatcher, LimitedStreamSource, StreamSink};
+use nest_core::front::ProtocolFront;
+use nest_core::session::{Await, OverloadReply, SessionCtx};
+use nest_proto::http::{render_response_head, HttpMethod, HttpRequestHead, HttpResponseHead};
+use nest_proto::request::{ports, NestError, NestRequest, NestResponse};
+use nest_proto::s3::{
+    error_for, parse_auth_header, render_error_xml, render_list_all_buckets,
+    render_list_bucket_result, S3Listing, S3Object, SLOWDOWN_REPLY,
+};
+use nest_storage::Principal;
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+const PROTOCOL: &str = "s3";
+
+/// The S3 front: a pure plugin over the dispatcher's public API.
+pub struct S3Front {
+    dispatcher: Arc<Dispatcher>,
+}
+
+impl S3Front {
+    /// An S3 front over the appliance's dispatcher.
+    pub fn new(dispatcher: Arc<Dispatcher>) -> Self {
+        Self { dispatcher }
+    }
+}
+
+impl ProtocolFront for S3Front {
+    fn name(&self) -> &'static str {
+        PROTOCOL
+    }
+    fn default_port(&self) -> Option<u16> {
+        Some(ports::S3)
+    }
+    fn overload_reply(&self) -> OverloadReply {
+        // S3's documented throttle: 503 + a SlowDown error document.
+        OverloadReply::Raw(SLOWDOWN_REPLY)
+    }
+    fn serve_conn(&self, stream: TcpStream, ctx: &SessionCtx) -> io::Result<()> {
+        handle_conn(&self.dispatcher, stream, ctx)
+    }
+    fn render_error(&self, e: NestError) -> Vec<u8> {
+        let (status, code, message) = error_for(e);
+        render_reply(
+            status,
+            reason_for(status),
+            &render_error_xml(code, message, "/"),
+        )
+    }
+}
+
+fn reason_for(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        204 => "No Content",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        409 => "Conflict",
+        411 => "Length Required",
+        500 => "Internal Server Error",
+        _ => "Error",
+    }
+}
+
+/// Renders a complete response: head with Content-Length plus XML body.
+fn render_reply(status: u16, reason: &str, body: &str) -> Vec<u8> {
+    let mut head = HttpResponseHead::with_length(status, reason, body.len() as u64);
+    head.headers
+        .insert("content-type".into(), "application/xml".into());
+    let mut out = render_response_head(&head).into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+fn send_error(
+    stream: &mut TcpStream,
+    e: NestError,
+    resource: &str,
+    is_bucket_op: bool,
+) -> io::Result<()> {
+    let (status, code, message) = error_for(e);
+    // The object-vs-bucket distinction S3 clients key on.
+    let code = if code == "NoSuchKey" && is_bucket_op {
+        "NoSuchBucket"
+    } else {
+        code
+    };
+    let body = render_error_xml(code, message, resource);
+    stream.write_all(&render_reply(status, reason_for(status), &body))
+}
+
+/// Splits a request path into (bucket, key). `/b/k/x` → `("b", "k/x")`.
+fn split_bucket_key(path: &str) -> (&str, &str) {
+    let trimmed = path.trim_start_matches('/');
+    match trimmed.split_once('/') {
+        Some((b, k)) => (b, k),
+        None => (trimmed, ""),
+    }
+}
+
+fn handle_conn(
+    dispatcher: &Arc<Dispatcher>,
+    mut stream: TcpStream,
+    ctx: &SessionCtx,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    loop {
+        match ctx.await_request(&stream)? {
+            Await::Ready => {}
+            _ => return Ok(()),
+        }
+        let Some(head) = HttpRequestHead::read(&mut stream)? else {
+            return Ok(());
+        };
+        // Per-request authentication, as S3 does (each request is signed).
+        let who = match head.headers.get("authorization") {
+            None => Principal::anonymous(),
+            Some(value) => match parse_auth_header(value)
+                .and_then(|cred| dispatcher.authenticate(&cred).ok())
+            {
+                Some(p) => p,
+                None => {
+                    // Drain any PUT body so the connection stays in sync.
+                    if let Some(len) = head.content_length() {
+                        drain(&mut stream, len)?;
+                    }
+                    send_error(&mut stream, NestError::Denied, &head.path, false)?;
+                    stream.flush()?;
+                    continue;
+                }
+            },
+        };
+        serve_request(dispatcher, &mut stream, &who, &head)?;
+        stream.flush()?;
+    }
+}
+
+fn serve_request(
+    dispatcher: &Arc<Dispatcher>,
+    stream: &mut TcpStream,
+    who: &Principal,
+    head: &HttpRequestHead,
+) -> io::Result<()> {
+    let (bucket, key) = split_bucket_key(&head.path);
+    match (head.method, bucket, key) {
+        // -- service level ------------------------------------------------
+        (HttpMethod::Get, "", _) => list_buckets(dispatcher, stream, who),
+        // -- bucket level -------------------------------------------------
+        (HttpMethod::Put, bucket, "") => {
+            let resp = dispatcher.execute_sync(
+                who,
+                PROTOCOL,
+                &NestRequest::Mkdir {
+                    path: format!("/{bucket}"),
+                },
+            );
+            match resp {
+                NestResponse::Ok => stream.write_all(&render_reply(200, "OK", "")),
+                NestResponse::Error(e) => send_error(stream, e, &head.path, true),
+                _ => send_error(stream, NestError::Internal, &head.path, true),
+            }
+        }
+        (HttpMethod::Delete, bucket, "") => {
+            let resp = dispatcher.execute_sync(
+                who,
+                PROTOCOL,
+                &NestRequest::Rmdir {
+                    path: format!("/{bucket}"),
+                },
+            );
+            match resp {
+                NestResponse::Ok => stream.write_all(&render_reply(204, "No Content", "")),
+                NestResponse::Error(e) => send_error(stream, e, &head.path, true),
+                _ => send_error(stream, NestError::Internal, &head.path, true),
+            }
+        }
+        (HttpMethod::Get, bucket, "") => list_objects(dispatcher, stream, who, head, bucket),
+        // -- object level -------------------------------------------------
+        (HttpMethod::Get, _, _) => match dispatcher.admit_get(who, PROTOCOL, &head.path) {
+            // A directory is not an object; S3 has no GET-on-prefix.
+            Err(NestError::Invalid) => send_error(stream, NestError::NotFound, &head.path, false),
+            Err(e) => send_error(stream, e, &head.path, false),
+            Ok((vpath, size, cached)) => {
+                let resp = HttpResponseHead::with_length(200, "OK", size);
+                stream.write_all(render_response_head(&resp).as_bytes())?;
+                let sink = Box::new(StreamSink::new(stream.try_clone()?));
+                dispatcher
+                    .transfer_get(who, PROTOCOL, &vpath, size, cached, sink)
+                    .map(drop)
+            }
+        },
+        (HttpMethod::Head, _, _) => {
+            let resp = dispatcher.execute_sync(
+                who,
+                PROTOCOL,
+                &NestRequest::Stat {
+                    path: head.path.clone(),
+                },
+            );
+            match resp {
+                NestResponse::OkSize(size) => {
+                    let resp = HttpResponseHead::with_length(200, "OK", size);
+                    stream.write_all(render_response_head(&resp).as_bytes())
+                }
+                // HEAD carries no body, so error replies are bare heads.
+                NestResponse::Error(e) => {
+                    let (status, _, _) = error_for(e);
+                    let resp = HttpResponseHead::with_length(status, reason_for(status), 0);
+                    stream.write_all(render_response_head(&resp).as_bytes())
+                }
+                _ => {
+                    let resp = HttpResponseHead::with_length(500, "Internal Server Error", 0);
+                    stream.write_all(render_response_head(&resp).as_bytes())
+                }
+            }
+        }
+        (HttpMethod::Put, bucket, key) => put_object(dispatcher, stream, who, head, bucket, key),
+        (HttpMethod::Delete, _, _) => {
+            let resp = dispatcher.execute_sync(
+                who,
+                PROTOCOL,
+                &NestRequest::Delete {
+                    path: head.path.clone(),
+                },
+            );
+            match resp {
+                NestResponse::Ok => stream.write_all(&render_reply(204, "No Content", "")),
+                NestResponse::Error(e) => send_error(stream, e, &head.path, false),
+                _ => send_error(stream, NestError::Internal, &head.path, false),
+            }
+        }
+    }
+}
+
+/// `GET /`: every top-level directory is a bucket.
+fn list_buckets(
+    dispatcher: &Arc<Dispatcher>,
+    stream: &mut TcpStream,
+    who: &Principal,
+) -> io::Result<()> {
+    let resp = dispatcher.execute_sync(
+        who,
+        PROTOCOL,
+        &NestRequest::ListDir {
+            path: "/".into(),
+            prefix: Some(String::new()),
+            delimiter: Some("/".into()),
+        },
+    );
+    match resp {
+        NestResponse::OkText(lines) => {
+            let buckets: Vec<String> = parse_listing_lines(&lines)
+                .common_prefixes
+                .iter()
+                .map(|p| p.trim_end_matches('/').to_owned())
+                .collect();
+            let body = render_list_all_buckets(&buckets);
+            stream.write_all(&render_reply(200, "OK", &body))
+        }
+        NestResponse::Error(e) => send_error(stream, e, "/", true),
+        _ => send_error(stream, NestError::Internal, "/", true),
+    }
+}
+
+/// `GET /{bucket}?list-type=2&prefix=&delimiter=&max-keys=`.
+fn list_objects(
+    dispatcher: &Arc<Dispatcher>,
+    stream: &mut TcpStream,
+    who: &Principal,
+    head: &HttpRequestHead,
+    bucket: &str,
+) -> io::Result<()> {
+    let prefix = head.query.get("prefix").cloned().unwrap_or_default();
+    let delimiter = head.query.get("delimiter").cloned();
+    let max_keys: usize = head
+        .query
+        .get("max-keys")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    let resp = dispatcher.execute_sync(
+        who,
+        PROTOCOL,
+        &NestRequest::ListDir {
+            path: format!("/{bucket}"),
+            prefix: Some(prefix.clone()),
+            delimiter: delimiter.clone(),
+        },
+    );
+    match resp {
+        NestResponse::OkText(lines) => {
+            let mut listing = parse_listing_lines(&lines);
+            let truncated = listing.objects.len() > max_keys;
+            listing.objects.truncate(max_keys);
+            let body = render_list_bucket_result(
+                bucket,
+                &prefix,
+                delimiter.as_deref(),
+                &listing,
+                truncated,
+            );
+            stream.write_all(&render_reply(200, "OK", &body))
+        }
+        NestResponse::Error(e) => send_error(stream, e, &head.path, true),
+        _ => send_error(stream, NestError::Internal, &head.path, true),
+    }
+}
+
+/// Decodes the dispatcher's protocol-independent object-listing lines:
+/// `K <size> <key>` per object, `P <prefix>` per common prefix.
+fn parse_listing_lines(lines: &[String]) -> S3Listing {
+    let mut listing = S3Listing::default();
+    for line in lines {
+        if let Some(rest) = line.strip_prefix("K ") {
+            if let Some((size, key)) = rest.split_once(' ') {
+                listing.objects.push(S3Object {
+                    key: key.to_owned(),
+                    size: size.parse().unwrap_or(0),
+                });
+            }
+        } else if let Some(p) = line.strip_prefix("P ") {
+            listing.common_prefixes.push(p.to_owned());
+        }
+    }
+    listing
+}
+
+/// `PUT /{bucket}/{key}`: admitted through the storage manager, streamed
+/// through the transfer manager, charged to the bucket's lot.
+fn put_object(
+    dispatcher: &Arc<Dispatcher>,
+    stream: &mut TcpStream,
+    who: &Principal,
+    head: &HttpRequestHead,
+    bucket: &str,
+    key: &str,
+) -> io::Result<()> {
+    let Some(length) = head.content_length() else {
+        let body = render_error_xml(
+            "MissingContentLength",
+            "You must provide the Content-Length HTTP header.",
+            &head.path,
+        );
+        return stream.write_all(&render_reply(411, "Length Required", &body));
+    };
+    // The bucket must already exist (S3 semantics: NoSuchBucket).
+    if let NestResponse::Error(e) = dispatcher.execute_sync(
+        who,
+        PROTOCOL,
+        &NestRequest::Stat {
+            path: format!("/{bucket}"),
+        },
+    ) {
+        drain(stream, length)?;
+        let e = if e == NestError::NotFound || e == NestError::Invalid {
+            NestError::NotFound
+        } else {
+            e
+        };
+        return send_error(stream, e, &format!("/{bucket}"), true);
+    }
+    // S3 keys may contain '/' with no explicit Mkdir; materialize the
+    // intermediate directories, ignoring ones that already exist.
+    let mut dir = format!("/{bucket}");
+    let mut segments: Vec<&str> = key.split('/').collect();
+    segments.pop(); // last segment is the object itself
+    for seg in segments {
+        dir.push('/');
+        dir.push_str(seg);
+        match dispatcher.execute_sync(who, PROTOCOL, &NestRequest::Mkdir { path: dir.clone() }) {
+            NestResponse::Ok | NestResponse::Error(NestError::Exists) => {}
+            NestResponse::Error(e) => {
+                drain(stream, length)?;
+                return send_error(stream, e, &head.path, false);
+            }
+            _ => {
+                drain(stream, length)?;
+                return send_error(stream, NestError::Internal, &head.path, false);
+            }
+        }
+    }
+    match dispatcher.admit_put(who, PROTOCOL, &head.path, Some(length)) {
+        Err(e) => {
+            drain(stream, length)?;
+            send_error(stream, e, &head.path, false)
+        }
+        Ok(vpath) => {
+            let source = Box::new(LimitedStreamSource::new(stream.try_clone()?, length));
+            match dispatcher.transfer_put(who, PROTOCOL, &vpath, source, Some(length)) {
+                Ok(_) => stream.write_all(&render_reply(200, "OK", "")),
+                Err(e) if e.kind() == io::ErrorKind::StorageFull => {
+                    send_error(stream, NestError::NoSpace, &head.path, false)?;
+                    // The body may be half-read; the connection is dead.
+                    Err(io::Error::other("put aborted: storage full"))
+                }
+                Err(e) => Err(e),
+            }
+        }
+    }
+}
+
+fn drain(stream: &mut TcpStream, length: u64) -> io::Result<()> {
+    nest_proto::wire::copy_exact(stream, &mut io::sink(), length, 64 * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_key_split() {
+        assert_eq!(split_bucket_key("/"), ("", ""));
+        assert_eq!(split_bucket_key("/b"), ("b", ""));
+        assert_eq!(split_bucket_key("/b/k"), ("b", "k"));
+        assert_eq!(split_bucket_key("/b/k/x y"), ("b", "k/x y"));
+    }
+
+    #[test]
+    fn listing_lines_decode() {
+        let lines = vec![
+            "K 7 logs/app.log".into(),
+            "K 3 a key with spaces".into(),
+            "P logs/2026/".into(),
+        ];
+        let l = parse_listing_lines(&lines);
+        assert_eq!(l.objects.len(), 2);
+        assert_eq!(l.objects[1].key, "a key with spaces");
+        assert_eq!(l.objects[1].size, 3);
+        assert_eq!(l.common_prefixes, vec!["logs/2026/".to_owned()]);
+    }
+
+    #[test]
+    fn front_declares_the_s3_dialect() {
+        // Construction requires a dispatcher; the dialect constants do not.
+        assert_eq!(PROTOCOL, "s3");
+        let (status, code, _) = error_for(NestError::NoSpace);
+        assert_eq!((status, code), (403, "QuotaExceeded"));
+        assert!(SLOWDOWN_REPLY.starts_with(b"HTTP/1.1 503"));
+    }
+}

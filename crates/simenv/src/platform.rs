@@ -64,6 +64,9 @@ impl PlatformProfile {
                 // setup amortized here.
                 "gridftp" => 220e-6,
                 "ftp" => 80e-6,
+                // S3 is HTTP plus an auth-tag check and an XML reply
+                // envelope per request.
+                "s3" => 55e-6,
                 // Chirp and HTTP are cheap single-line protocols.
                 _ => 30e-6,
             }
@@ -126,6 +129,7 @@ impl PlatformProfile {
             match class {
                 "nfs" => 200e-6,
                 "gridftp" => 350e-6,
+                "s3" => 170e-6,
                 _ => 120e-6,
             }
         }
@@ -205,6 +209,10 @@ mod tests {
         assert!(p.net_bps > p.disk_bps);
         assert!(p.overhead("nfs") > p.overhead("chirp"));
         assert!(p.overhead("gridftp") > p.overhead("http"));
+        // S3 costs a little more than plain HTTP but far less than the
+        // block/framing-heavy protocols.
+        assert!(p.overhead("s3") > p.overhead("http"));
+        assert!(p.overhead("s3") < p.overhead("gridftp"));
         let ev = p.model_costs(ModelKind::Events);
         let th = p.model_costs(ModelKind::Threads);
         let pr = p.model_costs(ModelKind::Processes);

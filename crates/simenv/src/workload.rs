@@ -77,6 +77,18 @@ impl ClientSpec {
         clients
     }
 
+    /// The mixed workload with four S3 clients riding along — the
+    /// beyond-paper variant proving the plugin front schedules like the
+    /// native five. S3 clients are whole-file request/response, like
+    /// HTTP with a costlier per-request envelope.
+    pub fn mixed_workload_with_s3() -> Vec<ClientSpec> {
+        let mut clients = Self::paper_mixed_workload();
+        for _ in 0..4 {
+            clients.push(ClientSpec::file_client("s3", 10 << 20));
+        }
+        clients
+    }
+
     /// A single-protocol slice of the paper workload.
     pub fn paper_single_protocol(proto: &str) -> Vec<ClientSpec> {
         (0..4)
@@ -107,6 +119,17 @@ mod tests {
         assert!(w
             .iter()
             .filter(|c| c.protocol != "nfs")
+            .all(|c| c.mode == RequestMode::WholeFile && c.file_size == 10 << 20));
+    }
+
+    #[test]
+    fn s3_extension_rides_along() {
+        let w = ClientSpec::mixed_workload_with_s3();
+        assert_eq!(w.len(), 20);
+        assert_eq!(w.iter().filter(|c| c.protocol == "s3").count(), 4);
+        assert!(w
+            .iter()
+            .filter(|c| c.protocol == "s3")
             .all(|c| c.mode == RequestMode::WholeFile && c.file_size == 10 << 20));
     }
 

@@ -39,6 +39,6 @@ pub use acl::{AccessRight, AclEntry, AclTable, Principal};
 pub use backend::{FileKind, FileStat, LocalFsBackend, MemBackend, StorageBackend};
 pub use handle_cache::{HandleCache, HandleCacheStats};
 pub use lot::{Lot, LotError, LotId, LotManager, ReclaimPolicy};
-pub use manager::{StorageError, StorageManager};
+pub use manager::{ObjectEntry, ObjectListing, StorageError, StorageManager};
 pub use namespace::{PathError, VPath};
 pub use quota::QuotaTable;

@@ -100,6 +100,27 @@ impl From<StorageError> for NestError {
 /// A convenience result alias.
 pub type Result<T> = std::result::Result<T, StorageError>;
 
+/// One object in an S3-style listing: a `/`-joined key relative to the
+/// listing root, plus its size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectEntry {
+    /// Key relative to the listing root (no leading slash).
+    pub key: String,
+    /// Object size in bytes.
+    pub size: u64,
+}
+
+/// The result of [`StorageManager::list_objects`]: matching objects plus
+/// the delimiter-rolled-up common prefixes, both sorted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObjectListing {
+    /// Objects whose keys matched the prefix (and contain no delimiter
+    /// past it).
+    pub objects: Vec<ObjectEntry>,
+    /// Distinct key prefixes rolled up at the delimiter.
+    pub common_prefixes: Vec<String>,
+}
+
 /// Clock abstraction so lot expiry works identically under the real clock
 /// and the simulation substrate.
 pub type Clock = Arc<dyn Fn() -> u64 + Send + Sync>;
@@ -343,6 +364,94 @@ impl StorageManager {
         })();
         self.note_meta(t);
         r
+    }
+
+    /// Object-store style listing (S3 ListObjectsV2 over the virtual
+    /// namespace): walks the subtree under `root`, reporting every file as
+    /// a `/`-joined key relative to `root`. Keys are filtered by `prefix`;
+    /// with a `delimiter`, everything after the first delimiter past the
+    /// prefix collapses into a common prefix (S3's "virtual folders").
+    /// Authorization is a single Lookup check at `root` — the bucket is
+    /// the unit of access, exactly as a lot is the unit of space.
+    pub fn list_objects(
+        &self,
+        who: &Principal,
+        protocol: &str,
+        root: &VPath,
+        prefix: &str,
+        delimiter: Option<&str>,
+    ) -> Result<ObjectListing> {
+        let t = Instant::now();
+        let r = (|| {
+            self.authorize(who, AccessRight::Lookup, root, protocol, "list")?;
+            let mut out = ObjectListing::default();
+            self.walk_objects(root, "", prefix, delimiter, &mut out)?;
+            out.objects.sort_by(|a, b| a.key.cmp(&b.key));
+            out.common_prefixes.sort();
+            out.common_prefixes.dedup();
+            Ok(out)
+        })();
+        self.note_meta(t);
+        r
+    }
+
+    fn walk_objects(
+        &self,
+        dir: &VPath,
+        rel: &str,
+        prefix: &str,
+        delimiter: Option<&str>,
+        out: &mut ObjectListing,
+    ) -> Result<()> {
+        let mut names = self.backend.list(dir)?;
+        names.sort();
+        for name in names {
+            let key = if rel.is_empty() {
+                name.clone()
+            } else {
+                format!("{rel}/{name}")
+            };
+            let child = dir.join(&name)?;
+            let st = self.backend.stat(&child)?;
+            match st.kind {
+                FileKind::File => {
+                    if !key.starts_with(prefix) {
+                        continue;
+                    }
+                    match delimiter.and_then(|d| key[prefix.len()..].find(d).map(|i| (i, d))) {
+                        Some((i, d)) => {
+                            let cut = prefix.len() + i + d.len();
+                            out.common_prefixes.push(key[..cut].to_owned());
+                        }
+                        None => out.objects.push(ObjectEntry { key, size: st.size }),
+                    }
+                }
+                FileKind::Dir => {
+                    // Prune subtrees that can't contain matching keys, and
+                    // collapse whole subtrees that fall past a delimiter.
+                    let dir_key = format!("{key}/");
+                    if dir_key.starts_with(prefix) {
+                        // Search the slash-terminated form so an *empty*
+                        // directory still rolls up to its common prefix
+                        // (an empty bucket must appear in ListBuckets).
+                        // `prefix == dir_key` leaves no remainder; `get`
+                        // sidesteps the out-of-range slice.
+                        let roll = dir_key
+                            .get(prefix.len()..)
+                            .and_then(|rest| delimiter.and_then(|d| rest.find(d).map(|i| (i, d))));
+                        if let Some((i, d)) = roll {
+                            let cut = prefix.len() + i + d.len();
+                            out.common_prefixes.push(dir_key[..cut].to_owned());
+                            continue;
+                        }
+                        self.walk_objects(&child, &key, prefix, delimiter, out)?;
+                    } else if prefix.starts_with(&dir_key) {
+                        self.walk_objects(&child, &key, prefix, delimiter, out)?;
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Stats a path.
@@ -703,6 +812,54 @@ mod tests {
         assert_eq!(sm.stat(&who, "chirp", &vp("/d/f")).unwrap().size, 5);
         sm.remove(&who, "chirp", &vp("/d/f")).unwrap();
         sm.rmdir(&who, "chirp", &vp("/d")).unwrap();
+    }
+
+    #[test]
+    fn list_objects_prefix_and_delimiter_semantics() {
+        let sm = open_manager(1 << 20);
+        let who = alice();
+        sm.lot_create(&who, 1 << 16, 3600).unwrap();
+        sm.mkdir(&who, "s3", &vp("/b")).unwrap();
+        sm.mkdir(&who, "s3", &vp("/b/logs")).unwrap();
+        sm.mkdir(&who, "s3", &vp("/b/logs/2026")).unwrap();
+        for (path, len) in [
+            ("/b/top.txt", 3usize),
+            ("/b/logs/app.log", 5),
+            ("/b/logs/2026/jan.log", 7),
+        ] {
+            sm.begin_put(&who, "s3", &vp(path), len as u64).unwrap();
+            sm.write_chunk(&who, &vp(path), 0, &vec![b'x'; len])
+                .unwrap();
+        }
+
+        // Flat recursive listing: every file as a slash-joined key.
+        let all = sm.list_objects(&who, "s3", &vp("/b"), "", None).unwrap();
+        let keys: Vec<&str> = all.objects.iter().map(|o| o.key.as_str()).collect();
+        assert_eq!(keys, ["logs/2026/jan.log", "logs/app.log", "top.txt"]);
+        assert_eq!(all.objects[2].size, 3);
+        assert!(all.common_prefixes.is_empty());
+
+        // Delimiter rolls the subtree up into one common prefix.
+        let rolled = sm
+            .list_objects(&who, "s3", &vp("/b"), "", Some("/"))
+            .unwrap();
+        let keys: Vec<&str> = rolled.objects.iter().map(|o| o.key.as_str()).collect();
+        assert_eq!(keys, ["top.txt"]);
+        assert_eq!(rolled.common_prefixes, ["logs/"]);
+
+        // Prefix descends into the subtree; delimiter applies past it.
+        let under = sm
+            .list_objects(&who, "s3", &vp("/b"), "logs/", Some("/"))
+            .unwrap();
+        let keys: Vec<&str> = under.objects.iter().map(|o| o.key.as_str()).collect();
+        assert_eq!(keys, ["logs/app.log"]);
+        assert_eq!(under.common_prefixes, ["logs/2026/"]);
+
+        // A prefix that matches nothing returns an empty listing.
+        let none = sm
+            .list_objects(&who, "s3", &vp("/b"), "zzz", Some("/"))
+            .unwrap();
+        assert!(none.objects.is_empty() && none.common_prefixes.is_empty());
     }
 
     #[test]

@@ -13,6 +13,7 @@ pub use nest_grid as grid;
 pub use nest_jbos as jbos;
 pub use nest_obs as obs;
 pub use nest_proto as proto;
+pub use nest_s3front as s3front;
 pub use nest_simenv as simenv;
 pub use nest_storage as storage;
 pub use nest_sunrpc as sunrpc;

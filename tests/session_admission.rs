@@ -1,15 +1,17 @@
 //! Admission control over the wire: every protocol front-end shares the
 //! session layer's bounded pools, and each rejects overload in its own
 //! dialect — HTTP `503`, FTP/GridFTP `421`, a Chirp negative status line,
-//! and a bare close for IBP. Also: the global cap spans protocols, queued
-//! connections are served when a worker frees up, silent clients are
-//! reaped at the idle deadline, and IBP connections move the same
-//! `server.*` instruments as everyone else (they used to bypass them).
+//! a bare close for IBP, and S3's `503` + `SlowDown` error document.
+//! Also: the global cap spans protocols, queued connections are served
+//! when a worker frees up, silent clients are reaped at the idle
+//! deadline, and IBP connections move the same `server.*` instruments as
+//! everyone else (they used to bypass them).
 
 use nest::core::config::NestConfig;
 use nest::core::server::NestServer;
 use nest::obs::Obs;
 use nest::proto::ibp::{IbpClient, Reliability};
+use nest::s3front::S3Front;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
@@ -48,17 +50,19 @@ fn every_protocol_rejects_in_its_own_dialect() {
         .obs(Arc::clone(&obs))
         .ibp(true)
         .max_conns_per_protocol(2)
+        .front(|d| Arc::new(S3Front::new(Arc::clone(d))))
         .build()
         .unwrap();
     let server = NestServer::start(config).unwrap();
 
     // (proto label, bound address, expected overload reply prefix).
-    let matrix: [(&str, SocketAddr, &[u8]); 5] = [
+    let matrix: [(&str, SocketAddr, &[u8]); 6] = [
         ("http", server.http_addr.unwrap(), b"HTTP/1.1 503"),
         ("ftp", server.ftp_addr.unwrap(), b"421"),
         ("gridftp", server.gridftp_addr.unwrap(), b"421"),
         ("chirp", server.chirp_addr.unwrap(), b"-"),
         ("ibp", server.ibp_addr.unwrap(), b""), // bare close: EOF
+        ("s3", server.front_addr("s3").unwrap(), b"HTTP/1.1 503"),
     ];
 
     let mut rejected_so_far = 0u64;
@@ -78,6 +82,14 @@ fn every_protocol_rejects_in_its_own_dialect() {
         if want.is_empty() {
             assert!(reply.is_empty(), "ibp overload must be a bare close");
         }
+        if proto == "s3" {
+            // S3 throttles with a full error document, not a bare status.
+            assert!(
+                String::from_utf8_lossy(&reply).contains("<Code>SlowDown</Code>"),
+                "s3 overload must carry the SlowDown XML body, got {:?}",
+                String::from_utf8_lossy(&reply)
+            );
+        }
         rejected_so_far += 1;
         wait_for(&obs, "session.rejected", rejected_so_far);
         drop(holders);
@@ -90,7 +102,7 @@ fn every_protocol_rejects_in_its_own_dialect() {
         }
     }
 
-    assert_eq!(obs.snapshot().count("session.rejected"), 5);
+    assert_eq!(obs.snapshot().count("session.rejected"), 6);
     server.shutdown();
 }
 
