@@ -161,8 +161,12 @@ impl Dispatcher {
             process_launcher: Arc::new(SubprocessLauncher::new()),
             obs: Some(Arc::clone(&obs)),
             pool_buffers: true,
+            zerocopy: true,
         });
         let metrics = DispatchMetrics::new(&obs);
+        // Pre-register the writev-coalescing counter so it shows up (at
+        // zero) on every stats surface even before the first GET.
+        obs.metrics.counter("transfer.zerocopy.writev_coalesced");
         // Surface the lock shim's per-class contention statistics
         // (lock.<class>.{acquires,contended,wait_us,hold_us}) on every
         // stats surface this registry feeds.
@@ -507,6 +511,32 @@ impl Dispatcher {
         Ok(moved)
     }
 
+    /// Builds a reply sink over a connected socket for a GET body:
+    /// `head` (the rendered protocol header) is coalesced with the first
+    /// body chunk into one `writev`, and the socket's descriptor is
+    /// exposed so the remainder can go through `sendfile` when the flow's
+    /// source can lend a raw file window.
+    pub fn socket_sink(&self, stream: std::net::TcpStream, head: Vec<u8>) -> Box<dyn DataSink> {
+        let counter = self
+            .obs
+            .metrics
+            .counter("transfer.zerocopy.writev_coalesced");
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            let fd = stream.as_raw_fd();
+            Box::new(
+                SocketSink::new(stream, head)
+                    .with_coalesce_counter(counter)
+                    .with_raw_fd(fd),
+            )
+        }
+        #[cfg(not(unix))]
+        {
+            Box::new(SocketSink::new(stream, head).with_coalesce_counter(counter))
+        }
+    }
+
     /// NFS block read: a single block request is itself a scheduled flow,
     /// which is how cross-protocol policies see NFS traffic.
     pub fn read_block(
@@ -644,6 +674,35 @@ impl Dispatcher {
             "TransferFailures",
             nest_classad::Value::Int(self.obs.metrics.counter("transfer.failures").get() as i64),
         );
+        // Zero-copy data-path health: flows served via sendfile, flows
+        // demoted back to the pooled loop, and header+body writev merges.
+        ad.insert_value(
+            "ZeroCopyFlows",
+            nest_classad::Value::Int(
+                self.obs
+                    .metrics
+                    .counter("transfer.zerocopy.sendfile_flows")
+                    .get() as i64,
+            ),
+        );
+        ad.insert_value(
+            "ZeroCopyFallbacks",
+            nest_classad::Value::Int(
+                self.obs
+                    .metrics
+                    .counter("transfer.zerocopy.fallbacks")
+                    .get() as i64,
+            ),
+        );
+        ad.insert_value(
+            "WritevCoalesced",
+            nest_classad::Value::Int(
+                self.obs
+                    .metrics
+                    .counter("transfer.zerocopy.writev_coalesced")
+                    .get() as i64,
+            ),
+        );
         // Connection load, so the matchmaker can rank by headroom: the
         // session layer's admitted-connection gauge against its cap
         // (0 = uncapped thread-per-connection ablation).
@@ -723,6 +782,9 @@ pub struct BackendSource {
     start_offset: u64,
     /// The full range length (for rewind).
     len: u64,
+    /// Cached raw-descriptor lease for the zero-copy path; re-validated
+    /// against the backend's invalidation epoch on every window grant.
+    lease: Option<nest_storage::ReadLease>,
 }
 
 impl BackendSource {
@@ -735,6 +797,7 @@ impl BackendSource {
             remaining: len,
             start_offset: offset,
             len,
+            lease: None,
         }
     }
 }
@@ -758,6 +821,29 @@ impl DataSource for BackendSource {
         self.offset = self.start_offset;
         self.remaining = self.len;
         Ok(())
+    }
+
+    fn raw_window(&mut self) -> Option<nest_transfer::flow::RawWindow> {
+        // Per-step currency check: a metadata mutation (remove / rename /
+        // truncate / recreate) bumps the backend's epoch, so a stale lease
+        // is re-acquired — or, if the file is gone, the capability is
+        // withdrawn and the flow demotes to the pooled read path, which
+        // surfaces the error the same way a plain `read_chunk` would.
+        let current = self.storage.lease_epoch()?;
+        if !matches!(&self.lease, Some(l) if l.epoch == current) {
+            self.lease = self.storage.read_lease(&self.path);
+        }
+        let lease = self.lease.as_ref()?;
+        Some(nest_transfer::flow::RawWindow {
+            file: Arc::clone(&lease.file),
+            offset: self.offset,
+            remaining: self.remaining,
+        })
+    }
+
+    fn zc_advance(&mut self, n: u64) {
+        self.offset += n;
+        self.remaining = self.remaining.saturating_sub(n);
     }
 }
 
@@ -907,6 +993,83 @@ impl<W: Write + Send> DataSink for StreamSink<W> {
 
     fn finish(&mut self) -> io::Result<()> {
         self.inner.flush()
+    }
+}
+
+/// A reply-writing sink for socket GET bodies: carries the rendered
+/// protocol header and coalesces it with the first body chunk into one
+/// `writev`, then exposes the socket's raw descriptor so the rest of the
+/// body can go through `sendfile` (see [`nest_transfer::zerocopy`]).
+///
+/// The descriptor is withheld while the header is pending, so the first
+/// chunk always travels the pooled path — the flow probes again on the
+/// next step and upgrades without counting a fallback.
+pub struct SocketSink<W: Write + Send> {
+    writer: W,
+    #[cfg(unix)]
+    fd: Option<std::os::unix::io::RawFd>,
+    pending_head: Option<Vec<u8>>,
+    coalesced: Option<Arc<Counter>>,
+}
+
+impl<W: Write + Send> SocketSink<W> {
+    /// Wraps a writer with a protocol header to send before the body.
+    pub fn new(writer: W, head: Vec<u8>) -> Self {
+        Self {
+            writer,
+            #[cfg(unix)]
+            fd: None,
+            pending_head: Some(head),
+            coalesced: None,
+        }
+    }
+
+    /// Exposes the writer's raw descriptor for the `sendfile` fast path.
+    /// The descriptor must stay valid for the sink's lifetime (i.e. `fd`
+    /// must belong to the wrapped writer or a dup sharing its lifetime).
+    #[cfg(unix)]
+    pub fn with_raw_fd(mut self, fd: std::os::unix::io::RawFd) -> Self {
+        self.fd = Some(fd);
+        self
+    }
+
+    /// Counts header+first-chunk coalesced writes on `counter`.
+    pub fn with_coalesce_counter(mut self, counter: Arc<Counter>) -> Self {
+        self.coalesced = Some(counter);
+        self
+    }
+}
+
+impl<W: Write + Send> DataSink for SocketSink<W> {
+    fn write_chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if let Some(head) = self.pending_head.take() {
+            nest_transfer::zerocopy::write_all_vectored2(&mut self.writer, &head, data)?;
+            if let Some(c) = &self.coalesced {
+                c.inc();
+            }
+            return Ok(());
+        }
+        self.writer.write_all(data)
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        // A zero-byte body never produces a chunk, so the header may
+        // still be pending here; the client is owed it regardless.
+        if let Some(head) = self.pending_head.take() {
+            self.writer.write_all(&head)?;
+        }
+        self.writer.flush()
+    }
+
+    #[cfg(unix)]
+    fn raw_fd(&mut self) -> Option<std::os::unix::io::RawFd> {
+        if self.pending_head.is_some() {
+            // Header not on the wire yet: body bytes must not jump ahead
+            // of it, so the capability is withheld until the first pooled
+            // chunk carries the header out (via the coalesced writev).
+            return None;
+        }
+        self.fd
     }
 }
 

@@ -1,6 +1,6 @@
 //! The HTTP protocol handler (anonymous access only, per the paper).
 
-use crate::dispatcher::{Dispatcher, LimitedStreamSource, StreamSink};
+use crate::dispatcher::{Dispatcher, LimitedStreamSource};
 use crate::session::{Await, SessionCtx};
 use nest_proto::http::{
     render_response_head, status_for_error, HttpMethod, HttpRequestHead, HttpResponseHead,
@@ -70,9 +70,12 @@ pub fn handle_conn(
                     }
                     Err(e) => send_error(&mut stream, e)?,
                     Ok((vpath, size, cached)) => {
+                        // Header + first chunk leave in one writev; the
+                        // rest of the body takes the sendfile fast path
+                        // when the source can lend a raw window.
                         let resp = HttpResponseHead::with_length(200, "OK", size);
-                        stream.write_all(render_response_head(&resp).as_bytes())?;
-                        let sink = Box::new(StreamSink::new(stream.try_clone()?));
+                        let head = render_response_head(&resp).into_bytes();
+                        let sink = dispatcher.socket_sink(stream.try_clone()?, head);
                         dispatcher.transfer_get(&who, PROTOCOL, &vpath, size, cached, sink)?;
                     }
                 }

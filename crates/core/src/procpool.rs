@@ -130,6 +130,10 @@ impl ProcessLauncher for SubprocessLauncher {
                     retries,
                     aborted: true,
                     failure: Some(kind),
+                    // The staged child-process path copies through pipes;
+                    // it never engages the zero-copy fast path.
+                    zc_engaged: false,
+                    zc_fell_back: false,
                 }
             };
             loop {
@@ -172,6 +176,8 @@ impl ProcessLauncher for SubprocessLauncher {
                             retries,
                             aborted: false,
                             failure: None,
+                            zc_engaged: false,
+                            zc_fell_back: false,
                         });
                         return;
                     }

@@ -22,6 +22,7 @@
 //! | `undocumented-metric` | metric name literals registered in code but absent from DESIGN.md |
 //! | `conn-spawn` | `thread::spawn`/`thread::Builder` in files that handle `TcpListener`s (connection lifecycles belong to `nest-core::session`) |
 //! | `front-registry` | `SessionLayer::register` calls or raw `SessionHandler` closures outside `core/src/front.rs` (protocol fronts register through the `FrontRegistry`) |
+//! | `raw-socket-write` | bare `.write(` on reply streams in front/handler reply paths (short writes truncate replies; use `write_all` or the vectored helpers) |
 //!
 //! ## Suppression
 //!
@@ -82,6 +83,7 @@ pub const RULES: &[&str] = &[
     "undocumented-metric",
     "conn-spawn",
     "front-registry",
+    "raw-socket-write",
 ];
 
 /// Whether `path` (workspace-relative, `/`-separated) is in scope.
@@ -218,6 +220,13 @@ fn scan_file(path: &str, content: &str, design_patterns: &[MetricPattern]) -> Ve
     let is_conn_file = path != "crates/core/src/session.rs" && pre_test.contains("TcpListener");
     // The registry implements the front API; the session layer defines it.
     let is_front_api = path == "crates/core/src/front.rs" || path == "crates/core/src/session.rs";
+    // raw-socket-write applies where protocol replies are written: the
+    // built-in handlers and plugin front crates. A bare `.write(` may
+    // return short on a throttled socket and silently truncate the
+    // reply; reply bytes leave through `write_all` or the vectored
+    // helpers, which loop to completion.
+    let is_reply_path =
+        path.starts_with("crates/core/src/handlers/") || path.starts_with("crates/s3front/src");
     let mut prev: Option<&str> = None;
     for (idx, raw) in content.lines().enumerate() {
         let line = raw.trim();
@@ -314,6 +323,22 @@ fn scan_file(path: &str, content: &str, design_patterns: &[MetricPattern]) -> Ve
                     report("front-registry");
                     break;
                 }
+            }
+        }
+
+        // raw-socket-write: reply bytes leave through write_all / the
+        // vectored helpers, never an unguarded `.write(`.
+        if is_reply_path {
+            let mut rest = line;
+            while let Some(pos) = rest.find(".write(") {
+                let after = &rest[pos + ".write(".len()..];
+                // An argument-less `.write()` is an RwLock guard
+                // acquisition, not stream I/O.
+                if !after.starts_with(')') {
+                    report("raw-socket-write");
+                    break;
+                }
+                rest = after;
             }
         }
 
@@ -495,6 +520,30 @@ mod tests {
         let allowed = "// nestlint: allow(front-registry): migration fixture\n\
                        fn f() { let h: SessionHandler = mk(); }\n";
         assert!(scan_source("crates/core/src/x.rs", allowed, DESIGN).is_empty());
+    }
+
+    #[test]
+    fn seeded_raw_socket_write_is_caught_only_in_reply_paths() {
+        let src = "fn f(s: &mut TcpStream) { s.write(b\"HTTP/1.1 200 OK\\r\\n\")?; }\n";
+        let v = scan_source("crates/core/src/handlers/http.rs", src, DESIGN);
+        assert_eq!(rules_of(&v), vec!["raw-socket-write"]);
+        assert_eq!(
+            rules_of(&scan_source("crates/s3front/src/lib.rs", src, DESIGN)),
+            vec!["raw-socket-write"]
+        );
+        // write_all is the sanctioned spelling: it loops to completion.
+        let ok = "fn f(s: &mut TcpStream) { s.write_all(b\"x\")?; }\n";
+        assert!(scan_source("crates/core/src/handlers/http.rs", ok, DESIGN).is_empty());
+        // An argument-less `.write()` is an RwLock guard, not stream I/O.
+        let guard = "fn f() { let mut g = table.write(); g.push(1); }\n";
+        assert!(scan_source("crates/core/src/handlers/http.rs", guard, DESIGN).is_empty());
+        // Outside the reply paths the rule does not apply (the transfer
+        // crate's sinks handle short writes by contract, with tests).
+        assert!(scan_source("crates/transfer/src/flow.rs", src, DESIGN).is_empty());
+        // Suppression works as for every other rule.
+        let allowed = "// nestlint: allow(raw-socket-write): best-effort probe, short write ok\n\
+                       fn f(s: &mut S) { s.write(b)?; }\n";
+        assert!(scan_source("crates/core/src/handlers/http.rs", allowed, DESIGN).is_empty());
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! A minimal blocking S3 client for talking to the S3 front.
 
-use super::{format_auth_header, parse_list_bucket_result, xml_blocks, xml_text, S3Listing};
+use super::{
+    format_auth_header, parse_list_bucket_page, parse_list_bucket_result, xml_blocks, xml_text,
+    S3ListPage, S3Listing,
+};
 use crate::gsi::Credential;
 use crate::http::{HttpMethod, HttpRequestHead, HttpResponseHead};
 use crate::wire::copy_exact;
@@ -210,6 +213,43 @@ impl S3Client {
         Ok(parse_list_bucket_result(&String::from_utf8_lossy(
             &resp.body,
         )))
+    }
+
+    /// One page of a ListObjectsV2 walk
+    /// (`GET /{bucket}?list-type=2&max-keys=&continuation-token=`).
+    /// Pass the previous page's `next_token` as `continuation` to resume;
+    /// `start_after` begins the walk strictly after a key (first page
+    /// only — a continuation token overrides it, as on real S3).
+    pub fn list_page(
+        &mut self,
+        bucket: &str,
+        prefix: &str,
+        delimiter: Option<&str>,
+        max_keys: Option<usize>,
+        continuation: Option<&str>,
+        start_after: Option<&str>,
+    ) -> io::Result<S3ListPage> {
+        let mut query = BTreeMap::new();
+        query.insert("list-type".into(), "2".into());
+        if !prefix.is_empty() {
+            query.insert("prefix".into(), prefix.to_owned());
+        }
+        if let Some(d) = delimiter {
+            query.insert("delimiter".into(), d.to_owned());
+        }
+        if let Some(n) = max_keys {
+            query.insert("max-keys".into(), n.to_string());
+        }
+        if let Some(t) = continuation {
+            query.insert("continuation-token".into(), t.to_owned());
+        }
+        if let Some(s) = start_after {
+            query.insert("start-after".into(), s.to_owned());
+        }
+        let resp = self
+            .request(HttpMethod::Get, &format!("/{bucket}"), query, b"")?
+            .expect(&[200])?;
+        Ok(parse_list_bucket_page(&String::from_utf8_lossy(&resp.body)))
     }
 
     /// A raw request, for tests that need to observe error statuses.

@@ -117,13 +117,31 @@ pub struct S3Listing {
     pub common_prefixes: Vec<String>,
 }
 
+/// One page of a ListObjectsV2 walk, as a client sees it: the page's
+/// rows plus the cursor state needed to fetch the next page.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct S3ListPage {
+    /// The page's objects and common prefixes.
+    pub listing: S3Listing,
+    /// Whether more rows remain beyond this page.
+    pub is_truncated: bool,
+    /// Opaque cursor for the next page; present iff `is_truncated`.
+    pub next_token: Option<String>,
+}
+
 /// Renders a ListObjectsV2 `ListBucketResult` document.
+///
+/// Per the V2 contract: `KeyCount` counts *everything* returned —
+/// objects **and** common prefixes — and a truncated page carries the
+/// opaque `NextContinuationToken` the client echoes back to resume.
 pub fn render_list_bucket_result(
     bucket: &str,
     prefix: &str,
     delimiter: Option<&str>,
     listing: &S3Listing,
     truncated: bool,
+    max_keys: usize,
+    next_token: Option<&str>,
 ) -> String {
     let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<ListBucketResult>");
     out.push_str(&format!("<Name>{}</Name>", xml_escape(bucket)));
@@ -131,8 +149,18 @@ pub fn render_list_bucket_result(
     if let Some(d) = delimiter {
         out.push_str(&format!("<Delimiter>{}</Delimiter>", xml_escape(d)));
     }
-    out.push_str(&format!("<KeyCount>{}</KeyCount>", listing.objects.len()));
+    out.push_str(&format!("<MaxKeys>{max_keys}</MaxKeys>"));
+    out.push_str(&format!(
+        "<KeyCount>{}</KeyCount>",
+        listing.objects.len() + listing.common_prefixes.len()
+    ));
     out.push_str(&format!("<IsTruncated>{truncated}</IsTruncated>"));
+    if let Some(token) = next_token {
+        out.push_str(&format!(
+            "<NextContinuationToken>{}</NextContinuationToken>",
+            xml_escape(token)
+        ));
+    }
     for obj in &listing.objects {
         out.push_str(&format!(
             "<Contents><Key>{}</Key><Size>{}</Size></Contents>",
@@ -241,6 +269,16 @@ pub fn parse_list_bucket_result(xml: &str) -> S3Listing {
     listing
 }
 
+/// Parses a `ListBucketResult` document into a full [`S3ListPage`],
+/// including the truncation flag and continuation token.
+pub fn parse_list_bucket_page(xml: &str) -> S3ListPage {
+    S3ListPage {
+        listing: parse_list_bucket_result(xml),
+        is_truncated: xml_text(xml, "IsTruncated").as_deref() == Some("true"),
+        next_token: xml_text(xml, "NextContinuationToken"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,11 +344,35 @@ mod tests {
             ],
             common_prefixes: vec!["logs/2026/".into()],
         };
-        let xml = render_list_bucket_result("data", "logs/", Some("/"), &listing, false);
+        let xml =
+            render_list_bucket_result("data", "logs/", Some("/"), &listing, false, 1000, None);
         assert_eq!(xml_text(&xml, "Name").as_deref(), Some("data"));
-        assert_eq!(xml_text(&xml, "KeyCount").as_deref(), Some("2"));
+        // KeyCount covers objects AND common prefixes, per ListObjectsV2.
+        assert_eq!(xml_text(&xml, "KeyCount").as_deref(), Some("3"));
+        assert_eq!(xml_text(&xml, "MaxKeys").as_deref(), Some("1000"));
         let back = parse_list_bucket_result(&xml);
         assert_eq!(back, listing);
+    }
+
+    #[test]
+    fn truncated_page_carries_continuation_token() {
+        let listing = S3Listing {
+            objects: vec![S3Object {
+                key: "k1".into(),
+                size: 1,
+            }],
+            common_prefixes: vec![],
+        };
+        let xml = render_list_bucket_result("b", "", None, &listing, true, 1, Some("6b31"));
+        let page = parse_list_bucket_page(&xml);
+        assert!(page.is_truncated);
+        assert_eq!(page.next_token.as_deref(), Some("6b31"));
+        assert_eq!(page.listing, listing);
+        // An exhausted listing carries no token.
+        let xml = render_list_bucket_result("b", "", None, &listing, false, 1000, None);
+        let page = parse_list_bucket_page(&xml);
+        assert!(!page.is_truncated);
+        assert_eq!(page.next_token, None);
     }
 
     #[test]

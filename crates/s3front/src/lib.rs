@@ -30,7 +30,7 @@
 //! the appliance's grid-mapfile; requests without the header run as the
 //! anonymous principal, like NeST's HTTP front.
 
-use nest_core::dispatcher::{Dispatcher, LimitedStreamSource, StreamSink};
+use nest_core::dispatcher::{Dispatcher, LimitedStreamSource};
 use nest_core::front::ProtocolFront;
 use nest_core::session::{Await, OverloadReply, SessionCtx};
 use nest_proto::http::{render_response_head, HttpMethod, HttpRequestHead, HttpResponseHead};
@@ -215,9 +215,12 @@ fn serve_request(
             Err(NestError::Invalid) => send_error(stream, NestError::NotFound, &head.path, false),
             Err(e) => send_error(stream, e, &head.path, false),
             Ok((vpath, size, cached)) => {
+                // Header + first chunk leave in one writev; the rest of
+                // the body takes the sendfile fast path when the source
+                // can lend a raw file window.
                 let resp = HttpResponseHead::with_length(200, "OK", size);
-                stream.write_all(render_response_head(&resp).as_bytes())?;
-                let sink = Box::new(StreamSink::new(stream.try_clone()?));
+                let head = render_response_head(&resp).into_bytes();
+                let sink = dispatcher.socket_sink(stream.try_clone()?, head);
                 dispatcher
                     .transfer_get(who, PROTOCOL, &vpath, size, cached, sink)
                     .map(drop)
@@ -296,7 +299,27 @@ fn list_buckets(
     }
 }
 
-/// `GET /{bucket}?list-type=2&prefix=&delimiter=&max-keys=`.
+/// One row of a merged listing page: object or rolled-up prefix, ordered
+/// by a single lexicographic sort key so pagination cuts one total order
+/// (and `max-keys` counts both kinds, per ListObjectsV2).
+enum ListRow {
+    Obj(S3Object),
+    Pre(String),
+}
+
+impl ListRow {
+    fn sort_key(&self) -> &str {
+        match self {
+            ListRow::Obj(o) => &o.key,
+            ListRow::Pre(p) => p,
+        }
+    }
+}
+
+/// `GET /{bucket}?list-type=2&prefix=&delimiter=&max-keys=` with V2
+/// pagination: `continuation-token` (opaque, from a previous truncated
+/// page; overrides `start-after`) resumes the walk, and a truncated reply
+/// carries `NextContinuationToken`.
 fn list_objects(
     dispatcher: &Arc<Dispatcher>,
     stream: &mut TcpStream,
@@ -306,11 +329,39 @@ fn list_objects(
 ) -> io::Result<()> {
     let prefix = head.query.get("prefix").cloned().unwrap_or_default();
     let delimiter = head.query.get("delimiter").cloned();
-    let max_keys: usize = head
-        .query
-        .get("max-keys")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1000);
+    // Strict max-keys: anything that is not a non-negative integer is an
+    // InvalidArgument, not silently the default page size.
+    let max_keys: usize = match head.query.get("max-keys") {
+        None => 1000,
+        Some(v) => match v.parse::<i64>() {
+            Ok(n) if n >= 0 => n as usize,
+            _ => {
+                let body = render_error_xml(
+                    "InvalidArgument",
+                    "max-keys must be a non-negative integer.",
+                    &head.path,
+                );
+                return stream.write_all(&render_reply(400, "Bad Request", &body));
+            }
+        },
+    };
+    // The resume point: a continuation token is the hex-coded sort key of
+    // the previous page's last row; start-after is a client-chosen key.
+    // The token wins when both are present, as on real S3.
+    let marker: Option<String> = match head.query.get("continuation-token") {
+        Some(tok) => match hex_decode(tok) {
+            Some(key) => Some(key),
+            None => {
+                let body = render_error_xml(
+                    "InvalidArgument",
+                    "The continuation token provided is incorrect.",
+                    &head.path,
+                );
+                return stream.write_all(&render_reply(400, "Bad Request", &body));
+            }
+        },
+        None => head.query.get("start-after").cloned(),
+    };
     let resp = dispatcher.execute_sync(
         who,
         PROTOCOL,
@@ -322,21 +373,78 @@ fn list_objects(
     );
     match resp {
         NestResponse::OkText(lines) => {
-            let mut listing = parse_listing_lines(&lines);
-            let truncated = listing.objects.len() > max_keys;
-            listing.objects.truncate(max_keys);
+            let listing = parse_listing_lines(&lines);
+            let mut rows: Vec<ListRow> = listing
+                .objects
+                .into_iter()
+                .map(ListRow::Obj)
+                .chain(listing.common_prefixes.into_iter().map(ListRow::Pre))
+                .collect();
+            rows.sort_by(|a, b| a.sort_key().cmp(b.sort_key()));
+            if let Some(m) = &marker {
+                // Strictly after the marker: the marker row itself was
+                // already delivered on the previous page.
+                rows.retain(|r| r.sort_key() > m.as_str());
+            }
+            let truncated = rows.len() > max_keys;
+            let next_token = if truncated {
+                // The cursor is the last row this page emits; an empty
+                // page (max-keys=0) re-issues the incoming marker so the
+                // client can still make progress once it raises max-keys.
+                let last = match max_keys {
+                    0 => marker.clone().unwrap_or_default(),
+                    n => rows[n - 1].sort_key().to_owned(),
+                };
+                Some(hex_encode(&last))
+            } else {
+                None
+            };
+            rows.truncate(max_keys);
+            let mut page = S3Listing::default();
+            for row in rows {
+                match row {
+                    ListRow::Obj(o) => page.objects.push(o),
+                    ListRow::Pre(p) => page.common_prefixes.push(p),
+                }
+            }
             let body = render_list_bucket_result(
                 bucket,
                 &prefix,
                 delimiter.as_deref(),
-                &listing,
+                &page,
                 truncated,
+                max_keys,
+                next_token.as_deref(),
             );
             stream.write_all(&render_reply(200, "OK", &body))
         }
         NestResponse::Error(e) => send_error(stream, e, &head.path, true),
         _ => send_error(stream, NestError::Internal, &head.path, true),
     }
+}
+
+/// Hex-codes a sort key into an opaque continuation token (keys may hold
+/// any character; the token must survive a URL query string untouched).
+fn hex_encode(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len() * 2);
+    for b in s.bytes() {
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
+/// Decodes a continuation token back into its sort key; `None` for
+/// tokens this server never issued.
+fn hex_decode(s: &str) -> Option<String> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for i in (0..s.len()).step_by(2) {
+        out.push(u8::from_str_radix(s.get(i..i + 2)?, 16).ok()?);
+    }
+    String::from_utf8(out).ok()
 }
 
 /// Decodes the dispatcher's protocol-independent object-listing lines:
@@ -460,6 +568,24 @@ mod tests {
         assert_eq!(l.objects[1].key, "a key with spaces");
         assert_eq!(l.objects[1].size, 3);
         assert_eq!(l.common_prefixes, vec!["logs/2026/".to_owned()]);
+    }
+
+    #[test]
+    fn continuation_tokens_roundtrip_any_key() {
+        for key in [
+            "plain",
+            "a key with spaces",
+            "nested/deep/key",
+            "",
+            "k&<>'\"",
+        ] {
+            let tok = hex_encode(key);
+            assert!(tok.bytes().all(|b| b.is_ascii_hexdigit()));
+            assert_eq!(hex_decode(&tok).as_deref(), Some(key));
+        }
+        // Tokens this server never issued are rejected, not misdecoded.
+        assert_eq!(hex_decode("zz"), None);
+        assert_eq!(hex_decode("abc"), None);
     }
 
     #[test]

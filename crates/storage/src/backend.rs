@@ -34,6 +34,23 @@ pub struct FileStat {
     pub size: u64,
 }
 
+/// A shared open descriptor handed out for the zero-copy read path,
+/// stamped with the handle cache's invalidation epoch at grant time.
+///
+/// The transfer layer may feed `file`'s raw fd straight into
+/// `sendfile(2)` only while the lease is *current*: the holder must
+/// compare `epoch` against [`StorageBackend::lease_epoch`] before every
+/// use and re-acquire on mismatch, because a metadata mutation
+/// (`remove`/`rename`/`truncate`/recreate) bumps the epoch precisely when
+/// a cached descriptor may no longer describe the named file.
+#[derive(Debug, Clone)]
+pub struct ReadLease {
+    /// The shared open handle. I/O through it must be positional.
+    pub file: Arc<fs::File>,
+    /// The backend's invalidation epoch when the lease was granted.
+    pub epoch: u64,
+}
+
 /// The physical storage interface. Chunk-oriented (`read_at`/`write_at`)
 /// rather than handle-oriented so that block protocols (NFS) map directly
 /// and the transfer manager can move data in scheduler-quantum-sized chunks.
@@ -72,6 +89,20 @@ pub trait StorageBackend: Send + Sync + 'static {
 
     /// Total bytes of file data stored (for ad publication).
     fn used_bytes(&self) -> io::Result<u64>;
+
+    /// Grants a raw-descriptor read lease for the zero-copy path, or
+    /// `None` when the medium has no descriptors (memory backends) or the
+    /// file cannot be opened. Default: no zero-copy capability.
+    fn read_lease(&self, _path: &VPath) -> Option<ReadLease> {
+        None
+    }
+
+    /// The current lease-invalidation epoch, or `None` when the backend
+    /// never grants leases. A [`ReadLease`] is current iff its stamped
+    /// epoch equals this value.
+    fn lease_epoch(&self) -> Option<u64> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -576,6 +607,19 @@ impl StorageBackend for LocalFsBackend {
             },
             size: if md.is_dir() { 0 } else { md.len() },
         })
+    }
+
+    fn read_lease(&self, path: &VPath) -> Option<ReadLease> {
+        // Capture the epoch *before* resolving the handle: an invalidation
+        // racing in between then makes the lease read as stale (forcing a
+        // harmless re-acquire) rather than falsely current.
+        let epoch = self.handles.epoch();
+        let file = self.handle_for(path, false).ok()?;
+        Some(ReadLease { file, epoch })
+    }
+
+    fn lease_epoch(&self) -> Option<u64> {
+        Some(self.handles.epoch())
     }
 
     fn used_bytes(&self) -> io::Result<u64> {

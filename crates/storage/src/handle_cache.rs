@@ -81,6 +81,12 @@ struct CacheInstruments {
 pub struct HandleCache {
     capacity: usize,
     state: Mutex<CacheState>,
+    /// Lock-free mirror of `CacheState::epoch`, updated under the state
+    /// lock by every invalidation. The zero-copy send path revalidates
+    /// its lease against the epoch once per `sendfile` span; reading the
+    /// mirror keeps that per-span check off the cache mutex (and out of
+    /// the lock shim's contention instrumentation).
+    epoch_fast: std::sync::atomic::AtomicU64,
     instruments: Mutex<Option<CacheInstruments>>,
 }
 
@@ -127,6 +133,7 @@ impl HandleCache {
                     evictions: 0,
                 },
             ),
+            epoch_fast: std::sync::atomic::AtomicU64::new(0),
             instruments: Mutex::named("storage.handlecache.instruments", 341, None),
         }
     }
@@ -259,6 +266,24 @@ impl HandleCache {
         }
     }
 
+    /// The current invalidation epoch. A raw-FD lease handed out of the
+    /// cache (see [`crate::backend::ReadLease`]) captures this value; the
+    /// lease is *current* only while the epoch is unchanged. Any metadata
+    /// mutation bumps the epoch, so a zero-copy sender re-checking its
+    /// lease per span can never keep streaming an inode whose name has
+    /// been removed, renamed, or truncated under it. Meaningful whether or
+    /// not caching is enabled (capacity-0 backends still invalidate).
+    ///
+    /// Reads the lock-free mirror: the check runs once per zero-copy span
+    /// on the engine thread, and must not serialize against chunk I/O
+    /// taking the cache mutex. An invalidation racing the read is
+    /// indistinguishable from one landing just after it — the lease's
+    /// `Arc<File>` keeps the inode alive either way, exactly as a pooled
+    /// read racing the same rename would.
+    pub fn epoch(&self) -> u64 {
+        self.epoch_fast.load(std::sync::atomic::Ordering::Acquire)
+    }
+
     /// Drops any cached handle for `path` and bumps the epoch so in-flight
     /// opens of the same name cannot be cached. Must be called on every
     /// operation that changes what the *name* means: remove, rename (both
@@ -266,6 +291,8 @@ impl HandleCache {
     pub fn invalidate(&self, path: &VPath) {
         let mut st = self.state.lock();
         st.epoch += 1;
+        self.epoch_fast
+            .store(st.epoch, std::sync::atomic::Ordering::Release);
         st.entries.remove(path);
         let open = st.entries.len() as i64;
         drop(st);
@@ -278,6 +305,8 @@ impl HandleCache {
     pub fn invalidate_all(&self) {
         let mut st = self.state.lock();
         st.epoch += 1;
+        self.epoch_fast
+            .store(st.epoch, std::sync::atomic::Ordering::Release);
         st.entries.clear();
         drop(st);
         if let Some(i) = &*self.instruments.lock() {

@@ -36,7 +36,7 @@ pub mod namespace;
 pub mod quota;
 
 pub use acl::{AccessRight, AclEntry, AclTable, Principal};
-pub use backend::{FileKind, FileStat, LocalFsBackend, MemBackend, StorageBackend};
+pub use backend::{FileKind, FileStat, LocalFsBackend, MemBackend, ReadLease, StorageBackend};
 pub use handle_cache::{HandleCache, HandleCacheStats};
 pub use lot::{Lot, LotError, LotId, LotManager, ReclaimPolicy};
 pub use manager::{ObjectEntry, ObjectListing, StorageError, StorageManager};

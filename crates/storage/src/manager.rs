@@ -632,6 +632,20 @@ impl StorageManager {
         Ok(r?)
     }
 
+    /// Grants a raw-descriptor read lease for an *already admitted* GET
+    /// (same trust boundary as [`Self::read_chunk`]: authorization
+    /// happened in [`Self::begin_get`]). `None` when the backend has no
+    /// descriptors to lend — the caller falls back to `read_chunk`.
+    pub fn read_lease(&self, path: &VPath) -> Option<crate::backend::ReadLease> {
+        self.backend.read_lease(path)
+    }
+
+    /// The backend's lease-invalidation epoch; see
+    /// [`StorageBackend::lease_epoch`].
+    pub fn lease_epoch(&self) -> Option<u64> {
+        self.backend.lease_epoch()
+    }
+
     fn charged_bytes(&self, path: &VPath) -> u64 {
         self.lots
             .all_lots()

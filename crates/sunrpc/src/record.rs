@@ -4,17 +4,37 @@
 //! 4-byte big-endian word whose high bit marks the final fragment and whose
 //! low 31 bits give the fragment length.
 
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 
 /// Maximum accepted fragment size (sanity cap against hostile headers).
 pub const MAX_FRAGMENT: usize = 16 << 20;
 
 /// Writes one complete record as a single final fragment.
+///
+/// The 4-byte fragment header and the payload leave in one `writev`
+/// instead of two `write` calls: on an unbuffered socket the split write
+/// costs a syscall *and* (with Nagle disabled) can put the tiny header in
+/// its own TCP segment ahead of every NFS reply. The loop advances the
+/// slice pair across short writes, so partial vectored writes on a
+/// throttled socket are completed rather than dropped.
 pub fn write_record(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     debug_assert!(payload.len() < (1 << 31));
-    let header = (payload.len() as u32) | 0x8000_0000;
-    w.write_all(&header.to_be_bytes())?;
-    w.write_all(payload)?;
+    let header = ((payload.len() as u32) | 0x8000_0000).to_be_bytes();
+    let mut slices = [IoSlice::new(&header), IoSlice::new(payload)];
+    let mut bufs = &mut slices[..];
+    while bufs.iter().map(|b| b.len()).sum::<usize>() > 0 {
+        match w.write_vectored(bufs) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "failed to write RPC record",
+                ))
+            }
+            Ok(n) => IoSlice::advance_slices(&mut bufs, n),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
     w.flush()
 }
 
@@ -137,6 +157,38 @@ mod tests {
         write_record(&mut buf, b"").unwrap();
         let mut cur = Cursor::new(buf);
         assert_eq!(read_record(&mut cur).unwrap().unwrap(), b"");
+    }
+
+    /// A writer that accepts at most `cap` bytes per call and reports
+    /// `len = 1` for vectored writes, forcing the short-write loop.
+    struct ShortWriter {
+        out: Vec<u8>,
+        cap: usize,
+    }
+
+    impl Write for ShortWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = buf.len().min(self.cap);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn record_survives_short_vectored_writes() {
+        let payload: Vec<u8> = (0..1000u32).map(|i| i as u8).collect();
+        for cap in [1, 3, 7] {
+            let mut w = ShortWriter {
+                out: Vec::new(),
+                cap,
+            };
+            write_record(&mut w, &payload).unwrap();
+            let mut cur = Cursor::new(w.out);
+            assert_eq!(read_record(&mut cur).unwrap().unwrap(), payload);
+        }
     }
 
     #[test]

@@ -67,6 +67,11 @@ pub struct Completion {
     /// Failure category when `result` is `Err` (I/O vs deadline vs
     /// cancellation), so the engine's instruments stay exact.
     pub failure: Option<FailureKind>,
+    /// Whether any bytes moved through the zero-copy (`sendfile`) path.
+    pub zc_engaged: bool,
+    /// Whether the flow attempted zero-copy and was demoted to the pooled
+    /// loop (capability withdrawn or fd pair unsupported).
+    pub zc_fell_back: bool,
 }
 
 impl Completion {
@@ -89,6 +94,8 @@ impl Completion {
             retries: 0,
             aborted: false,
             failure,
+            zc_engaged: false,
+            zc_fell_back: false,
         }
     }
 }
@@ -190,6 +197,8 @@ pub fn run_flow(mut flow: Flow, model: ModelKind, start: Instant) -> Completion 
         retries,
         aborted,
         failure,
+        zc_engaged: flow.zc_engaged(),
+        zc_fell_back: flow.zc_fell_back(),
     };
     loop {
         match pump(&mut flow, deadline) {

@@ -195,6 +195,14 @@ impl FaultBudget {
             }
         }
     }
+
+    /// Whether the budget would still fire, without consuming it.
+    fn armed(&self) -> bool {
+        match self {
+            FaultBudget::Always => true,
+            FaultBudget::Times(n) => *n > 0,
+        }
+    }
 }
 
 /// A [`DataSource`] wrapper that fails with a chosen `ErrorKind` once the
@@ -236,6 +244,24 @@ impl<S: DataSource> DataSource for FaultingSource<S> {
         self.inner.rewind()?;
         self.read = 0;
         Ok(())
+    }
+
+    /// Forwards the zero-copy capability until the trigger byte, then
+    /// withdraws it — a deterministic way to prove a `sendfile` flow
+    /// demotes to the pooled loop mid-transfer without corrupting or
+    /// duplicating wire bytes. The budget is only *peeked* here: the
+    /// injected error itself still fires (and is consumed) in
+    /// `read_chunk`, which the flow falls back to after the withdrawal.
+    fn raw_window(&mut self) -> Option<crate::flow::RawWindow> {
+        if self.read >= self.fail_at && self.budget.armed() {
+            return None; // injected capability withdrawal
+        }
+        self.inner.raw_window()
+    }
+
+    fn zc_advance(&mut self, n: u64) {
+        self.read += n;
+        self.inner.zc_advance(n);
     }
 }
 

@@ -23,6 +23,27 @@ impl fmt::Display for FlowId {
     }
 }
 
+/// A window onto a source's underlying file, for zero-copy capability
+/// negotiation. A source that can expose its backing fd hands the flow a
+/// window (`Arc<File>` keeps the handle alive across handle-cache
+/// evictions); the flow `sendfile`s straight from it to the sink's fd,
+/// skipping the staging buffer entirely.
+///
+/// A window is a *per-step* grant: the flow re-asks
+/// [`DataSource::raw_window`] before every zero-copy step, so a source
+/// guarding cached handles (epoch-stamped leases from the storage
+/// handle cache) can withdraw the capability the moment its lease goes
+/// stale — the flow then falls back to the pooled loop mid-transfer with
+/// the logical cursor intact.
+pub struct RawWindow {
+    /// The backing file, held open for the duration of the step.
+    pub file: Arc<std::fs::File>,
+    /// Absolute file offset of the next unread byte.
+    pub offset: u64,
+    /// Bytes left in the source (0 = end of stream).
+    pub remaining: u64,
+}
+
 /// A source of bytes (disk file, client socket, another NeST...).
 pub trait DataSource: Send {
     /// Reads up to `buf.len()` bytes; 0 means end of stream.
@@ -38,6 +59,21 @@ pub trait DataSource: Send {
             "source cannot rewind",
         ))
     }
+
+    /// Zero-copy capability probe: a [`RawWindow`] onto the source's
+    /// backing file, or `None` for sources that transform bytes or have
+    /// no stable fd (the default). Asked before every zero-copy step;
+    /// returning `None` mid-flow cleanly demotes the flow to the pooled
+    /// loop.
+    fn raw_window(&mut self) -> Option<RawWindow> {
+        None
+    }
+
+    /// Advances the source's logical cursor after `n` bytes were moved
+    /// through a [`RawWindow`] (the bytes never pass through
+    /// [`DataSource::read_chunk`]). Keeping the cursor honest is what
+    /// makes mid-flow fallback — and retry-after-rewind — byte-exact.
+    fn zc_advance(&mut self, _n: u64) {}
 }
 
 /// A destination for bytes.
@@ -66,6 +102,16 @@ pub trait DataSink: Send {
     /// partial output. Storage-backed sinks delete the partial file and
     /// release its lot charge here. The default does nothing.
     fn abort(&mut self) {}
+
+    /// Zero-copy capability probe: the sink's raw socket/file descriptor,
+    /// once any buffered prefix (e.g. a pending protocol header) is on
+    /// the wire — or `None` for sinks that transform or buffer bytes (the
+    /// default). Asked before every zero-copy step, so a sink may answer
+    /// `None` while a header is still pending and the fd afterwards.
+    #[cfg(unix)]
+    fn raw_fd(&mut self) -> Option<std::os::unix::io::RawFd> {
+        None
+    }
 }
 
 impl DataSource for std::io::Cursor<Vec<u8>> {
@@ -152,6 +198,18 @@ impl FlowMeta {
     }
 }
 
+/// Where a flow stands in the zero-copy ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ZcState {
+    /// Eligible; the endpoints have not granted both capabilities yet.
+    Probing,
+    /// At least one `sendfile` span succeeded.
+    Active,
+    /// Demoted to the pooled loop for the rest of the flow (disabled by
+    /// config, capability withdrawn, or the kernel refused the fd pair).
+    Off,
+}
+
 /// The state of one in-progress transfer.
 pub struct Flow {
     /// Scheduler-visible metadata.
@@ -161,7 +219,19 @@ pub struct Flow {
     moved: u64,
     done: bool,
     buf: PooledBuf,
+    zc: ZcState,
+    zc_engaged: bool,
+    zc_fell_back: bool,
 }
+
+/// Bytes one zero-copy step asks the kernel to move. Larger than the
+/// pooled chunk size (one span replaces ~4 read+write pairs) but small
+/// enough that cancel/deadline checks and stride accounting stay
+/// responsive — and, on hosts where the events engine runs few worker
+/// threads, small enough that one flow blocking in `sendfile` on a full
+/// socket buffer cannot head-of-line-block the other ready flows for
+/// long.
+const ZC_SPAN: u64 = 256 * 1024;
 
 /// Result of advancing a flow by one chunk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -202,7 +272,33 @@ impl Flow {
             moved: 0,
             done: false,
             buf,
+            zc: ZcState::Off,
+            zc_engaged: false,
+            zc_fell_back: false,
         }
+    }
+
+    /// Arms (or disarms) the zero-copy fast path for this flow. Off by
+    /// default so ad-hoc flows behave exactly like the pooled baseline;
+    /// the transfer manager arms it from `TransferConfig::zerocopy`.
+    pub fn set_zerocopy(&mut self, enabled: bool) {
+        self.zc = if enabled {
+            ZcState::Probing
+        } else {
+            ZcState::Off
+        };
+    }
+
+    /// Whether any bytes of this flow moved via `sendfile`.
+    pub fn zc_engaged(&self) -> bool {
+        self.zc_engaged
+    }
+
+    /// Whether this flow attempted the zero-copy path and was demoted to
+    /// the pooled loop (capability withdrawn mid-flow or fd pair
+    /// unsupported).
+    pub fn zc_fell_back(&self) -> bool {
+        self.zc_fell_back
     }
 
     /// The chunk granularity this flow moves bytes at (its staging-buffer
@@ -221,10 +317,19 @@ impl Flow {
         self.done
     }
 
-    /// Moves one chunk from source to sink.
+    /// Moves one chunk from source to sink — via `sendfile` when both
+    /// endpoints grant the zero-copy capability, through the pooled
+    /// staging buffer otherwise. The two paths produce byte-identical
+    /// wire output; the fast path only changes how the bytes travel.
     pub fn step(&mut self) -> io::Result<StepOutcome> {
         if self.done {
             return Ok(StepOutcome::Finished);
+        }
+        #[cfg(target_os = "linux")]
+        if self.zc != ZcState::Off {
+            if let Some(outcome) = self.zc_step()? {
+                return Ok(outcome);
+            }
         }
         let n = self.source.read_chunk(&mut self.buf)?;
         if n == 0 {
@@ -235,6 +340,66 @@ impl Flow {
         self.sink.write_chunk(&self.buf[..n])?;
         self.moved += n as u64;
         Ok(StepOutcome::Moved(n))
+    }
+
+    /// One zero-copy step attempt. `Ok(None)` means "take the pooled path
+    /// for this step": a capability is (still or newly) missing, the input
+    /// hit an unexpected EOF, or the kernel refused the fd pair. The
+    /// capability probe runs per step, so a withdrawn handle-cache lease
+    /// or a still-pending protocol header demotes or defers cleanly.
+    #[cfg(target_os = "linux")]
+    fn zc_step(&mut self) -> io::Result<Option<StepOutcome>> {
+        use std::os::unix::io::AsRawFd;
+        // Probe the sink first and short-circuit: most sinks never grant a
+        // descriptor, and `raw_window` is the expensive half (it takes the
+        // handle-cache lock to validate the lease epoch). Flows that will
+        // never go zero-copy must not pay that per step.
+        let withdrew = |zc: &mut ZcState, fell_back: &mut bool| {
+            if *zc == ZcState::Active {
+                // Was streaming zero-copy and an endpoint withdrew (e.g.
+                // the handle-cache epoch moved): demote for good.
+                *fell_back = true;
+                *zc = ZcState::Off;
+            }
+        };
+        let Some(out_fd) = self.sink.raw_fd() else {
+            withdrew(&mut self.zc, &mut self.zc_fell_back);
+            return Ok(None);
+        };
+        let Some(win) = self.source.raw_window() else {
+            withdrew(&mut self.zc, &mut self.zc_fell_back);
+            return Ok(None);
+        };
+        if win.remaining == 0 {
+            self.sink.finish()?;
+            self.done = true;
+            return Ok(Some(StepOutcome::Finished));
+        }
+        let span = win.remaining.min(ZC_SPAN);
+        match crate::zerocopy::transmit(win.file.as_raw_fd(), out_fd, win.offset, span) {
+            Ok(0) => {
+                // The file is shorter than the source believes; let the
+                // pooled loop surface EOF through its normal semantics.
+                if self.zc == ZcState::Active {
+                    self.zc_fell_back = true;
+                }
+                self.zc = ZcState::Off;
+                Ok(None)
+            }
+            Ok(n) => {
+                self.source.zc_advance(n);
+                self.moved += n;
+                self.zc = ZcState::Active;
+                self.zc_engaged = true;
+                Ok(Some(StepOutcome::Moved(n as usize)))
+            }
+            Err(e) if crate::zerocopy::is_unsupported(&e) => {
+                self.zc_fell_back = true;
+                self.zc = ZcState::Off;
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Reads a chunk directly from the source, bypassing the sink. Used by

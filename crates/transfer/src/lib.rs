@@ -28,6 +28,10 @@
 //! * [`fault`] — the failure domain: transient-vs-permanent error
 //!   classification, retry/backoff policies, and deterministic
 //!   fault-injection sources/sinks for testing the failure path.
+//! * [`zerocopy`] — the `sendfile`/`copy_file_range`/`writev` primitives
+//!   behind the non-transforming disk→socket fast path, with the
+//!   unsupported-fd classification that demotes a flow back to the
+//!   pooled loop.
 
 pub mod adaptive;
 pub mod bufpool;
@@ -38,6 +42,7 @@ pub mod fault;
 pub mod flow;
 pub mod manager;
 pub mod sched;
+pub mod zerocopy;
 
 pub use adaptive::AdaptiveSelector;
 pub use bufpool::{BufPool, BufPoolStats, PooledBuf};
@@ -48,6 +53,6 @@ pub use fault::{
     classify, ErrorClass, FailureKind, FaultBudget, FaultingSink, FaultingSource, FlakySource,
     RetryPolicy,
 };
-pub use flow::{DataSink, DataSource, Flow, FlowId, FlowMeta};
+pub use flow::{DataSink, DataSource, Flow, FlowId, FlowMeta, RawWindow};
 pub use manager::{SchedPolicy, TransferManager, TransferStats};
 pub use sched::{CacheAwareScheduler, FcfsScheduler, Scheduler, StrideScheduler};

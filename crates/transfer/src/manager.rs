@@ -70,6 +70,12 @@ pub struct TransferConfig {
     /// admission allocates nothing). `false` allocates per flow — the
     /// pre-pool behavior, kept for ablation.
     pub pool_buffers: bool,
+    /// Arm the zero-copy (`sendfile`) fast path on admitted flows. Only
+    /// flows whose endpoints both grant the capability actually take it;
+    /// `false` forces every flow through the pooled-buffer loop — the
+    /// pre-zero-copy behavior, kept for ablation (the two paths produce
+    /// byte-identical wire output).
+    pub zerocopy: bool,
 }
 
 impl Default for TransferConfig {
@@ -85,6 +91,7 @@ impl Default for TransferConfig {
             process_launcher: Arc::new(EmulatedProcessLauncher::default()),
             obs: None,
             pool_buffers: true,
+            zerocopy: true,
         }
     }
 }
@@ -105,6 +112,13 @@ impl Default for TransferConfig {
 /// - `transfer.engine.wakeups` / `transfer.engine.parks` — engine-loop
 ///   iterations and blocking parks; a blocked engine should show few
 ///   wakeups (the no-busy-spin regression guard)
+/// - `transfer.engine.cpu_ns` — thread-CPU nanoseconds spent inside
+///   scheduling passes; `bytes_total / cpu_ns` is the appliance-side
+///   efficiency the zero-copy path improves (DESIGN.md §14)
+/// - `transfer.zerocopy.sendfile_flows` / `transfer.zerocopy.fallbacks` —
+///   flows that moved bytes via `sendfile`, and flows that attempted the
+///   zero-copy path but were demoted to the pooled loop (capability
+///   withdrawn mid-flow or fd pair unsupported)
 /// - `transfer.class.<class>.bytes` / `.bandwidth_bps` — per-class pairs,
 ///   created lazily on first completion for the class
 struct EngineMetrics {
@@ -123,6 +137,9 @@ struct EngineMetrics {
     latency_us: Arc<Histogram>,
     engine_wakeups: Arc<Counter>,
     engine_parks: Arc<Counter>,
+    engine_cpu_ns: Arc<Counter>,
+    zc_sendfile_flows: Arc<Counter>,
+    zc_fallbacks: Arc<Counter>,
     /// Per-class instrument cache; avoids registry lookups per completion.
     class_instruments: HashMap<String, (Arc<Counter>, Arc<EwmaMeter>)>,
 }
@@ -145,6 +162,9 @@ impl EngineMetrics {
             latency_us: m.histogram("transfer.latency_us"),
             engine_wakeups: m.counter("transfer.engine.wakeups"),
             engine_parks: m.counter("transfer.engine.parks"),
+            engine_cpu_ns: m.counter("transfer.engine.cpu_ns"),
+            zc_sendfile_flows: m.counter("transfer.zerocopy.sendfile_flows"),
+            zc_fallbacks: m.counter("transfer.zerocopy.fallbacks"),
             class_instruments: HashMap::new(),
             obs,
         }
@@ -275,12 +295,19 @@ pub struct TransferManager {
     stats: Arc<Mutex<TransferStats>>,
     next_id: AtomicU64,
     pool: BufPool,
+    zerocopy: bool,
     engine: Option<std::thread::JoinHandle<()>>,
 }
 
 /// Idle chunk buffers the manager's pool keeps parked: enough for a burst
 /// of concurrent flows without unbounded memory retention.
 const POOL_MAX_IDLE: usize = 64;
+
+/// Ready dispatches the event engine drains per wakeup before returning
+/// to its single channel wait point. Large enough to amortize the loop's
+/// per-wakeup overhead across flows, small enough that new submissions
+/// and cancellations are picked up within a bounded number of chunks.
+const EVENT_BATCH: usize = 32;
 
 impl TransferManager {
     /// Starts a transfer manager with the given configuration.
@@ -301,6 +328,7 @@ impl TransferManager {
         ));
         let engine_stats = Arc::clone(&stats);
         let engine_tx = tx.clone();
+        let zerocopy = config.zerocopy;
         let engine = std::thread::Builder::new()
             .name("nest-transfer-engine".into())
             .spawn(move || Engine::new(config, rx, engine_tx, engine_stats).run())
@@ -310,6 +338,7 @@ impl TransferManager {
             stats,
             next_id: AtomicU64::new(1),
             pool,
+            zerocopy,
             engine: Some(engine),
         }
     }
@@ -330,7 +359,9 @@ impl TransferManager {
         let cancel = Arc::clone(&meta.cancel);
         // The staging buffer comes from the pool: steady-state admission
         // recycles a returned buffer instead of allocating.
-        let flow = Box::new(Flow::with_buffer(meta, source, sink, self.pool.checkout()));
+        let mut flow = Flow::with_buffer(meta, source, sink, self.pool.checkout());
+        flow.set_zerocopy(self.zerocopy);
+        let flow = Box::new(flow);
         // A send failure means the engine is gone; the handle will surface
         // a BrokenPipe when waited on.
         let _ = self.tx.send(EngineMsg::Submit { flow, respond });
@@ -545,9 +576,12 @@ impl Engine {
                 false
             } else if self.metrics.is_some() {
                 let t = Instant::now();
+                let c = crate::zerocopy::thread_cpu_ns();
                 let d = self.step_events();
                 if let Some(m) = &self.metrics {
                     m.sched_pass_us.record(t.elapsed());
+                    m.engine_cpu_ns
+                        .add(crate::zerocopy::thread_cpu_ns().saturating_sub(c));
                 }
                 d
             } else {
@@ -731,15 +765,37 @@ impl Engine {
             retries: ef.retries,
             aborted: true,
             failure: Some(kind),
+            zc_engaged: ef.flow.zc_engaged(),
+            zc_fell_back: ef.flow.zc_fell_back(),
         };
         self.finish(completion, ef.respond);
     }
 
-    /// One scheduling pass: asks the scheduler for a flow and advances it
-    /// by one chunk. Returns whether a dispatch happened — `false` means
-    /// the scheduler declined (non-work-conserving idling, a held class,
-    /// or no runnable flows) and the caller should park rather than spin.
+    /// One scheduling pass: drains up to [`EVENT_BATCH`] ready
+    /// dispatches before returning to the message-channel wait point.
+    /// Batching amortizes the engine loop's per-wakeup overhead (channel
+    /// `try_recv`, retry-queue scan, park bookkeeping) over many chunks
+    /// instead of paying it once per chunk per flow; the per-dispatch
+    /// cancel/deadline checks and scheduler accounting in
+    /// [`Engine::step_one`] are unchanged, so fairness and
+    /// responsiveness bounds still hold at chunk granularity. Returns
+    /// whether any dispatch happened — `false` means the scheduler
+    /// declined (non-work-conserving idling, a held class, or no
+    /// runnable flows) and the caller should park rather than spin.
     fn step_events(&mut self) -> bool {
+        let mut dispatched = false;
+        for _ in 0..EVENT_BATCH {
+            if !self.step_one() {
+                break;
+            }
+            dispatched = true;
+        }
+        dispatched
+    }
+
+    /// Asks the scheduler for a flow and advances it by one chunk (or one
+    /// zero-copy span). Returns whether a dispatch happened.
+    fn step_one(&mut self) -> bool {
         let Some(id) = self.scheduler.next() else {
             return false;
         };
@@ -777,6 +833,8 @@ impl Engine {
                     retries: ef.retries,
                     aborted: false,
                     failure: None,
+                    zc_engaged: ef.flow.zc_engaged(),
+                    zc_fell_back: ef.flow.zc_fell_back(),
                 };
                 self.finish(completion, ef.respond);
             }
@@ -849,6 +907,12 @@ impl Engine {
         }
         if let Some(m) = &mut self.metrics {
             m.retries.add(u64::from(completion.retries));
+            if completion.zc_engaged {
+                m.zc_sendfile_flows.inc();
+            }
+            if completion.zc_fell_back {
+                m.zc_fallbacks.inc();
+            }
             if ok {
                 m.bytes_total.add(completion.bytes);
                 m.bandwidth.mark(completion.bytes);
@@ -939,10 +1003,15 @@ mod tests {
         assert!(snap.value("transfer.bandwidth_bps") > 0.0);
         assert!(snap.value("transfer.class.http.bandwidth_bps") > 0.0);
         assert!(snap.latency_count("transfer.latency_us") == 4);
-        assert!(snap.latency_count("transfer.sched.pass_us") >= 1);
         // All flows drained: the queue-depth gauge has returned to zero.
         assert_eq!(snap.count("transfer.queue_depth"), 0);
         tm.shutdown();
+        // Pass instruments are recorded after each drained batch, so the
+        // last record can land just after the completion wakeup — join
+        // the engine (above) before asserting on them.
+        let snap = obs.snapshot();
+        assert!(snap.latency_count("transfer.sched.pass_us") >= 1);
+        assert!(snap.count("transfer.engine.cpu_ns") > 0);
     }
 
     #[test]
@@ -1227,6 +1296,8 @@ mod tests {
                 retries: 0,
                 aborted: true,
                 failure: Some(FailureKind::Io),
+                zc_engaged: false,
+                zc_fell_back: false,
             });
         }
     }

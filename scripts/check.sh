@@ -49,7 +49,7 @@ cargo test -p nest-transfer --release --features fault-injection fault_stress
 
 echo "==> datapath bench smoke (real LocalFsBackend, JSON schema check)"
 cargo run --release -p nest-bench --bin datapath -- --smoke --out target/datapath_smoke.json
-for key in get_speedup put_speedup nfs_speedup handlecache_hits bufpool_reuse; do
+for key in get_speedup put_speedup nfs_speedup zerocopy_speedup zerocopy_wall_ratio socket_get_mbps socket_get_mb_per_cpu_sec handlecache_hits bufpool_reuse; do
   grep -q "\"$key\"" target/datapath_smoke.json ||
     { echo "datapath smoke JSON missing key: $key" >&2; exit 1; }
 done

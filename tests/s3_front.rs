@@ -102,6 +102,153 @@ fn signed_put_list_get_delete_through_the_lot() {
 }
 
 #[test]
+fn paginated_list_walks_every_key_exactly_once() {
+    let (server, ca, _lot) = start_server();
+    let addr = server.front_addr("s3").unwrap();
+    let mut client = S3Client::connect(addr)
+        .unwrap()
+        .with_credential(ca.issue(SUBJECT));
+    client.create_bucket("pag").unwrap();
+
+    // 2.5× the page size, written in reverse so pagination order is the
+    // listing's lexicographic sort, not insertion order.
+    const PAGE: usize = 10;
+    let total = PAGE * 5 / 2;
+    let mut expect: Vec<String> = (0..total).map(|i| format!("key-{i:03}")).collect();
+    for key in expect.iter().rev() {
+        client.put_object("pag", key, b"x").unwrap();
+    }
+    expect.sort();
+
+    let mut seen = Vec::new();
+    let mut token: Option<String> = None;
+    let mut pages = 0;
+    loop {
+        let page = client
+            .list_page("pag", "", None, Some(PAGE), token.as_deref(), None)
+            .unwrap();
+        assert!(page.listing.objects.len() <= PAGE);
+        seen.extend(page.listing.objects.iter().map(|o| o.key.clone()));
+        pages += 1;
+        if page.is_truncated {
+            token = Some(page.next_token.expect("truncated page must carry a token"));
+        } else {
+            assert!(page.next_token.is_none());
+            break;
+        }
+    }
+    assert_eq!(pages, 3, "25 keys at 10/page is three pages");
+    // Every key exactly once, in order: no duplicates, none skipped.
+    assert_eq!(seen, expect);
+    server.shutdown();
+}
+
+#[test]
+fn common_prefixes_count_against_max_keys() {
+    let (server, ca, _lot) = start_server();
+    let addr = server.front_addr("s3").unwrap();
+    let mut client = S3Client::connect(addr)
+        .unwrap()
+        .with_credential(ca.issue(SUBJECT));
+    client.create_bucket("mix").unwrap();
+    client.put_object("mix", "a/1", b"x").unwrap();
+    client.put_object("mix", "b/1", b"x").unwrap();
+    client.put_object("mix", "c.txt", b"x").unwrap();
+    client.put_object("mix", "d.txt", b"x").unwrap();
+
+    // Page of 3 under a delimiter: two rolled-up prefixes plus one key
+    // fill the page (prefixes count against max-keys, as in real S3).
+    let p1 = client
+        .list_page("mix", "", Some("/"), Some(3), None, None)
+        .unwrap();
+    assert_eq!(p1.listing.common_prefixes, vec!["a/", "b/"]);
+    assert_eq!(
+        p1.listing
+            .objects
+            .iter()
+            .map(|o| o.key.as_str())
+            .collect::<Vec<_>>(),
+        vec!["c.txt"]
+    );
+    assert!(p1.is_truncated);
+
+    let p2 = client
+        .list_page(
+            "mix",
+            "",
+            Some("/"),
+            Some(3),
+            p1.next_token.as_deref(),
+            None,
+        )
+        .unwrap();
+    assert_eq!(
+        p2.listing
+            .objects
+            .iter()
+            .map(|o| o.key.as_str())
+            .collect::<Vec<_>>(),
+        vec!["d.txt"]
+    );
+    assert!(p2.listing.common_prefixes.is_empty());
+    assert!(!p2.is_truncated);
+    server.shutdown();
+}
+
+#[test]
+fn max_keys_validation_and_zero_page() {
+    let (server, ca, _lot) = start_server();
+    let addr = server.front_addr("s3").unwrap();
+    let mut client = S3Client::connect(addr)
+        .unwrap()
+        .with_credential(ca.issue(SUBJECT));
+    client.create_bucket("v").unwrap();
+    client.put_object("v", "a", b"x").unwrap();
+    client.put_object("v", "b", b"x").unwrap();
+
+    // Non-numeric and negative max-keys are refused, not silently coerced.
+    for bad in ["abc", "-1"] {
+        let mut q = BTreeMap::new();
+        q.insert("list-type".into(), "2".into());
+        q.insert("max-keys".into(), bad.into());
+        let resp = client.raw(HttpMethod::Get, "/v", q, b"").unwrap();
+        assert_eq!(resp.status, 400, "max-keys={bad}");
+        assert_eq!(resp.error_code().as_deref(), Some("InvalidArgument"));
+    }
+
+    // A garbage continuation token is likewise InvalidArgument.
+    let mut q = BTreeMap::new();
+    q.insert("list-type".into(), "2".into());
+    q.insert("continuation-token".into(), "not-hex!".into());
+    let resp = client.raw(HttpMethod::Get, "/v", q, b"").unwrap();
+    assert_eq!(resp.status, 400);
+    assert_eq!(resp.error_code().as_deref(), Some("InvalidArgument"));
+
+    // max-keys=0 is a legal empty page that still reports remaining keys.
+    let p = client
+        .list_page("v", "", None, Some(0), None, None)
+        .unwrap();
+    assert!(p.listing.objects.is_empty());
+    assert!(p.listing.common_prefixes.is_empty());
+    assert!(p.is_truncated, "keys remain beyond the empty page");
+
+    // start-after positions the listing without a continuation token.
+    let p = client
+        .list_page("v", "", None, None, None, Some("a"))
+        .unwrap();
+    assert_eq!(
+        p.listing
+            .objects
+            .iter()
+            .map(|o| o.key.as_str())
+            .collect::<Vec<_>>(),
+        vec!["b"]
+    );
+    assert!(!p.is_truncated);
+    server.shutdown();
+}
+
+#[test]
 fn error_dialect_and_auth_rejection() {
     let (server, ca, _lot) = start_server();
     let addr = server.front_addr("s3").unwrap();
