@@ -123,6 +123,17 @@ pub struct NestConfig {
     pub ports: Ports,
     /// Size of the modelled kernel buffer cache (gray-box cache model).
     pub cache_bytes: u64,
+    /// Byte budget for the actuating in-memory storage tier: a bounded,
+    /// lot-aware RAM cache under the storage manager that promotes hot
+    /// objects to serve at memory speed. `0` (the default) disables the
+    /// tier entirely — the data path is then byte-identical to an
+    /// appliance built before the tier existed.
+    pub ram_tier_bytes: u64,
+    /// Capacity override for the disk backend's FD handle cache: `None`
+    /// keeps the backend default, `Some(0)` disables caching (open-per-
+    /// chunk, the ablation baseline), `Some(n)` caches up to `n` handles.
+    /// Ignored by the memory backend.
+    pub handle_cache_capacity: Option<usize>,
     /// Observability registry shared with the appliance. `None` makes the
     /// dispatcher create a private one; pass a registry to read the same
     /// instruments from outside (tests, embedding monitors).
@@ -220,6 +231,8 @@ impl Default for NestConfig {
             gsi: None,
             ports: Ports::default(),
             cache_bytes: 256 << 20,
+            ram_tier_bytes: 0,
+            handle_cache_capacity: None,
             obs: None,
             retry: RetryPolicy::standard(),
             transfer_deadline: None,
@@ -389,6 +402,20 @@ impl NestConfigBuilder {
         self
     }
 
+    /// Byte budget for the in-memory storage tier (`0` disables it; see
+    /// [`NestConfig::ram_tier_bytes`]).
+    pub fn ram_tier_bytes(mut self, bytes: u64) -> Self {
+        self.config.ram_tier_bytes = bytes;
+        self
+    }
+
+    /// FD handle-cache capacity override for the disk backend (see
+    /// [`NestConfig::handle_cache_capacity`]).
+    pub fn handle_cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.handle_cache_capacity = Some(capacity);
+        self
+    }
+
     /// Shares an observability registry with the appliance, so callers can
     /// read its instruments (and register trace sinks) from outside.
     pub fn obs(mut self, obs: Arc<Obs>) -> Self {
@@ -513,6 +540,20 @@ mod tests {
         assert_eq!(config.idle_timeout, Some(Duration::from_millis(250)));
         // The ablation switch (max_conns == 0) is a valid configuration.
         assert!(NestConfig::builder("abl").max_conns(0).build().is_ok());
+    }
+
+    #[test]
+    fn builder_carries_ram_tier_budget() {
+        let config = NestConfig::builder("tiered")
+            .ram_tier_bytes(64 << 20)
+            .build()
+            .unwrap();
+        assert_eq!(config.ram_tier_bytes, 64 << 20);
+        // Default is off: the ablation baseline needs no explicit opt-out.
+        assert_eq!(
+            NestConfig::builder("flat").build().unwrap().ram_tier_bytes,
+            0
+        );
     }
 
     #[test]

@@ -133,7 +133,13 @@ impl Dispatcher {
                 lot_store = Some(std::path::PathBuf::from(store));
                 // Disk chunk I/O runs through the backend's FD handle
                 // cache; publish handlecache.* on the shared registry.
-                Arc::new(LocalFsBackend::new(root)?.with_obs(&obs))
+                let mut b = LocalFsBackend::new(root)?;
+                if let Some(capacity) = config.handle_cache_capacity {
+                    // Before `with_obs`: the override replaces the cache,
+                    // and the instruments must land on the live one.
+                    b = b.with_handle_cache_capacity(capacity);
+                }
+                Arc::new(b.with_obs(&obs))
             }
         };
         let acl = match &acl_store {
@@ -153,7 +159,16 @@ impl Dispatcher {
                 storage = storage.with_lot_state(&text);
             }
         }
-        let storage = storage.with_obs(&obs);
+        // The gray-box cache model doubles as the memory tier's promotion
+        // oracle, so it must exist before the storage manager is built.
+        let cache = Arc::new(CacheModel::new(config.cache_bytes));
+        let hint_cache = Arc::clone(&cache);
+        let storage = storage
+            .with_ram_tier(config.ram_tier_bytes)
+            .with_residency_hint(Arc::new(move |path: &str, size: u64| {
+                hint_cache.predict_resident(path, size)
+            }))
+            .with_obs(&obs);
         let transfers = TransferManager::new(TransferConfig {
             policy: config.sched.clone(),
             model: config.model.clone(),
@@ -167,6 +182,14 @@ impl Dispatcher {
         // Pre-register the writev-coalescing counter so it shows up (at
         // zero) on every stats surface even before the first GET.
         obs.metrics.counter("transfer.zerocopy.writev_coalesced");
+        if config.ram_tier_bytes > 0 {
+            // Tier-resident GETs have no backing fd, so zerocopy demotes
+            // cleanly; pre-register the bypass counter so the surfaces
+            // show it at zero before the first tier-served flow. (With
+            // the tier disabled nothing memtier.* is registered at all —
+            // the ablation's stats surfaces match the pre-tier appliance.)
+            obs.metrics.counter("memtier.zc_bypassed");
+        }
         // Surface the lock shim's per-class contention statistics
         // (lock.<class>.{acquires,contended,wait_us,hold_us}) on every
         // stats surface this registry feeds.
@@ -175,7 +198,7 @@ impl Dispatcher {
             name: config.name.clone(),
             storage: Arc::new(storage),
             transfers,
-            cache: Arc::new(CacheModel::new(config.cache_bytes)),
+            cache,
             gsi: config.gsi.clone(),
             service_cred: None,
             sched_class: config.sched_class,
@@ -471,12 +494,24 @@ impl Dispatcher {
             Some(size),
         ));
         meta.predicted_cached = cached;
-        let source = Box::new(BackendSource::new(
-            Arc::clone(&self.storage),
-            vpath.clone(),
-            0,
-            size,
-        ));
+        // Tier-resident objects serve straight from the manager's RAM
+        // copy: no open(2), no disk read, and — because a MemSource has no
+        // backing fd — the zerocopy ladder demotes cleanly to the pooled
+        // loop. That demotion is the intended path, not a fallback; count
+        // it separately so `transfer.zerocopy.fallbacks` keeps meaning
+        // "something was withdrawn mid-flow".
+        let source: Box<dyn DataSource> = match self.storage.tier_object(vpath) {
+            Some(obj) if obj.len() as u64 == size => {
+                self.obs.metrics.counter("memtier.zc_bypassed").inc();
+                Box::new(nest_transfer::flow::MemSource::new(obj))
+            }
+            _ => Box::new(BackendSource::new(
+                Arc::clone(&self.storage),
+                vpath.clone(),
+                0,
+                size,
+            )),
+        };
         let handle = self.transfers.submit(meta, source, sink);
         let moved = handle.wait()?;
         self.cache.observe_access(&vpath.to_string(), size);
@@ -703,6 +738,19 @@ impl Dispatcher {
                     .get() as i64,
             ),
         );
+        // Memory-tier health, published only when the tier is on so an
+        // ablated appliance's ad is indistinguishable from a pre-tier one.
+        if self.storage.mem_tier().enabled() {
+            let tier = self.storage.tier_stats();
+            ad.insert_value("RamTierBytes", nest_classad::Value::Int(tier.bytes as i64));
+            let lookups = tier.hits + tier.misses;
+            let hit_pct = if lookups > 0 {
+                tier.hits as f64 * 100.0 / lookups as f64
+            } else {
+                0.0
+            };
+            ad.insert_value("RamTierHitPct", nest_classad::Value::Real(hit_pct));
+        }
         // Connection load, so the matchmaker can rank by headroom: the
         // session layer's admitted-connection gauge against its cap
         // (0 = uncapped thread-per-connection ablation).
@@ -724,6 +772,18 @@ impl Dispatcher {
             );
         }
         ad
+    }
+
+    /// Flushes every dirty write-back object in the memory tier to the
+    /// backend (no-op unless a lot opted into `write_back`). The server
+    /// calls this during graceful drain so deferred writes are durable
+    /// before the appliance exits; returns objects flushed.
+    pub fn flush_writeback(&self) -> usize {
+        let flushed = self.storage.flush_writeback();
+        if flushed > 0 {
+            self.persist_lots();
+        }
+        flushed
     }
 
     /// Shuts the transfer engine down after in-flight work completes.
@@ -832,6 +892,12 @@ impl DataSource for BackendSource {
         let current = self.storage.lease_epoch()?;
         if !matches!(&self.lease, Some(l) if l.epoch == current) {
             self.lease = self.storage.read_lease(&self.path);
+        } else {
+            // Reusing an epoch-current lease is a handle-cache hit exactly
+            // like a pooled-path `read_at` lookup — count it, or zerocopy
+            // GETs undercount `handlecache.hits` by every span after the
+            // first and the hit ratio becomes path-dependent.
+            self.storage.note_lease_hits(1);
         }
         let lease = self.lease.as_ref()?;
         Some(nest_transfer::flow::RawWindow {
@@ -908,8 +974,11 @@ impl DataSink for BackendSink {
     fn reset(&mut self) -> io::Result<()> {
         if self.whole_file {
             // Drop any partial content so a shorter replay cannot leave a
-            // stale tail behind.
-            self.storage.backend().truncate(&self.path, 0)?;
+            // stale tail behind. Routed through the storage manager so the
+            // memory tier's copy is invalidated along with the bytes.
+            self.storage
+                .truncate_for_retry(&self.path)
+                .map_err(|e| io::Error::other(e.to_string()))?;
         }
         self.offset = self.start_offset;
         Ok(())

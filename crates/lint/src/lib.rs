@@ -23,6 +23,7 @@
 //! | `conn-spawn` | `thread::spawn`/`thread::Builder` in files that handle `TcpListener`s (connection lifecycles belong to `nest-core::session`) |
 //! | `front-registry` | `SessionLayer::register` calls or raw `SessionHandler` closures outside `core/src/front.rs` (protocol fronts register through the `FrontRegistry`) |
 //! | `raw-socket-write` | bare `.write(` on reply streams in front/handler reply paths (short writes truncate replies; use `write_all` or the vectored helpers) |
+//! | `tier-bypass` | direct raw-backend reads (`.backend().read_at` / `.backend().stat`) or `LocalFsBackend` construction in appliance serving paths — bypassing `StorageManager` skips the memory tier and the handle cache, and can serve stale bytes past a dirty write-back copy |
 //!
 //! ## Suppression
 //!
@@ -84,6 +85,7 @@ pub const RULES: &[&str] = &[
     "conn-spawn",
     "front-registry",
     "raw-socket-write",
+    "tier-bypass",
 ];
 
 /// Whether `path` (workspace-relative, `/`-separated) is in scope.
@@ -227,6 +229,21 @@ fn scan_file(path: &str, content: &str, design_patterns: &[MetricPattern]) -> Ve
     // helpers, which loop to completion.
     let is_reply_path =
         path.starts_with("crates/core/src/handlers/") || path.starts_with("crates/s3front/src");
+    // tier-bypass applies to appliance serving paths: the core (fronts,
+    // dispatcher, handlers), plugin fronts, and the benches that drive the
+    // appliance. Reads there go through `StorageManager::read_chunk`,
+    // which consults the §15 memory tier and the FD handle cache; a raw
+    // `.backend().read_at` silently skips both and can read stale bytes
+    // under a dirty write-back copy. `crates/jbos` is exempt by design:
+    // the "just a bunch of servers" baseline deliberately lacks the
+    // appliance architecture — that contrast *is* the experiment.
+    let is_serving_path = path.starts_with("crates/core/src")
+        || path.starts_with("crates/s3front/src")
+        || path.starts_with("crates/bench/src");
+    // The dispatcher is the one sanctioned LocalFsBackend construction
+    // site: it builds the backend and immediately wraps it in the
+    // StorageManager.
+    let is_backend_ctor_site = path == "crates/core/src/dispatcher.rs";
     let mut prev: Option<&str> = None;
     for (idx, raw) in content.lines().enumerate() {
         let line = raw.trim();
@@ -339,6 +356,20 @@ fn scan_file(path: &str, content: &str, design_patterns: &[MetricPattern]) -> Ve
                     break;
                 }
                 rest = after;
+            }
+        }
+
+        // tier-bypass: serving paths read through the storage manager,
+        // never the raw backend (see §15 in DESIGN.md).
+        if is_serving_path {
+            for pat in [".backend().read_at(", ".backend().stat("] {
+                if line.contains(pat) {
+                    report("tier-bypass");
+                    break;
+                }
+            }
+            if line.contains("LocalFsBackend::new(") && !is_backend_ctor_site {
+                report("tier-bypass");
             }
         }
 
@@ -544,6 +575,38 @@ mod tests {
         let allowed = "// nestlint: allow(raw-socket-write): best-effort probe, short write ok\n\
                        fn f(s: &mut S) { s.write(b)?; }\n";
         assert!(scan_source("crates/core/src/handlers/http.rs", allowed, DESIGN).is_empty());
+    }
+
+    #[test]
+    fn seeded_tier_bypass_is_caught_only_in_serving_paths() {
+        let src = "fn f(sm: &StorageManager) {\n\
+                   let n = sm.backend().read_at(&p, 0, &mut buf)?;\n\
+                   let st = sm.backend().stat(&p)?;\n\
+                   }\n";
+        let v = scan_source("crates/core/src/handlers/http.rs", src, DESIGN);
+        assert_eq!(rules_of(&v), vec!["tier-bypass", "tier-bypass"]);
+        // Benches drive the appliance, so they are serving paths too.
+        assert_eq!(
+            rules_of(&scan_source("crates/bench/src/bin/x.rs", src, DESIGN)),
+            vec!["tier-bypass", "tier-bypass"]
+        );
+        // The storage crate IS the manager/tier/handle-cache; exempt.
+        assert!(scan_source("crates/storage/src/manager.rs", src, DESIGN).is_empty());
+        // JBOS is the deliberately tier-less baseline; exempt by design.
+        assert!(scan_source("crates/jbos/src/httpd.rs", src, DESIGN).is_empty());
+        // Raw backend construction outside the dispatcher is the same
+        // bypass smell; the dispatcher is the sanctioned assembly site.
+        let ctor = "fn f() { let b = LocalFsBackend::new(&root)?; }\n";
+        assert_eq!(
+            rules_of(&scan_source("crates/core/src/server.rs", ctor, DESIGN)),
+            vec!["tier-bypass"]
+        );
+        assert!(scan_source("crates/core/src/dispatcher.rs", ctor, DESIGN).is_empty());
+        // Suppression works as for every other rule (benches stage
+        // fixture files through the raw backend with a reasoned allow).
+        let allowed = "// nestlint: allow(tier-bypass): staging fixture bytes, not serving\n\
+                       fn f() { let b = LocalFsBackend::new(&root)?; }\n";
+        assert!(scan_source("crates/bench/src/bin/x.rs", allowed, DESIGN).is_empty());
     }
 
     #[test]

@@ -103,6 +103,12 @@ pub trait StorageBackend: Send + Sync + 'static {
     fn lease_epoch(&self) -> Option<u64> {
         None
     }
+
+    /// Records `n` chunk spans served through a reused [`ReadLease`]
+    /// without a per-chunk lookup, so descriptor-reuse accounting stays
+    /// comparable between the pooled and zero-copy paths. Default: no-op
+    /// (backends without leases have nothing to count).
+    fn note_lease_hits(&self, _n: u64) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -620,6 +626,10 @@ impl StorageBackend for LocalFsBackend {
 
     fn lease_epoch(&self) -> Option<u64> {
         Some(self.handles.epoch())
+    }
+
+    fn note_lease_hits(&self, n: u64) {
+        self.handles.note_lease_hits(n);
     }
 
     fn used_bytes(&self) -> io::Result<u64> {

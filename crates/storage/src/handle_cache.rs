@@ -266,6 +266,25 @@ impl HandleCache {
         }
     }
 
+    /// Records hits for chunk spans served through a reused
+    /// [`crate::backend::ReadLease`]. The zero-copy path resolves its
+    /// descriptor once per lease and then streams spans without calling
+    /// [`HandleCache::lookup`]; without this, the zerocopy ablation column
+    /// undercounts hits relative to the pooled path (which records one hit
+    /// per chunk) and the columns stop being comparable. Meaningful even
+    /// with caching disabled: the lease itself is a descriptor reuse.
+    pub fn note_lease_hits(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let mut st = self.state.lock();
+        st.hits += n;
+        drop(st);
+        if let Some(i) = &*self.instruments.lock() {
+            i.hits.add(n);
+        }
+    }
+
     /// The current invalidation epoch. A raw-FD lease handed out of the
     /// cache (see [`crate::backend::ReadLease`]) captures this value; the
     /// lease is *current* only while the epoch is unchanged. Any metadata

@@ -19,6 +19,9 @@
 //! * [`lot`] — storage-space guarantees: a *lot* has an owner, capacity,
 //!   duration and a set of files; expired lots become *best-effort* (their
 //!   files linger until space is reclaimed for new lots).
+//! * [`mem_tier`] — the actuating memory tier: a bounded, lot-aware RAM
+//!   cache under the manager, promoting hot objects so they serve at
+//!   memory speed regardless of OS page-cache churn.
 //! * [`quota`] — the user-level quota accounting on which lots are
 //!   implemented, mirroring the paper's use of the kernel quota system.
 //! * [`manager`] — the [`manager::StorageManager`] façade the dispatcher
@@ -32,6 +35,7 @@ pub mod backend;
 pub mod handle_cache;
 pub mod lot;
 pub mod manager;
+pub mod mem_tier;
 pub mod namespace;
 pub mod quota;
 
@@ -40,5 +44,6 @@ pub use backend::{FileKind, FileStat, LocalFsBackend, MemBackend, ReadLease, Sto
 pub use handle_cache::{HandleCache, HandleCacheStats};
 pub use lot::{Lot, LotError, LotId, LotManager, ReclaimPolicy};
 pub use manager::{ObjectEntry, ObjectListing, StorageError, StorageManager};
+pub use mem_tier::{MemTier, MemTierStats, WritePolicy};
 pub use namespace::{PathError, VPath};
 pub use quota::QuotaTable;

@@ -12,14 +12,23 @@
 use crate::acl::{request_ad, AccessRight, AclEntry, AclTable, Principal};
 use crate::backend::{FileKind, FileStat, StorageBackend};
 use crate::lot::{Evicted, Lot, LotError, LotId, LotManager, LotOwner, ReclaimPolicy};
+use crate::mem_tier::{DirtyObject, MemTier, MemTierStats, WritePolicy};
 use crate::namespace::{PathError, VPath};
 use nest_classad::{ClassAd, Value};
 use nest_obs::{Counter, Gauge, Histogram, Obs};
 use nest_proto::request::NestError;
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::fmt;
 use std::io;
 use std::sync::Arc;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Predicts whether an object is already memory-resident (the transfer
+/// layer's gray-box cache model, injected by the dispatcher so the
+/// storage crate needs no dependency on it). Arguments: virtual path
+/// (display form) and object size.
+pub type ResidencyHint = Arc<dyn Fn(&str, u64) -> bool + Send + Sync>;
 
 /// Errors surfaced to protocol handlers.
 #[derive(Debug)]
@@ -192,6 +201,12 @@ pub struct StorageManager {
     reclaim_policy: ReclaimPolicy,
     /// Instrument handles; `None` runs fully uninstrumented.
     metrics: Option<StorageMetrics>,
+    /// The actuating memory tier (budget 0 — the default — disables it).
+    tier: MemTier,
+    /// Cache-model residency prediction for promotion decisions.
+    residency_hint: Option<ResidencyHint>,
+    /// Per-lot write policies; unlisted lots are write-through.
+    write_policies: Mutex<HashMap<LotId, WritePolicy>>,
 }
 
 impl StorageManager {
@@ -211,15 +226,35 @@ impl StorageManager {
             enforce_lots: true,
             reclaim_policy: policy,
             metrics: None,
+            tier: MemTier::new(0),
+            residency_hint: None,
+            write_policies: Mutex::named("storage.memtier.policy", 334, HashMap::new()),
         }
     }
 
     /// Registers this manager's instruments on an observability domain.
     /// The handles are resolved once; steady-state updates are plain
-    /// atomics.
+    /// atomics. Call after [`Self::with_ram_tier`] so the `memtier.*`
+    /// instruments register too.
     pub fn with_obs(mut self, obs: &Obs) -> Self {
         self.metrics = Some(StorageMetrics::new(obs));
+        self.tier.register_obs(obs);
         self.refresh_gauges();
+        self
+    }
+
+    /// Bounds the in-memory storage tier to `bytes` (0 — the default —
+    /// disables it entirely; that is the byte-identical ablation
+    /// baseline).
+    pub fn with_ram_tier(mut self, bytes: u64) -> Self {
+        self.tier = MemTier::new(bytes);
+        self
+    }
+
+    /// Injects the cache-model residency prediction used to fast-track
+    /// promotion of objects the gray-box model already believes hot.
+    pub fn with_residency_hint(mut self, hint: ResidencyHint) -> Self {
+        self.residency_hint = Some(hint);
         self
     }
 
@@ -263,6 +298,146 @@ impl StorageManager {
     /// after a transfer has been admitted).
     pub fn backend(&self) -> &Arc<dyn StorageBackend> {
         &self.backend
+    }
+
+    /// The memory tier (for stats publication and tests).
+    pub fn mem_tier(&self) -> &MemTier {
+        &self.tier
+    }
+
+    /// Memory-tier counters.
+    pub fn tier_stats(&self) -> MemTierStats {
+        self.tier.stats()
+    }
+
+    /// The whole object when fully resident in the memory tier — the
+    /// dispatcher wraps it in a `MemSource` so the flow serves straight
+    /// from RAM.
+    pub fn tier_object(&self, path: &VPath) -> Option<Arc<Vec<u8>>> {
+        self.tier.object(path)
+    }
+
+    /// Sets the write policy for a lot (default: write-through). Write-back
+    /// lots absorb writes into the memory tier and defer the backend copy;
+    /// see DESIGN.md §15 for the crash-consistency caveat.
+    pub fn set_lot_write_policy(&self, id: LotId, policy: WritePolicy) {
+        match policy {
+            WritePolicy::WriteThrough => {
+                self.write_policies.lock().remove(&id);
+            }
+            WritePolicy::WriteBack => {
+                self.write_policies.lock().insert(id, policy);
+            }
+        }
+    }
+
+    /// Records descriptor-reuse hits for zero-copy lease spans; see
+    /// [`StorageBackend::note_lease_hits`].
+    pub fn note_lease_hits(&self, n: u64) {
+        self.backend.note_lease_hits(n);
+    }
+
+    /// True when an unexpired lot charges bytes for `path` — such tier
+    /// residents are protected from best-effort demotion.
+    fn guaranteed_backed(&self, path: &VPath) -> bool {
+        if !self.enforce_lots {
+            return false;
+        }
+        let now = self.now();
+        self.lots
+            .all_lots()
+            .iter()
+            .any(|l| !l.is_expired(now) && l.files.contains_key(path))
+    }
+
+    /// The effective write policy for `path`: write-back iff any lot
+    /// charging it opted in.
+    fn write_policy_for(&self, path: &VPath) -> WritePolicy {
+        if !self.enforce_lots {
+            return WritePolicy::WriteThrough;
+        }
+        let policies = self.write_policies.lock();
+        if policies.is_empty() {
+            return WritePolicy::WriteThrough;
+        }
+        let backing: Vec<LotId> = self
+            .lots
+            .all_lots()
+            .iter()
+            .filter(|l| l.files.contains_key(path))
+            .map(|l| l.id)
+            .collect();
+        if backing.iter().any(|id| policies.contains_key(id)) {
+            WritePolicy::WriteBack
+        } else {
+            WritePolicy::WriteThrough
+        }
+    }
+
+    /// Persists one dirty tier object to the backend (write then shrink,
+    /// so a previously longer backend copy cannot leave a stale tail).
+    fn persist_dirty(&self, d: &DirtyObject) -> Result<()> {
+        self.backend.write_at(&d.path, 0, &d.data)?;
+        if let Ok(st) = self.backend.stat(&d.path) {
+            if st.size > d.data.len() as u64 {
+                self.backend.truncate(&d.path, d.data.len() as u64)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Persists `victims` and marks each clean (a racing newer write keeps
+    /// its entry dirty). Best-effort: a failed flush leaves the entry
+    /// dirty for the next attempt.
+    fn flush_victims(&self, victims: &[DirtyObject]) {
+        for d in victims {
+            if self.persist_dirty(d).is_ok() {
+                self.tier.mark_clean(&d.path, d.version);
+            }
+        }
+    }
+
+    /// Flushes every dirty tier object to the backend. Wired into the
+    /// session drain so a graceful shutdown loses no write-back bytes.
+    /// Returns the number of objects flushed.
+    pub fn flush_writeback(&self) -> usize {
+        let dirty = self.tier.snapshot_dirty();
+        let mut flushed = 0;
+        for d in &dirty {
+            if self.persist_dirty(d).is_ok() {
+                self.tier.mark_clean(&d.path, d.version);
+                flushed += 1;
+            }
+        }
+        flushed
+    }
+
+    /// Promotes `path` into the memory tier: whole object when it fits
+    /// the per-object cap, head segment otherwise. Best-effort — a read
+    /// failure simply leaves the object untiered.
+    fn promote(&self, path: &VPath, size: u64) {
+        let want = size.min(self.tier.max_object_bytes()) as usize;
+        let mut data = vec![0u8; want];
+        let mut filled = 0;
+        while filled < want {
+            match self
+                .backend
+                .read_at(path, filled as u64, &mut data[filled..])
+            {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(_) => return,
+            }
+        }
+        data.truncate(filled);
+        if filled < want {
+            // The object shrank under us; its true size is unknown here.
+            return;
+        }
+        let victims = self
+            .tier
+            .insert(path, data, size, self.guaranteed_backed(path));
+        self.flush_victims(&victims);
     }
 
     fn now(&self) -> u64 {
@@ -317,7 +492,9 @@ impl StorageManager {
     fn apply_evictions(&self, evicted: &Evicted) {
         for path in &evicted.files {
             // Best-effort deletion of reclaimed files; a missing file only
-            // means the client deleted it first.
+            // means the client deleted it first. Any tier copy (dirty or
+            // not) dies with the file.
+            let _ = self.tier.invalidate(path);
             let _ = self.backend.remove(path);
         }
         if let Some(m) = &self.metrics {
@@ -459,7 +636,12 @@ impl StorageManager {
         let t = Instant::now();
         let r = (|| {
             self.authorize(who, AccessRight::Lookup, path, protocol, "stat")?;
-            Ok(self.backend.stat(path)?)
+            let mut st = self.backend.stat(path)?;
+            // Deferred write-back bytes: the tier copy is the truth.
+            if let Some(len) = self.tier.dirty_len(path) {
+                st.size = len;
+            }
+            Ok(st)
         })();
         self.note_meta(t);
         r
@@ -470,6 +652,8 @@ impl StorageManager {
         let t = Instant::now();
         let r = (|| {
             self.authorize(who, AccessRight::Delete, path, protocol, "remove")?;
+            // The tier copy dies with the file; dirty bytes are dead too.
+            let _ = self.tier.invalidate(path);
             self.backend.remove(path)?;
             if self.enforce_lots {
                 self.lots.release_file(path);
@@ -497,6 +681,12 @@ impl StorageManager {
     ) -> Result<()> {
         self.authorize(who, AccessRight::Delete, from, protocol, "rename")?;
         self.authorize(who, AccessRight::Insert, to, protocol, "rename")?;
+        // Deferred write-back bytes must reach the backend *before* the
+        // name moves; clean copies under either name just drop.
+        if let Some(d) = self.tier.invalidate(from) {
+            self.persist_dirty(&d)?;
+        }
+        let _ = self.tier.invalidate(to);
         self.backend.rename(from, to)?;
         if self.enforce_lots {
             // Re-key the lot charge: release and re-charge under the new
@@ -546,6 +736,10 @@ impl StorageManager {
             self.lots
                 .charge_file(&who.user, &who.groups, path, size_hint, self.now())?;
         }
+        // The name is about to mean new bytes: any resident tier copy —
+        // including dirty write-back bytes being wholesale replaced — is
+        // dead.
+        let _ = self.tier.invalidate(path);
         if exists {
             self.backend.truncate(path, 0)?;
         } else if let Err(e) = self.backend.create(path) {
@@ -564,11 +758,22 @@ impl StorageManager {
     /// the backend (e.g. the file was never created) are swallowed because
     /// abort runs on an already-failed path.
     pub fn abort_put(&self, path: &VPath) {
+        // A failed PUT releases *both* its lot charge and any tier bytes
+        // (dirty write-back bytes of an aborted transfer are garbage).
+        let _ = self.tier.invalidate(path);
         let _ = self.backend.remove(path);
         if self.enforce_lots {
             self.lots.release_file(path);
         }
         self.refresh_gauges();
+    }
+
+    /// Truncates an admitted PUT's partial bytes for a retry from offset
+    /// zero. This is the transfer layer's `reset` path; routing it here
+    /// (not straight at the backend) keeps the memory tier coherent.
+    pub fn truncate_for_retry(&self, path: &VPath) -> Result<()> {
+        let _ = self.tier.invalidate(path);
+        Ok(self.backend.truncate(path, 0)?)
     }
 
     /// Admits an outgoing transfer: checks the Read right and returns the
@@ -585,7 +790,20 @@ impl StorageManager {
         if self.enforce_lots {
             self.lots.touch_file(path, self.now());
         }
-        Ok(st.size)
+        // A dirty write-back resident is the truth; the backend stat is
+        // stale until flush.
+        let size = self.tier.dirty_len(path).unwrap_or(st.size);
+        if self.tier.enabled() {
+            let hint = self
+                .residency_hint
+                .as_ref()
+                .map(|f| f(&path.to_string(), size))
+                .unwrap_or(false);
+            if self.tier.record_access(path, size, hint, self.now()) {
+                self.promote(path, size);
+            }
+        }
+        Ok(size)
     }
 
     /// Writes a chunk during an admitted transfer, charging lots for growth
@@ -615,16 +833,81 @@ impl StorageManager {
             }
         }
         let t = Instant::now();
-        let r = self.backend.write_at(path, offset, data);
+        let r = self.write_chunk_inner(who, path, offset, data);
         if let Some(m) = &self.metrics {
             m.write_us.record(t.elapsed());
         }
-        Ok(r?)
+        r
     }
 
-    /// Reads a chunk during an admitted transfer.
+    fn write_chunk_inner(
+        &self,
+        _who: &Principal,
+        path: &VPath,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<()> {
+        if self.tier.enabled() {
+            if let WritePolicy::WriteBack = self.write_policy_for(path) {
+                // Absorb the write into the tier; the backend copy is
+                // deferred. A non-resident object needs its current
+                // backend bytes as the base.
+                let resident = self.tier.object(path).is_some();
+                let base = if resident { None } else { self.load_base(path) };
+                if resident || base.is_some() {
+                    if let Some(victims) =
+                        self.tier
+                            .write_back(path, offset, data, base, self.guaranteed_backed(path))
+                    {
+                        self.flush_victims(&victims);
+                        return Ok(());
+                    }
+                }
+            }
+            // Write-through: deferred bytes (if any) must reach the
+            // backend before this chunk lands on top of them, and any
+            // clean resident copy is now stale.
+            if let Some(d) = self.tier.invalidate(path) {
+                self.persist_dirty(&d)?;
+            }
+        }
+        Ok(self.backend.write_at(path, offset, data)?)
+    }
+
+    /// Loads the current backend contents of `path` as a write-back base,
+    /// or `None` when the object is too big to hold whole (the write then
+    /// goes through).
+    fn load_base(&self, path: &VPath) -> Option<Vec<u8>> {
+        let size = self.backend.stat(path).ok()?.size;
+        if size > self.tier.max_object_bytes() {
+            return None;
+        }
+        let mut data = vec![0u8; size as usize];
+        let mut filled = 0;
+        while filled < data.len() {
+            match self
+                .backend
+                .read_at(path, filled as u64, &mut data[filled..])
+            {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(_) => return None,
+            }
+        }
+        data.truncate(filled);
+        Some(data)
+    }
+
+    /// Reads a chunk during an admitted transfer — served from the memory
+    /// tier when the range is resident, from the backend otherwise.
     pub fn read_chunk(&self, path: &VPath, offset: u64, buf: &mut [u8]) -> Result<usize> {
         let t = Instant::now();
+        if let Some(n) = self.tier.read_at(path, offset, buf) {
+            if let Some(m) = &self.metrics {
+                m.read_us.record(t.elapsed());
+            }
+            return Ok(n);
+        }
         let r = self.backend.read_at(path, offset, buf);
         if let Some(m) = &self.metrics {
             m.read_us.record(t.elapsed());
@@ -1131,6 +1414,128 @@ mod tests {
         assert!(snap.latency_count("storage.meta_us") >= 1);
         assert!(snap.latency_count("storage.read_us") >= 1);
         assert!(snap.latency_count("storage.write_us") >= 1);
+    }
+
+    #[test]
+    fn tier_promotes_on_second_get_and_serves_reads() {
+        let sm = open_manager(1 << 20).with_ram_tier(1 << 20);
+        let who = alice();
+        sm.lot_create(&who, 1 << 16, 3600).unwrap();
+        sm.begin_put(&who, "chirp", &vp("/hot"), 1000).unwrap();
+        sm.write_chunk(&who, &vp("/hot"), 0, &[7; 1000]).unwrap();
+        // First GET: miss, not yet promoted.
+        sm.begin_get(&who, "chirp", &vp("/hot")).unwrap();
+        assert!(sm.tier_object(&vp("/hot")).is_none());
+        // Second GET inside the window: promoted.
+        sm.begin_get(&who, "chirp", &vp("/hot")).unwrap();
+        let obj = sm.tier_object(&vp("/hot")).expect("promoted");
+        assert_eq!(obj.len(), 1000);
+        // Third GET is a hit, and chunk reads serve from the tier.
+        sm.begin_get(&who, "chirp", &vp("/hot")).unwrap();
+        let mut buf = [0u8; 64];
+        assert_eq!(sm.read_chunk(&vp("/hot"), 100, &mut buf).unwrap(), 64);
+        assert_eq!(buf, [7u8; 64]);
+        let s = sm.tier_stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.promotions, 1);
+        assert_eq!(s.bytes, 1000);
+    }
+
+    #[test]
+    fn tier_residency_hint_promotes_on_first_get() {
+        let sm = open_manager(1 << 20)
+            .with_ram_tier(1 << 20)
+            .with_residency_hint(Arc::new(|_, _| true));
+        let who = alice();
+        sm.lot_create(&who, 1 << 16, 3600).unwrap();
+        sm.begin_put(&who, "chirp", &vp("/hot"), 100).unwrap();
+        sm.write_chunk(&who, &vp("/hot"), 0, &[1; 100]).unwrap();
+        sm.begin_get(&who, "chirp", &vp("/hot")).unwrap();
+        assert!(sm.tier_object(&vp("/hot")).is_some());
+    }
+
+    #[test]
+    fn tier_invalidated_on_overwrite_and_remove() {
+        let sm = open_manager(1 << 20)
+            .with_ram_tier(1 << 20)
+            .with_residency_hint(Arc::new(|_, _| true));
+        let who = alice();
+        sm.lot_create(&who, 1 << 16, 3600).unwrap();
+        sm.begin_put(&who, "chirp", &vp("/f"), 100).unwrap();
+        sm.write_chunk(&who, &vp("/f"), 0, &[1; 100]).unwrap();
+        sm.begin_get(&who, "chirp", &vp("/f")).unwrap();
+        assert!(sm.tier_object(&vp("/f")).is_some());
+        // Overwrite PUT drops the resident copy.
+        sm.begin_put(&who, "chirp", &vp("/f"), 50).unwrap();
+        assert!(sm.tier_object(&vp("/f")).is_none());
+        sm.write_chunk(&who, &vp("/f"), 0, &[2; 50]).unwrap();
+        sm.begin_get(&who, "chirp", &vp("/f")).unwrap();
+        let obj = sm.tier_object(&vp("/f")).expect("re-promoted");
+        assert_eq!(obj.as_slice(), &[2; 50]);
+        // Remove drops it too.
+        sm.remove(&who, "chirp", &vp("/f")).unwrap();
+        assert!(sm.tier_object(&vp("/f")).is_none());
+        assert_eq!(sm.tier_stats().bytes, 0);
+    }
+
+    #[test]
+    fn write_back_defers_and_flushes() {
+        let sm = open_manager(1 << 20).with_ram_tier(1 << 20);
+        let who = alice();
+        let lot = sm.lot_create(&who, 1 << 16, 3600).unwrap();
+        sm.set_lot_write_policy(lot, WritePolicy::WriteBack);
+        sm.begin_put(&who, "chirp", &vp("/wb"), 200).unwrap();
+        sm.write_chunk(&who, &vp("/wb"), 0, &[3; 200]).unwrap();
+        // The backend copy is deferred; the manager's stat is the truth.
+        assert_eq!(sm.backend().stat(&vp("/wb")).unwrap().size, 0);
+        assert_eq!(sm.stat(&who, "chirp", &vp("/wb")).unwrap().size, 200);
+        assert_eq!(sm.begin_get(&who, "chirp", &vp("/wb")).unwrap(), 200);
+        assert_eq!(sm.tier_stats().dirty_bytes, 200);
+        // Reads serve the dirty copy.
+        let mut buf = [0u8; 200];
+        assert_eq!(sm.read_chunk(&vp("/wb"), 0, &mut buf).unwrap(), 200);
+        assert_eq!(buf[0], 3);
+        // Flush persists and cleans.
+        assert_eq!(sm.flush_writeback(), 1);
+        assert_eq!(sm.backend().stat(&vp("/wb")).unwrap().size, 200);
+        assert_eq!(sm.tier_stats().dirty_bytes, 0);
+        assert_eq!(sm.tier_stats().writeback_flushes, 1);
+        // Back to write-through: the next write invalidates, not absorbs.
+        sm.set_lot_write_policy(lot, WritePolicy::WriteThrough);
+        sm.write_chunk(&who, &vp("/wb"), 0, &[4; 10]).unwrap();
+        assert_eq!(sm.backend().stat(&vp("/wb")).unwrap().size, 200);
+        let mut b = [0u8; 1];
+        sm.backend().read_at(&vp("/wb"), 0, &mut b).unwrap();
+        assert_eq!(b[0], 4);
+    }
+
+    #[test]
+    fn abort_put_releases_tier_bytes() {
+        let sm = open_manager(1 << 20).with_ram_tier(1 << 20);
+        let who = alice();
+        let lot = sm.lot_create(&who, 1 << 16, 3600).unwrap();
+        sm.set_lot_write_policy(lot, WritePolicy::WriteBack);
+        sm.begin_put(&who, "chirp", &vp("/doomed"), 500).unwrap();
+        sm.write_chunk(&who, &vp("/doomed"), 0, &[9; 500]).unwrap();
+        assert_eq!(sm.tier_stats().bytes, 500);
+        sm.abort_put(&vp("/doomed"));
+        assert_eq!(sm.tier_stats().bytes, 0);
+        assert_eq!(sm.tier_stats().dirty_bytes, 0);
+        assert_eq!(sm.lot_stat(&who, lot).unwrap().used, 0);
+    }
+
+    #[test]
+    fn rename_flushes_dirty_bytes_first() {
+        let sm = open_manager(1 << 20).with_ram_tier(1 << 20);
+        let who = alice();
+        let lot = sm.lot_create(&who, 1 << 16, 3600).unwrap();
+        sm.set_lot_write_policy(lot, WritePolicy::WriteBack);
+        sm.begin_put(&who, "chirp", &vp("/a"), 100).unwrap();
+        sm.write_chunk(&who, &vp("/a"), 0, &[5; 100]).unwrap();
+        sm.rename(&who, "chirp", &vp("/a"), &vp("/b")).unwrap();
+        assert_eq!(sm.backend().stat(&vp("/b")).unwrap().size, 100);
+        assert_eq!(sm.tier_stats().dirty_bytes, 0);
     }
 
     #[test]

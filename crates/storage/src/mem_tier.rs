@@ -1,0 +1,940 @@
+//! The actuating memory tier: a bounded, lot-aware RAM cache under the
+//! storage manager.
+//!
+//! The paper's gray-box cache model only *predicts* OS cache residency to
+//! inform scheduling. This module closes the loop: NeST manages its own
+//! user-level memory tier (a small HSM in the spirit of CASTOR's disk
+//! front / tape back, here RAM front / disk back) so that a hot working
+//! set keeps serving at memory speed even while cold scan traffic churns
+//! the OS page cache underneath it.
+//!
+//! Design points:
+//!
+//! * **Strict byte accounting.** Resident bytes never exceed the
+//!   configured budget; `ram_tier_bytes(0)` disables the tier entirely
+//!   and is the byte-identical ablation baseline.
+//! * **Model-driven promotion.** An object is promoted after its
+//!   `PROMOTE_HITS`-th access inside `PROMOTE_WINDOW_SECS`; when the
+//!   transfer layer's [`CacheModel`] already predicts the object
+//!   resident (a residency *hint*), the first access suffices — the
+//!   model has effectively pre-counted the hits.
+//! * **Lot-aware demotion.** Entries backed by an unexpired (guaranteed)
+//!   lot are demoted only under *global* pressure — when the guaranteed
+//!   working set alone no longer fits the budget. Best-effort traffic can
+//!   never push a guaranteed resident out.
+//! * **Large objects.** Objects larger than the per-object cap keep only
+//!   a head *segment* resident; chunk reads inside the segment are served
+//!   from RAM, the tail falls through to the backend. Only fully
+//!   resident objects are served through the transfer layer's
+//!   `MemSource`.
+//! * **Write policies.** `write_through` (default) invalidates the
+//!   resident copy and lets the next reads re-promote; per-lot opt-in
+//!   `write_back` absorbs writes into the tier and defers the backend
+//!   write until dirty bytes exceed their bound or the appliance drains.
+//!   Dirty bytes are lost on crash — see DESIGN.md §15 for the honest
+//!   crash-consistency statement.
+//!
+//! Locking: one mutex, `storage.memtier`, rank 335 — above the lot table
+//! (300) and below the handle cache (340) per the DESIGN.md §11 order.
+//! The tier never calls into the lot manager or the backend while holding
+//! its lock: lot classification is computed by the caller beforehand, and
+//! promotion/flush I/O happens outside.
+
+use crate::namespace::VPath;
+use nest_obs::metrics::{Counter, Gauge};
+use nest_obs::Obs;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Promote an object on this many accesses inside the window.
+pub const PROMOTE_HITS: u32 = 2;
+
+/// The access-counting window (seconds of the storage clock).
+pub const PROMOTE_WINDOW_SECS: u64 = 300;
+
+/// How a lot's writes interact with the tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WritePolicy {
+    /// Writes go to the backend immediately; any resident tier copy is
+    /// invalidated (the next hot reads re-promote the new bytes).
+    #[default]
+    WriteThrough,
+    /// Writes are absorbed into the tier and marked dirty; the backend
+    /// copy is deferred until the dirty bound is hit or the appliance
+    /// drains. Bytes not yet flushed are lost on crash.
+    WriteBack,
+}
+
+/// A point-in-time copy of the tier's counters, for tests and ads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemTierStats {
+    /// Resident bytes (clean + dirty).
+    pub bytes: u64,
+    /// Resident objects (whole or head segment).
+    pub objects: u64,
+    /// Accesses served (or servable) from the tier.
+    pub hits: u64,
+    /// Accesses that fell through to the backend.
+    pub misses: u64,
+    /// Objects loaded into the tier.
+    pub promotions: u64,
+    /// Cold entries dropped to make room under the byte budget.
+    pub demotions: u64,
+    /// Entries removed for coherence (write/remove/rename/truncate).
+    pub evictions: u64,
+    /// Resident bytes not yet written to the backend.
+    pub dirty_bytes: u64,
+    /// Dirty entries persisted to the backend.
+    pub writeback_flushes: u64,
+}
+
+/// A dirty entry handed to the caller for persistence. The tier keeps the
+/// entry resident; the caller writes `data` to the backend and then calls
+/// [`MemTier::mark_clean`] with the same `version` (a newer racing write
+/// keeps the entry dirty).
+#[derive(Debug, Clone)]
+pub struct DirtyObject {
+    /// Virtual path of the object.
+    pub path: VPath,
+    /// Full object bytes at snapshot time.
+    pub data: Arc<Vec<u8>>,
+    /// Dirty-write version the snapshot reflects.
+    pub version: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    data: Arc<Vec<u8>>,
+    /// True when `data` holds the whole object (vs a head segment).
+    full: bool,
+    /// Logical object size (== data.len() when `full`).
+    object_size: u64,
+    dirty: bool,
+    /// Incremented on every dirty write; guards `mark_clean` races.
+    version: u64,
+    guaranteed: bool,
+    last_tick: u64,
+    /// Hits served since promotion — the coldness key for demotion.
+    /// Freshly promoted entries start at 0, so a one-shot scan that
+    /// promotes its tail can only displace other scan entries, never a
+    /// resident with a demonstrated hit history (scan resistance).
+    hit_count: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AccessStat {
+    count: u32,
+    window_start: u64,
+}
+
+struct TierState {
+    entries: HashMap<VPath, Entry>,
+    access: HashMap<VPath, AccessStat>,
+    tick: u64,
+    bytes: u64,
+    dirty_bytes: u64,
+    hits: u64,
+    misses: u64,
+    promotions: u64,
+    demotions: u64,
+    evictions: u64,
+    writeback_flushes: u64,
+}
+
+/// Instrument handles, resolved once at [`MemTier::register_obs`] and
+/// updated at mutation time (same pattern as the handle cache).
+struct Instruments {
+    bytes: Arc<Gauge>,
+    objects: Arc<Gauge>,
+    dirty_bytes: Arc<Gauge>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    promotions: Arc<Counter>,
+    demotions: Arc<Counter>,
+    evictions: Arc<Counter>,
+    writeback_flushes: Arc<Counter>,
+}
+
+/// The bounded in-memory storage tier. `budget == 0` disables every code
+/// path — the ablation baseline does no bookkeeping at all.
+pub struct MemTier {
+    budget: u64,
+    /// Largest object cached whole; bigger objects keep a head segment of
+    /// exactly this size. Default: budget / 4.
+    max_object_bytes: u64,
+    /// Bound on deferred (dirty) bytes. Default: budget / 4.
+    max_dirty_bytes: u64,
+    state: Mutex<TierState>,
+    instruments: Mutex<Option<Instruments>>,
+}
+
+impl std::fmt::Debug for MemTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemTier")
+            .field("budget", &self.budget)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MemTier {
+    /// Creates a tier bounded to `budget` bytes (0 disables).
+    pub fn new(budget: u64) -> Self {
+        Self {
+            budget,
+            max_object_bytes: (budget / 4).max(1),
+            max_dirty_bytes: (budget / 4).max(1),
+            state: Mutex::named(
+                "storage.memtier",
+                335,
+                TierState {
+                    entries: HashMap::new(),
+                    access: HashMap::new(),
+                    tick: 0,
+                    bytes: 0,
+                    dirty_bytes: 0,
+                    hits: 0,
+                    misses: 0,
+                    promotions: 0,
+                    demotions: 0,
+                    evictions: 0,
+                    writeback_flushes: 0,
+                },
+            ),
+            instruments: Mutex::named("storage.memtier.instruments", 336, None),
+        }
+    }
+
+    /// Overrides the per-object residency cap (for tests).
+    pub fn with_max_object_bytes(mut self, cap: u64) -> Self {
+        self.max_object_bytes = cap.max(1);
+        self
+    }
+
+    /// Overrides the dirty-byte bound (for tests).
+    pub fn with_max_dirty_bytes(mut self, cap: u64) -> Self {
+        self.max_dirty_bytes = cap.max(1);
+        self
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Largest object cached whole; bigger objects keep a head segment of
+    /// exactly this many bytes.
+    pub fn max_object_bytes(&self) -> u64 {
+        self.max_object_bytes
+    }
+
+    /// Whether the tier participates at all.
+    pub fn enabled(&self) -> bool {
+        self.budget > 0
+    }
+
+    /// Registers the `memtier.*` instruments and back-fills any counts
+    /// accumulated before registration.
+    pub fn register_obs(&self, obs: &Obs) {
+        if !self.enabled() {
+            return;
+        }
+        let inst = Instruments {
+            bytes: obs.metrics.gauge("memtier.bytes"),
+            objects: obs.metrics.gauge("memtier.objects"),
+            dirty_bytes: obs.metrics.gauge("memtier.dirty_bytes"),
+            hits: obs.metrics.counter("memtier.hits"),
+            misses: obs.metrics.counter("memtier.misses"),
+            promotions: obs.metrics.counter("memtier.promotions"),
+            demotions: obs.metrics.counter("memtier.demotions"),
+            evictions: obs.metrics.counter("memtier.evictions"),
+            writeback_flushes: obs.metrics.counter("memtier.writeback_flushes"),
+        };
+        let st = self.state.lock();
+        inst.bytes.set(st.bytes as i64);
+        inst.objects.set(st.entries.len() as i64);
+        inst.dirty_bytes.set(st.dirty_bytes as i64);
+        inst.hits.add(st.hits);
+        inst.misses.add(st.misses);
+        inst.promotions.add(st.promotions);
+        inst.demotions.add(st.demotions);
+        inst.evictions.add(st.evictions);
+        inst.writeback_flushes.add(st.writeback_flushes);
+        drop(st);
+        *self.instruments.lock() = Some(inst);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> MemTierStats {
+        if !self.enabled() {
+            return MemTierStats::default();
+        }
+        let st = self.state.lock();
+        MemTierStats {
+            bytes: st.bytes,
+            objects: st.entries.len() as u64,
+            hits: st.hits,
+            misses: st.misses,
+            promotions: st.promotions,
+            demotions: st.demotions,
+            evictions: st.evictions,
+            dirty_bytes: st.dirty_bytes,
+            writeback_flushes: st.writeback_flushes,
+        }
+    }
+
+    /// Records a GET-granular access to `path` and decides promotion.
+    /// Counts a hit when the object is already fully resident, a miss
+    /// otherwise. Returns `true` when the caller should load the object
+    /// into the tier now: on the [`PROMOTE_HITS`]-th access inside the
+    /// window, or immediately when `resident_hint` says the cache model
+    /// already predicts the object hot.
+    pub fn record_access(&self, path: &VPath, size: u64, resident_hint: bool, now: u64) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        if let Some(e) = st.entries.get_mut(path) {
+            e.last_tick = tick;
+            if e.full {
+                e.hit_count += 1;
+                st.hits += 1;
+                self.with_instruments(|i| i.hits.inc());
+                return false;
+            }
+        }
+        st.misses += 1;
+        self.with_instruments(|i| i.misses.inc());
+        if size == 0 || size > self.budget {
+            return false;
+        }
+        let stat = st.access.entry(path.clone()).or_insert(AccessStat {
+            count: 0,
+            window_start: now,
+        });
+        if now.saturating_sub(stat.window_start) > PROMOTE_WINDOW_SECS {
+            stat.count = 0;
+            stat.window_start = now;
+        }
+        stat.count += 1;
+        let promote = stat.count >= PROMOTE_HITS || resident_hint;
+        if promote {
+            st.access.remove(path);
+        } else if st.access.len() > 64 * 1024 {
+            // Bound the access table: drop stats whose window lapsed.
+            st.access
+                .retain(|_, s| now.saturating_sub(s.window_start) <= PROMOTE_WINDOW_SECS);
+        }
+        promote
+    }
+
+    /// The whole object, when fully resident — the transfer layer wraps
+    /// this in a `MemSource`. Does not count a hit ([`record_access`]
+    /// already did).
+    pub fn object(&self, path: &VPath) -> Option<Arc<Vec<u8>>> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        let e = st.entries.get_mut(path)?;
+        if !e.full {
+            return None;
+        }
+        e.last_tick = tick;
+        Some(Arc::clone(&e.data))
+    }
+
+    /// Serves a chunk read from the resident copy (whole object or head
+    /// segment). Returns `None` when the range is not resident — the
+    /// caller falls through to the backend.
+    pub fn read_at(&self, path: &VPath, offset: u64, buf: &mut [u8]) -> Option<usize> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        let e = st.entries.get_mut(path)?;
+        let data = &e.data;
+        if offset >= e.object_size {
+            // Past logical EOF of a fully known object: a definitive 0.
+            if e.full {
+                e.last_tick = tick;
+                return Some(0);
+            }
+            return None;
+        }
+        let off = offset as usize;
+        if off >= data.len() {
+            return None; // tail beyond the resident segment
+        }
+        let n = buf.len().min(data.len() - off);
+        if !e.full && off + n == data.len() && (off + n) as u64 != e.object_size {
+            // Segment boundary mid-buffer: serving a short read here would
+            // look like EOF to chunk loops. Fall through whole.
+            return None;
+        }
+        buf[..n].copy_from_slice(&data[off..off + n]);
+        e.last_tick = tick;
+        Some(n)
+    }
+
+    /// The logical size of a dirty resident object (the backend's stat is
+    /// stale until flush).
+    pub fn dirty_len(&self, path: &VPath) -> Option<u64> {
+        if !self.enabled() {
+            return None;
+        }
+        let st = self.state.lock();
+        let e = st.entries.get(path)?;
+        if e.dirty {
+            Some(e.object_size)
+        } else {
+            None
+        }
+    }
+
+    /// Loads a clean object (or head segment when `data.len()` is below
+    /// `object_size`) into the tier. `guaranteed` classifies the entry for
+    /// demotion. Returns dirty victims the caller must persist; clean
+    /// victims are simply dropped. The insert is refused (no-op) when
+    /// room cannot be made without violating the lot rule: best-effort
+    /// entries never demote guaranteed residents.
+    pub fn insert(
+        &self,
+        path: &VPath,
+        data: Vec<u8>,
+        object_size: u64,
+        guaranteed: bool,
+    ) -> Vec<DirtyObject> {
+        if !self.enabled() || data.len() as u64 > self.budget {
+            return Vec::new();
+        }
+        let full = data.len() as u64 == object_size;
+        let mut st = self.state.lock();
+        let mut out = Vec::new();
+        // Replacing an existing entry: a dirty old copy must still reach
+        // the backend (the caller loaded `data` from it or supersedes it).
+        if let Some(old) = st.entries.remove(path) {
+            st.bytes -= old.data.len() as u64;
+            if old.dirty {
+                st.dirty_bytes -= old.data.len() as u64;
+            }
+        }
+        if !Self::make_room(
+            &mut st,
+            data.len() as u64,
+            self.budget,
+            guaranteed,
+            &mut out,
+        ) {
+            self.sync_gauges(&st);
+            return out;
+        }
+        st.tick += 1;
+        let tick = st.tick;
+        st.bytes += data.len() as u64;
+        st.promotions += 1;
+        self.with_instruments(|i| i.promotions.inc());
+        st.entries.insert(
+            path.clone(),
+            Entry {
+                data: Arc::new(data),
+                full,
+                object_size,
+                dirty: false,
+                version: 0,
+                guaranteed,
+                last_tick: tick,
+                hit_count: 0,
+            },
+        );
+        self.sync_gauges(&st);
+        out
+    }
+
+    /// Absorbs a write-back write at `offset`. The resident copy becomes
+    /// (or stays) dirty; a non-resident object starts from `base` (the
+    /// current backend contents, loaded by the caller). Returns dirty
+    /// victims to persist when the write pushed dirty bytes past their
+    /// bound, or when room had to be made. `None` means the tier refused
+    /// the write (over budget / lot rule) and the caller must write
+    /// through instead.
+    pub fn write_back(
+        &self,
+        path: &VPath,
+        offset: u64,
+        data: &[u8],
+        base: Option<Vec<u8>>,
+        guaranteed: bool,
+    ) -> Option<Vec<DirtyObject>> {
+        if !self.enabled() {
+            return None;
+        }
+        let end = offset + data.len() as u64;
+        let mut st = self.state.lock();
+        let mut out = Vec::new();
+        st.tick += 1;
+        let tick = st.tick;
+
+        // Sizing first, before any state changes: a full resident copy
+        // continues from its current length, anything else from `base`
+        // (the caller-loaded backend contents).
+        let have_full = st.entries.get(path).is_some_and(|e| e.full);
+        let cur_len = if have_full {
+            st.entries.get(path).map_or(0, |e| e.data.len() as u64)
+        } else {
+            base.as_ref()?.len() as u64
+        };
+        let new_len = cur_len.max(end);
+        if new_len > self.max_object_bytes {
+            return None; // too big to hold whole; write through
+        }
+
+        let old = st.entries.remove(path);
+        let (old_len, old_dirty, version) = match &old {
+            Some(old) => (old.data.len() as u64, old.dirty, old.version),
+            None => (0, false, 0),
+        };
+        st.bytes -= old_len;
+        if old_dirty {
+            st.dirty_bytes -= old_len;
+        }
+        if !Self::make_room(&mut st, new_len, self.budget, guaranteed, &mut out) {
+            // Refused: restore the prior resident copy (it may be dirty —
+            // those bytes must not vanish) and let the caller write through.
+            if let Some(old) = old {
+                st.bytes += old_len;
+                if old_dirty {
+                    st.dirty_bytes += old_len;
+                }
+                st.entries.insert(path.clone(), old);
+            }
+            self.sync_gauges(&st);
+            return None;
+        }
+        // Take the buffer without copying: a full resident is mutated in
+        // place unless a reader still holds its Arc (then one clone pays
+        // for the snapshot being served); otherwise start from `base`.
+        // Cloning per chunk here would make a streamed write-back PUT
+        // quadratic in the object size.
+        let mut buf = match (old, base) {
+            (Some(o), _) if o.full => {
+                Arc::try_unwrap(o.data).unwrap_or_else(|shared| shared.as_ref().clone())
+            }
+            (_, Some(b)) => b,
+            _ => {
+                nest_check::invariant!(false, "non-resident write-back requires a base");
+                Vec::new()
+            }
+        };
+        if buf.len() < end as usize {
+            buf.resize(end as usize, 0);
+        }
+        buf[offset as usize..end as usize].copy_from_slice(data);
+        st.bytes += new_len;
+        st.dirty_bytes += new_len;
+        st.entries.insert(
+            path.clone(),
+            Entry {
+                data: Arc::new(buf),
+                full: true,
+                object_size: new_len,
+                dirty: true,
+                version: version + 1,
+                guaranteed,
+                last_tick: tick,
+                hit_count: 0,
+            },
+        );
+        // Dirty bound: snapshot the oldest other dirty entries for flush.
+        if st.dirty_bytes > self.max_dirty_bytes {
+            let mut dirty: Vec<(VPath, u64)> = st
+                .entries
+                .iter()
+                .filter(|(p, e)| e.dirty && *p != path)
+                .map(|(p, e)| (p.clone(), e.last_tick))
+                .collect();
+            dirty.sort_by_key(|(_, t)| *t);
+            let mut excess = st.dirty_bytes.saturating_sub(self.max_dirty_bytes);
+            for (p, _) in dirty {
+                if excess == 0 {
+                    break;
+                }
+                let e = &st.entries[&p];
+                excess = excess.saturating_sub(e.data.len() as u64);
+                out.push(DirtyObject {
+                    path: p.clone(),
+                    data: Arc::clone(&e.data),
+                    version: e.version,
+                });
+            }
+        }
+        self.sync_gauges(&st);
+        Some(out)
+    }
+
+    /// Marks an entry clean after the caller persisted [`DirtyObject`]
+    /// `version`; a newer racing dirty write keeps it dirty.
+    pub fn mark_clean(&self, path: &VPath, version: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut st = self.state.lock();
+        if let Some(e) = st.entries.get_mut(path) {
+            if e.dirty && e.version == version {
+                e.dirty = false;
+                let len = e.data.len() as u64;
+                st.dirty_bytes -= len;
+                st.writeback_flushes += 1;
+                self.with_instruments(|i| i.writeback_flushes.inc());
+            }
+        }
+        self.sync_gauges(&st);
+    }
+
+    /// Snapshots every dirty entry for a full flush (drain / shutdown).
+    pub fn snapshot_dirty(&self) -> Vec<DirtyObject> {
+        if !self.enabled() {
+            return Vec::new();
+        }
+        let st = self.state.lock();
+        st.entries
+            .iter()
+            .filter(|(_, e)| e.dirty)
+            .map(|(p, e)| DirtyObject {
+                path: p.clone(),
+                data: Arc::clone(&e.data),
+                version: e.version,
+            })
+            .collect()
+    }
+
+    /// Drops any resident copy for coherence (write-through write,
+    /// remove, rename, truncate, recreate, abort). Returns the dirty copy
+    /// if there was one, so the caller can decide whether those bytes
+    /// still need to reach the backend (rename) or are dead (remove).
+    pub fn invalidate(&self, path: &VPath) -> Option<DirtyObject> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut st = self.state.lock();
+        st.access.remove(path);
+        let old = st.entries.remove(path)?;
+        st.bytes -= old.data.len() as u64;
+        st.evictions += 1;
+        self.with_instruments(|i| i.evictions.inc());
+        let dirty = if old.dirty {
+            st.dirty_bytes -= old.data.len() as u64;
+            Some(DirtyObject {
+                path: path.clone(),
+                data: old.data,
+                version: old.version,
+            })
+        } else {
+            None
+        };
+        self.sync_gauges(&st);
+        dirty
+    }
+
+    /// Resident bytes currently classified guaranteed (for tests).
+    pub fn guaranteed_bytes(&self) -> u64 {
+        if !self.enabled() {
+            return 0;
+        }
+        let st = self.state.lock();
+        st.entries
+            .values()
+            .filter(|e| e.guaranteed)
+            .map(|e| e.data.len() as u64)
+            .sum()
+    }
+
+    /// Demotes cold entries until `need` more bytes fit in `budget`.
+    /// Best-effort inserts (`guaranteed == false`) may only demote other
+    /// best-effort entries; guaranteed inserts demote best-effort first
+    /// and touch guaranteed residents only under global pressure. Dirty
+    /// victims are appended to `out` for the caller to persist. Returns
+    /// false (leaving room unmade) when the lot rule forbids enough
+    /// demotion.
+    fn make_room(
+        st: &mut TierState,
+        need: u64,
+        budget: u64,
+        guaranteed: bool,
+        out: &mut Vec<DirtyObject>,
+    ) -> bool {
+        if st.bytes + need <= budget {
+            return true;
+        }
+        // Cold-first within a class: fewest hits since promotion, then
+        // least recently used. Recency alone thrashes under Zipf traffic —
+        // every tail promotion arrives with the newest tick and would
+        // displace a demonstrably hot resident.
+        let mut victims: Vec<(VPath, u64, u64, bool)> = st
+            .entries
+            .iter()
+            .map(|(p, e)| (p.clone(), e.hit_count, e.last_tick, e.guaranteed))
+            .collect();
+        // Best-effort victims first (coldest first), then — only for a
+        // guaranteed insert — guaranteed victims (coldest first).
+        victims.sort_by_key(|(_, hits, tick, g)| (*g, *hits, *tick));
+        let mut planned: Vec<VPath> = Vec::new();
+        let mut freed = 0u64;
+        for (p, _, _, victim_guaranteed) in victims {
+            if st.bytes - freed + need <= budget {
+                break;
+            }
+            if victim_guaranteed && !guaranteed {
+                // A best-effort object must never push out a guaranteed
+                // resident — give up instead.
+                return false;
+            }
+            freed += st.entries[&p].data.len() as u64;
+            planned.push(p);
+        }
+        if st.bytes - freed + need > budget {
+            return false;
+        }
+        for p in planned {
+            let e = st.entries.remove(&p).expect("planned victim present");
+            st.bytes -= e.data.len() as u64;
+            if e.dirty {
+                st.dirty_bytes -= e.data.len() as u64;
+                out.push(DirtyObject {
+                    path: p,
+                    data: e.data,
+                    version: e.version,
+                });
+            }
+            st.demotions += 1;
+        }
+        true
+    }
+
+    fn with_instruments(&self, f: impl FnOnce(&Instruments)) {
+        if let Some(i) = self.instruments.lock().as_ref() {
+            f(i);
+        }
+    }
+
+    fn sync_gauges(&self, st: &TierState) {
+        if let Some(i) = self.instruments.lock().as_ref() {
+            i.bytes.set(st.bytes as i64);
+            i.objects.set(st.entries.len() as i64);
+            i.dirty_bytes.set(st.dirty_bytes as i64);
+            // Demotions are batch-counted here rather than per victim.
+            let counted = i.demotions.get();
+            if st.demotions > counted {
+                i.demotions.add(st.demotions - counted);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vp(s: &str) -> VPath {
+        VPath::parse(s).unwrap()
+    }
+
+    fn obj(n: usize, fill: u8) -> Vec<u8> {
+        vec![fill; n]
+    }
+
+    #[test]
+    fn disabled_tier_is_inert() {
+        let t = MemTier::new(0);
+        assert!(!t.enabled());
+        assert!(!t.record_access(&vp("/a"), 10, true, 0));
+        assert!(t.insert(&vp("/a"), obj(10, 1), 10, false).is_empty());
+        assert!(t.object(&vp("/a")).is_none());
+        assert_eq!(t.stats(), MemTierStats::default());
+    }
+
+    #[test]
+    fn promotes_on_second_access_within_window() {
+        let t = MemTier::new(1024);
+        assert!(!t.record_access(&vp("/f"), 100, false, 10));
+        assert!(t.record_access(&vp("/f"), 100, false, 20));
+    }
+
+    #[test]
+    fn window_lapse_resets_the_count() {
+        let t = MemTier::new(1024);
+        assert!(!t.record_access(&vp("/f"), 100, false, 0));
+        // Second access far outside the window starts a fresh count.
+        assert!(!t.record_access(&vp("/f"), 100, false, PROMOTE_WINDOW_SECS + 1));
+    }
+
+    #[test]
+    fn residency_hint_promotes_immediately() {
+        let t = MemTier::new(1024);
+        assert!(t.record_access(&vp("/hot"), 100, true, 0));
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let t = MemTier::new(1024);
+        t.record_access(&vp("/f"), 100, true, 0);
+        t.insert(&vp("/f"), obj(100, 7), 100, false);
+        assert!(!t.record_access(&vp("/f"), 100, false, 1));
+        let s = t.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.bytes, 100);
+        assert_eq!(s.objects, 1);
+    }
+
+    #[test]
+    fn read_at_serves_resident_ranges() {
+        let t = MemTier::new(1024);
+        t.insert(&vp("/f"), obj(100, 9), 100, false);
+        let mut buf = [0u8; 40];
+        assert_eq!(t.read_at(&vp("/f"), 60, &mut buf), Some(40));
+        assert_eq!(buf, [9u8; 40]);
+        // Past EOF of a full object is a definitive zero-length read.
+        assert_eq!(t.read_at(&vp("/f"), 100, &mut buf), Some(0));
+        assert!(t.read_at(&vp("/missing"), 0, &mut buf).is_none());
+    }
+
+    #[test]
+    fn head_segment_serves_only_the_head() {
+        let t = MemTier::new(1024);
+        // 50 resident bytes of a 200-byte object.
+        t.insert(&vp("/big"), obj(50, 3), 200, false);
+        assert!(t.object(&vp("/big")).is_none(), "segment is not full");
+        let mut buf = [0u8; 25];
+        assert_eq!(t.read_at(&vp("/big"), 0, &mut buf), Some(25));
+        // A read that would end exactly at the segment edge mid-object
+        // falls through (a short read would masquerade as EOF).
+        assert!(t.read_at(&vp("/big"), 25, &mut buf).is_none());
+        assert!(t.read_at(&vp("/big"), 60, &mut buf).is_none());
+    }
+
+    #[test]
+    fn budget_is_strict_and_demotes_cold_first() {
+        let t = MemTier::new(300);
+        t.insert(&vp("/a"), obj(100, 1), 100, false);
+        t.insert(&vp("/b"), obj(100, 2), 100, false);
+        t.insert(&vp("/c"), obj(100, 3), 100, false);
+        // Touch /a so /b is the coldest.
+        assert!(t.object(&vp("/a")).is_some());
+        t.insert(&vp("/d"), obj(100, 4), 100, false);
+        let s = t.stats();
+        assert_eq!(s.bytes, 300);
+        assert_eq!(s.demotions, 1);
+        assert!(t.object(&vp("/b")).is_none(), "coldest entry demoted");
+        assert!(t.object(&vp("/a")).is_some());
+        assert!(t.object(&vp("/d")).is_some());
+    }
+
+    #[test]
+    fn best_effort_never_demotes_guaranteed() {
+        let t = MemTier::new(250);
+        t.insert(&vp("/g1"), obj(100, 1), 100, true);
+        t.insert(&vp("/g2"), obj(100, 2), 100, true);
+        // Best-effort insert needs 100 but only 50 are reclaimable from
+        // its own class: refused, guaranteed residents untouched.
+        t.insert(&vp("/be"), obj(100, 3), 100, false);
+        assert!(t.object(&vp("/be")).is_none());
+        assert_eq!(t.guaranteed_bytes(), 200);
+        assert_eq!(t.stats().demotions, 0);
+    }
+
+    #[test]
+    fn guaranteed_insert_demotes_best_effort_then_guaranteed() {
+        let t = MemTier::new(250);
+        t.insert(&vp("/be"), obj(100, 1), 100, false);
+        t.insert(&vp("/g1"), obj(100, 2), 100, true);
+        // Guaranteed insert: best-effort victim goes first.
+        t.insert(&vp("/g2"), obj(100, 3), 100, true);
+        assert!(t.object(&vp("/be")).is_none());
+        assert!(t.object(&vp("/g1")).is_some());
+        // Global pressure: a further guaranteed insert may demote the
+        // coldest guaranteed resident.
+        t.insert(&vp("/g3"), obj(200, 4), 200, true);
+        assert!(t.object(&vp("/g3")).is_some());
+        assert_eq!(t.stats().bytes, 200);
+    }
+
+    #[test]
+    fn invalidate_drops_and_counts_eviction() {
+        let t = MemTier::new(1024);
+        t.insert(&vp("/f"), obj(100, 1), 100, false);
+        assert!(t.invalidate(&vp("/f")).is_none(), "clean copy: no flush");
+        assert_eq!(t.stats().bytes, 0);
+        assert_eq!(t.stats().evictions, 1);
+    }
+
+    #[test]
+    fn write_back_dirties_and_flush_cleans() {
+        let t = MemTier::new(1024);
+        let victims = t
+            .write_back(&vp("/f"), 0, &[5u8; 100], Some(Vec::new()), true)
+            .expect("absorbed");
+        assert!(victims.is_empty());
+        assert_eq!(t.stats().dirty_bytes, 100);
+        assert_eq!(t.dirty_len(&vp("/f")), Some(100));
+        let dirty = t.snapshot_dirty();
+        assert_eq!(dirty.len(), 1);
+        t.mark_clean(&vp("/f"), dirty[0].version);
+        assert_eq!(t.stats().dirty_bytes, 0);
+        assert_eq!(t.stats().writeback_flushes, 1);
+        assert_eq!(t.dirty_len(&vp("/f")), None);
+        // The (now clean) copy still serves reads.
+        assert_eq!(t.object(&vp("/f")).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn racing_dirty_write_survives_mark_clean() {
+        let t = MemTier::new(1024);
+        t.write_back(&vp("/f"), 0, &[1u8; 10], Some(Vec::new()), true)
+            .unwrap();
+        let snap = t.snapshot_dirty().remove(0);
+        // A second write lands before the flush completes.
+        t.write_back(&vp("/f"), 0, &[2u8; 10], None, true).unwrap();
+        t.mark_clean(&vp("/f"), snap.version);
+        assert_eq!(t.stats().dirty_bytes, 10, "newer write stays dirty");
+    }
+
+    #[test]
+    fn dirty_bound_surfaces_oldest_victims() {
+        let t = MemTier::new(4096).with_max_dirty_bytes(150);
+        t.write_back(&vp("/a"), 0, &[1u8; 100], Some(Vec::new()), true)
+            .unwrap();
+        let victims = t
+            .write_back(&vp("/b"), 0, &[2u8; 100], Some(Vec::new()), true)
+            .unwrap();
+        assert_eq!(victims.len(), 1);
+        assert_eq!(victims[0].path, vp("/a"));
+    }
+
+    #[test]
+    fn oversized_objects_are_refused() {
+        let t = MemTier::new(100);
+        assert!(t.insert(&vp("/huge"), obj(200, 1), 200, true).is_empty());
+        assert_eq!(t.stats().bytes, 0);
+        assert!(t
+            .write_back(&vp("/huge"), 0, &[0u8; 200], Some(Vec::new()), true)
+            .is_none());
+    }
+
+    #[test]
+    fn stats_backfill_on_late_obs_registration() {
+        let t = MemTier::new(1024);
+        t.record_access(&vp("/f"), 100, true, 0);
+        t.insert(&vp("/f"), obj(100, 1), 100, false);
+        let obs = Obs::new();
+        t.register_obs(&obs);
+        let snap = obs.snapshot();
+        assert_eq!(snap.count("memtier.misses"), 1);
+        assert_eq!(snap.count("memtier.promotions"), 1);
+    }
+}

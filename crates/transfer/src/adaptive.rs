@@ -12,6 +12,17 @@
 //! choice can track workload shifts. This periodic re-measurement is the
 //! "cost for adaptation" visible in Figure 5: the adaptive line sits
 //! between the best and worst pure models.
+//!
+//! Scores are kept **per scheduling class** and combined by *relative*
+//! standing, not raw bytes/sec. Raw averaging has a starvation failure
+//! mode once the memory tier exists: RAM-resident flows complete at
+//! memcpy speed (GB/s) while disk-bound flows run at device speed (MB/s),
+//! so a model that happens to serve more RAM traffic dominates any global
+//! average even if it is the *worst* choice for the disk-bound class.
+//! Normalizing each class's score by that class's best-model score before
+//! averaging makes a model's standing mean "how close to the per-class
+//! winner is it, on the classes it has served" — classes with wildly
+//! different absolute speeds then carry equal weight.
 
 use crate::concurrency::ModelKind;
 use std::collections::HashMap;
@@ -23,8 +34,9 @@ const ALPHA: f64 = 0.2;
 #[derive(Debug)]
 pub struct AdaptiveSelector {
     models: Vec<ModelKind>,
-    /// EWMA of throughput (bytes/sec) per model; `None` until first report.
-    score: HashMap<ModelKind, f64>,
+    /// EWMA of throughput (bytes/sec) per model, split by scheduling
+    /// class; empty until first report. Class-free reports land under "".
+    score: HashMap<ModelKind, HashMap<String, f64>>,
     assignments: u64,
     /// Assignments during which models rotate round-robin.
     warmup: u64,
@@ -91,13 +103,26 @@ impl AdaptiveSelector {
         best
     }
 
-    /// Reports an observed completion: `bytes` moved in `seconds`.
+    /// Reports an observed completion: `bytes` moved in `seconds`
+    /// (class-free; lands in the "" class).
     pub fn report(&mut self, model: ModelKind, bytes: u64, seconds: f64) {
+        self.report_classed(model, "", bytes, seconds);
+    }
+
+    /// Reports an observed completion under its scheduling class, so
+    /// memcpy-fast classes (tier-resident reads) and device-bound classes
+    /// are scored separately.
+    pub fn report_classed(&mut self, model: ModelKind, class: &str, bytes: u64, seconds: f64) {
         if seconds <= 0.0 {
             return;
         }
         let throughput = bytes as f64 / seconds;
-        let entry = self.score.entry(model).or_insert(throughput);
+        let entry = self
+            .score
+            .entry(model)
+            .or_default()
+            .entry(class.to_string())
+            .or_insert(throughput);
         *entry = ALPHA * throughput + (1.0 - ALPHA) * *entry;
     }
 
@@ -110,29 +135,81 @@ impl AdaptiveSelector {
     /// optimistic `INFINITY` standing in [`AdaptiveSelector::best`] and be
     /// picked forever.
     pub fn report_failure(&mut self, model: ModelKind) {
-        let entry = self.score.entry(model).or_insert(0.0);
+        self.report_failure_classed(model, "");
+    }
+
+    /// Class-attributed variant of [`AdaptiveSelector::report_failure`].
+    pub fn report_failure_classed(&mut self, model: ModelKind, class: &str) {
+        let entry = self
+            .score
+            .entry(model)
+            .or_default()
+            .entry(class.to_string())
+            .or_insert(0.0);
         *entry *= 1.0 - ALPHA;
     }
 
-    /// The current best model by EWMA throughput (unscored models win ties
-    /// optimistically so they get measured at least once).
+    /// A model's standing: the mean, over the classes it has served, of
+    /// its EWMA relative to that class's best model. Unmeasured models are
+    /// optimistic (`INFINITY`) so they get measured at least once.
+    fn relative_standing(&self, model: ModelKind, class_max: &HashMap<&str, f64>) -> f64 {
+        match self.score.get(&model) {
+            None => f64::INFINITY,
+            Some(per_class) if per_class.is_empty() => f64::INFINITY,
+            Some(per_class) => {
+                let sum: f64 = per_class
+                    .iter()
+                    .map(|(class, ewma)| {
+                        let max = class_max.get(class.as_str()).copied().unwrap_or(0.0);
+                        if max > 0.0 {
+                            ewma / max
+                        } else {
+                            0.0
+                        }
+                    })
+                    .sum();
+                sum / per_class.len() as f64
+            }
+        }
+    }
+
+    /// The current best model by mean per-class relative standing
+    /// (unscored models win ties optimistically so they get measured at
+    /// least once).
     pub fn best(&self) -> ModelKind {
+        let mut class_max: HashMap<&str, f64> = HashMap::new();
+        for per_class in self.score.values() {
+            for (class, ewma) in per_class {
+                let slot = class_max.entry(class.as_str()).or_insert(0.0);
+                if *ewma > *slot {
+                    *slot = *ewma;
+                }
+            }
+        }
         *self
             .models
             .iter()
             .max_by(|a, b| {
-                let sa = self.score.get(a).copied().unwrap_or(f64::INFINITY);
-                let sb = self.score.get(b).copied().unwrap_or(f64::INFINITY);
+                let sa = self.relative_standing(**a, &class_max);
+                let sb = self.relative_standing(**b, &class_max);
                 sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
             })
             .expect("models non-empty")
     }
 
-    /// The current score table (model → EWMA throughput), for diagnostics.
+    /// The current score table (model → mean EWMA throughput across its
+    /// measured classes), for diagnostics.
     pub fn scores(&self) -> Vec<(ModelKind, Option<f64>)> {
         self.models
             .iter()
-            .map(|m| (*m, self.score.get(m).copied()))
+            .map(|m| {
+                let mean = self
+                    .score
+                    .get(m)
+                    .filter(|per_class| !per_class.is_empty())
+                    .map(|per_class| per_class.values().sum::<f64>() / per_class.len() as f64);
+                (*m, mean)
+            })
             .collect()
     }
 }
@@ -262,6 +339,38 @@ mod tests {
             .1
             .unwrap();
         assert!(after < before / 2.0, "score did not decay: {}", after);
+    }
+
+    #[test]
+    fn ram_fast_class_does_not_drown_disk_bound_class() {
+        // Events serves tier-resident reads slightly faster; Threads is
+        // 3x better on the disk-bound class. A raw global average would
+        // crown Events (the RAM numbers dominate); per-class relative
+        // standing must pick Threads (near-winner on RAM, winner on disk).
+        let mut s = AdaptiveSelector::new(vec![ModelKind::Events, ModelKind::Threads]);
+        for _ in 0..20 {
+            s.report_classed(ModelKind::Events, "ram", 10_000_000_000, 1.0);
+            s.report_classed(ModelKind::Threads, "ram", 9_000_000_000, 1.0);
+            s.report_classed(ModelKind::Events, "disk", 100_000_000, 1.0);
+            s.report_classed(ModelKind::Threads, "disk", 300_000_000, 1.0);
+        }
+        assert_eq!(s.best(), ModelKind::Threads);
+    }
+
+    #[test]
+    fn classed_failures_decay_only_that_class() {
+        let mut s = AdaptiveSelector::new(vec![ModelKind::Events, ModelKind::Threads]);
+        s.report_classed(ModelKind::Events, "ram", 1_000_000, 1.0);
+        s.report_classed(ModelKind::Events, "disk", 1_000_000, 1.0);
+        s.report_classed(ModelKind::Threads, "ram", 900_000, 1.0);
+        s.report_classed(ModelKind::Threads, "disk", 900_000, 1.0);
+        assert_eq!(s.best(), ModelKind::Events);
+        for _ in 0..20 {
+            s.report_failure_classed(ModelKind::Events, "disk");
+        }
+        // Events still wins "ram" but has collapsed on "disk":
+        // Events mean = (1.0 + ~0)/2; Threads mean = (0.9 + 1.0)/2.
+        assert_eq!(s.best(), ModelKind::Threads);
     }
 
     #[test]

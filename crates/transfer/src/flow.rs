@@ -454,6 +454,53 @@ impl Flow {
     }
 }
 
+/// A source serving a whole object from shared memory — the read path the
+/// storage manager's RAM tier hands the dispatcher when an object is
+/// tier-resident. The `Arc` is a reference into the tier's resident copy,
+/// so constructing the source copies nothing and eviction cannot
+/// invalidate in-flight reads (the flow keeps the data alive).
+///
+/// Deliberately has **no** [`DataSource::raw_window`]: there is no backing
+/// fd, so a zerocopy-armed flow probes once, stays in `Probing`, and takes
+/// the pooled loop. That is a clean demotion, not a fallback — the
+/// dispatcher counts it as `memtier.zc_bypassed`.
+pub struct MemSource {
+    data: Arc<Vec<u8>>,
+    pos: usize,
+}
+
+impl MemSource {
+    /// Creates a source over a shared in-memory object.
+    pub fn new(data: Arc<Vec<u8>>) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Total object length in bytes.
+    pub fn len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Whether the object is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl DataSource for MemSource {
+    fn read_chunk(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let rest = &self.data[self.pos..];
+        let n = rest.len().min(buf.len());
+        buf[..n].copy_from_slice(&rest[..n]);
+        self.pos += n;
+        Ok(n)
+    }
+
+    fn rewind(&mut self) -> io::Result<()> {
+        self.pos = 0;
+        Ok(())
+    }
+}
+
 /// A source producing `len` deterministic pseudo-random-ish bytes; used by
 /// tests and workload generators.
 pub struct PatternSource {
@@ -595,6 +642,29 @@ mod tests {
         );
         assert_eq!(flow.step().unwrap(), StepOutcome::Finished);
         assert_eq!(flow.moved(), 0);
+    }
+
+    #[test]
+    fn mem_source_replays_and_grants_no_window() {
+        let data = Arc::new((0u8..200).collect::<Vec<u8>>());
+        let mut src = MemSource::new(Arc::clone(&data));
+        assert_eq!(src.len(), 200);
+        assert!(src.raw_window().is_none());
+        let mut flow = Flow::new(meta(6), Box::new(src), Box::new(Vec::new()), 64);
+        flow.set_zerocopy(true);
+        assert_eq!(flow.run_to_completion().unwrap(), 200);
+        // No fd: the flow never engaged zerocopy, and never "fell back"
+        // either — Probing straight to the pooled loop is a clean demotion.
+        assert!(!flow.zc_engaged());
+        assert!(!flow.zc_fell_back());
+        // Rewind replays from byte 0 for retry.
+        let mut src = MemSource::new(data);
+        let mut buf = [0u8; 8];
+        src.read_chunk(&mut buf).unwrap();
+        src.rewind().unwrap();
+        let mut again = [0u8; 8];
+        src.read_chunk(&mut again).unwrap();
+        assert_eq!(buf, again);
     }
 
     #[test]

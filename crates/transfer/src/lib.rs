@@ -53,6 +53,6 @@ pub use fault::{
     classify, ErrorClass, FailureKind, FaultBudget, FaultingSink, FaultingSource, FlakySource,
     RetryPolicy,
 };
-pub use flow::{DataSink, DataSource, Flow, FlowId, FlowMeta, RawWindow};
+pub use flow::{DataSink, DataSource, Flow, FlowId, FlowMeta, MemSource, RawWindow};
 pub use manager::{SchedPolicy, TransferManager, TransferStats};
 pub use sched::{CacheAwareScheduler, FcfsScheduler, Scheduler, StrideScheduler};

@@ -868,14 +868,22 @@ impl Engine {
         let seconds = completion.elapsed.as_secs_f64();
         let ok = completion.result.is_ok();
         if let Some(sel) = &mut self.selector {
+            // Attribute the observation to the flow's scheduling class so
+            // memcpy-fast tier-resident classes cannot drown out the
+            // device-bound ones in the selector's standing.
             if ok {
-                sel.report(completion.model, completion.bytes, seconds.max(1e-9));
+                sel.report_classed(
+                    completion.model,
+                    &completion.meta.class,
+                    completion.bytes,
+                    seconds.max(1e-9),
+                );
             } else {
                 // A failed completion decays the model's score so a broken
                 // model stops attracting traffic (bugfix: previously only
                 // successes were reported, so an always-failing model kept
                 // its optimistic standing forever).
-                sel.report_failure(completion.model);
+                sel.report_failure_classed(completion.model, &completion.meta.class);
             }
         }
         {

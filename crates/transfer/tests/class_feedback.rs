@@ -1,0 +1,94 @@
+//! Regression: class-aware adaptive-selector feedback.
+//!
+//! With the memory tier in place, tier-resident GETs complete at memcpy
+//! speed while disk-bound flows run at device speed. The selector used to
+//! fold every completion into one global EWMA per model, so whichever
+//! model happened to serve more RAM traffic looked best *overall* even
+//! when it was the worst choice for the disk-bound class — starving that
+//! class of its better model. Scores are now kept per scheduling class
+//! and combined by relative (per-class-normalized) standing.
+
+use nest_transfer::adaptive::AdaptiveSelector;
+use nest_transfer::concurrency::ModelKind;
+use nest_transfer::flow::{DataSource, FlowMeta};
+use nest_transfer::manager::{ModelSelection, TransferConfig, TransferManager};
+use nest_transfer::{DataSink, FlowId};
+use std::io;
+
+/// The starvation scenario, distilled: Events is marginally better on the
+/// memcpy-fast "ram" class but 3x worse on the device-bound "disk" class.
+/// A raw global average of bytes/sec picks Events (RAM numbers are two
+/// orders of magnitude larger, so they dominate any mean); the class-aware
+/// standing must pick Threads.
+#[test]
+fn disk_bound_class_is_not_starved_by_ram_traffic() {
+    let mut sel = AdaptiveSelector::new(vec![ModelKind::Events, ModelKind::Threads]);
+    // Interleave, as a live appliance would see them.
+    for _ in 0..50 {
+        sel.report_classed(ModelKind::Events, "ram", 10_000_000_000, 1.0);
+        sel.report_classed(ModelKind::Threads, "ram", 9_000_000_000, 1.0);
+        sel.report_classed(ModelKind::Events, "disk", 100_000_000, 1.0);
+        sel.report_classed(ModelKind::Threads, "disk", 300_000_000, 1.0);
+    }
+    // Global-average arithmetic for reference: Events ≈ 5.05 GB/s mean,
+    // Threads ≈ 4.65 GB/s mean — the raw average *would* pick Events.
+    let events_mean = (10_000_000_000f64 + 100_000_000f64) / 2.0;
+    let threads_mean = (9_000_000_000f64 + 300_000_000f64) / 2.0;
+    assert!(events_mean > threads_mean, "scenario must expose the trap");
+    // The class-normalized standing picks the model that wins where
+    // winning matters: Threads (0.9 on ram, 1.0 on disk → 0.95) over
+    // Events (1.0 on ram, 0.33 on disk → 0.67).
+    assert_eq!(sel.best(), ModelKind::Threads);
+}
+
+/// The legacy class-free API still works and still converges — single
+/// class means relative standing preserves raw throughput ordering.
+#[test]
+fn classless_reports_preserve_old_convergence() {
+    let mut sel = AdaptiveSelector::new(vec![ModelKind::Events, ModelKind::Threads]);
+    for _ in 0..30 {
+        sel.report(ModelKind::Events, 2_000_000, 1.0);
+        sel.report(ModelKind::Threads, 500_000, 1.0);
+    }
+    assert_eq!(sel.best(), ModelKind::Events);
+}
+
+/// End-to-end through the engine: completions carry their `FlowMeta`
+/// class into the selector, so per-class stats and per-class selector
+/// scores stay attributed after a real transfer (not just via the unit
+/// API above).
+#[test]
+fn engine_attributes_completions_to_their_class() {
+    struct Src(u64);
+    impl DataSource for Src {
+        fn read_chunk(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = (buf.len() as u64).min(self.0) as usize;
+            self.0 -= n as u64;
+            buf[..n].fill(7);
+            Ok(n)
+        }
+    }
+    struct Null;
+    impl DataSink for Null {
+        fn write_chunk(&mut self, _d: &[u8]) -> io::Result<()> {
+            Ok(())
+        }
+    }
+    let tm = TransferManager::new(TransferConfig {
+        model: ModelSelection::Fixed(ModelKind::Events),
+        ..TransferConfig::default()
+    });
+    let sizes = [("ram", 4 * 1024 * 1024u64), ("disk", 64 * 1024u64)];
+    let mut handles = Vec::new();
+    for (i, (class, size)) in sizes.iter().enumerate() {
+        let meta = FlowMeta::new(FlowId(i as u64), *class, Some(*size));
+        handles.push(tm.submit(meta, Box::new(Src(*size)), Box::new(Null)));
+    }
+    for h in handles {
+        h.wait().unwrap();
+    }
+    let stats = tm.stats();
+    assert_eq!(stats.classes["ram"].bytes, 4 * 1024 * 1024);
+    assert_eq!(stats.classes["disk"].bytes, 64 * 1024);
+    tm.shutdown();
+}

@@ -61,4 +61,11 @@ for key in churn_speedup pooled_conns_per_sec baseline_conns_per_sec p99_improve
     { echo "connchurn smoke JSON missing key: $key" >&2; exit 1; }
 done
 
+echo "==> memtier bench smoke (RAM tier vs ram_tier_bytes(0) ablation grid, JSON schema check)"
+cargo run --release -p nest-bench --bin memtier -- --smoke --out target/memtier_smoke.json
+for key in hot_speedup hot_speedup_no_hc cold_penalty_pct tier_budget memtier_hits memtier_misses memtier_promotions memtier_demotions memtier_bytes; do
+  grep -q "\"$key\"" target/memtier_smoke.json ||
+    { echo "memtier smoke JSON missing key: $key" >&2; exit 1; }
+done
+
 echo "==> all checks passed"

@@ -163,6 +163,111 @@ fn lock_contention_metrics_surface_on_http_and_chirp() {
 }
 
 #[test]
+fn memtier_counters_ride_every_surface() {
+    // With the memory tier enabled, `memtier.*` instruments must appear on
+    // all three monitoring surfaces — HTTP, Chirp, and the embedder's
+    // registry — and the ClassAd must advertise the tier to matchmakers.
+    let obs = Obs::new();
+    let config = NestConfig::builder("stats-memtier")
+        .obs(Arc::clone(&obs))
+        .ram_tier_bytes(8 << 20)
+        .build()
+        .unwrap();
+    let server = NestServer::start(config).unwrap();
+    server
+        .grant_default_lot("anonymous", 16 << 20, 3600)
+        .unwrap();
+
+    // One PUT, three GETs: the repeat accesses promote the object and the
+    // last GET is served from RAM (a tier hit). The residency hint may
+    // promote on the first GET already, so assert floors, not exact counts.
+    let body: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+    let mut http = HttpClient::connect(server.http_addr.unwrap()).unwrap();
+    assert_eq!(http.put_bytes("/tiered.bin", &body).unwrap(), 201);
+    for _ in 0..3 {
+        assert_eq!(http.get_bytes("/tiered.bin").unwrap(), body);
+    }
+
+    let text = String::from_utf8(http.get_bytes("/nest/stats").unwrap()).unwrap();
+    let via_http: BTreeMap<String, f64> = MetricsSnapshot::parse_text(&text);
+    let mut chirp = ChirpClient::connect(server.chirp_addr.unwrap()).unwrap();
+    let lines = chirp.stats().unwrap();
+    let via_chirp: BTreeMap<String, f64> = MetricsSnapshot::parse_text(&lines.join("\n"));
+
+    assert!(via_http["memtier.hits"] >= 1.0, "no tier hit surfaced");
+    assert!(via_http["memtier.misses"] >= 1.0, "no tier miss surfaced");
+    assert_eq!(via_http["memtier.bytes"], 200_000.0);
+    assert!(via_http["memtier.promotions"] >= 1.0);
+    assert!(
+        via_http["memtier.zc_bypassed"] >= 1.0,
+        "RAM serve not counted"
+    );
+    for key in ["memtier.hits", "memtier.misses", "memtier.bytes"] {
+        assert_eq!(via_http[key], via_chirp[key], "{} disagrees", key);
+    }
+
+    // Surface 3: the embedder's registry.
+    let snap = obs.snapshot();
+    assert_eq!(snap.count("memtier.hits") as f64, via_http["memtier.hits"]);
+    assert_eq!(
+        snap.count("memtier.misses") as f64,
+        via_http["memtier.misses"]
+    );
+
+    // And the matchmaking surface: the storage ad advertises the tier.
+    let ad = server.dispatcher().storage_ad(&["http"]);
+    match ad.eval("RamTierBytes") {
+        nest::classad::Value::Int(n) => assert_eq!(n, 200_000),
+        other => panic!("RamTierBytes missing: {:?}", other),
+    }
+    match ad.eval("RamTierHitPct") {
+        nest::classad::Value::Real(p) => assert!((0.0..=100.0).contains(&p), "{}", p),
+        other => panic!("RamTierHitPct missing: {:?}", other),
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn ablated_tier_registers_nothing() {
+    // `ram_tier_bytes(0)` is the ablation: not a tier with zero budget but
+    // *no tier at all* — no `memtier.*` instrument may appear on any
+    // surface, so the ablated appliance is indistinguishable from the
+    // pre-tier data path (the Fig. 6 control).
+    let obs = Obs::new();
+    let config = NestConfig::builder("stats-ablated")
+        .obs(Arc::clone(&obs))
+        .build()
+        .unwrap();
+    let server = NestServer::start(config).unwrap();
+    server
+        .grant_default_lot("anonymous", 16 << 20, 3600)
+        .unwrap();
+    let body = vec![7u8; 50_000];
+    let mut http = HttpClient::connect(server.http_addr.unwrap()).unwrap();
+    assert_eq!(http.put_bytes("/plain.bin", &body).unwrap(), 201);
+    for _ in 0..3 {
+        assert_eq!(http.get_bytes("/plain.bin").unwrap(), body);
+    }
+    let text = String::from_utf8(http.get_bytes("/nest/stats").unwrap()).unwrap();
+    let stats: BTreeMap<String, f64> = MetricsSnapshot::parse_text(&text);
+    assert!(
+        !stats.keys().any(|k| k.starts_with("memtier.")),
+        "ablated appliance leaked tier instruments: {:?}",
+        stats
+            .keys()
+            .filter(|k| k.starts_with("memtier."))
+            .collect::<Vec<_>>()
+    );
+    let ad = server.dispatcher().storage_ad(&["http"]);
+    assert!(
+        matches!(ad.eval("RamTierBytes"), nest::classad::Value::Undefined),
+        "ablated ad advertises a tier"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn stats_endpoint_needs_no_lot() {
     // The monitoring endpoint must answer even when nothing else works:
     // no lot has been granted, so a data PUT would be refused.
