@@ -78,6 +78,9 @@ fn drop_pages(path: &Path) {
     {
         use std::os::unix::io::AsRawFd;
         if let Ok(f) = std::fs::File::open(path) {
+            // SAFETY: the raw fd is valid for the lifetime of `f`, which
+            // outlives the call; (0, 0) means "whole file" and fadvise
+            // only updates kernel readahead state.
             unsafe {
                 sys::posix_fadvise(f.as_raw_fd(), 0, 0, sys::POSIX_FADV_DONTNEED);
             }
@@ -105,9 +108,11 @@ fn ingest_writer(dir: &Path, stop: &std::sync::atomic::AtomicBool) {
     let Ok(mut f) = std::fs::File::create(&path) else {
         return;
     };
+    // nestlint: allow(atomic-ordering): benchmark stop flag; eventual visibility is enough
     while !stop.load(Ordering::Relaxed) {
         let _ = f.seek(SeekFrom::Start(0));
         for _ in 0..16 {
+            // nestlint: allow(atomic-ordering): benchmark stop flag; eventual visibility is enough
             if stop.load(Ordering::Relaxed) {
                 break;
             }
@@ -349,6 +354,7 @@ fn measure_hot(ctx: &Ctx, sz: &Sizes, seq: &[usize]) -> f64 {
     std::thread::scope(|scope| {
         scope.spawn(|| ingest_writer(&ctx.dir, &stop));
         let rate = run_gets(ctx, &paths, seq, sz.workers);
+        // nestlint: allow(atomic-ordering): stop flag for the scoped writer; the scope join is the sync point
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
         rate
     })

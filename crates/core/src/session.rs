@@ -90,10 +90,12 @@ impl ShutdownToken {
 
     /// Whether drain has begun: stop starting new work and return.
     pub fn draining(&self) -> bool {
+        // nestlint: allow(atomic-ordering): drain latch; accept loops only need eventual visibility
         self.0.load(Ordering::Relaxed)
     }
 
     fn begin_drain(&self) {
+        // nestlint: allow(atomic-ordering): drain latch; no data is published under it
         self.0.store(true, Ordering::Relaxed);
     }
 }
@@ -158,6 +160,7 @@ impl SessionCtx {
                 Some(dl) => {
                     let now = Instant::now();
                     if now >= dl {
+                        // nestlint: allow(atomic-ordering): reap marker re-read by this same worker after the handler returns
                         self.reaped.store(true, Ordering::Relaxed);
                         return Ok(Await::Idle);
                     }
@@ -455,6 +458,7 @@ impl ProtoPool {
         self.proto_active.inc();
         let ctx = SessionCtx::new(sh.token.clone(), sh.cfg.idle_timeout);
         let _ = stream.set_read_timeout(sh.cfg.idle_timeout);
+        // nestlint: allow(atomic-ordering): monotonic conn-id tick; atomicity alone is the contract
         let id = sh.next_conn.fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
             self.live.lock().insert(id, clone);
@@ -463,6 +467,7 @@ impl ProtoPool {
         let result = (self.handler)(stream, &ctx);
 
         self.live.lock().remove(&id);
+        // nestlint: allow(atomic-ordering): reads this worker's own reap marker (same thread)
         let idled = ctx.reaped.load(Ordering::Relaxed)
             || matches!(&result, Err(e) if e.kind() == io::ErrorKind::WouldBlock
                 || e.kind() == io::ErrorKind::TimedOut);
@@ -504,6 +509,9 @@ mod poll_sys {
     /// Waits for readiness on any fd, retrying on `EINTR`.
     pub fn wait(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
         loop {
+            // SAFETY: `fds` points at `fds.len()` initialized pollfds
+            // borrowed mutably for the whole call; poll only writes the
+            // `revents` fields within that range.
             let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, timeout_ms) };
             if rc >= 0 {
                 return Ok(rc as usize);

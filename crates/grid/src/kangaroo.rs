@@ -77,6 +77,7 @@ impl Kangaroo {
                         let hop = {
                             let mut st = lock.lock();
                             loop {
+                                // nestlint: allow(atomic-ordering): stop flag polled under the spool lock; eventual visibility suffices
                                 if stop.load(Ordering::Relaxed) {
                                     return;
                                 }
@@ -91,9 +92,11 @@ impl Kangaroo {
                         let mut st = lock.lock();
                         st.in_flight -= 1;
                         if ok {
+                            // nestlint: allow(atomic-ordering): delivery statistic; nothing synchronizes on it
                             delivered.fetch_add(1, Ordering::Relaxed);
                             cv.notify_all();
                         } else {
+                            // nestlint: allow(atomic-ordering): retry statistic; nothing synchronizes on it
                             retries.fetch_add(1, Ordering::Relaxed);
                             let mut hop = hop;
                             hop.attempts += 1;
@@ -154,7 +157,9 @@ impl Kangaroo {
     /// Delivery statistics so far.
     pub fn stats(&self) -> KangarooStats {
         KangarooStats {
+            // nestlint: allow(atomic-ordering): statistics snapshot; counters are independent
             delivered: self.delivered.load(Ordering::Relaxed),
+            // nestlint: allow(atomic-ordering): statistics snapshot; counters are independent
             retries: self.retries.load(Ordering::Relaxed),
         }
     }
@@ -165,6 +170,7 @@ impl Kangaroo {
     }
 
     fn shutdown(&mut self) {
+        // nestlint: allow(atomic-ordering): stop flag; the worker join below is the real sync point
         self.stop.store(true, Ordering::Relaxed);
         self.spool.1.notify_all();
         if let Some(w) = self.worker.take() {

@@ -24,6 +24,8 @@
 //! | `front-registry` | `SessionLayer::register` calls or raw `SessionHandler` closures outside `core/src/front.rs` (protocol fronts register through the `FrontRegistry`) |
 //! | `raw-socket-write` | bare `.write(` on reply streams in front/handler reply paths (short writes truncate replies; use `write_all` or the vectored helpers) |
 //! | `tier-bypass` | direct raw-backend reads (`.backend().read_at` / `.backend().stat`) or `LocalFsBackend` construction in appliance serving paths — bypassing `StorageManager` skips the memory tier and the handle cache, and can serve stale bytes past a dirty write-back copy |
+//! | `unsafe-safety-comment` | `unsafe` blocks/fns/impls without a `// SAFETY:` comment immediately above (or trailing on the same line) stating the obligation being discharged |
+//! | `atomic-ordering` | bare `Ordering::Relaxed` outside the stats module (`crates/obs/src/metrics.rs`) — every relaxed access elsewhere carries a reasoned `nestlint: allow(atomic-ordering)` explaining why no synchronization rides on it |
 //!
 //! ## Suppression
 //!
@@ -86,6 +88,8 @@ pub const RULES: &[&str] = &[
     "front-registry",
     "raw-socket-write",
     "tier-bypass",
+    "unsafe-safety-comment",
+    "atomic-ordering",
 ];
 
 /// Whether `path` (workspace-relative, `/`-separated) is in scope.
@@ -244,7 +248,13 @@ fn scan_file(path: &str, content: &str, design_patterns: &[MetricPattern]) -> Ve
     // site: it builds the backend and immediately wraps it in the
     // StorageManager.
     let is_backend_ctor_site = path == "crates/core/src/dispatcher.rs";
+    // atomic-ordering: the metrics module is the sanctioned home of
+    // relaxed counters — monotonic stats nobody synchronizes on.
+    let is_stats_module = path == "crates/obs/src/metrics.rs";
     let mut prev: Option<&str> = None;
+    // Whether the contiguous comment block (plus any attributes)
+    // directly above the current line contains `SAFETY:`.
+    let mut safety_above = false;
     for (idx, raw) in content.lines().enumerate() {
         let line = raw.trim();
         // Test modules sit at the end of files by repo convention.
@@ -252,6 +262,9 @@ fn scan_file(path: &str, content: &str, design_patterns: &[MetricPattern]) -> Ve
             break;
         }
         if line.starts_with("//") {
+            if line.contains("SAFETY:") {
+                safety_above = true;
+            }
             prev = Some(raw);
             continue;
         }
@@ -373,6 +386,30 @@ fn scan_file(path: &str, content: &str, design_patterns: &[MetricPattern]) -> Ve
             }
         }
 
+        // unsafe-safety-comment: every unsafe region states the proof
+        // obligation it discharges, where the reviewer reads it.
+        for pat in [
+            "unsafe {",
+            "unsafe fn ",
+            "unsafe impl ",
+            "unsafe trait ",
+            "unsafe extern",
+        ] {
+            if line.contains(pat) {
+                if !safety_above && !line.contains("SAFETY:") {
+                    report("unsafe-safety-comment");
+                }
+                break;
+            }
+        }
+
+        // atomic-ordering: a bare Relaxed access is either a pure
+        // statistic (then it lives in, or is annotated like, the stats
+        // module) or a latent reordering bug.
+        if !is_stats_module && line.contains("Ordering::Relaxed") {
+            report("atomic-ordering");
+        }
+
         // undocumented-metric: registered names must be in DESIGN.md.
         for name in metric_literals(line) {
             if !design_patterns.iter().any(|p| p.matches(&name))
@@ -387,6 +424,11 @@ fn scan_file(path: &str, content: &str, design_patterns: &[MetricPattern]) -> Ve
             }
         }
 
+        // Attributes between a SAFETY comment and its unsafe item
+        // (e.g. `#[inline]`) keep the comment attached.
+        if !line.starts_with("#[") {
+            safety_above = false;
+        }
         prev = Some(raw);
     }
     out
@@ -607,6 +649,70 @@ mod tests {
         let allowed = "// nestlint: allow(tier-bypass): staging fixture bytes, not serving\n\
                        fn f() { let b = LocalFsBackend::new(&root)?; }\n";
         assert!(scan_source("crates/bench/src/bin/x.rs", allowed, DESIGN).is_empty());
+    }
+
+    #[test]
+    fn seeded_unsafe_without_safety_comment_is_caught() {
+        let src = "fn f() { let x = unsafe { *p };\n\
+                   unsafe fn g() {}\n\
+                   unsafe impl Send for T {}\n\
+                   }\n";
+        let v = scan_source("crates/core/src/x.rs", src, DESIGN);
+        assert_eq!(
+            rules_of(&v),
+            vec![
+                "unsafe-safety-comment",
+                "unsafe-safety-comment",
+                "unsafe-safety-comment"
+            ]
+        );
+        // A SAFETY comment directly above discharges the rule...
+        let above = "// SAFETY: p is valid for reads for the guard's lifetime\n\
+                     fn f() { let x = unsafe { *p }; }\n";
+        assert!(scan_source("crates/core/src/x.rs", above, DESIGN).is_empty());
+        // ...including as a later line of a longer comment block, and
+        // across an interposed attribute.
+        let block = "// Reads the mapped page.\n\
+                     // SAFETY: mapping outlives self; see new().\n\
+                     #[inline]\n\
+                     fn f() { let x = unsafe { *p }; }\n";
+        assert!(scan_source("crates/core/src/x.rs", block, DESIGN).is_empty());
+        // ...or trailing on the same line.
+        let same = "fn f() { unsafe { syscall() } } // SAFETY: fds outlive the call\n";
+        assert!(scan_source("crates/core/src/x.rs", same, DESIGN).is_empty());
+        // An unrelated comment above does not.
+        let unrelated = "// fast path\nfn f() { let x = unsafe { *p }; }\n";
+        assert_eq!(
+            rules_of(&scan_source("crates/core/src/x.rs", unrelated, DESIGN)),
+            vec!["unsafe-safety-comment"]
+        );
+        // A SAFETY comment only attaches to the adjacent item: code in
+        // between detaches it.
+        let detached = "// SAFETY: for g only\nfn g() {}\nfn f() { unsafe { h() } }\n";
+        assert_eq!(
+            rules_of(&scan_source("crates/core/src/x.rs", detached, DESIGN)),
+            vec!["unsafe-safety-comment"]
+        );
+        // The word inside prose or a string is not an unsafe region.
+        let prose = "fn f(s: &str) { assert!(!s.contains('\"'), \"JSON-unsafe string\"); }\n";
+        assert!(scan_source("crates/core/src/x.rs", prose, DESIGN).is_empty());
+    }
+
+    #[test]
+    fn seeded_atomic_ordering_is_caught_outside_stats() {
+        let src = "fn f(a: &AtomicUsize) { a.fetch_add(1, Ordering::Relaxed); }\n";
+        let v = scan_source("crates/core/src/x.rs", src, DESIGN);
+        assert_eq!(rules_of(&v), vec!["atomic-ordering"]);
+        // The stats module is the sanctioned home of relaxed counters.
+        assert!(scan_source("crates/obs/src/metrics.rs", src, DESIGN).is_empty());
+        // Stronger orderings are always fine.
+        let seq = "fn f(a: &AtomicUsize) { a.fetch_add(1, Ordering::SeqCst); }\n";
+        assert!(scan_source("crates/core/src/x.rs", seq, DESIGN).is_empty());
+        // A reasoned allow documents why no synchronization rides on it.
+        let allowed =
+            "// nestlint: allow(atomic-ordering): monotonic id tick, nothing reads it for sync\n\
+                       fn f(a: &AtomicUsize) { a.fetch_add(1, Ordering::Relaxed); }\n";
+        assert!(scan_source("crates/core/src/x.rs", allowed, DESIGN).is_empty());
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Model-instrumented atomics.
+//!
+//! Each operation is a scheduling point *before* it executes, so
+//! check-then-act sequences over lock-free counters (the session
+//! admission protocol's `fetch_add` / check / compensating `fetch_sub`,
+//! epoch mirrors, wakeup flags) are explored under every interleaving.
+//! The memory `Ordering` argument is accepted for signature compatibility
+//! but has no modeled effect: tasks run one at a time with a full fence
+//! (the scheduler's own mutex) between steps, so the model explores
+//! sequentially-consistent interleavings only. That is exactly the right
+//! strength for *logic* races (lost updates, transient overshoots); weak-
+//! memory reorderings are out of scope and stay the province of TSan.
+//!
+//! Outside a model run the wrappers degrade to the plain `std` atomic at
+//! zero cost, so helper types built on them stay usable in normal tests.
+
+use crate::sched;
+use std::sync::atomic::Ordering;
+
+macro_rules! model_atomic {
+    ($(#[$doc:meta])* $name:ident, $std:ty, $ty:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(v: $ty) -> Self {
+                Self { inner: <$std>::new(v) }
+            }
+
+            /// Loads the value (a scheduling point under the model).
+            pub fn load(&self, order: Ordering) -> $ty {
+                sched::yield_now();
+                self.inner.load(order)
+            }
+
+            /// Stores a value (a scheduling point under the model).
+            pub fn store(&self, v: $ty, order: Ordering) {
+                sched::yield_now();
+                self.inner.store(v, order);
+            }
+
+            /// Swaps the value (a scheduling point under the model).
+            pub fn swap(&self, v: $ty, order: Ordering) -> $ty {
+                sched::yield_now();
+                self.inner.swap(v, order)
+            }
+
+            /// Compare-and-exchange (a scheduling point under the model).
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                sched::yield_now();
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            /// The value with the model out of the picture (no yield);
+            /// for assertions after all tasks joined.
+            pub fn get(&self) -> $ty {
+                self.inner.load(Ordering::SeqCst)
+            }
+        }
+    };
+}
+
+macro_rules! model_atomic_int {
+    ($(#[$doc:meta])* $name:ident, $std:ty, $ty:ty) => {
+        model_atomic!($(#[$doc])* $name, $std, $ty);
+
+        impl $name {
+            /// Adds, returning the previous value (a scheduling point).
+            pub fn fetch_add(&self, v: $ty, order: Ordering) -> $ty {
+                sched::yield_now();
+                self.inner.fetch_add(v, order)
+            }
+
+            /// Subtracts, returning the previous value (a scheduling
+            /// point).
+            pub fn fetch_sub(&self, v: $ty, order: Ordering) -> $ty {
+                sched::yield_now();
+                self.inner.fetch_sub(v, order)
+            }
+
+            /// Maximum, returning the previous value (a scheduling
+            /// point).
+            pub fn fetch_max(&self, v: $ty, order: Ordering) -> $ty {
+                sched::yield_now();
+                self.inner.fetch_max(v, order)
+            }
+        }
+    };
+}
+
+model_atomic_int!(
+    /// Model-instrumented [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+model_atomic_int!(
+    /// Model-instrumented [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+model_atomic_int!(
+    /// Model-instrumented [`std::sync::atomic::AtomicI64`].
+    AtomicI64,
+    std::sync::atomic::AtomicI64,
+    i64
+);
+model_atomic!(
+    /// Model-instrumented [`std::sync::atomic::AtomicBool`].
+    AtomicBool,
+    std::sync::atomic::AtomicBool,
+    bool
+);

@@ -1,0 +1,66 @@
+//! Instrumented `thread::spawn` for model scenarios.
+//!
+//! Threads spawned here become *tasks* of the calling thread's model run:
+//! they start parked, run only when the scheduler grants them the token,
+//! and `join` is a scheduling point that becomes eligible when the target
+//! task finishes. Spawning itself is not a scheduling point — the child
+//! cannot observably run before the parent's next sync operation anyway,
+//! since that is the first point at which the parent could have released
+//! anything the child can see.
+
+use crate::sched::{self, TaskCtx, TaskId};
+// nestlint: allow(raw-std-sync): result cell for a joined model task; the scheduler owns blocking
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// Handle to a spawned model task; see [`spawn`].
+pub struct JoinHandle<T> {
+    task: TaskId,
+    result: Arc<StdMutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (in model time) until the task finishes and returns its
+    /// result. Unlike `std`, panics in the task are not returned here:
+    /// any task panic fails the whole schedule with a replay seed, which
+    /// is the diagnostic a model run exists to produce.
+    pub fn join(self) -> T {
+        let ctx = sched::current().expect("JoinHandle::join called outside a model run");
+        sched::join_task(&ctx, self.task);
+        self.result
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+            .expect("joined task stored its result")
+    }
+}
+
+/// Spawns `f` as a new task of the current model run. Panics if the
+/// calling thread is not itself a model task (scenarios are entered
+/// through [`crate::explore`], which runs the scenario closure as the
+/// root task).
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let parent = sched::current().expect("nest_model::thread::spawn called outside a model run");
+    let shared = Arc::clone(&parent.shared);
+    let id = sched::register_task(&shared);
+    // nestlint: allow(unnamed-lock): std result cell, not a shim lock
+    let result = Arc::new(StdMutex::new(None));
+    let slot = Arc::clone(&result);
+    let ctx = Arc::new(TaskCtx {
+        id,
+        shared: Arc::clone(&shared),
+    });
+    let os = std::thread::spawn(move || {
+        sched::task_main(ctx, move || {
+            let value = f();
+            *slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(value);
+        });
+    });
+    sched::register_handle(&shared, os);
+    JoinHandle { task: id, result }
+}

@@ -36,6 +36,8 @@
 #[path = "order.rs"]
 pub mod lock_order;
 pub mod lockstats;
+#[cfg(feature = "model")]
+pub mod model;
 
 use lock_order::Mode;
 use lockstats::LockStats;
@@ -111,6 +113,21 @@ impl ClassRef {
         let (name, rank) = self.name?;
         Some(self.cell.get_or_init(|| lockstats::cell_for(name, rank)))
     }
+
+    /// The class name alone (failure-report labeling under the model).
+    #[cfg(feature = "model")]
+    fn class_name(&self) -> Option<&'static str> {
+        self.name.map(|(n, _)| n)
+    }
+}
+
+/// The identity key a sync object contributes to the model protocol: its
+/// address. Stable for the object's lifetime, which spans any one model
+/// run; schedules are keyed by task decisions, not addresses, so reuse
+/// across runs is harmless.
+#[cfg(feature = "model")]
+fn model_addr<T: ?Sized>(obj: &T) -> usize {
+    obj as *const T as *const () as usize
 }
 
 /// A mutual-exclusion lock with `parking_lot`'s panic-free API.
@@ -125,6 +142,10 @@ pub struct MutexGuard<'a, T: ?Sized> {
     track: Option<Tracked>,
     // Option so Condvar::wait_for can temporarily take the std guard.
     inner: Option<sync::MutexGuard<'a, T>>,
+    /// Under the model: the owning lock, so drop and condvar waits can
+    /// report releases/reacquisitions to the scheduler.
+    #[cfg(feature = "model")]
+    model: Option<&'a Mutex<T>>,
 }
 
 impl<T> Mutex<T> {
@@ -156,6 +177,19 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, recovering from poisoning.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "model")]
+        if model::active() {
+            model::with(|h| h.mutex_lock(model_addr(self), self.class.class_name()));
+            // The scheduler granted exclusive ownership; the std lock is
+            // only a storage cell here and cannot be contended.
+            let inner = recover_try(self.inner.try_lock())
+                .expect("model scheduler grants exclusive mutex ownership");
+            return MutexGuard {
+                track: None,
+                inner: Some(inner),
+                model: Some(self),
+            };
+        }
         let stats = self.class.stats();
         let inner = match stats {
             None => recover(self.inner.lock()),
@@ -181,6 +215,8 @@ impl<T: ?Sized> Mutex<T> {
         MutexGuard {
             track: stats.map(Tracked::new),
             inner: Some(inner),
+            #[cfg(feature = "model")]
+            model: None,
         }
     }
 
@@ -189,6 +225,21 @@ impl<T: ?Sized> Mutex<T> {
     /// entry (it can be the *held* side of a deadlock) but records no
     /// order edge, since `try_lock` never blocks.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        #[cfg(feature = "model")]
+        if model::active() {
+            let granted =
+                model::with(|h| h.mutex_try_lock(model_addr(self), self.class.class_name()));
+            if granted != Some(true) {
+                return None;
+            }
+            let inner = recover_try(self.inner.try_lock())
+                .expect("model scheduler grants exclusive mutex ownership");
+            return Some(MutexGuard {
+                track: None,
+                inner: Some(inner),
+                model: Some(self),
+            });
+        }
         let stats = self.class.stats();
         match recover_try(self.inner.try_lock()) {
             Some(g) => {
@@ -199,6 +250,8 @@ impl<T: ?Sized> Mutex<T> {
                 Some(MutexGuard {
                     track: stats.map(Tracked::new),
                     inner: Some(g),
+                    #[cfg(feature = "model")]
+                    model: None,
                 })
             }
             None => {
@@ -234,6 +287,14 @@ impl<T: ?Sized> Drop for MutexGuard<'_, T> {
         if let Some(t) = self.track.take() {
             t.close();
         }
+        #[cfg(feature = "model")]
+        if let Some(m) = self.model.take() {
+            // Free the std storage cell first, then hand ownership back
+            // to the scheduler: the next task it grants must find the
+            // std lock uncontended.
+            self.inner = None;
+            model::with(|h| h.mutex_unlock(model_addr(m)));
+        }
     }
 }
 
@@ -247,13 +308,19 @@ pub struct RwLock<T: ?Sized> {
 /// Shared-read guard for [`RwLock`].
 pub struct RwLockReadGuard<'a, T: ?Sized> {
     track: Option<Tracked>,
-    inner: sync::RwLockReadGuard<'a, T>,
+    inner: Option<sync::RwLockReadGuard<'a, T>>,
+    /// Under the model: the owning lock, for the release hook on drop.
+    #[cfg(feature = "model")]
+    model: Option<&'a RwLock<T>>,
 }
 
 /// Exclusive-write guard for [`RwLock`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
     track: Option<Tracked>,
-    inner: sync::RwLockWriteGuard<'a, T>,
+    inner: Option<sync::RwLockWriteGuard<'a, T>>,
+    /// Under the model: the owning lock, for the release hook on drop.
+    #[cfg(feature = "model")]
+    model: Option<&'a RwLock<T>>,
 }
 
 impl<T> RwLock<T> {
@@ -283,6 +350,17 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read lock, recovering from poisoning.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(feature = "model")]
+        if model::active() {
+            model::with(|h| h.rw_lock(model_addr(self), self.class.class_name(), false));
+            let inner = recover_try(self.inner.try_read())
+                .expect("model scheduler grants shared rwlock ownership");
+            return RwLockReadGuard {
+                track: None,
+                inner: Some(inner),
+                model: Some(self),
+            };
+        }
         let stats = self.class.stats();
         let inner = match stats {
             None => recover(self.inner.read()),
@@ -305,12 +383,25 @@ impl<T: ?Sized> RwLock<T> {
         };
         RwLockReadGuard {
             track: stats.map(Tracked::new),
-            inner,
+            inner: Some(inner),
+            #[cfg(feature = "model")]
+            model: None,
         }
     }
 
     /// Acquires an exclusive write lock, recovering from poisoning.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(feature = "model")]
+        if model::active() {
+            model::with(|h| h.rw_lock(model_addr(self), self.class.class_name(), true));
+            let inner = recover_try(self.inner.try_write())
+                .expect("model scheduler grants exclusive rwlock ownership");
+            return RwLockWriteGuard {
+                track: None,
+                inner: Some(inner),
+                model: Some(self),
+            };
+        }
         let stats = self.class.stats();
         let inner = match stats {
             None => recover(self.inner.write()),
@@ -333,7 +424,9 @@ impl<T: ?Sized> RwLock<T> {
         };
         RwLockWriteGuard {
             track: stats.map(Tracked::new),
-            inner,
+            inner: Some(inner),
+            #[cfg(feature = "model")]
+            model: None,
         }
     }
 
@@ -346,7 +439,7 @@ impl<T: ?Sized> RwLock<T> {
 impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        self.inner.as_ref().expect("guard present")
     }
 }
 
@@ -355,19 +448,24 @@ impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
         if let Some(t) = self.track.take() {
             t.close();
         }
+        #[cfg(feature = "model")]
+        if let Some(l) = self.model.take() {
+            self.inner = None;
+            model::with(|h| h.rw_unlock(model_addr(l), false));
+        }
     }
 }
 
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        self.inner.as_ref().expect("guard present")
     }
 }
 
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        self.inner.as_mut().expect("guard present")
     }
 }
 
@@ -375,6 +473,11 @@ impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
     fn drop(&mut self) {
         if let Some(t) = self.track.take() {
             t.close();
+        }
+        #[cfg(feature = "model")]
+        if let Some(l) = self.model.take() {
+            self.inner = None;
+            model::with(|h| h.rw_unlock(model_addr(l), true));
         }
     }
 }
@@ -423,11 +526,21 @@ impl Condvar {
 
     /// Wakes one waiter.
     pub fn notify_one(&self) {
+        #[cfg(feature = "model")]
+        if model::active() {
+            model::with(|h| h.condvar_notify(model_addr(self), self.class.class_name(), false));
+            return;
+        }
         self.inner.notify_one();
     }
 
     /// Wakes all waiters.
     pub fn notify_all(&self) {
+        #[cfg(feature = "model")]
+        if model::active() {
+            model::with(|h| h.condvar_notify(model_addr(self), self.class.class_name(), true));
+            return;
+        }
         self.inner.notify_all();
     }
 
@@ -457,6 +570,11 @@ impl Condvar {
 
     /// Blocks until notified.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        #[cfg(feature = "model")]
+        if let Some(m) = guard.model {
+            self.model_wait(guard, m, false);
+            return;
+        }
         let std_guard = guard.inner.take().expect("guard present");
         Self::before_wait(guard);
         let start = Instant::now();
@@ -471,6 +589,15 @@ impl Condvar {
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
+        #[cfg(feature = "model")]
+        if let Some(m) = guard.model {
+            // Model time has no clock: the scheduler explores both the
+            // notified and the timed-out wakeup as distinct schedules, so
+            // the concrete Duration is irrelevant.
+            let _ = timeout;
+            let timed_out = self.model_wait(guard, m, true);
+            return WaitTimeoutResult { timed_out };
+        }
         let std_guard = guard.inner.take().expect("guard present");
         Self::before_wait(guard);
         let start = Instant::now();
@@ -480,6 +607,33 @@ impl Condvar {
         WaitTimeoutResult {
             timed_out: result.timed_out(),
         }
+    }
+
+    /// The model-side wait protocol: release the std storage cell, hand
+    /// the atomic release-wait-reacquire to the scheduler, then repopulate
+    /// the guard (the scheduler reacquired mutex ownership on our behalf
+    /// before waking us). Returns whether the wait timed out.
+    #[cfg(feature = "model")]
+    fn model_wait<'a, T>(
+        &self,
+        guard: &mut MutexGuard<'a, T>,
+        m: &'a Mutex<T>,
+        timed: bool,
+    ) -> bool {
+        guard.inner = None;
+        let timed_out = model::with(|h| {
+            h.condvar_wait(
+                model_addr(self),
+                self.class.class_name(),
+                model_addr(m),
+                timed,
+            )
+        })
+        .expect("model guard implies installed hooks");
+        let inner = recover_try(m.inner.try_lock())
+            .expect("model scheduler reacquires the mutex before wakeup");
+        guard.inner = Some(inner);
+        timed_out
     }
 }
 

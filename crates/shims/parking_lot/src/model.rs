@@ -1,0 +1,91 @@
+//! Model-checking hook points for the deterministic interleaving
+//! explorer (`nest-model`).
+//!
+//! Under the `model` cargo feature, every sync operation on a shim
+//! [`crate::Mutex`] / [`crate::RwLock`] / [`crate::Condvar`] first asks
+//! this module whether the *current thread* is a task of an active model
+//! run. If it is, the operation is routed to the installed [`ModelHooks`]
+//! — the cooperative scheduler in `crates/model` — instead of blocking on
+//! the underlying `std::sync` primitive. The scheduler serializes task
+//! execution (exactly one task runs at a time) and only lets an
+//! acquisition proceed when it has granted ownership, so the follow-up
+//! `std` `try_lock` in the shim is guaranteed to succeed without
+//! blocking: the `std` lock degenerates to a storage cell for the guard
+//! and the *model* owns the blocking semantics.
+//!
+//! Hooks are **thread-local**: threads that were not spawned through
+//! `nest_model::thread::spawn` (including every thread of a normal test
+//! or production process, even in a `--features model` build) see no
+//! hooks and take the ordinary `std`-backed path. Concurrently running
+//! explorations in different test threads therefore cannot interfere.
+//!
+//! The trait is deliberately address-based (`usize` keys): the shim knows
+//! nothing about tasks or schedules, and the scheduler knows nothing
+//! about guard types. Lock-class names ride along purely for failure
+//! reports.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// The scheduler side of the model protocol, implemented by
+/// `nest-model`'s per-task context.
+///
+/// Every method is called on a task thread of an active run. Blocking
+/// methods (`mutex_lock`, `rw_lock`, `condvar_wait`) return only when the
+/// scheduler has granted the operation; they may unwind (via
+/// `resume_unwind`) to tear the task down when the run is aborted.
+pub trait ModelHooks: Send + Sync {
+    /// Blocks (in model time) until the mutex at `addr` is granted.
+    fn mutex_lock(&self, addr: usize, name: Option<&'static str>);
+    /// Non-blocking acquisition attempt; `true` means granted.
+    fn mutex_try_lock(&self, addr: usize, name: Option<&'static str>) -> bool;
+    /// Releases the mutex at `addr` (never blocks, never yields).
+    fn mutex_unlock(&self, addr: usize);
+    /// Blocks until the rwlock at `addr` is granted in the given mode.
+    fn rw_lock(&self, addr: usize, name: Option<&'static str>, exclusive: bool);
+    /// Releases an rwlock hold of the given mode.
+    fn rw_unlock(&self, addr: usize, exclusive: bool);
+    /// Atomically releases `mutex`, waits on the condvar at `cv`, and
+    /// reacquires `mutex` before returning. `timed` waits may be woken by
+    /// the scheduler without a notify; the return value is `true` iff the
+    /// wait ended by timeout.
+    fn condvar_wait(
+        &self,
+        cv: usize,
+        name: Option<&'static str>,
+        mutex: usize,
+        timed: bool,
+    ) -> bool;
+    /// Wakes one (`all == false`) or every waiter of the condvar at `cv`.
+    fn condvar_notify(&self, cv: usize, name: Option<&'static str>, all: bool);
+}
+
+thread_local! {
+    static HOOKS: RefCell<Option<Arc<dyn ModelHooks>>> = const { RefCell::new(None) };
+}
+
+/// Installs `hooks` as the current thread's model context. Called by the
+/// model runtime when a task thread starts.
+pub fn install(hooks: Arc<dyn ModelHooks>) {
+    HOOKS.with(|h| *h.borrow_mut() = Some(hooks));
+}
+
+/// Removes the current thread's model context (task teardown).
+pub fn uninstall() {
+    HOOKS.with(|h| *h.borrow_mut() = None);
+}
+
+/// Whether the current thread is a task of an active model run.
+pub fn active() -> bool {
+    HOOKS.with(|h| h.borrow().is_some())
+}
+
+/// Runs `f` with the current thread's hooks, if installed.
+///
+/// The `Arc` is cloned out before `f` runs so the hook implementation may
+/// itself be re-entered (it never is today, but a scheduler must not be
+/// constrained by an outstanding `RefCell` borrow while it parks).
+pub(crate) fn with<R>(f: impl FnOnce(&dyn ModelHooks) -> R) -> Option<R> {
+    let hooks = HOOKS.with(|h| h.borrow().clone());
+    hooks.map(|h| f(&*h))
+}

@@ -105,7 +105,11 @@ impl std::fmt::Debug for HandleCache {
 
 /// What a lookup resolved to: a cached handle plus the epoch under which a
 /// replacement may be inserted.
-pub(crate) enum Lookup {
+///
+/// Public (rather than crate-private) so `nest-model` scenarios can drive
+/// the lookup → open → insert protocol directly under the interleaving
+/// explorer; the backend remains the only production caller.
+pub enum Lookup {
     /// Cache hit: use this handle.
     Hit(Arc<File>),
     /// Miss: open the file yourself, then offer it back via
@@ -176,7 +180,10 @@ impl HandleCache {
     /// Looks up a handle for `path`. `need_write` demands a handle opened
     /// read-write; a cached read-only handle is treated as a miss (and
     /// replaced on insert).
-    pub(crate) fn lookup(&self, path: &VPath, need_write: bool) -> Lookup {
+    ///
+    /// Public as the model-harness surface (see [`Lookup`]); production
+    /// chunk I/O reaches this only through the backend.
+    pub fn lookup(&self, path: &VPath, need_write: bool) -> Lookup {
         if self.capacity == 0 {
             return Lookup::Disabled;
         }
@@ -213,7 +220,10 @@ impl HandleCache {
     /// an invalidation happened since the `epoch` captured at lookup — the
     /// open may have raced a rename/remove and observed a name that no
     /// longer means the same file.
-    pub(crate) fn insert(&self, path: &VPath, file: Arc<File>, writable: bool, epoch: u64) {
+    ///
+    /// Public as the model-harness surface (see [`Lookup`]); production
+    /// chunk I/O reaches this only through the backend.
+    pub fn insert(&self, path: &VPath, file: Arc<File>, writable: bool, epoch: u64) {
         if self.capacity == 0 {
             return;
         }

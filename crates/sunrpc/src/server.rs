@@ -104,6 +104,7 @@ impl RpcServer {
     pub fn serve_udp(self: Arc<Self>, socket: UdpSocket) -> io::Result<()> {
         socket.set_read_timeout(Some(Duration::from_millis(50)))?;
         let mut buf = vec![0u8; 64 * 1024];
+        // nestlint: allow(atomic-ordering): stop flag polled each 50ms timeout; eventual visibility suffices
         while !self.stop.load(Ordering::Relaxed) {
             match socket.recv_from(&mut buf) {
                 Ok((n, peer)) => {
@@ -131,6 +132,7 @@ impl RpcServer {
     /// drain/idle awareness).
     pub fn serve_tcp_conn(&self, stream: TcpStream, peer: SocketAddr) -> io::Result<()> {
         let stop = Arc::clone(&self.stop);
+        // nestlint: allow(atomic-ordering): stop flag polled between requests; eventual visibility suffices
         self.serve_tcp_conn_until(stream, peer, &move || stop.load(Ordering::Relaxed), None)
     }
 
@@ -220,6 +222,7 @@ impl SpawnedRpcServer {
 
     /// Signals the serving loops to stop and joins them.
     pub fn shutdown(mut self) {
+        // nestlint: allow(atomic-ordering): stop flag; the thread joins below are the real sync point
         self.server.stop_flag().store(true, Ordering::Relaxed);
         for t in self.threads.drain(..) {
             let _ = t.join();
@@ -229,6 +232,7 @@ impl SpawnedRpcServer {
 
 impl Drop for SpawnedRpcServer {
     fn drop(&mut self) {
+        // nestlint: allow(atomic-ordering): stop flag; the thread joins below are the real sync point
         self.server.stop_flag().store(true, Ordering::Relaxed);
         for t in self.threads.drain(..) {
             let _ = t.join();

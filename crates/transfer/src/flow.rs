@@ -189,11 +189,13 @@ impl FlowMeta {
 
     /// Requests cooperative cancellation of this flow.
     pub fn request_cancel(&self) {
+        // nestlint: allow(atomic-ordering): cancel latch polled at chunk boundaries; eventual visibility suffices
         self.cancel.store(true, Ordering::Relaxed);
     }
 
     /// Whether cancellation has been requested.
     pub fn is_cancelled(&self) -> bool {
+        // nestlint: allow(atomic-ordering): cancel latch; no data is published under it
         self.cancel.load(Ordering::Relaxed)
     }
 }

@@ -82,6 +82,8 @@ pub fn thread_cpu_ns() -> u64 {
     #[cfg(target_os = "linux")]
     {
         let mut ts = sys::Timespec { sec: 0, nsec: 0 };
+        // SAFETY: `ts` is a valid, exclusively borrowed Timespec; the
+        // syscall writes only into it and the clock id is a constant.
         if unsafe { sys::clock_gettime(sys::CLOCK_THREAD_CPUTIME_ID, &mut ts) } == 0 {
             return ts.sec as u64 * 1_000_000_000 + ts.nsec as u64;
         }
@@ -117,6 +119,9 @@ pub fn transmit(
     let mut use_cfr = false;
     while moved < count {
         let want = (count - moved).min(MAX_SYSCALL_SPAN) as usize;
+        // SAFETY: both fds are open for the duration of the call (held
+        // by the caller), `off` is a valid exclusively borrowed offset,
+        // and `want` never exceeds the remaining byte count.
         let rc = unsafe {
             if use_cfr {
                 sys::copy_file_range(in_fd, &mut off, out_fd, std::ptr::null_mut(), want, 0)

@@ -10,7 +10,7 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> nest-lint (repo-rule source gate: shim-only locks, named locks, metric catalog)"
+echo "==> nest-lint (repo-rule source gate: shim-only locks, named locks, metric catalog, SAFETY comments, atomic orderings)"
 cargo run -q -p nest-lint
 
 echo "==> tier-1: cargo build --release && cargo test -q"
@@ -23,22 +23,51 @@ cargo test -q -p nest-check -p parking_lot
 echo "==> tier-1 under lock-order deadlock detection (NEST_LOCK_ORDER=1)"
 NEST_LOCK_ORDER=1 cargo test -q
 
-echo "==> ThreadSanitizer spot-check (best effort: needs nightly + rust-src)"
-tsan_src=""
-if cargo +nightly --version >/dev/null 2>&1; then
-  tsan_src="$(rustc +nightly --print sysroot)/lib/rustlib/src/rust/library"
+echo "==> nest-model (deterministic interleaving explorer, --features model; wall-clock budget 60s)"
+model_start=$SECONDS
+cargo test -q -p nest-model --features model
+model_elapsed=$((SECONDS - model_start))
+if [ "$model_elapsed" -gt 60 ]; then
+  echo "    nest-model: FAILED (took ${model_elapsed}s, budget 60s — a scenario outgrew exhaustive exploration)" >&2
+  exit 1
 fi
-if [ -n "$tsan_src" ] && [ -d "$tsan_src" ]; then
+echo "    nest-model: PASSED (${model_elapsed}s)"
+
+# Sanitizer passes are best-effort: they need a nightly toolchain with
+# rust-src for -Zbuild-std. Each reports PASSED / SKIPPED (reason)
+# explicitly so a log reader can tell "ran clean" from "never ran".
+san_src=""
+if cargo +nightly --version >/dev/null 2>&1; then
+  san_src="$(rustc +nightly --print sysroot)/lib/rustlib/src/rust/library"
+fi
+san_host="$(rustc -vV | sed -n 's/^host: //p')"
+
+echo "==> ThreadSanitizer spot-check (parking_lot shim)"
+if [ -n "$san_src" ] && [ -d "$san_src" ]; then
   if RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
-     cargo +nightly test -Zbuild-std --target "$(rustc -vV | sed -n 's/^host: //p')" \
+     cargo +nightly test -Zbuild-std --target "$san_host" \
        -q -p parking_lot 2>target/tsan.log; then
-    echo "    tsan: parking_lot shim clean"
+    echo "    tsan: PASSED (parking_lot shim clean)"
   else
     echo "    tsan: FAILED (see target/tsan.log)" >&2
     exit 1
   fi
 else
-  echo "    tsan: skipped (nightly toolchain with rust-src not available)"
+  echo "    tsan: SKIPPED (nightly toolchain with rust-src not available)"
+fi
+
+echo "==> AddressSanitizer + LeakSanitizer pass (tests/fault_paths.rs: fault-path cleanup must not leak)"
+if [ -n "$san_src" ] && [ -d "$san_src" ]; then
+  if RUSTFLAGS="-Zsanitizer=address" RUSTDOCFLAGS="-Zsanitizer=address" \
+     cargo +nightly test -Zbuild-std --target "$san_host" \
+       -q --test fault_paths 2>target/asan.log; then
+    echo "    asan/lsan: PASSED (fault paths clean, no leaks)"
+  else
+    echo "    asan/lsan: FAILED (see target/asan.log)" >&2
+    exit 1
+  fi
+else
+  echo "    asan/lsan: SKIPPED (nightly toolchain with rust-src not available)"
 fi
 
 echo "==> fault matrix (deterministic fault injection across models x policies)"
