@@ -166,6 +166,12 @@ pub struct NestConfig {
     /// the appliance's `FrontRegistry` at start, in order. Each factory
     /// receives the dispatcher and returns the front to serve.
     pub extra_fronts: Vec<ExtraFront>,
+    /// Stripe count for the appliance's sharded tables (lot table, quota
+    /// table, handle cache, mem-tier presence index, fh table, session
+    /// live registry, transfer stats). `1` selects the single-mutex
+    /// ablation — the pre-sharding serialization points, for the scale
+    /// bench baseline. Default: 8.
+    pub shards: usize,
 }
 
 /// Per-protocol listening ports; `None` disables the protocol.
@@ -241,6 +247,7 @@ impl Default for NestConfig {
             accept_queue_depth: 0,
             idle_timeout: None,
             extra_fronts: Vec::new(),
+            shards: 8,
         }
     }
 }
@@ -458,6 +465,14 @@ impl NestConfigBuilder {
     /// Per-connection idle deadline (`None` keeps idle connections).
     pub fn idle_timeout(mut self, timeout: Option<Duration>) -> Self {
         self.config.idle_timeout = timeout;
+        self
+    }
+
+    /// Stripe count for the appliance's sharded tables (`1` = the
+    /// single-mutex ablation; see [`NestConfig::shards`]). Clamped to at
+    /// least 1.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards.max(1);
         self
     }
 

@@ -149,7 +149,8 @@ impl Dispatcher {
             }
             _ => AclTable::open_by_default(),
         };
-        let mut storage = StorageManager::new(backend, acl, config.capacity, config.reclaim);
+        let mut storage = StorageManager::new(backend, acl, config.capacity, config.reclaim)
+            .with_shards(config.shards.max(1));
         if !config.enforce_lots {
             storage = storage.with_lots_disabled();
         }
@@ -177,6 +178,7 @@ impl Dispatcher {
             obs: Some(Arc::clone(&obs)),
             pool_buffers: true,
             zerocopy: true,
+            shards: config.shards.max(1),
         });
         let metrics = DispatchMetrics::new(&obs);
         // Pre-register the writev-coalescing counter so it shows up (at
@@ -762,13 +764,16 @@ impl Dispatcher {
             "ActiveConnections",
             nest_classad::Value::Int(self.obs.metrics.gauge("session.active").get()),
         );
-        // Self-diagnosis for the matchmaker: which internal lock class is
-        // contended most, and how often (e.g. "storage.lot:42"). Absent
-        // until any named lock has ever contended.
+        // Self-diagnosis for the matchmaker: which production lock class
+        // lost the most time to contention, in microseconds blocked (e.g.
+        // "storage.lot:1843us"). Ranked by wait time, not bounce count —
+        // a cheap fast-path bounce is not a scaling wall — and harness
+        // (`test.*`/`model.*`) classes never appear. Absent until any
+        // production class has contended.
         if let Some(top) = parking_lot::lockstats::most_contended() {
             ad.insert_value(
                 "LockContentionTop",
-                nest_classad::Value::Str(format!("{}:{}", top.name, top.contended)),
+                nest_classad::Value::Str(format!("{}:{}us", top.name, top.wait_ns / 1_000)),
             );
         }
         ad

@@ -3,45 +3,70 @@
 //! Handles carry a 64-bit id and a generation tag. When a path is removed
 //! and its id later reused, the generation differs and stale handles are
 //! answered with `NFSERR_STALE`, as a correct NFS server must.
+//!
+//! ## Striping
+//!
+//! The table is two sharded maps: path → id cells (class `core.fhtable`,
+//! rank 110, keyed by path hash) and id → (path, generation) cells
+//! (class `core.fhtable.ids`, rank 111, keyed by id). Handle resolution —
+//! the per-request hot path (every NFS op resolves at least one handle) —
+//! touches exactly one id cell; allocation and rename touch one or two
+//! path cells plus one id cell. Cells are only ever nested path → id
+//! (matching the 110 → 111 rank order), and multi-cell locks within the
+//! path class are taken in ascending cell order. Ids are allocated from a
+//! global atomic and never reused, so the id counter needs no lock; the
+//! generation tag is likewise a global atomic whose bump inside `forget`
+//! happens under the forgotten path's cell, making recreate-after-forget
+//! observe the new generation.
 
 use nest_proto::nfs::FileHandle;
 use nest_storage::VPath;
-use parking_lot::Mutex;
+use parking_lot::{shard_hash, ShardedMutex};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default stripe count for the handle table (matching the storage
+/// layer's default).
+pub const DEFAULT_FHTABLE_SHARDS: usize = 8;
 
 /// The handle table.
 #[derive(Debug)]
 pub struct FhTable {
-    inner: Mutex<FhState>,
+    /// Monotonic id allocator; ids are never reused.
+    next_id: AtomicU64,
+    /// Generation tag for newly allocated handles; bumped on every
+    /// `forget` so recreated paths get distinguishable handles.
+    generation: AtomicU64,
+    by_path: ShardedMutex<HashMap<VPath, u64>>,
+    by_id: ShardedMutex<HashMap<u64, (VPath, u64)>>,
 }
 
 impl Default for FhTable {
     fn default() -> Self {
-        Self {
-            inner: Mutex::named("core.fhtable", 110, FhState::default()),
-        }
+        Self::with_shards(DEFAULT_FHTABLE_SHARDS)
     }
-}
-
-#[derive(Debug, Default)]
-struct FhState {
-    next_id: u64,
-    generation: u64,
-    by_path: HashMap<VPath, u64>,
-    by_id: HashMap<u64, (VPath, u64)>,
 }
 
 impl FhTable {
     /// Creates a table whose id 1 is the root directory.
     pub fn new() -> Self {
-        let table = Self::default();
-        {
-            let mut st = table.inner.lock();
-            st.next_id = 2;
-            st.generation = 1;
-            st.by_path.insert(VPath::root(), 1);
-            st.by_id.insert(1, (VPath::root(), 1));
-        }
+        Self::default()
+    }
+
+    /// Creates a table with an explicit stripe count (`1` = the
+    /// single-mutex ablation); id 1 is the root directory.
+    pub fn with_shards(shards: usize) -> Self {
+        let table = Self {
+            next_id: AtomicU64::new(2),
+            generation: AtomicU64::new(1),
+            by_path: ShardedMutex::new("core.fhtable", 110, shards, |_| HashMap::new()),
+            by_id: ShardedMutex::new("core.fhtable.ids", 111, shards, |_| HashMap::new()),
+        };
+        table
+            .by_path
+            .lock(shard_hash(&VPath::root()))
+            .insert(VPath::root(), 1);
+        table.by_id.lock(1).insert(1, (VPath::root(), 1));
         table
     }
 
@@ -52,23 +77,27 @@ impl FhTable {
 
     /// Returns (allocating if needed) the handle for a path.
     pub fn handle_for(&self, path: &VPath) -> FileHandle {
-        let mut st = self.inner.lock();
-        if let Some(&id) = st.by_path.get(path) {
-            let generation = st.by_id[&id].1;
+        let mut paths = self.by_path.lock(shard_hash(path));
+        if let Some(&id) = paths.get(path) {
+            // Nested path → id (rank 110 → 111), never the reverse.
+            let generation = self.by_id.lock(id).get(&id).map_or(0, |e| e.1);
             return FileHandle::from_id(id, generation);
         }
-        let id = st.next_id;
-        st.next_id += 1;
-        let generation = st.generation;
-        st.by_path.insert(path.clone(), id);
-        st.by_id.insert(id, (path.clone(), generation));
+        // Same-path allocators serialize on this path cell, so exactly
+        // one of them allocates; the id is globally fresh either way.
+        // nestlint: allow(atomic-ordering): monotonic id tick, no sync rides on it
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let generation = self.generation.load(Ordering::Acquire);
+        paths.insert(path.clone(), id);
+        self.by_id.lock(id).insert(id, (path.clone(), generation));
         FileHandle::from_id(id, generation)
     }
 
-    /// Resolves a handle to its path; `None` for unknown or stale handles.
+    /// Resolves a handle to its path; `None` for unknown or stale
+    /// handles. Touches only the handle's id cell — the hot path.
     pub fn resolve(&self, fh: &FileHandle) -> Option<VPath> {
-        let st = self.inner.lock();
-        let (path, generation) = st.by_id.get(&fh.id())?;
+        let ids = self.by_id.lock(fh.id());
+        let (path, generation) = ids.get(&fh.id())?;
         if *generation != fh.generation() {
             return None;
         }
@@ -77,21 +106,40 @@ impl FhTable {
 
     /// Forgets a path (on remove/rmdir); its handles become stale.
     pub fn forget(&self, path: &VPath) {
-        let mut st = self.inner.lock();
-        if let Some(id) = st.by_path.remove(path) {
-            st.by_id.remove(&id);
+        let mut paths = self.by_path.lock(shard_hash(path));
+        if let Some(id) = paths.remove(path) {
+            self.by_id.lock(id).remove(&id);
         }
         // Bump the generation so a recreated file at the same path gets a
-        // distinguishable handle even if ids were ever reused.
-        st.generation += 1;
+        // distinguishable handle even if ids were ever reused. Done under
+        // the path cell: a recreate serializes behind this lock and must
+        // observe the new generation.
+        self.generation.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Re-keys a path (on rename), keeping the same handle valid.
     pub fn rename(&self, from: &VPath, to: &VPath) {
-        let mut st = self.inner.lock();
-        if let Some(id) = st.by_path.remove(from) {
-            st.by_path.insert(to.clone(), id);
-            if let Some(entry) = st.by_id.get_mut(&id) {
+        let from_idx = self.by_path.shard_for(shard_hash(from));
+        let to_idx = self.by_path.shard_for(shard_hash(to));
+        // Both path cells, ascending cell order (same-class nesting).
+        let (mut a, mut b) = if from_idx == to_idx {
+            (self.by_path.lock_idx(from_idx), None)
+        } else {
+            let lo = self.by_path.lock_idx(from_idx.min(to_idx));
+            let hi = self.by_path.lock_idx(from_idx.max(to_idx));
+            if from_idx < to_idx {
+                (lo, Some(hi))
+            } else {
+                (hi, Some(lo))
+            }
+        };
+        let from_cell = &mut a;
+        if let Some(id) = from_cell.remove(from) {
+            match &mut b {
+                Some(to_cell) => to_cell.insert(to.clone(), id),
+                None => from_cell.insert(to.clone(), id),
+            };
+            if let Some(entry) = self.by_id.lock(id).get_mut(&id) {
                 entry.0 = to.clone();
             }
         }
@@ -154,5 +202,51 @@ mod tests {
         let t = FhTable::new();
         assert_eq!(t.fileid(&vp("/x")), t.fileid(&vp("/x")));
         assert_ne!(t.fileid(&vp("/x")), t.fileid(&vp("/y")));
+    }
+
+    #[test]
+    fn sharded_table_semantics_match_single_cell() {
+        // The full protocol — allocate, resolve, cross-cell rename,
+        // forget-staleness — must behave identically at any stripe count.
+        for shards in [1, 4] {
+            let t = FhTable::with_shards(shards);
+            let handles: Vec<_> = (0..32)
+                .map(|i| t.handle_for(&vp(&format!("/f{}", i))))
+                .collect();
+            for (i, fh) in handles.iter().enumerate() {
+                assert_eq!(t.resolve(fh), Some(vp(&format!("/f{}", i))));
+            }
+            // Renames that land in a different path cell keep handles
+            // valid; ids never move cells (keyed by id, not path).
+            for i in 0..32 {
+                t.rename(&vp(&format!("/f{}", i)), &vp(&format!("/g{}", i)));
+            }
+            for (i, fh) in handles.iter().enumerate() {
+                assert_eq!(t.resolve(fh), Some(vp(&format!("/g{}", i))));
+            }
+            t.forget(&vp("/g0"));
+            assert_eq!(t.resolve(&handles[0]), None);
+            assert_eq!(t.resolve(&handles[1]), Some(vp("/g1")));
+        }
+    }
+
+    #[test]
+    fn concurrent_allocation_yields_unique_ids() {
+        use std::sync::Arc;
+        let t = Arc::new(FhTable::with_shards(4));
+        let mut joins = Vec::new();
+        for thread in 0..8 {
+            let t = Arc::clone(&t);
+            joins.push(std::thread::spawn(move || {
+                (0..64)
+                    .map(|i| t.handle_for(&vp(&format!("/t{}/f{}", thread, i))).id())
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut ids: Vec<u64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate handle ids allocated");
     }
 }

@@ -56,6 +56,7 @@ impl NestServer {
             max_conns_per_protocol: config.max_conns_per_protocol,
             queue_depth: config.accept_queue_depth,
             idle_timeout: config.idle_timeout,
+            shards: config.shards,
         };
         let mut registry = FrontRegistry::new(Arc::clone(dispatcher.obs()), session_cfg);
 
@@ -87,7 +88,7 @@ impl NestServer {
         }
 
         let (rpc, nfs_addr, nfs_tcp_addr) = if config.ports.nfs.is_some() {
-            let fhs = Arc::new(FhTable::new());
+            let fhs = Arc::new(FhTable::with_shards(config.shards.max(1)));
             let mut rpc_server = RpcServer::new();
             rpc_server.register(
                 NFS_PROGRAM,

@@ -1,4 +1,4 @@
-//! Model-checked scenarios for the five most-contended lock classes in
+//! Model-checked scenarios for the most-contended lock classes in
 //! the appliance, run **unmodified** production types under exhaustive
 //! interleaving exploration:
 //!
@@ -9,14 +9,16 @@
 //! | handle cache        | `storage.handle_cache.state` epoch guard       |
 //! | memory tier         | `storage.memtier.state` flush vs. evict        |
 //! | session admission   | lock-free `active` counter protocol            |
+//! | striped lot table   | `storage.lot` cells + sloppy `committed` bound |
+//! | sharded live map    | striped registry walk vs. self-removal         |
 //!
 //! Every schedule executes the real crate code; the `invariant!`
 //! conservation checks inside it (stride ticket conservation, bufpool
-//! outstanding/idle accounting, handle-cache capacity, mem-tier budget)
-//! fire under *every* interleaving, not just the ones a stress test
-//! happens to hit. All five explore exhaustively (no preemption bound):
-//! the scenarios are sized so the full schedule space fits the
-//! `scripts/check.sh` wall-clock budget.
+//! outstanding/idle accounting, handle-cache capacity, mem-tier budget,
+//! per-lot byte conservation) fire under *every* interleaving, not just
+//! the ones a stress test happens to hit. All scenarios explore
+//! exhaustively (no preemption bound): they are sized so the full
+//! schedule space fits the `scripts/check.sh` wall-clock budget.
 #![cfg(feature = "model")]
 
 use nest_model::{check, thread, Config};
@@ -339,6 +341,169 @@ fn session_admission_never_overshoots_cap() {
         // reject each other (the first `fetch_add` to land sees prev 0).
         assert!(admitted_count >= 1, "admission starved under cap {CAP}");
         assert_eq!(scenario_active.get(), 0, "active counter leaked");
+    });
+    assert!(report.complete, "exploration hit a budget: {report:?}");
+    assert!(report.failure.is_none());
+}
+
+/// Striped-lot byte conservation (`storage.lot` over two cells): a
+/// charge into the active lot (per-cell fast path), a release of an
+/// earlier charge (peek-then-widen cross-cell path), and an admission
+/// that fails the sloppy `committed` CAS and must take the all-cells
+/// reclaim path — evicting the expired best-effort lot — all race.
+/// Under every interleaving the global promise invariant
+/// Σ active capacities + Σ best-effort used ≤ total capacity holds, the
+/// charge and release each land exactly once, and reclamation removes
+/// exactly the expired victim.
+#[test]
+fn striped_lot_charge_release_evict_conserves_bytes() {
+    use nest_storage::lot::{LotManager, LotOwner, ReclaimPolicy};
+    use nest_storage::VPath;
+    use std::collections::HashSet;
+
+    let report = check(&Config::exhaustive(), || {
+        // Two cells; lot ids start at 1 and map to cells by `id % 2`.
+        let mgr = Arc::new(LotManager::with_shards(100, ReclaimPolicy::ExpiredFirst, 2));
+        let f0 = VPath::parse("/model/f0").expect("valid vpath");
+        let f1 = VPath::parse("/model/f1").expect("valid vpath");
+        let f2 = VPath::parse("/model/f2").expect("valid vpath");
+        let no_groups = HashSet::new();
+
+        // Lot 1 (cell 1): active for user "u", pre-charged 5 bytes (f0).
+        // Lot 2 (cell 0): expires at t=1 holding 25 bytes (f2) — the
+        // best-effort reclaim victim once the clock reads 10.
+        let (active_id, _) = mgr
+            .create(LotOwner::User("u".into()), 40, 1000, 0)
+            .expect("active lot");
+        let (victim_id, _) = mgr
+            .create(LotOwner::User("v".into()), 40, 1, 0)
+            .expect("victim lot");
+        assert_eq!((active_id.0 % 2, victim_id.0 % 2), (1, 0));
+        mgr.charge_file("u", &no_groups, &f0, 5, 0)
+            .expect("seed f0");
+        mgr.charge_file("v", &no_groups, &f2, 25, 0)
+            .expect("seed f2");
+
+        let charger = {
+            let mgr = Arc::clone(&mgr);
+            let f1 = f1.clone();
+            thread::spawn(move || mgr.charge_file("u", &HashSet::new(), &f1, 30, 10))
+        };
+        let releaser = {
+            let mgr = Arc::clone(&mgr);
+            let f0 = f0.clone();
+            thread::spawn(move || mgr.release_file(&f0))
+        };
+        // committed = 80, so the 55-byte CAS fast path cannot admit;
+        // the slow path holds every cell, reclaims lot 2 (expired, 25
+        // used), and recomputes the exact bound.
+        let admitter = {
+            let mgr = Arc::clone(&mgr);
+            thread::spawn(move || mgr.create(LotOwner::User("w".into()), 55, 1000, 10))
+        };
+        charger
+            .join()
+            .expect("30-byte charge always fits the active lot");
+        assert_eq!(releaser.join(), 5, "release returns the exact charge");
+        let (_, evicted) = admitter.join().expect("admission fits after reclaim");
+        assert_eq!(evicted.lots, vec![victim_id], "only the expired lot dies");
+        assert_eq!(evicted.files, vec![f2.clone()], "its file is handed back");
+
+        // Conservation, whatever the schedule: active lots promise their
+        // capacity, best-effort lots their occupancy, and the total never
+        // exceeds physical capacity.
+        let lots = mgr.all_lots();
+        let promised: u64 = lots
+            .iter()
+            .map(|l| if l.is_expired(10) { l.used } else { l.capacity })
+            .sum();
+        assert!(
+            promised <= mgr.total_capacity(),
+            "over-promised: {promised} > {}",
+            mgr.total_capacity()
+        );
+        let active = lots
+            .iter()
+            .find(|l| l.id == active_id)
+            .expect("active lot survives reclamation");
+        assert_eq!(active.used, 30, "f0 released and f1 charged exactly once");
+        assert!(!lots.iter().any(|l| l.id == victim_id), "victim is gone");
+    });
+    assert!(report.complete, "exploration hit a budget: {report:?}");
+    assert!(report.failure.is_none());
+}
+
+/// The sharded session registry's admit-vs-drain consistency: `serve()`
+/// removes a finished connection from its id's cell while `drain` walks
+/// the cells one at a time (the production [`parking_lot::ShardedMutex`]
+/// primitive, two cells) hard-closing whatever is still present. Under
+/// every interleaving of the walk with concurrent self-removal, each
+/// admitted connection deregisters exactly once, the registry ends
+/// empty, and the walk never counts a connection that had already left
+/// its cell.
+#[test]
+fn sharded_live_registry_walk_vs_removal_is_consistent() {
+    use parking_lot::ShardedMutex;
+    use std::collections::HashMap;
+    use std::sync::atomic::AtomicUsize;
+
+    let report = check(&Config::exhaustive(), || {
+        let live: Arc<ShardedMutex<HashMap<u64, ()>>> =
+            Arc::new(ShardedMutex::new("model.session.live", 902, 2, |_| {
+                HashMap::new()
+            }));
+        let active = Arc::new(AtomicUsize::new(0));
+        let hard_closed = Arc::new(AtomicUsize::new(0));
+
+        // Two connections, one per cell (`lock` shards by the id), both
+        // admitted before the drain begins — the stop-accepting barrier
+        // in the real layer guarantees no admissions race the walk.
+        for id in [0u64, 1u64] {
+            active.fetch_add(1, Ordering::SeqCst);
+            live.lock(id).insert(id, ());
+        }
+
+        let workers: Vec<_> = [0u64, 1u64]
+            .into_iter()
+            .map(|id| {
+                let live = Arc::clone(&live);
+                let active = Arc::clone(&active);
+                thread::spawn(move || {
+                    // serve(): the request stream ends (naturally or cut
+                    // by the drain's shutdown) and the worker deregisters.
+                    let was_live = live.lock(id).remove(&id).is_some();
+                    assert!(was_live, "a connection deregisters exactly once");
+                    active.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        let drainer = {
+            let live = Arc::clone(&live);
+            let hard_closed = Arc::clone(&hard_closed);
+            thread::spawn(move || {
+                // drain(): walk cells sequentially; every entry still
+                // present gets its stream shut down and counted.
+                live.for_each_cell(|_, cell| {
+                    hard_closed.fetch_add(cell.len(), Ordering::SeqCst);
+                });
+            })
+        };
+        for w in workers {
+            w.join();
+        }
+        drainer.join();
+
+        assert_eq!(
+            active.load(Ordering::SeqCst),
+            0,
+            "every admission released exactly once"
+        );
+        let leftover: usize = live.for_each_cell(|_, c| c.len()).into_iter().sum();
+        assert_eq!(leftover, 0, "registry drains to empty");
+        assert!(
+            hard_closed.load(Ordering::SeqCst) <= 2,
+            "the walk never double-counts a connection"
+        );
     });
     assert!(report.complete, "exploration hit a budget: {report:?}");
     assert!(report.failure.is_none());

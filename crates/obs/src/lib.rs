@@ -26,7 +26,7 @@ pub mod metrics;
 pub mod registry;
 pub mod trace;
 
-pub use metrics::{Counter, EwmaMeter, Gauge, Histogram};
+pub use metrics::{Counter, EwmaMeter, Gauge, Histogram, ShardedCounter};
 pub use registry::{MetricValue, MetricsSnapshot, Registry};
 pub use trace::{CollectingSink, Span, SpanRecord, SpanSink, Tracer};
 

@@ -108,12 +108,88 @@ pub fn snapshot() -> Vec<LockStatSnapshot> {
         .collect()
 }
 
-/// The lock class with the highest contended count (ties broken by name),
-/// or `None` when no class has ever contended. Feeds the discovery
+/// True for lock classes that only exist inside test or model-checker
+/// harnesses — they never run in production, so contention surfaces must
+/// not report them.
+fn harness_class(name: &str) -> bool {
+    name.starts_with("test.") || name.starts_with("model.")
+}
+
+/// The production lock class with the most total blocked time (`wait_ns`;
+/// ties broken by contended count, then name), or `None` when no class
+/// has ever contended. Raw contended counts overweight cheap fast-path
+/// bounces, so the ranking key is time lost, not bounce count.
+/// `test.*`/`model.*` harness classes are excluded. Feeds the discovery
 /// ClassAd's `LockContentionTop` attribute.
 pub fn most_contended() -> Option<LockStatSnapshot> {
     snapshot()
         .into_iter()
-        .filter(|s| s.contended > 0)
-        .max_by(|a, b| a.contended.cmp(&b.contended).then(b.name.cmp(a.name)))
+        .filter(|s| s.contended > 0 && !harness_class(s.name))
+        .max_by(|a, b| {
+            a.wait_ns
+                .cmp(&b.wait_ns)
+                .then(a.contended.cmp(&b.contended))
+                .then(b.name.cmp(a.name))
+        })
+}
+
+/// The `n` most-contended production lock classes ranked by `wait_ns`
+/// descending (the same ranking and harness-class exclusion as
+/// [`most_contended`]). The scale lab snapshots this before and after a
+/// measured window to build its contention profile.
+pub fn top_contended(n: usize) -> Vec<LockStatSnapshot> {
+    let mut rows: Vec<_> = snapshot()
+        .into_iter()
+        .filter(|s| s.contended > 0 && !harness_class(s.name))
+        .collect();
+    rows.sort_by(|a, b| {
+        b.wait_ns
+            .cmp(&a.wait_ns)
+            .then(b.contended.cmp(&a.contended))
+            .then(a.name.cmp(b.name))
+    });
+    rows.truncate(n);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn most_contended_ranks_by_wait_not_bounce_count() {
+        // Many cheap bounces on one class, fewer but far costlier blocks
+        // on another: the ranking must pick the class that lost the most
+        // time. (Names avoid the excluded `test.`/`model.` prefixes; this
+        // crate's own test binary is the only reader of these rows.)
+        let bouncy = cell_for("zz.lockstats.bouncy", 1);
+        for _ in 0..1000 {
+            bouncy.note_contended();
+            bouncy.note_wait(10);
+        }
+        let waity = cell_for("zz.lockstats.waity", 2);
+        waity.note_contended();
+        waity.note_wait(1_000_000_000);
+        let top = most_contended().expect("contended classes exist");
+        assert_eq!(top.name, "zz.lockstats.waity");
+        let ranked = top_contended(2);
+        assert_eq!(ranked[0].name, "zz.lockstats.waity");
+        assert_eq!(ranked[1].name, "zz.lockstats.bouncy");
+    }
+
+    #[test]
+    fn harness_classes_never_surface() {
+        let t = cell_for("test.lockstats.loud", 3);
+        let m = cell_for("model.lockstats.loud", 4);
+        for c in [t, m] {
+            c.note_contended();
+            c.note_wait(u64::MAX / 4);
+        }
+        if let Some(top) = most_contended() {
+            assert!(!harness_class(top.name), "harness class leaked: {}", top.name);
+        }
+        for row in top_contended(usize::MAX) {
+            assert!(!harness_class(row.name), "harness class leaked: {}", row.name);
+        }
+    }
 }

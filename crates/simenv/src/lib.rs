@@ -29,7 +29,11 @@
 //! * [`writepath`] — the Figure 6 write-path model (buffer cache
 //!   absorption, disk-bound tail, quota bookkeeping overhead).
 //! * [`stats`] — bandwidth/latency accounting.
+//! * [`arrivals`] — seeded flash-crowd arrival and bounded-Pareto size
+//!   generators shared by the 10k-session scale lab (`bench/scale`) and
+//!   its simulated twin.
 
+pub mod arrivals;
 pub mod jbos;
 pub mod platform;
 pub mod server;
@@ -37,6 +41,7 @@ pub mod stats;
 pub mod workload;
 pub mod writepath;
 
+pub use arrivals::{FlashCrowd, ParetoSizes, SplitMix64};
 pub use jbos::SimJbos;
 pub use platform::PlatformProfile;
 pub use server::{SimPolicy, SimServer};

@@ -19,17 +19,33 @@
 //! its one operation but never cached, so a stale descriptor can never be
 //! re-served.
 //!
+//! ## Striping
+//!
+//! The hot lookup path is striped by path hash: every entry for one path
+//! lives in exactly one cell (all cells share the
+//! `storage.handlecache.state` lock class), so chunk I/O on distinct hot
+//! files stops serializing on one mutex. The invalidation epoch stays
+//! global (a lock-free atomic, bumped and checked under the owning cell's
+//! lock), which keeps the insert-vs-invalidate race protocol exactly as
+//! before for same-path races and merely conservative — a spurious
+//! use-once — for cross-path ones. Eviction becomes per-cell LRU with a
+//! per-cell slice of the capacity; the global descriptor bound still
+//! holds because the per-cell caps sum to at most the configured
+//! capacity. Small capacities collapse to a single cell so eviction
+//! order stays exactly LRU when the cache is tiny.
+//!
 //! ## Sizing
 //!
-//! Capacity bounds open descriptors; eviction is least-recently-used.
-//! Capacity 0 disables caching entirely (every operation opens fresh —
-//! the ablation baseline and the pre-cache behavior).
+//! Capacity bounds open descriptors; eviction is least-recently-used
+//! within a cell. Capacity 0 disables caching entirely (every operation
+//! opens fresh — the ablation baseline and the pre-cache behavior).
 
 use crate::namespace::VPath;
 use nest_obs::{Counter, Gauge, Obs};
-use parking_lot::Mutex;
+use parking_lot::{shard_hash, Mutex, ShardedMutex};
 use std::collections::HashMap;
 use std::fs::File;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Point-in-time counters for the cache (see also the
@@ -55,13 +71,12 @@ struct Entry {
     stamp: u64,
 }
 
+/// Per-cell state: the entries whose paths hash here, plus this cell's
+/// share of the counters (summed at [`HandleCache::stats`] time).
 struct CacheState {
     entries: HashMap<VPath, Entry>,
-    /// Monotonic use counter backing the LRU stamps.
+    /// Monotonic use counter backing this cell's LRU stamps.
     tick: u64,
-    /// Bumped by every invalidation; insertions captured under an older
-    /// epoch are dropped instead of cached (see module docs).
-    epoch: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -76,29 +91,38 @@ struct CacheInstruments {
 }
 
 /// The handle cache. Cheap to share (`Arc` internally not required — the
-/// backend owns it); all state sits behind one short-held mutex, and the
-/// actual I/O happens outside the lock on the cloned `Arc<File>`.
+/// backend owns it); state sits behind short-held per-path-stripe
+/// mutexes, and the actual I/O happens outside the lock on the cloned
+/// `Arc<File>`.
 pub struct HandleCache {
     capacity: usize,
-    state: Mutex<CacheState>,
-    /// Lock-free mirror of `CacheState::epoch`, updated under the state
-    /// lock by every invalidation. The zero-copy send path revalidates
-    /// its lease against the epoch once per `sendfile` span; reading the
-    /// mirror keeps that per-span check off the cache mutex (and out of
-    /// the lock shim's contention instrumentation).
-    epoch_fast: std::sync::atomic::AtomicU64,
+    /// Each cell evicts once it holds this many entries; the caps sum to
+    /// ≤ `capacity`, preserving the global descriptor bound.
+    per_cell_capacity: usize,
+    cells: ShardedMutex<CacheState>,
+    /// The invalidation epoch. Bumped (under the affected path's cell
+    /// lock) by every invalidation; insertions captured under an older
+    /// epoch are dropped instead of cached (see module docs). Also read
+    /// lock-free by the zero-copy send path, which revalidates its lease
+    /// against the epoch once per `sendfile` span without touching any
+    /// cache mutex (or the lock shim's contention instrumentation).
+    epoch_fast: AtomicU64,
+    /// Descriptors currently cached, maintained under the cell locks.
+    /// Mirrored here so the `open_fds` gauge can be kept current without
+    /// summing every cell on each miss.
+    open_count: AtomicI64,
     instruments: Mutex<Option<CacheInstruments>>,
 }
 
 impl std::fmt::Debug for HandleCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let st = self.state.lock();
+        let s = self.stats();
         f.debug_struct("HandleCache")
             .field("capacity", &self.capacity)
-            .field("open", &st.entries.len())
-            .field("hits", &st.hits)
-            .field("misses", &st.misses)
-            .field("evictions", &st.evictions)
+            .field("open", &s.open)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .field("evictions", &s.evictions)
             .finish()
     }
 }
@@ -119,25 +143,38 @@ pub enum Lookup {
     Disabled,
 }
 
+/// Default stripe count for the hot lookup path (matching the storage
+/// layer's [`crate::lot::DEFAULT_LOT_SHARDS`]).
+pub const DEFAULT_HANDLE_CACHE_SHARDS: usize = crate::lot::DEFAULT_LOT_SHARDS;
+
 impl HandleCache {
     /// Creates a cache bounding open descriptors to `capacity` (0
-    /// disables caching).
+    /// disables caching), striped [`DEFAULT_HANDLE_CACHE_SHARDS`] ways.
     pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, DEFAULT_HANDLE_CACHE_SHARDS)
+    }
+
+    /// Creates a cache with an explicit stripe count (`1` = the
+    /// single-mutex ablation). Small capacities collapse to one cell so
+    /// per-cell capacities stay meaningful (≥ 4) and tiny caches keep
+    /// exact global LRU order.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let effective = if capacity >= 4 * shards { shards } else { 1 };
         Self {
             capacity,
-            state: Mutex::named(
-                "storage.handlecache.state",
-                340,
+            per_cell_capacity: capacity / effective,
+            cells: ShardedMutex::new("storage.handlecache.state", 340, effective, |_| {
                 CacheState {
                     entries: HashMap::new(),
                     tick: 0,
-                    epoch: 0,
                     hits: 0,
                     misses: 0,
                     evictions: 0,
-                },
-            ),
-            epoch_fast: std::sync::atomic::AtomicU64::new(0),
+                }
+            }),
+            epoch_fast: AtomicU64::new(0),
+            open_count: AtomicI64::new(0),
             instruments: Mutex::named("storage.handlecache.instruments", 341, None),
         }
     }
@@ -158,23 +195,25 @@ impl HandleCache {
             evictions: m.counter("handlecache.evictions"),
             open_fds: m.gauge("handlecache.open_fds"),
         };
-        let st = self.state.lock();
-        inst.hits.add(st.hits);
-        inst.misses.add(st.misses);
-        inst.evictions.add(st.evictions);
-        inst.open_fds.set(st.entries.len() as i64);
+        let s = self.stats();
+        inst.hits.add(s.hits);
+        inst.misses.add(s.misses);
+        inst.evictions.add(s.evictions);
+        inst.open_fds.set(s.open as i64);
         *self.instruments.lock() = Some(inst);
     }
 
-    /// Current counters.
+    /// Current counters (cells are read one at a time; exact once
+    /// concurrent chunk I/O quiesces).
     pub fn stats(&self) -> HandleCacheStats {
-        let st = self.state.lock();
-        HandleCacheStats {
-            hits: st.hits,
-            misses: st.misses,
-            evictions: st.evictions,
-            open: st.entries.len() as u64,
-        }
+        let mut out = HandleCacheStats::default();
+        self.cells.for_each_cell(|_, st| {
+            out.hits += st.hits;
+            out.misses += st.misses;
+            out.evictions += st.evictions;
+            out.open += st.entries.len() as u64;
+        });
+        out
     }
 
     /// Looks up a handle for `path`. `need_write` demands a handle opened
@@ -187,7 +226,7 @@ impl HandleCache {
         if self.capacity == 0 {
             return Lookup::Disabled;
         }
-        let mut st = self.state.lock();
+        let mut st = self.cells.lock(shard_hash(path));
         st.tick += 1;
         let tick = st.tick;
         if let Some(e) = st.entries.get_mut(path) {
@@ -204,14 +243,20 @@ impl HandleCache {
             // Read-only handle but a write is needed: drop it; the caller
             // reopens read-write and re-inserts.
             st.entries.remove(path);
+            // open_count mirrors the entry map the cell lock orders.
+            // nestlint: allow(atomic-ordering): gauge statistic only
+            self.open_count.fetch_sub(1, Ordering::Relaxed);
         }
         st.misses += 1;
-        let epoch = st.epoch;
-        let open = st.entries.len() as i64;
+        // Captured under the cell lock: a same-path invalidation either
+        // already bumped the epoch (so the insert will be dropped) or
+        // serializes behind this cell lock.
+        let epoch = self.epoch_fast.load(Ordering::Acquire);
         drop(st);
         if let Some(i) = &*self.instruments.lock() {
             i.misses.inc();
-            i.open_fds.set(open);
+            // nestlint: allow(atomic-ordering): sloppy gauge read.
+            i.open_fds.set(self.open_count.load(Ordering::Relaxed));
         }
         Lookup::Miss { epoch }
     }
@@ -227,17 +272,23 @@ impl HandleCache {
         if self.capacity == 0 {
             return;
         }
-        let mut st = self.state.lock();
-        if st.epoch != epoch {
+        let mut st = self.cells.lock(shard_hash(path));
+        // Same-path invalidations serialize on this cell lock, so an
+        // unchanged epoch proves no invalidation of *this* path landed
+        // since lookup. A bump by an unrelated path costs only a
+        // use-once open — conservative, never stale.
+        if self.epoch_fast.load(Ordering::Acquire) != epoch {
             return; // raced an invalidation: use-once, never cache
         }
         st.tick += 1;
         let tick = st.tick;
         let mut evicted = 0u64;
-        while st.entries.len() >= self.capacity {
+        let replacing = st.entries.contains_key(path);
+        while !replacing && st.entries.len() >= self.per_cell_capacity {
             // LRU eviction: linear scan is fine — capacity is small (it
-            // bounds *open descriptors*, typically ≤ a few hundred) and we
-            // only scan on insert-at-capacity, never per chunk.
+            // bounds *open descriptors*, typically ≤ a few hundred split
+            // across cells) and we only scan on insert-at-capacity, never
+            // per chunk.
             let Some(victim) = st
                 .entries
                 .iter()
@@ -250,7 +301,7 @@ impl HandleCache {
             st.evictions += 1;
             evicted += 1;
         }
-        st.entries.insert(
+        let prev = st.entries.insert(
             path.clone(),
             Entry {
                 file,
@@ -258,14 +309,18 @@ impl HandleCache {
                 stamp: tick,
             },
         );
-        let open = st.entries.len() as i64;
+        let delta = 1 - evicted as i64 - prev.is_some() as i64;
+        // The cell lock orders the entry mutations this delta mirrors.
+        // nestlint: allow(atomic-ordering): gauge statistic only
+        let open = self.open_count.fetch_add(delta, Ordering::Relaxed) + delta;
         // The cache's whole point is bounding open descriptors: an insert
-        // must never leave more cached FDs than the configured capacity.
+        // must never leave more cached FDs in this cell than its share of
+        // the capacity (the per-cell caps sum to ≤ the global bound).
         nest_check::invariant!(
-            open as usize <= self.capacity,
-            "handlecache holds {} open FDs, capacity is {}",
-            open,
-            self.capacity
+            st.entries.len() <= self.per_cell_capacity.max(1),
+            "handlecache cell holds {} open FDs, per-cell capacity is {}",
+            st.entries.len(),
+            self.per_cell_capacity
         );
         drop(st);
         if evicted > 0 || open > 0 {
@@ -287,9 +342,7 @@ impl HandleCache {
         if n == 0 {
             return;
         }
-        let mut st = self.state.lock();
-        st.hits += n;
-        drop(st);
+        self.cells.lock_idx(0).hits += n;
         if let Some(i) = &*self.instruments.lock() {
             i.hits.add(n);
         }
@@ -303,14 +356,14 @@ impl HandleCache {
     /// been removed, renamed, or truncated under it. Meaningful whether or
     /// not caching is enabled (capacity-0 backends still invalidate).
     ///
-    /// Reads the lock-free mirror: the check runs once per zero-copy span
-    /// on the engine thread, and must not serialize against chunk I/O
-    /// taking the cache mutex. An invalidation racing the read is
-    /// indistinguishable from one landing just after it — the lease's
-    /// `Arc<File>` keeps the inode alive either way, exactly as a pooled
-    /// read racing the same rename would.
+    /// Lock-free: the check runs once per zero-copy span on the engine
+    /// thread, and must not serialize against chunk I/O taking a cache
+    /// stripe. An invalidation racing the read is indistinguishable from
+    /// one landing just after it — the lease's `Arc<File>` keeps the
+    /// inode alive either way, exactly as a pooled read racing the same
+    /// rename would.
     pub fn epoch(&self) -> u64 {
-        self.epoch_fast.load(std::sync::atomic::Ordering::Acquire)
+        self.epoch_fast.load(Ordering::Acquire)
     }
 
     /// Drops any cached handle for `path` and bumps the epoch so in-flight
@@ -318,28 +371,36 @@ impl HandleCache {
     /// operation that changes what the *name* means: remove, rename (both
     /// ends), truncate, recreate, abort cleanup.
     pub fn invalidate(&self, path: &VPath) {
-        let mut st = self.state.lock();
-        st.epoch += 1;
-        self.epoch_fast
-            .store(st.epoch, std::sync::atomic::Ordering::Release);
-        st.entries.remove(path);
-        let open = st.entries.len() as i64;
+        let mut st = self.cells.lock(shard_hash(path));
+        // Bumped while holding the path's cell so a same-path insert can
+        // never interleave between the bump and the removal.
+        self.epoch_fast.fetch_add(1, Ordering::AcqRel);
+        if st.entries.remove(path).is_some() {
+            // nestlint: allow(atomic-ordering): gauge statistic only.
+            self.open_count.fetch_sub(1, Ordering::Relaxed);
+        }
         drop(st);
         if let Some(i) = &*self.instruments.lock() {
-            i.open_fds.set(open);
+            // nestlint: allow(atomic-ordering): sloppy gauge read.
+            i.open_fds.set(self.open_count.load(Ordering::Relaxed));
         }
     }
 
-    /// Drops every cached handle (e.g. wholesale namespace changes).
+    /// Drops every cached handle (e.g. wholesale namespace changes). The
+    /// epoch is bumped before the sweep, so an insert racing the sweep
+    /// either captured its epoch earlier (dropped by the guard) or after
+    /// the bump (a legitimately fresh post-invalidation entry).
     pub fn invalidate_all(&self) {
-        let mut st = self.state.lock();
-        st.epoch += 1;
-        self.epoch_fast
-            .store(st.epoch, std::sync::atomic::Ordering::Release);
-        st.entries.clear();
-        drop(st);
+        self.epoch_fast.fetch_add(1, Ordering::AcqRel);
+        self.cells.for_each_cell(|_, st| {
+            let n = st.entries.len() as i64;
+            st.entries.clear();
+            // nestlint: allow(atomic-ordering): gauge statistic only.
+            self.open_count.fetch_sub(n, Ordering::Relaxed);
+        });
         if let Some(i) = &*self.instruments.lock() {
-            i.open_fds.set(0);
+            // nestlint: allow(atomic-ordering): sloppy gauge read.
+            i.open_fds.set(self.open_count.load(Ordering::Relaxed));
         }
     }
 }
@@ -441,5 +502,39 @@ mod tests {
         // A writer must not receive the read-only handle.
         assert!(matches!(c.lookup(&path, true), Lookup::Miss { .. }));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn striped_cache_keeps_bound_and_hits() {
+        // Large enough capacity to actually stripe (capacity ≥ 4×shards):
+        // the per-cell caps must still sum to ≤ the global bound, and
+        // every inserted path must hit from its own cell.
+        let dir = tempdir("striped");
+        let c = HandleCache::with_shards(32, 4);
+        assert_eq!(c.cells.shards(), 4);
+        for i in 0..64 {
+            let name = format!("f{}", i);
+            let host = tmpfile(&dir, &name, b"x");
+            let path = vp(&format!("/{}", name));
+            let Lookup::Miss { epoch } = c.lookup(&path, false) else {
+                panic!("miss expected");
+            };
+            c.insert(&path, Arc::new(File::open(&host).unwrap()), false, epoch);
+            assert!(matches!(c.lookup(&path, false), Lookup::Hit(_)));
+        }
+        let s = c.stats();
+        assert!(s.open <= 32, "open {} exceeds capacity", s.open);
+        assert_eq!(s.hits, 64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tiny_capacity_collapses_to_one_cell() {
+        // Capacity below 4×shards must fall back to a single cell so LRU
+        // order stays globally exact.
+        let c = HandleCache::with_shards(2, 8);
+        assert_eq!(c.cells.shards(), 1);
+        let c = HandleCache::with_shards(64, 8);
+        assert_eq!(c.cells.shards(), 8);
     }
 }

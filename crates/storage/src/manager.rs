@@ -199,6 +199,9 @@ pub struct StorageManager {
     enforce_lots: bool,
     /// Kept so persisted lot state can be restored with the same policy.
     reclaim_policy: ReclaimPolicy,
+    /// Stripe count for the sharded tables (lots, tier index); kept so
+    /// restores and the tier rebuild reuse the same configuration.
+    shards: usize,
     /// Instrument handles; `None` runs fully uninstrumented.
     metrics: Option<StorageMetrics>,
     /// The actuating memory tier (budget 0 — the default — disables it).
@@ -225,6 +228,7 @@ impl StorageManager {
             clock: system_clock(),
             enforce_lots: true,
             reclaim_policy: policy,
+            shards: crate::lot::DEFAULT_LOT_SHARDS,
             metrics: None,
             tier: MemTier::new(0),
             residency_hint: None,
@@ -247,7 +251,7 @@ impl StorageManager {
     /// disables it entirely; that is the byte-identical ablation
     /// baseline).
     pub fn with_ram_tier(mut self, bytes: u64) -> Self {
-        self.tier = MemTier::new(bytes);
+        self.tier = MemTier::with_shards(bytes, self.shards);
         self
     }
 
@@ -258,12 +262,29 @@ impl StorageManager {
         self
     }
 
+    /// Sets the stripe count for the sharded tables (`1` = the
+    /// single-mutex ablation). Call before [`Self::with_lot_state`] and
+    /// [`Self::with_ram_tier`]; it rebuilds the (still empty) lot table.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        let shards = shards.max(1);
+        self.shards = shards;
+        self.lots =
+            LotManager::with_shards(self.lots.total_capacity(), self.reclaim_policy, shards);
+        self
+    }
+
     /// Restores lot state from a [`LotManager::snapshot`] taken by a
     /// previous run — reservations must survive appliance restarts.
     pub fn with_lot_state(mut self, snapshot: &str) -> Self {
         let capacity = self.lots.total_capacity();
         let now = (self.clock)();
-        self.lots = LotManager::restore(snapshot, capacity, self.reclaim_policy, now);
+        self.lots = LotManager::restore_with_shards(
+            snapshot,
+            capacity,
+            self.reclaim_policy,
+            now,
+            self.shards,
+        );
         self
     }
 

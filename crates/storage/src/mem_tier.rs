@@ -34,17 +34,30 @@
 //!   Dirty bytes are lost on crash — see DESIGN.md §15 for the honest
 //!   crash-consistency statement.
 //!
-//! Locking: one mutex, `storage.memtier`, rank 335 — above the lot table
-//! (300) and below the handle cache (340) per the DESIGN.md §11 order.
-//! The tier never calls into the lot manager or the backend while holding
-//! its lock: lot classification is computed by the caller beforehand, and
-//! promotion/flush I/O happens outside.
+//! Locking: the tier state sits behind one mutex, `storage.memtier`,
+//! rank 335 — above the lot table (300) and below the handle cache (340)
+//! per the DESIGN.md §11 order. The tier never calls into the lot manager
+//! or the backend while holding its lock: lot classification is computed
+//! by the caller beforehand, and promotion/flush I/O happens outside.
+//!
+//! In front of the state sits a striped **presence index**
+//! (`storage.memtier.index`, rank 333): a conservative set of paths that
+//! *may* be resident. Cold scan traffic — the dominant case under churn —
+//! asks the index first and skips the state mutex entirely when the
+//! answer is a definitive "absent". The index is append-only on the hot
+//! path (entries are noted *before* they become resident and never
+//! removed on demotion/eviction), so it can report false positives —
+//! which merely fall through to the state lock — but never a false
+//! negative that would skip a resident (possibly dirty) copy. A per-cell
+//! cap with an overflow flag bounds its memory: a saturated cell answers
+//! "maybe" for everything, degrading to exactly the pre-index behavior.
+//! An index cell is never held concurrently with the state lock.
 
 use crate::namespace::VPath;
 use nest_obs::metrics::{Counter, Gauge};
 use nest_obs::Obs;
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use parking_lot::{shard_hash, Mutex, ShardedMutex};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Promote an object on this many accesses inside the window.
@@ -156,6 +169,20 @@ struct Instruments {
     writeback_flushes: Arc<Counter>,
 }
 
+/// One stripe of the presence index: paths that may be resident. See the
+/// module docs for the conservative-append protocol.
+struct PresenceCell {
+    present: HashSet<VPath>,
+    /// Set when the cell hit [`PRESENCE_CELL_CAP`]; a saturated cell
+    /// answers "maybe" for every path.
+    overflow: bool,
+}
+
+/// Per-cell bound on the presence index (paths, not bytes). Generous —
+/// the index exists to make *misses* cheap, and ~64k paths per cell cover
+/// far more objects than a RAM tier ever holds resident.
+const PRESENCE_CELL_CAP: usize = 64 * 1024;
+
 /// The bounded in-memory storage tier. `budget == 0` disables every code
 /// path — the ablation baseline does no bookkeeping at all.
 pub struct MemTier {
@@ -166,6 +193,9 @@ pub struct MemTier {
     /// Bound on deferred (dirty) bytes. Default: budget / 4.
     max_dirty_bytes: u64,
     state: Mutex<TierState>,
+    /// Striped may-be-resident filter consulted before `state` on read
+    /// paths; never held concurrently with the state lock.
+    index: ShardedMutex<PresenceCell>,
     instruments: Mutex<Option<Instruments>>,
 }
 
@@ -177,9 +207,20 @@ impl std::fmt::Debug for MemTier {
     }
 }
 
+/// Default stripe count for the presence index (matching
+/// [`crate::lot::DEFAULT_LOT_SHARDS`]).
+pub const DEFAULT_MEM_TIER_SHARDS: usize = crate::lot::DEFAULT_LOT_SHARDS;
+
 impl MemTier {
-    /// Creates a tier bounded to `budget` bytes (0 disables).
+    /// Creates a tier bounded to `budget` bytes (0 disables), with the
+    /// presence index striped [`DEFAULT_MEM_TIER_SHARDS`] ways.
     pub fn new(budget: u64) -> Self {
+        Self::with_shards(budget, DEFAULT_MEM_TIER_SHARDS)
+    }
+
+    /// Creates a tier with an explicit presence-index stripe count (`1` =
+    /// the single-cell ablation).
+    pub fn with_shards(budget: u64, shards: usize) -> Self {
         Self {
             budget,
             max_object_bytes: (budget / 4).max(1),
@@ -201,8 +242,37 @@ impl MemTier {
                     writeback_flushes: 0,
                 },
             ),
+            index: ShardedMutex::new("storage.memtier.index", 333, shards, |_| PresenceCell {
+                present: HashSet::new(),
+                overflow: false,
+            }),
             instruments: Mutex::named("storage.memtier.instruments", 336, None),
         }
+    }
+
+    /// Whether `path` may have a resident copy. A definitive `false`
+    /// means the read paths can skip the state lock; `true` means "ask
+    /// the state" (false positives are expected — see module docs).
+    fn maybe_resident(&self, path: &VPath) -> bool {
+        let cell = self.index.lock(shard_hash(path));
+        cell.overflow || cell.present.contains(path)
+    }
+
+    /// Notes that `path` is about to become resident. MUST be called
+    /// before the entry is inserted into the state (and the index cell
+    /// released before the state lock is taken) so the index can never
+    /// miss a resident.
+    fn note_present(&self, path: &VPath) {
+        let mut cell = self.index.lock(shard_hash(path));
+        if cell.overflow {
+            return;
+        }
+        if cell.present.len() >= PRESENCE_CELL_CAP {
+            cell.overflow = true;
+            cell.present = HashSet::new(); // saturated: "maybe" for all
+            return;
+        }
+        cell.present.insert(path.clone());
     }
 
     /// Overrides the per-object residency cap (for tests).
@@ -334,7 +404,7 @@ impl MemTier {
     /// this in a `MemSource`. Does not count a hit ([`record_access`]
     /// already did).
     pub fn object(&self, path: &VPath) -> Option<Arc<Vec<u8>>> {
-        if !self.enabled() {
+        if !self.enabled() || !self.maybe_resident(path) {
             return None;
         }
         let mut st = self.state.lock();
@@ -352,7 +422,7 @@ impl MemTier {
     /// segment). Returns `None` when the range is not resident — the
     /// caller falls through to the backend.
     pub fn read_at(&self, path: &VPath, offset: u64, buf: &mut [u8]) -> Option<usize> {
-        if !self.enabled() {
+        if !self.enabled() || !self.maybe_resident(path) {
             return None;
         }
         let mut st = self.state.lock();
@@ -386,7 +456,7 @@ impl MemTier {
     /// The logical size of a dirty resident object (the backend's stat is
     /// stale until flush).
     pub fn dirty_len(&self, path: &VPath) -> Option<u64> {
-        if !self.enabled() {
+        if !self.enabled() || !self.maybe_resident(path) {
             return None;
         }
         let st = self.state.lock();
@@ -415,6 +485,9 @@ impl MemTier {
             return Vec::new();
         }
         let full = data.len() as u64 == object_size;
+        // Index first (cell released before the state lock): a reader that
+        // sees the entry resident must already see it in the index.
+        self.note_present(path);
         let mut st = self.state.lock();
         let mut out = Vec::new();
         // Replacing an existing entry: a dirty old copy must still reach
@@ -476,6 +549,9 @@ impl MemTier {
             return None;
         }
         let end = offset + data.len() as u64;
+        // Index first (cell released before the state lock): `dirty_len`
+        // must never be able to skip a dirty resident.
+        self.note_present(path);
         let mut st = self.state.lock();
         let mut out = Vec::new();
         st.tick += 1;
@@ -924,6 +1000,51 @@ mod tests {
         assert!(t
             .write_back(&vp("/huge"), 0, &[0u8; 200], Some(Vec::new()), true)
             .is_none());
+    }
+
+    #[test]
+    fn presence_index_is_conservative_never_wrong() {
+        let t = MemTier::with_shards(1024, 4);
+        // Never-inserted paths are definitively absent: the fast path
+        // answers without consulting the state.
+        assert!(!t.maybe_resident(&vp("/never")));
+        assert!(t.read_at(&vp("/never"), 0, &mut [0u8; 4]).is_none());
+        // Resident paths are always indexed.
+        t.insert(&vp("/f"), obj(100, 7), 100, false);
+        assert!(t.maybe_resident(&vp("/f")));
+        assert!(t.object(&vp("/f")).is_some());
+        // Invalidation does NOT remove from the index (append-only): a
+        // stale "maybe" just falls through to the state and reads None.
+        t.invalidate(&vp("/f"));
+        assert!(t.maybe_resident(&vp("/f")));
+        assert!(t.object(&vp("/f")).is_none());
+        assert!(t.read_at(&vp("/f"), 0, &mut [0u8; 4]).is_none());
+    }
+
+    #[test]
+    fn presence_index_covers_write_back_dirty_reads() {
+        // A dirty write-back entry must be visible through the index —
+        // a false negative here would serve stale backend bytes.
+        let t = MemTier::with_shards(1024, 4);
+        t.write_back(&vp("/wb"), 0, &[9u8; 50], Some(Vec::new()), true)
+            .unwrap();
+        assert_eq!(t.dirty_len(&vp("/wb")), Some(50));
+        let mut buf = [0u8; 50];
+        assert_eq!(t.read_at(&vp("/wb"), 0, &mut buf), Some(50));
+        assert_eq!(buf, [9u8; 50]);
+    }
+
+    #[test]
+    fn saturated_presence_cell_answers_maybe() {
+        let t = MemTier::with_shards(1024, 1);
+        {
+            let mut cell = t.index.lock_idx(0);
+            cell.overflow = true;
+        }
+        // Overflowed: everything is "maybe present" — reads fall through
+        // to the state lock and stay correct, just not fast.
+        assert!(t.maybe_resident(&vp("/anything")));
+        assert!(t.read_at(&vp("/anything"), 0, &mut [0u8; 4]).is_none());
     }
 
     #[test]

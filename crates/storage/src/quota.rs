@@ -7,11 +7,16 @@
 //! the kernel's synchronous quota-file updates — what Figure 6 measures — is
 //! modelled in `nest-simenv`.
 
-use parking_lot::Mutex;
+use parking_lot::{shard_hash, ShardedMutex};
 use std::collections::HashMap;
 
 /// Per-owner usage/limit bookkeeping. Thread-safe; charges are atomic
 /// check-and-update so concurrent writers cannot jointly exceed a limit.
+///
+/// The table is striped by owner-name hash (every record for one owner
+/// lives in exactly one cell, all cells in the `storage.quota` class), so
+/// charges by different owners stop serializing on one mutex; an owner's
+/// own charges still serialize, which is what makes them atomic.
 ///
 /// ```
 /// use nest_storage::QuotaTable;
@@ -25,14 +30,12 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug)]
 pub struct QuotaTable {
-    inner: Mutex<HashMap<String, QuotaRecord>>,
+    cells: ShardedMutex<HashMap<String, QuotaRecord>>,
 }
 
 impl Default for QuotaTable {
     fn default() -> Self {
-        Self {
-            inner: Mutex::named("storage.quota", 310, HashMap::new()),
-        }
+        Self::with_shards(crate::lot::DEFAULT_LOT_SHARDS)
     }
 }
 
@@ -57,40 +60,58 @@ impl QuotaTable {
         Self::default()
     }
 
+    /// Creates an empty table with an explicit stripe count (`1` = the
+    /// single-mutex ablation).
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            cells: ShardedMutex::new("storage.quota", 310, shards, |_| HashMap::new()),
+        }
+    }
+
     /// Sets an owner's limit (does not disturb current usage).
     pub fn set_limit(&self, owner: &str, limit: u64) {
-        self.inner.lock().entry(owner.to_owned()).or_default().limit = limit;
+        self.cells
+            .lock(shard_hash(owner))
+            .entry(owner.to_owned())
+            .or_default()
+            .limit = limit;
     }
 
     /// Raises an owner's limit by `delta`.
     pub fn raise_limit(&self, owner: &str, delta: u64) {
-        let mut inner = self.inner.lock();
-        let rec = inner.entry(owner.to_owned()).or_default();
+        let mut cell = self.cells.lock(shard_hash(owner));
+        let rec = cell.entry(owner.to_owned()).or_default();
         rec.limit = rec.limit.saturating_add(delta);
     }
 
     /// Lowers an owner's limit by `delta` (floor 0). Usage may then exceed
     /// the limit; further charges fail until usage drops.
     pub fn lower_limit(&self, owner: &str, delta: u64) {
-        let mut inner = self.inner.lock();
-        let rec = inner.entry(owner.to_owned()).or_default();
+        let mut cell = self.cells.lock(shard_hash(owner));
+        let rec = cell.entry(owner.to_owned()).or_default();
         rec.limit = rec.limit.saturating_sub(delta);
     }
 
     /// The owner's configured limit.
     pub fn limit(&self, owner: &str) -> u64 {
-        self.inner.lock().get(owner).map_or(0, |r| r.limit)
+        self.cells
+            .lock(shard_hash(owner))
+            .get(owner)
+            .map_or(0, |r| r.limit)
     }
 
     /// The owner's current usage.
     pub fn usage(&self, owner: &str) -> u64 {
-        self.inner.lock().get(owner).map_or(0, |r| r.used)
+        self.cells
+            .lock(shard_hash(owner))
+            .get(owner)
+            .map_or(0, |r| r.used)
     }
 
     /// Atomically charges `bytes` against the owner's quota.
     pub fn charge(&self, owner: &str, bytes: u64) -> Result<(), QuotaExceeded> {
-        let mut inner = self.inner.lock();
-        let rec = inner.entry(owner.to_owned()).or_default();
+        let mut cell = self.cells.lock(shard_hash(owner));
+        let rec = cell.entry(owner.to_owned()).or_default();
         let available = rec.limit.saturating_sub(rec.used);
         if bytes > available {
             return Err(QuotaExceeded {
@@ -105,15 +126,19 @@ impl QuotaTable {
     /// Releases previously charged bytes (clamped at zero so releases can
     /// never underflow even if callers double-release defensively).
     pub fn release(&self, owner: &str, bytes: u64) {
-        let mut inner = self.inner.lock();
-        if let Some(rec) = inner.get_mut(owner) {
+        let mut cell = self.cells.lock(shard_hash(owner));
+        if let Some(rec) = cell.get_mut(owner) {
             rec.used = rec.used.saturating_sub(bytes);
         }
     }
 
-    /// Total bytes in use across all owners.
+    /// Total bytes in use across all owners (sloppy: cells are read one
+    /// at a time; exact once writers quiesce).
     pub fn total_usage(&self) -> u64 {
-        self.inner.lock().values().map(|r| r.used).sum()
+        self.cells
+            .for_each_cell(|_, c| c.values().map(|r| r.used).sum::<u64>())
+            .into_iter()
+            .sum()
     }
 }
 
@@ -198,6 +223,24 @@ mod tests {
         let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(total, 1000);
         assert_eq!(q.usage("shared"), 1000);
+    }
+
+    #[test]
+    fn distinct_owners_land_in_their_hash_cells() {
+        // Many owners across a small stripe count: per-owner atomicity
+        // and accounting hold regardless of which cell each hashes to.
+        let q = QuotaTable::with_shards(4);
+        for i in 0..64 {
+            let owner = format!("owner-{}", i);
+            q.set_limit(&owner, 10);
+            q.charge(&owner, 7).unwrap();
+        }
+        assert_eq!(q.total_usage(), 64 * 7);
+        for i in 0..64 {
+            let owner = format!("owner-{}", i);
+            assert_eq!(q.usage(&owner), 7);
+            assert!(q.charge(&owner, 4).is_err());
+        }
     }
 
     #[test]

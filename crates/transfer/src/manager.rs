@@ -20,7 +20,7 @@ use crate::flow::{DataSink, DataSource, Flow, FlowId, FlowMeta, StepOutcome};
 use crate::sched::{CacheAwareScheduler, FcfsScheduler, Scheduler, StrideScheduler};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use nest_obs::{Counter, EwmaMeter, Gauge, Histogram, Obs};
-use parking_lot::Mutex;
+use parking_lot::ShardedMutex;
 use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -76,6 +76,11 @@ pub struct TransferConfig {
     /// pre-zero-copy behavior, kept for ablation (the two paths produce
     /// byte-identical wire output).
     pub zerocopy: bool,
+    /// Stripe count for the delivered-stats cells (`1` = the single-mutex
+    /// ablation). Completion accounting picks a cell by flow id, so a
+    /// stats snapshot walking the cells never stalls the engine's finish
+    /// path on one hot mutex.
+    pub shards: usize,
 }
 
 impl Default for TransferConfig {
@@ -92,6 +97,7 @@ impl Default for TransferConfig {
             obs: None,
             pool_buffers: true,
             zerocopy: true,
+            shards: 8,
         }
     }
 }
@@ -293,7 +299,7 @@ enum EngineMsg {
 /// The transfer manager.
 pub struct TransferManager {
     tx: Sender<EngineMsg>,
-    stats: Arc<Mutex<TransferStats>>,
+    stats: Arc<ShardedMutex<TransferStats>>,
     next_id: AtomicU64,
     pool: BufPool,
     zerocopy: bool,
@@ -322,10 +328,11 @@ impl TransferManager {
             pool.register_obs(obs);
         }
         let (tx, rx) = unbounded();
-        let stats = Arc::new(Mutex::named(
+        let stats = Arc::new(ShardedMutex::new(
             "transfer.stats",
             200,
-            TransferStats::default(),
+            config.shards.max(1),
+            |_| TransferStats::default(),
         ));
         let engine_stats = Arc::clone(&stats);
         let engine_tx = tx.clone();
@@ -376,9 +383,27 @@ impl TransferManager {
         &self.pool
     }
 
-    /// Snapshot of delivered statistics.
+    /// Snapshot of delivered statistics, merged across the stats cells
+    /// (cells are read one at a time; exact once completions quiesce).
     pub fn stats(&self) -> TransferStats {
-        self.stats.lock().clone()
+        let mut out = TransferStats::default();
+        self.stats.for_each_cell(|_, cell| {
+            for (name, c) in &cell.classes {
+                let agg = out.classes.entry(name.clone()).or_default();
+                agg.bytes += c.bytes;
+                agg.completed += c.completed;
+                agg.failed += c.failed;
+                agg.total_latency += c.total_latency;
+            }
+            for (model, n) in &cell.per_model {
+                *out.per_model.entry(*model).or_insert(0) += n;
+            }
+            out.failures += cell.failures;
+            out.retries += cell.retries;
+            out.deadline_exceeded += cell.deadline_exceeded;
+            out.cancelled += cell.cancelled;
+        });
+        out
     }
 
     /// Stops the engine after in-flight transfers finish.
@@ -437,7 +462,7 @@ struct Engine {
     /// Event-model flows waiting out a retry backoff; re-admitted to the
     /// scheduler when their instant arrives. Still counted as in-flight.
     retry_queue: Vec<(Instant, EventFlow)>,
-    stats: Arc<Mutex<TransferStats>>,
+    stats: Arc<ShardedMutex<TransferStats>>,
     outstanding_external: usize,
     shutting_down: bool,
     metrics: Option<EngineMetrics>,
@@ -451,7 +476,7 @@ impl Engine {
         config: TransferConfig,
         rx: Receiver<EngineMsg>,
         self_tx: Sender<EngineMsg>,
-        stats: Arc<Mutex<TransferStats>>,
+        stats: Arc<ShardedMutex<TransferStats>>,
     ) -> Self {
         let scheduler: Box<dyn Scheduler> = match &config.policy {
             SchedPolicy::Fcfs => Box::new(FcfsScheduler::new()),
@@ -889,7 +914,9 @@ impl Engine {
             }
         }
         {
-            let mut stats = self.stats.lock();
+            // Cell by flow id: completions spread across the stripes, so a
+            // concurrent stats() walk never stalls this finish path.
+            let mut stats = self.stats.lock(completion.meta.id.0);
             let class = stats
                 .classes
                 .entry(completion.meta.class.clone())

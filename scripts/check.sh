@@ -97,4 +97,11 @@ for key in hot_speedup hot_speedup_no_hc cold_penalty_pct tier_budget memtier_hi
     { echo "memtier smoke JSON missing key: $key" >&2; exit 1; }
 done
 
+echo "==> scale bench smoke (10k-session churn vs shards=1 ablation, JSON schema check)"
+cargo run --release -p nest-bench --bin scale -- --smoke --out target/scale_smoke.json
+for key in throughput_hold_ratio ablation_hold_ratio top_contended_before top_contended_after virtual_hold_ratio; do
+  grep -q "\"$key\"" target/scale_smoke.json ||
+    { echo "scale smoke JSON missing key: $key" >&2; exit 1; }
+done
+
 echo "==> all checks passed"
